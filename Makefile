@@ -1,0 +1,27 @@
+# Convenience targets for the GDISim reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test test-fast bench bench-full examples lint clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:  ## thesis-length chapter 5 experiments
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f >/dev/null || exit 1; done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info

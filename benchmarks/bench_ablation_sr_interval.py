@@ -1,0 +1,42 @@
+"""Ablation: SYNCHREP launch interval vs freshness (section 6.3.3's
+compromise: overly frequent jobs load the system, infrequent jobs serve
+stale files)."""
+
+from __future__ import annotations
+
+from repro.background.indexbuild import IndexBuildConfig
+from repro.background.synchrep import SynchRepConfig
+from repro.fluid.background import BackgroundSolver
+from repro.studies.consolidation import MASTER
+
+INTERVALS_MIN = [5, 10, 15, 30, 60]
+
+
+def _sweep(study):
+    rows = []
+    for minutes in INTERVALS_MIN:
+        solver = BackgroundSolver(
+            study.fluid, study.growth,
+            sr_configs=[SynchRepConfig(master=MASTER,
+                                       interval_s=minutes * 60.0)],
+            ib_configs=[IndexBuildConfig(master=MASTER)],
+        )
+        day = solver.solve_day(MASTER)
+        longest = max(r.duration for r in day.sr_runs) / 60.0
+        overlap = longest > minutes
+        rows.append([f"{minutes}", f"{longest:.1f}",
+                     f"{day.max_staleness() / 60:.1f}",
+                     "yes" if overlap else "no"])
+    return rows
+
+
+def test_ablation_sr_interval(benchmark, ch6_study, report):
+    rows = benchmark.pedantic(_sweep, args=(ch6_study,), rounds=1,
+                              iterations=1)
+    report(
+        "Ablation - SYNCHREP interval dT_SR on the consolidated "
+        "infrastructure (paper uses 15 min -> R_SR^max ~31 min)",
+        ["dT_SR (min)", "longest run (min)", "R_SR^max (min)",
+         "cycles overlap?"],
+        rows,
+    )

@@ -1,0 +1,40 @@
+"""Figs 5-7..5-10: CPU utilization per tier, physical vs simulated."""
+
+from __future__ import annotations
+
+TIERS = ("app", "db", "fs", "idx")
+FIGS = {"app": "5-7", "db": "5-8", "fs": "5-9", "idx": "5-10"}
+
+
+def _summaries(results):
+    out = {}
+    for tier in TIERS:
+        rows = []
+        for name, pair in results.items():
+            phys = pair["physical"].steady_cpu_stats(tier)
+            sim = pair["simulated"].steady_cpu_stats(tier)
+            rows.append([pair["physical"].spec.label,
+                         f"{100 * phys.mean:.1f}%",
+                         f"{100 * sim.mean:.1f}%"])
+        out[tier] = rows
+    return out
+
+
+def test_fig_5_7_to_5_10_cpu_utilization(benchmark, validation_results, report):
+    tables = benchmark.pedantic(_summaries, args=(validation_results,),
+                                rounds=1, iterations=1)
+    for tier in TIERS:
+        report(
+            f"Fig {FIGS[tier]} - CPU utilization in T{tier}, steady state, "
+            "physical vs simulated",
+            ["experiment", "physical", "simulated"],
+            tables[tier],
+        )
+    # the figure itself: a sampled utilization trace for experiment 2
+    sim2 = validation_results["Experiment-2"]["simulated"]
+    pts = sim2.cpu["app"][:: max(len(sim2.cpu["app"]) // 10, 1)]
+    report(
+        "Fig 5-7 - Experiment-2 simulated Tapp utilization curve (sampled)",
+        ["t (min)", "utilization"],
+        [[f"{t / 60:.1f}", f"{100 * v:.1f}%"] for t, v in pts],
+    )

@@ -1,0 +1,32 @@
+"""Fig 6-10: data growth (MB) by hour by data center."""
+
+from __future__ import annotations
+
+from repro.background.datagrowth import consolidated_growth
+from repro.software.workload import HOUR
+
+
+def test_fig_6_10_data_growth(benchmark, report):
+    growth = benchmark.pedantic(consolidated_growth, rounds=1, iterations=1)
+    table = growth.hourly_table()
+    rows = []
+    for dc in growth.datacenters():
+        hourly = table[dc]
+        peak_h = max(range(24), key=lambda h: hourly[h])
+        rows.append([dc, f"{hourly[peak_h]:.0f}", f"{peak_h}:00"])
+    total_peak_h = max(range(24),
+                       key=lambda h: growth.total_rate_mb_per_s(h * HOUR))
+    rows.append(["Total", f"{growth.total_rate_mb_per_s(total_peak_h * HOUR) * 3600:.0f}",
+                 f"{total_peak_h}:00"])
+    report(
+        "Fig 6-10 - Data growth by hour by data center (NA and EU the "
+        "largest producers; combined peak in the 12:00-15:00 GMT overlap)",
+        ["data center", "peak MB/h", "peak hour (GMT)"],
+        rows,
+    )
+    # hourly profile of the two biggest producers
+    hours = [0, 4, 8, 10, 12, 14, 16, 18, 20, 22]
+    profile = [[f"{h}:00", f"{table['DNA'][h]:.0f}", f"{table['DEU'][h]:.0f}"]
+               for h in hours]
+    report("Fig 6-10 - hourly profile (MB/h)",
+           ["hour", "DNA", "DEU"], profile)

@@ -1,0 +1,23 @@
+"""Fig 6-11: data volume (MB) transferred during Pull/Push to/from DNA."""
+
+from __future__ import annotations
+
+
+def test_fig_6_11_pull_push_volume(benchmark, ch6_study, report):
+    curves = benchmark.pedantic(ch6_study.pull_push_curves, rounds=1,
+                                iterations=1)
+    n = len(next(iter(curves.values())))
+    rows = []
+    for name, series in sorted(curves.items()):
+        peak_i = max(range(n), key=lambda i: series[i])
+        rows.append([name, f"{series[peak_i]:.0f}",
+                     f"{(peak_i + 1) * 0.25:.2f}h"])
+    total_peak = max(sum(s[i] for s in curves.values()) for i in range(n))
+    rows.append(["Total (pull+push)", f"{total_peak:.0f}", "-"])
+    report(
+        "Fig 6-11 - Peak MB per 15-min SYNCHREP cycle to/from DNA\n"
+        "(paper: largest volumes during the 12:00-16:00 overlap; "
+        "pushes dominate pulls)",
+        ["stream", "peak MB/cycle", "peak time"],
+        rows,
+    )

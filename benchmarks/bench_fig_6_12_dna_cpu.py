@@ -1,0 +1,27 @@
+"""Fig 6-12: CPU utilization of DNA's tiers through the day."""
+
+from __future__ import annotations
+
+PAPER_PEAKS = {"app": 0.73, "db": 0.32, "idx": 0.30, "fs": 0.31}
+
+
+def test_fig_6_12_dna_cpu(benchmark, ch6_study, report):
+    curves = benchmark.pedantic(ch6_study.dna_cpu_curves, rounds=1,
+                                iterations=1)
+    rows = []
+    for tier, curve in curves.items():
+        peak_h = max(range(24), key=lambda h: curve[h])
+        rows.append([f"T{tier}", f"{100 * curve[peak_h]:.1f}%",
+                     f"{100 * PAPER_PEAKS[tier]:.0f}%", f"{peak_h}:00"])
+    report(
+        "Fig 6-12 - CPU utilization in DNA: peak per tier, measured (paper "
+        "peak at 15:00 GMT)",
+        ["tier", "measured peak", "paper peak", "peak hour"],
+        rows,
+    )
+    hours = [0, 6, 10, 12, 14, 15, 16, 18, 21]
+    profile = [[f"{h}:00"] + [f"{100 * curves[t][h]:.1f}%"
+                              for t in ("app", "db", "idx", "fs")]
+               for h in hours]
+    report("Fig 6-12 - hourly utilization profile",
+           ["hour", "Tapp", "Tdb", "Tidx", "Tfs"], profile)

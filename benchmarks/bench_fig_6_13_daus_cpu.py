@@ -1,0 +1,21 @@
+"""Fig 6-13: CPU utilization of Tfs in DAUS (slave data center)."""
+
+from __future__ import annotations
+
+
+def test_fig_6_13_daus_cpu(benchmark, ch6_study, report):
+    curve = benchmark.pedantic(ch6_study.daus_fs_curve, rounds=1, iterations=1)
+    peak_h = max(range(24), key=lambda h: curve[h])
+    rows = [["peak", f"{100 * curve[peak_h]:.2f}%", "~3.5%", f"{peak_h}:00"]]
+    report(
+        "Fig 6-13 - Tfs CPU in DAUS: the slave serves only its local "
+        "population, so utilization stays in single digits",
+        ["metric", "measured", "paper", "hour"],
+        rows,
+    )
+    hours = [0, 2, 4, 6, 12, 18, 22, 23]
+    report(
+        "Fig 6-13 - hourly profile (AUS business hours 22:00-07:00 GMT)",
+        ["hour", "Tfs utilization"],
+        [[f"{h}:00", f"{100 * curve[h]:.2f}%"] for h in hours],
+    )

@@ -1,0 +1,34 @@
+"""Fig 6-14: response time of the SR and IB background processes."""
+
+from __future__ import annotations
+
+
+def test_fig_6_14_background_times(benchmark, ch6_study, report):
+    day = benchmark.pedantic(ch6_study.background_day, rounds=1, iterations=1)
+    sr_peak = max(day.sr_runs, key=lambda r: r.duration)
+    ib_peak = max(day.ib_runs, key=lambda r: r.duration)
+    rows = [
+        ["R_SR^max (stale window)", f"{day.max_staleness() / 60:.1f} min",
+         "31 min"],
+        ["R_IB^max (unsearchable window)",
+         f"{day.max_unsearchable() / 60:.1f} min", "63 min"],
+        ["longest SYNCHREP run", f"{sr_peak.duration / 60:.1f} min",
+         "-"],
+        ["SYNCHREP peak at", f"{sr_peak.start / 3600:.1f}h GMT",
+         "12:00-15:00"],
+        ["longest INDEXBUILD run", f"{ib_peak.duration / 60:.1f} min", "-"],
+        ["INDEXBUILD peak at", f"{ib_peak.start / 3600:.1f}h GMT",
+         "~17:00 (cumulative lag)"],
+    ]
+    report(
+        "Fig 6-14 - Background process response times, measured (paper)\n"
+        "(shape: the serial IB peak lags the workload peak; SR peaks with "
+        "data growth)",
+        ["metric", "measured", "paper"],
+        rows,
+    )
+    # duration curve samples
+    pts = day.sr_duration_curve()[::8]
+    report("Fig 6-14 - SYNCHREP duration through the day",
+           ["launch (h GMT)", "duration (min)"],
+           [[f"{h:.1f}", f"{d / 60:.1f}"] for h, d in pts])

@@ -1,0 +1,39 @@
+"""Figs 6-15..6-20: operation response times for CAD/VIS/PDM in DNA and
+DAUS through the day (workload-agnostic below saturation)."""
+
+from __future__ import annotations
+
+CASES = [
+    ("Fig 6-15", "CAD", "DNA"),
+    ("Fig 6-16", "VIS", "DNA"),
+    ("Fig 6-17", "PDM", "DNA"),
+    ("Fig 6-18", "CAD", "DAUS"),
+    ("Fig 6-19", "VIS", "DAUS"),
+    ("Fig 6-20", "PDM", "DAUS"),
+]
+
+HOURS = [4, 15]  # quiet vs global peak
+
+
+def _all_tables(study):
+    return {
+        (fig, app, dc): study.response_table(app, dc, hours=HOURS)
+        for fig, app, dc in CASES
+    }
+
+
+def test_fig_6_15_to_6_20_response_times(benchmark, ch6_study, report):
+    tables = benchmark.pedantic(_all_tables, args=(ch6_study,), rounds=1,
+                                iterations=1)
+    for (fig, app, dc), table in tables.items():
+        rows = []
+        for op, (quiet, peak) in sorted(table.items()):
+            drift = 100.0 * (peak - quiet) / quiet if quiet else 0.0
+            rows.append([op, f"{quiet:.2f}", f"{peak:.2f}", f"{drift:+.1f}%"])
+        report(
+            f"{fig} - {app} response times in {dc} (s): 04:00 vs 15:00 GMT\n"
+            "(paper: no degradation below saturation; remote DCs pay a "
+            "constant latency premium)",
+            ["operation", "quiet (04:00)", "peak (15:00)", "drift"],
+            rows,
+        )

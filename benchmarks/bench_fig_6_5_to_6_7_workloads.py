@@ -1,0 +1,32 @@
+"""Figs 6-5..6-7: CAD/VIS/PDM workload curves per data center."""
+
+from __future__ import annotations
+
+from repro.studies.workloads import cad_workloads, pdm_workloads, vis_workloads
+
+FIGS = [("Fig 6-5 - CAD", cad_workloads, 2050),
+        ("Fig 6-6 - VIS", vis_workloads, 2550),
+        ("Fig 6-7 - PDM", pdm_workloads, 1400)]
+
+
+def _build_all():
+    return {title: builder() for title, builder, _ in FIGS}
+
+
+def test_fig_6_5_to_6_7_workloads(benchmark, report):
+    curves = benchmark.pedantic(_build_all, rounds=1, iterations=1)
+    for title, _, paper_peak in FIGS:
+        table = curves[title]
+        total = [sum(c.hourly[h] for c in table.values()) for h in range(24)]
+        rows = []
+        for dc, curve in sorted(table.items()):
+            peak_h, peak = curve.peak()
+            rows.append([dc, f"{peak:.0f}", f"{peak_h}:00"])
+        rows.append(["Global", f"{max(total):.0f}",
+                     f"{max(range(24), key=lambda h: total[h])}:00"])
+        report(
+            f"{title} workload: peak logged clients per DC "
+            f"(paper global peak ~{paper_peak})",
+            ["data center", "peak clients", "peak hour (GMT)"],
+            rows,
+        )

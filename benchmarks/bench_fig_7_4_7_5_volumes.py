@@ -1,0 +1,38 @@
+"""Figs 7-4/7-5: pull/push volumes of the DNA and DEU masters, and the
+single-vs-multi master volume reduction (section 7.3.3)."""
+
+from __future__ import annotations
+
+
+def _volumes(ch6, ch7):
+    curves6 = ch6.pull_push_curves()
+    n = len(next(iter(curves6.values())))
+    peak6 = max(sum(s[i] for s in curves6.values()) for i in range(n))
+    return peak6, ch7.peak_cycle_volume("DNA"), ch7.peak_cycle_volume("DEU")
+
+
+def test_fig_7_4_7_5_volumes(benchmark, ch6_study, ch7_study, report):
+    peak6, peak_na, peak_eu = benchmark.pedantic(
+        _volumes, args=(ch6_study, ch7_study), rounds=1, iterations=1)
+    reduction = 100.0 * (1.0 - peak_na / peak6)
+    rows = [
+        ["consolidated DNA (ch.6)", f"{peak6:.0f}", "~14 250"],
+        ["multi-master DNA (Fig 7-4)", f"{peak_na:.0f}", "~8 000"],
+        ["multi-master DEU (Fig 7-5)", f"{peak_eu:.0f}", "~5 500"],
+        ["DNA reduction", f"{reduction:.0f}%", "43%"],
+    ]
+    report(
+        "Figs 7-4/7-5 - Peak MB per SYNCHREP cycle, measured (paper)\n"
+        "(shape: ownership splits the master's volume roughly in half; "
+        "DEU carries the second-largest share)",
+        ["master", "peak MB/cycle", "paper"],
+        rows,
+    )
+    # per-peer breakdown for DNA (the Fig 7-4 series)
+    curves = ch7_study.pull_push_curves("DNA")
+    n = len(next(iter(curves.values())))
+    breakdown = []
+    for name, series in sorted(curves.items()):
+        breakdown.append([name, f"{max(series):.0f}"])
+    report("Fig 7-4 - DNA per-peer peak MB/cycle",
+           ["stream", "peak MB"], breakdown)

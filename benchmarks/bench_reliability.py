@@ -1,0 +1,95 @@
+"""Reliability evaluation (section 1.1, "Continuous Failure").
+
+Injects the motivation chapter's failure mix — machine crashes, disk
+failures, link flaps — against a serving tier at two redundancy levels
+and reports availability, SLA attainment and Kembel's downtime-cost
+framing ($200 k/h e-commerce ... $6 M/h brokerage).
+"""
+
+from __future__ import annotations
+
+from repro.core import Simulator
+from repro.reliability import AvailabilityMonitor, FailureInjector, FailurePolicy
+from repro.software.cascade import CascadeRunner
+from repro.software.client import Client
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.placement import SingleMasterPlacement
+from repro.software.resources import R
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import DataCenterSpec, TierSpec
+
+HORIZON = 4000.0
+POLICY = FailurePolicy(server_mtbf_s=900.0, server_mttr_s=240.0,
+                       disk_mtbf_s=None, link_mtbf_s=None)
+
+
+def _run(n_servers: int, keep_one: bool):
+    topo = GlobalTopology(seed=13)
+    topo.add_datacenter(DataCenterSpec(
+        name="DNA",
+        tiers=(TierSpec("app", n_servers=n_servers, cores_per_server=2,
+                        memory_gb=8.0, sockets=1),),
+    ))
+    sim = Simulator(dt=0.01)
+    sim.add_holon(topo.datacenter("DNA"))
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA", local_fs=False),
+                           seed=17)
+    monitor = AvailabilityMonitor(runner, sla={"OP": 3.0})
+    op = Operation("OP", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=1.5e9, net_kb=16)),
+        MessageSpec("app", CLIENT, r=R.of(net_kb=32)),
+    ])
+    client = Client("c", "DNA", seed=1)
+    sim.add_holon(client)
+
+    def arrive(now):
+        runner.launch(op, client, now)
+        if now + 2.0 < HORIZON:
+            sim.schedule(now + 2.0, arrive)
+
+    sim.schedule(0.0, arrive)
+    injector = FailureInjector(sim, topo, POLICY, until=HORIZON,
+                               keep_one_server=keep_one, seed=19)
+    injector.start()
+    sim.run(HORIZON + 60.0)
+    report = monitor.report()
+    total_downtime = sum(injector.downtime.values())
+    return report, injector, total_downtime
+
+
+def test_reliability(benchmark, report):
+    single, inj1, down1 = benchmark.pedantic(
+        _run, args=(1, False), rounds=1, iterations=1)
+    redundant, inj2, down2 = _run(2, True)
+    rows = [
+        ["1 server (no redundancy)",
+         f"{100 * single.availability:.1f}%",
+         f"{100 * single.sla_attainment:.1f}%",
+         f"{inj1.failures_by_kind().get('server', 0)}",
+         f"{down1 / 60:.0f} min"],
+        ["2 servers (n+1 redundancy)",
+         f"{100 * redundant.availability:.1f}%",
+         f"{100 * redundant.sla_attainment:.1f}%",
+         f"{inj2.failures_by_kind().get('server', 0)}",
+         f"{down2 / 60:.0f} min"],
+    ]
+    report(
+        "Reliability - availability under server crash/repair cycles "
+        "(MTBF 15 min, MTTR 4 min, scaled from section 1.1's Google "
+        "figures)",
+        ["design", "availability", "SLA attainment", "crashes",
+         "component downtime"],
+        rows,
+    )
+    ecommerce = AvailabilityMonitor.downtime_cost(
+        (1.0 - single.availability) * HORIZON, 200000.0)
+    brokerage = AvailabilityMonitor.downtime_cost(
+        (1.0 - single.availability) * HORIZON, 6000000.0)
+    report(
+        "Downtime cost of the non-redundant design over the run "
+        "(Kembel's figures, section 1.1)",
+        ["business", "cost"],
+        [["e-commerce ($200k/h)", f"${ecommerce:,.0f}"],
+         ["stock brokerage ($6M/h)", f"${brokerage:,.0f}"]],
+    )

@@ -1,0 +1,56 @@
+"""Table 4.2 / Fig 4-6: H-Dispatch multicore scalability (agent set 64).
+
+Measures the real per-tick cost of the implemented H-Dispatch executor,
+then regenerates the published table and the Fig 4-6 speedup-vs-linear
+series with the calibrated model (DESIGN.md, substitution 2).
+"""
+
+from __future__ import annotations
+
+from repro.core.job import Job
+from repro.parallel import HDispatchExecutor
+from repro.parallel.speedup import (
+    TABLE_4_2,
+    THREAD_COUNTS,
+    default_hdispatch_model,
+    measure_gil_scaling,
+)
+from repro.queueing import FCFSQueue
+
+
+def _tick_workload(threads: int, n_agents: int = 128, ticks: int = 20) -> None:
+    queues = [FCFSQueue(f"q{i}", rate=100.0) for i in range(n_agents)]
+    for q in queues:
+        q.submit(Job(1e6), 0.0)
+    ex = HDispatchExecutor(queues, threads=threads, agent_set_size=64)
+    try:
+        ex.run(ticks * 0.01, 0.01)
+    finally:
+        ex.close()
+
+
+def test_table_4_2_hdispatch(benchmark, report):
+    benchmark.pedantic(_tick_workload, args=(2,), rounds=3, iterations=1)
+
+    model = default_hdispatch_model()
+    gil = measure_gil_scaling()
+    rows = []
+    for (n, minutes, speedup), (_, p_min, p_speed) in zip(model.table(),
+                                                          TABLE_4_2):
+        rows.append([n, f"{minutes:.0f}", f"{speedup:.2f}",
+                     f"{p_min:.0f}", f"{p_speed:.2f}"])
+    report(
+        "Table 4.2 - H-Dispatch (agent set = 64): simulation time (min) and "
+        f"speedup vs threads\n(GIL 2-thread scaling measured here: {gil:.2f}x "
+        "-> native timing impossible, model calibrated per DESIGN.md)",
+        ["# threads", "model min", "model x", "paper min", "paper x"],
+        rows,
+    )
+
+    fig_rows = [[n, f"{float(n):.2f}", f"{model.speedup(n):.2f}",
+                 f"{model.efficiency(n):.0%}"] for n in THREAD_COUNTS]
+    report(
+        "Fig 4-6 - H-Dispatch speedup vs linear scalability",
+        ["# threads", "linear x", "H-Dispatch x", "efficiency"],
+        fig_rows,
+    )

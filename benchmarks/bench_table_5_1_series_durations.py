@@ -1,0 +1,28 @@
+"""Table 5.1: canonical duration of each CAD operation by series type."""
+
+from __future__ import annotations
+
+from repro.software.cad import SERIES_ORDER, TABLE_5_1
+from repro.validation import build_downscaled_infrastructure, series_durations
+
+
+def test_table_5_1_series_durations(benchmark, report):
+    topo = build_downscaled_infrastructure()
+    table = benchmark.pedantic(series_durations, args=(topo,), rounds=1,
+                               iterations=1)
+    rows = []
+    for name in SERIES_ORDER + ["TOTAL"]:
+        paper = {s: (TABLE_5_1[s][name] if name != "TOTAL"
+                     else sum(TABLE_5_1[s].values())) for s in TABLE_5_1}
+        rows.append([
+            name,
+            f"{table['light'][name]:.2f} ({paper['light']:.2f})",
+            f"{table['average'][name]:.2f} ({paper['average']:.2f})",
+            f"{table['heavy'][name]:.2f} ({paper['heavy']:.2f})",
+        ])
+    report(
+        "Table 5.1 - Duration (s) of operations by type and series, "
+        "measured (paper)",
+        ["operation", "light", "average", "heavy"],
+        rows,
+    )

@@ -1,0 +1,42 @@
+"""Table 5.2: steady-state mean and std of tier CPU utilization."""
+
+from __future__ import annotations
+
+#: Table 5.2 of the thesis (percent): mu_phys, mu_sim per tier/experiment.
+PAPER = {
+    "Experiment-1": {"app": (55.84, 58.59), "db": (39.04, 43.07),
+                     "fs": (40.60, 42.93), "idx": (19.04, 19.91)},
+    "Experiment-2": {"app": (71.60, 72.80), "db": (49.20, 54.98),
+                     "fs": (49.87, 48.63), "idx": (29.20, 28.87)},
+    "Experiment-3": {"app": (81.81, 79.80), "db": (57.20, 62.83),
+                     "fs": (56.68, 52.55), "idx": (36.99, 33.03)},
+}
+
+
+def _table(results):
+    rows = []
+    for name, pair in results.items():
+        for tier in ("app", "db", "fs", "idx"):
+            phys = pair["physical"].steady_cpu_stats(tier)
+            sim = pair["simulated"].steady_cpu_stats(tier)
+            p_mu_phys, p_mu_sim = PAPER[name][tier]
+            rows.append([
+                name, f"T{tier}",
+                f"{100 * phys.mean:.1f} ({p_mu_phys:.1f})",
+                f"{100 * sim.mean:.1f} ({p_mu_sim:.1f})",
+                f"{100 * phys.std:.1f}",
+                f"{100 * sim.std:.1f}",
+            ])
+    return rows
+
+
+def test_table_5_2_steady_state(benchmark, validation_results, report):
+    rows = benchmark.pedantic(_table, args=(validation_results,), rounds=1,
+                              iterations=1)
+    report(
+        "Table 5.2 - Steady-state CPU utilization: mu and sigma by "
+        "experiment and tier, measured (paper)",
+        ["experiment", "tier", "mu phys %", "mu sim %",
+         "sigma phys %", "sigma sim %"],
+        rows,
+    )

@@ -1,0 +1,24 @@
+"""Table 6.1: mean utilization of allocated WAN capacity, 12:00-16:00."""
+
+from __future__ import annotations
+
+PAPER = {
+    "LNA->SA": 48, "LNA->EU": 43, "LNA->AS1": 59,
+    "LEU->AFR": 0, "LEU->AS1": 0,
+    "LAS1->AFR": 53, "LAS1->AS2": 47, "LAS1->AUS": 54,
+}
+
+
+def test_table_6_1_link_utilization(benchmark, ch6_study, report):
+    table = benchmark.pedantic(ch6_study.link_utilization_table, rounds=1,
+                               iterations=1)
+    rows = [[name, f"{100 * table.get(name, 0.0):.0f}%", f"{paper}%"]
+            for name, paper in PAPER.items()]
+    report(
+        "Table 6.1 - Average utilization of the 20% allocated capacity "
+        "during 12:00-16:00 GMT, measured (paper)\n"
+        "(shape: all active links in the 40-60% band, redundant EU links "
+        "idle)",
+        ["link", "measured", "paper"],
+        rows,
+    )

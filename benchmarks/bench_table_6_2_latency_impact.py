@@ -1,0 +1,38 @@
+"""Table 6.2: response-time variation for CAD operations caused by the
+latency in DAUS."""
+
+from __future__ import annotations
+
+#: Table 6.2 of the thesis.
+PAPER = {
+    "LOGIN": (2.2, 3.62, 4, 64.54),
+    "TEXT-SEARCH": (5.11, 6.51, 2, 27.39),
+    "FILTER": (2.6, 4.00, 2, 53.84),
+    "EXPLORE": (6.43, 15.53, 13, 141.52),
+    "SPATIAL-SEARCH": (12.15, 21.95, 14, 80.65),
+    "SELECT": (6.2, 11.1, 7, 79.03),
+    "OPEN": (64.68, 65.38, 1, 1.08),
+    "SAVE": (78.21, 78.91, 1, 0.89),
+}
+
+
+def test_table_6_2_latency_impact(benchmark, ch6_study, report):
+    table = benchmark.pedantic(ch6_study.latency_impact_table, args=("DAUS",),
+                               rounds=1, iterations=1)
+    rows = []
+    for op, paper in PAPER.items():
+        m = table[op]
+        rows.append([
+            op,
+            f"{m['R_NA']:.2f} ({paper[0]:.2f})",
+            f"{m['R_remote']:.2f} ({paper[1]:.2f})",
+            f"{m['S']:.0f} ({paper[2]})",
+            f"{m['delta_pct']:.1f}% ({paper[3]:.1f}%)",
+        ])
+    report(
+        "Table 6.2 - Latency impact on CAD operations in DAUS, measured "
+        "(paper)\n(shape: chatty metadata operations degrade by tens of "
+        "percent, bulk OPEN/SAVE by ~1%)",
+        ["operation", "R_NA (s)", "R_AUS (s)", "S round trips", "delta %"],
+        rows,
+    )

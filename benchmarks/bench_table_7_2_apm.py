@@ -1,0 +1,34 @@
+"""Tables 7.1/7.2: access-pattern matrices and derived ownership."""
+
+from __future__ import annotations
+
+from repro.background.ownership import TABLE_7_1, TABLE_7_2, OwnershipModel
+
+
+def _derive():
+    single = OwnershipModel(TABLE_7_1)
+    multi = OwnershipModel(TABLE_7_2)
+    multi.validate_rows()
+    return single, multi
+
+
+def test_table_7_2_apm(benchmark, report):
+    single, multi = benchmark.pedantic(_derive, rounds=1, iterations=1)
+    dcs = multi.datacenters()
+    rows = [[accessor] + [f"{100 * multi.share(accessor, o):.2f}" for o in dcs]
+            for accessor in dcs]
+    report(
+        "Table 7.2 - Access pattern matrix (% of each DC's accesses by "
+        "owner); rows validated to sum to 100",
+        ["accessor \\ owner"] + dcs,
+        rows,
+    )
+    frac_rows = [[o, f"{100 * multi.owned_fraction(o):.1f}%",
+                  f"{100 * single.owned_fraction(o):.1f}%"]
+                 for o in dcs]
+    report(
+        "Derived ownership share of global traffic (multi-master vs "
+        "consolidated single-master)",
+        ["owner", "Table 7.2 share", "Table 7.1 share"],
+        frac_rows,
+    )

@@ -1,0 +1,78 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the thesis's evaluation has a bench module
+here; expensive inputs (the chapter 5 validation campaign, the chapter
+6/7 studies) are computed once per session and shared.
+
+Horizons: validation experiments default to a 15-minute steady slice so
+the full harness finishes in minutes; set ``REPRO_FULL=1`` to run the
+thesis's complete 38-minute experiments.
+
+Bench output: paper-style rows are written through ``sys.__stdout__`` so
+they appear in piped/teed output despite pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.metrics.report import format_table
+from repro.validation.experiments import EXPERIMENTS, run_experiment
+
+
+@pytest.fixture
+def report(capfd):
+    """Print paper-style rows past pytest's fd-level capture so they
+    land in piped/teed benchmark output."""
+
+    def _report(title, headers, rows):
+        with capfd.disabled():
+            sys.stdout.write("\n" + format_table(headers, rows, title=title) + "\n")
+            sys.stdout.flush()
+
+    return _report
+
+
+FULL = os.environ.get("REPRO_FULL") == "1"
+
+#: experiment horizon configuration (seconds)
+if FULL:
+    EXPERIMENT_KW = dict(horizon=2280.0, launch_until=2100.0,
+                         steady_window=(300.0, 2040.0))
+else:
+    EXPERIMENT_KW = dict(horizon=900.0, launch_until=840.0,
+                         steady_window=(300.0, 820.0))
+
+
+@pytest.fixture(scope="session")
+def validation_results():
+    """All three chapter 5 experiments on both systems (cached)."""
+    results = {}
+    for spec in EXPERIMENTS:
+        results[spec.name] = {
+            "physical": run_experiment(spec, physical=True, **EXPERIMENT_KW),
+            "simulated": run_experiment(spec, physical=False, **EXPERIMENT_KW),
+        }
+    return results
+
+
+@pytest.fixture(scope="session")
+def ch6_study():
+    from repro.studies.consolidation import ConsolidationStudy
+
+    return ConsolidationStudy()
+
+
+@pytest.fixture(scope="session")
+def ch6_background_day(ch6_study):
+    return ch6_study.background_day()
+
+
+@pytest.fixture(scope="session")
+def ch7_study():
+    from repro.studies.multimaster import MultiMasterStudy
+
+    return MultiMasterStudy()

@@ -1,0 +1,62 @@
+"""Attack resilience: evaluate a request flood and its countermeasure.
+
+One of the simulator's stated applications (thesis Fig 1-1, #7):
+"Internet Attack Protection — allows the evaluation of the effects of
+denial-of-service attacks and facilitates the design of counter
+measures."  A flood of cheap requests is injected over a legitimate
+workload; an edge token-bucket admission controller is evaluated as the
+countermeasure.
+
+Run:  python examples/attack_resilience.py
+"""
+
+from __future__ import annotations
+
+from repro.metrics.report import format_table
+from repro.metrics.viz import bar_chart
+from repro.studies.attack import FloodScenario
+
+
+def main() -> None:
+    scenario = FloodScenario(
+        legit_rate=2.0,          # legitimate queries per second
+        flood_rate=60.0,         # attack requests per second
+        flood_window=(200.0, 400.0),
+        horizon=600.0,
+        admission_rate=8.0,      # edge rate limit (req/s)
+    )
+    print("running the flood scenario twice (unprotected, then with "
+          "admission control)...\n")
+    outcomes = scenario.evaluate()
+
+    rows = []
+    for name, o in outcomes.items():
+        rows.append([
+            name,
+            f"{o.legit_before:.2f} s",
+            f"{o.legit_during:.2f} s",
+            f"{o.legit_after:.2f} s",
+            f"{100 * o.peak_app_utilization:.0f}%",
+            f"{o.flood_dropped}/{o.flood_requests}",
+        ])
+    print(format_table(
+        ["branch", "before", "during attack", "after", "peak Tapp",
+         "flood dropped"],
+        rows, title="Legitimate-client mean response time"))
+
+    print("\n" + bar_chart(
+        [("unmitigated", outcomes["unmitigated"].legit_during),
+         ("mitigated", outcomes["mitigated"].legit_during)],
+        title="Response time during the attack (s)", unit=" s"))
+
+    un, mit = outcomes["unmitigated"], outcomes["mitigated"]
+    print(f"\nVerdict: the unprotected platform degrades "
+          f"{100 * un.degradation:.0f}% and saturates its app tier; the "
+          f"{scenario.admission_rate:.0f} req/s token bucket drops "
+          f"{100 * mit.flood_dropped / max(mit.flood_requests, 1):.0f}% of "
+          f"the flood and holds client experience at baseline "
+          f"({100 * abs(mit.degradation):.0f}% drift).")
+
+
+if __name__ == "__main__":
+    main()

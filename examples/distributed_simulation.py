@@ -1,0 +1,113 @@
+"""Distributed (partitioned) simulation demo (thesis section 9.3.1).
+
+Two continents run as independent simulation partitions synchronized by
+conservative windows: the 150 ms WAN latency between them is the
+*lookahead*, so each partition simulates 150 ms batches with no
+coordination at all, exchanging transfer envelopes at window boundaries.
+Swapping the in-process coordinator for the multiprocess transport (also
+demonstrated) distributes the partitions across OS processes — and,
+with sockets instead of queues, across machines.
+
+Run:  python examples/distributed_simulation.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import Job, Simulator
+from repro.metrics.report import format_table
+from repro.parallel.partition import Partition, PartitionedSimulation, run_multiprocess
+from repro.queueing import FCFSQueue
+
+WAN_LATENCY = 0.150  # seconds: the lookahead
+HORIZON = 60.0
+
+
+def build_continent(name: str, sync_target: str, volume_mb: float):
+    """One continent: a file tier receiving cross-continent sync traffic."""
+    sim = Simulator(dt=0.01)
+    fs = sim.add_agent(FCFSQueue(f"{name}.fs", rate=100.0))  # 100 MB/s
+    received = []
+
+    def handler(env, now):
+        fs.submit(Job(env.payload["mb"],
+                      on_complete=lambda j, t: received.append(t),
+                      not_before=now), now)
+
+    part = Partition(name, sim, handler)
+
+    def push(now):
+        part.send(sync_target, {"mb": volume_mb}, latency_s=WAN_LATENCY)
+        if now + 5.0 < HORIZON:
+            sim.schedule(now + 5.0, push)
+
+    sim.schedule(1.0, push)
+    return part, fs, received
+
+
+def main() -> None:
+    print(f"two continents, {1000 * WAN_LATENCY:.0f} ms apart; each pushes "
+          f"a sync batch every 5 s for {HORIZON:.0f} s\n")
+
+    na, na_fs, na_recv = build_continent("NA", "EU", volume_mb=80.0)
+    eu, eu_fs, eu_recv = build_continent("EU", "NA", volume_mb=50.0)
+    coord = PartitionedSimulation([na, eu], min_latency_s=WAN_LATENCY)
+    t0 = time.perf_counter()
+    coord.run(HORIZON)
+    wall = time.perf_counter() - t0
+
+    rows = [
+        ["NA", f"{len(na_recv)}", f"{na_fs.busy_time:.1f} s"],
+        ["EU", f"{len(eu_recv)}", f"{eu_fs.busy_time:.1f} s"],
+    ]
+    print(format_table(
+        ["partition", "sync batches received", "fs busy time"],
+        rows, title="in-process coordinator"))
+    print(f"windows: {coord.windows_run} "
+          f"({HORIZON / coord.windows_run * 1000:.0f} ms each = the WAN "
+          f"lookahead), wall {wall * 1000:.0f} ms\n")
+
+    print("same scenario over the multiprocess transport (one OS process "
+          "per continent)...")
+    t0 = time.perf_counter()
+    finals = run_multiprocess(
+        {"NA": _na_factory, "EU": _eu_factory},
+        min_latency_s=WAN_LATENCY, until=HORIZON,
+    )
+    wall_mp = time.perf_counter() - t0
+    print(f"partitions finished at {finals} (wall {wall_mp * 1000:.0f} ms; "
+          "process startup dominates at this scale — the transport exists "
+          "to move partitions onto bigger iron)")
+
+
+# ----------------------------------------------------------------------
+# module-level factories: picklable for the spawn start method
+# ----------------------------------------------------------------------
+def _make_factory(name: str, target: str, volume_mb: float):
+    sim = Simulator(dt=0.01)
+    fs = sim.add_agent(FCFSQueue(f"{name}.fs", rate=100.0))
+
+    def handler(env, now):
+        fs.submit(Job(env.payload["mb"], not_before=now), now)
+
+    def step_hook(sim_, t0, t1):
+        # one push per 5-second boundary crossed by this window
+        if int(t1 / 5.0) > int(t0 / 5.0):
+            return [{"dst": target, "latency_s": WAN_LATENCY,
+                     "payload": {"mb": volume_mb}}]
+        return []
+
+    return sim, handler, step_hook
+
+
+def _na_factory():
+    return _make_factory("NA", "EU", 80.0)
+
+
+def _eu_factory():
+    return _make_factory("EU", "NA", 50.0)
+
+
+if __name__ == "__main__":
+    main()

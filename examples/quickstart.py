@@ -1,0 +1,111 @@
+"""Quickstart: simulate a small data center serving a custom application.
+
+Builds a two-tier data center, defines a toy "document portal"
+application as a message cascade, launches a population of clients
+against it and reports response times and tier utilization — the
+simulator's primary estimation loop (thesis section 3.2.1).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Application,
+    CascadeRunner,
+    Client,
+    DataCenterSpec,
+    GlobalTopology,
+    MessageSpec,
+    Operation,
+    OperationMix,
+    OpenLoopWorkload,
+    R,
+    SANSpec,
+    SingleMasterPlacement,
+    Simulator,
+    TierSpec,
+    WorkloadCurve,
+)
+from repro.metrics import Collector
+
+
+def build_infrastructure() -> GlobalTopology:
+    """One data center: a 2-server app tier and a SAN-backed file tier."""
+    topo = GlobalTopology(seed=7)
+    topo.add_datacenter(DataCenterSpec(
+        name="DNA",
+        tiers=(
+            TierSpec("app", n_servers=2, cores_per_server=4, memory_gb=16.0),
+            TierSpec("fs", n_servers=1, cores_per_server=4, memory_gb=16.0,
+                     uses_san=True, nic_gbps=10.0),
+        ),
+        sans=(SANSpec(servers=1, n_disks=8, drive_rpm=15000),),
+    ))
+    return topo
+
+
+def build_application() -> Application:
+    """A two-operation portal: BROWSE (metadata) and FETCH (file body)."""
+    browse = Operation("BROWSE", [
+        MessageSpec("client", "app", r=R.of(cycles=6e9, net_kb=16)),
+        MessageSpec("app", "client", r=R.of(net_kb=64)),
+    ])
+    fetch = Operation("FETCH", [
+        MessageSpec("client", "app", r=R.of(cycles=1.5e9, net_kb=8)),
+        MessageSpec("app", "client", r=R.of(net_kb=16)),
+        MessageSpec("client", "fs", r=R.of(net_kb=8)),
+        MessageSpec("fs", "client",
+                    r=R.of(cycles=3e8, net_kb=20 * 1024, disk_kb=20 * 1024),
+                    r_src=R.of(disk_kb=20 * 1024)),
+    ])
+    return Application(
+        name="portal",
+        operations={"BROWSE": browse, "FETCH": fetch},
+        mix=OperationMix({"BROWSE": 0.7, "FETCH": 0.3}),
+        workloads={"DNA": WorkloadCurve([300.0] * 24)},  # constant population
+        ops_per_client_hour=12.0,
+    )
+
+
+def main() -> None:
+    topo = build_infrastructure()
+    app = build_application()
+
+    sim = Simulator(dt=0.01, mode="adaptive")
+    sim.add_holon(topo.datacenter("DNA"))
+
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA"), seed=11)
+    workload = OpenLoopWorkload(
+        sim, runner, "DNA",
+        curve=app.workloads["DNA"],
+        mix=app.mix,
+        operations=app.operations,
+        ops_per_client_hour=app.ops_per_client_hour,
+        seed=13,
+    )
+
+    collector = Collector(sim, sample_interval=10.0)
+    app_tier = topo.datacenter("DNA").tier("app")
+    collector.add_probe("cpu.app", lambda now: app_tier.cpu_utilization(now))
+
+    horizon = 600.0  # ten simulated minutes
+    print(f"simulating {horizon:.0f} s of portal traffic "
+          f"({app.workloads['DNA'].hourly[0]:.0f} logged clients)...")
+    workload.start(until=horizon)
+    sim.run(horizon)
+
+    print(f"\noperations completed: {len(runner.records)}")
+    for name in sorted(app.operations):
+        times = [r.response_time for r in runner.records if r.operation == name]
+        if times:
+            mean = sum(times) / len(times)
+            print(f"  {name:8s} n={len(times):4d}  "
+                  f"mean response {mean:6.2f} s  max {max(times):6.2f} s")
+    cpu = [v for _, v in collector.series("cpu.app")]
+    print(f"\napp-tier CPU utilization: mean {100 * sum(cpu) / len(cpu):.1f} %  "
+          f"peak {100 * max(cpu):.1f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""GDISim — a Global Data Infrastructure Simulator.
+
+Reproduction of Herrero-López, *Large-Scale Simulator for Global Data
+Infrastructure Optimization* (MIT, 2011; CLUSTER 2011).  The library
+simulates globally distributed IT infrastructures: hardware components
+are queueing-network agents composed into server / tier / data-center
+holons; enterprise software is modeled as message cascades carrying
+``R = (Rp, Rt, Rm, Rd)`` resource arrays; background synchronization,
+replication and indexing jobs run concurrently with client workloads.
+
+Quickstart::
+
+    from repro import Simulator, GlobalTopology, DataCenterSpec, TierSpec
+
+    topo = GlobalTopology()
+    topo.add_datacenter(DataCenterSpec(
+        name="DNA",
+        tiers=(TierSpec("app", 2, 8, 32.0), TierSpec("fs", 1, 4, 16.0)),
+    ))
+    sim = Simulator(dt=0.01)
+    sim.add_holon(topo.datacenter("DNA"))
+    sim.run(60.0)
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the
+regeneration of every table and figure of the thesis's evaluation.
+"""
+
+from repro.core import Simulator, Job, Agent, Holon
+from repro.topology import (
+    GlobalTopology,
+    DataCenter,
+    Tier,
+    Server,
+    DataCenterSpec,
+    TierSpec,
+    SANSpec,
+    RAIDSpec,
+    LinkSpec,
+)
+from repro.software import (
+    R,
+    MessageSpec,
+    Operation,
+    Application,
+    Client,
+    CascadeRunner,
+    CanonicalCostModel,
+    SingleMasterPlacement,
+    MultiMasterPlacement,
+    WorkloadCurve,
+    OperationMix,
+    OpenLoopWorkload,
+    SeriesLauncher,
+)
+from repro.fluid import FluidSolver, BackgroundSolver
+from repro.reliability import AvailabilityMonitor, FailureInjector, FailurePolicy
+from repro.metrics import Collector, rmse, steady_state_stats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "Job",
+    "Agent",
+    "Holon",
+    "GlobalTopology",
+    "DataCenter",
+    "Tier",
+    "Server",
+    "DataCenterSpec",
+    "TierSpec",
+    "SANSpec",
+    "RAIDSpec",
+    "LinkSpec",
+    "R",
+    "MessageSpec",
+    "Operation",
+    "Application",
+    "Client",
+    "CascadeRunner",
+    "CanonicalCostModel",
+    "SingleMasterPlacement",
+    "MultiMasterPlacement",
+    "WorkloadCurve",
+    "OperationMix",
+    "OpenLoopWorkload",
+    "SeriesLauncher",
+    "FluidSolver",
+    "BackgroundSolver",
+    "AvailabilityMonitor",
+    "FailureInjector",
+    "FailurePolicy",
+    "Collector",
+    "rmse",
+    "steady_state_stats",
+    "__version__",
+]

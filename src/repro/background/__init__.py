@@ -1,0 +1,67 @@
+"""Background processes: synchronization & replication, index build.
+
+Background jobs (section 6.3.2) are operations initiated by daemon
+processes rather than clients:
+
+* **SYNCHREP** (Fig 6-8) — every ``dT_SR`` the master pulls the files
+  modified since the previous run from each slave, keeps a copy, and
+  pushes each new file to every data center except its creator.
+  Launches may overlap.
+* **INDEXBUILD** (Fig 6-9) — ``dT_IB`` after the previous run completes,
+  the indexer processes every file flagged during the pull phases;
+  only one instance runs at a time, so backlogs accumulate through the
+  workload peak (the cumulative effect behind Fig 6-14's 17:00 maximum).
+
+:mod:`repro.background.datagrowth` supplies the hourly data-creation
+curves (Fig 6-10); :mod:`repro.background.ownership` implements data
+ownership and the access-pattern matrices of chapter 7;
+:mod:`repro.background.consistency` tracks staleness/searchability and
+the timeline- vs eventual-consistency guarantees of section 7.2.2.
+"""
+
+from repro.background.datagrowth import DataGrowthModel, consolidated_growth
+from repro.background.daemon import PeriodicDaemon, SerialDaemon
+from repro.background.synchrep import (
+    SynchRepConfig,
+    SynchRepRun,
+    SynchRepSimulator,
+    synchrep_cascade,
+)
+from repro.background.indexbuild import (
+    IndexBuildConfig,
+    IndexBuildRun,
+    IndexBuildSimulator,
+    indexbuild_cascade,
+)
+from repro.background.ownership import (
+    TABLE_7_1,
+    TABLE_7_2,
+    OwnershipModel,
+)
+from repro.background.catalog import FileCatalog, FileMeta
+from repro.background.consistency import (
+    ConsistencyTracker,
+    FileVersionStore,
+)
+
+__all__ = [
+    "DataGrowthModel",
+    "consolidated_growth",
+    "PeriodicDaemon",
+    "SerialDaemon",
+    "SynchRepConfig",
+    "SynchRepRun",
+    "SynchRepSimulator",
+    "synchrep_cascade",
+    "IndexBuildConfig",
+    "IndexBuildRun",
+    "IndexBuildSimulator",
+    "indexbuild_cascade",
+    "TABLE_7_1",
+    "TABLE_7_2",
+    "OwnershipModel",
+    "ConsistencyTracker",
+    "FileVersionStore",
+    "FileCatalog",
+    "FileMeta",
+]

@@ -1,0 +1,180 @@
+"""File identity and dynamic ownership (thesis sections 9.2.3 and 7.2.1).
+
+The aggregate volume model treats synchronization traffic as fluid; the
+thesis's future-work chapter proposes tracking *file identity* so the
+simulator can reason about individual files — which file is stale where,
+which file should migrate to which owner as access patterns shift
+(Fig 7-1: "access patterns for a file can change over time ... these
+dynamics can be accommodated by transferring all the metadata associated
+to a file from the old owner data center to the new owner").
+
+:class:`FileCatalog` maintains per-file metadata (size, owner, version,
+per-DC access counts) on top of the timeline-consistent
+:class:`~repro.background.consistency.FileVersionStore`;
+:meth:`FileCatalog.rebalance_ownership` implements the owner-migration
+policy and :meth:`FileCatalog.access_pattern_matrix` re-derives the
+Table 7.2-style APM from the observed accesses, closing the loop between
+the file-level and the fluid models.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.background.consistency import FileVersionStore
+
+
+@dataclass
+class FileMeta:
+    """Catalog entry for one file."""
+
+    file_id: str
+    size_mb: float
+    owner: str
+    accesses: Dict[str, int] = field(default_factory=dict)
+    migrations: int = 0
+
+    def record_access(self, dc: str) -> None:
+        self.accesses[dc] = self.accesses.get(dc, 0) + 1
+
+    def dominant_accessor(self) -> Optional[str]:
+        if not self.accesses:
+            return None
+        return max(sorted(self.accesses), key=lambda dc: self.accesses[dc])
+
+
+class FileCatalog:
+    """Per-file identity layer over the version store.
+
+    Parameters
+    ----------
+    datacenters:
+        Names of the participating data centers.
+    avg_file_mb:
+        Mean of the exponential size distribution used by
+        :meth:`create_files`.
+    """
+
+    def __init__(
+        self,
+        datacenters: Sequence[str],
+        avg_file_mb: float = 50.0,
+        seed: int | None = None,
+    ) -> None:
+        if not datacenters:
+            raise ValueError("need at least one data center")
+        if avg_file_mb <= 0:
+            raise ValueError("average file size must be positive")
+        self.datacenters = list(datacenters)
+        self.avg_file_mb = float(avg_file_mb)
+        self.store = FileVersionStore(self.datacenters)
+        self.files: Dict[str, FileMeta] = {}
+        self._rng = random.Random(seed)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def create_file(self, owner: str, size_mb: float | None = None) -> FileMeta:
+        """Register one new file owned (and created) at ``owner``."""
+        if owner not in self.datacenters:
+            raise KeyError(f"unknown data center {owner!r}")
+        self._counter += 1
+        file_id = f"f{self._counter:06d}"
+        size = size_mb if size_mb is not None else max(
+            self._rng.expovariate(1.0 / self.avg_file_mb), 0.1)
+        meta = FileMeta(file_id=file_id, size_mb=size, owner=owner)
+        self.files[file_id] = meta
+        self.store.create(file_id, owner)
+        return meta
+
+    def create_files(self, owner: str, count: int) -> List[FileMeta]:
+        return [self.create_file(owner) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # activity
+    # ------------------------------------------------------------------
+    def access(self, file_id: str, dc: str, modify: bool = False) -> None:
+        """Record a read (or write) of a file from a data center."""
+        meta = self.files[file_id]
+        meta.record_access(dc)
+        if modify:
+            self.store.modify(file_id)
+
+    def stale_volume_mb(self, dc: str) -> float:
+        """MB of files whose latest version is missing at ``dc``."""
+        return sum(
+            self.files[f].size_mb for f in self.store.stale_files(dc)
+        )
+
+    def sync_all(self, dc: str) -> float:
+        """Deliver every missing version to ``dc``; returns MB moved."""
+        moved = 0.0
+        for file_id in self.store.stale_files(dc):
+            meta = self.files[file_id]
+            self.store.apply_sync(dc, file_id,
+                                  self.store._files[file_id].version)
+            moved += meta.size_mb
+        return moved
+
+    # ------------------------------------------------------------------
+    # ownership dynamics (section 7.2.1)
+    # ------------------------------------------------------------------
+    def rebalance_ownership(
+        self, min_accesses: int = 10, dominance: float = 0.5
+    ) -> List[Tuple[str, str, str]]:
+        """Migrate files whose demand has shifted to another data center.
+
+        A file migrates when one DC originated more than ``dominance``
+        of at least ``min_accesses`` observed accesses and is not the
+        current owner.  Returns ``(file_id, old_owner, new_owner)``
+        tuples.
+        """
+        if not 0.0 < dominance <= 1.0:
+            raise ValueError("dominance must be in (0, 1]")
+        migrations: List[Tuple[str, str, str]] = []
+        for meta in self.files.values():
+            total = sum(meta.accesses.values())
+            if total < min_accesses:
+                continue
+            candidate = meta.dominant_accessor()
+            if candidate is None or candidate == meta.owner:
+                continue
+            if meta.accesses[candidate] / total > dominance:
+                migrations.append((meta.file_id, meta.owner, candidate))
+                self.store.transfer_ownership(meta.file_id, candidate)
+                meta.owner = candidate
+                meta.migrations += 1
+        return migrations
+
+    def ownership_distribution(self) -> Dict[str, float]:
+        """Fraction of catalog volume owned per data center."""
+        total = sum(m.size_mb for m in self.files.values())
+        out = {dc: 0.0 for dc in self.datacenters}
+        if total <= 0:
+            return out
+        for meta in self.files.values():
+            out[meta.owner] += meta.size_mb / total
+        return out
+
+    def access_pattern_matrix(self) -> Dict[str, Dict[str, float]]:
+        """Re-derive a Table 7.2-style APM from the observed accesses.
+
+        ``apm[accessor][owner]`` = percentage of the accessor's accesses
+        that targeted files owned by ``owner`` (by current ownership).
+        """
+        counts: Dict[str, Dict[str, int]] = {
+            dc: {o: 0 for o in self.datacenters} for dc in self.datacenters
+        }
+        for meta in self.files.values():
+            for dc, n in meta.accesses.items():
+                counts[dc][meta.owner] += n
+        apm: Dict[str, Dict[str, float]] = {}
+        for dc, row in counts.items():
+            total = sum(row.values())
+            if total == 0:
+                continue
+            apm[dc] = {o: 100.0 * n / total for o, n in row.items() if n}
+        return apm

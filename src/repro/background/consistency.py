@@ -1,0 +1,152 @@
+"""Consistency models and trackers (section 7.2.2).
+
+The platform guarantees *timeline consistency per file* for data: every
+replica applies updates in the same order.  The multiple-master design
+relaxes only *index* consistency: an index built where some relationship
+files are owned elsewhere is "partially consistent" until the next
+synchronization delivers the missing versions, after which it becomes
+eventually consistent.
+
+:class:`FileVersionStore` is a small replicated-version bookkeeper used
+to *prove* the guarantees in tests: replicas apply updates through their
+owner's ordered log, so replicas can lag but can never observe versions
+out of order.  :class:`ConsistencyTracker` converts SR/IB run logs into
+the staleness (R_SR^max) and unsearchability (R_IB^max) service metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class _FileState:
+    owner: str
+    version: int = 0
+    history: List[int] = field(default_factory=list)
+
+
+class FileVersionStore:
+    """Per-file timeline-consistent replication across data centers.
+
+    Updates to a file are serialized by its owner data center (the
+    thesis's ownership rule); synchronization delivers *prefixes* of the
+    owner's update log to replicas.  ``apply_sync`` refuses to skip or
+    reorder versions, which is exactly timeline consistency.
+    """
+
+    def __init__(self, datacenters: Sequence[str]) -> None:
+        if not datacenters:
+            raise ValueError("need at least one data center")
+        self.datacenters = list(datacenters)
+        self._files: Dict[str, _FileState] = {}
+        # replica_version[dc][file] = highest version visible at dc
+        self._replica: Dict[str, Dict[str, int]] = {dc: {} for dc in datacenters}
+
+    def create(self, file_id: str, owner: str) -> None:
+        if file_id in self._files:
+            raise ValueError(f"file {file_id!r} already exists")
+        if owner not in self._replica:
+            raise KeyError(f"unknown data center {owner!r}")
+        self._files[file_id] = _FileState(owner=owner)
+        self._replica[owner][file_id] = 0
+
+    def owner(self, file_id: str) -> str:
+        return self._files[file_id].owner
+
+    def modify(self, file_id: str) -> int:
+        """Commit a new version at the owner; returns the version number."""
+        st = self._files[file_id]
+        st.version += 1
+        st.history.append(st.version)
+        self._replica[st.owner][file_id] = st.version
+        return st.version
+
+    def transfer_ownership(self, file_id: str, new_owner: str) -> None:
+        """Move a file's metadata management to another data center
+        (section 7.2.1: access patterns shift over time)."""
+        if new_owner not in self._replica:
+            raise KeyError(f"unknown data center {new_owner!r}")
+        st = self._files[file_id]
+        st.owner = new_owner
+        self._replica[new_owner][file_id] = st.version
+
+    def apply_sync(self, dc: str, file_id: str, up_to_version: int) -> None:
+        """Deliver the owner-log prefix ending at ``up_to_version``.
+
+        Raises if the delivery would skip ahead of the owner's log or
+        move a replica backwards — both violate timeline consistency.
+        """
+        st = self._files[file_id]
+        if up_to_version > st.version:
+            raise ValueError(
+                f"cannot sync {file_id!r} to v{up_to_version}: owner only "
+                f"has v{st.version}"
+            )
+        current = self._replica[dc].get(file_id, 0)
+        if up_to_version < current:
+            raise ValueError(
+                f"timeline violation: {dc} already holds v{current} of "
+                f"{file_id!r}, refusing to regress to v{up_to_version}"
+            )
+        self._replica[dc][file_id] = up_to_version
+
+    def replica_version(self, dc: str, file_id: str) -> int:
+        return self._replica[dc].get(file_id, 0)
+
+    def is_stale(self, dc: str, file_id: str) -> bool:
+        return self.replica_version(dc, file_id) < self._files[file_id].version
+
+    def stale_files(self, dc: str) -> List[str]:
+        return [f for f in self._files if self.is_stale(dc, f)]
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """The indexing state of a file at one master (section 7.2.2)."""
+
+    file_id: str
+    indexed_version: int
+    relationship_versions: Dict[str, int]
+
+
+class ConsistencyTracker:
+    """Derives the chapter 6/7 service metrics from background-run logs."""
+
+    @staticmethod
+    def max_staleness(
+        runs: Sequence[Tuple[float, float]], interval_s: float
+    ) -> float:
+        """R_SR^max from (start, end) SYNCHREP runs.
+
+        A modification landing just after a window closes is carried by
+        the *next* run: staleness = interval + that run's duration.
+        """
+        if not runs:
+            raise ValueError("no runs")
+        return interval_s + max(end - start for start, end in runs)
+
+    @staticmethod
+    def max_unsearchable(runs: Sequence[Tuple[float, float]]) -> float:
+        """R_IB^max from consecutive (start, end) INDEXBUILD runs.
+
+        A file flagged just after run *k* starts becomes searchable when
+        run *k+1* ends.
+        """
+        if len(runs) < 2:
+            raise ValueError("need at least two runs")
+        return max(n_end - p_start
+                   for (p_start, _), (_, n_end) in zip(runs, runs[1:]))
+
+    @staticmethod
+    def index_state(
+        entry: IndexEntry, store: FileVersionStore, master: str
+    ) -> str:
+        """Classify an index entry: ``consistent`` when every relationship
+        was indexed at the version visible at ``master``; otherwise
+        ``partially-consistent`` (eventual consistency applies)."""
+        for rel, indexed_v in entry.relationship_versions.items():
+            if indexed_v < store.replica_version(master, rel):
+                return "partially-consistent"
+        return "consistent"

@@ -1,0 +1,214 @@
+"""Index Build: the INDEXBUILD operation (Fig 6-9).
+
+IB periodically analyzes newly created or modified files and updates the
+text-search index and the 3D spatial-search snapshots.  Unlike
+synchronization, indexing analyzes relationships between multiple
+interrelated files and is *not* parallelizable: only one INDEXBUILD
+instance runs at a time, launched ``dT_IB`` after the previous instance
+concluded.  Files flagged while an instance runs accumulate into the
+next one — the cumulative effect that pushes the response-time peak past
+the workload peak (section 6.5.3, Fig 6-14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.background.datagrowth import DataGrowthModel
+from repro.core.engine import Simulator
+from repro.software.cascade import CascadeRunner
+from repro.software.client import Client
+from repro.software.message import DAEMON, MessageSpec
+from repro.software.operation import Operation
+from repro.software.resources import R
+from repro.topology.network import GlobalTopology
+
+MB = 1024.0  # KB per MB for R.of
+
+
+def indexbuild_cascade(n_files: int = 10, file_mb: float = 50.0) -> Operation:
+    """The INDEXBUILD message cascade (Fig 6-9) for a batch of files.
+
+    Structurally: daemon -> db (flagged-file list), then per file an
+    ``idx`` analysis (reading the file from the file tier and updating
+    relationships via the database), then the index publication.
+    """
+    msgs: List[MessageSpec] = [
+        MessageSpec(DAEMON, "db", r=R.of(cycles=2e8, net_kb=64, disk_kb=512),
+                    label="ib.query"),
+        MessageSpec("db", DAEMON, r=R.of(net_kb=256), label="ib.list"),
+    ]
+    for i in range(n_files):
+        msgs.append(MessageSpec(
+            "fs", "idx",
+            r=R.of(cycles=4.5e10, net_kb=file_mb * MB, mem_kb=16384,
+                   disk_kb=file_mb * MB),
+            r_src=R.of(disk_kb=file_mb * MB),
+            label=f"ib.analyze{i}"))
+        msgs.append(MessageSpec(
+            "idx", "db", r=R.of(cycles=2e8, net_kb=128, disk_kb=1024),
+            label=f"ib.relate{i}"))
+        msgs.append(MessageSpec(
+            "db", "idx", r=R.of(net_kb=64), label=f"ib.ack{i}"))
+    msgs.append(MessageSpec("idx", DAEMON, r=R.of(net_kb=64), label="ib.done"))
+    return Operation("INDEXBUILD", msgs, initiator=DAEMON)
+
+
+@dataclass(frozen=True)
+class IndexBuildConfig:
+    """Parameters of the IB process for one master data center."""
+
+    master: str
+    delay_s: float = 300.0  # dT_IB = 5 min after the previous run
+    avg_file_mb: float = 50.0
+    #: Wall seconds of single-threaded indexing work per file (CPU +
+    #: I/O); the serial bottleneck that creates the backlog dynamics.
+    seconds_per_file: float = 24.0
+
+
+@dataclass
+class IndexBuildRun:
+    """Outcome of one INDEXBUILD launch."""
+
+    start: float
+    end: float
+    n_files: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class IndexBuildSimulator:
+    """Discrete-event INDEXBUILD execution over the live topology.
+
+    Indexing work is submitted to one index-server core as a single
+    serialized job per batch (the process is not parallelizable); the
+    per-file file reads and database updates ride the normal cascade
+    machinery so they contend with client traffic.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        runner: CascadeRunner,
+        topology: GlobalTopology,
+        growth: DataGrowthModel,
+        config: IndexBuildConfig,
+        ownership_share: Optional[Dict[str, Dict[str, float]]] = None,
+        volume_scale: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.runner = runner
+        self.topology = topology
+        self.growth = growth
+        self.config = config
+        self.ownership_share = ownership_share
+        self.volume_scale = volume_scale
+        self.runs: List[IndexBuildRun] = []
+        self.daemon_host = Client(f"{config.master}.ib-daemon", config.master)
+        sim.add_holon(self.daemon_host)
+
+    def _window_files(self, t0: float, t1: float) -> int:
+        total_mb = 0.0
+        for dc in self.growth.datacenters():
+            vol = self.growth.volume_mb(dc, t0, t1)
+            if self.ownership_share is not None:
+                vol *= self.ownership_share[dc].get(self.config.master, 0.0)
+            total_mb += vol
+        return self.growth.files(total_mb * self.volume_scale)
+
+    # ------------------------------------------------------------------
+    def task(self, now: float, t0: float, t1: float,
+             done: Callable[[float], None]) -> None:
+        """One INDEXBUILD instance (SerialDaemon task signature)."""
+        cfg = self.config
+        n_files = self._window_files(t0, t1)
+        run = IndexBuildRun(start=now, end=now, n_files=n_files)
+
+        def finish(t: float) -> None:
+            run.end = t
+            self.runs.append(run)
+            done(t)
+
+        if n_files == 0:
+            finish(now)
+            return
+
+        master = self.topology.datacenter(cfg.master)
+        idx_server = master.tier("idx").pick_server()
+        idx_ep = self.runner.resolved(idx_server, cfg.master, "idx")
+        fs_ep = self.runner.resolved(
+            master.tier("fs").pick_server(), cfg.master, "fs")
+        db_ep = self.runner.resolved(
+            master.tier("db").pick_server(), cfg.master, "db")
+        daemon_ep = self.runner.resolved(self.daemon_host, cfg.master, "daemon")
+
+        # one serialized indexing job: n_files * seconds_per_file on a
+        # single index core (cycles = seconds * core frequency)
+        cycles = n_files * cfg.seconds_per_file * idx_server.cpu.frequency_hz
+        batch_kb = n_files * cfg.avg_file_mb * MB
+        analyze = R.of(cycles=cycles, net_kb=batch_kb, mem_kb=65536,
+                       disk_kb=batch_kb)
+
+        def publish(t: float) -> None:
+            self.runner.deliver(
+                idx_ep, db_ep, R.of(cycles=2e8, net_kb=256, disk_kb=2048), R(),
+                t, finish, tag="ib.publish")
+
+        def analyze_batch(t: float) -> None:
+            self.runner.deliver(
+                fs_ep, idx_ep, analyze, R.of(disk_kb=batch_kb),
+                t, publish, tag="ib.analyze")
+
+        self.runner.deliver(
+            daemon_ep, db_ep, R.of(cycles=2e8, net_kb=64, disk_kb=512), R(),
+            now, analyze_batch, tag="ib.query")
+
+    # ------------------------------------------------------------------
+    def max_unsearchable(self) -> float:
+        """R_IB^max: worst time a new file can remain unsearchable.
+
+        A file flagged right after a launch waits for that run to finish,
+        the dT_IB delay, and the next full run.
+        """
+        if len(self.runs) < 2:
+            raise ValueError("need at least two INDEXBUILD runs")
+        worst = 0.0
+        for prev, nxt in zip(self.runs, self.runs[1:]):
+            worst = max(worst, nxt.end - prev.start)
+        return worst
+
+
+def analytic_schedule(
+    growth: DataGrowthModel,
+    config: IndexBuildConfig,
+    until: float,
+    ownership_share: Optional[Dict[str, Dict[str, float]]] = None,
+    start: float = 0.0,
+    overhead_s: float = 30.0,
+) -> List[IndexBuildRun]:
+    """Solve the serial IB schedule analytically over a day.
+
+    Each run indexes the files flagged since the previous run started
+    being covered; duration = files * seconds_per_file + overhead.  The
+    next run starts ``delay_s`` after completion.
+    """
+    runs: List[IndexBuildRun] = []
+    covered_to = start
+    t = start
+    while t < until:
+        t0, t1 = covered_to, t
+        covered_to = t
+        total_mb = 0.0
+        for dc in growth.datacenters():
+            vol = growth.volume_mb(dc, t0, t1)
+            if ownership_share is not None:
+                vol *= ownership_share[dc].get(config.master, 0.0)
+            total_mb += vol
+        n = growth.files(total_mb)
+        duration = overhead_s + n * config.seconds_per_file
+        runs.append(IndexBuildRun(start=t, end=t + duration, n_files=n))
+        t = t + duration + config.delay_s
+    return runs

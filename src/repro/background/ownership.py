@@ -1,0 +1,93 @@
+"""Data ownership and access-pattern matrices (sections 7.2.1, 7.3.2).
+
+*Data ownership* is the exclusive right of a data center to control the
+management operations of a file.  In the consolidated infrastructure
+``DNA`` owns everything (Table 7.1); in the multiple-master proposal a
+file is owned by the data center geographically closest to the largest
+volume of requests for it (Fig 7-1), measured by the access-pattern
+matrix of Table 7.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+DCS = ("DEU", "DNA", "DAUS", "DSA", "DAFR", "DAS")
+
+#: Table 7.1 — consolidated infrastructure: DNA owns 100 % of the files
+#: accessed from anywhere.
+TABLE_7_1: Dict[str, Dict[str, float]] = {
+    dc: {"DNA": 100.0} for dc in DCS
+}
+
+#: Table 7.2 — multiple-master infrastructure: percentage of each data
+#: center's accesses by owner data center (rows sum to 100).
+TABLE_7_2: Dict[str, Dict[str, float]] = {
+    "DEU":  {"DEU": 83.65, "DNA": 12.71, "DAUS": 1.67, "DSA": 1.04, "DAFR": 0.13, "DAS": 0.81},
+    "DNA":  {"DEU": 15.47, "DNA": 81.87, "DAUS": 1.56, "DSA": 0.91, "DAFR": 0.01, "DAS": 0.18},
+    "DAUS": {"DEU": 31.24, "DNA": 13.72, "DAUS": 50.28, "DSA": 0.18, "DAFR": 4.35, "DAS": 0.23},
+    "DSA":  {"DEU": 38.99, "DNA": 17.55, "DAUS": 3.42, "DSA": 39.87, "DAFR": 0.08, "DAS": 0.09},
+    "DAFR": {"DEU": 36.49, "DNA": 31.38, "DAUS": 13.45, "DSA": 0.26, "DAFR": 17.66, "DAS": 0.78},
+    "DAS":  {"DEU": 61.00, "DNA": 30.45, "DAUS": 2.39, "DSA": 0.85, "DAFR": 0.04, "DAS": 5.27},
+}
+
+
+class OwnershipModel:
+    """Ownership shares derived from an access-pattern matrix.
+
+    ``share(creator, owner)`` is the fraction of files created at
+    ``creator`` that are owned by ``owner`` — new files follow the same
+    distribution as accesses (files live nearest their demand).
+    """
+
+    def __init__(self, apm: Mapping[str, Mapping[str, float]]) -> None:
+        self._share: Dict[str, Dict[str, float]] = {}
+        for accessor, row in apm.items():
+            total = sum(row.values())
+            if total <= 0:
+                raise ValueError(f"APM row {accessor!r} has no mass")
+            self._share[accessor] = {o: v / total for o, v in row.items()}
+
+    def datacenters(self) -> List[str]:
+        return sorted(self._share)
+
+    def share(self, creator: str, owner: str) -> float:
+        return self._share[creator].get(owner, 0.0)
+
+    def share_matrix(self) -> Dict[str, Dict[str, float]]:
+        """``matrix[creator][owner]`` fractional shares (rows sum to 1)."""
+        return {c: dict(row) for c, row in self._share.items()}
+
+    def masters(self) -> List[str]:
+        """Data centers that own a non-zero share of some traffic."""
+        owners = set()
+        for row in self._share.values():
+            owners.update(o for o, v in row.items() if v > 0)
+        return sorted(owners)
+
+    def owned_fraction(self, owner: str, weights: Mapping[str, float] | None = None) -> float:
+        """Fraction of global new data owned by ``owner``.
+
+        ``weights`` optionally weights creators by their data-creation
+        rate; defaults to uniform.
+        """
+        creators = self.datacenters()
+        if weights is None:
+            weights = {c: 1.0 for c in creators}
+        total_w = sum(weights.get(c, 0.0) for c in creators)
+        if total_w <= 0:
+            raise ValueError("creator weights have no mass")
+        return sum(
+            weights.get(c, 0.0) * self.share(c, owner) for c in creators
+        ) / total_w
+
+    def validate_rows(self, tolerance: float = 1e-6) -> None:
+        """Assert every row is a proper distribution."""
+        for creator, row in self._share.items():
+            s = sum(row.values())
+            if abs(s - 1.0) > tolerance:
+                raise ValueError(
+                    f"ownership row {creator!r} sums to {s}, expected 1"
+                )
+            if any(v < 0 for v in row.values()):
+                raise ValueError(f"negative share in row {creator!r}")

@@ -1,0 +1,321 @@
+"""Synchronization & Replication: the SYNCHREP operation (Fig 6-8).
+
+SYNCHREP has two phases.  During **Pull**, the daemon queries the master
+database for the files modified at each slave since the previous run and
+copies them from that slave's file tier to the master's; pulls for
+different data centers execute simultaneously.  **Push** performs the
+opposite action: the master keeps a copy of each new file and scatters
+one to every data center except the file's creator; pushes also execute
+simultaneously.  Launches occur every ``dT_SR`` (15 min) and may
+overlap.
+
+Two execution engines are provided:
+
+* :class:`SynchRepSimulator` drives real transfers through the DES
+  topology (links are PS queues, so background traffic contends with
+  client traffic exactly as in the thesis).
+* :func:`analytic_run` integrates transfer progress through
+  time-varying effective bandwidths — used by the 24-hour case-study
+  benchmarks where a message-level DES at full client scale is
+  impractical in pure Python (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.background.datagrowth import DataGrowthModel
+from repro.core.engine import Simulator
+from repro.software.cascade import CascadeRunner
+from repro.software.client import Client
+from repro.software.message import DAEMON, MessageSpec
+from repro.software.operation import Operation
+from repro.software.resources import R
+from repro.topology.network import GlobalTopology
+
+MB = 1024.0  # KB per MB for R.of
+
+
+def synchrep_cascade(n_slaves: int = 5, volume_mb: float = 1024.0) -> Operation:
+    """The SYNCHREP message cascade (Fig 6-8), for one generic launch.
+
+    Structurally: daemon -> db (modified-file list), slave fs -> master
+    fs transfers (pull), daemon -> db (stale-copy list), master fs ->
+    slave fs transfers (push), daemon -> db (metadata update).  The DES
+    executes pulls/pushes in parallel; this flattened cascade documents
+    the structure and is used for canonical-cost accounting.
+    """
+    msgs: List[MessageSpec] = [
+        MessageSpec(DAEMON, "db", r=R.of(cycles=2e8, net_kb=64, disk_kb=512),
+                    label="sr.pull.query"),
+        MessageSpec("db", DAEMON, r=R.of(net_kb=256), label="sr.pull.list"),
+    ]
+    per = volume_mb * MB / max(n_slaves, 1)
+    for i in range(n_slaves):
+        msgs.append(MessageSpec(
+            "fs", "fs", r=R.of(cycles=1e8, net_kb=per, disk_kb=per),
+            r_src=R.of(disk_kb=per), label=f"sr.pull.{i}"))
+    msgs.append(MessageSpec(DAEMON, "db",
+                            r=R.of(cycles=2e8, net_kb=64, disk_kb=512),
+                            label="sr.push.query"))
+    msgs.append(MessageSpec("db", DAEMON, r=R.of(net_kb=256), label="sr.push.list"))
+    for i in range(n_slaves):
+        msgs.append(MessageSpec(
+            "fs", "fs", r=R.of(cycles=1e8, net_kb=per, disk_kb=per),
+            r_src=R.of(disk_kb=per), label=f"sr.push.{i}"))
+    msgs.append(MessageSpec(DAEMON, "db", r=R.of(cycles=1e8, net_kb=64, disk_kb=256),
+                            label="sr.update"))
+    return Operation("SYNCHREP", msgs, initiator=DAEMON)
+
+
+@dataclass(frozen=True)
+class SynchRepConfig:
+    """Parameters of the SR process for one master data center."""
+
+    master: str
+    interval_s: float = 900.0  # dT_SR = 15 min
+    avg_file_mb: float = 50.0
+
+
+@dataclass
+class SynchRepRun:
+    """Outcome of one SYNCHREP launch."""
+
+    start: float
+    end: float
+    pull_mb: Dict[str, float] = field(default_factory=dict)
+    push_mb: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def total_pull_mb(self) -> float:
+        return sum(self.pull_mb.values())
+
+    @property
+    def total_push_mb(self) -> float:
+        return sum(self.push_mb.values())
+
+
+def pull_volumes(
+    growth: DataGrowthModel,
+    master: str,
+    t0: float,
+    t1: float,
+    ownership_share: Optional[Mapping[str, Mapping[str, float]]] = None,
+) -> Dict[str, float]:
+    """MB to pull from each slave: files modified there in the window.
+
+    With an ownership share matrix (``share[creator][owner]``), only the
+    master's owned fraction of each creator's new data is pulled
+    (chapter 7 multiple-master mode).
+    """
+    out: Dict[str, float] = {}
+    for dc in growth.datacenters():
+        if dc == master:
+            continue
+        vol = growth.volume_mb(dc, t0, t1)
+        if ownership_share is not None:
+            vol *= ownership_share[dc].get(master, 0.0)
+        out[dc] = vol
+    return out
+
+
+def push_volumes(
+    growth: DataGrowthModel,
+    master: str,
+    t0: float,
+    t1: float,
+    ownership_share: Optional[Mapping[str, Mapping[str, float]]] = None,
+) -> Dict[str, float]:
+    """MB to push to each slave: every new master-owned file except the
+    slave's own creations."""
+    vols: Dict[str, float] = {}
+    for dc in growth.datacenters():
+        vol = growth.volume_mb(dc, t0, t1)
+        if ownership_share is not None:
+            vol *= ownership_share[dc].get(master, 0.0)
+        vols[dc] = vol
+    total = sum(vols.values())
+    return {
+        dc: total - vols[dc]
+        for dc in growth.datacenters()
+        if dc != master
+    }
+
+
+class SynchRepSimulator:
+    """Discrete-event SYNCHREP execution over the live topology."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        runner: CascadeRunner,
+        topology: GlobalTopology,
+        growth: DataGrowthModel,
+        config: SynchRepConfig,
+        ownership_share: Optional[Mapping[str, Mapping[str, float]]] = None,
+        volume_scale: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.runner = runner
+        self.topology = topology
+        self.growth = growth
+        self.config = config
+        self.ownership_share = ownership_share
+        self.volume_scale = volume_scale
+        self.runs: List[SynchRepRun] = []
+        master_dc = topology.datacenter(config.master)
+        self.daemon_host = Client(f"{config.master}.sr-daemon", config.master)
+        sim.add_holon(self.daemon_host)
+
+    # ------------------------------------------------------------------
+    def task(self, now: float, t0: float, t1: float,
+             done: Callable[[float], None]) -> None:
+        """One SYNCHREP instance (PeriodicDaemon task signature)."""
+        cfg = self.config
+        pulls = {
+            dc: v * self.volume_scale
+            for dc, v in pull_volumes(self.growth, cfg.master, t0, t1,
+                                      self.ownership_share).items()
+        }
+        pushes = {
+            dc: v * self.volume_scale
+            for dc, v in push_volumes(self.growth, cfg.master, t0, t1,
+                                      self.ownership_share).items()
+        }
+        run = SynchRepRun(start=now, end=now, pull_mb=pulls, push_mb=pushes)
+
+        daemon_ep = self.runner.resolved(self.daemon_host, cfg.master, "daemon")
+        master_fs = self.topology.datacenter(cfg.master).tier("fs")
+
+        def fs_ep(dc_name: str):
+            tier = self.topology.datacenter(dc_name).tier("fs")
+            return self.runner.resolved(tier.pick_server(), dc_name, "fs")
+
+        def db_query(t: float, cb: Callable[[float], None]) -> None:
+            db_tier = self.topology.datacenter(cfg.master).tier("db")
+            db_ep = self.runner.resolved(db_tier.pick_server(), cfg.master, "db")
+            self.runner.deliver(
+                daemon_ep, db_ep,
+                R.of(cycles=2e8, net_kb=64, disk_kb=512), R(),
+                t, cb, tag="sr.db",
+            )
+
+        def do_phase(vols: Dict[str, float], inbound: bool, t: float,
+                     cb: Callable[[float], None]) -> None:
+            pending = {"n": 0, "latest": t}
+            targets = {dc: v for dc, v in vols.items() if v > 0}
+            if not targets:
+                cb(t)
+                return
+            pending["n"] = len(targets)
+
+            def one_done(t2: float) -> None:
+                pending["latest"] = max(pending["latest"], t2)
+                pending["n"] -= 1
+                if pending["n"] == 0:
+                    cb(pending["latest"])
+
+            for dc, vol_mb in targets.items():
+                kb = vol_mb * MB
+                r = R.of(cycles=1e8, net_kb=kb, disk_kb=kb)
+                r_src = R.of(disk_kb=kb)
+                src = fs_ep(dc) if inbound else self.runner.resolved(
+                    master_fs.pick_server(), cfg.master, "fs")
+                dst = self.runner.resolved(
+                    master_fs.pick_server(), cfg.master, "fs"
+                ) if inbound else fs_ep(dc)
+                self.runner.deliver(src, dst, r, r_src, t, one_done,
+                                    tag=f"sr.{'pull' if inbound else 'push'}.{dc}")
+
+        def finish(t: float) -> None:
+            run.end = t
+            self.runs.append(run)
+            done(t)
+
+        # pull query -> pulls -> push query -> pushes -> metadata update
+        db_query(now, lambda t1_: do_phase(pulls, True, t1_,
+                 lambda t2: db_query(t2, lambda t3: do_phase(pushes, False, t3,
+                 lambda t4: db_query(t4, finish)))))
+
+    # ------------------------------------------------------------------
+    def max_staleness(self) -> float:
+        """R_SR^max: worst time a stale file version can persist.
+
+        A file modified immediately after a window close waits one full
+        interval plus the duration of the run that carries it.
+        """
+        if not self.runs:
+            raise ValueError("no SYNCHREP runs recorded")
+        return self.config.interval_s + max(r.duration for r in self.runs)
+
+
+# ----------------------------------------------------------------------
+# analytic execution (case-study benchmarks)
+# ----------------------------------------------------------------------
+def transfer_time(
+    volume_mb: float,
+    rate_mb_s: Callable[[float], float],
+    start: float,
+    max_horizon: float = 7 * 86400.0,
+) -> float:
+    """Completion time of a transfer under a time-varying rate.
+
+    Integrates ``rate_mb_s`` (piecewise-evaluated every 60 s) until the
+    volume is exhausted; returns the *duration*.
+    """
+    if volume_mb <= 0:
+        return 0.0
+    remaining = volume_mb
+    t = start
+    step = 60.0
+    while remaining > 1e-9:
+        r = max(rate_mb_s(t), 1e-9)
+        moved = r * step
+        if moved >= remaining:
+            return (t + remaining / r) - start
+        remaining -= moved
+        t += step
+        if t - start > max_horizon:
+            raise RuntimeError(
+                f"transfer of {volume_mb:.0f} MB did not finish within "
+                f"{max_horizon:.0f}s - effective bandwidth too low"
+            )
+    return t - start
+
+
+def analytic_run(
+    growth: DataGrowthModel,
+    config: SynchRepConfig,
+    window: tuple,
+    stream_rate: Callable[[str, float], float],
+    start: float,
+    ownership_share: Optional[Mapping[str, Mapping[str, float]]] = None,
+    db_overhead_s: float = 30.0,
+) -> SynchRepRun:
+    """One SYNCHREP instance solved analytically.
+
+    ``stream_rate(dc, t)`` gives the effective MB/s of the transfer
+    stream between the master and ``dc`` at time ``t`` (the fluid solver
+    derives it from link allocations, concurrent streams and client
+    traffic).  Pulls run in parallel, then pushes.
+    """
+    t0, t1 = window
+    pulls = pull_volumes(growth, config.master, t0, t1, ownership_share)
+    pushes = push_volumes(growth, config.master, t0, t1, ownership_share)
+    t = start + db_overhead_s
+    pull_end = t
+    for dc, vol in pulls.items():
+        dur = transfer_time(vol, lambda tt, d=dc: stream_rate(d, tt), t)
+        pull_end = max(pull_end, t + dur)
+    t = pull_end + db_overhead_s
+    push_end = t
+    for dc, vol in pushes.items():
+        dur = transfer_time(vol, lambda tt, d=dc: stream_rate(d, tt), t)
+        push_end = max(push_end, t + dur)
+    return SynchRepRun(start=start, end=push_end + db_overhead_s,
+                       pull_mb=pulls, push_mb=pushes)

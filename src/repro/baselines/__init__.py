@@ -1,0 +1,26 @@
+"""Baseline evaluation models from the thesis's related work (chapter 2).
+
+GDISim's contribution chapter positions it against two families the
+thesis discusses explicitly:
+
+* **MDCSim** (Lim et al.) — a single-data-center simulator that models
+  every server component as an ``M/M/1 - FCFS`` queue; it produces
+  latency and throughput but, as the thesis notes, "does not include
+  models to predict CPU or bandwidth utilization" and has no
+  multi-data-center or background-process modeling
+  (:mod:`repro.baselines.mdcsim`).
+* **Urgaonkar et al.** — an analytic multi-tier model where each tier is
+  an ``M/M/1`` queue chained with transition probabilities
+  (:mod:`repro.baselines.urgaonkar`).
+
+Both are implemented here so the comparison bench can run GDISim and the
+baselines on the *same* scenario and show where the predictions agree
+(mean latency in a single DC below saturation) and what the baselines
+cannot answer (per-tier utilization bands, WAN occupancy, background
+jobs, multi-DC placement).
+"""
+
+from repro.baselines.mdcsim import MDCSimModel, MDCSimTier
+from repro.baselines.urgaonkar import UrgaonkarModel, UrgaonkarTier
+
+__all__ = ["MDCSimModel", "MDCSimTier", "UrgaonkarModel", "UrgaonkarTier"]

@@ -1,0 +1,109 @@
+"""MDCSim-style baseline (Lim et al.; thesis section 2.4.1).
+
+MDCSim simulates a single multi-tier data center modeling *every* server
+component — CPU, I/O and NIC — as an ``M/M/1 - FCFS`` queue, with
+per-tier idiosyncrasies limited to which components a request visits.
+The thesis credits it with "satisfactory estimations of the overall
+latency and throughput" but notes it cannot predict CPU or bandwidth
+utilization bands, model multiple data centers, or run background
+processes concurrently with client workloads.
+
+This implementation follows that scope faithfully: a request visits its
+tiers in order, each visit samples exponential service at the tier's
+single aggregated ``M/M/1`` server, and the model reports mean latency
+and sustainable throughput only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import SaturationError
+from repro.queueing.analytic import mm1_mean_response
+
+
+@dataclass(frozen=True)
+class MDCSimTier:
+    """One tier of the MDCSim pipeline.
+
+    ``service_rate`` is the tier's aggregate request-completion rate
+    (requests/s) when busy — MDCSim folds a tier's servers into its
+    single queue's service time.
+    """
+
+    name: str
+    service_rate: float
+    visits: float = 1.0  # mean visits per request (loops fold in here)
+
+    def __post_init__(self) -> None:
+        if self.service_rate <= 0:
+            raise ValueError(f"{self.name}: service rate must be positive")
+        if self.visits <= 0:
+            raise ValueError(f"{self.name}: visit ratio must be positive")
+
+
+class MDCSimModel:
+    """A single-data-center tandem of ``M/M/1`` tiers.
+
+    Parameters
+    ----------
+    tiers:
+        Pipeline in request order (web -> application -> database in the
+        original; ours typically app -> db -> fs).
+    network_overhead_s:
+        Fixed interconnect cost per tier hop (MDCSim's focus on the
+        cluster interconnect — Infiniband vs 10 GbE — reduces to a
+        constant per-message cost below saturation).
+    """
+
+    def __init__(self, tiers: Sequence[MDCSimTier],
+                 network_overhead_s: float = 0.0005) -> None:
+        if not tiers:
+            raise ValueError("need at least one tier")
+        if network_overhead_s < 0:
+            raise ValueError("network overhead cannot be negative")
+        self.tiers = list(tiers)
+        self.network_overhead_s = float(network_overhead_s)
+
+    # ------------------------------------------------------------------
+    def tier_arrival_rate(self, lam: float, tier: MDCSimTier) -> float:
+        return lam * tier.visits
+
+    def mean_latency(self, lam: float) -> float:
+        """Mean end-to-end response time at arrival rate ``lam`` (req/s).
+
+        Raises :class:`SaturationError` when any tier is unstable — the
+        model has no answer past saturation.
+        """
+        total = 0.0
+        for tier in self.tiers:
+            tier_lam = self.tier_arrival_rate(lam, tier)
+            per_visit = mm1_mean_response(tier_lam, tier.service_rate)
+            total += tier.visits * (per_visit + 2 * self.network_overhead_s)
+        return total
+
+    def max_throughput(self) -> float:
+        """Largest sustainable arrival rate (the bottleneck tier's)."""
+        return min(t.service_rate / t.visits for t in self.tiers)
+
+    def bottleneck(self) -> MDCSimTier:
+        return min(self.tiers, key=lambda t: t.service_rate / t.visits)
+
+    # ------------------------------------------------------------------
+    # honest capability boundaries (the thesis's critique)
+    # ------------------------------------------------------------------
+    UNSUPPORTED = (
+        "cpu_utilization",
+        "bandwidth_utilization",
+        "multi_datacenter",
+        "background_jobs",
+    )
+
+    def supports(self, capability: str) -> bool:
+        """Whether the baseline can answer a question class.
+
+        The comparison bench uses this to annotate the rows GDISim can
+        produce and MDCSim structurally cannot.
+        """
+        return capability not in self.UNSUPPORTED

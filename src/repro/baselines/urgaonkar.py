@@ -1,0 +1,112 @@
+"""Urgaonkar-style analytic multi-tier model (thesis section 2.2.3).
+
+Urgaonkar et al. describe a multi-tier data center as a chain of
+``M/M/1`` queues on a Markov chain: after tier ``i`` a request returns
+to tier ``i-1`` with probability ``p_i`` or proceeds to ``i+1`` with
+``1 - p_i`` (Fig 2-6), capturing session workloads, inter-tier caching
+(a high return probability at tier ``i`` means tier ``i+1`` is rarely
+reached) and load balancing across replicas (a tier's queue rate scales
+with its replica count).
+
+The chain induces per-tier *visit ratios*; the mean response time is
+the visit-weighted sum of per-tier M/M/1 sojourns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.queueing.analytic import mm1_mean_response
+
+
+@dataclass(frozen=True)
+class UrgaonkarTier:
+    """One tier of the Markov chain.
+
+    ``service_rate`` is a single replica's completion rate; ``replicas``
+    scale it (their load balancing assumption); ``p_return`` is the
+    probability of returning toward the client after this tier instead
+    of descending deeper (the last tier always returns).
+    """
+
+    name: str
+    service_rate: float
+    replicas: int = 1
+    p_return: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.service_rate <= 0:
+            raise ValueError(f"{self.name}: service rate must be positive")
+        if self.replicas < 1:
+            raise ValueError(f"{self.name}: need at least one replica")
+        if not 0.0 <= self.p_return <= 1.0:
+            raise ValueError(f"{self.name}: p_return must be in [0, 1]")
+
+    @property
+    def aggregate_rate(self) -> float:
+        return self.service_rate * self.replicas
+
+
+class UrgaonkarModel:
+    """Closed-form response time of the chained-tier Markov model."""
+
+    def __init__(self, tiers: Sequence[UrgaonkarTier]) -> None:
+        if not tiers:
+            raise ValueError("need at least one tier")
+        self.tiers = list(tiers)
+
+    # ------------------------------------------------------------------
+    def visit_ratios(self) -> List[float]:
+        """Mean visits per request for each tier.
+
+        A request always visits tier 1; from tier ``i`` it proceeds to
+        ``i+1`` with probability ``1 - p_return_i``, and geometric
+        re-descents multiply the deeper tiers' visit counts.
+        """
+        ratios: List[float] = []
+        reach = 1.0
+        for i, tier in enumerate(self.tiers):
+            ratios.append(reach)
+            # probability of continuing deeper after each visit to i
+            if i + 1 < len(self.tiers):
+                reach *= max(1.0 - tier.p_return, 0.0)
+        return ratios
+
+    def mean_response(self, lam: float) -> float:
+        """Mean end-to-end response time at arrival rate ``lam``."""
+        total = 0.0
+        for tier, visits in zip(self.tiers, self.visit_ratios()):
+            if visits <= 0:
+                continue
+            tier_lam = lam * visits
+            total += visits * mm1_mean_response(tier_lam, tier.aggregate_rate)
+        return total
+
+    def max_throughput(self) -> float:
+        """Largest sustainable arrival rate."""
+        best = float("inf")
+        for tier, visits in zip(self.tiers, self.visit_ratios()):
+            if visits > 0:
+                best = min(best, tier.aggregate_rate / visits)
+        return best
+
+    def caching_speedup(self, tier_index: int, hit_rate_gain: float) -> float:
+        """Response-time ratio after raising a tier's return probability.
+
+        Models inter-tier caching: hits at tier ``i`` avoid descending
+        to ``i+1`` (section 2.2.3's "caching between tiers").  Returns
+        ``new_response / old_response`` at half the max throughput.
+        """
+        if not 0.0 <= hit_rate_gain <= 1.0:
+            raise ValueError("hit-rate gain must be in [0, 1]")
+        lam = 0.5 * self.max_throughput()
+        old = self.mean_response(lam)
+        tiers = list(self.tiers)
+        t = tiers[tier_index]
+        tiers[tier_index] = UrgaonkarTier(
+            t.name, t.service_rate, t.replicas,
+            min(t.p_return + hit_rate_gain, 1.0),
+        )
+        new = UrgaonkarModel(tiers).mean_response(lam)
+        return new / old

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives operators the thesis's headline evaluations without writing code:
+
+* ``validate``      — a chapter 5 experiment, physical vs simulated
+* ``consolidation`` — the chapter 6 consolidated-platform report
+* ``multimaster``   — the chapter 7 multiple-master comparison
+* ``attack``        — the DoS / admission-control evaluation (Fig 1-1 #7)
+* ``export``        — write a case-study scenario as a JSON document
+* ``info``          — library and model inventory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.metrics.report import format_table
+from repro.metrics.viz import hourly_chart
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"GDISim reproduction v{__version__}")
+    print("Herrero-Lopez, 'Large-Scale Simulator for Global Data "
+          "Infrastructure Optimization' (MIT, 2011)")
+    rows = [
+        ["repro.core", "discrete time loop, agents/holons, branches"],
+        ["repro.queueing", "FCFS / PSk / fork-join + closed forms"],
+        ["repro.hardware", "CPU, memory, NIC, switch, link, RAID, SAN"],
+        ["repro.topology", "servers, tiers, data centers, WAN routing"],
+        ["repro.software", "R arrays, cascades, CAD/VIS/PDM, workloads"],
+        ["repro.background", "SYNCHREP, INDEXBUILD, ownership, catalog"],
+        ["repro.parallel", "ports, scatter-gather, H-Dispatch, partitions"],
+        ["repro.fluid", "analytic 24h solver for the case studies"],
+        ["repro.reliability", "failure injection, availability metrics"],
+        ["repro.validation", "chapter 5 experiments, RMSE pipeline"],
+        ["repro.studies", "chapters 6/7 + attack protection"],
+        ["repro.baselines", "MDCSim / Urgaonkar comparators"],
+    ]
+    print(format_table(["package", "contents"], rows))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validation import EXPERIMENTS, run_experiment
+    from repro.validation.experiments import rmse_table
+
+    spec = EXPERIMENTS[args.experiment - 1]
+    print(f"running {spec.label} ({args.horizon:.0f}s horizon) on both "
+          "systems...")
+    kw = dict(horizon=args.horizon, launch_until=args.horizon * 0.92,
+              steady_window=(min(300.0, args.horizon * 0.3),
+                             args.horizon * 0.9))
+    phys = run_experiment(spec, physical=True, **kw)
+    sim = run_experiment(spec, physical=False, **kw)
+    rows = []
+    for tier in ("app", "db", "fs", "idx"):
+        p, s = phys.steady_cpu_stats(tier), sim.steady_cpu_stats(tier)
+        rows.append([f"T{tier}", f"{100 * p.mean:.1f}%", f"{100 * s.mean:.1f}%"])
+    rows.append(["#clients", f"{phys.steady_client_stats().mean:.1f}",
+                 f"{sim.steady_client_stats().mean:.1f}"])
+    print(format_table(["measurement", "physical", "simulated"], rows,
+                       title="steady-state comparison"))
+    table = rmse_table({spec.name: {"physical": phys, "simulated": sim}})
+    print("\nRMSE: " + "  ".join(
+        f"{k}={v:.1f}%" for k, v in table[spec.name].items()))
+    return 0
+
+
+def _cmd_consolidation(args: argparse.Namespace) -> int:
+    from repro.studies.consolidation import ConsolidationStudy
+
+    study = ConsolidationStudy()
+    curves = study.dna_cpu_curves()
+    print(hourly_chart(
+        [(f"T{tier}", values) for tier, values in curves.items()],
+        title="DNA tier CPU utilization through the day (Fig 6-12)",
+        as_percent=True,
+    ))
+    print()
+    table = study.link_utilization_table()
+    print(format_table(
+        ["link", "util 12:00-16:00"],
+        [[k, f"{100 * v:.0f}%"] for k, v in sorted(table.items())],
+        title="WAN occupancy of the 20% allocation (Table 6.1)"))
+    day = study.background_day()
+    print(f"\nR_SR^max = {day.max_staleness() / 60:.1f} min, "
+          f"R_IB^max = {day.max_unsearchable() / 60:.1f} min (Fig 6-14)")
+
+    from repro.studies.requirements import verify_consolidation
+
+    report = verify_consolidation(study)
+    print("\n" + format_table(
+        ["requirement", "measured", "bound", "verdict"], report.rows(),
+        title="section 6.3.3 platform requirements"))
+    print("\noverall: " + ("PASS" if report.passed else "FAIL"))
+    return 0 if report.passed else 1
+
+
+def _cmd_multimaster(args: argparse.Namespace) -> int:
+    from repro.studies.consolidation import ConsolidationStudy
+    from repro.studies.multimaster import MultiMasterStudy
+
+    ch6, ch7 = ConsolidationStudy(), MultiMasterStudy()
+    day6, day7 = ch6.background_day(), ch7.background_day("DNA")
+    curves6 = ch6.pull_push_curves()
+    n = len(next(iter(curves6.values())))
+    peak6 = max(sum(s[i] for s in curves6.values()) for i in range(n))
+    rows = [
+        ["R_SR^max", f"{day6.max_staleness() / 60:.1f} min",
+         f"{day7.max_staleness() / 60:.1f} min"],
+        ["R_IB^max", f"{day6.max_unsearchable() / 60:.1f} min",
+         f"{day7.max_unsearchable() / 60:.1f} min"],
+        ["DNA peak MB/cycle", f"{peak6:.0f}",
+         f"{ch7.peak_cycle_volume('DNA'):.0f}"],
+    ]
+    print(format_table(
+        ["metric", "single master (ch.6)", "multi master (ch.7)"], rows,
+        title="data-ownership optimization (chapter 7)"))
+    peaks = ch7.cpu_peaks()
+    print(format_table(
+        ["master", "Tapp peak", "Tdb peak"],
+        [[dc, f"{100 * p['app']:.0f}%", f"{100 * p['db']:.0f}%"]
+         for dc, p in peaks.items()],
+        title="per-master CPU peaks (section 7.4.1)"))
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.studies.attack import FloodScenario
+
+    scenario = FloodScenario(flood_rate=args.flood_rate)
+    outcomes = scenario.evaluate()
+    rows = [[name, f"{o.legit_before:.2f}s", f"{o.legit_during:.2f}s",
+             f"{100 * o.peak_app_utilization:.0f}%",
+             f"{o.flood_dropped}/{o.flood_requests}"]
+            for name, o in outcomes.items()]
+    print(format_table(
+        ["branch", "R before", "R during", "peak Tapp", "flood dropped"],
+        rows, title=f"flood at {scenario.flood_rate:.0f} req/s vs "
+                    f"{scenario.admission_rate:.0f} req/s admission control"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GDISim: global data infrastructure simulator",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library inventory").set_defaults(
+        func=_cmd_info)
+
+    p = sub.add_parser("validate", help="run a chapter 5 experiment")
+    p.add_argument("--experiment", type=int, choices=(1, 2, 3), default=2)
+    p.add_argument("--horizon", type=float, default=900.0,
+                   help="simulated seconds (2280 = thesis length)")
+    p.set_defaults(func=_cmd_validate)
+
+    sub.add_parser("consolidation",
+                   help="chapter 6 consolidated-platform report"
+                   ).set_defaults(func=_cmd_consolidation)
+    sub.add_parser("multimaster",
+                   help="chapter 7 multiple-master comparison"
+                   ).set_defaults(func=_cmd_multimaster)
+
+    p = sub.add_parser("attack", help="DoS / admission-control evaluation")
+    p.add_argument("--flood-rate", type=float, default=60.0)
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("export",
+                       help="write a case-study scenario as JSON")
+    p.add_argument("path", help="output file")
+    p.add_argument("--study", choices=("consolidation", "multimaster"),
+                   default="consolidation")
+    p.set_defaults(func=_cmd_export)
+    return parser
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.io import save_scenario
+    from repro.studies.workloads import (
+        cad_workloads,
+        pdm_workloads,
+        vis_workloads,
+    )
+
+    if args.study == "consolidation":
+        from repro.studies.consolidation import consolidated_topology as build
+    else:
+        from repro.studies.multimaster import multimaster_topology as build
+    workloads = {"CAD": cad_workloads(), "VIS": vis_workloads(),
+                 "PDM": pdm_workloads()}
+    save_scenario(args.path, build(), workloads)
+    print(f"wrote the {args.study} scenario to {args.path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Discrete-time simulation kernel for GDISim.
+
+The kernel implements the thesis's platform core (chapter 4): a centralized
+timer drives a fixed-increment *discrete time loop* (the "heartbeat",
+section 4.3.1); every agent consumes service capacity at each tick; a
+collector component periodically samples agent state and averages samples
+into snapshots.  Agent interactions carry timestamps that the engine checks
+against each agent's local time, reproducing the consistency guard of
+section 4.3.3.
+"""
+
+from repro.core.clock import SimClock
+from repro.core.job import Job
+from repro.core.agent import Agent, Holon
+from repro.core.engine import Simulator
+from repro.core.signals import (
+    TimeIncrement,
+    MeasurementCollection,
+    AgentInteraction,
+)
+from repro.core.errors import SimulationError, TimestampError
+from repro.core.scenario import ScenarioRunner, ScenarioSpec, BranchResult
+
+__all__ = [
+    "SimClock",
+    "Job",
+    "Agent",
+    "Holon",
+    "Simulator",
+    "TimeIncrement",
+    "MeasurementCollection",
+    "AgentInteraction",
+    "SimulationError",
+    "TimestampError",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "BranchResult",
+]

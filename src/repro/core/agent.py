@@ -1,0 +1,216 @@
+"""Agent and holon base classes (section 3.3.2).
+
+Agents are the lowest-level hardware components (CPU, NIC, disk...); each
+has an internal state manipulated by incoming jobs and by time-increment
+control signals.  Holons are recursive containers: a server holon
+encapsulates hardware agents, a tier holon encapsulates server holons, and
+so on up to data centers and the global infrastructure.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Iterator, List
+
+from repro.core.job import Job
+
+
+class Agent(ABC):
+    """Base class for all hardware-component agents.
+
+    Subclasses implement :meth:`on_time_increment` (consume work over a
+    tick) and :meth:`sample` (report state to the collector).  The base
+    class maintains the agent's local clock and utilization accounting.
+    """
+
+    agent_type: str = "agent"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.local_time = 0.0
+        self.busy_time = 0.0  # cumulative busy server-seconds
+        self._window_busy = 0.0  # busy time since the last sample
+        self._window_start = 0.0
+        # set by the engine at registration; lets submit() move the agent
+        # onto the active list without the engine scanning every agent
+        self._waker = None
+        self._paused = False
+
+    # ------------------------------------------------------------------
+    # control signals
+    # ------------------------------------------------------------------
+    def time_increment(self, now: float, dt: float) -> None:
+        """Handle a time-increment control signal.
+
+        Advances the agent's local clock after delegating work consumption
+        to :meth:`on_time_increment`.  A paused (failed) agent consumes
+        no work: queued jobs wait for the repair.
+        """
+        if not self._paused:
+            self.on_time_increment(now, dt)
+        self.local_time = now + dt
+
+    @abstractmethod
+    def on_time_increment(self, now: float, dt: float) -> None:
+        """Consume up to ``dt`` seconds of service from enqueued jobs."""
+
+    def submit(self, job: Job, now: float) -> None:
+        """Submit a job under the timestamp-consistency rule (section 4.3.3).
+
+        A job whose ``not_before`` lies in this agent's future is enqueued
+        and *waits* until the agent's clock catches up — the queues check
+        ``not_before`` before starting service, which is the thesis's
+        guarantee that an interaction scheduled at ``t > t1`` is never
+        processed during ``t0 < t < t1``.  A job arriving *behind* the
+        agent's local clock (its sender completed mid-tick while this
+        agent had already advanced) simply starts at the agent's current
+        time; the discrepancy is bounded by one tick, the resolution of
+        the discrete loop.
+        """
+        job.enqueue_time = now
+        self.enqueue(job, now)
+        if self._waker is not None:
+            self._waker(self)
+
+    @abstractmethod
+    def enqueue(self, job: Job, now: float) -> None:
+        """Place a job into the agent's queueing structure."""
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def sample(self, now: float) -> Dict[str, float]:
+        """Return a state sample and reset the sampling window.
+
+        The default sample reports windowed utilization (busy fraction of
+        the available service capacity since the previous sample) and the
+        instantaneous queue length.
+        """
+        window = max(now - self._window_start, 1e-12)
+        util = self._window_busy / (window * max(self.capacity(), 1e-12))
+        self._window_busy = 0.0
+        self._window_start = now
+        return {
+            "utilization": min(util, 1.0),
+            "queue_length": float(self.queue_length()),
+        }
+
+    def capacity(self) -> float:
+        """Number of parallel servers in this agent (for utilization norm)."""
+        return 1.0
+
+    @abstractmethod
+    def queue_length(self) -> int:
+        """Number of jobs currently held (waiting + in service)."""
+
+    def record_busy(self, busy_server_seconds: float) -> None:
+        """Accumulate busy time for utilization accounting."""
+        self.busy_time += busy_server_seconds
+        self._window_busy += busy_server_seconds
+
+    # ------------------------------------------------------------------
+    # failure injection (section 1.1, "Continuous Failure")
+    # ------------------------------------------------------------------
+    @property
+    def paused(self) -> bool:
+        """Whether the agent is failed/paused (serves no work)."""
+        return self._paused
+
+    def fail(self, crash: bool = True) -> None:
+        """Stop serving work; with ``crash`` in-service progress is lost.
+
+        Queued jobs remain queued and resume after :meth:`repair` — the
+        crash-restart-retry pattern of commodity clusters.
+        """
+        self._paused = True
+        if crash:
+            self.on_crash()
+
+    def repair(self, now: float) -> None:
+        """Return the agent to service at simulation time ``now``."""
+        self._paused = False
+        self.local_time = max(self.local_time, now)
+        if self._waker is not None and not self.idle():
+            self._waker(self)
+
+    def on_crash(self) -> None:
+        """Discard in-service progress (crash semantics); default no-op."""
+
+    # ------------------------------------------------------------------
+    def idle(self) -> bool:
+        """True when the agent holds no work (engine may skip its tick)."""
+        return self.queue_length() == 0
+
+    def time_to_next_completion(self) -> float:
+        """Lower bound on time until the next job completion.
+
+        Used by the adaptive engine to jump over quiescent intervals;
+        ``inf`` means no pending completion.  The default is conservative:
+        agents that cannot bound it return 0 so the engine falls back to
+        the base tick.
+        """
+        return 0.0 if not self.idle() else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Holon:
+    """A recursive container of agents and sub-holons (section 3.3.2).
+
+    The state of a holon is the composition of the states of the agents it
+    encapsulates; its behaviour is the combination of their behaviours.
+    """
+
+    holon_type: str = "holon"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._agents: List[Agent] = []
+        self._children: List["Holon"] = []
+
+    def add_agent(self, agent: Agent) -> Agent:
+        """Attach a leaf agent to this holon and return it."""
+        self._agents.append(agent)
+        return agent
+
+    def add_child(self, holon: "Holon") -> "Holon":
+        """Attach a sub-holon (e.g. a server inside a tier) and return it."""
+        self._children.append(holon)
+        return holon
+
+    @property
+    def children(self) -> List["Holon"]:
+        return list(self._children)
+
+    @property
+    def local_agents(self) -> List[Agent]:
+        return list(self._agents)
+
+    def agents(self) -> Iterator[Agent]:
+        """Iterate over all agents in this holarchy, depth first."""
+        yield from self._agents
+        for child in self._children:
+            yield from child.agents()
+
+    def find_agents(self, agent_type: str) -> List[Agent]:
+        """All agents of a given ``agent_type`` in the holarchy."""
+        return [a for a in self.agents() if a.agent_type == agent_type]
+
+    def sample(self, now: float) -> Dict[str, Dict[str, float]]:
+        """Collect samples from every agent, keyed by agent name."""
+        return {a.name: a.sample(now) for a in self.agents()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"agents={len(self._agents)}, children={len(self._children)})"
+        )
+
+
+def flatten(holons: Iterable[Holon]) -> List[Agent]:
+    """Flatten a collection of holons into a single agent list."""
+    out: List[Agent] = []
+    for h in holons:
+        out.extend(h.agents())
+    return out

@@ -1,0 +1,22 @@
+"""Exception hierarchy for the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class TimestampError(SimulationError):
+    """An interaction was processed before its scheduled simulation time.
+
+    The thesis (section 4.3.3) requires that an interaction ``r`` scheduled
+    to start at ``t > t1`` is never processed during ``t0 < t < t1``; the
+    engine raises this error if that invariant would be violated.
+    """
+
+
+class ConfigurationError(SimulationError):
+    """An input specification is inconsistent or incomplete."""
+
+
+class SaturationError(SimulationError):
+    """An analytic solver was asked about an unstable queue (rho >= 1)."""

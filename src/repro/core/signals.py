@@ -1,0 +1,45 @@
+"""Control and interaction signals exchanged between platform components.
+
+The thesis (section 4.3.2) drives the holonic multi-agent system with three
+signal types: *time increment* control signals emitted by the timer
+component, *measurement collection* control signals emitted by the
+collector component, and *agent interaction* signals produced when message
+cascades traverse holons.  The sequential engine dispatches these signals
+as direct calls; the parallel engines (``repro.parallel``) post the same
+dataclasses through ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TimeIncrement:
+    """Instructs an agent to consume ``dt`` seconds of simulated time."""
+
+    now: float
+    dt: float
+
+
+@dataclass(frozen=True)
+class MeasurementCollection:
+    """Instructs an agent to report a sample of its internal state."""
+
+    now: float
+
+
+@dataclass
+class AgentInteraction:
+    """A message-cascade interaction targeted at a specific agent.
+
+    ``not_before`` carries the timestamp-consistency guard of section
+    4.3.3: the receiving agent must not process the interaction while its
+    local clock is behind this value.
+    """
+
+    target: str
+    demand: float
+    not_before: float
+    payload: Any = field(default=None)

@@ -1,0 +1,25 @@
+"""Fluid (analytic steady-state) solver for full-scale case studies.
+
+A message-level pure-Python DES over 6 000 clients and 24 hours is
+impractically slow (DESIGN.md); the fluid solver computes the same
+outputs — per-tier CPU utilization, link occupancy, operation response
+times and background-process durations — from the identical model
+inputs: calibrated cascades (their per-resource footprints), workload
+curves, placement policies, data-growth curves and link allocations.
+
+Per time ``t`` each resource's offered load is::
+
+    rho(resource, t) = sum over (app, op, client_dc, owner)
+        arrival_rate * footprint_seconds / capacity
+
+Response times inflate queue-dependent footprint components with M/M/c
+(Erlang-C) or PS factors; below saturation the inflation is small, which
+is exactly the thesis's "response times remain workload-agnostic"
+finding.  The DES and the fluid solver cross-check each other in the
+integration tests.
+"""
+
+from repro.fluid.solver import FluidSolver, ClientLoad
+from repro.fluid.background import BackgroundSolver, BackgroundDay
+
+__all__ = ["FluidSolver", "ClientLoad", "BackgroundSolver", "BackgroundDay"]

@@ -1,0 +1,207 @@
+"""Analytic background-process execution over a full day.
+
+Solves the SYNCHREP and INDEXBUILD schedules against the fluid link
+model: each transfer stream's effective rate is the bottleneck along its
+route — allocated link bandwidth, minus client traffic, shared among the
+concurrent background streams crossing the link.  Produces the Fig 6-14
+/ Fig 7-6 response-time curves, the Fig 6-11 / 7-4 / 7-5 transfer-volume
+curves and the Table 6.1 / 7.3 link-utilization windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.background.datagrowth import DataGrowthModel
+from repro.background.indexbuild import IndexBuildConfig, IndexBuildRun, analytic_schedule
+from repro.background.synchrep import (
+    SynchRepConfig,
+    SynchRepRun,
+    analytic_run,
+)
+from repro.fluid.solver import FluidSolver
+from repro.software.workload import HOUR
+
+MB_BITS = 1024.0 * 1024.0 * 8.0
+DAY = 86400.0
+
+
+@dataclass
+class BackgroundDay:
+    """The solved background schedule of one master for one day."""
+
+    master: str
+    sr_runs: List[SynchRepRun] = field(default_factory=list)
+    ib_runs: List[IndexBuildRun] = field(default_factory=list)
+    sr_interval_s: float = 900.0
+
+    def max_staleness(self) -> float:
+        """R_SR^max (section 6.3.3)."""
+        return self.sr_interval_s + max(r.duration for r in self.sr_runs)
+
+    def max_unsearchable(self) -> float:
+        """R_IB^max (section 6.3.3)."""
+        return max(
+            n.end - p.start for p, n in zip(self.ib_runs, self.ib_runs[1:])
+        )
+
+    def sr_duration_curve(self) -> List[Tuple[float, float]]:
+        """(launch hour, duration seconds) points (Fig 6-14)."""
+        return [(r.start / HOUR, r.duration) for r in self.sr_runs]
+
+    def ib_duration_curve(self) -> List[Tuple[float, float]]:
+        return [(r.start / HOUR, r.duration) for r in self.ib_runs]
+
+
+class BackgroundSolver:
+    """Couples background transfers with the fluid client-traffic model.
+
+    Parameters
+    ----------
+    fluid:
+        Solved client-side model (provides per-link client bits).
+    growth:
+        Data-creation curves (Fig 6-10).
+    masters:
+        SR/IB configurations, one per master data center (one in
+        chapter 6, six in chapter 7).
+    ownership_share:
+        ``share[creator][owner]`` fractions; ``None`` means the single
+        owner of each config's master takes everything.
+    """
+
+    def __init__(
+        self,
+        fluid: FluidSolver,
+        growth: DataGrowthModel,
+        sr_configs: Sequence[SynchRepConfig],
+        ib_configs: Sequence[IndexBuildConfig],
+        ownership_share: Optional[Mapping[str, Mapping[str, float]]] = None,
+    ) -> None:
+        self.fluid = fluid
+        self.growth = growth
+        self.sr_configs = list(sr_configs)
+        self.ib_configs = list(ib_configs)
+        self.ownership_share = ownership_share
+
+    # ------------------------------------------------------------------
+    # background traffic rates on links
+    # ------------------------------------------------------------------
+    def _share(self, creator: str, owner: str) -> float:
+        if self.ownership_share is None:
+            return 1.0 if owner == self.sr_configs[0].master else 0.0
+        return self.ownership_share[creator].get(owner, 0.0)
+
+    def background_link_bits(self, link_name: str, t: float) -> float:
+        """Long-run background bits/s crossing a link at time ``t``.
+
+        Each master X continuously pulls ``g_{Y->X}`` from every creator
+        Y and pushes ``G_X - g_{Z->X}`` to every Z; the volumes ride the
+        route between X and the peer.
+        """
+        topo = self.fluid.topology
+        total = 0.0
+        for cfg in self.sr_configs:
+            master = cfg.master
+            g_owned = {
+                dc: self.growth.rate_mb_per_s(dc, t) * self._share(dc, master)
+                for dc in self.growth.datacenters()
+            }
+            g_total = sum(g_owned.values())
+            for peer in self.growth.datacenters():
+                if peer == master:
+                    continue
+                pull = g_owned[peer]
+                push = g_total - g_owned[peer]
+                mb_s = pull + push
+                if mb_s <= 0:
+                    continue
+                for link in topo.route(master, peer):
+                    if link.name == link_name:
+                        total += mb_s * MB_BITS
+        return total
+
+    def link_utilization(self, link_name: str, t: float) -> float:
+        """Combined client + background utilization of allocated capacity."""
+        link = self.fluid._find_link(link_name)
+        bits = self.fluid.client_link_bits(link_name, t)
+        bits += self.background_link_bits(link_name, t)
+        return bits / link.rate
+
+    def window_utilization(
+        self, link_name: str, h_start: float = 12.0, h_end: float = 16.0,
+        steps: int = 16,
+    ) -> float:
+        """Mean utilization over a GMT window (Tables 6.1 / 7.3)."""
+        vals = []
+        for i in range(steps + 1):
+            t = (h_start + (h_end - h_start) * i / steps) * HOUR
+            vals.append(min(self.link_utilization(link_name, t), 1.0))
+        return sum(vals) / len(vals)
+
+    def utilization_table(
+        self, h_start: float = 12.0, h_end: float = 16.0
+    ) -> Dict[str, float]:
+        """Table 6.1 / 7.3: mean window utilization of every WAN link."""
+        return {
+            name: self.window_utilization(name, h_start, h_end)
+            for name in self.fluid.wan_link_names()
+        }
+
+    # ------------------------------------------------------------------
+    # stream rates for the schedule solver
+    # ------------------------------------------------------------------
+    def _concurrency(self, master: str, link_name: str) -> int:
+        """Background streams of ``master`` sharing a link (static)."""
+        topo = self.fluid.topology
+        n = 0
+        for peer in self.growth.datacenters():
+            if peer == master:
+                continue
+            if any(l.name == link_name for l in topo.route(master, peer)):
+                n += 1
+        return max(n, 1)
+
+    def stream_rate(self, master: str):
+        """Effective MB/s between ``master`` and a peer at time ``t``."""
+
+        def rate(peer: str, t: float) -> float:
+            topo = self.fluid.topology
+            best = float("inf")
+            for link in topo.route(master, peer):
+                free = link.rate * max(
+                    0.0, 1.0 - self.fluid.client_link_utilization(link.name, t)
+                )
+                share = free / self._concurrency(master, link.name)
+                best = min(best, share)
+            return best / MB_BITS
+
+        return rate
+
+    # ------------------------------------------------------------------
+    # full-day schedules
+    # ------------------------------------------------------------------
+    def solve_day(self, master: str) -> BackgroundDay:
+        """Solve one master's SR and IB schedules over 24 hours."""
+        sr_cfg = next(c for c in self.sr_configs if c.master == master)
+        ib_cfg = next(c for c in self.ib_configs if c.master == master)
+        share = self.ownership_share
+        day = BackgroundDay(master=master, sr_interval_s=sr_cfg.interval_s)
+
+        rate = self.stream_rate(master)
+        t = sr_cfg.interval_s
+        prev = 0.0
+        while t < DAY:
+            run = analytic_run(
+                self.growth, sr_cfg, (prev, t), rate, start=t,
+                ownership_share=share,
+            )
+            day.sr_runs.append(run)
+            prev = t
+            t += sr_cfg.interval_s
+
+        day.ib_runs = analytic_schedule(
+            self.growth, ib_cfg, until=DAY, ownership_share=share
+        )
+        return day

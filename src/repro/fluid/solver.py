@@ -1,0 +1,242 @@
+"""The fluid solver core: offered loads, utilizations, response times."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.queueing.analytic import erlang_c
+from repro.software.application import Application
+from repro.software.canonical import CanonicalCostModel, OperationFootprint
+from repro.software.client import Client
+from repro.software.placement import Placement
+from repro.software.workload import HOUR
+from repro.topology.network import GlobalTopology
+
+MBIT = 1e6
+
+
+@dataclass(frozen=True)
+class ClientLoad:
+    """One (application, operation, client DC, mapping) load stream."""
+
+    app: str
+    op: str
+    client_dc: str
+    weight: float  # placement probability
+    footprint: OperationFootprint
+
+
+class FluidSolver:
+    """Analytic per-instant solver over the case-study inputs.
+
+    Parameters
+    ----------
+    topology:
+        The global infrastructure (capacities are read from it).
+    applications:
+        The loaded applications with their per-DC workload curves.
+    placement:
+        Role placement policy; its :meth:`weights` decomposition is used
+        to average footprints over owners (chapter 7).
+    """
+
+    def __init__(
+        self,
+        topology: GlobalTopology,
+        applications: Sequence[Application],
+        placement: Placement,
+    ) -> None:
+        self.topology = topology
+        self.applications = list(applications)
+        self.placement = placement
+        self.model = CanonicalCostModel(topology)
+        self._streams: List[ClientLoad] = []
+        self._build_streams()
+
+    # ------------------------------------------------------------------
+    def _build_streams(self) -> None:
+        for app in self.applications:
+            for dc_name in app.workloads:
+                client = Client(f"fluid.{dc_name}", dc_name)
+                for w, mapping in self.placement.weights(dc_name):
+                    for op_name, op in app.operations.items():
+                        if app.mix.fraction(op_name) <= 0:
+                            continue
+                        fp = self.model.operation_footprint(op, mapping, client)
+                        self._streams.append(
+                            ClientLoad(app.name, op_name, dc_name, w, fp)
+                        )
+
+    def _stream_rate(self, stream: ClientLoad, t: float) -> float:
+        """Arrivals/s of one stream at time ``t``."""
+        app = next(a for a in self.applications if a.name == stream.app)
+        curve = app.workloads[stream.client_dc]
+        return (
+            curve.at(t)
+            * app.ops_per_client_hour
+            / HOUR
+            * app.mix.fraction(stream.op, t)
+            * stream.weight
+        )
+
+    # ------------------------------------------------------------------
+    # capacities
+    # ------------------------------------------------------------------
+    def capacity(self, key: Tuple[str, str, str]) -> float:
+        """Parallel capacity of a resource key (see canonical.ResourceKey)."""
+        kind = key[2]
+        if key[0] == "link":
+            return 1.0
+        dc_name, role = key[0], key[1]
+        if role in ("client",):
+            return math.inf  # per-client hardware scales with population
+        dc = self.topology.datacenter(dc_name)
+        if role == "switch":
+            return 1.0
+        if role == "local":
+            return 1.0
+        tier = dc.tier(role)
+        if kind == "cpu":
+            return float(tier.total_cores)
+        if kind == "nic":
+            return float(tier.n_servers)
+        if kind == "io":
+            san = dc.tier_san.get(role)
+            if san is not None:
+                return float(san.n_disks)
+            return float(tier.n_servers)
+        raise KeyError(f"unknown resource kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # offered load and utilization
+    # ------------------------------------------------------------------
+    def offered_seconds(self, t: float) -> Dict[Tuple[str, str, str], float]:
+        """Service-seconds per second offered to every resource at ``t``."""
+        out: Dict[Tuple[str, str, str], float] = {}
+        for stream in self._streams:
+            rate = self._stream_rate(stream, t)
+            if rate <= 0:
+                continue
+            for key, sec in stream.footprint.seconds.items():
+                out[key] = out.get(key, 0.0) + rate * sec
+        return out
+
+    def utilization(self, key: Tuple[str, str, str], t: float) -> float:
+        """Offered utilization of one resource at ``t`` (client traffic)."""
+        offered = 0.0
+        for stream in self._streams:
+            sec = stream.footprint.seconds.get(key)
+            if sec:
+                offered += self._stream_rate(stream, t) * sec
+        cap = self.capacity(key)
+        return 0.0 if math.isinf(cap) else offered / cap
+
+    def tier_cpu_utilization(self, dc: str, tier: str, t: float) -> float:
+        """CPU utilization of one tier at time ``t`` (Figs 6-12/6-13)."""
+        return self.utilization((dc, tier, "cpu"), t)
+
+    def hourly_curve(self, key: Tuple[str, str, str]) -> List[float]:
+        """24 hourly utilization values for one resource."""
+        return [self.utilization(key, h * HOUR) for h in range(24)]
+
+    # ------------------------------------------------------------------
+    # WAN traffic
+    # ------------------------------------------------------------------
+    def client_link_bits(self, link_name: str, t: float) -> float:
+        """Client-operation bits/s crossing a WAN link at ``t``."""
+        bits = 0.0
+        for stream in self._streams:
+            b = stream.footprint.wan_bits.get(link_name)
+            if b:
+                bits += self._stream_rate(stream, t) * b
+        return bits
+
+    def client_link_utilization(self, link_name: str, t: float) -> float:
+        link = self._find_link(link_name)
+        return self.client_link_bits(link_name, t) / link.rate
+
+    def _find_link(self, name: str):
+        for link in self.topology.links.values():
+            if link.name == name:
+                return link
+        for link in self.topology._secondary.values():
+            if link.name == name:
+                return link
+        raise KeyError(f"unknown WAN link {name!r}")
+
+    def wan_link_names(self) -> List[str]:
+        names = [l.name for l in self.topology.links.values()]
+        names += [l.name for l in self.topology._secondary.values()]
+        return sorted(names)
+
+    # ------------------------------------------------------------------
+    # response times
+    # ------------------------------------------------------------------
+    def _inflation(self, key: Tuple[str, str, str], t: float) -> float:
+        """Mean sojourn/service dilation factor at a resource.
+
+        M/M/c waiting inflation for tier resources; 1/(1-rho) for the
+        single-channel network resources; none for client-side hardware.
+        """
+        cap = self.capacity(key)
+        if math.isinf(cap):
+            return 1.0
+        rho = self.utilization(key, t)
+        # include background traffic headroom by capping near saturation
+        rho = min(rho, 0.995)
+        c = max(int(round(cap)), 1)
+        if c == 1:
+            return 1.0 / (1.0 - rho)
+        if rho <= 0.0:
+            return 1.0
+        pw = erlang_c(rho * c, 1.0, c)  # lam=rho*c, mu=1
+        return 1.0 + pw / (c * (1.0 - rho))
+
+    def response_time(self, app: Application, op_name: str, client_dc: str,
+                      t: float) -> float:
+        """Mean response time of one operation for one client DC at ``t``."""
+        total = 0.0
+        total_w = 0.0
+        client = Client(f"fluid.rt.{client_dc}", client_dc)
+        for w, mapping in self.placement.weights(client_dc):
+            fp = self.model.operation_footprint(
+                app.operation(op_name), mapping, client
+            )
+            rt = fp.latency
+            for key, sec in fp.seconds.items():
+                rt += sec * self._inflation(key, t)
+            total += w * rt
+            total_w += w
+        return total / total_w
+
+    def response_curve(self, app: Application, op_name: str, client_dc: str
+                       ) -> List[float]:
+        """24 hourly response times (Figs 6-15..6-20)."""
+        return [
+            self.response_time(app, op_name, client_dc, h * HOUR)
+            for h in range(24)
+        ]
+
+    # ------------------------------------------------------------------
+    # populations
+    # ------------------------------------------------------------------
+    def logged_clients(self, t: float, dc: Optional[str] = None) -> float:
+        total = 0.0
+        for app in self.applications:
+            for dc_name, curve in app.workloads.items():
+                if dc is None or dc == dc_name:
+                    total += curve.at(t)
+        return total
+
+    def active_clients(self, t: float, dc: Optional[str] = None) -> float:
+        """Clients with an operation in flight (Little's law)."""
+        total = 0.0
+        for stream in self._streams:
+            if dc is not None and stream.client_dc != dc:
+                continue
+            rate = self._stream_rate(stream, t)
+            if rate > 0:
+                total += rate * stream.footprint.canonical_time
+        return total

@@ -1,0 +1,114 @@
+"""CPU cache-hierarchy model (thesis section 9.1.2, future work).
+
+The thesis's CPU model consumes a flat cycle count per message; real
+processors stall on cache misses, so the *effective* cycles depend on
+the workload's locality and the cache hierarchy.  This extension models
+an inclusive L1/L2/L3 hierarchy: each level has a hit rate and a miss
+penalty (in cycles per memory access); a workload is characterized by
+its memory accesses per instruction.  The hierarchy yields a CPI
+(cycles-per-instruction) multiplier that inflates a cascade's nominal
+``Rp`` demand.
+
+This is deliberately an *analytic* refinement — the queueing dynamics
+stay untouched; only the demand fed to the CPU queue changes — matching
+how the thesis proposes to integrate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Level label (``L1``, ``L2``...).
+    hit_rate:
+        Probability an access that reached this level hits here.
+    latency_cycles:
+        Access latency of this level in CPU cycles.
+    """
+
+    name: str
+    hit_rate: float
+    latency_cycles: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hit_rate <= 1.0:
+            raise ValueError(f"{self.name}: hit rate must be in [0, 1]")
+        if self.latency_cycles < 0:
+            raise ValueError(f"{self.name}: latency cannot be negative")
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """An inclusive multi-level cache in front of memory.
+
+    The expected stall per memory access walks the hierarchy: an access
+    hits level ``i`` with probability ``prod(miss_1..i-1) * hit_i`` and
+    costs that level's latency; a full miss costs ``memory_latency``.
+    """
+
+    levels: Tuple[CacheLevel, ...]
+    memory_latency_cycles: float = 200.0
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("hierarchy needs at least one level")
+        if self.memory_latency_cycles <= 0:
+            raise ValueError("memory latency must be positive")
+
+    # ------------------------------------------------------------------
+    def expected_access_cycles(self) -> float:
+        """Mean cycles per memory access across the hierarchy."""
+        expected = 0.0
+        p_reach = 1.0
+        for level in self.levels:
+            expected += p_reach * level.hit_rate * level.latency_cycles
+            p_reach *= 1.0 - level.hit_rate
+        expected += p_reach * self.memory_latency_cycles
+        return expected
+
+    def miss_to_memory_rate(self) -> float:
+        """Probability an access misses every cache level."""
+        p = 1.0
+        for level in self.levels:
+            p *= 1.0 - level.hit_rate
+        return p
+
+    def cpi_multiplier(
+        self,
+        accesses_per_instruction: float = 0.3,
+        base_cpi: float = 1.0,
+        hidden_fraction: float = 0.4,
+    ) -> float:
+        """Demand inflation factor for a workload.
+
+        ``hidden_fraction`` of the stall cycles overlap with execution
+        (out-of-order machinery); the rest inflate the CPI.  A nominal
+        ``Rp`` should be multiplied by this factor when the cache
+        hierarchy is enabled.
+        """
+        if accesses_per_instruction < 0:
+            raise ValueError("accesses per instruction cannot be negative")
+        if not 0.0 <= hidden_fraction <= 1.0:
+            raise ValueError("hidden fraction must be in [0, 1]")
+        stall = accesses_per_instruction * self.expected_access_cycles()
+        effective_cpi = base_cpi + (1.0 - hidden_fraction) * stall
+        return effective_cpi / base_cpi
+
+
+#: A representative 2010-era server hierarchy (Nehalem-class).
+DEFAULT_HIERARCHY = CacheHierarchy(
+    levels=(
+        CacheLevel("L1", hit_rate=0.95, latency_cycles=4.0),
+        CacheLevel("L2", hit_rate=0.80, latency_cycles=12.0),
+        CacheLevel("L3", hit_rate=0.70, latency_cycles=40.0),
+    ),
+    memory_latency_cycles=200.0,
+)

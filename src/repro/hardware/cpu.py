@@ -1,0 +1,239 @@
+"""Multi-socket multi-core CPU agent: ``p x M/M/q - FCFS`` (Fig 3-4).
+
+The CPU is an array of ``p`` socket queues, each with ``q`` core servers
+consuming *cycles*.  Jobs are balanced across sockets by joining the
+shortest socket queue.  The service rate of every core is the clock
+frequency in Hz; hyper-threading is modeled by inflating the core count by
+an empirically measured speedup factor, as the thesis prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.agent import Agent
+from repro.core.job import Job
+from repro.queueing.fcfs import FCFSQueue
+
+
+class CPU(Agent):
+    """Processor agent with ``sockets`` x ``cores`` cycle servers.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Clock frequency of each core: cycles consumed per second.
+    sockets, cores:
+        ``p`` socket queues of ``q`` cores each.
+    hyperthreading:
+        Multiplicative effective-core factor (1.0 = disabled); the thesis
+        suggests calibrating it from measured speedup.
+    """
+
+    agent_type = "cpu"
+
+    def __init__(
+        self,
+        name: str,
+        frequency_hz: float,
+        sockets: int = 1,
+        cores: int = 1,
+        hyperthreading: float = 1.0,
+    ) -> None:
+        super().__init__(name)
+        if sockets < 1 or cores < 1:
+            raise ValueError("sockets and cores must be >= 1")
+        if hyperthreading < 1.0:
+            raise ValueError("hyper-threading factor must be >= 1.0")
+        self.frequency_hz = float(frequency_hz)
+        self.sockets = int(sockets)
+        self.cores = int(cores)
+        effective_cores = max(int(round(cores * hyperthreading)), 1)
+        self.socket_queues: List[FCFSQueue] = [
+            FCFSQueue(f"{name}.socket{i}", rate=frequency_hz, servers=effective_cores)
+            for i in range(sockets)
+        ]
+
+    @property
+    def total_cores(self) -> int:
+        """Total physical core count ``p * q``."""
+        return self.sockets * self.cores
+
+    # ------------------------------------------------------------------
+    def enqueue(self, job: Job, now: float) -> None:
+        """Join the shortest socket queue (load balancing across sockets)."""
+        target = min(self.socket_queues, key=lambda q: q.queue_length())
+        target.enqueue(job, now)
+
+    def queue_length(self) -> int:
+        return sum(q.queue_length() for q in self.socket_queues)
+
+    def capacity(self) -> float:
+        return float(sum(q.servers for q in self.socket_queues))
+
+    def time_to_next_completion(self) -> float:
+        return min(q.time_to_next_completion() for q in self.socket_queues)
+
+    def on_crash(self) -> None:
+        for q in self.socket_queues:
+            q.on_crash()
+
+    def on_time_increment(self, now: float, dt: float) -> None:
+        for q in self.socket_queues:
+            q.on_time_increment(now, dt)
+            q.local_time = now + dt
+
+    def sample(self, now: float) -> Dict[str, float]:
+        window = max(now - self._window_start, 1e-12)
+        busy = sum(q._window_busy for q in self.socket_queues)
+        for q in self.socket_queues:
+            q._window_busy = 0.0
+            q._window_start = now
+        self._window_start = now
+        util = busy / (window * self.capacity())
+        return {
+            "utilization": min(util, 1.0),
+            "queue_length": float(self.queue_length()),
+        }
+
+    def seconds_for_cycles(self, cycles: float) -> float:
+        """Uncontended service time for a ``cycles`` demand on one core."""
+        return cycles / self.frequency_hz
+
+
+class TimeSharedCPU(Agent):
+    """Time-shared multithreading CPU (thesis section 9.1.1, future work).
+
+    The baseline :class:`CPU` queues software threads FCFS behind the
+    cores; real operating systems *timeslice*: when runnable threads
+    exceed the cores, every thread makes progress but the machine pays
+    context-switch overhead per quantum.  This model serves all runnable
+    jobs processor-sharing style across ``cores`` servers; while
+    oversubscribed, the aggregate rate is derated by the context-switch
+    overhead fraction ``csw_cycles / (quantum * frequency)``.
+
+    Parameters
+    ----------
+    context_switch_cycles:
+        Direct + indirect (cache-disturbance) cost of one switch.
+    quantum_s:
+        Scheduler timeslice length.
+    """
+
+    agent_type = "cpu-ts"
+
+    def __init__(
+        self,
+        name: str,
+        frequency_hz: float,
+        cores: int = 1,
+        context_switch_cycles: float = 2e5,
+        quantum_s: float = 0.004,
+    ) -> None:
+        super().__init__(name)
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if cores < 1:
+            raise ValueError("need at least one core")
+        if context_switch_cycles < 0 or quantum_s <= 0:
+            raise ValueError("invalid scheduler parameters")
+        self.frequency_hz = float(frequency_hz)
+        self.cores = int(cores)
+        self.context_switch_cycles = float(context_switch_cycles)
+        self.quantum_s = float(quantum_s)
+        from collections import deque
+
+        self.runnable: List[Job] = []
+        self._waiting = deque()  # jobs under the timestamp guard
+        self.completed_count = 0
+
+    # ------------------------------------------------------------------
+    def switch_overhead_fraction(self) -> float:
+        """Fraction of capacity lost to switching while oversubscribed."""
+        return min(
+            self.context_switch_cycles / (self.quantum_s * self.frequency_hz),
+            0.95,
+        )
+
+    def enqueue(self, job: Job, now: float) -> None:
+        self._waiting.append(job)
+
+    def queue_length(self) -> int:
+        return len(self.runnable) + len(self._waiting)
+
+    def capacity(self) -> float:
+        return float(self.cores)
+
+    def _admit(self, now: float) -> None:
+        # time-sharing admits every eligible thread immediately
+        still_guarded = []
+        while self._waiting:
+            job = self._waiting.popleft()
+            if job.not_before > now + 1e-9:
+                still_guarded.append(job)
+            else:
+                if job.start_time is None:
+                    job.start_time = now
+                self.runnable.append(job)
+        self._waiting.extend(still_guarded)
+
+    def time_to_next_completion(self) -> float:
+        if not self.runnable:
+            if self._waiting:
+                return max(
+                    min(j.not_before for j in self._waiting) - self.local_time,
+                    0.0,
+                )
+            return float("inf")
+        n = len(self.runnable)
+        rate = self._per_job_rate(n)
+        return min(j.remaining for j in self.runnable) / rate
+
+    def _per_job_rate(self, n: int) -> float:
+        """Cycles/s each of ``n`` runnable threads receives."""
+        if n <= self.cores:
+            return self.frequency_hz
+        total = self.cores * self.frequency_hz * (
+            1.0 - self.switch_overhead_fraction()
+        )
+        return total / n
+
+    def on_crash(self) -> None:
+        for job in reversed(self.runnable):
+            job.remaining = job.demand
+            job.start_time = None
+            self._waiting.appendleft(job)
+        self.runnable = []
+
+    def on_time_increment(self, now: float, dt: float) -> None:
+        t = 0.0
+        self._admit(now)
+        while t < dt - 1e-12:
+            if not self.runnable:
+                if not self._waiting:
+                    break
+                wake = max(
+                    min(j.not_before for j in self._waiting) - (now + t), 0.0
+                )
+                if wake >= dt - t:
+                    break
+                t += wake
+                self._admit(now + t)
+                if not self.runnable:
+                    break
+            n = len(self.runnable)
+            rate = self._per_job_rate(n)
+            span = min(j.remaining for j in self.runnable) / rate
+            step = min(span, dt - t)
+            busy = min(n, self.cores)
+            for job in self.runnable:
+                job.remaining -= step * rate
+            self.record_busy(step * busy)
+            t += step
+            finished = [j for j in self.runnable if j.done]
+            if finished:
+                self.runnable = [j for j in self.runnable if not j.done]
+                for job in finished:
+                    self.completed_count += 1
+                    job.finish(now + t)
+            self._admit(now + t)

@@ -1,0 +1,104 @@
+"""Disk agent: controller cache queue followed by the drive queue.
+
+Each disk is a sequence of two queues (section 3.4.2): ``Qdcc`` (the disk
+controller cache, served at the controller speed) and ``Qhdd`` (the
+mechanical drive, served at the sustained drive speed).  A controller
+cache hit bypasses the drive queue.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.core.agent import Agent
+from repro.core.job import Job
+from repro.queueing.fcfs import FCFSQueue
+
+
+class Disk(Agent):
+    """Two-stage disk: controller cache then drive, with hit bypass.
+
+    Parameters
+    ----------
+    controller_bps:
+        Disk controller speed in bytes per second.
+    drive_bps:
+        Sustained drive speed in bytes per second.
+    cache_hit_rate:
+        Probability a request is served entirely by the controller cache.
+    """
+
+    agent_type = "disk"
+
+    def __init__(
+        self,
+        name: str,
+        controller_bps: float,
+        drive_bps: float,
+        cache_hit_rate: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(name)
+        if not 0.0 <= cache_hit_rate <= 1.0:
+            raise ValueError("cache hit rate must be in [0, 1]")
+        self.dcc = FCFSQueue(f"{name}.dcc", rate=controller_bps, servers=1)
+        self.hdd = FCFSQueue(f"{name}.hdd", rate=drive_bps, servers=1)
+        self.cache_hit_rate = float(cache_hit_rate)
+        self._rng = random.Random(seed)
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    def enqueue(self, job: Job, now: float) -> None:
+        hit = self._rng.random() < self.cache_hit_rate
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+        def dcc_done(_sub: Job, t: float) -> None:
+            if hit:
+                job.finish(t)
+            else:
+                self.hdd.submit(
+                    Job(job.demand, on_complete=lambda _s, t2: job.finish(t2),
+                        not_before=t, tag=job.tag),
+                    t,
+                )
+
+        self.dcc.submit(
+            Job(job.demand, on_complete=dcc_done, not_before=job.not_before,
+                tag=job.tag),
+            now,
+        )
+
+    def queue_length(self) -> int:
+        return self.dcc.queue_length() + self.hdd.queue_length()
+
+    def capacity(self) -> float:
+        return 1.0  # utilization is normalized to the bottleneck drive
+
+    def time_to_next_completion(self) -> float:
+        return min(self.dcc.time_to_next_completion(), self.hdd.time_to_next_completion())
+
+    def on_crash(self) -> None:
+        self.dcc.on_crash()
+        self.hdd.on_crash()
+
+    def on_time_increment(self, now: float, dt: float) -> None:
+        self.dcc.on_time_increment(now, dt)
+        self.dcc.local_time = now + dt
+        self.hdd.on_time_increment(now, dt)
+        self.hdd.local_time = now + dt
+
+    def sample(self, now: float) -> Dict[str, float]:
+        window = max(now - self._window_start, 1e-12)
+        busy = self.hdd._window_busy  # drive is the bottleneck resource
+        self.dcc._window_busy = 0.0
+        self.hdd._window_busy = 0.0
+        self._window_start = now
+        return {
+            "utilization": min(busy / window, 1.0),
+            "queue_length": float(self.queue_length()),
+        }

@@ -1,0 +1,56 @@
+"""Network link agent: ``M/M/1 - PSk`` with propagation latency (Fig 3-6 right).
+
+Up to ``k`` simultaneous connections share the link bandwidth uniformly;
+the constant propagation latency is added to every task.  Wide-area links
+between data centers are the saturation-critical resources in chapters 6
+and 7; :attr:`NetworkLink.allocated_fraction` models the thesis's policy
+of capping the application traffic at 20 % of the raw capacity
+(section 6.3.3).
+"""
+
+from __future__ import annotations
+
+from repro.queueing.ps import PSQueue
+
+
+class NetworkLink(PSQueue):
+    """Processor-sharing link between two holons.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Raw link capacity in bits per second.
+    latency_s:
+        One-way propagation latency in seconds.
+    max_connections:
+        Connection cap ``k`` of the PSk discipline (None = unbounded).
+    allocated_fraction:
+        Fraction of the raw bandwidth available to the simulated traffic
+        (1.0 = the whole link).
+    """
+
+    agent_type = "link"
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth_bps: float,
+        latency_s: float = 0.0,
+        max_connections: int | None = None,
+        allocated_fraction: float = 1.0,
+    ) -> None:
+        if not 0.0 < allocated_fraction <= 1.0:
+            raise ValueError("allocated fraction must be in (0, 1]")
+        super().__init__(
+            name,
+            rate=bandwidth_bps * allocated_fraction,
+            k=max_connections,
+            latency=latency_s,
+        )
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        self.allocated_fraction = float(allocated_fraction)
+
+    def seconds_for_bits(self, bits: float) -> float:
+        """Uncontended transfer time (latency + serialization)."""
+        return self.latency_s + bits / self.rate

@@ -1,0 +1,24 @@
+"""Network interface card agent: ``M/M/1 - FCFS`` over bits (Fig 3-6 left).
+
+The NIC serializes every message entering or leaving a server; its rate is
+the card speed in bits per second — typically an order of magnitude slower
+than the switch it attaches to.
+"""
+
+from __future__ import annotations
+
+from repro.queueing.fcfs import FCFSQueue
+
+
+class NIC(FCFSQueue):
+    """Single-server FCFS station draining bits at the card speed."""
+
+    agent_type = "nic"
+
+    def __init__(self, name: str, speed_bps: float) -> None:
+        super().__init__(name, rate=speed_bps, servers=1)
+        self.speed_bps = float(speed_bps)
+
+    def seconds_for_bits(self, bits: float) -> float:
+        """Uncontended serialization time for ``bits``."""
+        return bits / self.speed_bps

@@ -1,0 +1,15 @@
+"""Network switch agent: ``M/M/1 - FCFS`` over bits (Fig 3-6 center)."""
+
+from __future__ import annotations
+
+from repro.queueing.fcfs import FCFSQueue
+
+
+class NetworkSwitch(FCFSQueue):
+    """Single-server FCFS station forwarding bits at the switch speed."""
+
+    agent_type = "switch"
+
+    def __init__(self, name: str, speed_bps: float) -> None:
+        super().__init__(name, rate=speed_bps, servers=1)
+        self.speed_bps = float(speed_bps)

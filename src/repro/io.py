@@ -1,0 +1,175 @@
+"""Scenario serialization: topologies and workloads as JSON documents.
+
+The thesis's simulator is *input-driven*: data center operators describe
+their infrastructure (tiers, SANs, links), the global topology and the
+application workloads, and the simulator reproduces the system
+(section 3.2.1).  This module gives those inputs a portable JSON form so
+scenarios can be versioned, shared between operators and loaded without
+writing Python — the collaborative-inputs workflow section 2.5.2
+advocates.
+
+The document format::
+
+    {
+      "datacenters": [{"name": ..., "tiers": [...], "sans": [...],
+                       "switch_gbps": ..., "tier_link": {...}}, ...],
+      "links": [{"a": ..., "b": ..., "bandwidth_gbps": ...,
+                 "latency_ms": ..., "secondary": false, ...}, ...],
+      "workloads": {"CAD": {"DNA": [24 hourly values], ...}, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.errors import ConfigurationError
+from repro.software.workload import WorkloadCurve
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import (
+    DataCenterSpec,
+    LinkSpec,
+    RAIDSpec,
+    SANSpec,
+    TierSpec,
+)
+
+
+# ----------------------------------------------------------------------
+# spec <-> dict
+# ----------------------------------------------------------------------
+def _spec_to_dict(spec: Any) -> Dict[str, Any]:
+    return dataclasses.asdict(spec)
+
+
+def _tier_from_dict(d: Mapping[str, Any]) -> TierSpec:
+    data = dict(d)
+    raid = data.get("raid")
+    if raid is not None:
+        data["raid"] = RAIDSpec(**raid)
+    try:
+        return TierSpec(**data)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad tier spec {d!r}: {exc}") from exc
+
+
+def _link_from_dict(d: Mapping[str, Any]) -> LinkSpec:
+    data = {k: v for k, v in d.items() if k in (
+        "bandwidth_gbps", "latency_ms", "max_connections",
+        "allocated_fraction")}
+    try:
+        return LinkSpec(**data)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad link spec {d!r}: {exc}") from exc
+
+
+def datacenter_to_dict(spec: DataCenterSpec) -> Dict[str, Any]:
+    """Serialize one data-center spec."""
+    return {
+        "name": spec.name,
+        "tiers": [_spec_to_dict(t) for t in spec.tiers],
+        "sans": [_spec_to_dict(s) for s in spec.sans],
+        "switch_gbps": spec.switch_gbps,
+        "tier_link": _spec_to_dict(spec.tier_link),
+        "san_link": _spec_to_dict(spec.san_link),
+    }
+
+
+def datacenter_from_dict(d: Mapping[str, Any]) -> DataCenterSpec:
+    """Deserialize one data-center spec (validates as it builds)."""
+    try:
+        return DataCenterSpec(
+            name=d["name"],
+            tiers=tuple(_tier_from_dict(t) for t in d.get("tiers", [])),
+            sans=tuple(SANSpec(**s) for s in d.get("sans", [])),
+            switch_gbps=d.get("switch_gbps", 10.0),
+            tier_link=_link_from_dict(d["tier_link"]) if "tier_link" in d
+            else LinkSpec(1.0, 0.45),
+            san_link=_link_from_dict(d["san_link"]) if "san_link" in d
+            else LinkSpec(4.0, 0.5),
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"data center document missing {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# full scenarios
+# ----------------------------------------------------------------------
+def topology_to_document(
+    topology: GlobalTopology,
+    workloads: Optional[Mapping[str, Mapping[str, WorkloadCurve]]] = None,
+) -> Dict[str, Any]:
+    """Serialize a topology (and optional per-app workloads) to a dict."""
+    doc: Dict[str, Any] = {
+        "datacenters": [
+            datacenter_to_dict(dc.spec) for dc in topology.datacenters.values()
+        ],
+        "links": [],
+    }
+    for (a, b), link in topology.links.items():
+        doc["links"].append({
+            "a": a, "b": b,
+            "bandwidth_gbps": link.bandwidth_bps / 1e9,
+            "latency_ms": link.latency_s * 1000.0,
+            "max_connections": link.k,
+            "allocated_fraction": link.allocated_fraction,
+            "secondary": False,
+        })
+    for (a, b), link in topology._secondary.items():
+        doc["links"].append({
+            "a": a, "b": b,
+            "bandwidth_gbps": link.bandwidth_bps / 1e9,
+            "latency_ms": link.latency_s * 1000.0,
+            "max_connections": link.k,
+            "allocated_fraction": link.allocated_fraction,
+            "secondary": True,
+        })
+    if workloads:
+        doc["workloads"] = {
+            app: {dc: list(curve.hourly) for dc, curve in per_dc.items()}
+            for app, per_dc in workloads.items()
+        }
+    return doc
+
+
+def topology_from_document(
+    doc: Mapping[str, Any], seed: int | None = None
+) -> Tuple[GlobalTopology, Dict[str, Dict[str, WorkloadCurve]]]:
+    """Rebuild a topology (and workload curves) from a document."""
+    if "datacenters" not in doc:
+        raise ConfigurationError("scenario document has no 'datacenters'")
+    topo = GlobalTopology(seed=seed)
+    for dc_doc in doc["datacenters"]:
+        topo.add_datacenter(datacenter_from_dict(dc_doc))
+    for link_doc in doc.get("links", []):
+        spec = _link_from_dict(link_doc)
+        topo.connect(link_doc["a"], link_doc["b"], spec,
+                     secondary=bool(link_doc.get("secondary", False)))
+    workloads: Dict[str, Dict[str, WorkloadCurve]] = {}
+    for app, per_dc in doc.get("workloads", {}).items():
+        workloads[app] = {dc: WorkloadCurve(h) for dc, h in per_dc.items()}
+    return topo, workloads
+
+
+def save_scenario(
+    path: Union[str, Path],
+    topology: GlobalTopology,
+    workloads: Optional[Mapping[str, Mapping[str, WorkloadCurve]]] = None,
+) -> None:
+    """Write a scenario document as JSON."""
+    doc = topology_to_document(topology, workloads)
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True))
+
+
+def load_scenario(
+    path: Union[str, Path], seed: int | None = None
+) -> Tuple[GlobalTopology, Dict[str, Dict[str, WorkloadCurve]]]:
+    """Load a scenario document from JSON."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path}: not valid JSON: {exc}") from exc
+    return topology_from_document(doc, seed=seed)

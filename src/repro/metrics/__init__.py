@@ -1,0 +1,30 @@
+"""Measurement collection and accuracy statistics.
+
+The :class:`~repro.metrics.collector.Collector` reproduces the thesis's
+collector component (section 4.3.1): it samples agent state periodically
+and averages a predefined number of samples into *snapshots* reported to
+operators.  :mod:`repro.metrics.stats` implements the steady-state
+statistics and RMSE of equations 5.1-5.5; :mod:`repro.metrics.report`
+renders paper-style text tables.
+"""
+
+from repro.metrics.collector import Collector, Snapshot
+from repro.metrics.stats import (
+    steady_state_stats,
+    rmse,
+    SteadyStateStats,
+)
+from repro.metrics.report import format_table
+from repro.metrics.viz import sparkline, hourly_chart, bar_chart
+
+__all__ = [
+    "Collector",
+    "Snapshot",
+    "steady_state_stats",
+    "rmse",
+    "SteadyStateStats",
+    "format_table",
+    "sparkline",
+    "hourly_chart",
+    "bar_chart",
+]

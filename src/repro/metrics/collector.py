@@ -1,0 +1,90 @@
+"""The measurement collector component (section 4.3.1).
+
+Periodically the state of the agents is measured; once a representative
+number of samples has been gathered they are averaged into a *snapshot*
+of the infrastructure, together with the response times of the
+operations that finalized during the window.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.core.engine import Simulator
+
+#: A probe reads one scalar from the live infrastructure at sample time.
+Probe = Callable[[float], float]
+
+
+@dataclass
+class Snapshot:
+    """Averaged state of the infrastructure over one snapshot window."""
+
+    time: float
+    values: Dict[str, float] = field(default_factory=dict)
+
+
+class Collector:
+    """Samples named probes and aggregates them into snapshots.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose monitor hook drives sampling.
+    sample_interval:
+        Seconds of simulated time between samples (6 s in chapter 5).
+    samples_per_snapshot:
+        Number of samples averaged into one reported snapshot (1 =
+        report every sample).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sample_interval: float = 6.0,
+        samples_per_snapshot: int = 1,
+    ) -> None:
+        if samples_per_snapshot < 1:
+            raise ValueError("need at least one sample per snapshot")
+        self.sim = sim
+        self.sample_interval = sample_interval
+        self.samples_per_snapshot = samples_per_snapshot
+        self._probes: Dict[str, Probe] = {}
+        self.samples: List[Snapshot] = []
+        self.snapshots: List[Snapshot] = []
+        self._window: List[Snapshot] = []
+        sim.add_monitor(sample_interval, self._sample)
+
+    def add_probe(self, name: str, probe: Probe) -> None:
+        """Register a named scalar probe (e.g. a tier's CPU utilization)."""
+        if name in self._probes:
+            raise ValueError(f"duplicate probe {name!r}")
+        self._probes[name] = probe
+
+    # ------------------------------------------------------------------
+    def _sample(self, now: float) -> None:
+        snap = Snapshot(time=now, values={k: p(now) for k, p in self._probes.items()})
+        self.samples.append(snap)
+        self._window.append(snap)
+        if len(self._window) >= self.samples_per_snapshot:
+            self.snapshots.append(self._average(self._window))
+            self._window = []
+
+    @staticmethod
+    def _average(window: List[Snapshot]) -> Snapshot:
+        acc: Dict[str, float] = defaultdict(float)
+        for snap in window:
+            for k, v in snap.values.items():
+                acc[k] += v
+        n = len(window)
+        return Snapshot(
+            time=window[-1].time, values={k: v / n for k, v in acc.items()}
+        )
+
+    # ------------------------------------------------------------------
+    def series(self, name: str, from_snapshots: bool = False) -> List[tuple]:
+        """(time, value) pairs for one probe across samples/snapshots."""
+        src = self.snapshots if from_snapshots else self.samples
+        return [(s.time, s.values[name]) for s in src if name in s.values]

@@ -1,0 +1,155 @@
+"""Accuracy statistics: steady-state moments and RMSE (eqs 5.1-5.5).
+
+The validation chapter compares physical and simulated measurement
+series via the steady-state mean and standard deviation per tier
+(Table 5.2) and the root-mean-square error over the full experiment
+(Table 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SteadyStateStats:
+    """Mean and standard deviation over the steady-state window."""
+
+    mean: float
+    std: float
+    n_samples: int
+
+
+def steady_state_stats(
+    series: Sequence[Tuple[float, float]],
+    t_start: float,
+    t_end: float,
+) -> SteadyStateStats:
+    """Equations 5.1/5.2: moments of a (time, value) series on a window."""
+    values = [v for (t, v) in series if t_start <= t <= t_end]
+    if not values:
+        raise ValueError(
+            f"no samples in the steady-state window [{t_start}, {t_end}]"
+        )
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return SteadyStateStats(mean=mean, std=math.sqrt(var), n_samples=n)
+
+
+def rmse(
+    physical: Sequence[Tuple[float, float]],
+    simulated: Sequence[Tuple[float, float]],
+) -> float:
+    """Equation 5.5: RMSE between paired measurement series.
+
+    Series are paired by index; they must be sampled on the same
+    schedule (the thesis samples both systems every six seconds).
+    """
+    if len(physical) != len(simulated):
+        raise ValueError(
+            f"series lengths differ: {len(physical)} vs {len(simulated)}"
+        )
+    if not physical:
+        raise ValueError("cannot compute RMSE of empty series")
+    acc = 0.0
+    for (tp, vp), (ts, vs) in zip(physical, simulated):
+        acc += (vp - vs) ** 2
+    return math.sqrt(acc / len(physical))
+
+
+def smooth(
+    series: Sequence[Tuple[float, float]], window: int
+) -> list:
+    """Centered moving average over a (time, value) series.
+
+    Reproduces the collector's snapshot averaging (section 4.3.1): the
+    platform averages a representative number of samples before
+    reporting, which is what operators — and the accuracy comparison —
+    actually see.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if window == 1:
+        return list(series)
+    half = window // 2
+    n = len(series)
+    out = []
+    for i in range(n):
+        lo = max(i - half, 0)
+        hi = min(i + half + 1, n)
+        vals = [v for _, v in series[lo:hi]]
+        out.append((series[i][0], sum(vals) / len(vals)))
+    return out
+
+
+def mean_of(series: Sequence[Tuple[float, float]]) -> float:
+    """Plain mean of a (time, value) series."""
+    if not series:
+        raise ValueError("empty series")
+    return sum(v for _, v in series) / len(series)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        return self.low - 1e-12 <= value <= self.high + 1e-12
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.3f} ± {self.half_width:.3f} "
+                f"({100 * self.confidence:.0f}% CI, n={self.n})")
+
+
+#: two-sided Student-t critical values at 95 % by degrees of freedom
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+        7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+        30: 2.042}
+
+
+def _t_critical(df: int) -> float:
+    if df <= 0:
+        raise ValueError("need at least two replications")
+    if df in _T95:
+        return _T95[df]
+    keys = sorted(_T95)
+    for k in keys:
+        if df < k:
+            return _T95[k]
+    return 1.960  # normal limit
+
+
+def confidence_interval(values: Sequence[float],
+                        confidence: float = 0.95) -> ConfidenceInterval:
+    """Student-t confidence interval over independent replications.
+
+    Section 5.3.4 compares against Urgaonkar et al.'s 95 % confidence
+    intervals; :func:`repro.validation.experiments.run_replications`
+    produces the replication samples this summarizes.
+    """
+    if confidence != 0.95:
+        raise ValueError("only the 95% level is tabulated")
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least two replications for an interval")
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = _t_critical(n - 1) * math.sqrt(var / n)
+    return ConfidenceInterval(mean=mean, half_width=half,
+                              confidence=confidence, n=n)

@@ -1,0 +1,83 @@
+"""Terminal visualization (thesis section 9.3.2, future work).
+
+Operators consume the simulator's snapshots as curves; this module
+renders time series as unicode sparklines and block charts directly in
+the terminal, with no plotting dependency — enough to eyeball the shape
+of every figure the benchmarks regenerate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+_SPARK = "▁▂▃▄▅▆▇█"
+_BAR = "█"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None,
+              hi: float | None = None) -> str:
+    """Render values as a one-line unicode sparkline.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo = min(vals) if lo is None else lo
+    hi = max(vals) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _SPARK[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK) - 1) + 0.5)
+        out.append(_SPARK[min(max(idx, 0), len(_SPARK) - 1)])
+    return "".join(out)
+
+
+def hourly_chart(
+    series: Sequence[Tuple[str, Sequence[float]]],
+    title: str = "",
+    width_label: int = 12,
+    as_percent: bool = False,
+) -> str:
+    """Labelled sparklines over 24 hourly values, sharing a scale.
+
+    ``series`` is a list of ``(label, 24 values)`` pairs.
+    """
+    all_vals = [v for _, vs in series for v in vs]
+    if not all_vals:
+        raise ValueError("no data to chart")
+    lo, hi = min(all_vals), max(all_vals)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, vs in series:
+        peak = max(vs)
+        peak_str = f"{100 * peak:.1f}%" if as_percent else f"{peak:.1f}"
+        lines.append(
+            f"{label:<{width_label}} {sparkline(vs, lo, hi)}  peak {peak_str}"
+        )
+    lines.append(f"{'':<{width_label}} {'0h':<6}{'6h':<6}{'12h':<6}{'18h':<6}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of labelled scalars."""
+    if not rows:
+        raise ValueError("no data to chart")
+    peak = max(v for _, v in rows)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(label) for label, _ in rows)
+    lines = [title] if title else []
+    for label, v in rows:
+        n = int(v / peak * width + 0.5)
+        lines.append(f"{label:<{label_w}} {_BAR * n} {v:.1f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Coordination primitives over ports (section 4.2.3).
+
+The five primitives of the thesis's CCR-style runtime: single-item and
+multiple-item receivers, join receivers, choice, and interleave.  The
+scatter-gather mechanism of Fig 4-2 composes a batch of single-item
+receivers (scatter) with one multiple-item receiver (gather).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.parallel.ports import Port
+
+
+class SingleItemReceiver:
+    """Launch ``handler`` for each message received on one port."""
+
+    def __init__(self, port: Port, handler: Callable[[Any], None]) -> None:
+        port.arm(handler)
+
+
+class MultipleItemReceiver:
+    """Launch ``handler`` once ``n`` messages arrived on one port.
+
+    Successes and failures (exception payloads) are separated; the
+    handler receives ``(successes, failures)`` — the thesis's ``p + q =
+    n`` contract.
+    """
+
+    def __init__(
+        self,
+        port: Port,
+        n: int,
+        handler: Callable[[List[Any], List[Exception]], None],
+    ) -> None:
+        if n < 1:
+            raise ValueError("multiple-item receiver needs n >= 1")
+        self._lock = threading.Lock()
+        self._successes: List[Any] = []
+        self._failures: List[Exception] = []
+        self._n = n
+        self._handler = handler
+        port.arm(self._on_message)
+
+    def _on_message(self, message: Any) -> None:
+        fire: Optional[Tuple[List[Any], List[Exception]]] = None
+        with self._lock:
+            if isinstance(message, Exception):
+                self._failures.append(message)
+            else:
+                self._successes.append(message)
+            if len(self._successes) + len(self._failures) == self._n:
+                fire = (self._successes, self._failures)
+                self._successes = []
+                self._failures = []
+        if fire is not None:
+            self._handler(*fire)
+
+
+class JoinReceiver:
+    """Launch ``handler`` when both ports received one message each."""
+
+    def __init__(
+        self,
+        port_a: Port,
+        port_b: Port,
+        handler: Callable[[Any, Any], None],
+    ) -> None:
+        self._lock = threading.Lock()
+        self._a: List[Any] = []
+        self._b: List[Any] = []
+        self._handler = handler
+        port_a.arm(lambda m: self._on(self._a, m))
+        port_b.arm(lambda m: self._on(self._b, m))
+
+    def _on(self, side: List[Any], message: Any) -> None:
+        pair = None
+        with self._lock:
+            side.append(message)
+            if self._a and self._b:
+                pair = (self._a.pop(0), self._b.pop(0))
+        if pair is not None:
+            self._handler(*pair)
+
+
+class Choice:
+    """Route each message on a port to a handler chosen by type."""
+
+    def __init__(
+        self,
+        port: Port,
+        cases: List[Tuple[type, Callable[[Any], None]]],
+        default: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        if not cases:
+            raise ValueError("choice needs at least one case")
+        self._cases = list(cases)
+        self._default = default
+        port.arm(self._on_message)
+
+    def _on_message(self, message: Any) -> None:
+        for typ, handler in self._cases:
+            if isinstance(message, typ):
+                handler(message)
+                return
+        if self._default is not None:
+            self._default(message)
+        else:
+            raise TypeError(
+                f"no choice case matches message of type {type(message).__name__}"
+            )
+
+
+class Interleave:
+    """Reader-writer scheduling of handler groups (section 4.2.3).
+
+    * *concurrent* handlers run in parallel with other concurrent
+      invocations,
+    * *exclusive* handlers run only when nothing else runs,
+    * *teardown* handlers run exactly once, atomically, and retire the
+      interleave.
+    """
+
+    def __init__(self) -> None:
+        self._rw = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._torn_down = False
+
+    def concurrent(self, fn: Callable[[], None]) -> None:
+        with self._rw:
+            while self._writer or self._torn_down:
+                if self._torn_down:
+                    raise RuntimeError("interleave already torn down")
+                self._rw.wait()
+            self._readers += 1
+        try:
+            fn()
+        finally:
+            with self._rw:
+                self._readers -= 1
+                self._rw.notify_all()
+
+    def exclusive(self, fn: Callable[[], None]) -> None:
+        with self._rw:
+            while self._writer or self._readers or self._torn_down:
+                if self._torn_down:
+                    raise RuntimeError("interleave already torn down")
+                self._rw.wait()
+            self._writer = True
+        try:
+            fn()
+        finally:
+            with self._rw:
+                self._writer = False
+                self._rw.notify_all()
+
+    def teardown(self, fn: Callable[[], None]) -> None:
+        with self._rw:
+            while self._writer or self._readers:
+                self._rw.wait()
+            if self._torn_down:
+                raise RuntimeError("interleave already torn down")
+            self._writer = True
+        try:
+            fn()
+        finally:
+            with self._rw:
+                self._writer = False
+                self._torn_down = True
+                self._rw.notify_all()

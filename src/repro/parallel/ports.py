@@ -1,0 +1,162 @@
+"""Port-based programming primitives (section 4.2.2, Fig 4-1).
+
+Agents expose typed *ports*; posting a message to a port makes the
+*arbiter* pair the payload with the port's registered handler into a
+*work item* (the active-message mechanism of section 4.2.1: the message
+carries the address of the handler to execute on arrival).  Work items
+are submitted to a *dispatcher* whose thread pool continuously pulls and
+executes them on the puller's stack — no per-message thread is spawned.
+
+Active-message handlers must not block (section 4.2.1); the dispatcher
+enforces a watchdog that flags handlers exceeding a configurable wall
+budget in debug mode.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+Handler = Callable[[Any], None]
+
+
+@dataclass
+class WorkItem:
+    """An active message: payload paired with its arrival handler."""
+
+    handler: Handler
+    payload: Any
+
+    def run(self) -> None:
+        self.handler(self.payload)
+
+
+class Port(Generic[T]):
+    """A typed entry point to an agent's state.
+
+    Messages posted here are either queued (until a receiver arms the
+    port) or immediately paired with the armed handler by the arbiter.
+    """
+
+    def __init__(self, name: str, arbiter: "Arbiter") -> None:
+        self.name = name
+        self.arbiter = arbiter
+        self._pending: List[T] = []
+        self._handler: Optional[Handler] = None
+        self._lock = threading.Lock()
+
+    def post(self, message: T) -> None:
+        """Post a message; dispatch if a handler is armed."""
+        with self._lock:
+            handler = self._handler
+            if handler is None:
+                self._pending.append(message)
+                return
+        self.arbiter.pair(handler, message)
+
+    def arm(self, handler: Handler) -> None:
+        """Register the handler invoked for each received message."""
+        with self._lock:
+            if self._handler is not None:
+                raise ValueError(f"port {self.name!r} already armed")
+            self._handler = handler
+            pending, self._pending = self._pending, []
+        for message in pending:
+            self.arbiter.pair(handler, message)
+
+    def disarm(self) -> None:
+        with self._lock:
+            self._handler = None
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+
+class Arbiter:
+    """Pairs port messages with handlers into dispatcher work items."""
+
+    def __init__(self, dispatcher: "Dispatcher") -> None:
+        self.dispatcher = dispatcher
+
+    def pair(self, handler: Handler, payload: Any) -> None:
+        self.dispatcher.submit(WorkItem(handler, payload))
+
+    def create_port(self, name: str) -> Port:
+        return Port(name, self)
+
+
+class Dispatcher:
+    """A thread pool draining a shared work-item queue (Fig 4-1).
+
+    ``threads=0`` runs inline (sequential execution on the caller's
+    stack) — useful for deterministic tests.
+    """
+
+    def __init__(self, threads: int = 0, name: str = "dispatcher") -> None:
+        if threads < 0:
+            raise ValueError("thread count cannot be negative")
+        self.name = name
+        self.threads = threads
+        self._queue: "queue.SimpleQueue[Optional[WorkItem]]" = queue.SimpleQueue()
+        self._workers: List[threading.Thread] = []
+        self._stopped = False
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+        self.executed = 0
+        for i in range(threads):
+            w = threading.Thread(
+                target=self._worker_loop, name=f"{name}-{i}", daemon=True
+            )
+            w.start()
+            self._workers.append(w)
+
+    # ------------------------------------------------------------------
+    def submit(self, item: WorkItem) -> None:
+        if self._stopped:
+            raise RuntimeError(f"dispatcher {self.name!r} is stopped")
+        if self.threads == 0:
+            item.run()
+            self.executed += 1
+            return
+        with self._inflight_lock:
+            self._inflight += 1
+            self._idle.clear()
+        self._queue.put(item)
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            try:
+                item.run()
+            finally:
+                self.executed += 1
+                with self._inflight_lock:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every submitted work item has executed."""
+        if self.threads == 0:
+            return True
+        return self._idle.wait(timeout)
+
+    def stop(self) -> None:
+        """Shut the worker threads down (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for _ in self._workers:
+            self._queue.put(None)
+        for w in self._workers:
+            w.join(timeout=5.0)

@@ -1,0 +1,209 @@
+"""Calibrated multicore-scaling model for Tables 4.1 / 4.2.
+
+The thesis measured wall-clock simulation time of the chapter 6
+infrastructure (six data centers, 14 servers, 432 cores, 168 disks,
+6 000-client peak) on a 16-core shared-memory host.  This container has
+one core and CPython's GIL serializes compute threads, so those numbers
+cannot be timed natively (DESIGN.md, substitution 2).  Instead:
+
+* both dispatch mechanisms are fully implemented
+  (:mod:`repro.parallel.scatter_gather`, :mod:`repro.parallel.hdispatch`)
+  and their *overhead constants* are measured on this machine
+  (:func:`measure_dispatch_overhead`, :func:`measure_gil_scaling`);
+* the measured constants feed an analytic model with the thesis's two
+  structural facts — (1) per-handler dispatch cost is comparable to the
+  handler's work, so classic scatter-gather cannot speed up; (2)
+  H-Dispatch amortizes dispatch over 64-agent sets but pays three
+  sequential phases per tick plus cache-unfriendly access, degrading
+  efficiency from ~85 % at 4 threads to ~50 % at 16.
+
+The model's defaults are calibrated to the published tables; its
+structure (not its constants) is what the reproduction claims.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.parallel.ports import Dispatcher, WorkItem
+
+#: Table 4.1 — classic scatter-gather (simulation minutes, speedup).
+TABLE_4_1: List[Tuple[int, float, float]] = [
+    (1, 9888.0, 1.00),
+    (2, 9192.0, 1.08),
+    (4, 10440.0, 0.95),
+    (8, 10248.0, 0.96),
+    (16, 10056.0, 0.98),
+]
+
+#: Table 4.2 — H-Dispatch with agent set 64 (simulation minutes, speedup).
+TABLE_4_2: List[Tuple[int, float, float]] = [
+    (1, 10728.0, 1.00),
+    (2, 6278.0, 1.71),
+    (4, 3353.0, 3.20),
+    (8, 2074.0, 5.17),
+    (16, 1331.0, 8.06),
+]
+
+THREAD_COUNTS = [1, 2, 4, 8, 16]
+
+
+@dataclass(frozen=True)
+class SpeedupModel:
+    """Shared parameters of the scaling models.
+
+    ``work_us`` is the mean useful work per agent handler per tick;
+    ``overhead_us`` the per-work-item dispatch cost; both in
+    microseconds.  ``base_minutes`` anchors the single-thread wall time
+    to the thesis's measurement.
+    """
+
+    work_us: float
+    overhead_us: float
+    base_minutes: float
+
+
+@dataclass(frozen=True)
+class ScatterGatherModel(SpeedupModel):
+    """Classic scatter-gather scaling (Table 4.1).
+
+    Per tick, every one of the ``N`` agents costs one dispatch
+    (``overhead_us``, serialized through the shared dispatcher queue and
+    inflated by contention as threads are added) plus ``work_us``
+    (divided across threads).  With overhead >= work, the curve is flat.
+    """
+
+    #: queue/allocation contention growth per extra thread (saturating).
+    contention_per_thread: float = 0.055
+    contention_cap: float = 1.25
+
+    def time_minutes(self, threads: int) -> float:
+        if threads < 1:
+            raise ValueError("thread count must be >= 1")
+        contention = min(
+            1.0 + self.contention_per_thread * (threads - 1), self.contention_cap
+        )
+        t1 = self.overhead_us + self.work_us
+        tn = self.overhead_us * contention + self.work_us / threads
+        return self.base_minutes * tn / t1
+
+    def speedup(self, threads: int) -> float:
+        return self.time_minutes(1) / self.time_minutes(threads)
+
+    def table(self) -> List[Tuple[int, float, float]]:
+        """(threads, minutes, speedup) rows like Table 4.1."""
+        return [
+            (n, self.time_minutes(n), self.speedup(n)) for n in THREAD_COUNTS
+        ]
+
+
+@dataclass(frozen=True)
+class HDispatchModel(SpeedupModel):
+    """H-Dispatch scaling (Table 4.2, Fig 4-6).
+
+    Dispatch cost is paid once per agent *set*; the per-thread
+    efficiency loss ``beta`` aggregates the thesis's two structural
+    penalties: three sequential steps per tick (time update, measurement
+    collection, agent interaction) and the absence of cache locality.
+    ``speedup(n) = n / (1 + beta (n-1))`` reproduces the published
+    ~85 % -> ~50 % efficiency slide.
+    """
+
+    agent_set_size: int = 64
+    beta: float = 0.0662
+
+    def time_minutes(self, threads: int) -> float:
+        return self.base_minutes / self.speedup(threads)
+
+    def speedup(self, threads: int) -> float:
+        if threads < 1:
+            raise ValueError("thread count must be >= 1")
+        return threads / (1.0 + self.beta * (threads - 1))
+
+    def efficiency(self, threads: int) -> float:
+        return self.speedup(threads) / threads
+
+    def table(self) -> List[Tuple[int, float, float]]:
+        """(threads, minutes, speedup) rows like Table 4.2."""
+        return [
+            (n, self.time_minutes(n), self.speedup(n)) for n in THREAD_COUNTS
+        ]
+
+
+def default_scatter_gather_model() -> ScatterGatherModel:
+    """Model calibrated to Table 4.1: overhead ~4x the handler work."""
+    return ScatterGatherModel(work_us=2.0, overhead_us=8.0, base_minutes=9888.0)
+
+
+def default_hdispatch_model() -> HDispatchModel:
+    """Model calibrated to Table 4.2."""
+    return HDispatchModel(work_us=2.0, overhead_us=4.0, base_minutes=10728.0)
+
+
+# ----------------------------------------------------------------------
+# local measurements
+# ----------------------------------------------------------------------
+def measure_dispatch_overhead(n_items: int = 20000) -> Dict[str, float]:
+    """Measure this machine's per-work-item dispatch cost (microseconds).
+
+    Compares a no-op handler executed inline against the same handler
+    routed through a threaded dispatcher — the gap is the pairing,
+    queueing and wake-up overhead that cancels scatter-gather's benefit.
+    """
+    counter = {"n": 0}
+
+    def noop(_msg) -> None:
+        counter["n"] += 1
+
+    # inline baseline
+    inline = Dispatcher(threads=0)
+    t0 = time.perf_counter()
+    for i in range(n_items):
+        inline.submit(WorkItem(noop, i))
+    inline_us = (time.perf_counter() - t0) / n_items * 1e6
+
+    threaded = Dispatcher(threads=1, name="measure")
+    t0 = time.perf_counter()
+    for i in range(n_items):
+        threaded.submit(WorkItem(noop, i))
+    threaded.drain()
+    threaded_us = (time.perf_counter() - t0) / n_items * 1e6
+    threaded.stop()
+    return {
+        "inline_us": inline_us,
+        "threaded_us": threaded_us,
+        "overhead_us": max(threaded_us - inline_us, 0.0),
+    }
+
+
+def measure_gil_scaling(threads: int = 2, work_items: int = 50000) -> float:
+    """Measured speedup of pure-Python work under CPython threads.
+
+    Returns wall(1 thread) / wall(n threads) — ~1.0 (or below) under the
+    GIL, which is why the thesis's native-thread scaling experiment is
+    reproduced through the calibrated model rather than timed here.
+    """
+    import threading
+
+    def burn(n: int) -> None:
+        acc = 0
+        for i in range(n):
+            acc += i * i
+
+    t0 = time.perf_counter()
+    burn(work_items)
+    serial = time.perf_counter() - t0
+
+    per_thread = work_items // threads
+    workers = [
+        threading.Thread(target=burn, args=(per_thread,)) for _ in range(threads)
+    ]
+    t0 = time.perf_counter()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    parallel = time.perf_counter() - t0
+    return serial / parallel if parallel > 0 else float("nan")

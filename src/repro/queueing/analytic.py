@@ -1,0 +1,122 @@
+"""Closed-form queueing results used to cross-validate the simulator.
+
+These are the textbook formulas behind the thesis's related-work chapter
+(sections 2.2, 3.4.1).  The simulated FCFS/PS stations are checked against
+them in the test suite: a correct discrete-time station driven by Poisson
+arrivals and exponential service must converge to these values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import SaturationError
+
+
+def _check_stable(rho: float) -> None:
+    if rho >= 1.0:
+        raise SaturationError(f"queue is unstable: rho={rho:.4f} >= 1")
+    if rho < 0.0:
+        raise ValueError(f"utilization cannot be negative: {rho}")
+
+
+# ----------------------------------------------------------------------
+# M/M/1
+# ----------------------------------------------------------------------
+def mm1_utilization(lam: float, mu: float) -> float:
+    """Server utilization ``rho = lambda / mu`` of an M/M/1 queue."""
+    if mu <= 0:
+        raise ValueError("service rate must be positive")
+    return lam / mu
+
+
+def mm1_mean_jobs(lam: float, mu: float) -> float:
+    """Mean number in system ``L = rho / (1 - rho)``."""
+    rho = mm1_utilization(lam, mu)
+    _check_stable(rho)
+    return rho / (1.0 - rho)
+
+
+def mm1_mean_response(lam: float, mu: float) -> float:
+    """Mean sojourn time ``W = 1 / (mu - lambda)``."""
+    rho = mm1_utilization(lam, mu)
+    _check_stable(rho)
+    return 1.0 / (mu - lam)
+
+
+# ----------------------------------------------------------------------
+# M/M/c
+# ----------------------------------------------------------------------
+def erlang_c(lam: float, mu: float, c: int) -> float:
+    """Erlang-C probability that an arriving job must wait (M/M/c)."""
+    if c < 1:
+        raise ValueError("server count must be >= 1")
+    a = lam / mu  # offered load in Erlangs
+    rho = a / c
+    _check_stable(rho)
+    summation = sum(a**k / math.factorial(k) for k in range(c))
+    top = a**c / (math.factorial(c) * (1.0 - rho))
+    return top / (summation + top)
+
+
+def mmc_utilization(lam: float, mu: float, c: int) -> float:
+    """Per-server utilization ``rho = lambda / (c mu)``."""
+    return lam / (c * mu)
+
+
+def mmc_mean_response(lam: float, mu: float, c: int) -> float:
+    """Mean sojourn time of an M/M/c queue."""
+    rho = mmc_utilization(lam, mu, c)
+    _check_stable(rho)
+    pw = erlang_c(lam, mu, c)
+    return pw / (c * mu - lam) + 1.0 / mu
+
+
+def mmc_mean_jobs(lam: float, mu: float, c: int) -> float:
+    """Mean number in system of an M/M/c queue (Little's law)."""
+    return lam * mmc_mean_response(lam, mu, c)
+
+
+# ----------------------------------------------------------------------
+# Processor sharing
+# ----------------------------------------------------------------------
+def mg1ps_mean_response(lam: float, mu: float) -> float:
+    """Mean sojourn time of an M/G/1-PS queue.
+
+    PS is insensitive to the service distribution beyond its mean, so the
+    M/G/1-PS mean response equals the M/M/1 value ``1/(mu - lambda)``.
+    """
+    return mm1_mean_response(lam, mu)
+
+
+def ps_slowdown(n_active: int) -> float:
+    """Service-rate dilation factor with ``n`` jobs sharing a PS server."""
+    if n_active < 1:
+        raise ValueError("need at least one active job")
+    return float(n_active)
+
+
+# ----------------------------------------------------------------------
+# Fork-join (approximation)
+# ----------------------------------------------------------------------
+def forkjoin_mean_response_approx(lam: float, mu: float, n: int) -> float:
+    """Nelson-Tantawi approximation of the mean response of an n-way
+    fork-join of M/M/1 branches (each branch receives the full arrival
+    stream).  Exact for n=1 and n=2; within a few percent otherwise.
+    """
+    if n < 1:
+        raise ValueError("fork-join width must be >= 1")
+    rho = lam / mu
+    _check_stable(rho)
+    w1 = mm1_mean_response(lam, mu)
+    if n == 1:
+        return w1
+    h_n = sum(1.0 / k for k in range(1, n + 1))
+    w2 = (12.0 - rho) / 8.0 * w1  # exact two-branch result
+    scale = h_n / 1.5  # H_n / H_2
+    return (scale + (4.0 * rho / 11.0) * (1.0 - scale)) * w2
+
+
+def little_law_jobs(lam: float, mean_response: float) -> float:
+    """Little's law: ``L = lambda W``."""
+    return lam * mean_response

@@ -1,0 +1,119 @@
+"""Multi-server first-come-first-served queue (``M/M/c - FCFS``).
+
+The workhorse of the hardware layer: CPUs (one queue per socket, ``q``
+cores each), NICs, network switches and disk controllers are all FCFS
+queue-servers whose service rate is the device speed in its native unit
+(cycles/s, bits/s, bytes/s).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.core.agent import Agent
+from repro.core.job import Job
+
+
+class FCFSQueue(Agent):
+    """``c`` identical servers draining a single FCFS waiting line.
+
+    Parameters
+    ----------
+    name:
+        Agent name (unique within a simulation).
+    rate:
+        Service rate of *each* server, in work units per second.
+    servers:
+        Number of parallel servers ``c``.
+    """
+
+    agent_type = "fcfs"
+
+    def __init__(self, name: str, rate: float, servers: int = 1) -> None:
+        super().__init__(name)
+        if rate <= 0:
+            raise ValueError(f"service rate must be positive, got {rate}")
+        if servers < 1:
+            raise ValueError(f"server count must be >= 1, got {servers}")
+        self.rate = float(rate)
+        self.servers = int(servers)
+        self.waiting: Deque[Job] = deque()
+        self.in_service: List[Job] = []
+        self.completed_count = 0
+
+    # ------------------------------------------------------------------
+    def enqueue(self, job: Job, now: float) -> None:
+        self.waiting.append(job)
+
+    def queue_length(self) -> int:
+        return len(self.waiting) + len(self.in_service)
+
+    def capacity(self) -> float:
+        return float(self.servers)
+
+    def time_to_next_completion(self) -> float:
+        if not self.in_service:
+            if not self.waiting:
+                return float("inf")
+            # waiting jobs will be admitted on the next tick
+            return 0.0
+        return min(j.remaining for j in self.in_service) / self.rate
+
+    def on_crash(self) -> None:
+        """Crash semantics: in-service progress is lost; jobs restart."""
+        for job in reversed(self.in_service):
+            job.remaining = job.demand
+            job.start_time = None
+            self.waiting.appendleft(job)
+        self.in_service = []
+
+    # ------------------------------------------------------------------
+    def _admit(self, now: float) -> None:
+        """Move eligible waiting jobs into free servers (FCFS order)."""
+        while self.waiting and len(self.in_service) < self.servers:
+            head = self.waiting[0]
+            if head.not_before > now + 1e-9:
+                break  # timestamp guard: head may not start yet
+            self.waiting.popleft()
+            head.start_time = now if head.start_time is None else head.start_time
+            self.in_service.append(head)
+
+    def on_time_increment(self, now: float, dt: float) -> None:
+        """Consume up to ``dt`` seconds of service on every busy server.
+
+        Work is consumed in sub-intervals delimited by job completions so
+        that a server freed mid-tick immediately picks up the next waiting
+        job (head-of-line), exactly as a continuous-time FCFS station
+        would.
+        """
+        t = 0.0
+        self._admit(now)
+        while t < dt - 1e-12:
+            if not self.in_service:
+                # idle until a guarded job becomes eligible
+                if not self.waiting:
+                    break
+                wake = max(self.waiting[0].not_before - (now + t), 0.0)
+                if wake >= dt - t:
+                    break
+                t += wake
+                self._admit(now + t)
+                if not self.in_service:
+                    break
+            # time until the earliest in-service completion
+            span = min(j.remaining for j in self.in_service) / self.rate
+            step = min(span, dt - t)
+            for job in self.in_service:
+                job.remaining -= step * self.rate
+            self.record_busy(step * len(self.in_service))
+            t += step
+            finished = [j for j in self.in_service if j.done]
+            if finished:
+                self.in_service = [j for j in self.in_service if not j.done]
+                for job in finished:
+                    self.completed_count += 1
+                    job.finish(now + t)
+                self._admit(now + t)
+            elif step >= dt - t:
+                break

@@ -1,0 +1,67 @@
+"""Fork-join composition over ``n`` parallel queue chains.
+
+RAIDs and SANs (Figs 3-7, 3-8) stripe each I/O request across ``n``
+identical disk chains; the request completes when every branch has
+completed (the *join* barrier).  :class:`ForkJoin` is a coordinator — not
+itself a queue-server — that splits an incoming job into per-branch
+sub-jobs and fires the parent continuation when the last branch finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.job import Job
+
+
+class ForkJoin:
+    """Fan a job out across branches and join on the last completion.
+
+    Parameters
+    ----------
+    branches:
+        One entry point per branch: a callable ``submit(job, now)``
+        (typically the bound ``submit`` of the first queue of a disk
+        chain).
+    split:
+        ``"stripe"`` divides the parent demand evenly across branches
+        (RAID-0 striping); ``"mirror"`` sends the full demand to every
+        branch (replication reads/writes).
+    """
+
+    def __init__(
+        self,
+        branches: Sequence[Callable[[Job, float], None]],
+        split: str = "stripe",
+    ) -> None:
+        if not branches:
+            raise ValueError("fork-join requires at least one branch")
+        if split not in ("stripe", "mirror"):
+            raise ValueError(f"unknown split policy {split!r}")
+        self.branches = list(branches)
+        self.split = split
+
+    @property
+    def width(self) -> int:
+        return len(self.branches)
+
+    def submit(self, job: Job, now: float) -> None:
+        """Fork ``job`` across all branches; join before its continuation."""
+        n = self.width
+        per_branch = job.demand / n if self.split == "stripe" else job.demand
+        pending = {"count": n}
+
+        def branch_done(_sub: Job, t: float) -> None:
+            pending["count"] -= 1
+            if pending["count"] == 0:
+                job.finish(t)
+
+        job.enqueue_time = now
+        for branch in self.branches:
+            sub = Job(
+                demand=per_branch,
+                on_complete=branch_done,
+                not_before=job.not_before,
+                tag=job.tag,
+            )
+            branch(sub, now)

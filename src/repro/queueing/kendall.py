@@ -1,0 +1,89 @@
+"""Kendall's notation (Appendix A of the thesis).
+
+Queueing models are classified with a three-factor ``A/B/C`` or six-factor
+``A/B/C/K/N - D`` notation: arrival process, service process, server
+count, system capacity, population size and discipline.  The thesis writes
+disciplines as a suffix (``M/M/1 - FCFS``, ``M/M/1/m - PS``); this parser
+accepts both the slash-separated and suffixed forms, and the ``p x M/M/q``
+multi-socket shorthand of Fig 3-4.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+_PROCESSES = {"M", "D", "G", "GI", "E", "H"}
+_DISCIPLINES = {"FCFS", "LCFS", "PS", "SIRO", "RR"}
+
+_PATTERN = re.compile(
+    r"^\s*(?:(?P<mult>\d+)\s*[xX]\s*)?"
+    r"(?P<A>[A-Z]+)\s*/\s*(?P<B>[A-Z]+)\s*/\s*(?P<C>\d+|c|q|n)"
+    r"(?:\s*/\s*(?P<K>\d+|m|k|inf))?"
+    r"(?:\s*/\s*(?P<N>\d+|inf))?"
+    r"(?:\s*-\s*(?P<D>[A-Z]+)(?P<Dk>\d+)?)?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class KendallSpec:
+    """Parsed Kendall classification of a queueing station."""
+
+    arrival: str
+    service: str
+    servers: Optional[int]  # None for symbolic counts (c, q, n)
+    capacity: Optional[int]  # None means infinite / unspecified
+    population: Optional[int]
+    discipline: str
+    discipline_cap: Optional[int]  # the k of PSk
+    multiplicity: int = 1  # the p of "p x M/M/q"
+
+    def __str__(self) -> str:
+        parts = [self.arrival, self.service, str(self.servers or "c")]
+        if self.capacity is not None:
+            parts.append(str(self.capacity))
+        if self.population is not None:
+            parts.append(str(self.population))
+        s = "/".join(parts)
+        if self.multiplicity != 1:
+            s = f"{self.multiplicity} x {s}"
+        suffix = self.discipline
+        if self.discipline_cap is not None:
+            suffix += str(self.discipline_cap)
+        return f"{s} - {suffix}"
+
+
+def parse_kendall(text: str) -> KendallSpec:
+    """Parse a Kendall-notation string into a :class:`KendallSpec`.
+
+    >>> parse_kendall("M/M/1 - FCFS").discipline
+    'FCFS'
+    >>> parse_kendall("2 x M/M/4").multiplicity
+    2
+    """
+    m = _PATTERN.match(text)
+    if m is None:
+        raise ValueError(f"not a valid Kendall notation: {text!r}")
+    A, B = m.group("A"), m.group("B")
+    if A not in _PROCESSES or B not in _PROCESSES:
+        raise ValueError(f"unknown arrival/service process in {text!r}")
+
+    def _num(v: str | None) -> Optional[int]:
+        if v is None or v in ("inf", "m", "k", "c", "q", "n"):
+            return None
+        return int(v)
+
+    discipline = m.group("D") or "FCFS"
+    if discipline not in _DISCIPLINES:
+        raise ValueError(f"unknown discipline {discipline!r} in {text!r}")
+    return KendallSpec(
+        arrival=A,
+        service=B,
+        servers=_num(m.group("C")),
+        capacity=_num(m.group("K")),
+        population=_num(m.group("N")),
+        discipline=discipline,
+        discipline_cap=int(m.group("Dk")) if m.group("Dk") else None,
+        multiplicity=int(m.group("mult")) if m.group("mult") else 1,
+    )

@@ -1,0 +1,134 @@
+"""Processor-sharing queue with a connection cap (``M/M/1 - PSk``).
+
+Network links are modeled as PS queues (section 3.4.2, Fig 3-6 right):
+up to ``k`` tasks share the service rate equally; tasks beyond ``k`` wait
+FCFS for a connection slot.  A constant propagation ``latency`` is added
+to every task before it becomes eligible for bandwidth, matching the
+thesis's "latency ... added to the processing time of each task".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.core.agent import Agent
+from repro.core.job import Job
+
+
+class PSQueue(Agent):
+    """Egalitarian processor sharing of ``rate`` among at most ``k`` jobs.
+
+    Parameters
+    ----------
+    rate:
+        Total service rate shared by active jobs (e.g. link bandwidth in
+        bits per second).
+    k:
+        Maximum number of simultaneously served jobs (connection cap).
+        ``None`` means unbounded (pure PS).
+    latency:
+        Constant delay in seconds applied to each job before it starts
+        receiving service.
+    """
+
+    agent_type = "ps"
+
+    def __init__(
+        self,
+        name: str,
+        rate: float,
+        k: int | None = None,
+        latency: float = 0.0,
+    ) -> None:
+        super().__init__(name)
+        if rate <= 0:
+            raise ValueError(f"service rate must be positive, got {rate}")
+        if k is not None and k < 1:
+            raise ValueError(f"connection cap must be >= 1, got {k}")
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.rate = float(rate)
+        self.k = k
+        self.latency = float(latency)
+        self.waiting: Deque[Job] = deque()
+        self.active: List[Job] = []
+        self.completed_count = 0
+
+    # ------------------------------------------------------------------
+    def enqueue(self, job: Job, now: float) -> None:
+        # propagation delay: the job may not start service before this time
+        job.not_before = max(job.not_before, now + self.latency)
+        self.waiting.append(job)
+
+    def queue_length(self) -> int:
+        return len(self.waiting) + len(self.active)
+
+    def capacity(self) -> float:
+        return 1.0  # utilization is the busy fraction of the shared rate
+
+    def time_to_next_completion(self) -> float:
+        if self.active:
+            share = self.rate / len(self.active)
+            return min(j.remaining for j in self.active) / share
+        if self.waiting:
+            return max(min(j.not_before for j in self.waiting) - self.local_time, 0.0)
+        return float("inf")
+
+    def on_crash(self) -> None:
+        """Crash semantics: active transfers restart from scratch."""
+        for job in reversed(self.active):
+            job.remaining = job.demand
+            job.start_time = None
+            self.waiting.appendleft(job)
+        self.active = []
+
+    # ------------------------------------------------------------------
+    def _admit(self, now: float) -> None:
+        limit = self.k if self.k is not None else float("inf")
+        # admit in arrival order; skip-over is not allowed (FCFS slots)
+        while self.waiting and len(self.active) < limit:
+            head = self.waiting[0]
+            if head.not_before > now + 1e-9:
+                break
+            self.waiting.popleft()
+            head.start_time = now if head.start_time is None else head.start_time
+            self.active.append(head)
+
+    def on_time_increment(self, now: float, dt: float) -> None:
+        """Drain the shared rate across active jobs, sub-stepped at completions."""
+        t = 0.0
+        self._admit(now)
+        while t < dt - 1e-12:
+            if not self.active:
+                if not self.waiting:
+                    break
+                wake = max(min(j.not_before for j in self.waiting) - (now + t), 0.0)
+                if wake >= dt - t:
+                    break
+                t += wake
+                self._admit(now + t)
+                if not self.active:
+                    break
+            share = self.rate / len(self.active)
+            span = min(j.remaining for j in self.active) / share
+            # an admission can change shares mid-tick: cap the span at the
+            # earliest waiting job's eligibility as well
+            if self.waiting:
+                eligible_in = self.waiting[0].not_before - (now + t)
+                if 0.0 < eligible_in < span and (
+                    self.k is None or len(self.active) < self.k
+                ):
+                    span = eligible_in
+            step = min(span, dt - t)
+            for job in self.active:
+                job.remaining -= step * share
+            self.record_busy(step)
+            t += step
+            finished = [j for j in self.active if j.done]
+            if finished:
+                self.active = [j for j in self.active if not j.done]
+                for job in finished:
+                    self.completed_count += 1
+                    job.finish(now + t)
+            self._admit(now + t)

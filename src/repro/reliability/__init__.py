@@ -1,0 +1,35 @@
+"""Failure injection and availability evaluation.
+
+The simulator's purpose statement covers "the performance,
+*availability and reliability* of large-scale computer systems", and the
+motivation chapter (section 1.1, "Continuous Failure") quantifies why:
+on a 2 000-node cluster Google reported 20 rack failures, 1 000 machine
+crashes and thousands of disk failures per year — infrastructures must
+be designed for the dynamics of failure.
+
+This package makes those dynamics simulable:
+
+* :class:`~repro.reliability.failures.FailureInjector` — schedules
+  exponential MTBF/MTTR failure/repair processes for servers, disks and
+  WAN links; failed servers are skipped by tier load balancing, failed
+  links trigger rerouting over secondaries, failed disks degrade their
+  RAID/SAN fork-join.
+* :class:`~repro.reliability.availability.AvailabilityMonitor` — turns
+  operation records into availability metrics: success ratio, SLA
+  attainment, MTTR-weighted downtime.
+"""
+
+from repro.reliability.failures import (
+    FailureInjector,
+    FailurePolicy,
+    FailureEvent,
+)
+from repro.reliability.availability import AvailabilityMonitor, AvailabilityReport
+
+__all__ = [
+    "FailureInjector",
+    "FailurePolicy",
+    "FailureEvent",
+    "AvailabilityMonitor",
+    "AvailabilityReport",
+]

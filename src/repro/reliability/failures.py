@@ -1,0 +1,193 @@
+"""Failure/repair processes over the live infrastructure.
+
+Each component class follows an alternating-renewal process: exponential
+time-to-failure (MTBF) while up, exponential time-to-repair (MTTR) while
+down.  Server crashes lose in-flight progress (queued requests retry
+after the repair), disk failures degrade their array's stripe set, link
+failures shift routes onto secondary links (section 6.4.1's redundant
+links become active).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.engine import Simulator
+from repro.hardware.raid import RAID
+from repro.topology.network import GlobalTopology
+from repro.topology.server import Server
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """MTBF/MTTR (seconds) per component class; ``None`` disables a class.
+
+    Defaults scale the section 1.1 Google figures (a 2 000-node cluster
+    sees ~1 000 machine crashes/year -> per-server MTBF ~2 years) down
+    to magnitudes that exercise the machinery within simulated hours.
+    """
+
+    server_mtbf_s: Optional[float] = 4.0 * 3600.0
+    server_mttr_s: float = 600.0
+    disk_mtbf_s: Optional[float] = 8.0 * 3600.0
+    disk_mttr_s: float = 1800.0
+    link_mtbf_s: Optional[float] = 12.0 * 3600.0
+    link_mttr_s: float = 900.0
+
+    def __post_init__(self) -> None:
+        for name in ("server", "disk", "link"):
+            mtbf = getattr(self, f"{name}_mtbf_s")
+            mttr = getattr(self, f"{name}_mttr_s")
+            if mtbf is not None and mtbf <= 0:
+                raise ValueError(f"{name} MTBF must be positive")
+            if mttr <= 0:
+                raise ValueError(f"{name} MTTR must be positive")
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One failure or repair occurrence."""
+
+    time: float
+    component: str
+    kind: str  # "server" | "disk" | "link"
+    event: str  # "fail" | "repair"
+
+
+class FailureInjector:
+    """Drives failure/repair processes against a topology.
+
+    Parameters
+    ----------
+    keep_one_server:
+        When True (default) a tier's last available server never fails —
+        total-tier outages are injected explicitly in tests rather than
+        by chance.
+    keep_one_disk:
+        Likewise for the last disk of an array (RAID redundancy).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: GlobalTopology,
+        policy: FailurePolicy = FailurePolicy(),
+        until: float = float("inf"),
+        keep_one_server: bool = True,
+        keep_one_disk: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.policy = policy
+        self.until = until
+        self.keep_one_server = keep_one_server
+        self.keep_one_disk = keep_one_disk
+        self.rng = random.Random(seed)
+        self.events: List[FailureEvent] = []
+        self.downtime: Dict[str, float] = {}
+        self._down_since: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm every component's failure clock."""
+        p = self.policy
+        if p.server_mtbf_s is not None:
+            for dc in self.topology.datacenters.values():
+                for tier in dc.tiers.values():
+                    for server in tier.servers:
+                        self._arm_server(server, tier)
+        if p.disk_mtbf_s is not None:
+            for dc in self.topology.datacenters.values():
+                for tier in dc.tiers.values():
+                    for server in tier.servers:
+                        if server.raid is not None:
+                            for disk in server.raid.disks:
+                                self._arm_disk(disk, server.raid)
+        if p.link_mtbf_s is not None:
+            for (a, b) in list(self.topology.links):
+                self._arm_link(a, b)
+
+    def _record(self, name: str, kind: str, event: str, now: float) -> None:
+        self.events.append(FailureEvent(now, name, kind, event))
+        if event == "fail":
+            self._down_since[name] = now
+        else:
+            started = self._down_since.pop(name, now)
+            self.downtime[name] = self.downtime.get(name, 0.0) + (now - started)
+
+    # ------------------------------------------------------------------
+    def _arm_server(self, server: Server, tier) -> None:
+        def fail(now: float) -> None:
+            if now >= self.until:
+                return
+            healthy = [s for s in tier.servers if s.available]
+            if self.keep_one_server and len(healthy) <= 1 and server.available:
+                # postpone: re-arm instead of taking the tier down
+                self._schedule(fail, self.policy.server_mtbf_s)
+                return
+            server.fail(crash=True)
+            self._record(server.name, "server", "fail", now)
+            self._schedule(lambda t: repair(t), self.policy.server_mttr_s,
+                           fixed=True)
+
+        def repair(now: float) -> None:
+            server.repair(now)
+            self._record(server.name, "server", "repair", now)
+            self._schedule(fail, self.policy.server_mtbf_s)
+
+        self._schedule(fail, self.policy.server_mtbf_s)
+
+    def _arm_disk(self, disk, raid: RAID) -> None:
+        def fail(now: float) -> None:
+            if now >= self.until:
+                return
+            healthy = [d for d in raid.disks if not d.paused]
+            if self.keep_one_disk and len(healthy) <= 1 and not disk.paused:
+                self._schedule(fail, self.policy.disk_mtbf_s)
+                return
+            disk.fail(crash=True)
+            self._record(disk.name, "disk", "fail", now)
+            self._schedule(lambda t: repair(t), self.policy.disk_mttr_s,
+                           fixed=True)
+
+        def repair(now: float) -> None:
+            disk.repair(now)
+            self._record(disk.name, "disk", "repair", now)
+            self._schedule(fail, self.policy.disk_mtbf_s)
+
+        self._schedule(fail, self.policy.disk_mtbf_s)
+
+    def _arm_link(self, a: str, b: str) -> None:
+        name = self.topology.link_between(a, b).name
+
+        def fail(now: float) -> None:
+            if now >= self.until:
+                return
+            self.topology.fail_link(a, b)
+            self._record(name, "link", "fail", now)
+            self._schedule(lambda t: repair(t), self.policy.link_mttr_s,
+                           fixed=True)
+
+        def repair(now: float) -> None:
+            self.topology.restore_link(a, b)
+            self._record(name, "link", "repair", now)
+            self._schedule(fail, self.policy.link_mtbf_s)
+
+        self._schedule(fail, self.policy.link_mtbf_s)
+
+    def _schedule(self, fn, mean_s: float, fixed: bool = False) -> None:
+        delay = mean_s if fixed else self.rng.expovariate(1.0 / mean_s)
+        when = self.sim.now + delay
+        if when < self.until:
+            self.sim.schedule(when, fn)
+
+    # ------------------------------------------------------------------
+    def failures_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for ev in self.events:
+            if ev.event == "fail":
+                out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out

@@ -1,0 +1,61 @@
+"""Software application modeling (section 3.5).
+
+Applications are collections of client-initiated *operations*; each
+operation is a *message cascade* — sequences of messages, each conveying
+a hardware-agnostic resource array ``R`` with computational (Rp), network
+(Rt), memory (Rm) and disk (Rd) costs.  Messages flow through the
+infrastructure altering the state of the queueing agents they traverse;
+the cumulative time over all interactions yields the operation's
+response time (equations 3.1-3.5).
+"""
+
+from repro.software.resources import R
+from repro.software.message import MessageSpec, Endpoint, CLIENT
+from repro.software.operation import Operation, round_trip, tier_round_trip
+from repro.software.placement import (
+    Placement,
+    SingleMasterPlacement,
+    MultiMasterPlacement,
+)
+from repro.software.client import Client
+from repro.software.cascade import CascadeRunner, OperationRecord
+from repro.software.canonical import CanonicalCostModel, calibrate_operation
+from repro.software.workload import (
+    WorkloadCurve,
+    OperationMix,
+    HourlyMix,
+    SeriesLauncher,
+    OpenLoopWorkload,
+)
+from repro.software.application import Application
+from repro.software.sessions import ClosedLoopWorkload, SessionStats
+from repro.software.traces import OperationTrace, TraceEvent, TraceReplay
+
+__all__ = [
+    "R",
+    "MessageSpec",
+    "Endpoint",
+    "CLIENT",
+    "Operation",
+    "round_trip",
+    "tier_round_trip",
+    "Placement",
+    "SingleMasterPlacement",
+    "MultiMasterPlacement",
+    "Client",
+    "CascadeRunner",
+    "OperationRecord",
+    "CanonicalCostModel",
+    "calibrate_operation",
+    "WorkloadCurve",
+    "OperationMix",
+    "HourlyMix",
+    "SeriesLauncher",
+    "OpenLoopWorkload",
+    "Application",
+    "ClosedLoopWorkload",
+    "SessionStats",
+    "OperationTrace",
+    "TraceEvent",
+    "TraceReplay",
+]

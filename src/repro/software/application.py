@@ -1,0 +1,67 @@
+"""Application: operations + workload + mix, the unit the simulator loads.
+
+For each software application hosted by the infrastructure the simulator
+needs the hourly client workload per data center, the operation mix and
+the message cascade of each operation (section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.software.operation import Operation
+from repro.software.workload import OperationMix, WorkloadCurve
+
+
+@dataclass
+class Application:
+    """A distributed software application loaded into the simulator.
+
+    Attributes
+    ----------
+    name:
+        Application name (``CAD``, ``VIS``, ``PDM``).
+    operations:
+        Operation name -> calibrated :class:`Operation`.
+    mix:
+        Distribution over operation types (assumed uniform through the
+        day in the chapter 6 experiments).
+    workloads:
+        Data center name -> hourly active-client curve.
+    ops_per_client_hour:
+        Launch rate of one active client.
+    """
+
+    name: str
+    operations: Dict[str, Operation]
+    mix: OperationMix
+    workloads: Dict[str, WorkloadCurve] = field(default_factory=dict)
+    ops_per_client_hour: float = 6.0
+
+    def __post_init__(self) -> None:
+        missing = [n for n in self.mix.weights if n not in self.operations]
+        if missing:
+            raise ValueError(
+                f"application {self.name!r}: mix references unknown "
+                f"operations {missing}"
+            )
+
+    def operation(self, name: str) -> Operation:
+        try:
+            return self.operations[name]
+        except KeyError:
+            raise KeyError(
+                f"application {self.name!r} has no operation {name!r}; "
+                f"available: {sorted(self.operations)}"
+            ) from None
+
+    def global_peak_clients(self) -> float:
+        """Peak of the summed per-DC workload curves."""
+        if not self.workloads:
+            return 0.0
+        total = [0.0] * 24
+        for curve in self.workloads.values():
+            for h in range(24):
+                total[h] += curve.hourly[h]
+        return max(total)

@@ -1,0 +1,230 @@
+"""Canonical (unloaded) operation costs and calibration.
+
+The thesis defines the *canonical cost* of an operation as the
+computational, network, disk and memory cost incurred by a single user
+running the real software on an otherwise idle infrastructure (section
+3.5.2).  :class:`CanonicalCostModel` computes that cost analytically by
+walking a cascade over the topology's uncontended service rates —
+exactly what a single-client discrete-event run converges to.
+
+Because the real software is proprietary, the R arrays here are
+synthesized with plausible *shape* and then **calibrated**:
+:func:`calibrate_operation` scales a cascade's demand-dependent costs so
+the canonical duration matches the published Table 5.1 value.  Canonical
+time is affine in the scale factor (``T(a) = latency + a * demand``), so
+one linear solve suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.software.client import Client
+from repro.software.message import CLIENT, DAEMON, MessageSpec
+from repro.software.operation import Operation
+from repro.software.resources import R
+from repro.topology.network import GlobalTopology
+from repro.topology.server import Server
+
+#: Resource keys used in operation footprints: ``(dc, tier, resource)``
+#: for server resources, ``("link", name, "net")`` for WAN links,
+#: ``(dc, "switch", "net")`` / ``(dc, "local", "net")`` for intra-DC hops,
+#: and ``(dc, "client", resource)`` for client-side work.
+ResourceKey = Tuple[str, str, str]
+
+
+@dataclass
+class OperationFootprint:
+    """Per-resource demand of one operation execution.
+
+    ``seconds`` maps a resource key to the *service seconds* one
+    execution consumes on that resource (CPU-core seconds, NIC seconds,
+    disk seconds, link seconds); ``latency`` is the total constant
+    propagation delay; ``wan_bits`` maps WAN link names to bits moved.
+    """
+
+    seconds: Dict[ResourceKey, float] = field(default_factory=dict)
+    latency: float = 0.0
+    wan_bits: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, key: ResourceKey, value: float) -> None:
+        if value:
+            self.seconds[key] = self.seconds.get(key, 0.0) + value
+
+    @property
+    def total_demand_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    @property
+    def canonical_time(self) -> float:
+        """Unloaded duration: all demands serialize, plus latency."""
+        return self.latency + self.total_demand_seconds
+
+
+class CanonicalCostModel:
+    """Analytic unloaded-cost evaluator over a global topology."""
+
+    def __init__(self, topology: GlobalTopology) -> None:
+        self.topology = topology
+
+    # ------------------------------------------------------------------
+    # storage service time
+    # ------------------------------------------------------------------
+    def _storage_time(self, dc_name: str, role: str, server: Server, nbytes: float) -> float:
+        if nbytes <= 0:
+            return 0.0
+        dc = self.topology.datacenter(dc_name)
+        san = dc.tier_san.get(role)
+        if san is not None:
+            per_disk = nbytes / san.n_disks
+            disk = san.disks[0]
+            return (
+                nbytes / san.fcsw.rate
+                + nbytes / san.dacc.rate
+                + nbytes / san.fcal.rate
+                + per_disk / disk.dcc.rate
+                + per_disk / disk.hdd.rate
+            )
+        raid = server.raid
+        if raid is None:
+            return 0.0
+        per_disk = nbytes / raid.n_disks
+        disk = raid.disks[0]
+        return (
+            nbytes / raid.dacc.rate
+            + per_disk / disk.dcc.rate
+            + per_disk / disk.hdd.rate
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve_server(self, role: str, dc_name: str, client: Client) -> Server:
+        if role == CLIENT or role == DAEMON:
+            return client
+        return self.topology.datacenter(dc_name).tier(role).servers[0]
+
+    def message_footprint(
+        self,
+        spec: MessageSpec,
+        mapping: Mapping[str, str],
+        client: Client,
+        footprint: OperationFootprint,
+    ) -> None:
+        """Accumulate one message's demands into ``footprint``."""
+        src_dc = client.dc_name if spec.src in (CLIENT, DAEMON) else mapping[spec.src]
+        dst_dc = client.dc_name if spec.dst in (CLIENT, DAEMON) else mapping[spec.dst]
+        src = self._resolve_server(spec.src, src_dc, client)
+        dst = self._resolve_server(spec.dst, dst_dc, client)
+        if src is dst:
+            self._leg(spec.dst, dst_dc, dst, spec.r, footprint, networked=False)
+            return
+
+        def res(role: str) -> str:
+            return "client" if role in (CLIENT, DAEMON) else role
+
+        bits = spec.r.net_bits + spec.r_src.net_bits
+        # origin leg: NIC serialization + explicit origin-side work
+        footprint.add((src_dc, res(spec.src), "nic"), bits / src.nic.rate)
+        if spec.r_src.cycles:
+            footprint.add(
+                (src_dc, res(spec.src), "cpu"),
+                spec.r_src.cycles / src.cpu.frequency_hz,
+            )
+        if spec.r_src.disk_bytes:
+            footprint.add(
+                (src_dc, res(spec.src), "io"),
+                self._storage_time(src_dc, res(spec.src), src, spec.r_src.disk_bytes),
+            )
+        # network path
+        if spec.r.net_bits > 0:
+            self._path_footprint(src_dc, dst_dc, spec.r.net_bits, footprint)
+        # destination leg
+        self._leg(spec.dst, dst_dc, dst, spec.r, footprint, networked=True)
+
+    def _leg(
+        self,
+        role: str,
+        dc_name: str,
+        server: Server,
+        r: R,
+        footprint: OperationFootprint,
+        networked: bool,
+    ) -> None:
+        res = "client" if role in (CLIENT, DAEMON) else role
+        if networked and r.net_bits:
+            footprint.add((dc_name, res, "nic"), r.net_bits / server.nic.rate)
+        if r.cycles:
+            footprint.add((dc_name, res, "cpu"), r.cycles / server.cpu.frequency_hz)
+        if r.disk_bytes:
+            footprint.add(
+                (dc_name, res, "io"),
+                self._storage_time(dc_name, res, server, r.disk_bytes),
+            )
+
+    def _path_footprint(
+        self, src_dc: str, dst_dc: str, bits: float, footprint: OperationFootprint
+    ) -> None:
+        topo = self.topology
+        # intra-DC hops: tier/access link + switch at each end
+        footprint.add((src_dc, "local", "net"), bits / topo.datacenter(src_dc).access_link.rate)
+        footprint.add((src_dc, "switch", "net"), bits / topo.datacenter(src_dc).switch.rate)
+        footprint.latency += topo.datacenter(src_dc).access_link.latency_s
+        if src_dc != dst_dc:
+            for link in topo.route(src_dc, dst_dc):
+                footprint.add(("link", link.name, "net"), bits / link.rate)
+                footprint.wan_bits[link.name] = footprint.wan_bits.get(link.name, 0.0) + bits
+                footprint.latency += link.latency_s
+            footprint.add((dst_dc, "switch", "net"), bits / topo.datacenter(dst_dc).switch.rate)
+        footprint.add((dst_dc, "local", "net"), bits / topo.datacenter(dst_dc).access_link.rate)
+        footprint.latency += topo.datacenter(dst_dc).access_link.latency_s
+
+    # ------------------------------------------------------------------
+    def operation_footprint(
+        self,
+        operation: Operation,
+        mapping: Mapping[str, str],
+        client: Client,
+    ) -> OperationFootprint:
+        """The full per-resource demand of one operation execution."""
+        fp = OperationFootprint()
+        for spec in operation.messages:
+            self.message_footprint(spec, mapping, client, fp)
+        return fp
+
+    def canonical_time(
+        self,
+        operation: Operation,
+        mapping: Mapping[str, str],
+        client: Client,
+    ) -> float:
+        """Unloaded single-client duration of the operation."""
+        return self.operation_footprint(operation, mapping, client).canonical_time
+
+
+def calibrate_operation(
+    operation: Operation,
+    target_seconds: float,
+    model: CanonicalCostModel,
+    mapping: Mapping[str, str],
+    client: Client,
+) -> Operation:
+    """Scale an operation's R arrays so its canonical time hits the target.
+
+    Canonical time is affine in a uniform demand scale ``a``:
+    ``T(a) = latency + a * demand``.  Raises when the propagation latency
+    alone already exceeds the target (no non-negative scale exists).
+    """
+    fp = model.operation_footprint(operation, mapping, client)
+    demand = fp.total_demand_seconds
+    if demand <= 0:
+        raise ConfigurationError(
+            f"operation {operation.name!r} has no calibratable demand"
+        )
+    alpha = (target_seconds - fp.latency) / demand
+    if alpha <= 0:
+        raise ConfigurationError(
+            f"operation {operation.name!r}: latency {fp.latency:.3f}s already "
+            f"exceeds the {target_seconds:.3f}s target"
+        )
+    return operation.scaled(cycles_factor=alpha, bytes_factor=alpha)

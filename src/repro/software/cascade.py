@@ -1,0 +1,270 @@
+"""Message-cascade execution on the discrete-event infrastructure.
+
+The :class:`CascadeRunner` launches operations against a
+:class:`~repro.topology.network.GlobalTopology`: it resolves cascade
+roles to concrete servers (placement + load balancing with per-operation
+session affinity), threads each message through the origin leg, the
+network path and the destination leg (equations 3.2-3.5), and records
+the operation's total response time when the last message lands.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.agent import Agent
+from repro.core.job import Job
+from repro.software.client import Client
+from repro.software.message import CLIENT, DAEMON
+from repro.software.operation import Operation
+from repro.software.placement import Placement
+from repro.software.resources import R
+from repro.topology.network import GlobalTopology
+from repro.topology.server import Server
+from repro.topology.tier import TierUnavailableError
+
+
+@dataclass
+class OperationRecord:
+    """Completion record of one operation instance.
+
+    ``failed`` marks operations aborted because a required tier had no
+    available server (failure injection, section 1.1).
+    """
+
+    operation: str
+    application: str
+    client_dc: str
+    start: float
+    end: float
+    failed: bool = False
+
+    @property
+    def response_time(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class _Resolved:
+    """A resolved endpoint: holon + its data center + role."""
+
+    holon: Server
+    dc: str
+    role: str
+
+
+class CascadeRunner:
+    """Executes message cascades over a global topology.
+
+    Parameters
+    ----------
+    topology:
+        The infrastructure to run against (agents must also be
+        registered with the engine).
+    placement:
+        Role-to-data-center policy for management tiers.
+    """
+
+    def __init__(
+        self,
+        topology: GlobalTopology,
+        placement: Placement,
+        seed: int | None = None,
+    ) -> None:
+        self.topology = topology
+        self.placement = placement
+        self.rng = random.Random(seed)
+        self.records: List[OperationRecord] = []
+        self.active_operations = 0
+        self._observers: List[Callable[[OperationRecord], None]] = []
+        self._daemon_hosts: Dict[str, Server] = {}
+
+    # ------------------------------------------------------------------
+    def on_operation_complete(self, fn: Callable[[OperationRecord], None]) -> None:
+        """Register an observer fired on every operation completion."""
+        self._observers.append(fn)
+
+    def set_daemon_host(self, dc_name: str, host: Server) -> None:
+        """Attach the daemon process host for a data center (ch. 6/7)."""
+        self._daemon_hosts[dc_name] = host
+
+    # ------------------------------------------------------------------
+    # operation launch
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        operation: Operation,
+        client: Client,
+        now: float,
+        application: str = "",
+        on_complete: Optional[Callable[[OperationRecord], None]] = None,
+    ) -> None:
+        """Start an operation for ``client`` at simulation time ``now``."""
+        mapping = self.placement.resolve(client.dc_name, self.rng)
+        session: Dict[tuple, Server] = {}
+        self.active_operations += 1
+        record = OperationRecord(
+            operation=operation.name,
+            application=application,
+            client_dc=client.dc_name,
+            start=now,
+            end=float("nan"),
+        )
+
+        def resolve(role: str) -> _Resolved:
+            if role == CLIENT:
+                return _Resolved(client, client.dc_name, CLIENT)
+            if role == DAEMON:
+                host = self._daemon_hosts.get(client.dc_name, client)
+                return _Resolved(host, client.dc_name, DAEMON)
+            dc_name = mapping[role]
+            key = (dc_name, role)
+            if key not in session:
+                tier = self.topology.datacenter(dc_name).tier(role)
+                session[key] = tier.pick_server()
+            return _Resolved(session[key], dc_name, role)
+
+        messages = operation.messages
+
+        def finish(t: float, failed: bool = False) -> None:
+            record.end = t
+            record.failed = failed
+            self.active_operations -= 1
+            self.records.append(record)
+            for obs in self._observers:
+                obs(record)
+            if on_complete is not None:
+                on_complete(record)
+
+        def run_message(index: int, t: float) -> None:
+            if index >= len(messages):
+                finish(t)
+                return
+            spec = messages[index]
+            try:
+                src = resolve(spec.src)
+                dst = resolve(spec.dst)
+            except TierUnavailableError:
+                # the tier is down: the request errors back to the client
+                finish(t, failed=True)
+                return
+            self.deliver(
+                src,
+                dst,
+                spec.r,
+                spec.r_src,
+                t,
+                lambda t2: run_message(index + 1, t2),
+                tag=f"{operation.name}[{index}]",
+            )
+
+        run_message(0, now)
+
+    # ------------------------------------------------------------------
+    # message delivery primitives (shared with background jobs)
+    # ------------------------------------------------------------------
+    def deliver(
+        self,
+        src: _Resolved,
+        dst: _Resolved,
+        r: R,
+        r_src: R,
+        now: float,
+        on_complete: Callable[[float], None],
+        tag: str = "",
+    ) -> None:
+        """Run one message: origin leg -> network path -> destination leg."""
+        if src.holon is dst.holon:
+            # local call: only the destination-side work applies
+            dst.holon.process_leg(
+                now,
+                cycles=r.cycles,
+                net_bits=0.0,
+                mem_bytes=r.mem_bytes,
+                disk_bytes=r.disk_bytes,
+                on_complete=on_complete,
+                tag=tag,
+            )
+            return
+
+        path = self.path_between(src, dst)
+
+        def dest_leg(t: float) -> None:
+            dst.holon.process_leg(
+                t,
+                cycles=r.cycles,
+                net_bits=r.net_bits,
+                mem_bytes=r.mem_bytes,
+                disk_bytes=r.disk_bytes,
+                on_complete=on_complete,
+                tag=tag,
+            )
+
+        def network(t: float) -> None:
+            self._traverse(path, r.net_bits, t, dest_leg, tag)
+
+        # origin leg: NIC serialization of the payload plus any explicit
+        # origin-side work (eq. 3.3)
+        src.holon.process_leg(
+            now,
+            cycles=r_src.cycles,
+            net_bits=r.net_bits + r_src.net_bits,
+            mem_bytes=r_src.mem_bytes,
+            disk_bytes=r_src.disk_bytes,
+            on_complete=network,
+            tag=tag,
+        )
+
+    def _traverse(
+        self,
+        path: List[Agent],
+        bits: float,
+        now: float,
+        on_complete: Callable[[float], None],
+        tag: str,
+    ) -> None:
+        """Push ``bits`` through each network agent in sequence (eq. 3.5)."""
+        if bits <= 0 or not path:
+            on_complete(now)
+            return
+
+        def hop(index: int, t: float) -> None:
+            if index >= len(path):
+                on_complete(t)
+                return
+            path[index].submit(
+                Job(bits, on_complete=lambda _j, t2: hop(index + 1, t2),
+                    not_before=t, tag=tag),
+                t,
+            )
+
+        hop(0, now)
+
+    def path_between(self, src: _Resolved, dst: _Resolved) -> List[Agent]:
+        """Network agents between two resolved endpoints."""
+        topo = self.topology
+        path: List[Agent] = []
+        src_dc = topo.datacenter(src.dc)
+        dst_dc = topo.datacenter(dst.dc)
+        # egress from the source holon to its data center switch
+        if src.role in (CLIENT, DAEMON):
+            path.append(src_dc.access_link)
+        else:
+            path.append(src_dc.tier_links[src.role])
+        path.append(src_dc.switch)
+        if src.dc != dst.dc:
+            path.extend(topo.route(src.dc, dst.dc))
+            path.append(dst_dc.switch)
+        # ingress from the destination switch to the destination holon
+        if dst.role in (CLIENT, DAEMON):
+            path.append(dst_dc.access_link)
+        else:
+            path.append(dst_dc.tier_links[dst.role])
+        return path
+
+    # ------------------------------------------------------------------
+    def resolved(self, holon: Server, dc: str, role: str) -> _Resolved:
+        """Public constructor of resolved endpoints (background jobs)."""
+        return _Resolved(holon, dc, role)

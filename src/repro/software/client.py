@@ -1,0 +1,38 @@
+"""Client holon: the initiating endpoint of user operations.
+
+Clients are holons with their own NIC, CPU and disk agents (Fig 3-2);
+client-side work is usually a small fraction of an operation but the
+origin leg of equation 3.3 charges it explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.topology.server import Server
+from repro.topology.specs import RAIDSpec, ServerSpec
+
+#: Default desktop-class client hardware.
+CLIENT_SPEC = ServerSpec(
+    cores=4,
+    sockets=1,
+    frequency_ghz=2.5,
+    memory_gb=8.0,
+    nic_gbps=0.1,
+    raid=RAIDSpec(n_disks=1, array_controller_gbps=1.5, controller_gbps=1.5,
+                  drive_rpm=7200),
+)
+
+
+class Client(Server):
+    """A client workstation attached to a data center's access link."""
+
+    holon_type = "client"
+
+    def __init__(
+        self,
+        name: str,
+        dc_name: str,
+        spec: ServerSpec = CLIENT_SPEC,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(name, spec, seed=seed)
+        self.dc_name = dc_name

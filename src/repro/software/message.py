@@ -1,0 +1,76 @@
+"""Message specifications: one edge of a message cascade.
+
+A message ``m^{X->Y}_{A->B}`` (section 3.3.2) specifies the holon roles at
+both ends and the ``R`` array it conveys.  The concrete data center,
+server and hardware instances are resolved at run time by the simulator
+based on the workload and placement policies — the cascade only names
+*roles*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.software.resources import R, ZERO_R
+
+#: Symbolic endpoint for the initiating client.
+CLIENT = "client"
+
+#: Symbolic endpoint for the daemon host (background processes).
+DAEMON = "daemon"
+
+#: Tier roles understood by placement policies.
+TIER_ROLES = ("app", "db", "fs", "idx")
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A resolved message endpoint: a holon within a data center.
+
+    ``role`` is ``client``, ``daemon`` or a tier kind; ``dc`` is the data
+    center name (``None`` until placement resolves it).
+    """
+
+    role: str
+    dc: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.role}@{self.dc or '?'}"
+
+
+@dataclass(frozen=True)
+class MessageSpec:
+    """One message of a cascade.
+
+    Parameters
+    ----------
+    src, dst:
+        Endpoint roles (``client``, ``daemon``, ``app``, ``db``, ``fs``,
+        ``idx``).
+    r:
+        Resource array applied at the *destination* holon; its
+        ``net_bits`` also traverse the network path.
+    r_src:
+        Optional resource array applied at the *origin* holon before the
+        transfer (eq. 3.3 allows origin-side CPU/disk work; by default
+        only the origin NIC serializes the bits).
+    """
+
+    src: str
+    dst: str
+    r: R = ZERO_R
+    r_src: R = ZERO_R
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        valid = (CLIENT, DAEMON) + TIER_ROLES
+        for end, nm in ((self.src, "src"), (self.dst, "dst")):
+            if end not in valid:
+                raise ValueError(
+                    f"unknown {nm} endpoint role {end!r}; valid roles: {valid}"
+                )
+
+    def notation(self) -> str:
+        """Render in the thesis's ``m_{A->B}`` style."""
+        return f"m_{{{self.src}->{self.dst}}}"

@@ -1,0 +1,110 @@
+"""Operations: named message cascades (section 3.5.2).
+
+An operation is a collection of message *sequences* initiated by a client
+(or daemon).  A *segment* is a sequence that originates and terminates at
+the client; helpers below build the recurring round-trip shapes of the
+CAD/VIS/PDM cascades (Figs 5-2..5-5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.resources import R
+
+
+@dataclass
+class Operation:
+    """A named message cascade.
+
+    Attributes
+    ----------
+    name:
+        Operation name (``LOGIN``, ``OPEN``...).
+    messages:
+        Ordered message specs; each message points to the next.
+    initiator:
+        ``client`` for user operations, ``daemon`` for background jobs.
+    """
+
+    name: str
+    messages: List[MessageSpec]
+    initiator: str = CLIENT
+
+    def __post_init__(self) -> None:
+        if not self.messages:
+            raise ValueError(f"operation {self.name!r} has no messages")
+
+    @property
+    def n_messages(self) -> int:
+        return len(self.messages)
+
+    def segments(self) -> List[List[MessageSpec]]:
+        """Split the cascade into segments bounded at the initiator."""
+        segs: List[List[MessageSpec]] = []
+        current: List[MessageSpec] = []
+        for m in self.messages:
+            current.append(m)
+            if m.dst == self.initiator:
+                segs.append(current)
+                current = []
+        if current:
+            segs.append(current)
+        return segs
+
+    def wan_round_trips(self, remote_roles: Sequence[str]) -> int:
+        """Count initiator round trips that touch any of ``remote_roles``.
+
+        This is the ``S`` column of Table 6.2: the number of round trips
+        between the client's data center and the master data center.
+        """
+        count = 0
+        for seg in self.segments():
+            if any(m.src in remote_roles or m.dst in remote_roles for m in seg):
+                count += 1
+        return count
+
+    def scaled(self, cycles_factor: float = 1.0, bytes_factor: float = 1.0) -> "Operation":
+        """A copy with every message's R arrays scaled (calibration)."""
+        return Operation(
+            name=self.name,
+            messages=[
+                replace(
+                    m,
+                    r=m.r.scaled(cycles_factor, bytes_factor),
+                    r_src=m.r_src.scaled(cycles_factor, bytes_factor),
+                )
+                for m in self.messages
+            ],
+            initiator=self.initiator,
+        )
+
+
+def round_trip(
+    target: str,
+    request: R,
+    response: R,
+    initiator: str = CLIENT,
+    label: str = "",
+) -> List[MessageSpec]:
+    """A ``initiator -> target -> initiator`` message pair."""
+    return [
+        MessageSpec(initiator, target, r=request, label=f"{label}.req"),
+        MessageSpec(target, initiator, r=response, label=f"{label}.resp"),
+    ]
+
+
+def tier_round_trip(
+    via: str,
+    target: str,
+    to_target: R,
+    back: R,
+    label: str = "",
+) -> List[MessageSpec]:
+    """A ``via -> target -> via`` exchange inside a larger segment."""
+    return [
+        MessageSpec(via, target, r=to_target, label=f"{label}.query"),
+        MessageSpec(target, via, r=back, label=f"{label}.result"),
+    ]

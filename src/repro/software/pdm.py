@@ -1,0 +1,61 @@
+"""Product Data Management (PDM) application model (section 6.3.2).
+
+PDM operations primarily represent database transactions: long sequences
+of interactions between clients and ``Tdb`` via ``Tapp`` — no other
+tiers are involved (section 6.4.2).  Operations: BILL-OF-MATERIALS,
+EXPAND, PROMOTE, UPDATE, EDIT, DOWNLOAD and EXPORT (Fig 6-17).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.software.cad import OperationBudget, _split_segments
+from repro.software.canonical import CanonicalCostModel, calibrate_operation
+from repro.software.client import Client
+from repro.software.operation import Operation
+
+#: Canonical durations in seconds; DOWNLOAD/EXPORT dominate because they
+#: materialize large result sets.
+PDM_TARGETS: Dict[str, float] = {
+    "BILL-OF-MATERIALS": 8.2,
+    "EXPAND": 5.6,
+    "PROMOTE": 4.1,
+    "UPDATE": 3.2,
+    "EDIT": 2.9,
+    "DOWNLOAD": 21.0,
+    "EXPORT": 16.5,
+}
+
+#: Per-tier budgets: app routing cost plus the db transaction cost.
+PDM_BUDGETS: Dict[str, OperationBudget] = {
+    "BILL-OF-MATERIALS": OperationBudget(4, app_cpu_s=1.6, db_cpu_s=4.0,
+                                         client_cpu_s=0.4),
+    "EXPAND": OperationBudget(3, app_cpu_s=1.2, db_cpu_s=2.6, client_cpu_s=0.3),
+    "PROMOTE": OperationBudget(2, app_cpu_s=0.8, db_cpu_s=2.0, client_cpu_s=0.2),
+    "UPDATE": OperationBudget(2, app_cpu_s=0.6, db_cpu_s=1.6, client_cpu_s=0.2),
+    "EDIT": OperationBudget(2, app_cpu_s=0.6, db_cpu_s=1.4, client_cpu_s=0.2),
+    "DOWNLOAD": OperationBudget(2, app_cpu_s=1.6, db_cpu_s=8.0,
+                                client_cpu_s=2.0),
+    "EXPORT": OperationBudget(2, app_cpu_s=1.4, db_cpu_s=6.5, client_cpu_s=1.5),
+}
+
+
+def pdm_operation_shapes() -> Dict[str, Operation]:
+    """Uncalibrated PDM cascades."""
+    return {
+        name: Operation(name, _split_segments(budget, f"pdm.{name.lower()}"))
+        for name, budget in PDM_BUDGETS.items()
+    }
+
+
+def build_pdm_operations(
+    model: CanonicalCostModel,
+    mapping: Mapping[str, str],
+    client: Client,
+) -> Dict[str, Operation]:
+    """PDM operations calibrated to their canonical durations."""
+    return {
+        name: calibrate_operation(op, PDM_TARGETS[name], model, mapping, client)
+        for name, op in pdm_operation_shapes().items()
+    }

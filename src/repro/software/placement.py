@@ -1,0 +1,123 @@
+"""Placement policies: resolving cascade roles to data centers.
+
+The cascade names only holon *roles*; which data center hosts each role
+is a run-time decision (section 3.5.2).  Two policies reproduce the two
+infrastructures studied:
+
+* :class:`SingleMasterPlacement` — chapter 6: one master data center
+  (MDC) hosts the management tiers (``app``, ``db``, ``idx``) for every
+  file; slave data centers only serve files (``fs``) locally.
+* :class:`MultiMasterPlacement` — chapter 7: every data center is a
+  master for the files it *owns*; the owner for each operation is drawn
+  from the access-pattern matrix (Table 7.2) row of the client's data
+  center.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Sequence
+
+
+class Placement(ABC):
+    """Maps cascade roles to data centers for one operation instance."""
+
+    @abstractmethod
+    def resolve(self, client_dc: str, rng: random.Random | None = None) -> Dict[str, str]:
+        """Return ``role -> data center name`` for one operation launch.
+
+        The mapping must cover ``app``, ``db``, ``idx`` and ``fs``.
+        """
+
+    def weights(self, client_dc: str) -> list[tuple[float, Dict[str, str]]]:
+        """Deterministic (probability, mapping) decomposition.
+
+        Used by the fluid solver to average per-resource footprints over
+        the placement distribution instead of sampling it.
+        """
+        return [(1.0, self.resolve(client_dc))]
+
+
+class SingleMasterPlacement(Placement):
+    """All management roles in the master DC; files served locally.
+
+    Parameters
+    ----------
+    master:
+        Name of the master data center (``DNA`` in chapter 6).
+    local_fs:
+        When True (the consolidated design) clients download files from
+        the file-server tier of their own data center; when False all
+        roles live in the master (the chapter 5 downscaled validation
+        infrastructure).
+    """
+
+    def __init__(self, master: str, local_fs: bool = True) -> None:
+        self.master = master
+        self.local_fs = local_fs
+
+    def resolve(self, client_dc: str, rng: random.Random | None = None) -> Dict[str, str]:
+        fs = client_dc if self.local_fs else self.master
+        return {"app": self.master, "db": self.master, "idx": self.master, "fs": fs}
+
+
+class MultiMasterPlacement(Placement):
+    """Owner-directed placement from an access-pattern matrix.
+
+    Parameters
+    ----------
+    apm:
+        ``apm[accessing_dc][owner_dc]`` = fraction (0..1 or percent) of
+        the accessing DC's requests that target files owned by
+        ``owner_dc``.  Rows are normalized internally.
+    """
+
+    def __init__(self, apm: Mapping[str, Mapping[str, float]]) -> None:
+        self._cdf: Dict[str, tuple[list[float], list[str]]] = {}
+        for accessor, row in apm.items():
+            owners = sorted(row)
+            weights = [max(float(row[o]), 0.0) for o in owners]
+            total = sum(weights)
+            if total <= 0:
+                raise ValueError(f"APM row for {accessor!r} has no mass")
+            cum: list[float] = []
+            acc = 0.0
+            for w in weights:
+                acc += w / total
+                cum.append(acc)
+            self._cdf[accessor] = (cum, owners)
+
+    def owners(self, accessor: str) -> Sequence[str]:
+        return self._cdf[accessor][1]
+
+    def draw_owner(self, client_dc: str, rng: random.Random) -> str:
+        """Sample the owner data center for one operation."""
+        try:
+            cum, owners = self._cdf[client_dc]
+        except KeyError:
+            raise KeyError(
+                f"no APM row for data center {client_dc!r}; "
+                f"rows: {sorted(self._cdf)}"
+            ) from None
+        idx = bisect.bisect_left(cum, rng.random())
+        return owners[min(idx, len(owners) - 1)]
+
+    def resolve(self, client_dc: str, rng: random.Random | None = None) -> Dict[str, str]:
+        if rng is None:
+            rng = random.Random()
+        owner = self.draw_owner(client_dc, rng)
+        return {"app": owner, "db": owner, "idx": owner, "fs": client_dc}
+
+    def weights(self, client_dc: str) -> list[tuple[float, Dict[str, str]]]:
+        cum, owners = self._cdf[client_dc]
+        out = []
+        prev = 0.0
+        for p, owner in zip(cum, owners):
+            w = p - prev
+            prev = p
+            if w > 0:
+                out.append((w, {"app": owner, "db": owner, "idx": owner,
+                                "fs": client_dc}))
+        return out

@@ -1,0 +1,90 @@
+"""The ``R`` parameter array (sections 3.3.2, 3.5.2).
+
+Every message conveys an array of hardware-agnostic parameters that
+encapsulates its computational (``Rp``, cycles), network (``Rt``, bits),
+memory (``Rm``, bytes) and disk (``Rd``, bytes) cost.  The thesis obtains
+these by one-time profiling of each operation's canonical cost; here they
+are synthesized and then *calibrated* against the published canonical
+durations (see :mod:`repro.software.canonical`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KB = 1024.0
+MB = 1024.0**2
+
+
+@dataclass(frozen=True)
+class R:
+    """Resource cost array of one message.
+
+    Attributes
+    ----------
+    cycles:
+        ``Rp`` — CPU cycles consumed at the destination holon.
+    net_bits:
+        ``Rt`` — bits moved across the network path (and serialized by
+        the NICs at both ends).
+    mem_bytes:
+        ``Rm`` — memory held at the destination for the message's
+        processing duration.
+    disk_bytes:
+        ``Rd`` — bytes read/written on the destination's disk array.
+    """
+
+    cycles: float = 0.0
+    net_bits: float = 0.0
+    mem_bytes: float = 0.0
+    disk_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("cycles", "net_bits", "mem_bytes", "disk_bytes"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"R.{field_name} must be non-negative")
+
+    @classmethod
+    def of(
+        cls,
+        cycles: float = 0.0,
+        net_kb: float = 0.0,
+        mem_kb: float = 0.0,
+        disk_kb: float = 0.0,
+    ) -> "R":
+        """Build from the thesis's KB-denominated units (Fig 3-3)."""
+        return cls(
+            cycles=cycles,
+            net_bits=net_kb * KB * 8.0,
+            mem_bytes=mem_kb * KB,
+            disk_bytes=disk_kb * KB,
+        )
+
+    def scaled(self, cycles_factor: float = 1.0, bytes_factor: float = 1.0) -> "R":
+        """Scale compute and data components independently (calibration)."""
+        return R(
+            cycles=self.cycles * cycles_factor,
+            net_bits=self.net_bits * bytes_factor,
+            mem_bytes=self.mem_bytes * bytes_factor,
+            disk_bytes=self.disk_bytes * bytes_factor,
+        )
+
+    def __add__(self, other: "R") -> "R":
+        return R(
+            cycles=self.cycles + other.cycles,
+            net_bits=self.net_bits + other.net_bits,
+            mem_bytes=self.mem_bytes + other.mem_bytes,
+            disk_bytes=self.disk_bytes + other.disk_bytes,
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        return (
+            self.cycles == 0
+            and self.net_bits == 0
+            and self.mem_bytes == 0
+            and self.disk_bytes == 0
+        )
+
+
+ZERO_R = R()

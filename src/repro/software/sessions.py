@@ -1,0 +1,154 @@
+"""Closed-loop client behavior (thesis section 9.2.1, future work).
+
+The chapter 6 experiments drive the infrastructure open-loop (operations
+arrive at a population-scaled Poisson rate).  Real clients behave
+closed-loop: a user logs in, alternates *think time* with operations,
+and eventually logs out.  This module adds session-based clients: each
+session draws think times between operations from an exponential
+distribution and runs a bounded number of operations; the active
+population self-regulates — slow responses lengthen sessions and reduce
+throughput, the classical closed-loop feedback missing from the
+open-loop model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.engine import Simulator
+from repro.software.cascade import CascadeRunner, OperationRecord
+from repro.software.client import Client
+from repro.software.operation import Operation
+from repro.software.workload import HOUR, OperationMix, WorkloadCurve
+
+
+@dataclass
+class SessionStats:
+    """Aggregate outcomes of a closed-loop run."""
+
+    sessions_started: int = 0
+    sessions_completed: int = 0
+    operations_completed: int = 0
+    total_session_seconds: float = 0.0
+    total_think_seconds: float = 0.0
+
+    @property
+    def mean_session_length(self) -> float:
+        if not self.sessions_completed:
+            raise ValueError("no completed sessions")
+        return self.total_session_seconds / self.sessions_completed
+
+
+class ClosedLoopWorkload:
+    """Session-based clients with think time.
+
+    Parameters
+    ----------
+    arrival_curve:
+        New sessions per hour through the day.
+    think_time_s:
+        Mean exponential think time between operations.
+    ops_per_session:
+        Mean (geometric) number of operations per session, after the
+        mandatory LOGIN if the application defines one.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        runner: CascadeRunner,
+        dc_name: str,
+        arrival_curve: WorkloadCurve,
+        mix: OperationMix,
+        operations: Mapping[str, Operation],
+        think_time_s: float = 30.0,
+        ops_per_session: float = 8.0,
+        application: str = "",
+        seed: int | None = None,
+    ) -> None:
+        missing = [n for n in mix.weights if n not in operations]
+        if missing:
+            raise ValueError(f"mix references unknown operations: {missing}")
+        if think_time_s < 0:
+            raise ValueError("think time cannot be negative")
+        if ops_per_session < 1:
+            raise ValueError("sessions need at least one operation")
+        self.sim = sim
+        self.runner = runner
+        self.dc_name = dc_name
+        self.arrival_curve = arrival_curve
+        self.mix = mix
+        self.operations = dict(operations)
+        self.think_time_s = float(think_time_s)
+        self.ops_per_session = float(ops_per_session)
+        self.application = application or dc_name
+        self.rng = random.Random(seed)
+        self.stats = SessionStats()
+        self.active_sessions = 0
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def start(self, until: float) -> None:
+        """Begin generating session arrivals until ``until``."""
+        self._until = until
+        self._schedule_next_arrival(self.sim.now)
+
+    def _rate_at(self, t: float) -> float:
+        return self.arrival_curve.at(t) / HOUR
+
+    def _schedule_next_arrival(self, now: float) -> None:
+        lam_max = max(self.arrival_curve.hourly) / HOUR
+        if lam_max <= 0:
+            return
+        t = now
+        while True:
+            t += self.rng.expovariate(lam_max)
+            if t >= self._until:
+                return
+            if self.rng.random() <= self._rate_at(t) / lam_max:
+                break
+        self.sim.schedule(t, self._begin_session)
+
+    # ------------------------------------------------------------------
+    def _begin_session(self, now: float) -> None:
+        self._counter += 1
+        self.stats.sessions_started += 1
+        self.active_sessions += 1
+        client = Client(f"{self.dc_name}.session{self._counter}", self.dc_name,
+                        seed=self.rng.randrange(2**31))
+        self.sim.add_holon(client)
+        # geometric session length with the configured mean
+        n_ops = 1
+        p_continue = 1.0 - 1.0 / self.ops_per_session
+        while self.rng.random() < p_continue:
+            n_ops += 1
+        state = {"remaining": n_ops, "started": now}
+
+        names = list(self.operations)
+        has_login = "LOGIN" in self.operations
+
+        def next_op(t: float, first: bool) -> None:
+            if state["remaining"] <= 0:
+                self.active_sessions -= 1
+                self.stats.sessions_completed += 1
+                self.stats.total_session_seconds += t - state["started"]
+                return
+            state["remaining"] -= 1
+            name = "LOGIN" if (first and has_login) else self.mix.draw(self.rng)
+            self.runner.launch(
+                self.operations[name], client, t,
+                application=self.application,
+                on_complete=lambda rec: after_op(rec),
+            )
+
+        def after_op(rec: OperationRecord) -> None:
+            self.stats.operations_completed += 1
+            think = self.rng.expovariate(1.0 / self.think_time_s) \
+                if self.think_time_s > 0 else 0.0
+            self.stats.total_think_seconds += think
+            self.sim.schedule(rec.end + think, lambda t: next_op(t, False))
+
+        next_op(now, True)
+        self._schedule_next_arrival(now)

@@ -1,0 +1,158 @@
+"""Trace-driven workloads: replay profiled operation logs.
+
+The thesis's methodology obtains the simulator's inputs from profiling
+(section 3.5.2: "the majority of the input parameters [are obtained]
+through small-scale profiling of the infrastructure").  Beyond hourly
+curves, operators usually hold *traces* — timestamped operation logs.
+This module replays such traces through the DES verbatim, and derives
+hourly :class:`~repro.software.workload.WorkloadCurve`/mix inputs from
+them for the fluid solver, closing the profiling-to-simulation loop.
+
+A trace is a sequence of :class:`TraceEvent` (or ``(t, operation,
+dc)`` tuples); :meth:`OperationTrace.from_csv` reads the obvious
+three-column text format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from repro.core.engine import Simulator
+from repro.software.cascade import CascadeRunner
+from repro.software.client import Client
+from repro.software.operation import Operation
+from repro.software.workload import HOUR, OperationMix, WorkloadCurve
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One logged operation launch."""
+
+    time: float  # seconds from trace start
+    operation: str
+    dc: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("trace timestamps cannot be negative")
+
+
+class OperationTrace:
+    """An ordered operation log."""
+
+    def __init__(self, events: Iterable[Union[TraceEvent, Tuple[float, str, str]]]) -> None:
+        parsed: List[TraceEvent] = []
+        for e in events:
+            if not isinstance(e, TraceEvent):
+                e = TraceEvent(*e)
+            parsed.append(e)
+        parsed.sort(key=lambda e: e.time)
+        if not parsed:
+            raise ValueError("a trace needs at least one event")
+        self.events = parsed
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def duration(self) -> float:
+        return self.events[-1].time
+
+    @classmethod
+    def from_csv(cls, path: Union[str, Path]) -> "OperationTrace":
+        """Read ``time,operation,dc`` rows (header and blank lines skipped)."""
+        events = []
+        for line in Path(path).read_text().splitlines():
+            line = line.strip()
+            if not line or line.lower().startswith("time"):
+                continue
+            t, op, dc = [c.strip() for c in line.split(",")]
+            events.append(TraceEvent(float(t), op, dc))
+        return cls(events)
+
+    # ------------------------------------------------------------------
+    # derivation of fluid-solver inputs
+    # ------------------------------------------------------------------
+    def operation_mix(self) -> OperationMix:
+        """The empirical operation-type distribution."""
+        counts: Dict[str, float] = {}
+        for e in self.events:
+            counts[e.operation] = counts.get(e.operation, 0.0) + 1.0
+        return OperationMix(counts)
+
+    def hourly_rates(self, dc: str) -> List[float]:
+        """Operations per hour launched from ``dc``, by hour-of-day."""
+        rates = [0.0] * 24
+        for e in self.events:
+            if e.dc == dc:
+                rates[int(e.time / HOUR) % 24] += 1.0
+        return rates
+
+    def workload_curve(self, dc: str, ops_per_client_hour: float) -> WorkloadCurve:
+        """Back out the client population curve implied by the trace."""
+        if ops_per_client_hour <= 0:
+            raise ValueError("per-client rate must be positive")
+        return WorkloadCurve([r / ops_per_client_hour
+                              for r in self.hourly_rates(dc)])
+
+    def datacenters(self) -> List[str]:
+        return sorted({e.dc for e in self.events})
+
+    # ------------------------------------------------------------------
+    # DES replay
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        sim: Simulator,
+        runner: CascadeRunner,
+        operations: Mapping[str, Operation],
+        application: str = "trace",
+        seed: int | None = None,
+    ) -> "TraceReplay":
+        """Schedule every trace event on the engine, verbatim."""
+        missing = sorted({e.operation for e in self.events} - set(operations))
+        if missing:
+            raise KeyError(f"trace references unknown operations: {missing}")
+        replay = TraceReplay()
+        clients: Dict[str, Client] = {}
+        for dc in self.datacenters():
+            clients[dc] = Client(f"trace.{dc}", dc,
+                                 seed=None if seed is None else seed + len(clients))
+            sim.add_holon(clients[dc])
+        for event in self.events:
+            sim.schedule(
+                event.time,
+                lambda now, e=event: runner.launch(
+                    operations[e.operation], clients[e.dc], now,
+                    application=application,
+                    on_complete=replay.records.append),
+            )
+        replay.scheduled = len(self.events)
+        return replay
+
+
+@dataclass
+class TraceReplay:
+    """Bookkeeping for one replayed trace."""
+
+    scheduled: int = 0
+
+    def __post_init__(self) -> None:
+        self.records = []
+
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+    def response_percentile(self, operation: str, q: float) -> float:
+        """The q-quantile response time of one operation (0 < q <= 1)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        times = sorted(r.response_time for r in self.records
+                       if r.operation == operation and not r.failed)
+        if not times:
+            raise ValueError(f"no completed {operation!r} operations")
+        idx = min(int(q * len(times)), len(times) - 1)
+        return times[idx]

@@ -1,0 +1,73 @@
+"""Visualization (VIS) application model (section 6.3.2).
+
+VIS operations are analogous to CAD but the volume of data manipulated
+during file opening and saving is considerably smaller; VIS adds a
+VALIDATE operation (Fig 6-16).  Cascades reuse the CAD budget machinery
+with lighter per-tier costs and small snapshot files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.software.cad import OperationBudget, _file_transfer, _split_segments
+from repro.software.canonical import CanonicalCostModel, calibrate_operation
+from repro.software.client import Client
+from repro.software.operation import Operation
+
+#: Canonical durations (seconds); metadata timings mirror CAD, OPEN/SAVE
+#: are an order of magnitude lighter (VIS manipulates 2D/3D snapshots).
+VIS_TARGETS: Dict[str, float] = {
+    "LOGIN": 2.1,
+    "TEXT-SEARCH": 4.8,
+    "FILTER": 2.5,
+    "EXPLORE": 6.1,
+    "SPATIAL-SEARCH": 11.6,
+    "SELECT": 5.9,
+    "VALIDATE": 4.4,
+    "OPEN": 9.5,
+    "SAVE": 11.8,
+}
+
+#: Per-tier budgets (CPU-seconds) and snapshot volume per operation.
+VIS_BUDGETS: Dict[str, OperationBudget] = {
+    "LOGIN": OperationBudget(4, app_cpu_s=1.0, db_cpu_s=0.4, client_cpu_s=0.15),
+    "TEXT-SEARCH": OperationBudget(2, app_cpu_s=2.8, client_cpu_s=0.5,
+                                   app_disk_mb=32.0),
+    "FILTER": OperationBudget(2, app_cpu_s=1.5, client_cpu_s=0.4),
+    "EXPLORE": OperationBudget(12, app_cpu_s=1.8, db_cpu_s=2.6,
+                               client_cpu_s=0.4),
+    "SPATIAL-SEARCH": OperationBudget(13, app_cpu_s=2.4, idx_cpu_s=6.0,
+                                      client_cpu_s=0.6),
+    "SELECT": OperationBudget(7, app_cpu_s=1.8, db_cpu_s=2.8,
+                              client_cpu_s=0.4),
+    "VALIDATE": OperationBudget(5, app_cpu_s=1.5, db_cpu_s=1.6,
+                                client_cpu_s=0.3),
+    "OPEN": OperationBudget(1, app_cpu_s=1.2, db_cpu_s=0.8, fs_cpu_s=1.5,
+                            client_cpu_s=0.5, file_mb=48.0),
+    "SAVE": OperationBudget(1, app_cpu_s=1.4, db_cpu_s=1.0, fs_cpu_s=1.8,
+                            client_cpu_s=0.5, file_mb=56.0),
+}
+
+
+def vis_operation_shapes() -> Dict[str, Operation]:
+    """Uncalibrated VIS cascades."""
+    ops: Dict[str, Operation] = {}
+    for name, budget in VIS_BUDGETS.items():
+        messages = _split_segments(budget, f"vis.{name.lower()}")
+        if budget.file_mb:
+            messages = messages + _file_transfer(budget, 1.0, upload=(name == "SAVE"))
+        ops[name] = Operation(name, messages)
+    return ops
+
+
+def build_vis_operations(
+    model: CanonicalCostModel,
+    mapping: Mapping[str, str],
+    client: Client,
+) -> Dict[str, Operation]:
+    """VIS operations calibrated to their canonical durations."""
+    return {
+        name: calibrate_operation(op, VIS_TARGETS[name], model, mapping, client)
+        for name, op in vis_operation_shapes().items()
+    }

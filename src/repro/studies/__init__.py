@@ -1,0 +1,38 @@
+"""Case studies: data-serving-platform consolidation (chapter 6) and
+multiple-master background-process optimization (chapter 7)."""
+
+from repro.studies.workloads import (
+    cad_workloads,
+    vis_workloads,
+    pdm_workloads,
+    CAD_MIX,
+    VIS_MIX,
+    PDM_MIX,
+)
+from repro.studies.consolidation import ConsolidationStudy, consolidated_topology
+from repro.studies.multimaster import MultiMasterStudy, multimaster_topology
+from repro.studies.attack import FloodScenario, FloodOutcome, TokenBucket
+from repro.studies.requirements import (
+    PlatformRequirements,
+    RequirementReport,
+    verify_consolidation,
+)
+
+__all__ = [
+    "cad_workloads",
+    "vis_workloads",
+    "pdm_workloads",
+    "CAD_MIX",
+    "VIS_MIX",
+    "PDM_MIX",
+    "ConsolidationStudy",
+    "consolidated_topology",
+    "MultiMasterStudy",
+    "multimaster_topology",
+    "FloodScenario",
+    "FloodOutcome",
+    "TokenBucket",
+    "PlatformRequirements",
+    "RequirementReport",
+    "verify_consolidation",
+]

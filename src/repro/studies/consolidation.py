@@ -1,0 +1,234 @@
+"""The consolidated Data Serving Platform study (chapter 6).
+
+Eleven regional data centers are consolidated into six — one per
+continent — with ``DNA`` as the single master data center holding the
+management tiers (app/db/idx) and every site serving files locally
+through its ``fs`` tier (Fig 6-2).  Asia, Africa and Australia reach the
+master through the ``AS1`` transit hub, giving the WAN link set of
+Table 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.background.datagrowth import DataGrowthModel, consolidated_growth
+from repro.background.indexbuild import IndexBuildConfig
+from repro.background.synchrep import SynchRepConfig
+from repro.fluid.background import BackgroundDay, BackgroundSolver
+from repro.fluid.solver import FluidSolver
+from repro.software.application import Application
+from repro.software.cad import WAN_ROUND_TRIPS, build_cad_operations
+from repro.software.canonical import CanonicalCostModel
+from repro.software.client import Client
+from repro.software.pdm import build_pdm_operations
+from repro.software.placement import SingleMasterPlacement
+from repro.software.vis import build_vis_operations
+from repro.software.workload import HOUR
+from repro.studies.workloads import (
+    CAD_MIX,
+    OPS_PER_CLIENT_HOUR,
+    PDM_MIX,
+    VIS_MIX,
+    cad_workloads,
+    pdm_workloads,
+    vis_workloads,
+)
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import DataCenterSpec, LinkSpec, SANSpec, TierSpec
+
+MASTER = "DNA"
+SLAVES = ("DEU", "DAS", "DSA", "DAUS", "DAFR")
+TRANSIT = "AS1"
+
+#: Fraction of raw WAN capacity allocated to this platform (section 6.3.3).
+WAN_ALLOCATION = 0.2
+
+#: Map generated link names to the labels of Tables 6.1 / 7.3.
+PAPER_LINK_LABELS = {
+    "LDNA-DSA": "LNA->SA",
+    "LDNA-DEU": "LNA->EU",
+    "LDNA-AS1": "LNA->AS1",
+    "LDEU-DAFR": "LEU->AFR",
+    "LDEU-AS1": "LEU->AS1",
+    "LAS1-DAFR": "LAS1->AFR",
+    "LAS1-DAS": "LAS1->AS2",
+    "LAS1-DAUS": "LAS1->AUS",
+}
+
+
+def _fs_tier(n_servers: int = 1) -> TierSpec:
+    return TierSpec("fs", n_servers=n_servers, cores_per_server=8,
+                    memory_gb=32.0, sockets=2, uses_san=True, nic_gbps=10.0)
+
+
+def consolidated_topology(seed: int | None = 42) -> GlobalTopology:
+    """Build the six-data-center consolidated infrastructure (Fig 6-4)."""
+    topo = GlobalTopology(seed=seed)
+    topo.add_datacenter(DataCenterSpec(
+        name=MASTER,
+        tiers=(
+            TierSpec("app", n_servers=8, cores_per_server=8, memory_gb=32.0,
+                     sockets=2),
+            TierSpec("db", n_servers=2, cores_per_server=64, memory_gb=64.0,
+                     sockets=4, uses_san=True),
+            TierSpec("idx", n_servers=3, cores_per_server=16, memory_gb=64.0,
+                     sockets=2),
+            _fs_tier(2),
+        ),
+        sans=(SANSpec(1, 20, 15000), SANSpec(1, 20, 15000)),
+        switch_gbps=10.0,
+        tier_link=LinkSpec(10.0, 0.2),
+    ))
+    fs_sizes = {"DEU": 2, "DAS": 1, "DSA": 1, "DAUS": 1, "DAFR": 1}
+    for name, n in fs_sizes.items():
+        topo.add_datacenter(DataCenterSpec(
+            name=name,
+            tiers=(_fs_tier(n),),
+            sans=(SANSpec(1, 20, 15000),),
+            switch_gbps=10.0,
+            tier_link=LinkSpec(10.0, 0.2),
+        ))
+    # transit hub in Asia (no serving tiers, routing only)
+    topo.add_datacenter(DataCenterSpec(
+        name=TRANSIT, tiers=(), switch_gbps=10.0,
+    ))
+    wan = [
+        ("DNA", "DEU", 310.0, 50.0),
+        ("DNA", "DSA", 155.0, 80.0),
+        ("DNA", TRANSIT, 465.0, 150.0),
+        (TRANSIT, "DAS", 155.0, 30.0),
+        (TRANSIT, "DAFR", 155.0, 150.0),
+        (TRANSIT, "DAUS", 155.0, 200.0),
+    ]
+    for a, b, mbps, ms in wan:
+        topo.connect(a, b, LinkSpec(mbps / 1000.0, ms,
+                                    allocated_fraction=WAN_ALLOCATION))
+    # redundant links, used only under failure (section 6.4.1)
+    topo.connect("DEU", "DAFR",
+                 LinkSpec(0.155, 100.0, allocated_fraction=WAN_ALLOCATION),
+                 secondary=True)
+    topo.connect("DEU", TRANSIT,
+                 LinkSpec(0.155, 120.0, allocated_fraction=WAN_ALLOCATION),
+                 secondary=True)
+    return topo
+
+
+def consolidated_applications(topology: GlobalTopology) -> List[Application]:
+    """CAD/VIS/PDM calibrated on the consolidated infrastructure."""
+    model = CanonicalCostModel(topology)
+    mapping = {"app": MASTER, "db": MASTER, "idx": MASTER, "fs": MASTER}
+    cal_client = Client("cal", MASTER, seed=0)
+    cad_ops = build_cad_operations(model, mapping, cal_client, "average")
+    vis_ops = build_vis_operations(model, mapping, cal_client)
+    pdm_ops = build_pdm_operations(model, mapping, cal_client)
+    return [
+        Application("CAD", cad_ops, CAD_MIX, cad_workloads(),
+                    ops_per_client_hour=OPS_PER_CLIENT_HOUR),
+        Application("VIS", vis_ops, VIS_MIX, vis_workloads(),
+                    ops_per_client_hour=OPS_PER_CLIENT_HOUR),
+        Application("PDM", pdm_ops, PDM_MIX, pdm_workloads(),
+                    ops_per_client_hour=OPS_PER_CLIENT_HOUR),
+    ]
+
+
+@dataclass
+class ConsolidationStudy:
+    """Bundled inputs + solvers for every chapter 6 output."""
+
+    topology: GlobalTopology = field(default_factory=consolidated_topology)
+    growth: DataGrowthModel = field(default_factory=consolidated_growth)
+    applications: List[Application] = field(default_factory=list)
+    fluid: Optional[FluidSolver] = None
+    background: Optional[BackgroundSolver] = None
+
+    def __post_init__(self) -> None:
+        if not self.applications:
+            self.applications = consolidated_applications(self.topology)
+        placement = SingleMasterPlacement(MASTER, local_fs=True)
+        if self.fluid is None:
+            self.fluid = FluidSolver(self.topology, self.applications, placement)
+        if self.background is None:
+            self.background = BackgroundSolver(
+                self.fluid,
+                self.growth,
+                sr_configs=[SynchRepConfig(master=MASTER)],
+                ib_configs=[IndexBuildConfig(master=MASTER)],
+            )
+
+    # ------------------------------------------------------------------
+    # chapter 6 outputs
+    # ------------------------------------------------------------------
+    def dna_cpu_curves(self) -> Dict[str, List[float]]:
+        """Fig 6-12: hourly CPU utilization of DNA's four tiers."""
+        return {
+            tier: self.fluid.hourly_curve((MASTER, tier, "cpu"))
+            for tier in ("app", "db", "idx", "fs")
+        }
+
+    def daus_fs_curve(self) -> List[float]:
+        """Fig 6-13: hourly CPU utilization of Tfs in DAUS."""
+        return self.fluid.hourly_curve(("DAUS", "fs", "cpu"))
+
+    def link_utilization_table(self) -> Dict[str, float]:
+        """Table 6.1: 12:00-16:00 mean utilization of allocated capacity."""
+        raw = self.background.utilization_table()
+        return {PAPER_LINK_LABELS.get(k, k): v for k, v in raw.items()}
+
+    def background_day(self) -> BackgroundDay:
+        """Fig 6-14 inputs: the solved SR/IB schedules for DNA."""
+        return self.background.solve_day(MASTER)
+
+    def pull_push_curves(self) -> Dict[str, List[float]]:
+        """Fig 6-11: MB per SR cycle pulled from / pushed to each DC."""
+        from repro.background.synchrep import pull_volumes, push_volumes
+
+        interval = 900.0
+        out: Dict[str, List[float]] = {}
+        for dc in SLAVES:
+            out[f"{dc} (Pull)"] = []
+            out[f"{dc} (Push)"] = []
+        t = interval
+        while t <= 86400.0:
+            pulls = pull_volumes(self.growth, MASTER, t - interval, t)
+            pushes = push_volumes(self.growth, MASTER, t - interval, t)
+            for dc in SLAVES:
+                out[f"{dc} (Pull)"].append(pulls.get(dc, 0.0))
+                out[f"{dc} (Push)"].append(pushes.get(dc, 0.0))
+            t += interval
+        return out
+
+    def response_table(self, app_name: str, client_dc: str,
+                       hours: Optional[List[int]] = None) -> Dict[str, List[float]]:
+        """Figs 6-15..6-20: hourly response times per operation."""
+        app = next(a for a in self.applications if a.name == app_name)
+        hours = hours if hours is not None else list(range(24))
+        return {
+            op: [self.fluid.response_time(app, op, client_dc, h * HOUR)
+                 for h in hours]
+            for op in app.operations
+            if app.mix.fraction(op) > 0
+        }
+
+    def latency_impact_table(self, remote_dc: str = "DAUS") -> Dict[str, Dict[str, float]]:
+        """Table 6.2: response-time variation of CAD ops caused by latency.
+
+        Compares a quiet hour (04:00 GMT) so the deltas isolate the
+        latency term from load effects.
+        """
+        app = next(a for a in self.applications if a.name == "CAD")
+        t = 4 * HOUR
+        out: Dict[str, Dict[str, float]] = {}
+        for op in app.operations:
+            r_na = self.fluid.response_time(app, op, MASTER, t)
+            r_remote = self.fluid.response_time(app, op, remote_dc, t)
+            delta = r_remote - r_na
+            out[op] = {
+                "R_NA": r_na,
+                "R_remote": r_remote,
+                "S": float(WAN_ROUND_TRIPS.get(op, 0)),
+                "delta": delta,
+                "delta_pct": 100.0 * delta / r_na if r_na else float("nan"),
+            }
+        return out

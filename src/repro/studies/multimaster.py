@@ -1,0 +1,207 @@
+"""The multiple-master infrastructure study (chapter 7).
+
+All six data centers are upgraded to masters: each owns the files whose
+demand is geographically closest (Fig 7-1, Table 7.2) and runs its own
+SYNCHREP and INDEXBUILD processes over its owned subset (Fig 7-3).
+``DNA`` is scaled *down* (Tapp 8 -> 4 servers, Tdb cores halved) while
+the five former slaves gain management tiers (Fig 7-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.background.datagrowth import DataGrowthModel, consolidated_growth
+from repro.background.indexbuild import IndexBuildConfig
+from repro.background.ownership import TABLE_7_2, OwnershipModel
+from repro.background.synchrep import SynchRepConfig
+from repro.fluid.background import BackgroundDay, BackgroundSolver
+from repro.fluid.solver import FluidSolver
+from repro.software.application import Application
+from repro.software.canonical import CanonicalCostModel
+from repro.software.cad import build_cad_operations
+from repro.software.client import Client
+from repro.software.pdm import build_pdm_operations
+from repro.software.placement import MultiMasterPlacement
+from repro.software.vis import build_vis_operations
+from repro.software.workload import HOUR
+from repro.studies.consolidation import (
+    PAPER_LINK_LABELS,
+    TRANSIT,
+    WAN_ALLOCATION,
+)
+from repro.studies.workloads import (
+    CAD_MIX,
+    OPS_PER_CLIENT_HOUR,
+    PDM_MIX,
+    VIS_MIX,
+    cad_workloads,
+    pdm_workloads,
+    vis_workloads,
+)
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import DataCenterSpec, LinkSpec, SANSpec, TierSpec
+
+MASTERS = ("DNA", "DEU", "DAS", "DSA", "DAUS", "DAFR")
+
+#: Management-tier sizing per master (section 7.3.1): DNA halved from the
+#: consolidated design, DEU is the second-largest owner, the rest run a
+#: single app server and a small database.
+_SIZING: Dict[str, Dict[str, int]] = {
+    #        app servers, db servers, db cores, idx servers
+    "DNA": {"app": 4, "db": 2, "db_cores": 32, "idx": 2},
+    "DEU": {"app": 5, "db": 1, "db_cores": 32, "idx": 2},
+    "DAS": {"app": 2, "db": 1, "db_cores": 16, "idx": 1},
+    "DSA": {"app": 1, "db": 1, "db_cores": 8, "idx": 1},
+    "DAUS": {"app": 1, "db": 1, "db_cores": 8, "idx": 1},
+    "DAFR": {"app": 1, "db": 1, "db_cores": 8, "idx": 1},
+}
+
+
+def multimaster_topology(seed: int | None = 42) -> GlobalTopology:
+    """Build the six-master infrastructure (Fig 7-2)."""
+    topo = GlobalTopology(seed=seed)
+    for name in MASTERS:
+        size = _SIZING[name]
+        topo.add_datacenter(DataCenterSpec(
+            name=name,
+            tiers=(
+                TierSpec("app", n_servers=size["app"], cores_per_server=8,
+                         memory_gb=32.0, sockets=2),
+                TierSpec("db", n_servers=size["db"],
+                         cores_per_server=size["db_cores"], memory_gb=64.0,
+                         sockets=1 if size["db_cores"] % 2 else 2,
+                         uses_san=True),
+                TierSpec("idx", n_servers=size["idx"], cores_per_server=16,
+                         memory_gb=64.0, sockets=2),
+                TierSpec("fs", n_servers=2 if name in ("DNA", "DEU") else 1,
+                         cores_per_server=8, memory_gb=32.0, sockets=2,
+                         uses_san=True, nic_gbps=10.0),
+            ),
+            sans=(SANSpec(1, 20, 15000), SANSpec(1, 20, 15000)),
+            switch_gbps=10.0,
+            tier_link=LinkSpec(10.0, 0.2),
+        ))
+    topo.add_datacenter(DataCenterSpec(name=TRANSIT, tiers=(), switch_gbps=10.0))
+    wan = [
+        ("DNA", "DEU", 310.0, 50.0),
+        ("DNA", "DSA", 155.0, 80.0),
+        ("DNA", TRANSIT, 465.0, 150.0),
+        (TRANSIT, "DAS", 155.0, 30.0),
+        (TRANSIT, "DAFR", 155.0, 150.0),
+        (TRANSIT, "DAUS", 155.0, 200.0),
+    ]
+    for a, b, mbps, ms in wan:
+        topo.connect(a, b, LinkSpec(mbps / 1000.0, ms,
+                                    allocated_fraction=WAN_ALLOCATION))
+    topo.connect("DEU", "DAFR",
+                 LinkSpec(0.155, 100.0, allocated_fraction=WAN_ALLOCATION),
+                 secondary=True)
+    topo.connect("DEU", TRANSIT,
+                 LinkSpec(0.155, 120.0, allocated_fraction=WAN_ALLOCATION),
+                 secondary=True)
+    return topo
+
+
+def multimaster_applications(topology: GlobalTopology) -> List[Application]:
+    """Applications recalibrated on the multi-master infrastructure."""
+    model = CanonicalCostModel(topology)
+    mapping = {"app": "DNA", "db": "DNA", "idx": "DNA", "fs": "DNA"}
+    cal_client = Client("cal", "DNA", seed=0)
+    cad_ops = build_cad_operations(model, mapping, cal_client, "average")
+    vis_ops = build_vis_operations(model, mapping, cal_client)
+    pdm_ops = build_pdm_operations(model, mapping, cal_client)
+    return [
+        Application("CAD", cad_ops, CAD_MIX, cad_workloads(),
+                    ops_per_client_hour=OPS_PER_CLIENT_HOUR),
+        Application("VIS", vis_ops, VIS_MIX, vis_workloads(),
+                    ops_per_client_hour=OPS_PER_CLIENT_HOUR),
+        Application("PDM", pdm_ops, PDM_MIX, pdm_workloads(),
+                    ops_per_client_hour=OPS_PER_CLIENT_HOUR),
+    ]
+
+
+@dataclass
+class MultiMasterStudy:
+    """Bundled inputs + solvers for every chapter 7 output."""
+
+    topology: GlobalTopology = field(default_factory=multimaster_topology)
+    growth: DataGrowthModel = field(default_factory=consolidated_growth)
+    applications: List[Application] = field(default_factory=list)
+    ownership: OwnershipModel = field(
+        default_factory=lambda: OwnershipModel(TABLE_7_2)
+    )
+    fluid: Optional[FluidSolver] = None
+    background: Optional[BackgroundSolver] = None
+
+    def __post_init__(self) -> None:
+        if not self.applications:
+            self.applications = multimaster_applications(self.topology)
+        placement = MultiMasterPlacement(TABLE_7_2)
+        if self.fluid is None:
+            self.fluid = FluidSolver(self.topology, self.applications, placement)
+        if self.background is None:
+            share = self.ownership.share_matrix()
+            self.background = BackgroundSolver(
+                self.fluid,
+                self.growth,
+                sr_configs=[SynchRepConfig(master=m) for m in MASTERS],
+                ib_configs=[IndexBuildConfig(master=m) for m in MASTERS],
+                ownership_share=share,
+            )
+
+    # ------------------------------------------------------------------
+    # chapter 7 outputs
+    # ------------------------------------------------------------------
+    def cpu_peaks(self) -> Dict[str, Dict[str, float]]:
+        """Section 7.4.1: peak app/db CPU utilization per master."""
+        out: Dict[str, Dict[str, float]] = {}
+        for dc in MASTERS:
+            out[dc] = {}
+            for tier in ("app", "db"):
+                peak = max(
+                    self.fluid.tier_cpu_utilization(dc, tier, h * HOUR)
+                    for h in range(24)
+                )
+                out[dc][tier] = peak
+        return out
+
+    def link_utilization_table(self) -> Dict[str, float]:
+        """Table 7.3: 12:00-16:00 mean utilization of allocated capacity."""
+        raw = self.background.utilization_table()
+        return {PAPER_LINK_LABELS.get(k, k): v for k, v in raw.items()}
+
+    def background_day(self, master: str = "DNA") -> BackgroundDay:
+        """Fig 7-6 inputs: SR/IB schedules for one master."""
+        return self.background.solve_day(master)
+
+    def pull_push_curves(self, master: str) -> Dict[str, List[float]]:
+        """Figs 7-4/7-5: MB per SR cycle pulled/pushed by one master."""
+        from repro.background.synchrep import pull_volumes, push_volumes
+
+        share = self.ownership.share_matrix()
+        interval = 900.0
+        peers = [dc for dc in MASTERS if dc != master]
+        out: Dict[str, List[float]] = {}
+        for dc in peers:
+            out[f"{dc} (Pull)"] = []
+            out[f"{dc} (Push)"] = []
+        t = interval
+        while t <= 86400.0:
+            pulls = pull_volumes(self.growth, master, t - interval, t, share)
+            pushes = push_volumes(self.growth, master, t - interval, t, share)
+            for dc in peers:
+                out[f"{dc} (Pull)"].append(pulls.get(dc, 0.0))
+                out[f"{dc} (Push)"].append(pushes.get(dc, 0.0))
+            t += interval
+        return out
+
+    def peak_cycle_volume(self, master: str) -> float:
+        """Peak MB moved in one SR cycle (pull + push), for the
+        single-vs-multi master comparison of section 7.3.3."""
+        curves = self.pull_push_curves(master)
+        n = len(next(iter(curves.values())))
+        return max(
+            sum(series[i] for series in curves.values()) for i in range(n)
+        )

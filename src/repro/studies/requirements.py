@@ -1,0 +1,120 @@
+"""Executable platform requirements (thesis section 6.3.3).
+
+The Fortune 500 company imposed four requirements on the consolidated
+platform; the thesis verifies them by reading the simulator's outputs.
+This module turns them into executable checks so a study *evaluates
+itself*:
+
+1. **Peak capacity** — absorb the worldwide peak workload with a
+   sensible distance from saturation on every tier.
+2. **Network allocation** — application + background traffic within the
+   20 % WAN allocation.
+3. **Freshness** — the maximum stale-file window ``R_SR^max`` within an
+   acceptable bound.
+4. **Searchability** — the maximum unsearchable window ``R_IB^max``
+   within an acceptable bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.software.workload import HOUR
+
+
+@dataclass(frozen=True)
+class PlatformRequirements:
+    """Bounds of the section 6.3.3 requirements."""
+
+    max_tier_utilization: float = 0.85  # "sensible distance from saturation"
+    max_link_utilization: float = 1.00  # of the allocated (20 %) capacity
+    max_staleness_s: float = 40.0 * 60.0  # the company accepted ~31 min
+    max_unsearchable_s: float = 90.0 * 60.0  # the company accepted ~63 min
+
+    def __post_init__(self) -> None:
+        for name in ("max_tier_utilization", "max_link_utilization"):
+            v = getattr(self, name)
+            if not 0.0 < v <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1]")
+        if self.max_staleness_s <= 0 or self.max_unsearchable_s <= 0:
+            raise ValueError("freshness bounds must be positive")
+
+
+@dataclass
+class RequirementCheck:
+    """Outcome of one requirement."""
+
+    name: str
+    passed: bool
+    measured: str
+    bound: str
+
+
+@dataclass
+class RequirementReport:
+    """All checks for one study."""
+
+    checks: List[RequirementCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def rows(self) -> List[List[str]]:
+        return [[c.name, c.measured, c.bound,
+                 "PASS" if c.passed else "FAIL"] for c in self.checks]
+
+
+def verify_consolidation(study, requirements: PlatformRequirements | None = None
+                         ) -> RequirementReport:
+    """Check a :class:`~repro.studies.consolidation.ConsolidationStudy`
+    (or the multi-master study — same interface surface) against the
+    section 6.3.3 requirements."""
+    req = requirements or PlatformRequirements()
+    report = RequirementReport()
+
+    # 1. peak tier capacity across every data center with tiers
+    worst_util, worst_label = 0.0, "-"
+    for dc_name, dc in study.topology.datacenters.items():
+        for tier_kind in dc.tiers:
+            peak = max(
+                study.fluid.tier_cpu_utilization(dc_name, tier_kind, h * HOUR)
+                for h in range(24)
+            )
+            if peak > worst_util:
+                worst_util, worst_label = peak, f"{dc_name}.T{tier_kind}"
+    report.checks.append(RequirementCheck(
+        "peak tier utilization",
+        worst_util <= req.max_tier_utilization,
+        f"{100 * worst_util:.1f}% ({worst_label})",
+        f"<= {100 * req.max_tier_utilization:.0f}%",
+    ))
+
+    # 2. WAN allocation
+    table = study.background.utilization_table()
+    worst_link = max(table, key=lambda k: table[k]) if table else "-"
+    worst = table.get(worst_link, 0.0)
+    report.checks.append(RequirementCheck(
+        "WAN allocation occupancy",
+        worst <= req.max_link_utilization,
+        f"{100 * worst:.0f}% ({worst_link})",
+        f"<= {100 * req.max_link_utilization:.0f}% of the allocation",
+    ))
+
+    # 3 & 4. background-process effectiveness (multi-master studies
+    # default to their DNA master)
+    day = study.background_day()
+    report.checks.append(RequirementCheck(
+        "max stale window (R_SR^max)",
+        day.max_staleness() <= req.max_staleness_s,
+        f"{day.max_staleness() / 60:.1f} min",
+        f"<= {req.max_staleness_s / 60:.0f} min",
+    ))
+    report.checks.append(RequirementCheck(
+        "max unsearchable window (R_IB^max)",
+        day.max_unsearchable() <= req.max_unsearchable_s,
+        f"{day.max_unsearchable() / 60:.1f} min",
+        f"<= {req.max_unsearchable_s / 60:.0f} min",
+    ))
+    return report

@@ -1,0 +1,71 @@
+"""Weekly workload curves and operation mixes for the case studies
+(Figs 6-5, 6-6, 6-7).
+
+Curves are the *logged-in* client populations per data center for the
+reference (busiest) day of the week; each region follows its local
+business hours expressed in GMT.  The operation mix is assumed constant
+through the day (section 6.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.software.workload import OperationMix, WorkloadCurve
+
+#: ops launched per logged-in client per hour (drives "active" clients).
+OPS_PER_CLIENT_HOUR = 15.0
+
+
+def cad_workloads() -> Dict[str, WorkloadCurve]:
+    """Fig 6-5: CAD logged clients per data center (global peak ~2050)."""
+    return {
+        "DNA": WorkloadCurve.business_hours(850.0, 13.0, 23.0, ramp_hours=2.0),
+        "DEU": WorkloadCurve.business_hours(700.0, 7.0, 17.0, ramp_hours=2.0),
+        "DAS": WorkloadCurve.business_hours(280.0, 1.0, 10.0, ramp_hours=1.5),
+        "DSA": WorkloadCurve.business_hours(180.0, 12.0, 22.0, ramp_hours=1.5),
+        "DAUS": WorkloadCurve.business_hours(100.0, 22.0, 7.0, ramp_hours=1.5),
+        "DAFR": WorkloadCurve.business_hours(80.0, 7.0, 16.0, ramp_hours=1.5),
+    }
+
+
+def vis_workloads() -> Dict[str, WorkloadCurve]:
+    """Fig 6-6: VIS logged clients per data center (global peak ~2550)."""
+    return {
+        "DNA": WorkloadCurve.business_hours(1050.0, 13.0, 23.0, ramp_hours=2.0),
+        "DEU": WorkloadCurve.business_hours(850.0, 7.0, 17.0, ramp_hours=2.0),
+        "DAS": WorkloadCurve.business_hours(350.0, 1.0, 10.0, ramp_hours=1.5),
+        "DSA": WorkloadCurve.business_hours(220.0, 12.0, 22.0, ramp_hours=1.5),
+        "DAUS": WorkloadCurve.business_hours(120.0, 22.0, 7.0, ramp_hours=1.5),
+        "DAFR": WorkloadCurve.business_hours(100.0, 7.0, 16.0, ramp_hours=1.5),
+    }
+
+
+def pdm_workloads() -> Dict[str, WorkloadCurve]:
+    """Fig 6-7: PDM logged clients per data center (global peak ~1400)."""
+    return {
+        "DNA": WorkloadCurve.business_hours(560.0, 13.0, 23.0, ramp_hours=2.0),
+        "DEU": WorkloadCurve.business_hours(470.0, 7.0, 17.0, ramp_hours=2.0),
+        "DAS": WorkloadCurve.business_hours(190.0, 1.0, 10.0, ramp_hours=1.5),
+        "DSA": WorkloadCurve.business_hours(120.0, 12.0, 22.0, ramp_hours=1.5),
+        "DAUS": WorkloadCurve.business_hours(60.0, 22.0, 7.0, ramp_hours=1.5),
+        "DAFR": WorkloadCurve.business_hours(50.0, 7.0, 16.0, ramp_hours=1.5),
+    }
+
+
+#: Operation-type mixes (time-invariant, section 6.4.2).
+CAD_MIX = OperationMix({
+    "LOGIN": 0.20, "TEXT-SEARCH": 0.20, "FILTER": 0.15, "EXPLORE": 0.10,
+    "SPATIAL-SEARCH": 0.10, "SELECT": 0.10, "OPEN": 0.08, "SAVE": 0.07,
+})
+
+VIS_MIX = OperationMix({
+    "LOGIN": 0.18, "TEXT-SEARCH": 0.18, "FILTER": 0.12, "EXPLORE": 0.10,
+    "SPATIAL-SEARCH": 0.10, "SELECT": 0.10, "VALIDATE": 0.07,
+    "OPEN": 0.08, "SAVE": 0.07,
+})
+
+PDM_MIX = OperationMix({
+    "BILL-OF-MATERIALS": 0.10, "EXPAND": 0.15, "PROMOTE": 0.10,
+    "UPDATE": 0.25, "EDIT": 0.25, "DOWNLOAD": 0.08, "EXPORT": 0.07,
+})

@@ -1,0 +1,43 @@
+"""Topology layer: servers, tiers, data centers and the global network.
+
+Holons (section 3.3.2) compose the hardware agents of
+:mod:`repro.hardware` into the thesis's infrastructure hierarchy
+(Fig 3-9): *server* holons encapsulate NIC, CPU, memory and RAID agents;
+*tier* holons are arrays of identical servers with a load-balancing
+policy; *data-center* holons interconnect tiers through a switch and
+local links; the *global topology* interconnects data centers through
+wide-area links.
+
+Specs follow the thesis's superscript notation (section 5.2.1):
+``T^(a,b,c)`` (servers, cores/server, GB/server), ``san^(s,b,c)``
+(servers, disks, rpm) and ``L^(a,b)`` (Gbps, ms).
+"""
+
+from repro.topology.specs import (
+    ServerSpec,
+    TierSpec,
+    RAIDSpec,
+    SANSpec,
+    LinkSpec,
+    DataCenterSpec,
+    drive_speed_from_rpm,
+)
+from repro.topology.server import Server
+from repro.topology.tier import Tier, LoadBalancer
+from repro.topology.datacenter import DataCenter
+from repro.topology.network import GlobalTopology
+
+__all__ = [
+    "ServerSpec",
+    "TierSpec",
+    "RAIDSpec",
+    "SANSpec",
+    "LinkSpec",
+    "DataCenterSpec",
+    "drive_speed_from_rpm",
+    "Server",
+    "Tier",
+    "LoadBalancer",
+    "DataCenter",
+    "GlobalTopology",
+]

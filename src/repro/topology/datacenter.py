@@ -1,0 +1,127 @@
+"""Data-center holon: tiers interconnected by a switch and local links
+(Fig 3-9).
+
+A data center is formed by an arbitrary number of tiers, each connected
+to the central network switch through a local network link; SAN-backed
+tiers additionally reach their SAN through a storage link.  The intra-DC
+path between two tiers is ``link(tier A) -> switch -> link(tier B)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.agent import Agent, Holon
+from repro.hardware.link import NetworkLink
+from repro.hardware.san import SAN
+from repro.hardware.switch import NetworkSwitch
+from repro.topology.specs import DataCenterSpec, SANSpec
+from repro.topology.tier import Tier
+
+
+def _build_san(name: str, spec: SANSpec, seed: int | None) -> SAN:
+    from repro.topology.specs import drive_speed_from_rpm
+
+    return SAN(
+        name,
+        n_disks=spec.n_disks,
+        fc_switch_bps=spec.fc_switch_gbps * 1e9 / 8.0,
+        array_controller_bps=spec.array_controller_gbps * 1e9 / 8.0,
+        fc_loop_bps=spec.fc_loop_gbps * 1e9 / 8.0,
+        controller_bps=spec.controller_gbps * 1e9 / 8.0,
+        drive_bps=drive_speed_from_rpm(spec.drive_rpm),
+        array_cache_hit_rate=spec.array_cache_hit_rate,
+        disk_cache_hit_rate=spec.disk_cache_hit_rate,
+        seed=seed,
+    )
+
+
+class DataCenter(Holon):
+    """A multi-tier data center.
+
+    SANs are assigned to SAN-using tiers in declaration order; when there
+    are fewer SANs than SAN-using tiers the last SAN is shared.
+    """
+
+    holon_type = "datacenter"
+
+    def __init__(self, spec: DataCenterSpec, seed: int | None = None) -> None:
+        super().__init__(spec.name)
+        self.spec = spec
+        self.switch: NetworkSwitch = self.add_agent(
+            NetworkSwitch(f"{spec.name}.sw", speed_bps=spec.switch_gbps * 1e9)
+        )
+        self.sans: List[SAN] = []
+        for i, san_spec in enumerate(spec.sans):
+            san = _build_san(
+                f"{spec.name}.san{i}", san_spec,
+                seed=None if seed is None else seed * 100 + i,
+            )
+            self.add_agent(san)
+            self.sans.append(san)
+
+        self.tiers: Dict[str, Tier] = {}
+        self.tier_links: Dict[str, NetworkLink] = {}
+        self.tier_san: Dict[str, SAN] = {}
+        san_cursor = 0
+        for t_spec in spec.tiers:
+            storage = None
+            if t_spec.uses_san:
+                if not self.sans:
+                    raise ValueError(
+                        f"tier {t_spec.kind!r} of {spec.name!r} uses a SAN "
+                        f"but the data center declares none"
+                    )
+                san = self.sans[min(san_cursor, len(self.sans) - 1)]
+                storage = san.submit
+                self.tier_san[t_spec.kind] = san
+                san_cursor += 1
+            tier = Tier(
+                f"{spec.name}.T{t_spec.kind}",
+                t_spec,
+                storage_submit=storage,
+                seed=seed,
+            )
+            self.add_child(tier)
+            self.tiers[t_spec.kind] = tier
+            link = NetworkLink(
+                f"{spec.name}.L{t_spec.kind}",
+                bandwidth_bps=spec.tier_link.bandwidth_bps(),
+                latency_s=spec.tier_link.latency_s(),
+                max_connections=spec.tier_link.max_connections,
+            )
+            self.add_agent(link)
+            self.tier_links[t_spec.kind] = link
+
+        # client access link: local clients reach the switch through it
+        self.access_link: NetworkLink = self.add_agent(
+            NetworkLink(
+                f"{spec.name}.Laccess",
+                bandwidth_bps=spec.tier_link.bandwidth_bps(),
+                latency_s=spec.tier_link.latency_s(),
+                max_connections=spec.tier_link.max_connections,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def tier(self, kind: str) -> Tier:
+        """The tier of the given kind (``app``, ``db``, ``fs``, ``idx``)."""
+        try:
+            return self.tiers[kind]
+        except KeyError:
+            raise KeyError(
+                f"data center {self.name!r} has no tier {kind!r}; "
+                f"available: {sorted(self.tiers)}"
+            ) from None
+
+    def has_tier(self, kind: str) -> bool:
+        return kind in self.tiers
+
+    def intra_path(self, src_kind: Optional[str], dst_kind: str) -> List[Agent]:
+        """Network agents between two tiers (or client access -> tier).
+
+        ``src_kind=None`` denotes the client access side.
+        """
+        src_link = self.access_link if src_kind is None else self.tier_links[src_kind]
+        dst_link = self.tier_links[dst_kind]
+        return [src_link, self.switch, dst_link]

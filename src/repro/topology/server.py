@@ -1,0 +1,166 @@
+"""Server holon: NIC + CPU + memory + optional RAID (section 3.4.3).
+
+A server processes one *leg* of a message: per equations 3.3/3.4 the time
+spent at a holon decomposes into NIC serialization of the network bits,
+CPU consumption of the compute cycles (with the memory cache-hit bypass
+and occupancy effects) and disk-array consumption of the I/O bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.agent import Holon
+from repro.core.job import Job
+from repro.hardware.cpu import CPU
+from repro.hardware.memory import Memory
+from repro.hardware.nic import NIC
+from repro.hardware.raid import RAID
+from repro.topology.specs import GB, ServerSpec
+
+
+class Server(Holon):
+    """A physical server composed of hardware agents.
+
+    Parameters
+    ----------
+    spec:
+        Hardware specification.
+    storage_submit:
+        Override for the I/O entry point.  When the server's tier uses a
+        shared SAN, pass the SAN's ``enqueue``; otherwise the server's
+        local RAID (from ``spec.raid``) is used.
+    """
+
+    holon_type = "server"
+
+    def __init__(
+        self,
+        name: str,
+        spec: ServerSpec,
+        storage_submit: Optional[Callable[[Job, float], None]] = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.spec = spec
+        self.nic: NIC = self.add_agent(
+            NIC(f"{name}.nic", speed_bps=spec.nic_gbps * 1e9)
+        )
+        self.cpu: CPU = self.add_agent(
+            CPU(
+                f"{name}.cpu",
+                frequency_hz=spec.frequency_ghz * 1e9,
+                sockets=spec.sockets,
+                cores=spec.cores_per_socket(),
+            )
+        )
+        self.memory: Memory = self.add_agent(
+            Memory(
+                f"{name}.mem",
+                size_bytes=spec.memory_gb * GB,
+                cache_hit_rate=spec.memory_cache_hit_rate,
+                pool_bytes=spec.memory_pool_gb * GB,
+                seed=seed,
+            )
+        )
+        self.raid: Optional[RAID] = None
+        if storage_submit is not None:
+            self._storage_submit = storage_submit
+        elif spec.raid is not None:
+            r = spec.raid
+            self.raid = self.add_agent(
+                RAID(
+                    f"{name}.raid",
+                    n_disks=r.n_disks,
+                    array_controller_bps=r.array_controller_bps(),
+                    controller_bps=r.controller_bps(),
+                    drive_bps=r.drive_bps(),
+                    array_cache_hit_rate=r.array_cache_hit_rate,
+                    disk_cache_hit_rate=r.disk_cache_hit_rate,
+                    seed=seed,
+                )
+            )
+            self._storage_submit = self.raid.submit
+        else:
+            self._storage_submit = None
+
+    # ------------------------------------------------------------------
+    def process_leg(
+        self,
+        now: float,
+        cycles: float,
+        net_bits: float,
+        mem_bytes: float,
+        disk_bytes: float,
+        on_complete: Callable[[float], None],
+        tag=None,
+        not_before: float | None = None,
+    ) -> None:
+        """Run one message leg through this server's agents.
+
+        The leg traverses NIC -> CPU -> storage sequentially (eq. 3.4);
+        memory bytes are held for the leg's duration and a memory cache
+        hit bypasses the storage stage.  ``on_complete(t)`` fires when the
+        leg finishes.
+        """
+        t0 = now if not_before is None else not_before
+        mem_held = 0.0
+        if mem_bytes > 0 and self.memory.allocate(mem_bytes):
+            mem_held = mem_bytes
+        cache_hit = self.memory.is_cache_hit() if disk_bytes > 0 else False
+
+        def leg_done(t: float) -> None:
+            if mem_held:
+                self.memory.release(mem_held)
+            on_complete(t)
+
+        def cpu_done(_job: Job, t: float) -> None:
+            if disk_bytes > 0 and not cache_hit and self._storage_submit is not None:
+                self._storage_submit(
+                    Job(disk_bytes, on_complete=lambda _s, t2: leg_done(t2),
+                        not_before=t, tag=tag),
+                    t,
+                )
+            else:
+                leg_done(t)
+
+        def nic_done(_job: Job, t: float) -> None:
+            if cycles > 0:
+                self.cpu.submit(
+                    Job(cycles, on_complete=cpu_done, not_before=t, tag=tag), t
+                )
+            else:
+                cpu_done(_job, t)
+
+        if net_bits > 0:
+            self.nic.submit(
+                Job(net_bits, on_complete=nic_done, not_before=t0, tag=tag), now
+            )
+        elif cycles > 0:
+            self.cpu.submit(
+                Job(cycles, on_complete=cpu_done, not_before=t0, tag=tag), now
+            )
+        else:
+            cpu_done(Job(0.0), max(t0, now))
+
+    def load(self) -> int:
+        """Instantaneous load metric used by the tier load balancer."""
+        return self.cpu.queue_length() + self.nic.queue_length()
+
+    # ------------------------------------------------------------------
+    # failure injection (section 1.1, "Continuous Failure")
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """Whether the server is in service (load balancing skips it)."""
+        return not self.cpu.paused
+
+    def fail(self, crash: bool = True) -> None:
+        """Crash the server: all hardware stops; in-flight work is lost."""
+        for agent in self.agents():
+            agent.fail(crash=crash)
+
+    def repair(self, now: float) -> None:
+        """Return the server to service; queued work resumes (retry)."""
+        for agent in self.agents():
+            agent.repair(now)

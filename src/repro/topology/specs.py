@@ -1,0 +1,182 @@
+"""Hardware specification dataclasses, in the thesis's notation.
+
+All specs use engineering units (GHz, Gbps, ms, GB, rpm) and convert to
+the simulator's base units (Hz, bits/s, s, bytes) at build time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+GB = 1024.0**3
+MB = 1024.0**2
+KB = 1024.0
+
+#: Sustained sequential transfer speed by spindle speed, MB/s.  Values are
+#: representative of 2010-era enterprise drives (the thesis profiles 15 K
+#: rpm SAN disks).
+_RPM_TO_MBPS = {
+    5400: 60.0,
+    7200: 80.0,
+    10000: 100.0,
+    15000: 125.0,
+}
+
+
+def drive_speed_from_rpm(rpm: int) -> float:
+    """Sustained drive speed in bytes/s for a given spindle speed."""
+    if rpm in _RPM_TO_MBPS:
+        return _RPM_TO_MBPS[rpm] * MB
+    # interpolate between known spindle speeds
+    keys = sorted(_RPM_TO_MBPS)
+    if rpm <= keys[0]:
+        return _RPM_TO_MBPS[keys[0]] * MB
+    if rpm >= keys[-1]:
+        return _RPM_TO_MBPS[keys[-1]] * MB
+    for lo, hi in zip(keys, keys[1:]):
+        if lo <= rpm <= hi:
+            frac = (rpm - lo) / (hi - lo)
+            mbps = _RPM_TO_MBPS[lo] + frac * (_RPM_TO_MBPS[hi] - _RPM_TO_MBPS[lo])
+            return mbps * MB
+    raise AssertionError("unreachable")
+
+
+@dataclass(frozen=True)
+class RAIDSpec:
+    """A server-attached redundant disk array (Fig 3-7)."""
+
+    n_disks: int = 2
+    array_controller_gbps: float = 4.0  # Qdacc speed, Gbit/s
+    controller_gbps: float = 3.0  # per-disk Qdcc speed, Gbit/s
+    drive_rpm: int = 15000
+    array_cache_hit_rate: float = 0.0
+    disk_cache_hit_rate: float = 0.0
+
+    def array_controller_bps(self) -> float:
+        """Array-controller speed in bytes/s."""
+        return self.array_controller_gbps * 1e9 / 8.0
+
+    def controller_bps(self) -> float:
+        """Per-disk controller speed in bytes/s."""
+        return self.controller_gbps * 1e9 / 8.0
+
+    def drive_bps(self) -> float:
+        """Sustained drive speed in bytes/s."""
+        return drive_speed_from_rpm(self.drive_rpm)
+
+
+@dataclass(frozen=True)
+class SANSpec:
+    """``san^(s,b,c)``: s SAN servers, b disks, c rpm (Fig 3-8)."""
+
+    servers: int = 1
+    n_disks: int = 20
+    drive_rpm: int = 15000
+    fc_switch_gbps: float = 8.0
+    array_controller_gbps: float = 4.0
+    fc_loop_gbps: float = 4.0
+    controller_gbps: float = 3.0
+    array_cache_hit_rate: float = 0.0
+    disk_cache_hit_rate: float = 0.0
+
+    def notation(self) -> str:
+        rpm = f"{self.drive_rpm // 1000}K" if self.drive_rpm % 1000 == 0 else str(self.drive_rpm)
+        return f"san^({self.servers},{self.n_disks},{rpm})"
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One server: cores, clock, memory and its local disk array."""
+
+    cores: int = 8
+    sockets: int = 2
+    frequency_ghz: float = 3.0
+    memory_gb: float = 32.0
+    nic_gbps: float = 1.0
+    raid: Optional[RAIDSpec] = field(default_factory=RAIDSpec)
+    memory_cache_hit_rate: float = 0.0
+    memory_pool_gb: float = 0.0
+
+    def cores_per_socket(self) -> int:
+        if self.cores % self.sockets:
+            raise ValueError(
+                f"cores ({self.cores}) must divide evenly across "
+                f"sockets ({self.sockets})"
+            )
+        return self.cores // self.sockets
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """``T^(a,b,c)``: a servers, b cores per server, c GB per server.
+
+    ``kind`` is the tier's responsibility: ``app``, ``db``, ``fs`` or
+    ``idx`` (application, database, file and index server tiers).
+    """
+
+    kind: str
+    n_servers: int
+    cores_per_server: int
+    memory_gb: float
+    frequency_ghz: float = 3.0
+    sockets: int = 2
+    nic_gbps: float = 1.0
+    raid: Optional[RAIDSpec] = field(default_factory=RAIDSpec)
+    uses_san: bool = False  # tier I/O goes to the data center SAN
+    memory_pool_gb: float = 0.0  # OS/runtime memory-pool floor (section 5.3.3)
+
+    def notation(self) -> str:
+        return f"T{self.kind}^({self.n_servers},{self.cores_per_server},{int(self.memory_gb)})"
+
+    def server_spec(self) -> ServerSpec:
+        sockets = self.sockets if self.cores_per_server % self.sockets == 0 else 1
+        return ServerSpec(
+            cores=self.cores_per_server,
+            sockets=sockets,
+            frequency_ghz=self.frequency_ghz,
+            memory_gb=self.memory_gb,
+            nic_gbps=self.nic_gbps,
+            raid=self.raid,
+            memory_pool_gb=self.memory_pool_gb,
+        )
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """``L^(a,b)``: bandwidth ``a`` in Gbps and latency ``b`` in ms."""
+
+    bandwidth_gbps: float
+    latency_ms: float
+    max_connections: Optional[int] = None
+    allocated_fraction: float = 1.0
+
+    def notation(self) -> str:
+        return f"L^({self.bandwidth_gbps},{self.latency_ms})"
+
+    def bandwidth_bps(self) -> float:
+        return self.bandwidth_gbps * 1e9
+
+    def latency_s(self) -> float:
+        return self.latency_ms / 1000.0
+
+
+@dataclass(frozen=True)
+class DataCenterSpec:
+    """A data center: its tiers, SANs and internal connectivity."""
+
+    name: str
+    tiers: Tuple[TierSpec, ...]
+    sans: Tuple[SANSpec, ...] = ()
+    switch_gbps: float = 10.0
+    tier_link: LinkSpec = field(default_factory=lambda: LinkSpec(1.0, 0.45))
+    san_link: LinkSpec = field(default_factory=lambda: LinkSpec(4.0, 0.5))
+
+    def tier(self, kind: str) -> TierSpec:
+        for t in self.tiers:
+            if t.kind == kind:
+                return t
+        raise KeyError(f"data center {self.name!r} has no tier {kind!r}")
+
+    def tier_kinds(self) -> List[str]:
+        return [t.kind for t in self.tiers]

@@ -1,0 +1,114 @@
+"""Tier holon: an array of identical servers with load balancing.
+
+Tier holons (section 3.3.2) can be of different types — application,
+database, file-server or index tiers — based on the specifications of the
+server holons that form them.  Requests entering a tier are routed to a
+member server by a :class:`LoadBalancer` policy, the "predefined
+load-balancing strategies" the simulator resolves at run time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional
+
+from repro.core.agent import Holon
+from repro.core.errors import SimulationError
+from repro.core.job import Job
+from repro.topology.server import Server
+from repro.topology.specs import TierSpec
+
+
+class TierUnavailableError(SimulationError):
+    """Every server of a tier is failed; requests to it cannot be served."""
+
+
+class LoadBalancer:
+    """Server-selection policies for a tier.
+
+    ``round_robin`` cycles through servers; ``least_busy`` picks the
+    server with the fewest queued jobs (ties broken by order).
+    """
+
+    POLICIES = ("round_robin", "least_busy")
+
+    def __init__(self, policy: str = "least_busy") -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown load-balancing policy {policy!r}")
+        self.policy = policy
+        self._rr = itertools.count()
+
+    def choose(self, servers: List[Server]) -> Server:
+        if not servers:
+            raise ValueError("cannot balance across an empty tier")
+        healthy = [s for s in servers if s.available]
+        if not healthy:
+            raise TierUnavailableError(
+                f"no available servers among {len(servers)}"
+            )
+        if self.policy == "round_robin":
+            return healthy[next(self._rr) % len(healthy)]
+        return min(healthy, key=lambda s: s.load())
+
+
+class Tier(Holon):
+    """An array of identical :class:`Server` holons.
+
+    Parameters
+    ----------
+    spec:
+        ``T^(a,b,c)`` tier specification.
+    storage_submit:
+        Shared storage entry point (a SAN) for tiers with
+        ``spec.uses_san``; member servers then have no local RAID.
+    """
+
+    holon_type = "tier"
+
+    def __init__(
+        self,
+        name: str,
+        spec: TierSpec,
+        storage_submit: Optional[Callable[[Job, float], None]] = None,
+        balancer: Optional[LoadBalancer] = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.spec = spec
+        self.kind = spec.kind
+        self.balancer = balancer or LoadBalancer()
+        self.servers: List[Server] = []
+        sspec = spec.server_spec()
+        for i in range(spec.n_servers):
+            server = Server(
+                f"{name}.s{i}",
+                sspec,
+                storage_submit=storage_submit if spec.uses_san else None,
+                seed=None if seed is None else seed * 1000 + i,
+            )
+            self.add_child(server)
+            self.servers.append(server)
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.servers)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(s.cpu.total_cores for s in self.servers)
+
+    def pick_server(self) -> Server:
+        """Select a member server according to the balancing policy."""
+        return self.balancer.choose(self.servers)
+
+    def cpu_utilization(self, now: float) -> float:
+        """Average CPU utilization across the tier's servers.
+
+        This is the quantity plotted in Figs 5-7..5-10 and 6-12/6-13: the
+        mean utilization of all cores across the servers of the tier.
+        """
+        if not self.servers:
+            return 0.0
+        return sum(s.cpu.sample(now)["utilization"] for s in self.servers) / len(
+            self.servers
+        )

@@ -1,0 +1,33 @@
+"""Simulation platform validation (chapter 5).
+
+Reproduces the thesis's validation campaign: a downscaled single-data-
+center infrastructure runs synthetic CAD workloads as three experiments
+with increasing launch pressure; the *simulated* infrastructure (GDISim,
+the idealized model) is compared against a *physical* reference system
+(here: the same dynamics perturbed with stochastic noise — see
+DESIGN.md, substitution 1) via concurrent-client counts, per-tier CPU
+utilization, steady-state statistics (Table 5.2) and RMSE (Table 5.3).
+"""
+
+from repro.validation.infrastructure import build_downscaled_infrastructure
+from repro.validation.series import build_series, series_durations
+from repro.validation.experiments import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    ExperimentResult,
+    run_experiment,
+    run_validation,
+)
+from repro.validation.physical import PhysicalPerturbation
+
+__all__ = [
+    "build_downscaled_infrastructure",
+    "build_series",
+    "series_durations",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "run_experiment",
+    "run_validation",
+    "PhysicalPerturbation",
+]

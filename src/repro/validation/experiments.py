@@ -1,0 +1,279 @@
+"""The three validation experiments (section 5.2.4).
+
+Each experiment launches light/average/heavy series at fixed frequencies
+("15-36-60" means one light series every 15 s, one average every 36 s
+and one heavy every 60 s).  Frequencies are shorter than every series
+duration, so series overlap and compete for the infrastructure.  Each
+experiment runs an initial transient, a 31-minute steady state and a
+final drain; component states are sampled every six seconds in both the
+physical and the simulated infrastructure.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import Simulator
+from repro.metrics.collector import Collector
+from repro.metrics.stats import SteadyStateStats, rmse, smooth, steady_state_stats
+from repro.software.cascade import CascadeRunner, OperationRecord
+from repro.software.placement import SingleMasterPlacement
+from repro.software.workload import SeriesLauncher
+from repro.validation.infrastructure import (
+    DC_NAME,
+    build_downscaled_infrastructure,
+)
+from repro.validation.physical import PhysicalPerturbation
+from repro.validation.series import build_series
+
+TIERS = ("app", "db", "fs", "idx")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Launch frequencies of one validation experiment (seconds)."""
+
+    name: str
+    light_interval: float
+    average_interval: float
+    heavy_interval: float
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.name}: {self.light_interval:.0f}-"
+            f"{self.average_interval:.0f}-{self.heavy_interval:.0f}s"
+        )
+
+    def series_rate(self) -> float:
+        """Combined series launch rate (series per second)."""
+        return (
+            1.0 / self.light_interval
+            + 1.0 / self.average_interval
+            + 1.0 / self.heavy_interval
+        )
+
+
+#: The published experiments (section 5.2.4).
+EXPERIMENTS: Tuple[ExperimentSpec, ...] = (
+    ExperimentSpec("Experiment-1", 15.0, 36.0, 60.0),
+    ExperimentSpec("Experiment-2", 12.0, 29.0, 48.0),
+    ExperimentSpec("Experiment-3", 10.0, 24.0, 40.0),
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Time series and records collected from one experiment run."""
+
+    spec: ExperimentSpec
+    physical: bool
+    horizon: float
+    steady_window: Tuple[float, float]
+    clients: List[Tuple[float, float]] = field(default_factory=list)
+    cpu: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    memory: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    records: List[OperationRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def steady_cpu_stats(self, tier: str) -> SteadyStateStats:
+        """Table 5.2 entry: steady-state CPU moments for one tier."""
+        return steady_state_stats(self.cpu[tier], *self.steady_window)
+
+    def steady_client_stats(self) -> SteadyStateStats:
+        return steady_state_stats(self.clients, *self.steady_window)
+
+    def mean_response_time(self, operation: str) -> float:
+        vals = [r.response_time for r in self.records if r.operation == operation]
+        if not vals:
+            raise ValueError(f"no completed {operation!r} operations")
+        return sum(vals) / len(vals)
+
+    def response_percentile(self, operation: str, q: float) -> float:
+        """The q-quantile response time of one operation type."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        vals = sorted(r.response_time for r in self.records
+                      if r.operation == operation)
+        if not vals:
+            raise ValueError(f"no completed {operation!r} operations")
+        return vals[min(int(q * len(vals)), len(vals) - 1)]
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    physical: bool = False,
+    horizon: float = 2280.0,
+    launch_until: Optional[float] = None,
+    steady_window: Optional[Tuple[float, float]] = None,
+    sample_interval: float = 6.0,
+    dt: float = 0.01,
+    seed: int = 42,
+    perturbation: Optional[PhysicalPerturbation] = None,
+) -> ExperimentResult:
+    """Run one validation experiment and collect its measurement series.
+
+    ``physical=True`` runs the synthetic physical reference (perturbed
+    dynamics, see :class:`PhysicalPerturbation`); ``physical=False`` runs
+    the idealized GDISim model.  Both use identical workloads and
+    sampling so their series pair sample-for-sample (eq. 5.5).
+    """
+    if launch_until is None:
+        launch_until = horizon * 0.92
+    if steady_window is None:
+        steady_window = (min(300.0, horizon * 0.2), launch_until * 0.97)
+
+    topo = build_downscaled_infrastructure(seed=seed)
+    dc = topo.datacenter(DC_NAME)
+    series = build_series(topo)
+
+    pert = perturbation or PhysicalPerturbation(seed=seed + 1000)
+    if physical:
+        series = pert.perturb_series(series)
+        pert.perturb_rates(topo)
+
+    sim = Simulator(dt=dt, mode="adaptive")
+    sim.add_holon(dc)
+    runner = CascadeRunner(
+        topo, SingleMasterPlacement(DC_NAME, local_fs=False), seed=seed + 7
+    )
+    launcher = SeriesLauncher(sim, runner, DC_NAME, seed=seed + 11)
+    launcher.schedule_series(series["light"], spec.light_interval, launch_until)
+    launcher.schedule_series(series["average"], spec.average_interval, launch_until)
+    launcher.schedule_series(series["heavy"], spec.heavy_interval, launch_until)
+
+    if physical:
+        pert.install_os_background_load(sim, topo, until=horizon)
+
+    collector = Collector(sim, sample_interval=sample_interval)
+    collector.add_probe("clients", lambda now: float(launcher.active_series))
+    for tier_kind in TIERS:
+        tier = dc.tier(tier_kind)
+        collector.add_probe(
+            f"cpu.{tier_kind}",
+            (lambda t: lambda now: t.cpu_utilization(now))(tier),
+        )
+        collector.add_probe(
+            f"mem.{tier_kind}",
+            (lambda t: lambda now: sum(
+                s.memory.occupancy_bytes for s in t.servers
+            ) / len(t.servers))(tier),
+        )
+
+    t0 = _wallclock.perf_counter()
+    sim.run(horizon)
+    wall = _wallclock.perf_counter() - t0
+
+    result = ExperimentResult(
+        spec=spec,
+        physical=physical,
+        horizon=horizon,
+        steady_window=steady_window,
+        records=list(runner.records),
+        wall_seconds=wall,
+    )
+    result.clients = collector.series("clients")
+    for tier_kind in TIERS:
+        cpu_series = collector.series(f"cpu.{tier_kind}")
+        if physical:
+            cpu_series = pert.noisy(cpu_series)
+        result.cpu[tier_kind] = cpu_series
+        result.memory[tier_kind] = collector.series(f"mem.{tier_kind}")
+    return result
+
+
+def run_validation(
+    horizon: float = 2280.0,
+    dt: float = 0.01,
+    seed: int = 42,
+) -> Dict[str, Dict[str, ExperimentResult]]:
+    """Run all experiments on both systems.
+
+    Returns ``results[experiment_name]["physical"|"simulated"]``.
+    """
+    out: Dict[str, Dict[str, ExperimentResult]] = {}
+    for spec in EXPERIMENTS:
+        out[spec.name] = {
+            "physical": run_experiment(spec, physical=True, horizon=horizon,
+                                       dt=dt, seed=seed),
+            "simulated": run_experiment(spec, physical=False, horizon=horizon,
+                                        dt=dt, seed=seed),
+        }
+    return out
+
+
+def run_replications(
+    spec: ExperimentSpec,
+    n: int = 5,
+    physical: bool = False,
+    base_seed: int = 42,
+    **kwargs,
+) -> Dict[str, object]:
+    """Independent replications of one experiment with 95 % CIs.
+
+    Section 5.3.4 benchmarks the simulator's accuracy against analytic
+    models reporting 95 % confidence intervals; this runs ``n``
+    independently seeded replications and summarizes each tier's
+    steady-state CPU mean (and the concurrent-client count) as a
+    :class:`~repro.metrics.stats.ConfidenceInterval`.
+    """
+    from repro.metrics.stats import confidence_interval
+
+    if n < 2:
+        raise ValueError("need at least two replications")
+    per_tier: Dict[str, List[float]] = {t: [] for t in TIERS}
+    clients: List[float] = []
+    for i in range(n):
+        res = run_experiment(spec, physical=physical,
+                             seed=base_seed + 1000 * i, **kwargs)
+        for t in TIERS:
+            per_tier[t].append(res.steady_cpu_stats(t).mean)
+        clients.append(res.steady_client_stats().mean)
+    out: Dict[str, object] = {
+        f"cpu.{t}": confidence_interval(vals) for t, vals in per_tier.items()
+    }
+    out["clients"] = confidence_interval(clients)
+    return out
+
+
+def rmse_table(
+    results: Dict[str, Dict[str, ExperimentResult]],
+    snapshot_window: int = 5,
+) -> Dict[str, Dict[str, float]]:
+    """Table 5.3: RMSE by experiment and measurement (percent units).
+
+    Series are snapshot-averaged (``snapshot_window`` samples at the
+    6-second cadence) before comparison, matching the
+    collector's reporting pipeline (section 4.3.1).
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for name, pair in results.items():
+        phys, sim = pair["physical"], pair["simulated"]
+        row: Dict[str, float] = {}
+        for tier_kind in TIERS:
+            row[f"CPU T{tier_kind}"] = 100.0 * rmse(
+                smooth(phys.cpu[tier_kind], snapshot_window),
+                smooth(sim.cpu[tier_kind], snapshot_window),
+            )
+        # concurrent clients: normalize by the steady-state mean so the
+        # error is comparable to the paper's percentage figures
+        mean_clients = max(phys.steady_client_stats().mean, 1e-9)
+        row["#C"] = 100.0 * rmse(phys.clients, sim.clients) / mean_clients
+        row["R"] = 100.0 * _response_rmse(phys, sim)
+        table[name] = row
+    return table
+
+
+def _response_rmse(phys: ExperimentResult, sim: ExperimentResult) -> float:
+    """Relative RMSE between mean per-operation response times."""
+    ops = sorted({r.operation for r in phys.records} & {r.operation for r in sim.records})
+    if not ops:
+        return float("nan")
+    acc = 0.0
+    for op in ops:
+        p = phys.mean_response_time(op)
+        s = sim.mean_response_time(op)
+        acc += ((p - s) / max(p, 1e-9)) ** 2
+    return (acc / len(ops)) ** 0.5

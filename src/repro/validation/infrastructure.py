@@ -1,0 +1,57 @@
+"""The downscaled validation infrastructure (section 5.2.1, Fig 5-1).
+
+A single data center ``DNA`` with four tiers — application, database,
+file and index servers — two identical ``san^(1,20,15K)`` storage
+networks backing ``Tfs`` and ``Tdb``, ``L^(1,0.45)``-class links between
+tiers and ``L^(4,0.5)`` links to the SANs.
+
+The thesis gives the tier superscripts only partially (the scan is
+garbled); core counts here are chosen so the published utilization bands
+(Table 5.2) emerge at the published launch rates — see the derivation in
+``repro.software.cad.BUDGETS``.  Memory pools are set to the flat
+occupancies measured in section 5.3.3 (32/28/12/12 GB).
+"""
+
+from __future__ import annotations
+
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import DataCenterSpec, LinkSpec, SANSpec, TierSpec
+
+#: The validation data center name.
+DC_NAME = "DNA"
+
+
+def downscaled_spec() -> DataCenterSpec:
+    """Specification of the downscaled Fortune 500 infrastructure."""
+    return DataCenterSpec(
+        name=DC_NAME,
+        tiers=(
+            TierSpec("app", n_servers=2, cores_per_server=2, memory_gb=48.0,
+                     sockets=1, memory_pool_gb=32.0),
+            TierSpec("db", n_servers=1, cores_per_server=4, memory_gb=64.0,
+                     sockets=1, uses_san=True, memory_pool_gb=28.0),
+            TierSpec("fs", n_servers=1, cores_per_server=4, memory_gb=16.0,
+                     sockets=1, uses_san=True, nic_gbps=10.0,
+                     memory_pool_gb=12.0),
+            TierSpec("idx", n_servers=1, cores_per_server=4, memory_gb=64.0,
+                     sockets=1, memory_pool_gb=12.0),
+        ),
+        sans=(
+            SANSpec(servers=1, n_disks=20, drive_rpm=15000),
+            SANSpec(servers=1, n_disks=20, drive_rpm=15000),
+        ),
+        switch_gbps=10.0,
+        tier_link=LinkSpec(10.0, 0.2),
+        san_link=LinkSpec(4.0, 0.5),
+    )
+
+
+def build_downscaled_infrastructure(seed: int | None = 42) -> GlobalTopology:
+    """Build the single-DC topology used by the chapter 5 experiments."""
+    topo = GlobalTopology(seed=seed)
+    topo.add_datacenter(downscaled_spec())
+    return topo
+
+
+#: Role placement during validation: every tier lives in DNA.
+VALIDATION_MAPPING = {"app": DC_NAME, "db": DC_NAME, "fs": DC_NAME, "idx": DC_NAME}

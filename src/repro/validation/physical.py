@@ -1,0 +1,107 @@
+"""Synthetic "physical infrastructure" reference (DESIGN.md substitution 1).
+
+The thesis validates GDISim against a real, noisy production system.  We
+cannot access that system, so the *physical* runs are the same queueing
+dynamics perturbed with the disturbance sources a real deployment
+exhibits and the idealized simulator does not model:
+
+* **calibration error** — the canonical costs fed to the simulator come
+  from one-time profiling; the real per-operation costs deviate by a few
+  percent (multiplicative lognormal-ish error per operation type),
+* **hardware variability** — real clocks, firmware and contention make
+  effective service rates deviate per server,
+* **OS background load** — kernels, runtimes and housekeeping consume a
+  stochastic share of every CPU,
+* **measurement noise** — profiling counters are sampled, not exact.
+
+Each source is seeded independently so physical and simulated runs are
+reproducible yet uncorrelated, which lands the comparison in the
+published error regime (RMSE ~5-13 %, Table 5.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.engine import Simulator
+from repro.core.job import Job
+from repro.topology.network import GlobalTopology
+from repro.software.workload import SeriesSpec
+
+
+@dataclass
+class PhysicalPerturbation:
+    """Disturbance magnitudes of the synthetic physical system.
+
+    All sigmas are relative (fraction of the nominal value).
+    """
+
+    cost_sigma: float = 0.07  # per-operation canonical cost error
+    rate_sigma: float = 0.05  # per-server service-rate deviation
+    os_load: float = 0.04  # mean background CPU share per server
+    sample_sigma: float = 0.03  # absolute noise on utilization samples
+    seed: int = 1234
+
+    # ------------------------------------------------------------------
+    def perturb_series(self, series: Dict[str, SeriesSpec]) -> Dict[str, SeriesSpec]:
+        """Return series whose operation costs carry calibration error."""
+        rng = random.Random(self.seed * 7 + 1)
+        out: Dict[str, SeriesSpec] = {}
+        for stype, spec in series.items():
+            ops = []
+            for op in spec.operations:
+                factor = max(1.0 + rng.gauss(0.0, self.cost_sigma), 0.5)
+                ops.append(op.scaled(cycles_factor=factor, bytes_factor=factor))
+            out[stype] = SeriesSpec(spec.name, ops)
+        return out
+
+    def perturb_rates(self, topology: GlobalTopology) -> None:
+        """Skew every CPU/NIC service rate by a per-server factor."""
+        rng = random.Random(self.seed * 7 + 2)
+        for dc in topology.datacenters.values():
+            for tier in dc.tiers.values():
+                for server in tier.servers:
+                    f = max(1.0 + rng.gauss(0.0, self.rate_sigma), 0.5)
+                    for q in server.cpu.socket_queues:
+                        q.rate *= f
+                    server.nic.rate *= max(1.0 + rng.gauss(0.0, self.rate_sigma), 0.5)
+
+    def install_os_background_load(
+        self, sim: Simulator, topology: GlobalTopology, until: float
+    ) -> None:
+        """Schedule stochastic OS housekeeping bursts on every server CPU.
+
+        Bursts form a Poisson process per server whose long-run CPU share
+        averages ``os_load``.
+        """
+        rng = random.Random(self.seed * 7 + 3)
+        period = 1.0  # mean seconds between bursts
+
+        def schedule_bursts(server) -> None:
+            def fire(now: float) -> None:
+                cores = server.cpu.capacity()
+                burst_s = rng.expovariate(1.0 / (self.os_load * period)) * cores
+                server.cpu.submit(
+                    Job(burst_s * server.cpu.frequency_hz, tag="os"), now
+                )
+                nxt = now + rng.expovariate(1.0 / period)
+                if nxt < until:
+                    sim.schedule(nxt, fire)
+
+            sim.schedule(rng.uniform(0, period), fire)
+
+        for dc in topology.datacenters.values():
+            for tier in dc.tiers.values():
+                for server in tier.servers:
+                    schedule_bursts(server)
+
+    def noisy(self, series: List[Tuple[float, float]], lo: float = 0.0,
+              hi: float = 1.0) -> List[Tuple[float, float]]:
+        """Add measurement noise to a sampled (time, value) series."""
+        rng = random.Random(self.seed * 7 + 4)
+        return [
+            (t, min(max(v + rng.gauss(0.0, self.sample_sigma), lo), hi))
+            for t, v in series
+        ]

@@ -1,0 +1,49 @@
+"""Validation series: light / average / heavy (section 5.2.2).
+
+A *series* is a sequential concatenation of the eight CAD operations in
+a fixed order; the three series types differ in the volume of data
+manipulated by OPEN and SAVE.  Table 5.1 gives the canonical duration of
+each operation per series; :func:`series_durations` regenerates that
+table from the calibrated cascades.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.software.cad import SERIES_ORDER, build_cad_operations
+from repro.software.canonical import CanonicalCostModel
+from repro.software.client import Client
+from repro.software.workload import SeriesSpec
+from repro.topology.network import GlobalTopology
+from repro.validation.infrastructure import DC_NAME, VALIDATION_MAPPING
+
+SERIES_TYPES = ("light", "average", "heavy")
+
+
+def build_series(
+    topology: GlobalTopology, seed: int | None = 0
+) -> Dict[str, SeriesSpec]:
+    """Calibrated light/average/heavy CAD series for the validation DC."""
+    model = CanonicalCostModel(topology)
+    cal_client = Client("calibration", DC_NAME, seed=seed)
+    out: Dict[str, SeriesSpec] = {}
+    for stype in SERIES_TYPES:
+        ops = build_cad_operations(model, VALIDATION_MAPPING, cal_client, stype)
+        out[stype] = SeriesSpec(stype, [ops[name] for name in SERIES_ORDER])
+    return out
+
+
+def series_durations(topology: GlobalTopology) -> Dict[str, Dict[str, float]]:
+    """Regenerate Table 5.1: canonical duration by operation and series."""
+    model = CanonicalCostModel(topology)
+    cal_client = Client("calibration", DC_NAME, seed=0)
+    series = build_series(topology)
+    table: Dict[str, Dict[str, float]] = {}
+    for stype, spec in series.items():
+        table[stype] = {
+            op.name: model.canonical_time(op, VALIDATION_MAPPING, cal_client)
+            for op in spec.operations
+        }
+        table[stype]["TOTAL"] = sum(table[stype].values())
+    return table

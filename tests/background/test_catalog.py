@@ -1,0 +1,127 @@
+"""Tests for the file catalog and ownership dynamics (sections 9.2.3, 7.2.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.background.catalog import FileCatalog
+
+DCS = ["DNA", "DEU", "DAS"]
+
+
+def test_create_files_with_sizes():
+    cat = FileCatalog(DCS, avg_file_mb=50.0, seed=1)
+    metas = cat.create_files("DNA", 100)
+    assert len(metas) == 100
+    assert all(m.owner == "DNA" for m in metas)
+    mean = sum(m.size_mb for m in metas) / len(metas)
+    assert 30.0 < mean < 75.0  # exponential around 50
+
+
+def test_unknown_owner_rejected():
+    cat = FileCatalog(DCS)
+    with pytest.raises(KeyError):
+        cat.create_file("DMOON")
+
+
+def test_access_and_stale_volume():
+    cat = FileCatalog(DCS, seed=2)
+    f = cat.create_file("DNA", size_mb=100.0)
+    cat.access(f.file_id, "DEU", modify=False)
+    assert cat.stale_volume_mb("DEU") == 0.0  # reads do not create versions
+    cat.access(f.file_id, "DNA", modify=True)
+    assert cat.stale_volume_mb("DEU") == pytest.approx(100.0)
+    moved = cat.sync_all("DEU")
+    assert moved == pytest.approx(100.0)
+    assert cat.stale_volume_mb("DEU") == 0.0
+
+
+def test_rebalance_migrates_dominant_files():
+    """Fig 7-1: a file moves to the DC that originates most demand."""
+    cat = FileCatalog(DCS, seed=3)
+    f = cat.create_file("DNA", size_mb=10.0)
+    for _ in range(20):
+        cat.access(f.file_id, "DEU")
+    for _ in range(3):
+        cat.access(f.file_id, "DNA")
+    migrations = cat.rebalance_ownership(min_accesses=10, dominance=0.5)
+    assert migrations == [(f.file_id, "DNA", "DEU")]
+    assert cat.files[f.file_id].owner == "DEU"
+    assert cat.files[f.file_id].migrations == 1
+
+
+def test_rebalance_respects_thresholds():
+    cat = FileCatalog(DCS, seed=3)
+    f = cat.create_file("DNA", size_mb=10.0)
+    for _ in range(5):  # below min_accesses
+        cat.access(f.file_id, "DEU")
+    assert cat.rebalance_ownership(min_accesses=10) == []
+    # balanced access: no dominance
+    g = cat.create_file("DNA", size_mb=10.0)
+    for _ in range(10):
+        cat.access(g.file_id, "DEU")
+    for _ in range(10):
+        cat.access(g.file_id, "DAS")
+    assert cat.rebalance_ownership(min_accesses=10, dominance=0.6) == []
+
+
+def test_ownership_distribution_sums_to_one():
+    cat = FileCatalog(DCS, seed=4)
+    cat.create_files("DNA", 10)
+    cat.create_files("DEU", 5)
+    dist = cat.ownership_distribution()
+    assert sum(dist.values()) == pytest.approx(1.0)
+    assert dist["DNA"] > dist["DEU"] > 0.0
+    assert dist["DAS"] == 0.0
+
+
+def test_access_pattern_matrix_rows_sum_to_100():
+    cat = FileCatalog(DCS, seed=5)
+    files = cat.create_files("DNA", 5) + cat.create_files("DEU", 5)
+    import random
+    rng = random.Random(6)
+    for _ in range(500):
+        cat.access(rng.choice(files).file_id, rng.choice(DCS))
+    apm = cat.access_pattern_matrix()
+    for accessor, row in apm.items():
+        assert sum(row.values()) == pytest.approx(100.0)
+
+
+def test_apm_reflects_locality_after_rebalance():
+    """After migration, the derived APM shows higher self-ownership."""
+    cat = FileCatalog(DCS, seed=7)
+    files = cat.create_files("DNA", 20)
+    for m in files[:10]:  # half the files are really EU-demanded
+        for _ in range(15):
+            cat.access(m.file_id, "DEU")
+    before = cat.access_pattern_matrix()["DEU"].get("DEU", 0.0)
+    cat.rebalance_ownership(min_accesses=10)
+    after = cat.access_pattern_matrix()["DEU"].get("DEU", 0.0)
+    assert after > before
+
+
+@given(st.lists(st.sampled_from(DCS), min_size=1, max_size=60))
+@settings(max_examples=30)
+def test_migration_preserves_version_monotonicity(accessors):
+    """Property: ownership churn never violates timeline consistency."""
+    cat = FileCatalog(DCS, seed=11)
+    f = cat.create_file("DNA", size_mb=1.0)
+    version_seen = {dc: 0 for dc in DCS}
+    for i, dc in enumerate(accessors):
+        cat.access(f.file_id, dc, modify=(i % 3 == 0))
+        if i % 5 == 0:
+            cat.rebalance_ownership(min_accesses=3, dominance=0.5)
+        if i % 4 == 0:
+            cat.sync_all(dc)
+        v = cat.store.replica_version(dc, f.file_id)
+        assert v >= version_seen[dc]
+        version_seen[dc] = v
+
+
+def test_catalog_validation():
+    with pytest.raises(ValueError):
+        FileCatalog([])
+    with pytest.raises(ValueError):
+        FileCatalog(DCS, avg_file_mb=0.0)
+    cat = FileCatalog(DCS)
+    with pytest.raises(ValueError):
+        cat.rebalance_ownership(dominance=0.0)

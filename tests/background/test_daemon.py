@@ -1,0 +1,94 @@
+"""Unit tests for daemon scheduling disciplines."""
+
+import pytest
+
+from repro.background.daemon import PeriodicDaemon, SerialDaemon
+from repro.core import Simulator
+
+
+def instant_task(duration=0.0):
+    """A task completing after a fixed simulated delay."""
+    calls = []
+
+    def task(now, t0, t1, done):
+        calls.append((now, t0, t1))
+        done(now + duration)
+
+    return task, calls
+
+
+def test_periodic_daemon_launches_every_interval():
+    sim = Simulator(dt=0.1)
+    task, calls = instant_task()
+    daemon = PeriodicDaemon(sim, task, interval=10.0, until=35.0)
+    sim.run(40.0)
+    assert [round(c[0]) for c in calls] == [0, 10, 20, 30]
+    assert len(daemon.launches) == 4
+
+
+def test_periodic_windows_are_contiguous():
+    sim = Simulator(dt=0.1)
+    task, calls = instant_task()
+    PeriodicDaemon(sim, task, interval=10.0, until=35.0)
+    sim.run(40.0)
+    for (_, t0, t1), (_, n0, n1) in zip(calls, calls[1:]):
+        assert n0 == pytest.approx(t1)
+
+
+def test_periodic_daemon_overlapping_instances():
+    """SYNCHREP semantics: launches do not wait for earlier instances."""
+    sim = Simulator(dt=0.1)
+
+    in_flight_peak = {"v": 0}
+    daemon_ref = {}
+
+    def slow_task(now, t0, t1, done):
+        in_flight_peak["v"] = max(in_flight_peak["v"],
+                                  daemon_ref["d"].in_flight)
+        sim.schedule(now + 25.0, lambda t: done(t))
+
+    daemon_ref["d"] = PeriodicDaemon(sim, slow_task, interval=10.0, until=40.0)
+    sim.run(80.0)
+    assert in_flight_peak["v"] >= 2  # instances overlapped
+
+
+def test_serial_daemon_waits_for_completion():
+    """INDEXBUILD semantics: next run starts delay after the previous
+    ends; only one instance at a time."""
+    sim = Simulator(dt=0.1)
+    calls = []
+
+    def task(now, t0, t1, done):
+        calls.append((now, t0, t1))
+        sim.schedule(now + 7.0, lambda t: done(t))
+
+    SerialDaemon(sim, task, delay=3.0, until=50.0)
+    sim.run(60.0)
+    starts = [c[0] for c in calls]
+    # launches at 0, 10, 20, 30, 40 (7 s run + 3 s delay)
+    assert starts == pytest.approx([0.0, 10.0, 20.0, 30.0, 40.0], abs=0.3)
+
+
+def test_serial_windows_cover_accumulated_time():
+    """Files flagged during a run are covered by the next window."""
+    sim = Simulator(dt=0.1)
+    calls = []
+
+    def task(now, t0, t1, done):
+        calls.append((t0, t1))
+        sim.schedule(now + 7.0, lambda t: done(t))
+
+    SerialDaemon(sim, task, delay=3.0, until=25.0)
+    sim.run(60.0)
+    # window ends meet the next window's start: nothing is missed
+    for (a0, a1), (b0, b1) in zip(calls, calls[1:]):
+        assert b0 == pytest.approx(a1)
+
+
+def test_validation():
+    sim = Simulator()
+    task, _ = instant_task()
+    with pytest.raises(ValueError):
+        PeriodicDaemon(sim, task, interval=0.0, until=10.0)
+    with pytest.raises(ValueError):
+        SerialDaemon(sim, task, delay=-1.0, until=10.0)

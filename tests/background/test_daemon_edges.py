@@ -1,0 +1,57 @@
+"""Gap-filling tests for daemon scheduling edge cases."""
+
+import pytest
+
+from repro.background.daemon import PeriodicDaemon, SerialDaemon
+from repro.core import Simulator
+
+
+def test_periodic_first_at_offsets_launches():
+    sim = Simulator(dt=0.1)
+    calls = []
+
+    def task(now, t0, t1, done):
+        calls.append((now, t0, t1))
+        done(now)
+
+    PeriodicDaemon(sim, task, interval=10.0, until=35.0, first_at=5.0)
+    sim.run(40.0)
+    assert [round(c[0]) for c in calls] == [5, 15, 25]
+    # the first window reaches back one interval before the first launch
+    assert calls[0][1] == pytest.approx(-5.0)
+
+
+def test_periodic_until_is_exclusive():
+    sim = Simulator(dt=0.1)
+    calls = []
+    PeriodicDaemon(sim, lambda now, a, b, done: (calls.append(now), done(now)),
+                   interval=10.0, until=30.0)
+    sim.run(60.0)
+    assert len(calls) == 3  # 0, 10, 20 — not 30
+
+
+def test_serial_daemon_stops_at_until():
+    sim = Simulator(dt=0.1)
+    calls = []
+
+    def task(now, t0, t1, done):
+        calls.append(now)
+        sim.schedule(now + 3.0, done)
+
+    SerialDaemon(sim, task, delay=2.0, until=12.0)
+    sim.run(40.0)
+    # launches at 0, 5, 10; the next would be 15 >= until
+    assert [round(c) for c in calls] == [0, 5, 10]
+
+
+def test_serial_daemon_zero_delay():
+    sim = Simulator(dt=0.1)
+    calls = []
+
+    def task(now, t0, t1, done):
+        calls.append(now)
+        sim.schedule(now + 4.0, done)
+
+    SerialDaemon(sim, task, delay=0.0, until=11.0)
+    sim.run(30.0)
+    assert [round(c) for c in calls] == [0, 4, 8]

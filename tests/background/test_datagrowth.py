@@ -1,0 +1,65 @@
+"""Unit tests for the data-growth model (Fig 6-10)."""
+
+import pytest
+
+from repro.background.datagrowth import DataGrowthModel, consolidated_growth
+from repro.software.workload import HOUR, WorkloadCurve
+
+
+def flat_growth(mb_per_hour=3600.0):
+    return DataGrowthModel({"DNA": WorkloadCurve([mb_per_hour] * 24)},
+                           avg_file_mb=50.0)
+
+
+def test_rate_conversion():
+    g = flat_growth(3600.0)
+    assert g.rate_mb_per_s("DNA", 0.0) == pytest.approx(1.0)
+
+
+def test_volume_integral_flat():
+    g = flat_growth(3600.0)
+    assert g.volume_mb("DNA", 0.0, 900.0) == pytest.approx(900.0, rel=0.01)
+
+
+def test_volume_integral_ramp():
+    curve = WorkloadCurve([0.0, 3600.0] + [0.0] * 22)
+    g = DataGrowthModel({"DNA": curve})
+    # linear ramp from 0 to 1 MB/s over the first hour: 1800 MB
+    assert g.volume_mb("DNA", 0.0, HOUR) == pytest.approx(1800.0, rel=0.02)
+
+
+def test_file_count_rounding():
+    g = flat_growth()
+    assert g.files(125.0) == 2  # 125/50 = 2.5 -> 2 (banker's rounding of 2.5)
+    assert g.files(0.0) == 0
+    assert g.files(49.0) == 1
+
+
+def test_invalid_window():
+    with pytest.raises(ValueError):
+        flat_growth().volume_mb("DNA", 10.0, 5.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DataGrowthModel({})
+    with pytest.raises(ValueError):
+        DataGrowthModel({"DNA": WorkloadCurve([1.0] * 24)}, avg_file_mb=0.0)
+
+
+def test_consolidated_growth_shape():
+    """NA and EU are the largest producers; the combined peak falls in
+    the 12:00-15:00 GMT overlap (Fig 6-10)."""
+    g = consolidated_growth()
+    assert set(g.datacenters()) == {"DNA", "DEU", "DAS", "DSA", "DAUS", "DAFR"}
+    peaks = {dc: max(g.curves[dc].hourly) for dc in g.datacenters()}
+    assert peaks["DNA"] > peaks["DEU"] > peaks["DAS"]
+    total_peak_hour = max(range(24),
+                          key=lambda h: g.total_rate_mb_per_s(h * HOUR))
+    assert 12 <= total_peak_hour <= 15
+
+
+def test_hourly_table_is_fig_6_10():
+    table = consolidated_growth().hourly_table()
+    assert len(table) == 6
+    assert all(len(v) == 24 for v in table.values())

@@ -1,0 +1,84 @@
+"""Tests for the INDEXBUILD background process."""
+
+import pytest
+
+from repro.background.daemon import SerialDaemon
+from repro.background.datagrowth import DataGrowthModel
+from repro.background.indexbuild import (
+    IndexBuildConfig,
+    IndexBuildSimulator,
+    analytic_schedule,
+    indexbuild_cascade,
+)
+from repro.core import Simulator
+from repro.software.cascade import CascadeRunner
+from repro.software.placement import SingleMasterPlacement
+from repro.software.workload import HOUR, WorkloadCurve
+from repro.topology.network import GlobalTopology
+
+from tests.conftest import small_dc_spec
+
+
+def test_cascade_structure():
+    op = indexbuild_cascade(n_files=4)
+    assert op.name == "INDEXBUILD"
+    assert op.initiator == "daemon"
+    analyze = [m for m in op.messages if m.label.startswith("ib.analyze")]
+    assert len(analyze) == 4
+    assert all(m.dst == "idx" for m in analyze)
+
+
+def test_analytic_schedule_serial_and_backlogged():
+    """Duration grows with arrivals; IB peak lags the growth peak."""
+    curve = WorkloadCurve.business_hours(peak=7200.0, start_hour=8.0,
+                                         end_hour=16.0, ramp_hours=2.0)
+    growth = DataGrowthModel({"DNA": curve}, avg_file_mb=50.0)
+    cfg = IndexBuildConfig(master="DNA", delay_s=300.0, seconds_per_file=20.0)
+    runs = analytic_schedule(growth, cfg, until=86400.0)
+    # runs never overlap
+    for a, b in zip(runs, runs[1:]):
+        assert b.start >= a.end + cfg.delay_s - 1e-6
+    peak_run = max(runs, key=lambda r: r.duration)
+    growth_peak_hour = 12.0  # flat top mid-window
+    assert peak_run.start / HOUR >= growth_peak_hour  # lagging peak
+
+
+def test_analytic_schedule_idle_day_short_runs():
+    growth = DataGrowthModel({"DNA": WorkloadCurve([0.0] * 24)})
+    cfg = IndexBuildConfig(master="DNA")
+    runs = analytic_schedule(growth, cfg, until=7200.0, overhead_s=10.0)
+    assert all(r.n_files == 0 for r in runs)
+    assert all(r.duration == pytest.approx(10.0) for r in runs)
+
+
+def test_des_indexbuild_serializes_on_one_core():
+    topo = GlobalTopology(seed=2)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim = Simulator(dt=0.01)
+    sim.add_holon(topo.datacenter("DNA"))
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA"), seed=5)
+    growth = DataGrowthModel({"DNA": WorkloadCurve([7200.0] * 24)},
+                             avg_file_mb=50.0)
+    cfg = IndexBuildConfig(master="DNA", delay_s=60.0, seconds_per_file=2.0)
+    ibsim = IndexBuildSimulator(sim, runner, topo, growth, cfg)
+    SerialDaemon(sim, ibsim.task, delay=cfg.delay_s, until=900.0)
+    sim.run(1800.0)
+    assert len(ibsim.runs) >= 2
+    # each run's duration is at least files * seconds_per_file
+    for run in ibsim.runs:
+        if run.n_files:
+            assert run.duration >= run.n_files * cfg.seconds_per_file * 0.9
+    assert ibsim.max_unsearchable() > cfg.delay_s
+
+
+def test_max_unsearchable_requires_two_runs():
+    topo = GlobalTopology(seed=2)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim = Simulator(dt=0.01)
+    sim.add_holon(topo.datacenter("DNA"))
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA"), seed=5)
+    growth = DataGrowthModel({"DNA": WorkloadCurve([0.0] * 24)})
+    ibsim = IndexBuildSimulator(sim, runner, topo, growth,
+                                IndexBuildConfig(master="DNA"))
+    with pytest.raises(ValueError):
+        ibsim.max_unsearchable()

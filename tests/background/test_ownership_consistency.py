@@ -1,0 +1,149 @@
+"""Tests for data ownership and consistency models (chapter 7)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.background.consistency import ConsistencyTracker, FileVersionStore, IndexEntry
+from repro.background.ownership import TABLE_7_1, TABLE_7_2, OwnershipModel
+
+DCS = sorted(TABLE_7_2)
+
+
+# ----------------------------------------------------------------------
+# ownership
+# ----------------------------------------------------------------------
+def test_table_7_2_rows_are_distributions():
+    model = OwnershipModel(TABLE_7_2)
+    model.validate_rows()
+
+
+def test_table_7_1_single_master():
+    model = OwnershipModel(TABLE_7_1)
+    for dc in DCS:
+        assert model.share(dc, "DNA") == pytest.approx(1.0)
+    assert model.masters() == ["DNA"]
+
+
+def test_multimaster_owned_fractions():
+    model = OwnershipModel(TABLE_7_2)
+    # DEU and DNA own the subsets with the largest demand (section 7.3.2)
+    fracs = {m: model.owned_fraction(m) for m in model.masters()}
+    assert fracs["DEU"] > fracs["DNA"] > fracs["DAUS"]
+    assert sum(fracs.values()) == pytest.approx(1.0)
+
+
+def test_weighted_owned_fraction():
+    model = OwnershipModel(TABLE_7_2)
+    weights = {dc: (1.0 if dc == "DNA" else 0.0) for dc in DCS}
+    assert model.owned_fraction("DNA", weights) == pytest.approx(0.8187, abs=1e-4)
+
+
+def test_invalid_rows_rejected():
+    with pytest.raises(ValueError):
+        OwnershipModel({"DNA": {"DNA": 0.0}})
+
+
+# ----------------------------------------------------------------------
+# timeline consistency
+# ----------------------------------------------------------------------
+def test_store_create_and_modify():
+    store = FileVersionStore(DCS)
+    store.create("f1", "DEU")
+    assert store.owner("f1") == "DEU"
+    assert store.modify("f1") == 1
+    assert store.modify("f1") == 2
+    assert store.replica_version("DEU", "f1") == 2
+
+
+def test_sync_delivers_prefixes_in_order():
+    store = FileVersionStore(DCS)
+    store.create("f1", "DEU")
+    store.modify("f1")
+    store.modify("f1")
+    store.apply_sync("DNA", "f1", 1)
+    assert store.is_stale("DNA", "f1")
+    store.apply_sync("DNA", "f1", 2)
+    assert not store.is_stale("DNA", "f1")
+
+
+def test_sync_cannot_regress_a_replica():
+    store = FileVersionStore(DCS)
+    store.create("f1", "DEU")
+    store.modify("f1")
+    store.modify("f1")
+    store.apply_sync("DNA", "f1", 2)
+    with pytest.raises(ValueError):
+        store.apply_sync("DNA", "f1", 1)
+
+
+def test_sync_cannot_outrun_the_owner():
+    store = FileVersionStore(DCS)
+    store.create("f1", "DEU")
+    store.modify("f1")
+    with pytest.raises(ValueError):
+        store.apply_sync("DNA", "f1", 5)
+
+
+def test_ownership_transfer():
+    store = FileVersionStore(DCS)
+    store.create("f1", "DEU")
+    store.modify("f1")
+    store.transfer_ownership("f1", "DNA")
+    assert store.owner("f1") == "DNA"
+    assert store.replica_version("DNA", "f1") == 1
+
+
+def test_stale_files_listing():
+    store = FileVersionStore(DCS)
+    store.create("f1", "DEU")
+    store.create("f2", "DEU")
+    store.modify("f1")
+    assert store.stale_files("DNA") == ["f1"]
+
+
+@given(st.lists(st.sampled_from(["modify", "sync"]), min_size=1, max_size=40))
+@settings(max_examples=40)
+def test_replicas_never_observe_out_of_order_versions(ops):
+    """Property: replaying any modify/sync interleave, replica versions
+    are monotone and never exceed the owner's (timeline consistency)."""
+    store = FileVersionStore(["A", "B"])
+    store.create("f", "A")
+    last_seen = 0
+    for op in ops:
+        if op == "modify":
+            store.modify("f")
+        else:
+            target = store._files["f"].version  # sync to the latest
+            store.apply_sync("B", "f", target)
+            v = store.replica_version("B", "f")
+            assert v >= last_seen
+            last_seen = v
+    assert store.replica_version("B", "f") <= store._files["f"].version
+
+
+# ----------------------------------------------------------------------
+# service metrics
+# ----------------------------------------------------------------------
+def test_max_staleness_formula():
+    runs = [(0.0, 120.0), (900.0, 1500.0)]
+    assert ConsistencyTracker.max_staleness(runs, 900.0) == pytest.approx(1500.0)
+
+
+def test_max_unsearchable_spans_two_runs():
+    runs = [(0.0, 100.0), (400.0, 900.0)]
+    assert ConsistencyTracker.max_unsearchable(runs) == pytest.approx(900.0)
+    with pytest.raises(ValueError):
+        ConsistencyTracker.max_unsearchable(runs[:1])
+
+
+def test_index_state_classification():
+    store = FileVersionStore(["A", "B"])
+    store.create("f", "A")
+    store.create("rel", "B")
+    store.modify("rel")
+    entry = IndexEntry("f", indexed_version=0,
+                       relationship_versions={"rel": 0})
+    # A has not yet received rel v1: the entry is consistent *at A*
+    assert ConsistencyTracker.index_state(entry, store, "A") == "consistent"
+    store.apply_sync("A", "rel", 1)
+    assert ConsistencyTracker.index_state(entry, store, "A") == "partially-consistent"

@@ -1,0 +1,122 @@
+"""Tests for the SYNCHREP background process."""
+
+import pytest
+
+from repro.background.daemon import PeriodicDaemon
+from repro.background.datagrowth import DataGrowthModel
+from repro.background.synchrep import (
+    SynchRepConfig,
+    SynchRepSimulator,
+    analytic_run,
+    pull_volumes,
+    push_volumes,
+    synchrep_cascade,
+    transfer_time,
+)
+from repro.core import Simulator
+from repro.software.cascade import CascadeRunner
+from repro.software.placement import SingleMasterPlacement
+from repro.software.workload import WorkloadCurve
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import LinkSpec
+
+from tests.conftest import small_dc_spec
+
+
+def flat_growth():
+    return DataGrowthModel({
+        "DNA": WorkloadCurve([3600.0] * 24),
+        "DEU": WorkloadCurve([1800.0] * 24),
+        "DSA": WorkloadCurve([900.0] * 24),
+    }, avg_file_mb=50.0)
+
+
+def test_cascade_structure():
+    op = synchrep_cascade(n_slaves=3, volume_mb=300.0)
+    assert op.name == "SYNCHREP"
+    assert op.initiator == "daemon"
+    labels = [m.label for m in op.messages]
+    assert sum(l.startswith("sr.pull.") and l[-1].isdigit() for l in labels) == 3
+    assert sum(l.startswith("sr.push.") and l[-1].isdigit() for l in labels) == 3
+
+
+def test_pull_volumes_exclude_master():
+    g = flat_growth()
+    pulls = pull_volumes(g, "DNA", 0.0, 900.0)
+    assert set(pulls) == {"DEU", "DSA"}
+    assert pulls["DEU"] == pytest.approx(450.0, rel=0.02)
+
+
+def test_push_volumes_exclude_own_creations():
+    g = flat_growth()
+    pushes = push_volumes(g, "DNA", 0.0, 900.0)
+    # total = 900 + 450 + 225; DEU receives total - its own 450
+    assert pushes["DEU"] == pytest.approx(900.0 + 225.0, rel=0.02)
+    assert pushes["DSA"] == pytest.approx(900.0 + 450.0, rel=0.02)
+
+
+def test_ownership_share_scales_volumes():
+    g = flat_growth()
+    share = {dc: {"DNA": 0.5} for dc in g.datacenters()}
+    pulls = pull_volumes(g, "DNA", 0.0, 900.0, ownership_share=share)
+    assert pulls["DEU"] == pytest.approx(225.0, rel=0.02)
+
+
+def test_transfer_time_constant_rate():
+    assert transfer_time(100.0, lambda t: 10.0, 0.0) == pytest.approx(10.0)
+
+
+def test_transfer_time_varying_rate():
+    # 10 MB/s for the first 60 s, then 1 MB/s
+    rate = lambda t: 10.0 if t < 60.0 else 1.0
+    # 700 MB: 600 in the first minute, 100 more at 1 MB/s
+    assert transfer_time(700.0, rate, 0.0) == pytest.approx(160.0, rel=0.02)
+
+
+def test_transfer_time_zero_volume():
+    assert transfer_time(0.0, lambda t: 1.0, 0.0) == 0.0
+
+
+def test_transfer_time_raises_on_starvation():
+    with pytest.raises(RuntimeError):
+        transfer_time(1e9, lambda t: 1e-6, 0.0, max_horizon=3600.0)
+
+
+def test_analytic_run_phases_sequential():
+    g = flat_growth()
+    cfg = SynchRepConfig(master="DNA")
+    run = analytic_run(g, cfg, (0.0, 900.0), lambda dc, t: 10.0, start=0.0)
+    # pull max 450/10=45 s; push max 1350/10=135 s; 3 db overheads of 30 s
+    assert run.duration == pytest.approx(45.0 + 135.0 + 90.0, rel=0.05)
+    assert run.total_pull_mb == pytest.approx(675.0, rel=0.02)
+
+
+def test_des_synchrep_moves_volume_across_wan():
+    topo = GlobalTopology(seed=2)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    topo.add_datacenter(small_dc_spec("DEU"))
+    topo.add_datacenter(small_dc_spec("DSA"))
+    topo.connect("DNA", "DEU", LinkSpec(1.0, 10.0))
+    topo.connect("DNA", "DSA", LinkSpec(1.0, 10.0))
+    sim = Simulator(dt=0.01)
+    for dc in topo.datacenters.values():
+        sim.add_holon(dc)
+    for link in topo.links.values():
+        sim.add_agent(link)
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA"), seed=5)
+    growth = DataGrowthModel({
+        "DNA": WorkloadCurve([360.0] * 24),
+        "DEU": WorkloadCurve([180.0] * 24),
+        "DSA": WorkloadCurve([90.0] * 24),
+    })
+    srsim = SynchRepSimulator(sim, runner, topo, growth,
+                              SynchRepConfig(master="DNA", interval_s=300.0))
+    PeriodicDaemon(sim, srsim.task, interval=300.0, until=700.0, first_at=300.0)
+    sim.run(1500.0)
+    assert len(srsim.runs) == 2
+    run = srsim.runs[0]
+    assert run.total_pull_mb > 0
+    assert run.duration > 0
+    assert srsim.max_staleness() > 300.0
+    # bytes actually crossed the WAN links
+    assert topo.link_between("DNA", "DEU").completed_count >= 2

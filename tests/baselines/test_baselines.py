@@ -1,0 +1,162 @@
+"""Tests for the related-work baseline models (chapter 2)."""
+
+import pytest
+
+from repro.baselines import MDCSimModel, MDCSimTier, UrgaonkarModel, UrgaonkarTier
+from repro.core.errors import SaturationError
+from repro.queueing.analytic import mm1_mean_response
+
+
+# ----------------------------------------------------------------------
+# MDCSim
+# ----------------------------------------------------------------------
+def three_tier():
+    return MDCSimModel([
+        MDCSimTier("web", service_rate=100.0),
+        MDCSimTier("app", service_rate=50.0),
+        MDCSimTier("db", service_rate=80.0, visits=2.0),
+    ], network_overhead_s=0.0)
+
+
+def test_mdcsim_latency_is_sum_of_tiers():
+    m = MDCSimModel([MDCSimTier("a", 10.0), MDCSimTier("b", 20.0)],
+                    network_overhead_s=0.0)
+    lam = 5.0
+    expected = mm1_mean_response(5.0, 10.0) + mm1_mean_response(5.0, 20.0)
+    assert m.mean_latency(lam) == pytest.approx(expected)
+
+
+def test_mdcsim_visits_multiply_load_and_latency():
+    m = three_tier()
+    # db sees lam*2; bottleneck is db at 80/2 = 40
+    assert m.max_throughput() == pytest.approx(40.0)
+    assert m.bottleneck().name == "db"
+
+
+def test_mdcsim_network_overhead_adds_per_hop():
+    quiet = MDCSimModel([MDCSimTier("a", 100.0)], network_overhead_s=0.0)
+    chatty = MDCSimModel([MDCSimTier("a", 100.0)], network_overhead_s=0.01)
+    lam = 1.0
+    assert chatty.mean_latency(lam) - quiet.mean_latency(lam) == pytest.approx(0.02)
+
+
+def test_mdcsim_saturation_raises():
+    m = three_tier()
+    with pytest.raises(SaturationError):
+        m.mean_latency(45.0)
+
+
+def test_mdcsim_capability_boundaries():
+    m = three_tier()
+    assert m.supports("latency")
+    assert not m.supports("cpu_utilization")
+    assert not m.supports("multi_datacenter")
+    assert not m.supports("background_jobs")
+
+
+def test_mdcsim_validation():
+    with pytest.raises(ValueError):
+        MDCSimModel([])
+    with pytest.raises(ValueError):
+        MDCSimTier("a", service_rate=0.0)
+    with pytest.raises(ValueError):
+        MDCSimTier("a", service_rate=1.0, visits=0.0)
+
+
+# ----------------------------------------------------------------------
+# Urgaonkar
+# ----------------------------------------------------------------------
+def chain():
+    return UrgaonkarModel([
+        UrgaonkarTier("web", service_rate=100.0, p_return=0.4),
+        UrgaonkarTier("app", service_rate=60.0, p_return=0.5),
+        UrgaonkarTier("db", service_rate=40.0, replicas=2, p_return=1.0),
+    ])
+
+
+def test_visit_ratios_decay_geometrically():
+    ratios = chain().visit_ratios()
+    assert ratios[0] == 1.0
+    assert ratios[1] == pytest.approx(0.6)
+    assert ratios[2] == pytest.approx(0.3)
+
+
+def test_replicas_scale_capacity():
+    base = chain()
+    bigger = UrgaonkarModel([
+        UrgaonkarTier("web", 100.0, p_return=0.4),
+        UrgaonkarTier("app", 60.0, p_return=0.5),
+        UrgaonkarTier("db", 40.0, replicas=4, p_return=1.0),
+    ])
+    lam = 0.5 * base.max_throughput()
+    assert bigger.mean_response(lam) <= base.mean_response(lam)
+
+
+def test_caching_reduces_response():
+    m = chain()
+    # raising web's return probability keeps requests off deeper tiers
+    ratio = m.caching_speedup(tier_index=0, hit_rate_gain=0.3)
+    assert ratio < 1.0
+
+
+def test_max_throughput_respects_visits():
+    m = chain()
+    # web: 100/1, app: 60/0.6=100, db: 80/0.3=266 -> bottleneck 100
+    assert m.max_throughput() == pytest.approx(100.0)
+
+
+def test_urgaonkar_single_tier_reduces_to_mm1():
+    m = UrgaonkarModel([UrgaonkarTier("only", 10.0, p_return=1.0)])
+    assert m.mean_response(5.0) == pytest.approx(mm1_mean_response(5.0, 10.0))
+
+
+def test_urgaonkar_validation():
+    with pytest.raises(ValueError):
+        UrgaonkarModel([])
+    with pytest.raises(ValueError):
+        UrgaonkarTier("a", service_rate=1.0, p_return=1.5)
+    with pytest.raises(ValueError):
+        UrgaonkarTier("a", service_rate=1.0, replicas=0)
+    with pytest.raises(ValueError):
+        chain().caching_speedup(0, hit_rate_gain=2.0)
+
+
+# ----------------------------------------------------------------------
+# cross-validation against the DES
+# ----------------------------------------------------------------------
+def test_mdcsim_matches_des_on_its_home_turf():
+    """On a single-DC tandem below saturation, GDISim's DES and the
+    MDCSim analytic baseline should produce comparable mean latency."""
+    import random
+
+    from repro.core import Simulator, Job
+    from repro.queueing import FCFSQueue
+
+    mu_a, mu_b, lam = 20.0, 30.0, 8.0
+    model = MDCSimModel([MDCSimTier("a", mu_a), MDCSimTier("b", mu_b)],
+                        network_overhead_s=0.0)
+    expected = model.mean_latency(lam)
+
+    sim = Simulator(dt=0.005)
+    qa = sim.add_agent(FCFSQueue("a", rate=1.0))
+    qb = sim.add_agent(FCFSQueue("b", rate=1.0))
+    rng = random.Random(4)
+    responses = []
+
+    def arrive(now):
+        start = now
+
+        def a_done(job, t):
+            qb.submit(Job(rng.expovariate(mu_b),
+                          on_complete=lambda j, t2: responses.append(t2 - start),
+                          not_before=t), t)
+
+        qa.submit(Job(rng.expovariate(mu_a), on_complete=a_done), now)
+        nxt = now + rng.expovariate(lam)
+        if nxt < 2000.0:
+            sim.schedule(nxt, arrive)
+
+    sim.schedule(0.0, arrive)
+    sim.run(2050.0)
+    mean = sum(responses) / len(responses)
+    assert mean == pytest.approx(expected, rel=0.15)

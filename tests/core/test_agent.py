@@ -1,0 +1,68 @@
+"""Unit tests for agents, holons and the timestamp guard."""
+
+import pytest
+
+from repro.core import Simulator, Job
+from repro.core.agent import Holon, flatten
+from repro.queueing import FCFSQueue
+
+
+def test_holon_collects_agents_recursively():
+    root = Holon("dc")
+    tier = Holon("tier")
+    root.add_child(tier)
+    a = root.add_agent(FCFSQueue("a", rate=1.0))
+    b = tier.add_agent(FCFSQueue("b", rate=1.0))
+    names = {ag.name for ag in root.agents()}
+    assert names == {"a", "b"}
+    assert root.find_agents("fcfs") == [a, b]
+
+
+def test_flatten_multiple_holons():
+    h1, h2 = Holon("h1"), Holon("h2")
+    h1.add_agent(FCFSQueue("x", rate=1.0))
+    h2.add_agent(FCFSQueue("y", rate=1.0))
+    assert {a.name for a in flatten([h1, h2])} == {"x", "y"}
+
+
+def test_holon_sample_keys_by_agent_name():
+    h = Holon("h")
+    h.add_agent(FCFSQueue("q1", rate=1.0))
+    sample = h.sample(now=1.0)
+    assert "q1" in sample
+    assert "utilization" in sample["q1"]
+
+
+def test_guarded_job_waits_for_its_timestamp():
+    """A job scheduled in the agent's future must not start early
+    (section 4.3.3)."""
+    sim = Simulator(dt=0.01, mode="fixed")
+    q = sim.add_agent(FCFSQueue("q", rate=10.0))
+    done = []
+    q.submit(Job(1.0, on_complete=lambda j, t: done.append(t), not_before=0.5), 0.0)
+    sim.run(0.4)
+    assert not done  # still waiting for its timestamp
+    sim2_remaining = 1.0
+    sim.run(1.0)
+    assert done and done[0] == pytest.approx(0.6, abs=0.02)
+
+
+def test_job_start_time_respects_not_before():
+    sim = Simulator(dt=0.01)
+    q = sim.add_agent(FCFSQueue("q", rate=10.0))
+    job = Job(1.0, not_before=0.3)
+    q.submit(job, 0.0)
+    sim.run(1.0)
+    assert job.start_time is not None
+    assert job.start_time >= 0.3 - 1e-9
+
+
+def test_utilization_accounting_window():
+    sim = Simulator(dt=0.01)
+    q = sim.add_agent(FCFSQueue("q", rate=10.0))
+    q.submit(Job(5.0), 0.0)  # 0.5 s of work in a 1 s window
+    sim.run(1.0)
+    sample = q.sample(sim.now)
+    assert sample["utilization"] == pytest.approx(0.5, abs=0.03)
+    # the window resets: immediately resampling reports ~0
+    assert q.sample(sim.now + 1.0)["utilization"] == pytest.approx(0.0, abs=1e-6)

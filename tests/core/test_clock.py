@@ -1,0 +1,44 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.core.clock import SimClock
+
+
+def test_initial_state():
+    clock = SimClock(dt=0.5, start=10.0)
+    assert clock.now == 10.0
+    assert clock.dt == 0.5
+    assert clock.tick_index == 0
+
+
+def test_advance_default_tick():
+    clock = SimClock(dt=0.25)
+    assert clock.advance() == pytest.approx(0.25)
+    assert clock.advance() == pytest.approx(0.5)
+    assert clock.tick_index == 2
+
+
+def test_advance_explicit_step():
+    clock = SimClock(dt=1.0)
+    clock.advance(0.1)
+    assert clock.now == pytest.approx(0.1)
+
+
+def test_zero_step_allowed():
+    clock = SimClock(dt=1.0)
+    clock.advance(0.0)
+    assert clock.now == 0.0
+    assert clock.tick_index == 1
+
+
+def test_negative_step_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+@pytest.mark.parametrize("dt", [0.0, -0.5])
+def test_invalid_tick_rejected(dt):
+    with pytest.raises(ValueError):
+        SimClock(dt=dt)

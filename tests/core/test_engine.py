@@ -1,0 +1,99 @@
+"""Unit tests for the discrete time loop engine."""
+
+import pytest
+
+from repro.core import Simulator, Job, SimulationError
+from repro.queueing import FCFSQueue
+
+
+def test_run_advances_clock():
+    sim = Simulator(dt=0.1)
+    sim.run(1.0)
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_scheduled_events_fire_in_order():
+    sim = Simulator(dt=0.1)
+    fired = []
+    sim.schedule(0.5, lambda t: fired.append(("b", t)))
+    sim.schedule(0.2, lambda t: fired.append(("a", t)))
+    sim.run(1.0)
+    assert [f[0] for f in fired] == ["a", "b"]
+    assert fired[0][1] == pytest.approx(0.2, abs=0.11)
+
+
+def test_past_event_rejected():
+    sim = Simulator(dt=0.1)
+    sim.run(1.0)
+    with pytest.raises(SimulationError):
+        sim.schedule(0.5, lambda t: None)
+
+
+def test_monitor_fires_periodically():
+    sim = Simulator(dt=0.1)
+    hits = []
+    sim.add_monitor(0.25, lambda t: hits.append(t))
+    sim.run(1.0)
+    assert len(hits) == 4
+
+
+def test_fixed_and_adaptive_agree_on_completion():
+    for mode in ("fixed", "adaptive"):
+        sim = Simulator(dt=0.01, mode=mode)
+        q = sim.add_agent(FCFSQueue("q", rate=10.0))
+        done = []
+        q.submit(Job(5.0, on_complete=lambda j, t: done.append(t)), 0.0)
+        sim.run(1.0)
+        assert done and done[0] == pytest.approx(0.5, abs=0.02), mode
+
+
+def test_adaptive_jumps_idle_time_without_skipping_events():
+    sim = Simulator(dt=0.001, mode="adaptive")
+    q = sim.add_agent(FCFSQueue("q", rate=1.0))
+    arrivals = []
+
+    def arrive(t):
+        arrivals.append(t)
+        q.submit(Job(0.5, on_complete=lambda j, t2: None), t)
+
+    sim.schedule(100.0, arrive)
+    sim.run(200.0)
+    assert arrivals == [pytest.approx(100.0)]
+    assert q.completed_count == 1
+
+
+def test_engine_not_reentrant():
+    sim = Simulator(dt=0.1)
+    sim.schedule(0.1, lambda t: sim.run(0.5))
+    with pytest.raises(SimulationError):
+        sim.run(1.0)
+
+
+def test_wake_moves_agent_onto_active_set():
+    sim = Simulator(dt=0.01)
+    q = sim.add_agent(FCFSQueue("q", rate=100.0))
+    sim.run(1.0)  # agent idle the whole time
+    assert q not in sim._active
+    q.submit(Job(1.0), sim.now)
+    assert q in sim._active
+    assert q.local_time == pytest.approx(sim.now)
+
+
+def test_agent_removed_from_active_when_idle():
+    sim = Simulator(dt=0.01)
+    q = sim.add_agent(FCFSQueue("q", rate=100.0))
+    q.submit(Job(1.0), 0.0)
+    sim.run(1.0)
+    assert q.idle()
+    assert q not in sim._active
+
+
+def test_monitor_interval_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.add_monitor(0.0, lambda t: None)
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        Simulator(mode="warp")

@@ -1,0 +1,80 @@
+"""Property-based invariants of the discrete time loop."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Simulator, Job
+from repro.queueing import FCFSQueue, PSQueue
+
+job_sets = st.lists(
+    st.tuples(
+        st.floats(min_value=0.05, max_value=10.0),   # demand
+        st.floats(min_value=0.0, max_value=5.0),     # arrival time
+    ),
+    min_size=1, max_size=10,
+)
+
+
+def run_mode(mode: str, jobs, dt: float = 0.01, servers: int = 2):
+    sim = Simulator(dt=dt, mode=mode)
+    q = sim.add_agent(FCFSQueue("q", rate=5.0, servers=servers))
+    done = []
+    for i, (demand, arrival) in enumerate(jobs):
+        sim.schedule(arrival, lambda now, d=demand, k=i: q.submit(
+            Job(d, on_complete=lambda j, t: done.append((k, t))), now))
+    horizon = max(a for _, a in jobs) + sum(d for d, _ in jobs) / 5.0 + 5.0
+    sim.run(horizon)
+    return sorted(done), q.busy_time
+
+
+@given(jobs=job_sets)
+@settings(max_examples=25, deadline=None)
+def test_fixed_and_adaptive_modes_agree(jobs):
+    """Completion identities match; times agree within tick resolution."""
+    fixed, busy_f = run_mode("fixed", jobs)
+    adaptive, busy_a = run_mode("adaptive", jobs)
+    assert [k for k, _ in fixed] == [k for k, _ in adaptive]
+    for (_, tf), (_, ta) in zip(fixed, adaptive):
+        assert tf == pytest.approx(ta, abs=0.05)
+    assert busy_f == pytest.approx(busy_a, rel=0.02)
+
+
+@given(jobs=job_sets, dt=st.sampled_from([0.002, 0.01, 0.05]))
+@settings(max_examples=25, deadline=None)
+def test_work_conservation_is_tick_independent(jobs, dt):
+    """Total busy time equals total demand / rate for any tick length."""
+    _, busy = run_mode("adaptive", jobs, dt=dt)
+    assert busy == pytest.approx(sum(d for d, _ in jobs) / 5.0, rel=0.02)
+
+
+@given(jobs=job_sets)
+@settings(max_examples=20, deadline=None)
+def test_completions_never_precede_arrival_plus_service(jobs):
+    """No job finishes faster than its uncontended service time."""
+    done, _ = run_mode("adaptive", jobs)
+    for k, t in done:
+        demand, arrival = jobs[k]
+        assert t >= arrival + demand / 5.0 - 0.03
+
+
+@given(demands=st.lists(st.floats(min_value=0.1, max_value=5.0),
+                        min_size=2, max_size=6))
+@settings(max_examples=20, deadline=None)
+def test_ps_total_time_invariant_under_ordering(demands):
+    """PS egalitarianism: the makespan equals total demand / rate no
+    matter how the demands are permuted."""
+    def makespan(ds):
+        sim = Simulator(dt=0.01)
+        q = sim.add_agent(PSQueue("l", rate=4.0))
+        done = []
+        for d in ds:
+            q.submit(Job(d, on_complete=lambda j, t: done.append(t)), 0.0)
+        sim.run(sum(ds) / 4.0 + 5.0)
+        return max(done)
+
+    forward = makespan(demands)
+    backward = makespan(list(reversed(demands)))
+    assert forward == pytest.approx(backward, abs=0.05)
+    assert forward == pytest.approx(sum(demands) / 4.0, abs=0.05)

@@ -1,0 +1,49 @@
+"""Unit tests for jobs and their continuations."""
+
+import pytest
+
+from repro.core.job import Job
+
+
+def test_job_tracks_demand():
+    job = Job(100.0)
+    assert job.demand == 100.0
+    assert job.remaining == 100.0
+    assert not job.done
+
+
+def test_zero_demand_is_done():
+    assert Job(0.0).done
+
+
+def test_negative_demand_rejected():
+    with pytest.raises(ValueError):
+        Job(-1.0)
+
+
+def test_finish_fires_continuation():
+    seen = []
+    job = Job(5.0, on_complete=lambda j, t: seen.append((j.job_id, t)))
+    job.finish(3.5)
+    assert seen == [(job.job_id, 3.5)]
+    assert job.done
+    assert job.complete_time == 3.5
+
+
+def test_response_time_requires_both_stamps():
+    job = Job(5.0)
+    assert job.response_time is None
+    job.enqueue_time = 1.0
+    job.finish(4.0)
+    assert job.response_time == pytest.approx(3.0)
+
+
+def test_job_ids_unique():
+    ids = {Job(1.0).job_id for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_finish_without_continuation_is_safe():
+    job = Job(1.0)
+    job.finish(2.0)  # must not raise
+    assert job.remaining == 0.0

@@ -1,0 +1,68 @@
+"""Gap-filling tests: control signals, monitor catch-up, scheduling."""
+
+import pytest
+
+from repro.core import (
+    AgentInteraction,
+    MeasurementCollection,
+    Simulator,
+    TimeIncrement,
+)
+from repro.queueing import FCFSQueue
+from repro.core.job import Job
+
+
+def test_signal_dataclasses():
+    t = TimeIncrement(now=1.0, dt=0.5)
+    assert (t.now, t.dt) == (1.0, 0.5)
+    m = MeasurementCollection(now=2.0)
+    assert m.now == 2.0
+    i = AgentInteraction(target="cpu0", demand=10.0, not_before=1.5)
+    assert i.payload is None
+    with pytest.raises(Exception):
+        t.now = 3.0  # frozen
+
+
+def test_schedule_after_is_relative():
+    sim = Simulator(dt=0.1)
+    fired = []
+    sim.run(1.0)
+    sim.schedule_after(0.5, lambda now: fired.append(now))
+    sim.run(2.0)
+    assert fired and fired[0] == pytest.approx(1.5, abs=0.11)
+
+
+def test_monitor_first_due_override():
+    sim = Simulator(dt=0.1)
+    hits = []
+    sim.add_monitor(1.0, lambda t: hits.append(t), first_due=0.25)
+    sim.run(2.5)
+    assert hits[0] == pytest.approx(0.25)
+    assert hits[1] == pytest.approx(1.25)
+
+
+def test_monitor_catches_up_over_long_jump():
+    """Adaptive jumps across idle stretches still fire every deadline."""
+    sim = Simulator(dt=0.001, mode="adaptive")
+    q = sim.add_agent(FCFSQueue("q", rate=1.0))
+    hits = []
+    sim.add_monitor(1.0, lambda t: hits.append(t))
+    # one job early on, then a long idle stretch
+    q.submit(Job(0.5), 0.0)
+    sim.run(10.0)
+    assert len(hits) == 10
+    assert hits == pytest.approx([float(i) for i in range(1, 11)])
+
+
+def test_run_to_zero_horizon_is_noop():
+    sim = Simulator(dt=0.1)
+    sim.run(0.0)
+    assert sim.now == 0.0
+
+
+def test_events_at_exact_horizon_fire():
+    sim = Simulator(dt=0.1)
+    fired = []
+    sim.schedule(1.0, lambda now: fired.append(now))
+    sim.run(1.0)
+    assert fired

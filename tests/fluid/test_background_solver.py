@@ -1,0 +1,113 @@
+"""Tests for the analytic background-process solver."""
+
+import pytest
+
+from repro.background.datagrowth import DataGrowthModel
+from repro.background.indexbuild import IndexBuildConfig
+from repro.background.ownership import TABLE_7_2, OwnershipModel
+from repro.background.synchrep import SynchRepConfig
+from repro.fluid import BackgroundSolver, FluidSolver
+from repro.software.application import Application
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.placement import SingleMasterPlacement
+from repro.software.resources import R
+from repro.software.workload import OperationMix, WorkloadCurve
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import LinkSpec
+
+from tests.conftest import small_dc_spec
+
+
+@pytest.fixture
+def wan_topology():
+    topo = GlobalTopology(seed=2)
+    for name in ("DNA", "DEU", "DSA"):
+        topo.add_datacenter(small_dc_spec(name))
+    topo.connect("DNA", "DEU", LinkSpec(0.155, 50.0, allocated_fraction=0.2))
+    topo.connect("DNA", "DSA", LinkSpec(0.155, 80.0, allocated_fraction=0.2))
+    return topo
+
+
+@pytest.fixture
+def quiet_fluid(wan_topology):
+    op = Operation("OP", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=1e8, net_kb=4.0)),
+        MessageSpec("app", CLIENT, r=R.of(net_kb=4.0)),
+    ])
+    app = Application("A", {"OP": op}, OperationMix({"OP": 1.0}),
+                      workloads={"DEU": WorkloadCurve([10.0] * 24)})
+    return FluidSolver(wan_topology, [app],
+                       SingleMasterPlacement("DNA", local_fs=True))
+
+
+def growth():
+    return DataGrowthModel({
+        "DNA": WorkloadCurve([1800.0] * 24),
+        "DEU": WorkloadCurve([900.0] * 24),
+        "DSA": WorkloadCurve([450.0] * 24),
+    }, avg_file_mb=50.0)
+
+
+def make_solver(quiet_fluid, share=None):
+    masters = ["DNA"] if share is None else ["DNA", "DEU", "DSA"]
+    return BackgroundSolver(
+        quiet_fluid, growth(),
+        sr_configs=[SynchRepConfig(master=m) for m in masters],
+        ib_configs=[IndexBuildConfig(master=m, seconds_per_file=10.0)
+                    for m in masters],
+        ownership_share=share,
+    )
+
+
+def test_background_link_bits_single_master(quiet_fluid):
+    solver = make_solver(quiet_fluid)
+    # DNA-DEU carries pull g_EU + push (G - g_EU) = G = 3150 MB/h
+    bits = solver.background_link_bits("LDNA-DEU", 0.0)
+    expected = 3150.0 / 3600.0 * 1024 * 1024 * 8
+    assert bits == pytest.approx(expected, rel=0.02)
+
+
+def test_window_utilization_includes_clients(quiet_fluid):
+    solver = make_solver(quiet_fluid)
+    bg_only = solver.background_link_bits("LDNA-DEU", 13 * 3600.0)
+    link = quiet_fluid._find_link("LDNA-DEU")
+    total = solver.link_utilization("LDNA-DEU", 13 * 3600.0)
+    assert total > bg_only / link.rate  # client traffic adds on top
+
+
+def test_utilization_table_covers_all_links(quiet_fluid):
+    table = make_solver(quiet_fluid).utilization_table()
+    assert set(table) == {"LDNA-DEU", "LDNA-DSA"}
+    assert all(0.0 <= v <= 1.0 for v in table.values())
+
+
+def test_solve_day_produces_runs(quiet_fluid):
+    day = make_solver(quiet_fluid).solve_day("DNA")
+    assert len(day.sr_runs) == 95  # every 15 min for a day
+    assert len(day.ib_runs) >= 2
+    assert day.max_staleness() > 900.0
+    assert day.max_unsearchable() > 0.0
+    assert len(day.sr_duration_curve()) == len(day.sr_runs)
+
+
+def test_multimaster_reduces_per_master_volume(quiet_fluid):
+    share = OwnershipModel(TABLE_7_2).share_matrix()
+    # restrict to the three DCs present
+    share3 = {c: {o: share[c][o] for o in ("DNA", "DEU", "DSA")}
+              for c in ("DNA", "DEU", "DSA")}
+    single = make_solver(quiet_fluid)
+    multi = make_solver(quiet_fluid, share=share3)
+    day_single = single.solve_day("DNA")
+    day_multi = multi.solve_day("DNA")
+    assert day_multi.sr_runs[10].total_push_mb < day_single.sr_runs[10].total_push_mb
+
+
+def test_stream_rate_respects_concurrency(quiet_fluid):
+    solver = make_solver(quiet_fluid)
+    rate = solver.stream_rate("DNA")
+    # each route is a dedicated leaf link: full allocated bandwidth
+    mb_s = rate("DEU", 0.0)
+    link = quiet_fluid._find_link("LDNA-DEU")
+    assert mb_s <= link.rate / (1024 * 1024 * 8) + 1e-9
+    assert mb_s > 0.0

@@ -1,0 +1,107 @@
+"""Tests for the fluid (analytic steady-state) solver."""
+
+import pytest
+
+from repro.fluid import FluidSolver
+from repro.software.application import Application
+from repro.software.canonical import CanonicalCostModel
+from repro.software.client import Client
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.placement import SingleMasterPlacement
+from repro.software.resources import R
+from repro.software.workload import HOUR, OperationMix, WorkloadCurve
+
+
+def one_second_app(dc="DNA", clients=100.0, ops_per_hour=36.0):
+    """An app whose single op costs exactly 1 CPU-second at the app tier."""
+    op = Operation("OP", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=3e9, net_kb=10.0)),
+        MessageSpec("app", CLIENT, r=R.of(net_kb=10.0)),
+    ])
+    return Application(
+        "TEST", {"OP": op}, OperationMix({"OP": 1.0}),
+        workloads={dc: WorkloadCurve([clients] * 24)},
+        ops_per_client_hour=ops_per_hour,
+    )
+
+
+def test_tier_utilization_matches_hand_calculation(single_dc_topology):
+    # 100 clients x 36 ops/h = 1 op/s; 1 CPU-second per op; app has 4 cores
+    app = one_second_app()
+    solver = FluidSolver(single_dc_topology, [app],
+                         SingleMasterPlacement("DNA", local_fs=False))
+    rho = solver.tier_cpu_utilization("DNA", "app", 0.0)
+    assert rho == pytest.approx(1.0 / 4.0, rel=0.02)
+
+
+def test_utilization_scales_with_population(single_dc_topology):
+    placement = SingleMasterPlacement("DNA", local_fs=False)
+    lo = FluidSolver(single_dc_topology, [one_second_app(clients=50.0)], placement)
+    hi = FluidSolver(single_dc_topology, [one_second_app(clients=200.0)], placement)
+    assert hi.tier_cpu_utilization("DNA", "app", 0.0) == pytest.approx(
+        4.0 * lo.tier_cpu_utilization("DNA", "app", 0.0), rel=0.01)
+
+
+def test_hourly_curve_follows_workload(single_dc_topology):
+    curve = WorkloadCurve.business_hours(100.0, 8.0, 17.0)
+    op = one_second_app().operations["OP"]
+    app = Application("TEST", {"OP": op}, OperationMix({"OP": 1.0}),
+                      workloads={"DNA": curve}, ops_per_client_hour=36.0)
+    solver = FluidSolver(single_dc_topology, [app],
+                         SingleMasterPlacement("DNA", local_fs=False))
+    hourly = solver.hourly_curve(("DNA", "app", "cpu"))
+    assert hourly[3] == 0.0
+    assert hourly[12] == pytest.approx(0.25, rel=0.05)
+
+
+def test_wan_link_bits(two_dc_topology):
+    app = one_second_app(dc="DEU")  # remote clients hit the DNA master
+    solver = FluidSolver(two_dc_topology, [app],
+                         SingleMasterPlacement("DNA", local_fs=False))
+    bits = solver.client_link_bits("LDNA-DEU", 0.0)
+    # 1 op/s * 2 messages * 10 KB = 163 840 bits/s
+    assert bits == pytest.approx(2 * 10 * 1024 * 8, rel=0.02)
+    assert solver.client_link_utilization("LDNA-DEU", 0.0) > 0.0
+
+
+def test_response_time_includes_wan_latency(two_dc_topology):
+    app = one_second_app(dc="DEU", clients=1.0)
+    solver = FluidSolver(two_dc_topology, [app],
+                         SingleMasterPlacement("DNA", local_fs=False))
+    rt = solver.response_time(app, "OP", "DEU", 0.0)
+    # ~1 s of CPU + one 50 ms-each-way round trip + small serialization
+    assert rt == pytest.approx(1.1, abs=0.05)
+
+
+def test_response_time_inflates_near_saturation(single_dc_topology):
+    placement = SingleMasterPlacement("DNA", local_fs=False)
+    quiet = one_second_app(clients=10.0)
+    busy = one_second_app(clients=380.0)  # rho ~ 0.95 on 4 cores
+    rt_quiet = FluidSolver(single_dc_topology, [quiet], placement).response_time(
+        quiet, "OP", "DNA", 0.0)
+    rt_busy = FluidSolver(single_dc_topology, [busy], placement).response_time(
+        busy, "OP", "DNA", 0.0)
+    assert rt_busy > rt_quiet * 1.5
+
+
+def test_response_time_flat_below_saturation(single_dc_topology):
+    """The thesis's headline: below saturation, response times are
+    workload-agnostic (section 6.5.4)."""
+    placement = SingleMasterPlacement("DNA", local_fs=False)
+    lo = one_second_app(clients=20.0)
+    mid = one_second_app(clients=120.0)  # rho = 0.3
+    rt_lo = FluidSolver(single_dc_topology, [lo], placement).response_time(
+        lo, "OP", "DNA", 0.0)
+    rt_mid = FluidSolver(single_dc_topology, [mid], placement).response_time(
+        mid, "OP", "DNA", 0.0)
+    assert rt_mid == pytest.approx(rt_lo, rel=0.05)
+
+
+def test_logged_and_active_clients(single_dc_topology):
+    app = one_second_app(clients=100.0)
+    solver = FluidSolver(single_dc_topology, [app],
+                         SingleMasterPlacement("DNA", local_fs=False))
+    assert solver.logged_clients(0.0) == pytest.approx(100.0)
+    # Little's law: 1 op/s x ~1 s per op ~ 1 active client
+    assert solver.active_clients(0.0) == pytest.approx(1.0, rel=0.15)

@@ -1,0 +1,101 @@
+"""Property-based tests for the fluid solver's structural invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fluid import FluidSolver
+from repro.software.application import Application
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.placement import SingleMasterPlacement
+from repro.software.resources import R
+from repro.software.workload import OperationMix, WorkloadCurve
+from repro.topology.network import GlobalTopology
+
+from tests.conftest import small_dc_spec
+
+
+def make_app(name, clients, cycles, ops_per_hour=36.0):
+    op = Operation(f"{name}-OP", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=cycles, net_kb=8.0)),
+        MessageSpec("app", CLIENT, r=R.of(net_kb=8.0)),
+    ])
+    return Application(
+        name, {f"{name}-OP": op}, OperationMix({f"{name}-OP": 1.0}),
+        workloads={"DNA": WorkloadCurve([clients] * 24)},
+        ops_per_client_hour=ops_per_hour,
+    )
+
+
+def solver_for(apps):
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    return FluidSolver(topo, apps, SingleMasterPlacement("DNA", local_fs=False))
+
+
+@given(clients=st.floats(min_value=1.0, max_value=500.0),
+       factor=st.floats(min_value=1.1, max_value=5.0))
+@settings(max_examples=25, deadline=None)
+def test_utilization_is_linear_in_population(clients, factor):
+    base = solver_for([make_app("A", clients, 1e9)])
+    scaled = solver_for([make_app("A", clients * factor, 1e9)])
+    u1 = base.tier_cpu_utilization("DNA", "app", 0.0)
+    u2 = scaled.tier_cpu_utilization("DNA", "app", 0.0)
+    assert u2 == pytest.approx(u1 * factor, rel=1e-6)
+
+
+@given(c1=st.floats(min_value=1.0, max_value=200.0),
+       c2=st.floats(min_value=1.0, max_value=200.0))
+@settings(max_examples=25, deadline=None)
+def test_utilization_is_additive_across_applications(c1, c2):
+    a = make_app("A", c1, 1e9)
+    b = make_app("B", c2, 2e9)
+    combined = solver_for([a, b]).tier_cpu_utilization("DNA", "app", 0.0)
+    separate = (solver_for([a]).tier_cpu_utilization("DNA", "app", 0.0)
+                + solver_for([b]).tier_cpu_utilization("DNA", "app", 0.0))
+    assert combined == pytest.approx(separate, rel=1e-6)
+
+
+@given(cycles=st.floats(min_value=1e8, max_value=1e10))
+@settings(max_examples=25, deadline=None)
+def test_response_time_bounded_below_by_canonical(cycles):
+    app = make_app("A", 10.0, cycles)
+    solver = solver_for([app])
+    rt = solver.response_time(app, "A-OP", "DNA", 0.0)
+    canonical = next(
+        s.footprint.canonical_time for s in solver._streams
+    )
+    assert rt >= canonical - 1e-9
+
+
+def test_unknown_resource_key_errors():
+    solver = solver_for([make_app("A", 10.0, 1e9)])
+    with pytest.raises(KeyError):
+        solver.capacity(("DNA", "app", "gpu"))
+    with pytest.raises(KeyError):
+        solver._find_link("LNOPE")
+
+
+def test_client_capacity_is_infinite():
+    solver = solver_for([make_app("A", 10.0, 1e9)])
+    assert math.isinf(solver.capacity(("DNA", "client", "cpu")))
+    # and its utilization therefore reports zero
+    assert solver.utilization(("DNA", "client", "cpu"), 0.0) == 0.0
+
+
+def test_io_capacity_uses_san_disks():
+    solver = solver_for([make_app("A", 10.0, 1e9)])
+    # db tier is SAN-backed in the small spec (4 disks)
+    assert solver.capacity(("DNA", "db", "io")) == 4.0
+    # app tier has per-server RAIDs: capacity is the server count
+    assert solver.capacity(("DNA", "app", "io")) == 2.0
+
+
+def test_response_curve_has_24_points():
+    app = make_app("A", 10.0, 1e9)
+    solver = solver_for([app])
+    curve = solver.response_curve(app, "A-OP", "DNA")
+    assert len(curve) == 24
+    assert all(v > 0 for v in curve)

@@ -1,0 +1,68 @@
+"""Unit tests for the multi-socket multi-core CPU agent."""
+
+import pytest
+
+from repro.core import Simulator, Job
+from repro.hardware import CPU
+
+
+def test_cycles_consumed_at_frequency():
+    sim = Simulator(dt=0.01)
+    cpu = sim.add_agent(CPU("c", frequency_hz=1e9))
+    done = []
+    cpu.submit(Job(2e9, on_complete=lambda j, t: done.append(t)), 0.0)
+    sim.run(5.0)
+    assert done[0] == pytest.approx(2.0, abs=0.05)
+
+
+def test_sockets_and_cores_parallelism():
+    sim = Simulator(dt=0.01)
+    cpu = sim.add_agent(CPU("c", frequency_hz=1e9, sockets=2, cores=2))
+    done = []
+    for _ in range(4):  # one job per core
+        cpu.submit(Job(1e9, on_complete=lambda j, t: done.append(t)), 0.0)
+    sim.run(5.0)
+    assert len(done) == 4
+    assert all(t == pytest.approx(1.0, abs=0.05) for t in done)
+
+
+def test_fifth_job_waits_on_four_cores():
+    sim = Simulator(dt=0.01)
+    cpu = sim.add_agent(CPU("c", frequency_hz=1e9, sockets=2, cores=2))
+    done = []
+    for _ in range(5):
+        cpu.submit(Job(1e9, on_complete=lambda j, t: done.append(t)), 0.0)
+    sim.run(5.0)
+    assert max(done) == pytest.approx(2.0, abs=0.05)
+
+
+def test_socket_load_balancing():
+    cpu = CPU("c", frequency_hz=1e9, sockets=2, cores=1)
+    cpu.submit(Job(1e9), 0.0)
+    cpu.submit(Job(1e9), 0.0)
+    lengths = [q.queue_length() for q in cpu.socket_queues]
+    assert lengths == [1, 1]
+
+
+def test_hyperthreading_inflates_core_count():
+    cpu = CPU("c", frequency_hz=1e9, sockets=1, cores=4, hyperthreading=1.25)
+    assert cpu.socket_queues[0].servers == 5
+    with pytest.raises(ValueError):
+        CPU("c", frequency_hz=1e9, hyperthreading=0.5)
+
+
+def test_utilization_sample():
+    sim = Simulator(dt=0.01)
+    cpu = sim.add_agent(CPU("c", frequency_hz=1e9, sockets=1, cores=2))
+    cpu.submit(Job(1e9), 0.0)  # one of two cores busy for 1 s
+    sim.run(2.0)
+    assert cpu.sample(2.0)["utilization"] == pytest.approx(0.25, abs=0.03)
+
+
+def test_seconds_for_cycles():
+    cpu = CPU("c", frequency_hz=2e9)
+    assert cpu.seconds_for_cycles(1e9) == pytest.approx(0.5)
+
+
+def test_total_cores():
+    assert CPU("c", 1e9, sockets=2, cores=8).total_cores == 16

@@ -1,0 +1,63 @@
+"""Unit tests for NIC, switch and link agents."""
+
+import pytest
+
+from repro.core import Simulator, Job
+from repro.hardware import NIC, NetworkLink, NetworkSwitch
+
+
+def test_nic_serializes_bits():
+    sim = Simulator(dt=0.001)
+    nic = sim.add_agent(NIC("n", speed_bps=1e9))
+    done = []
+    nic.submit(Job(1e8, on_complete=lambda j, t: done.append(t)), 0.0)
+    sim.run(1.0)
+    assert done[0] == pytest.approx(0.1, abs=0.01)
+    assert nic.seconds_for_bits(1e9) == pytest.approx(1.0)
+
+
+def test_switch_is_fcfs():
+    sim = Simulator(dt=0.001)
+    sw = sim.add_agent(NetworkSwitch("sw", speed_bps=1e9))
+    done = []
+    sw.submit(Job(5e8, on_complete=lambda j, t: done.append(t)), 0.0)
+    sw.submit(Job(5e8, on_complete=lambda j, t: done.append(t)), 0.0)
+    sim.run(2.0)
+    assert done == pytest.approx([0.5, 1.0], abs=0.02)
+
+
+def test_link_latency_plus_bandwidth():
+    sim = Simulator(dt=0.001)
+    link = sim.add_agent(NetworkLink("l", bandwidth_bps=1e8, latency_s=0.05))
+    done = []
+    link.submit(Job(1e7, on_complete=lambda j, t: done.append(t)), 0.0)
+    sim.run(1.0)
+    assert done[0] == pytest.approx(0.15, abs=0.01)
+    assert link.seconds_for_bits(1e7) == pytest.approx(0.15)
+
+
+def test_link_shares_bandwidth_ps():
+    sim = Simulator(dt=0.001)
+    link = sim.add_agent(NetworkLink("l", bandwidth_bps=1e8))
+    done = []
+    for _ in range(2):
+        link.submit(Job(1e7, on_complete=lambda j, t: done.append(t)), 0.0)
+    sim.run(1.0)
+    assert all(t == pytest.approx(0.2, abs=0.02) for t in done)
+
+
+def test_allocated_fraction_caps_rate():
+    link = NetworkLink("l", bandwidth_bps=1e9, allocated_fraction=0.2)
+    assert link.rate == pytest.approx(2e8)
+    with pytest.raises(ValueError):
+        NetworkLink("l", bandwidth_bps=1e9, allocated_fraction=0.0)
+
+
+def test_link_connection_cap():
+    sim = Simulator(dt=0.001)
+    link = sim.add_agent(NetworkLink("l", bandwidth_bps=1e8, max_connections=1))
+    done = []
+    for _ in range(2):
+        link.submit(Job(1e7, on_complete=lambda j, t: done.append(t)), 0.0)
+    sim.run(1.0)
+    assert done == pytest.approx([0.1, 0.2], abs=0.02)

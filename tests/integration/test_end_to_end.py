@@ -1,0 +1,166 @@
+"""End-to-end integration tests across the full stack."""
+
+import pytest
+
+from repro.background.daemon import PeriodicDaemon
+from repro.background.datagrowth import DataGrowthModel
+from repro.background.synchrep import SynchRepConfig, SynchRepSimulator
+from repro.core import Simulator
+from repro.metrics import Collector
+from repro.software.application import Application
+from repro.software.cascade import CascadeRunner
+from repro.software.canonical import CanonicalCostModel
+from repro.software.client import Client
+from repro.software.cad import build_cad_operations
+from repro.software.placement import MultiMasterPlacement, SingleMasterPlacement
+from repro.software.workload import (
+    OperationMix,
+    OpenLoopWorkload,
+    WorkloadCurve,
+)
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import LinkSpec
+
+from tests.conftest import small_dc_spec
+
+
+def build_world(names=("DNA", "DEU"), seed=4):
+    topo = GlobalTopology(seed=seed)
+    for name in names:
+        topo.add_datacenter(small_dc_spec(name))
+    for other in names[1:]:
+        topo.connect("DNA", other, LinkSpec(0.155, 50.0))
+    sim = Simulator(dt=0.01)
+    for dc in topo.datacenters.values():
+        sim.add_holon(dc)
+    for link in topo.links.values():
+        sim.add_agent(link)
+    return topo, sim
+
+
+def test_open_loop_clients_and_background_jobs_coexist():
+    """Client workload + SYNCHREP compete for the same links (the
+    thesis's central scenario)."""
+    topo, sim = build_world()
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA", local_fs=True),
+                           seed=9)
+    model = CanonicalCostModel(topo)
+    mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+    ops = build_cad_operations(model, mapping, Client("cal", "DNA"), "light")
+    light_ops = {k: ops[k] for k in ("LOGIN", "FILTER", "SELECT")}
+    wl = OpenLoopWorkload(
+        sim, runner, "DEU", WorkloadCurve([600.0] * 24),
+        OperationMix({k: 1.0 for k in light_ops}), light_ops,
+        ops_per_client_hour=6.0, seed=11,
+    )
+    growth = DataGrowthModel({
+        "DNA": WorkloadCurve([360.0] * 24),
+        "DEU": WorkloadCurve([180.0] * 24),
+    })
+    srsim = SynchRepSimulator(sim, runner, topo, growth,
+                              SynchRepConfig(master="DNA", interval_s=120.0))
+    PeriodicDaemon(sim, srsim.task, interval=120.0, until=400.0, first_at=120.0)
+    wl.start(until=400.0)
+    sim.run(600.0)
+    assert wl.launched > 20
+    assert len(runner.records) > 10
+    assert len(srsim.runs) >= 2
+    # both kinds of traffic crossed the WAN link
+    assert topo.link_between("DNA", "DEU").completed_count > 10
+
+
+def test_collector_probes_full_stack():
+    topo, sim = build_world(("DNA",))
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA", local_fs=False),
+                           seed=9)
+    model = CanonicalCostModel(topo)
+    mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+    ops = build_cad_operations(model, mapping, Client("cal", "DNA"), "light")
+    wl = OpenLoopWorkload(
+        sim, runner, "DNA", WorkloadCurve([900.0] * 24),
+        OperationMix({"LOGIN": 1.0}), {"LOGIN": ops["LOGIN"]},
+        ops_per_client_hour=12.0, seed=2,
+    )
+    col = Collector(sim, sample_interval=5.0)
+    tier = topo.datacenter("DNA").tier("app")
+    col.add_probe("cpu.app", lambda now: tier.cpu_utilization(now))
+    wl.start(until=150.0)
+    sim.run(200.0)
+    series = col.series("cpu.app")
+    assert len(series) == 40
+    assert max(v for _, v in series) > 0.05
+
+
+def test_multimaster_routing_spreads_load():
+    """With a multi-master placement, app work lands on both masters."""
+    topo, sim = build_world(("DNA", "DEU"))
+    apm = {"DNA": {"DNA": 60.0, "DEU": 40.0},
+           "DEU": {"DNA": 40.0, "DEU": 60.0}}
+    runner = CascadeRunner(topo, MultiMasterPlacement(apm), seed=13)
+    model = CanonicalCostModel(topo)
+    mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+    ops = build_cad_operations(model, mapping, Client("cal", "DNA"), "light")
+    wl = OpenLoopWorkload(
+        sim, runner, "DNA", WorkloadCurve([1800.0] * 24),
+        OperationMix({"LOGIN": 1.0}), {"LOGIN": ops["LOGIN"]},
+        ops_per_client_hour=12.0, seed=3,
+    )
+    wl.start(until=120.0)
+    sim.run(200.0)
+    busy = {}
+    for name in ("DNA", "DEU"):
+        tier = topo.datacenter(name).tier("app")
+        busy[name] = sum(
+            sum(q.busy_time for q in s.cpu.socket_queues) for s in tier.servers
+        )
+    assert busy["DNA"] > 0 and busy["DEU"] > 0
+
+
+def test_link_failure_reroutes_traffic():
+    topo = GlobalTopology(seed=4)
+    for name in ("DNA", "DEU"):
+        topo.add_datacenter(small_dc_spec(name))
+    primary = topo.connect("DNA", "DEU", LinkSpec(0.155, 50.0))
+    backup = topo.connect("DNA", "DEU", LinkSpec(0.045, 100.0), secondary=True)
+    sim = Simulator(dt=0.01)
+    for dc in topo.datacenters.values():
+        sim.add_holon(dc)
+    sim.add_agent(primary)
+    sim.add_agent(backup)
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA", local_fs=False),
+                           seed=9)
+    model = CanonicalCostModel(topo)
+    mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+    ops = build_cad_operations(model, mapping, Client("cal", "DNA"), "light")
+    client = Client("c", "DEU", seed=1)
+    sim.add_holon(client)
+    runner.launch(ops["LOGIN"], client, 0.0)
+    sim.run(60.0)
+    assert primary.completed_count > 0
+    before_backup = backup.completed_count
+    topo.fail_link("DNA", "DEU")
+    runner.launch(ops["LOGIN"], client, sim.now)
+    sim.run(sim.now + 60.0)
+    assert backup.completed_count > before_backup
+
+
+def test_deterministic_replay_with_same_seed():
+    def run_once():
+        topo, sim = build_world(seed=6)
+        runner = CascadeRunner(topo, SingleMasterPlacement("DNA", local_fs=True),
+                               seed=21)
+        model = CanonicalCostModel(topo)
+        mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+        ops = build_cad_operations(model, mapping, Client("cal", "DNA"), "light")
+        wl = OpenLoopWorkload(
+            sim, runner, "DEU", WorkloadCurve([300.0] * 24),
+            OperationMix({"LOGIN": 1.0, "FILTER": 1.0}),
+            {"LOGIN": ops["LOGIN"], "FILTER": ops["FILTER"]},
+            ops_per_client_hour=12.0, seed=31,
+        )
+        wl.start(until=100.0)
+        sim.run(150.0)
+        return [(r.operation, round(r.start, 6), round(r.end, 6))
+                for r in runner.records]
+
+    assert run_once() == run_once()

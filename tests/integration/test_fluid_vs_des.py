@@ -1,0 +1,98 @@
+"""Cross-check: the fluid solver against the discrete-event simulator.
+
+The fluid solver and the DES consume identical model inputs; on a small
+steady scenario their utilization and response-time predictions must
+agree.  This is the library's internal consistency anchor for the
+chapter 6/7 results, which are produced by the fluid path (DESIGN.md).
+"""
+
+import pytest
+
+from repro.core import Simulator
+from repro.fluid import FluidSolver
+from repro.metrics import Collector
+from repro.software.application import Application
+from repro.software.cascade import CascadeRunner
+from repro.software.client import Client
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.placement import SingleMasterPlacement
+from repro.software.resources import R
+from repro.software.workload import OperationMix, OpenLoopWorkload, WorkloadCurve
+from repro.topology.network import GlobalTopology
+
+from tests.conftest import small_dc_spec
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    op = Operation("OP", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=1.5e9, net_kb=20.0)),
+        MessageSpec("app", "db", r=R.of(cycles=1.2e9, net_kb=10.0)),
+        MessageSpec("db", "app", r=R.of(net_kb=20.0)),
+        MessageSpec("app", CLIENT, r=R.of(net_kb=40.0)),
+    ])
+    app = Application(
+        "X", {"OP": op}, OperationMix({"OP": 1.0}),
+        workloads={"DNA": WorkloadCurve([720.0] * 24)},
+        ops_per_client_hour=5.0,  # 1 op/s
+    )
+    return app
+
+
+def run_des(app, horizon=400.0, seed=17):
+    topo = GlobalTopology(seed=3)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim = Simulator(dt=0.01)
+    sim.add_holon(topo.datacenter("DNA"))
+    placement = SingleMasterPlacement("DNA", local_fs=False)
+    runner = CascadeRunner(topo, placement, seed=seed)
+    wl = OpenLoopWorkload(
+        sim, runner, "DNA", app.workloads["DNA"], app.mix, app.operations,
+        ops_per_client_hour=app.ops_per_client_hour, seed=seed,
+    )
+    col = Collector(sim, sample_interval=5.0)
+    for tier_kind in ("app", "db"):
+        tier = topo.datacenter("DNA").tier(tier_kind)
+        col.add_probe(tier_kind, (lambda t: lambda now: t.cpu_utilization(now))(tier))
+    wl.start(until=horizon)
+    sim.run(horizon)
+    utils = {
+        k: sum(v for _, v in col.series(k)[10:]) / max(len(col.series(k)) - 10, 1)
+        for k in ("app", "db")
+    }
+    responses = [r.response_time for r in runner.records]
+    return utils, sum(responses) / len(responses)
+
+
+def fluid_prediction(app):
+    topo = GlobalTopology(seed=3)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    solver = FluidSolver(topo, [app], SingleMasterPlacement("DNA", local_fs=False))
+    return (
+        {
+            "app": solver.tier_cpu_utilization("DNA", "app", 0.0),
+            "db": solver.tier_cpu_utilization("DNA", "db", 0.0),
+        },
+        solver.response_time(app, "OP", "DNA", 0.0),
+    )
+
+
+def test_utilizations_agree(scenario):
+    des_utils, _ = run_des(scenario)
+    fluid_utils, _ = fluid_prediction(scenario)
+    # app: 1 op/s x 0.5 s / 4 cores = 12.5 %; db: 0.4 s / 4 cores = 10 %
+    assert des_utils["app"] == pytest.approx(fluid_utils["app"], rel=0.25)
+    assert des_utils["db"] == pytest.approx(fluid_utils["db"], rel=0.25)
+
+
+def test_response_times_agree(scenario):
+    _, des_rt = run_des(scenario)
+    _, fluid_rt = fluid_prediction(scenario)
+    assert des_rt == pytest.approx(fluid_rt, rel=0.2)
+
+
+def test_fluid_matches_hand_computed_offered_load(scenario):
+    fluid_utils, _ = fluid_prediction(scenario)
+    assert fluid_utils["app"] == pytest.approx(0.125, rel=0.05)
+    assert fluid_utils["db"] == pytest.approx(0.10, rel=0.05)

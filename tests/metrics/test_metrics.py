@@ -1,0 +1,127 @@
+"""Unit and property tests for the collector and the statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Simulator
+from repro.metrics import Collector, format_table, rmse, steady_state_stats
+from repro.metrics.stats import mean_of, smooth
+
+
+# ----------------------------------------------------------------------
+# collector
+# ----------------------------------------------------------------------
+def test_collector_samples_on_cadence():
+    sim = Simulator(dt=0.1)
+    col = Collector(sim, sample_interval=1.0)
+    col.add_probe("x", lambda now: now)
+    sim.run(5.0)
+    times = [t for t, _ in col.series("x")]
+    assert times == pytest.approx([1.0, 2.0, 3.0, 4.0, 5.0])
+
+
+def test_collector_snapshot_averaging():
+    sim = Simulator(dt=0.1)
+    col = Collector(sim, sample_interval=1.0, samples_per_snapshot=2)
+    col.add_probe("x", lambda now: now)
+    sim.run(4.0)
+    snaps = col.series("x", from_snapshots=True)
+    assert len(snaps) == 2
+    assert snaps[0][1] == pytest.approx(1.5)  # avg of samples at 1, 2
+
+
+def test_duplicate_probe_rejected():
+    sim = Simulator(dt=0.1)
+    col = Collector(sim)
+    col.add_probe("x", lambda now: 0.0)
+    with pytest.raises(ValueError):
+        col.add_probe("x", lambda now: 0.0)
+
+
+def test_collector_validation():
+    sim = Simulator(dt=0.1)
+    with pytest.raises(ValueError):
+        Collector(sim, samples_per_snapshot=0)
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+def test_steady_state_stats_window():
+    series = [(float(t), float(t)) for t in range(10)]
+    stats = steady_state_stats(series, 2.0, 5.0)
+    assert stats.n_samples == 4
+    assert stats.mean == pytest.approx(3.5)
+
+
+def test_steady_state_empty_window_raises():
+    with pytest.raises(ValueError):
+        steady_state_stats([(0.0, 1.0)], 5.0, 6.0)
+
+
+def test_rmse_identical_series_is_zero():
+    s = [(0.0, 1.0), (1.0, 2.0)]
+    assert rmse(s, s) == 0.0
+
+
+def test_rmse_known_value():
+    a = [(0.0, 0.0), (1.0, 0.0)]
+    b = [(0.0, 3.0), (1.0, 4.0)]
+    assert rmse(a, b) == pytest.approx(math.sqrt(12.5))
+
+
+def test_rmse_length_mismatch():
+    with pytest.raises(ValueError):
+        rmse([(0.0, 1.0)], [])
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2,
+                max_size=30))
+def test_rmse_nonnegative_and_symmetric(values):
+    a = [(float(i), v) for i, v in enumerate(values)]
+    b = [(float(i), v + 1.0) for i, v in enumerate(values)]
+    assert rmse(a, b) == pytest.approx(rmse(b, a))
+    assert rmse(a, b) >= 0.0
+
+
+def test_smooth_window_one_is_identity():
+    s = [(0.0, 5.0), (1.0, 7.0)]
+    assert smooth(s, 1) == s
+
+
+def test_smooth_flattens_spike():
+    s = [(float(i), 0.0) for i in range(5)]
+    s[2] = (2.0, 10.0)
+    out = smooth(s, 3)
+    assert out[2][1] == pytest.approx(10.0 / 3.0)
+    assert out[0][1] < 10.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1), min_size=3, max_size=40),
+       st.integers(min_value=1, max_value=9))
+def test_smooth_preserves_bounds(values, window):
+    s = [(float(i), v) for i, v in enumerate(values)]
+    out = smooth(s, window)
+    assert len(out) == len(s)
+    lo, hi = min(values), max(values)
+    assert all(lo - 1e-9 <= v <= hi + 1e-9 for _, v in out)
+
+
+def test_mean_of():
+    assert mean_of([(0.0, 2.0), (1.0, 4.0)]) == pytest.approx(3.0)
+    with pytest.raises(ValueError):
+        mean_of([])
+
+
+# ----------------------------------------------------------------------
+# report tables
+# ----------------------------------------------------------------------
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.5], ["long-name", 22.0]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "1.50" in text and "22.00" in text

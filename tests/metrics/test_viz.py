@@ -1,0 +1,60 @@
+"""Tests for terminal visualization helpers."""
+
+import pytest
+
+from repro.metrics.viz import bar_chart, hourly_chart, sparkline
+
+
+def test_sparkline_monotone_ramp():
+    s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert s == "▁▂▃▄▅▆▇█"
+
+
+def test_sparkline_flat_series():
+    assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_explicit_scale():
+    # values use the provided scale, not their own min/max
+    s = sparkline([0.5], lo=0.0, hi=1.0)
+    assert s in "▄▅"
+
+
+def test_hourly_chart_shares_scale():
+    chart = hourly_chart([
+        ("Tapp", [0.1] * 12 + [0.8] * 12),
+        ("Tdb", [0.05] * 24),
+    ], title="util", as_percent=True)
+    lines = chart.splitlines()
+    assert lines[0] == "util"
+    assert "Tapp" in lines[1] and "peak 80.0%" in lines[1]
+    assert "Tdb" in lines[2] and "peak 5.0%" in lines[2]
+    # the shared scale makes Tdb's sparkline flat-bottom
+    assert "█" in lines[1] and "█" not in lines[2]
+
+
+def test_hourly_chart_empty_rejected():
+    with pytest.raises(ValueError):
+        hourly_chart([])
+
+
+def test_bar_chart_proportional():
+    chart = bar_chart([("a", 10.0), ("b", 5.0)], width=10, unit="MB")
+    lines = chart.splitlines()
+    assert lines[0].count("█") == 10
+    assert lines[1].count("█") == 5
+    assert "10.0MB" in lines[0]
+
+
+def test_bar_chart_zero_values_safe():
+    chart = bar_chart([("a", 0.0)])
+    assert "a" in chart
+
+
+def test_bar_chart_empty_rejected():
+    with pytest.raises(ValueError):
+        bar_chart([])

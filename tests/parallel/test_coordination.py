@@ -1,0 +1,135 @@
+"""Unit tests for the coordination primitives (section 4.2.3)."""
+
+import threading
+
+import pytest
+
+from repro.parallel.coordination import (
+    Choice,
+    Interleave,
+    JoinReceiver,
+    MultipleItemReceiver,
+    SingleItemReceiver,
+)
+from repro.parallel.ports import Arbiter, Dispatcher
+
+
+@pytest.fixture
+def arbiter():
+    return Arbiter(Dispatcher(threads=0))
+
+
+def test_single_item_receiver(arbiter):
+    port = arbiter.create_port("p")
+    seen = []
+    SingleItemReceiver(port, seen.append)
+    port.post(1)
+    port.post(2)
+    assert seen == [1, 2]
+
+
+def test_multiple_item_receiver_gathers_n(arbiter):
+    port = arbiter.create_port("p")
+    results = []
+    MultipleItemReceiver(port, 3, lambda ok, err: results.append((ok, err)))
+    port.post("a")
+    port.post("b")
+    assert results == []
+    port.post("c")
+    assert results == [(["a", "b", "c"], [])]
+
+
+def test_multiple_item_receiver_separates_failures(arbiter):
+    port = arbiter.create_port("p")
+    results = []
+    MultipleItemReceiver(port, 2, lambda ok, err: results.append((ok, err)))
+    boom = RuntimeError("boom")
+    port.post("fine")
+    port.post(boom)
+    ok, err = results[0]
+    assert ok == ["fine"]
+    assert err == [boom]
+
+
+def test_multiple_item_receiver_rearms(arbiter):
+    port = arbiter.create_port("p")
+    batches = []
+    MultipleItemReceiver(port, 2, lambda ok, err: batches.append(ok))
+    for i in range(4):
+        port.post(i)
+    assert batches == [[0, 1], [2, 3]]
+
+
+def test_join_receiver_pairs_ports(arbiter):
+    a, b = arbiter.create_port("a"), arbiter.create_port("b")
+    pairs = []
+    JoinReceiver(a, b, lambda x, y: pairs.append((x, y)))
+    a.post(1)
+    assert pairs == []
+    b.post(2)
+    assert pairs == [(1, 2)]
+    b.post(4)
+    a.post(3)
+    assert pairs == [(1, 2), (3, 4)]
+
+
+def test_choice_routes_by_type(arbiter):
+    port = arbiter.create_port("p")
+    ints, strs = [], []
+    Choice(port, [(int, ints.append), (str, strs.append)])
+    port.post(1)
+    port.post("x")
+    assert ints == [1] and strs == ["x"]
+
+
+def test_choice_unmatched_without_default_raises(arbiter):
+    port = arbiter.create_port("p")
+    Choice(port, [(int, lambda m: None)])
+    with pytest.raises(TypeError):
+        port.post(1.5)
+
+
+def test_choice_default_handler(arbiter):
+    port = arbiter.create_port("p")
+    rest = []
+    Choice(port, [(int, lambda m: None)], default=rest.append)
+    port.post("other")
+    assert rest == ["other"]
+
+
+def test_interleave_exclusive_blocks_concurrent():
+    inter = Interleave()
+    order = []
+    in_concurrent = threading.Event()
+    release = threading.Event()
+
+    def reader():
+        def body():
+            in_concurrent.set()
+            release.wait(timeout=5.0)
+            order.append("r")
+        inter.concurrent(body)
+
+    t = threading.Thread(target=reader)
+    t.start()
+    in_concurrent.wait(timeout=5.0)
+
+    done = []
+    w = threading.Thread(target=lambda: (inter.exclusive(lambda: order.append("w")),
+                                         done.append(True)))
+    w.start()
+    # exclusive must wait for the reader to finish
+    assert not done
+    release.set()
+    t.join(timeout=5.0)
+    w.join(timeout=5.0)
+    assert order == ["r", "w"]
+
+
+def test_interleave_teardown_is_final():
+    inter = Interleave()
+    inter.teardown(lambda: None)
+    with pytest.raises(RuntimeError):
+        inter.exclusive(lambda: None)
+    with pytest.raises(RuntimeError):
+        inter.teardown(lambda: None)

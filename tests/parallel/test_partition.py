@@ -1,0 +1,197 @@
+"""Tests for partitioned (cross-machine) simulation (section 9.3.1)."""
+
+import pytest
+
+from repro.core import Simulator, Job
+from repro.core.errors import SimulationError
+from repro.parallel.partition import (
+    Envelope,
+    Partition,
+    PartitionedSimulation,
+    run_multiprocess,
+)
+from repro.queueing import FCFSQueue
+
+LOOKAHEAD = 0.05  # 50 ms WAN latency
+
+
+def make_partition(name: str, rate: float = 10.0):
+    """A partition with one queue; envelopes enqueue transfer jobs."""
+    sim = Simulator(dt=0.01)
+    queue = sim.add_agent(FCFSQueue(f"{name}.q", rate=rate))
+    completions = []
+
+    def handler(env: Envelope, now: float) -> None:
+        queue.submit(
+            Job(env.payload["demand"],
+                on_complete=lambda j, t: completions.append((env.payload["id"], t)),
+                not_before=now),
+            now)
+
+    return Partition(name, sim, handler), queue, completions
+
+
+def test_envelope_validation():
+    with pytest.raises(ValueError):
+        Envelope("a", "b", send_time=1.0, arrival_time=0.5)
+
+
+def test_coordinator_validation():
+    part, _, _ = make_partition("A")
+    with pytest.raises(ValueError):
+        PartitionedSimulation([], min_latency_s=0.1)
+    with pytest.raises(ValueError):
+        PartitionedSimulation([part], min_latency_s=0.0)
+    with pytest.raises(ValueError):
+        PartitionedSimulation([part, part], min_latency_s=0.1)
+
+
+def test_cross_partition_message_arrives_after_latency():
+    a, _, _ = make_partition("A")
+    b, _, b_done = make_partition("B")
+    coord = PartitionedSimulation([a, b], min_latency_s=LOOKAHEAD)
+    a.sim.schedule(0.02, lambda now: a.send(
+        "B", {"id": 1, "demand": 1.0}, latency_s=LOOKAHEAD))
+    coord.run(1.0)
+    assert len(b_done) == 1
+    # sent at 0.02, arrives 0.07, served 0.1 s
+    assert b_done[0][1] == pytest.approx(0.17, abs=0.03)
+
+
+def test_lookahead_violation_rejected():
+    a, _, _ = make_partition("A")
+    b, _, _ = make_partition("B")
+    coord = PartitionedSimulation([a, b], min_latency_s=LOOKAHEAD)
+    a.sim.schedule(0.0, lambda now: a.send(
+        "B", {"id": 1, "demand": 1.0}, latency_s=LOOKAHEAD / 2))
+    with pytest.raises(SimulationError):
+        coord.run(0.2)
+
+
+def test_unknown_destination_rejected():
+    a, _, _ = make_partition("A")
+    coord = PartitionedSimulation([a], min_latency_s=LOOKAHEAD)
+    a.sim.schedule(0.0, lambda now: a.send(
+        "NOPE", {"id": 1, "demand": 1.0}, latency_s=LOOKAHEAD))
+    with pytest.raises(KeyError):
+        coord.run(0.2)
+
+
+def _ping_pong(executor: str):
+    """A sends to B every 100 ms; B bounces half the demand back."""
+    a, _, a_done = make_partition("A")
+    b, bq, b_done = make_partition("B")
+
+    # B's handler additionally bounces a reply envelope
+    orig_handler = b.handler
+
+    def bouncing_handler(env: Envelope, now: float) -> None:
+        orig_handler(env, now)
+        b.send("A", {"id": env.payload["id"] + 1000,
+                     "demand": env.payload["demand"] / 2},
+               latency_s=LOOKAHEAD, now=now)
+
+    b.handler = bouncing_handler
+
+    counter = {"n": 0}
+
+    def emit(now):
+        a.send("B", {"id": counter["n"], "demand": 1.0},
+               latency_s=LOOKAHEAD)
+        counter["n"] += 1
+        if counter["n"] < 10:
+            a.sim.schedule(now + 0.1, emit)
+
+    a.sim.schedule(0.0, emit)
+    coord = PartitionedSimulation([a, b], min_latency_s=LOOKAHEAD)
+    coord.run(2.0, executor=executor)
+    return sorted(a_done), sorted(b_done), coord.windows_run
+
+
+def test_sequential_and_threaded_executors_agree():
+    seq = _ping_pong("sequential")
+    thr = _ping_pong("thread")
+    assert seq[0] == thr[0]
+    assert seq[1] == thr[1]
+    assert seq[2] == pytest.approx(thr[2])
+    assert len(seq[1]) == 10  # every ping processed at B
+    assert len(seq[0]) == 10  # every bounce processed at A
+
+
+def test_windows_cover_horizon():
+    a, _, _ = make_partition("A")
+    coord = PartitionedSimulation([a], min_latency_s=0.25)
+    coord.run(1.0)
+    assert coord.windows_run == 4
+    assert a.sim.now == pytest.approx(1.0)
+
+
+def test_partitioned_matches_monolithic():
+    """The partitioned run produces the same completions as simulating
+    both components in one engine with the same latency."""
+    # monolithic reference: one engine, delay modeled via schedule
+    sim = Simulator(dt=0.01)
+    q = sim.add_agent(FCFSQueue("B.q", rate=10.0))
+    mono_done = []
+    for k in range(5):
+        send_t = 0.02 + 0.1 * k
+        sim.schedule(send_t + LOOKAHEAD, lambda now, kk=k: q.submit(
+            Job(1.0, on_complete=lambda j, t: mono_done.append(t),
+                not_before=now), now))
+    sim.run(2.0)
+
+    a, _, _ = make_partition("A")
+    b, _, b_done = make_partition("B")
+    coord = PartitionedSimulation([a, b], min_latency_s=LOOKAHEAD)
+    for k in range(5):
+        a.sim.schedule(0.02 + 0.1 * k, lambda now, kk=k: a.send(
+            "B", {"id": kk, "demand": 1.0}, latency_s=LOOKAHEAD))
+    coord.run(2.0)
+    assert sorted(t for _, t in b_done) == pytest.approx(sorted(mono_done),
+                                                         abs=0.02)
+
+
+# ----------------------------------------------------------------------
+# multiprocess transport
+# ----------------------------------------------------------------------
+def _factory_sink():
+    """Worker-side factory for the sink partition (module level: picklable)."""
+    sim = Simulator(dt=0.01)
+    queue = sim.add_agent(FCFSQueue("sink.q", rate=10.0))
+    state = {"served": 0}
+
+    def handler(env, now):
+        queue.submit(Job(env.payload["demand"], not_before=now), now)
+
+    return sim, handler, None
+
+
+def _factory_source():
+    sim = Simulator(dt=0.01)
+
+    def handler(env, now):
+        pass
+
+    def step_hook(sim_, t0, t1):
+        # one transfer per window toward the sink
+        return [{"dst": "sink", "latency_s": 0.05,
+                 "payload": {"demand": 0.5}}]
+
+    return sim, handler, step_hook
+
+
+@pytest.mark.slow
+def test_multiprocess_partitions_complete():
+    finals = run_multiprocess(
+        {"source": _factory_source, "sink": _factory_sink},
+        min_latency_s=0.05,
+        until=0.5,
+    )
+    assert set(finals) == {"source", "sink"}
+    for now in finals.values():
+        assert now == pytest.approx(0.5, abs=0.02)
+
+
+def test_multiprocess_validates_lookahead():
+    with pytest.raises(ValueError):
+        run_multiprocess({"a": _factory_sink}, min_latency_s=0.0, until=1.0)

@@ -1,0 +1,74 @@
+"""Unit tests for port-based programming primitives."""
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel.ports import Arbiter, Dispatcher, Port, WorkItem
+
+
+def test_inline_dispatcher_runs_immediately():
+    d = Dispatcher(threads=0)
+    seen = []
+    d.submit(WorkItem(seen.append, 42))
+    assert seen == [42]
+    assert d.executed == 1
+
+
+def test_threaded_dispatcher_executes_all():
+    d = Dispatcher(threads=2)
+    seen = []
+    lock = threading.Lock()
+
+    def handler(x):
+        with lock:
+            seen.append(x)
+
+    for i in range(100):
+        d.submit(WorkItem(handler, i))
+    assert d.drain(timeout=10.0)
+    d.stop()
+    assert sorted(seen) == list(range(100))
+
+
+def test_stopped_dispatcher_rejects_work():
+    d = Dispatcher(threads=1)
+    d.stop()
+    with pytest.raises(RuntimeError):
+        d.submit(WorkItem(print, 1))
+
+
+def test_port_queues_until_armed():
+    d = Dispatcher(threads=0)
+    arb = Arbiter(d)
+    port = arb.create_port("p")
+    port.post("early")
+    assert port.pending_count() == 1
+    seen = []
+    port.arm(seen.append)
+    assert seen == ["early"]
+    port.post("late")
+    assert seen == ["early", "late"]
+
+
+def test_port_double_arm_rejected():
+    d = Dispatcher(threads=0)
+    port = Arbiter(d).create_port("p")
+    port.arm(lambda m: None)
+    with pytest.raises(ValueError):
+        port.arm(lambda m: None)
+
+
+def test_port_disarm_requeues():
+    d = Dispatcher(threads=0)
+    port = Arbiter(d).create_port("p")
+    port.arm(lambda m: None)
+    port.disarm()
+    port.post("x")
+    assert port.pending_count() == 1
+
+
+def test_negative_threads_rejected():
+    with pytest.raises(ValueError):
+        Dispatcher(threads=-1)

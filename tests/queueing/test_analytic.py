@@ -1,0 +1,81 @@
+"""Unit tests for the closed-form queueing results."""
+
+import math
+
+import pytest
+
+from repro.core.errors import SaturationError
+from repro.queueing import analytic
+
+
+def test_mm1_mean_response():
+    # rho = 0.5: W = 1/(mu - lam) = 1/(2-1) = 1
+    assert analytic.mm1_mean_response(1.0, 2.0) == pytest.approx(1.0)
+
+
+def test_mm1_mean_jobs_little_consistency():
+    lam, mu = 3.0, 5.0
+    w = analytic.mm1_mean_response(lam, mu)
+    assert analytic.mm1_mean_jobs(lam, mu) == pytest.approx(lam * w)
+
+
+def test_mm1_unstable_raises():
+    with pytest.raises(SaturationError):
+        analytic.mm1_mean_response(2.0, 2.0)
+
+
+def test_erlang_c_single_server_equals_rho():
+    # for c=1 the waiting probability equals the utilization
+    assert analytic.erlang_c(0.6, 1.0, 1) == pytest.approx(0.6)
+
+
+def test_erlang_c_decreases_with_servers():
+    lam, mu = 4.0, 1.0
+    p8 = analytic.erlang_c(lam, mu, 8)
+    p16 = analytic.erlang_c(lam, mu, 16)
+    assert p16 < p8 < 1.0
+
+
+def test_mmc_reduces_to_mm1():
+    lam, mu = 0.7, 1.0
+    assert analytic.mmc_mean_response(lam, mu, 1) == pytest.approx(
+        analytic.mm1_mean_response(lam, mu)
+    )
+
+
+def test_mmc_faster_than_mm1_at_same_per_server_load():
+    # c servers at the same rho wait less than one server (pooling gain)
+    w1 = analytic.mm1_mean_response(0.8, 1.0)
+    w4 = analytic.mmc_mean_response(3.2, 1.0, 4)
+    assert w4 < w1
+
+
+def test_mg1ps_insensitivity():
+    assert analytic.mg1ps_mean_response(1.0, 4.0) == pytest.approx(
+        analytic.mm1_mean_response(1.0, 4.0)
+    )
+
+
+def test_forkjoin_two_branch_exact():
+    lam, mu = 0.5, 1.0
+    rho = 0.5
+    w1 = analytic.mm1_mean_response(lam, mu)
+    w2 = analytic.forkjoin_mean_response_approx(lam, mu, 2)
+    assert w2 == pytest.approx((12 - rho) / 8 * w1)
+
+
+def test_forkjoin_grows_with_width():
+    lam, mu = 0.5, 1.0
+    widths = [analytic.forkjoin_mean_response_approx(lam, mu, n)
+              for n in (1, 2, 4, 8)]
+    assert widths == sorted(widths)
+
+
+def test_little_law():
+    assert analytic.little_law_jobs(2.0, 3.0) == pytest.approx(6.0)
+
+
+def test_ps_slowdown():
+    assert analytic.ps_slowdown(3) == 3.0
+    with pytest.raises(ValueError):
+        analytic.ps_slowdown(0)

@@ -1,0 +1,82 @@
+"""Statistical convergence of the simulated queues to closed forms.
+
+A correct discrete-time station fed Poisson arrivals with exponential
+service must converge to the M/M/c formulas — this is the library's
+ground-truth anchor (the thesis builds everything on these stations).
+"""
+
+import random
+
+import pytest
+
+from repro.core import Simulator, Job
+from repro.queueing import FCFSQueue, PSQueue, analytic
+
+
+def drive_poisson(queue, lam, mu, horizon, seed=7, dt=0.005):
+    sim = Simulator(dt=dt)
+    sim.add_agent(queue)
+    rng = random.Random(seed)
+    responses = []
+
+    def arrive(now):
+        demand = rng.expovariate(mu)  # demand in work units at rate 1.0
+        job = Job(demand, on_complete=lambda j, t: responses.append(
+            t - j.enqueue_time))
+        queue.submit(job, now)
+        nxt = now + rng.expovariate(lam)
+        if nxt < horizon:
+            sim.schedule(nxt, arrive)
+
+    sim.schedule(rng.expovariate(lam), arrive)
+    sim.run(horizon + 50.0)  # drain
+    return responses
+
+
+@pytest.mark.slow
+def test_mm1_response_converges():
+    lam, mu = 0.5, 1.0
+    q = FCFSQueue("q", rate=1.0)
+    responses = drive_poisson(q, lam, mu, horizon=4000.0)
+    mean = sum(responses) / len(responses)
+    expected = analytic.mm1_mean_response(lam, mu)
+    assert mean == pytest.approx(expected, rel=0.15)
+
+
+@pytest.mark.slow
+def test_mmc_response_converges():
+    lam, mu, c = 1.5, 1.0, 2
+    q = FCFSQueue("q", rate=1.0, servers=c)
+    responses = drive_poisson(q, lam, mu, horizon=4000.0)
+    mean = sum(responses) / len(responses)
+    expected = analytic.mmc_mean_response(lam, mu, c)
+    assert mean == pytest.approx(expected, rel=0.15)
+
+
+@pytest.mark.slow
+def test_ps_response_converges():
+    lam, mu = 0.5, 1.0
+    q = PSQueue("l", rate=1.0)
+    responses = drive_poisson(q, lam, mu, horizon=4000.0)
+    mean = sum(responses) / len(responses)
+    expected = analytic.mg1ps_mean_response(lam, mu)
+    assert mean == pytest.approx(expected, rel=0.15)
+
+
+def test_utilization_matches_offered_load():
+    lam, mu = 0.6, 1.0
+    q = FCFSQueue("q", rate=1.0)
+    sim = Simulator(dt=0.01)
+    sim.add_agent(q)
+    rng = random.Random(3)
+
+    def arrive(now):
+        q.submit(Job(rng.expovariate(mu)), now)
+        nxt = now + rng.expovariate(lam)
+        if nxt < 1000.0:
+            sim.schedule(nxt, arrive)
+
+    sim.schedule(0.0, arrive)
+    sim.run(1000.0)
+    rho = q.busy_time / 1000.0
+    assert rho == pytest.approx(lam / mu, rel=0.1)

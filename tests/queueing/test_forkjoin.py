@@ -1,0 +1,58 @@
+"""Unit tests for fork-join composition."""
+
+import pytest
+
+from repro.core import Simulator, Job
+from repro.queueing import FCFSQueue, ForkJoin
+
+
+def make_branches(sim, n, rate):
+    queues = [sim.add_agent(FCFSQueue(f"b{i}", rate=rate)) for i in range(n)]
+    return queues, ForkJoin([q.submit for q in queues])
+
+
+def test_stripe_divides_demand():
+    sim = Simulator(dt=0.01)
+    queues, fj = make_branches(sim, 4, rate=10.0)
+    done = []
+    fj.submit(Job(40.0, on_complete=lambda j, t: done.append(t)), 0.0)
+    sim.run(5.0)
+    # 10 units per branch at rate 10 -> 1.0 s
+    assert done[0] == pytest.approx(1.0, abs=0.03)
+
+
+def test_join_waits_for_slowest_branch():
+    sim = Simulator(dt=0.01)
+    fast = sim.add_agent(FCFSQueue("fast", rate=10.0))
+    slow = sim.add_agent(FCFSQueue("slow", rate=1.0))
+    fj = ForkJoin([fast.submit, slow.submit], split="mirror")
+    done = []
+    fj.submit(Job(2.0, on_complete=lambda j, t: done.append(t)), 0.0)
+    sim.run(10.0)
+    assert done[0] == pytest.approx(2.0, abs=0.05)  # the slow branch
+
+
+def test_mirror_sends_full_demand_everywhere():
+    sim = Simulator(dt=0.01)
+    queues, _ = make_branches(sim, 2, rate=1.0)
+    fj = ForkJoin([q.submit for q in queues], split="mirror")
+    fj.submit(Job(3.0), 0.0)
+    sim.run(10.0)
+    for q in queues:
+        assert q.busy_time == pytest.approx(3.0, abs=0.05)
+
+
+def test_single_branch_passthrough():
+    sim = Simulator(dt=0.01)
+    queues, fj = make_branches(sim, 1, rate=10.0)
+    done = []
+    fj.submit(Job(5.0, on_complete=lambda j, t: done.append(t)), 0.0)
+    sim.run(2.0)
+    assert done[0] == pytest.approx(0.5, abs=0.02)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ForkJoin([])
+    with pytest.raises(ValueError):
+        ForkJoin([lambda j, t: None], split="scatter")

@@ -1,0 +1,59 @@
+"""Unit tests for Kendall-notation parsing (Appendix A)."""
+
+import pytest
+
+from repro.queueing import parse_kendall
+
+
+def test_basic_three_factor():
+    spec = parse_kendall("M/M/1")
+    assert (spec.arrival, spec.service, spec.servers) == ("M", "M", 1)
+    assert spec.discipline == "FCFS"  # thesis default
+
+
+def test_discipline_suffix():
+    spec = parse_kendall("M/M/1 - PS")
+    assert spec.discipline == "PS"
+    assert spec.discipline_cap is None
+
+
+def test_psk_cap():
+    spec = parse_kendall("M/M/1 - PS4")
+    assert spec.discipline == "PS"
+    assert spec.discipline_cap == 4
+
+
+def test_multi_socket_shorthand():
+    spec = parse_kendall("2 x M/M/4 - FCFS")
+    assert spec.multiplicity == 2
+    assert spec.servers == 4
+
+
+def test_capacity_and_population():
+    spec = parse_kendall("M/G/1/50 - PS")
+    assert spec.capacity == 50
+    spec6 = parse_kendall("M/M/2/10/100 - FCFS")
+    assert (spec6.capacity, spec6.population) == (10, 100)
+
+
+def test_symbolic_server_count():
+    spec = parse_kendall("M/M/c")
+    assert spec.servers is None
+
+
+def test_general_processes():
+    spec = parse_kendall("G/G/1")
+    assert (spec.arrival, spec.service) == ("G", "G")
+    spec = parse_kendall("GI/G/1")
+    assert spec.arrival == "GI"
+
+
+def test_roundtrip_str():
+    spec = parse_kendall("2 x M/M/4 - PS8")
+    assert str(spec) == "2 x M/M/4 - PS8"
+
+
+@pytest.mark.parametrize("bad", ["", "M/M", "X/M/1", "M/M/1 - WEIRD", "1/2/3"])
+def test_invalid_notations(bad):
+    with pytest.raises(ValueError):
+        parse_kendall(bad)

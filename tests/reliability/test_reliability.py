@@ -1,0 +1,243 @@
+"""Tests for failure injection and availability metrics (section 1.1)."""
+
+import pytest
+
+from repro.core import Simulator, Job
+from repro.hardware import RAID
+from repro.queueing import FCFSQueue
+from repro.reliability import (
+    AvailabilityMonitor,
+    FailureInjector,
+    FailurePolicy,
+)
+from repro.software.cascade import CascadeRunner
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.placement import SingleMasterPlacement
+from repro.software.resources import R
+from repro.software.client import Client
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import LinkSpec
+from repro.topology.tier import TierUnavailableError
+
+from tests.conftest import small_dc_spec
+
+
+# ----------------------------------------------------------------------
+# agent pause/crash semantics
+# ----------------------------------------------------------------------
+def test_paused_queue_serves_nothing():
+    sim = Simulator(dt=0.01)
+    q = sim.add_agent(FCFSQueue("q", rate=10.0))
+    done = []
+    q.submit(Job(5.0, on_complete=lambda j, t: done.append(t)), 0.0)
+    q.fail(crash=False)
+    sim.run(2.0)
+    assert not done
+    q.repair(sim.now)
+    sim.run(4.0)
+    assert done and done[0] == pytest.approx(2.5, abs=0.05)
+
+
+def test_crash_loses_in_service_progress():
+    sim = Simulator(dt=0.01)
+    q = sim.add_agent(FCFSQueue("q", rate=10.0))
+    done = []
+    q.submit(Job(5.0, on_complete=lambda j, t: done.append(t)), 0.0)
+    sim.run(0.3)  # 3 of 5 units served
+    q.fail(crash=True)
+    q.repair(sim.now)
+    sim.run(2.0)
+    # restarted from scratch at 0.3 -> completes at 0.8
+    assert done[0] == pytest.approx(0.8, abs=0.05)
+
+
+def test_crash_preserves_fifo_order():
+    sim = Simulator(dt=0.01)
+    q = sim.add_agent(FCFSQueue("q", rate=10.0, servers=2))
+    order = []
+    for i in range(3):
+        q.submit(Job(2.0 + i, on_complete=lambda j, t, k=i: order.append(k)),
+                 0.0)
+    q.fail(crash=True)
+    q.repair(0.0)
+    sim.run(5.0)
+    assert order == [0, 1, 2]
+
+
+def test_server_fail_marks_unavailable():
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    tier = topo.datacenter("DNA").tier("app")
+    tier.servers[0].fail()
+    assert not tier.servers[0].available
+    # load balancing skips the failed server
+    for _ in range(5):
+        assert tier.pick_server() is tier.servers[1]
+    tier.servers[1].fail()
+    with pytest.raises(TierUnavailableError):
+        tier.pick_server()
+    tier.servers[0].repair(0.0)
+    assert tier.pick_server() is tier.servers[0]
+
+
+def test_failed_tier_fails_operations():
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim = Simulator(dt=0.01)
+    sim.add_holon(topo.datacenter("DNA"))
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA", local_fs=False),
+                           seed=2)
+    for s in topo.datacenter("DNA").tier("app").servers:
+        s.fail()
+    client = Client("c", "DNA", seed=1)
+    sim.add_holon(client)
+    op = Operation("OP", [MessageSpec(CLIENT, "app", r=R.of(cycles=1e9)),
+                          MessageSpec("app", CLIENT)])
+    runner.launch(op, client, 0.0)
+    sim.run(5.0)
+    assert len(runner.records) == 1
+    assert runner.records[0].failed
+
+
+# ----------------------------------------------------------------------
+# failure injector
+# ----------------------------------------------------------------------
+def test_injector_cycles_servers():
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim = Simulator(dt=0.1)
+    sim.add_holon(topo.datacenter("DNA"))
+    inj = FailureInjector(
+        sim, topo,
+        FailurePolicy(server_mtbf_s=50.0, server_mttr_s=20.0,
+                      disk_mtbf_s=None, link_mtbf_s=None),
+        until=500.0, seed=3,
+    )
+    inj.start()
+    sim.run(500.0)
+    kinds = inj.failures_by_kind()
+    assert kinds.get("server", 0) >= 2
+    repairs = [e for e in inj.events if e.event == "repair"]
+    assert repairs  # components come back
+    assert all(v > 0 for v in inj.downtime.values())
+
+
+def test_keep_one_server_guards_the_tier():
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim = Simulator(dt=0.1)
+    sim.add_holon(topo.datacenter("DNA"))
+    inj = FailureInjector(
+        sim, topo,
+        FailurePolicy(server_mtbf_s=10.0, server_mttr_s=100.0,
+                      disk_mtbf_s=None, link_mtbf_s=None),
+        until=400.0, keep_one_server=True, seed=5,
+    )
+    inj.start()
+    # sample availability as the run progresses
+    violations = []
+    def check(now):
+        for tier in topo.datacenter("DNA").tiers.values():
+            if not any(s.available for s in tier.servers):
+                violations.append(now)
+    sim.add_monitor(5.0, check)
+    sim.run(400.0)
+    assert not violations
+
+
+def test_injector_link_failover():
+    topo = GlobalTopology(seed=1)
+    for n in ("DNA", "DEU"):
+        topo.add_datacenter(small_dc_spec(n))
+    primary = topo.connect("DNA", "DEU", LinkSpec(0.155, 10.0))
+    backup = topo.connect("DNA", "DEU", LinkSpec(0.045, 30.0), secondary=True)
+    sim = Simulator(dt=0.1)
+    inj = FailureInjector(
+        sim, topo,
+        FailurePolicy(server_mtbf_s=None, disk_mtbf_s=None,
+                      link_mtbf_s=30.0, link_mttr_s=10.0),
+        until=200.0, seed=7,
+    )
+    inj.start()
+    routes_seen = set()
+    sim.add_monitor(2.0, lambda now: routes_seen.add(
+        topo.route("DNA", "DEU")[0].name))
+    sim.run(200.0)
+    assert routes_seen == {primary.name, backup.name}
+
+
+def test_injector_disk_failures_degrade_raid():
+    sim = Simulator(dt=0.01)
+    raid = RAID("r", n_disks=4, array_controller_bps=1e9,
+                controller_bps=1e9, drive_bps=1e8, seed=1)
+    sim.add_agent(raid)
+    raid.disks[0].fail()
+    assert raid.disks[0].paused
+    # the array still completes striped work on remaining branches:
+    # the failed branch holds its stripe until repair
+    done = []
+    raid.submit(Job(4e8, on_complete=lambda j, t: done.append(t)), 0.0)
+    sim.run(1.0)
+    assert not done  # join blocked on the failed branch
+    raid.disks[0].repair(sim.now)
+    sim.run(5.0)
+    assert done  # completes after the repair
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        FailurePolicy(server_mtbf_s=-1.0)
+    with pytest.raises(ValueError):
+        FailurePolicy(link_mttr_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# availability metrics
+# ----------------------------------------------------------------------
+def test_availability_report_under_failures():
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim = Simulator(dt=0.01)
+    sim.add_holon(topo.datacenter("DNA"))
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA", local_fs=False),
+                           seed=2)
+    monitor = AvailabilityMonitor(runner, sla={"OP": 2.0})
+    op = Operation("OP", [MessageSpec(CLIENT, "app", r=R.of(cycles=3e9)),
+                          MessageSpec("app", CLIENT)])
+    client = Client("c", "DNA", seed=1)
+    sim.add_holon(client)
+
+    tier = topo.datacenter("DNA").tier("app")
+
+    def arrive(now):
+        runner.launch(op, client, now)
+        if now + 5.0 < 300.0:
+            sim.schedule(now + 5.0, arrive)
+
+    sim.schedule(0.0, arrive)
+    # take the whole tier down for a window mid-run
+    sim.schedule(100.0, lambda now: [s.fail() for s in tier.servers])
+    sim.schedule(150.0, lambda now: [s.repair(now) for s in tier.servers])
+    sim.run(320.0)
+
+    report = monitor.report()
+    assert report.failed_operations > 0
+    assert 0.0 < report.availability < 1.0
+    assert report.sla_attainment <= report.availability
+    assert report.per_operation["OP"]["failed"] == report.failed_operations
+
+
+def test_downtime_cost():
+    assert AvailabilityMonitor.downtime_cost(3600.0, 200000.0) == 200000.0
+    with pytest.raises(ValueError):
+        AvailabilityMonitor.downtime_cost(-1.0, 1.0)
+
+
+def test_report_requires_operations():
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA"), seed=2)
+    monitor = AvailabilityMonitor(runner)
+    with pytest.raises(ValueError):
+        monitor.report()

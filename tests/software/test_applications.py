@@ -1,0 +1,114 @@
+"""Tests for the CAD/VIS/PDM application models."""
+
+import pytest
+
+from repro.software.application import Application
+from repro.software.cad import (
+    BUDGETS,
+    SERIES_ORDER,
+    TABLE_5_1,
+    WAN_ROUND_TRIPS,
+    build_cad_operations,
+    cad_operation_shapes,
+)
+from repro.software.canonical import CanonicalCostModel
+from repro.software.client import Client
+from repro.software.pdm import PDM_TARGETS, build_pdm_operations, pdm_operation_shapes
+from repro.software.vis import VIS_TARGETS, build_vis_operations, vis_operation_shapes
+from repro.software.workload import OperationMix, WorkloadCurve
+from repro.validation.infrastructure import (
+    VALIDATION_MAPPING,
+    build_downscaled_infrastructure,
+)
+
+
+@pytest.fixture(scope="module")
+def infra():
+    return build_downscaled_infrastructure(seed=3)
+
+
+@pytest.fixture(scope="module")
+def model(infra):
+    return CanonicalCostModel(infra)
+
+
+@pytest.fixture(scope="module")
+def cal_client():
+    return Client("cal", "DNA", seed=0)
+
+
+def test_cad_has_eight_operations():
+    ops = cad_operation_shapes()
+    assert sorted(ops) == sorted(SERIES_ORDER)
+
+
+def test_cad_wan_round_trips_match_table_6_2():
+    """The S column of Table 6.2 is structural in the cascades."""
+    ops = cad_operation_shapes()
+    for name, op in ops.items():
+        assert op.wan_round_trips(["app", "db", "idx"]) == WAN_ROUND_TRIPS[name], name
+
+
+@pytest.mark.parametrize("series", ["light", "average", "heavy"])
+def test_cad_calibration_reproduces_table_5_1(infra, model, cal_client, series):
+    ops = build_cad_operations(model, VALIDATION_MAPPING, cal_client, series)
+    for name, target in TABLE_5_1[series].items():
+        t = model.canonical_time(ops[name], VALIDATION_MAPPING, cal_client)
+        assert t == pytest.approx(target, rel=1e-6), name
+
+
+def test_cad_file_volume_ordering(infra, model, cal_client):
+    """heavy OPEN moves more bytes than light OPEN."""
+    light = build_cad_operations(model, VALIDATION_MAPPING, cal_client, "light")
+    heavy = build_cad_operations(model, VALIDATION_MAPPING, cal_client, "heavy")
+    light_bits = sum(m.r.net_bits for m in light["OPEN"].messages)
+    heavy_bits = sum(m.r.net_bits for m in heavy["OPEN"].messages)
+    assert heavy_bits > 2 * light_bits
+
+
+def test_unknown_series_rejected():
+    with pytest.raises(ValueError):
+        cad_operation_shapes("extreme")
+
+
+def test_vis_targets_lighter_than_cad():
+    assert VIS_TARGETS["OPEN"] < TABLE_5_1["average"]["OPEN"] / 3
+
+
+def test_vis_calibration(infra, model, cal_client):
+    ops = build_vis_operations(model, VALIDATION_MAPPING, cal_client)
+    for name, target in VIS_TARGETS.items():
+        t = model.canonical_time(ops[name], VALIDATION_MAPPING, cal_client)
+        assert t == pytest.approx(target, rel=1e-6), name
+
+
+def test_pdm_only_touches_app_and_db(infra, model, cal_client):
+    """PDM operations represent database transactions (section 6.4.2)."""
+    for name, op in pdm_operation_shapes().items():
+        roles = {m.src for m in op.messages} | {m.dst for m in op.messages}
+        assert roles <= {"client", "app", "db"}, name
+
+
+def test_pdm_calibration(infra, model, cal_client):
+    ops = build_pdm_operations(model, VALIDATION_MAPPING, cal_client)
+    for name, target in PDM_TARGETS.items():
+        t = model.canonical_time(ops[name], VALIDATION_MAPPING, cal_client)
+        assert t == pytest.approx(target, rel=1e-6), name
+
+
+def test_application_validates_mix_coverage():
+    ops = pdm_operation_shapes()
+    with pytest.raises(ValueError):
+        Application("PDM", ops, OperationMix({"NOT-AN-OP": 1.0}))
+
+
+def test_application_global_peak():
+    ops = pdm_operation_shapes()
+    mix = OperationMix({name: 1.0 for name in ops})
+    app = Application("PDM", ops, mix, workloads={
+        "DNA": WorkloadCurve([10.0] * 24),
+        "DEU": WorkloadCurve([5.0] * 24),
+    })
+    assert app.global_peak_clients() == pytest.approx(15.0)
+    with pytest.raises(KeyError):
+        app.operation("MISSING")

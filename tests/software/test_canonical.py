@@ -1,0 +1,100 @@
+"""Unit and property tests for canonical costs and calibration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.software.canonical import CanonicalCostModel, calibrate_operation
+from repro.software.client import Client
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.resources import R
+
+
+def simple_op(cycles=3e9, net_kb=100.0, disk_kb=0.0):
+    return Operation("OP", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=cycles, net_kb=net_kb,
+                                          disk_kb=disk_kb)),
+        MessageSpec("app", CLIENT, r=R.of(net_kb=net_kb)),
+    ])
+
+
+def test_canonical_time_includes_cpu(single_dc_topology, na_client, local_mapping):
+    model = CanonicalCostModel(single_dc_topology)
+    # 3e9 cycles at 3 GHz = 1.0 s dominates
+    t = model.canonical_time(simple_op(net_kb=0.0), local_mapping, na_client)
+    assert t == pytest.approx(1.0, rel=0.05)
+
+
+def test_footprint_separates_resources(single_dc_topology, na_client, local_mapping):
+    model = CanonicalCostModel(single_dc_topology)
+    fp = model.operation_footprint(simple_op(disk_kb=1024.0), local_mapping,
+                                   na_client)
+    keys = set(fp.seconds)
+    assert ("DNA", "app", "cpu") in keys
+    assert ("DNA", "app", "nic") in keys
+    assert ("DNA", "app", "io") in keys  # the server-side disk write
+    assert fp.latency > 0.0  # access-link latency
+
+
+def test_wan_bits_recorded(two_dc_topology, local_mapping):
+    model = CanonicalCostModel(two_dc_topology)
+    eu_client = Client("c", "DEU")
+    fp = model.operation_footprint(simple_op(), local_mapping, eu_client)
+    assert fp.wan_bits  # the request crossed LDNA-DEU
+    assert ("link", "LDNA-DEU", "net") in fp.seconds
+
+
+def test_remote_client_pays_wan_latency(two_dc_topology, local_mapping):
+    model = CanonicalCostModel(two_dc_topology)
+    t_local = model.canonical_time(simple_op(), local_mapping, Client("a", "DNA"))
+    t_remote = model.canonical_time(simple_op(), local_mapping, Client("b", "DEU"))
+    # one round trip over a 50 ms link: +~0.1 s
+    assert t_remote - t_local == pytest.approx(0.1, abs=0.03)
+
+
+@given(target=st.floats(min_value=0.5, max_value=200.0))
+@settings(max_examples=25, deadline=None)
+def test_calibration_hits_target(target):
+    from tests.conftest import small_dc_spec
+    from repro.topology.network import GlobalTopology
+
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    model = CanonicalCostModel(topo)
+    client = Client("cal", "DNA")
+    mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+    calibrated = calibrate_operation(simple_op(), target, model, mapping, client)
+    assert model.canonical_time(calibrated, mapping, client) == pytest.approx(
+        target, rel=1e-6)
+
+
+def test_calibration_rejects_unreachable_target(two_dc_topology):
+    model = CanonicalCostModel(two_dc_topology)
+    client = Client("cal", "DEU")
+    mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+    # 50 ms each way > 1 ms target
+    with pytest.raises(ConfigurationError):
+        calibrate_operation(simple_op(), 0.001, model, mapping, client)
+
+
+def test_calibration_rejects_zero_demand(single_dc_topology, na_client, local_mapping):
+    model = CanonicalCostModel(single_dc_topology)
+    op = Operation("NOOP", [MessageSpec(CLIENT, "app")])
+    with pytest.raises(ConfigurationError):
+        calibrate_operation(op, 1.0, model, local_mapping, na_client)
+
+
+def test_local_message_has_no_network_cost(single_dc_topology, na_client):
+    """app -> app on the same server adds only destination work."""
+    model = CanonicalCostModel(single_dc_topology)
+    op = Operation("LOCAL", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=3e9)),
+        MessageSpec("app", "app", r=R.of(cycles=3e9, net_kb=1e6)),
+        MessageSpec("app", CLIENT, r=R.of(cycles=0.0)),
+    ])
+    mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+    fp = model.operation_footprint(op, mapping, na_client)
+    # the huge net_kb of the self-message must not appear anywhere
+    assert all(b < 1e9 for b in fp.wan_bits.values()) if fp.wan_bits else True
+    assert fp.seconds[("DNA", "app", "cpu")] == pytest.approx(2.0, rel=0.01)

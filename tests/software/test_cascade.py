@@ -1,0 +1,105 @@
+"""Integration tests for cascade execution on the DES."""
+
+import pytest
+
+from repro.core import Simulator
+from repro.software.cascade import CascadeRunner
+from repro.software.client import Client
+from repro.software.canonical import CanonicalCostModel
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.placement import SingleMasterPlacement
+from repro.software.resources import R
+
+
+def build(topology, sim):
+    for dc in topology.datacenters.values():
+        sim.add_holon(dc)
+    for link in list(topology.links.values()):
+        sim.add_agent(link)
+    return CascadeRunner(topology, SingleMasterPlacement("DNA", local_fs=False),
+                         seed=3)
+
+
+def two_leg_op():
+    return Operation("OP", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=3e9, net_kb=100.0)),
+        MessageSpec("app", CLIENT, r=R.of(net_kb=100.0)),
+    ])
+
+
+def test_operation_completion_recorded(single_dc_topology, sim):
+    runner = build(single_dc_topology, sim)
+    client = Client("c0", "DNA", seed=1)
+    sim.add_holon(client)
+    runner.launch(two_leg_op(), client, 0.0, application="TEST")
+    sim.run(30.0)
+    assert len(runner.records) == 1
+    rec = runner.records[0]
+    assert rec.operation == "OP"
+    assert rec.application == "TEST"
+    assert rec.response_time == pytest.approx(1.0, rel=0.15)
+
+
+def test_des_matches_canonical_model(single_dc_topology, sim):
+    """Single unloaded operation: DES response == canonical prediction."""
+    runner = build(single_dc_topology, sim)
+    model = CanonicalCostModel(single_dc_topology)
+    client = Client("c0", "DNA", seed=1)
+    sim.add_holon(client)
+    op = two_leg_op()
+    mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+    expected = model.canonical_time(op, mapping, client)
+    runner.launch(op, client, 0.0)
+    sim.run(30.0)
+    assert runner.records[0].response_time == pytest.approx(expected, rel=0.1)
+
+
+def test_cross_dc_operation_traverses_wan(two_dc_topology, sim):
+    runner = build(two_dc_topology, sim)
+    client = Client("c0", "DEU", seed=1)
+    sim.add_holon(client)
+    runner.launch(two_leg_op(), client, 0.0)
+    sim.run(60.0)
+    wan = two_dc_topology.link_between("DNA", "DEU")
+    assert wan.completed_count == 2  # request + response
+    assert runner.records[0].client_dc == "DEU"
+
+
+def test_session_affinity_within_operation(single_dc_topology, sim):
+    """All app-tier messages of one operation hit the same server."""
+    runner = build(single_dc_topology, sim)
+    client = Client("c0", "DNA", seed=1)
+    sim.add_holon(client)
+    op = Operation("OP", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=1e9)),
+        MessageSpec("app", CLIENT),
+        MessageSpec(CLIENT, "app", r=R.of(cycles=1e9)),
+        MessageSpec("app", CLIENT),
+    ])
+    runner.launch(op, client, 0.0)
+    sim.run(30.0)
+    tier = single_dc_topology.datacenter("DNA").tier("app")
+    busy = [sum(q.busy_time for q in s.cpu.socket_queues) for s in tier.servers]
+    assert sorted(busy) == pytest.approx([0.0, 2.0 / 3.0], abs=0.05)
+
+
+def test_observers_fire(single_dc_topology, sim):
+    runner = build(single_dc_topology, sim)
+    client = Client("c0", "DNA", seed=1)
+    sim.add_holon(client)
+    seen = []
+    runner.on_operation_complete(lambda rec: seen.append(rec.operation))
+    runner.launch(two_leg_op(), client, 0.0)
+    sim.run(30.0)
+    assert seen == ["OP"]
+
+
+def test_active_operations_counter(single_dc_topology, sim):
+    runner = build(single_dc_topology, sim)
+    client = Client("c0", "DNA", seed=1)
+    sim.add_holon(client)
+    runner.launch(two_leg_op(), client, 0.0)
+    assert runner.active_operations == 1
+    sim.run(30.0)
+    assert runner.active_operations == 0

@@ -1,0 +1,141 @@
+"""Fidelity test for the thesis's worked LOGIN example (Fig 3-3, eqs 3.1-3.5).
+
+Fig 3-3 decomposes a Login operation into exactly two messages between a
+client in Europe and an application server in North America, each with
+its published R array:
+
+* outbound ``m1``: Rt = 30 KB, Rm = 5120 KB, Rd = 3096 KB
+* inbound  ``m2``: Rt = 250 KB, Rm = 456 KB, Rp = 257 Kcycles, Rd = 60 KB
+
+Equations 3.1-3.5 then decompose the response time into per-holon,
+per-agent and per-hop terms.  This test builds that exact operation and
+verifies the canonical model's decomposition obeys the equations: the
+total equals the sum of the parts, and each part lands where the
+equations put it.
+"""
+
+import pytest
+
+from repro.software.canonical import CanonicalCostModel
+from repro.software.client import Client
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.resources import R
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import LinkSpec
+
+from tests.conftest import small_dc_spec
+
+
+@pytest.fixture
+def world():
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    topo.add_datacenter(small_dc_spec("DEU"))
+    topo.connect("DEU", "DNA", LinkSpec(0.155, 50.0))
+    return topo
+
+
+def fig_3_3_login() -> Operation:
+    return Operation("LOGIN", [
+        # m1: C(EU) -> Sapp(NA)
+        MessageSpec(CLIENT, "app",
+                    r=R.of(net_kb=30.0, mem_kb=5120.0, disk_kb=3096.0),
+                    label="m1"),
+        # m2: Sapp(NA) -> C(EU)
+        MessageSpec("app", CLIENT,
+                    r=R.of(net_kb=250.0, mem_kb=456.0, cycles=257e3,
+                           disk_kb=60.0),
+                    label="m2"),
+    ])
+
+
+def test_equation_3_1_total_is_sum_of_messages(world):
+    """T_login = At(C->Sapp) + At(Sapp->C): message times add."""
+    model = CanonicalCostModel(world)
+    client = Client("ceu", "DEU")
+    mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+    op = fig_3_3_login()
+    total = model.canonical_time(op, mapping, client)
+    m1 = Operation("M1", [op.messages[0]])
+    m2 = Operation("M2", [op.messages[1]])
+    t1 = model.canonical_time(m1, mapping, client)
+    t2 = model.canonical_time(m2, mapping, client)
+    assert total == pytest.approx(t1 + t2, rel=1e-9)
+
+
+def test_equation_3_2_decomposition_origin_transfer_destination(world):
+    """At(C->Sapp) = At_C + At_transfer + At_Sapp."""
+    model = CanonicalCostModel(world)
+    client = Client("ceu", "DEU")
+    mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+    fp = model.operation_footprint(
+        Operation("M1", [fig_3_3_login().messages[0]]), mapping, client)
+    keys = set(fp.seconds)
+    # origin holon contribution (eq 3.3): the client's NIC serializes Rt
+    assert ("DEU", "client", "nic") in keys
+    # transfer contribution (eq 3.5): WAN link + switches + local hops
+    assert ("link", "LDEU-DNA", "net") in keys
+    assert ("DEU", "switch", "net") in keys
+    assert ("DNA", "switch", "net") in keys
+    # destination holon contribution (eq 3.4): Sapp's NIC and disk array
+    assert ("DNA", "app", "nic") in keys
+    assert ("DNA", "app", "io") in keys  # Rd = 3096 KB hits the array
+
+
+def test_equation_3_4_agent_terms_scale_with_r(world):
+    """At_Sapp decomposes into nic(Rt) + cpu(Rm,Rp) + raid(Rd); doubling
+    a single R component doubles exactly its own term."""
+    model = CanonicalCostModel(world)
+    client = Client("ceu", "DEU")
+    mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+
+    def footprint(disk_kb):
+        op = Operation("M", [MessageSpec(
+            CLIENT, "app", r=R.of(net_kb=30.0, disk_kb=disk_kb))])
+        return model.operation_footprint(op, mapping, client)
+
+    io1 = footprint(3096.0).seconds[("DNA", "app", "io")]
+    io2 = footprint(6192.0).seconds[("DNA", "app", "io")]
+    assert io2 == pytest.approx(2 * io1, rel=1e-9)
+    # the NIC term is untouched by the disk change
+    nic1 = footprint(3096.0).seconds[("DNA", "app", "nic")]
+    nic2 = footprint(6192.0).seconds[("DNA", "app", "nic")]
+    assert nic1 == pytest.approx(nic2, rel=1e-9)
+
+
+def test_inbound_message_cpu_term(world):
+    """m2 carries Rp = 257 Kcycles consumed at the destination client."""
+    model = CanonicalCostModel(world)
+    client = Client("ceu", "DEU")
+    mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+    fp = model.operation_footprint(
+        Operation("M2", [fig_3_3_login().messages[1]]), mapping, client)
+    cpu = fp.seconds[("DEU", "client", "cpu")]
+    assert cpu == pytest.approx(257e3 / client.cpu.frequency_hz, rel=1e-9)
+
+
+def test_des_agrees_with_the_decomposition(world):
+    """The DES executes Fig 3-3 in the canonical model's predicted time."""
+    from repro.core import Simulator
+    from repro.software.cascade import CascadeRunner
+    from repro.software.placement import SingleMasterPlacement
+
+    model = CanonicalCostModel(world)
+    mapping = {"app": "DNA", "db": "DNA", "fs": "DNA", "idx": "DNA"}
+    client = Client("ceu", "DEU", seed=3)
+    expected = model.canonical_time(fig_3_3_login(), mapping, client)
+
+    # fine tick: each of the ~9 hops resolves at dt granularity, so the
+    # tick must be well below the 10% tolerance over the whole cascade
+    sim = Simulator(dt=0.001)
+    for dc in world.datacenters.values():
+        sim.add_holon(dc)
+    for link in world.links.values():
+        sim.add_agent(link)
+    sim.add_holon(client)
+    runner = CascadeRunner(world, SingleMasterPlacement("DNA", local_fs=False),
+                           seed=5)
+    runner.launch(fig_3_3_login(), client, 0.0)
+    sim.run(10.0)
+    assert runner.records[0].response_time == pytest.approx(expected, rel=0.1)

@@ -1,0 +1,62 @@
+"""Tests for the time-varying operation mix (Fig 3-10 right)."""
+
+import random
+
+import pytest
+
+from repro.software.workload import HOUR, HourlyMix, OperationMix
+
+
+def morning_evening():
+    return HourlyMix({
+        8.0: OperationMix({"LOGIN": 0.6, "SEARCH": 0.4}),
+        17.0: OperationMix({"SAVE": 0.7, "OPEN": 0.3}),
+    })
+
+
+def test_mix_switches_at_anchor_hours():
+    mix = morning_evening()
+    assert mix.fraction("LOGIN", 9 * HOUR) == pytest.approx(0.6)
+    assert mix.fraction("LOGIN", 18 * HOUR) == 0.0
+    assert mix.fraction("SAVE", 18 * HOUR) == pytest.approx(0.7)
+
+
+def test_wraps_before_first_anchor():
+    mix = morning_evening()
+    # 03:00 precedes the 08:00 anchor -> the previous evening's mix rules
+    assert mix.fraction("SAVE", 3 * HOUR) == pytest.approx(0.7)
+
+
+def test_draws_follow_the_active_mix():
+    mix = morning_evening()
+    rng = random.Random(5)
+    morning_draws = {mix.draw(rng, 10 * HOUR) for _ in range(200)}
+    assert morning_draws == {"LOGIN", "SEARCH"}
+    evening_draws = {mix.draw(rng, 20 * HOUR) for _ in range(200)}
+    assert evening_draws == {"SAVE", "OPEN"}
+
+
+def test_time_average_fraction():
+    mix = morning_evening()
+    # LOGIN active 08:00-16:59 at 0.6 -> 9/24 of the day
+    assert mix.fraction("LOGIN") == pytest.approx(0.6 * 9 / 24, abs=0.01)
+
+
+def test_weights_view_covers_all_operations():
+    mix = morning_evening()
+    assert set(mix.weights) == {"LOGIN", "SEARCH", "SAVE", "OPEN"}
+    assert mix.time_varying
+    assert not OperationMix({"A": 1.0}).time_varying
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HourlyMix({})
+    with pytest.raises(ValueError):
+        HourlyMix({25.0: OperationMix({"A": 1.0})})
+
+
+def test_static_mix_ignores_time():
+    mix = OperationMix({"A": 1.0})
+    assert mix.fraction("A", 12 * HOUR) == 1.0
+    assert mix.draw(random.Random(1), 12 * HOUR) == "A"

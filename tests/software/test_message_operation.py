@@ -1,0 +1,60 @@
+"""Unit tests for message specs, operations and cascade structure."""
+
+import pytest
+
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation, round_trip
+from repro.software.resources import R
+
+
+def test_message_validates_roles():
+    MessageSpec(CLIENT, "app")  # ok
+    with pytest.raises(ValueError):
+        MessageSpec("browser", "app")
+    with pytest.raises(ValueError):
+        MessageSpec(CLIENT, "cache")
+
+
+def test_notation():
+    assert MessageSpec(CLIENT, "app").notation() == "m_{client->app}"
+
+
+def test_round_trip_builder():
+    msgs = round_trip("app", R(cycles=1.0), R(cycles=2.0), label="x")
+    assert len(msgs) == 2
+    assert (msgs[0].src, msgs[0].dst) == (CLIENT, "app")
+    assert (msgs[1].src, msgs[1].dst) == ("app", CLIENT)
+
+
+def test_operation_requires_messages():
+    with pytest.raises(ValueError):
+        Operation("EMPTY", [])
+
+
+def test_segments_split_at_initiator():
+    msgs = (round_trip("app", R(), R(), label="a")
+            + round_trip("fs", R(), R(), label="b"))
+    op = Operation("OP", msgs)
+    segs = op.segments()
+    assert len(segs) == 2
+    assert all(seg[-1].dst == CLIENT for seg in segs)
+
+
+def test_wan_round_trips_counts_remote_touching_segments():
+    msgs = (round_trip("app", R(), R(), label="a")  # touches app
+            + round_trip("fs", R(), R(), label="b"))  # local fs only
+    op = Operation("OP", msgs)
+    assert op.wan_round_trips(["app", "db", "idx"]) == 1
+    assert op.wan_round_trips(["fs"]) == 1
+    assert op.wan_round_trips(["app", "fs"]) == 2
+
+
+def test_scaled_preserves_structure():
+    op = Operation("OP", round_trip("app", R(cycles=10.0, net_bits=8.0),
+                                    R(cycles=4.0)))
+    scaled = op.scaled(cycles_factor=2.0, bytes_factor=0.5)
+    assert scaled.n_messages == op.n_messages
+    assert scaled.messages[0].r.cycles == pytest.approx(20.0)
+    assert scaled.messages[0].r.net_bits == pytest.approx(4.0)
+    # the original is untouched
+    assert op.messages[0].r.cycles == 10.0

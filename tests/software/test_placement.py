@@ -1,0 +1,66 @@
+"""Unit tests for placement policies."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.background.ownership import TABLE_7_2
+from repro.software.placement import MultiMasterPlacement, SingleMasterPlacement
+
+
+def test_single_master_local_fs():
+    p = SingleMasterPlacement("DNA", local_fs=True)
+    mapping = p.resolve("DEU")
+    assert mapping["app"] == "DNA"
+    assert mapping["db"] == "DNA"
+    assert mapping["idx"] == "DNA"
+    assert mapping["fs"] == "DEU"
+
+
+def test_single_master_central_fs():
+    p = SingleMasterPlacement("DNA", local_fs=False)
+    assert p.resolve("DEU")["fs"] == "DNA"
+
+
+def test_single_master_weights_degenerate():
+    p = SingleMasterPlacement("DNA")
+    weights = p.weights("DEU")
+    assert len(weights) == 1
+    assert weights[0][0] == pytest.approx(1.0)
+
+
+def test_multimaster_draws_follow_apm():
+    p = MultiMasterPlacement(TABLE_7_2)
+    rng = random.Random(9)
+    draws = Counter(p.draw_owner("DEU", rng) for _ in range(20000))
+    assert draws["DEU"] / 20000 == pytest.approx(0.8365, abs=0.02)
+    assert draws["DNA"] / 20000 == pytest.approx(0.1271, abs=0.02)
+
+
+def test_multimaster_fs_stays_local():
+    p = MultiMasterPlacement(TABLE_7_2)
+    mapping = p.resolve("DAUS", random.Random(1))
+    assert mapping["fs"] == "DAUS"
+    assert mapping["app"] in TABLE_7_2
+
+
+def test_multimaster_weights_sum_to_one():
+    p = MultiMasterPlacement(TABLE_7_2)
+    for dc in TABLE_7_2:
+        weights = p.weights(dc)
+        assert sum(w for w, _ in weights) == pytest.approx(1.0)
+        for w, mapping in weights:
+            assert mapping["fs"] == dc
+            assert mapping["app"] == mapping["db"] == mapping["idx"]
+
+
+def test_unknown_accessor_rejected():
+    p = MultiMasterPlacement(TABLE_7_2)
+    with pytest.raises(KeyError):
+        p.draw_owner("DMOON", random.Random(1))
+
+
+def test_empty_row_rejected():
+    with pytest.raises(ValueError):
+        MultiMasterPlacement({"DNA": {"DNA": 0.0}})

@@ -1,0 +1,53 @@
+"""Unit and property tests for the R parameter array."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.software.resources import KB, R, ZERO_R
+
+nonneg = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+
+
+def test_of_converts_kb_units():
+    r = R.of(cycles=100.0, net_kb=1.0, mem_kb=2.0, disk_kb=4.0)
+    assert r.cycles == 100.0
+    assert r.net_bits == pytest.approx(8192.0)
+    assert r.mem_bytes == pytest.approx(2048.0)
+    assert r.disk_bytes == pytest.approx(4096.0)
+
+
+def test_negative_component_rejected():
+    with pytest.raises(ValueError):
+        R(cycles=-1.0)
+
+
+def test_zero_r_is_zero():
+    assert ZERO_R.is_zero
+    assert not R(cycles=1.0).is_zero
+
+
+@given(c=nonneg, n=nonneg, m=nonneg, d=nonneg,
+       a=st.floats(min_value=0.0, max_value=100.0),
+       b=st.floats(min_value=0.0, max_value=100.0))
+def test_scaled_separates_cycles_and_bytes(c, n, m, d, a, b):
+    r = R(c, n, m, d).scaled(cycles_factor=a, bytes_factor=b)
+    assert r.cycles == pytest.approx(c * a)
+    assert r.net_bits == pytest.approx(n * b)
+    assert r.mem_bytes == pytest.approx(m * b)
+    assert r.disk_bytes == pytest.approx(d * b)
+
+
+@given(c1=nonneg, c2=nonneg)
+def test_addition_commutes(c1, c2):
+    a, b = R(cycles=c1, net_bits=1.0), R(cycles=c2, disk_bytes=2.0)
+    assert a + b == b + a
+
+
+def test_addition_componentwise():
+    total = R(1, 2, 3, 4) + R(10, 20, 30, 40)
+    assert total == R(11, 22, 33, 44)
+
+
+def test_frozen():
+    with pytest.raises(AttributeError):
+        R(1.0).cycles = 2.0

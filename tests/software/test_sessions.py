@@ -1,0 +1,119 @@
+"""Tests for closed-loop session clients (thesis section 9.2.1)."""
+
+import pytest
+
+from repro.core import Simulator
+from repro.software.cascade import CascadeRunner
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.placement import SingleMasterPlacement
+from repro.software.resources import R
+from repro.software.sessions import ClosedLoopWorkload
+from repro.software.workload import OperationMix, WorkloadCurve
+
+from tests.conftest import small_dc_spec
+from repro.topology.network import GlobalTopology
+
+
+def make_world():
+    topo = GlobalTopology(seed=2)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim = Simulator(dt=0.01)
+    sim.add_holon(topo.datacenter("DNA"))
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA", local_fs=False),
+                           seed=5)
+    return topo, sim, runner
+
+
+def ops():
+    login = Operation("LOGIN", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=3e8, net_kb=8)),
+        MessageSpec("app", CLIENT),
+    ])
+    browse = Operation("BROWSE", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=6e8, net_kb=8)),
+        MessageSpec("app", CLIENT),
+    ])
+    return {"LOGIN": login, "BROWSE": browse}
+
+
+def test_sessions_run_login_first():
+    topo, sim, runner = make_world()
+    wl = ClosedLoopWorkload(
+        sim, runner, "DNA", WorkloadCurve([60.0] * 24),
+        OperationMix({"BROWSE": 1.0}), ops(),
+        think_time_s=2.0, ops_per_session=4.0, seed=7,
+    )
+    wl.start(until=200.0)
+    sim.run(400.0)
+    assert wl.stats.sessions_started > 0
+    # the first record of every session is a LOGIN
+    by_time = sorted(runner.records, key=lambda r: r.start)
+    assert by_time[0].operation == "LOGIN"
+    logins = sum(r.operation == "LOGIN" for r in runner.records)
+    assert logins == wl.stats.sessions_started
+
+
+def test_sessions_complete_and_account_time():
+    topo, sim, runner = make_world()
+    wl = ClosedLoopWorkload(
+        sim, runner, "DNA", WorkloadCurve([120.0] * 24),
+        OperationMix({"BROWSE": 1.0}), ops(),
+        think_time_s=1.0, ops_per_session=3.0, seed=9,
+    )
+    wl.start(until=100.0)
+    sim.run(600.0)
+    stats = wl.stats
+    assert stats.sessions_completed > 0
+    assert stats.operations_completed >= stats.sessions_completed
+    assert stats.mean_session_length > 0.0
+    assert wl.active_sessions == 0  # everything drained
+
+
+def test_zero_think_time_allowed():
+    topo, sim, runner = make_world()
+    wl = ClosedLoopWorkload(
+        sim, runner, "DNA", WorkloadCurve([60.0] * 24),
+        OperationMix({"BROWSE": 1.0}), ops(),
+        think_time_s=0.0, ops_per_session=2.0, seed=3,
+    )
+    wl.start(until=60.0)
+    sim.run(300.0)
+    assert wl.stats.total_think_seconds == 0.0
+    assert wl.stats.sessions_completed > 0
+
+
+def test_closed_loop_self_regulates():
+    """Under contention, sessions stretch instead of piling up without
+    bound — operations per wall-second saturate at the bottleneck."""
+    def throughput(arrivals_per_hour):
+        topo, sim, runner = make_world()
+        wl = ClosedLoopWorkload(
+            sim, runner, "DNA", WorkloadCurve([arrivals_per_hour] * 24),
+            OperationMix({"BROWSE": 1.0}), ops(),
+            think_time_s=0.5, ops_per_session=6.0, seed=11,
+        )
+        wl.start(until=200.0)
+        sim.run(400.0)
+        return wl.stats.operations_completed / 400.0
+
+    lo = throughput(200.0)
+    hi = throughput(5000.0)
+    # the app tier has 4 cores at 3 GHz; 6e8-cycle ops cap throughput
+    assert hi > lo
+    assert hi <= 4 * 3e9 / 6e8 * 1.2  # bounded by capacity (+ margin)
+
+
+def test_validation():
+    topo, sim, runner = make_world()
+    with pytest.raises(ValueError):
+        ClosedLoopWorkload(sim, runner, "DNA", WorkloadCurve([1.0] * 24),
+                           OperationMix({"MISSING": 1.0}), ops())
+    with pytest.raises(ValueError):
+        ClosedLoopWorkload(sim, runner, "DNA", WorkloadCurve([1.0] * 24),
+                           OperationMix({"BROWSE": 1.0}), ops(),
+                           think_time_s=-1.0)
+    with pytest.raises(ValueError):
+        ClosedLoopWorkload(sim, runner, "DNA", WorkloadCurve([1.0] * 24),
+                           OperationMix({"BROWSE": 1.0}), ops(),
+                           ops_per_session=0.5)

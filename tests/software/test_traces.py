@@ -1,0 +1,101 @@
+"""Tests for trace-driven workload replay."""
+
+import pytest
+
+from repro.core import Simulator
+from repro.software.cascade import CascadeRunner
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.placement import SingleMasterPlacement
+from repro.software.resources import R
+from repro.software.traces import OperationTrace, TraceEvent
+from repro.software.workload import HOUR
+
+from repro.topology.network import GlobalTopology
+from tests.conftest import small_dc_spec
+
+
+def tiny_ops():
+    return {
+        "PING": Operation("PING", [
+            MessageSpec(CLIENT, "app", r=R.of(cycles=3e8, net_kb=4)),
+            MessageSpec("app", CLIENT),
+        ]),
+        "PONG": Operation("PONG", [
+            MessageSpec(CLIENT, "app", r=R.of(cycles=6e8, net_kb=4)),
+            MessageSpec("app", CLIENT),
+        ]),
+    }
+
+
+def test_events_sorted_and_validated():
+    trace = OperationTrace([(5.0, "B", "DNA"), (1.0, "A", "DNA")])
+    assert [e.operation for e in trace.events] == ["A", "B"]
+    assert trace.duration == 5.0
+    with pytest.raises(ValueError):
+        OperationTrace([])
+    with pytest.raises(ValueError):
+        TraceEvent(-1.0, "A", "DNA")
+
+
+def test_csv_roundtrip(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("time,operation,dc\n0.5,PING,DNA\n\n2.0,PONG,DEU\n")
+    trace = OperationTrace.from_csv(path)
+    assert len(trace) == 2
+    assert trace.datacenters() == ["DEU", "DNA"]
+
+
+def test_empirical_mix_and_rates():
+    trace = OperationTrace(
+        [(float(i), "PING", "DNA") for i in range(30)]
+        + [(float(i), "PONG", "DNA") for i in range(10)]
+        + [(2 * HOUR + 1.0, "PING", "DEU")]
+    )
+    mix = trace.operation_mix()
+    assert mix.fraction("PING") == pytest.approx(31 / 41)
+    rates = trace.hourly_rates("DNA")
+    assert rates[0] == 40.0
+    assert sum(rates) == 40.0
+    assert trace.hourly_rates("DEU")[2] == 1.0
+
+
+def test_workload_curve_derivation():
+    trace = OperationTrace([(float(i), "PING", "DNA") for i in range(60)])
+    curve = trace.workload_curve("DNA", ops_per_client_hour=6.0)
+    assert curve.hourly[0] == pytest.approx(10.0)  # 60 ops / 6 per client
+    with pytest.raises(ValueError):
+        trace.workload_curve("DNA", 0.0)
+
+
+def test_replay_executes_every_event():
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim = Simulator(dt=0.01)
+    sim.add_holon(topo.datacenter("DNA"))
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA", local_fs=False),
+                           seed=3)
+    trace = OperationTrace(
+        [(i * 2.0, "PING" if i % 2 else "PONG", "DNA") for i in range(10)]
+    )
+    replay = trace.replay(sim, runner, tiny_ops(), seed=5)
+    sim.run(60.0)
+    assert replay.scheduled == 10
+    assert replay.completed == 10
+    # percentiles reflect the two service classes
+    assert replay.response_percentile("PONG", 0.5) > \
+        replay.response_percentile("PING", 0.5)
+    with pytest.raises(ValueError):
+        replay.response_percentile("PING", 1.5)
+    with pytest.raises(ValueError):
+        replay.response_percentile("MISSING", 0.5)
+
+
+def test_replay_rejects_unknown_operations():
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim = Simulator(dt=0.01)
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA"), seed=3)
+    trace = OperationTrace([(0.0, "NOPE", "DNA")])
+    with pytest.raises(KeyError):
+        trace.replay(sim, runner, tiny_ops())

@@ -1,0 +1,169 @@
+"""Unit and property tests for workload curves, mixes and launchers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Simulator
+from repro.software.cascade import CascadeRunner
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.placement import SingleMasterPlacement
+from repro.software.resources import R
+from repro.software.workload import (
+    HOUR,
+    OperationMix,
+    OpenLoopWorkload,
+    SeriesLauncher,
+    SeriesSpec,
+    WorkloadCurve,
+)
+
+
+# ----------------------------------------------------------------------
+# WorkloadCurve
+# ----------------------------------------------------------------------
+def test_curve_interpolates_between_hours():
+    curve = WorkloadCurve([0.0] * 23 + [100.0])
+    # halfway between hour 22 (0) and 23 (100)
+    assert curve.at(22.5 * HOUR) == pytest.approx(50.0)
+
+
+def test_curve_wraps_at_midnight():
+    curve = WorkloadCurve([100.0] + [0.0] * 23)
+    assert curve.at(23.5 * HOUR) == pytest.approx(50.0)
+    assert curve.at(24.0 * HOUR) == pytest.approx(100.0)  # next day
+
+
+def test_curve_validation():
+    with pytest.raises(ValueError):
+        WorkloadCurve([1.0] * 23)
+    with pytest.raises(ValueError):
+        WorkloadCurve([-1.0] + [0.0] * 23)
+
+
+def test_business_hours_shape():
+    curve = WorkloadCurve.business_hours(peak=100.0, start_hour=9.0,
+                                         end_hour=17.0, ramp_hours=2.0)
+    assert curve.at(12.0 * HOUR) == pytest.approx(100.0)
+    assert curve.at(3.0 * HOUR) == 0.0
+    assert 0.0 < curve.at(10.0 * HOUR) < 100.0  # ramping
+
+
+def test_business_hours_wraps_for_australia():
+    curve = WorkloadCurve.business_hours(peak=50.0, start_hour=22.0,
+                                         end_hour=7.0, ramp_hours=2.0)
+    assert curve.at(2.0 * HOUR) == pytest.approx(50.0)
+    assert curve.at(12.0 * HOUR) == 0.0
+
+
+@given(peak=st.floats(min_value=1.0, max_value=1e4),
+       start=st.floats(min_value=0.0, max_value=23.0))
+@settings(max_examples=30)
+def test_business_hours_never_exceeds_peak(peak, start):
+    curve = WorkloadCurve.business_hours(peak, start, (start + 9) % 24)
+    assert all(0.0 <= v <= peak + 1e-9 for v in curve.hourly)
+
+
+def test_peak_lookup():
+    curve = WorkloadCurve([0] * 12 + [42] + [0] * 11)
+    assert curve.peak() == (12, 42.0)
+
+
+def test_scaled_curve():
+    curve = WorkloadCurve([10.0] * 24).scaled(0.5)
+    assert curve.hourly == [5.0] * 24
+
+
+# ----------------------------------------------------------------------
+# OperationMix
+# ----------------------------------------------------------------------
+def test_mix_normalizes():
+    mix = OperationMix({"A": 2.0, "B": 2.0})
+    assert mix.fraction("A") == pytest.approx(0.5)
+    assert mix.fraction("C") == 0.0
+
+
+def test_mix_draw_distribution():
+    mix = OperationMix({"A": 0.8, "B": 0.2})
+    rng = random.Random(5)
+    draws = sum(mix.draw(rng) == "A" for _ in range(10000))
+    assert draws / 10000 == pytest.approx(0.8, abs=0.02)
+
+
+def test_mix_validation():
+    with pytest.raises(ValueError):
+        OperationMix({})
+    with pytest.raises(ValueError):
+        OperationMix({"A": 0.0})
+
+
+# ----------------------------------------------------------------------
+# launchers
+# ----------------------------------------------------------------------
+def _tiny_op():
+    return Operation("T", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=3e8)),
+        MessageSpec("app", CLIENT),
+    ])
+
+
+def _setup(topology, sim):
+    for dc in topology.datacenters.values():
+        sim.add_holon(dc)
+    return CascadeRunner(topology, SingleMasterPlacement("DNA", local_fs=False),
+                         seed=1)
+
+
+def test_series_launcher_counts_series(single_dc_topology, sim):
+    runner = _setup(single_dc_topology, sim)
+    launcher = SeriesLauncher(sim, runner, "DNA", seed=2)
+    spec = SeriesSpec("s", [_tiny_op(), _tiny_op()])
+    launcher.schedule_series(spec, interval=5.0, until=20.0)
+    sim.run(60.0)
+    assert launcher.completed_series == 4
+    assert launcher.active_series == 0
+    # two operations per series
+    assert len(runner.records) == 8
+
+
+def test_series_operations_are_sequential(single_dc_topology, sim):
+    runner = _setup(single_dc_topology, sim)
+    launcher = SeriesLauncher(sim, runner, "DNA", seed=2)
+    launcher.schedule_series(SeriesSpec("s", [_tiny_op(), _tiny_op()]),
+                             interval=100.0, until=1.0)
+    sim.run(30.0)
+    first, second = runner.records
+    assert second.start >= first.end - 1e-6
+
+
+def test_series_interval_validation(single_dc_topology, sim):
+    runner = _setup(single_dc_topology, sim)
+    launcher = SeriesLauncher(sim, runner, "DNA")
+    with pytest.raises(ValueError):
+        launcher.schedule_series(SeriesSpec("s", [_tiny_op()]), 0.0, 10.0)
+
+
+def test_open_loop_rate_tracks_curve(single_dc_topology, sim):
+    runner = _setup(single_dc_topology, sim)
+    curve = WorkloadCurve([3600.0] * 24)  # constant population
+    wl = OpenLoopWorkload(
+        sim, runner, "DNA", curve, OperationMix({"T": 1.0}),
+        {"T": _tiny_op()}, ops_per_client_hour=1.0, seed=4,
+    )
+    assert wl.rate_at(0.0) == pytest.approx(1.0)  # 3600 clients * 1/h
+    wl.start(until=60.0)
+    sim.run(120.0)
+    # ~60 ops expected in 60 s
+    assert 35 <= wl.launched <= 95
+
+
+def test_open_loop_validates_mix(single_dc_topology, sim):
+    runner = _setup(single_dc_topology, sim)
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(sim, runner, "DNA", WorkloadCurve([1.0] * 24),
+                         OperationMix({"MISSING": 1.0}), {}, scale=1.0)
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(sim, runner, "DNA", WorkloadCurve([1.0] * 24),
+                         OperationMix({"T": 1.0}), {"T": _tiny_op()}, scale=0.0)

@@ -1,0 +1,76 @@
+"""Tests for the internet-attack protection study (Fig 1-1, app 7)."""
+
+import pytest
+
+from repro.studies.attack import FloodOutcome, FloodScenario, TokenBucket
+
+
+# ----------------------------------------------------------------------
+# token bucket
+# ----------------------------------------------------------------------
+def test_bucket_admits_within_rate():
+    b = TokenBucket(rate=10.0, burst=5.0)
+    # 5 tokens available immediately
+    assert all(b.admit(0.0) for _ in range(5))
+    assert not b.admit(0.0)  # exhausted
+    assert b.admit(1.0)  # refilled 10 tokens (capped at 5)
+    assert b.dropped == 1
+
+
+def test_bucket_burst_cap():
+    b = TokenBucket(rate=100.0, burst=2.0)
+    b.admit(0.0)
+    # a long quiet period cannot accumulate more than burst
+    admitted = sum(b.admit(100.0) for _ in range(10))
+    assert admitted == 2
+
+
+def test_bucket_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.0)
+
+
+# ----------------------------------------------------------------------
+# flood scenario (shortened for tests)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def outcomes():
+    scenario = FloodScenario(
+        legit_rate=2.0, flood_rate=40.0,
+        flood_window=(60.0, 150.0), horizon=220.0,
+        admission_rate=6.0, seed=5,
+    )
+    return scenario.evaluate()
+
+
+def test_flood_degrades_unprotected_service(outcomes):
+    un = outcomes["unmitigated"]
+    assert un.degradation > 1.0  # >100 % response-time inflation
+    assert un.peak_app_utilization > 0.9  # tier saturates
+    assert un.flood_dropped == 0
+
+
+def test_admission_control_restores_service(outcomes):
+    mit = outcomes["mitigated"]
+    assert abs(mit.degradation) < 0.5  # near-baseline during the attack
+    assert mit.flood_dropped > 0.5 * mit.flood_requests
+    assert mit.peak_app_utilization < 0.9
+
+
+def test_mitigated_beats_unmitigated(outcomes):
+    assert (outcomes["mitigated"].legit_during
+            < outcomes["unmitigated"].legit_during)
+
+
+def test_baselines_match_across_branches(outcomes):
+    """Before the flood the two branches are statistically identical."""
+    assert outcomes["mitigated"].legit_before == pytest.approx(
+        outcomes["unmitigated"].legit_before, rel=0.05)
+
+
+def test_service_recovers_after_attack(outcomes):
+    un = outcomes["unmitigated"]
+    # the backlog drains: post-attack response is below the attack peak
+    assert un.legit_after < un.legit_during * 1.1

@@ -1,0 +1,59 @@
+"""Tests for the executable section 6.3.3 requirements."""
+
+import pytest
+
+from repro.studies.consolidation import ConsolidationStudy
+from repro.studies.multimaster import MultiMasterStudy
+from repro.studies.requirements import (
+    PlatformRequirements,
+    RequirementReport,
+    verify_consolidation,
+)
+
+
+@pytest.fixture(scope="module")
+def ch6():
+    return ConsolidationStudy()
+
+
+def test_default_bounds_validate():
+    PlatformRequirements()  # must construct
+    with pytest.raises(ValueError):
+        PlatformRequirements(max_tier_utilization=0.0)
+    with pytest.raises(ValueError):
+        PlatformRequirements(max_link_utilization=1.5)
+    with pytest.raises(ValueError):
+        PlatformRequirements(max_staleness_s=0.0)
+
+
+def test_consolidated_platform_meets_requirements(ch6):
+    """The thesis's verdict: the consolidated design passes (section 6.6)."""
+    report = verify_consolidation(ch6)
+    assert isinstance(report, RequirementReport)
+    assert len(report.checks) == 4
+    assert report.passed, report.rows()
+
+
+def test_tight_bounds_fail(ch6):
+    strict = PlatformRequirements(max_tier_utilization=0.10,
+                                  max_staleness_s=60.0)
+    report = verify_consolidation(ch6, strict)
+    assert not report.passed
+    failing = {c.name for c in report.checks if not c.passed}
+    assert "peak tier utilization" in failing
+    assert "max stale window (R_SR^max)" in failing
+
+
+def test_rows_render(ch6):
+    rows = verify_consolidation(ch6).rows()
+    assert all(len(r) == 4 for r in rows)
+    assert all(r[3] in ("PASS", "FAIL") for r in rows)
+
+
+def test_multimaster_also_verifiable():
+    report = verify_consolidation(MultiMasterStudy())
+    assert len(report.checks) == 4
+    # chapter 7 improves both windows; the checks must pass
+    windows = {c.name: c for c in report.checks}
+    assert windows["max stale window (R_SR^max)"].passed
+    assert windows["max unsearchable window (R_IB^max)"].passed

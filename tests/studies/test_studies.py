@@ -1,0 +1,169 @@
+"""Tests for the chapter 6/7 case studies (fluid outputs)."""
+
+import pytest
+
+from repro.studies.consolidation import (
+    MASTER,
+    SLAVES,
+    ConsolidationStudy,
+    consolidated_topology,
+)
+from repro.studies.multimaster import MASTERS, MultiMasterStudy, multimaster_topology
+from repro.studies.workloads import CAD_MIX, PDM_MIX, VIS_MIX, cad_workloads
+
+
+@pytest.fixture(scope="module")
+def ch6():
+    return ConsolidationStudy()
+
+
+@pytest.fixture(scope="module")
+def ch7():
+    return MultiMasterStudy()
+
+
+# ----------------------------------------------------------------------
+# topology & inputs
+# ----------------------------------------------------------------------
+def test_consolidated_topology_layout():
+    topo = consolidated_topology()
+    assert set(topo.datacenters) == {MASTER, "AS1", *SLAVES}
+    master = topo.datacenter(MASTER)
+    assert set(master.tiers) == {"app", "db", "idx", "fs"}
+    for slave in SLAVES:
+        assert set(topo.datacenter(slave).tiers) == {"fs"}
+    # asia routes through the transit hub
+    assert len(topo.route(MASTER, "DAUS")) == 2
+
+
+def test_multimaster_topology_upgrades_slaves():
+    topo = multimaster_topology()
+    for dc in MASTERS:
+        assert set(topo.datacenter(dc).tiers) == {"app", "db", "idx", "fs"}
+    # DNA scaled down: 4 app servers vs 8 in the consolidated design
+    assert topo.datacenter("DNA").tier("app").n_servers == 4
+    assert consolidated_topology().datacenter("DNA").tier("app").n_servers == 8
+
+
+def test_workload_peaks_match_fig_6_5():
+    curves = cad_workloads()
+    total = [sum(c.hourly[h] for c in curves.values()) for h in range(24)]
+    assert 1600.0 < max(total) < 2300.0  # Fig 6-5: peak just above 2000
+    assert max(range(24), key=lambda h: total[h]) in (13, 14, 15, 16)
+
+
+def test_mixes_are_normalized():
+    for mix in (CAD_MIX, VIS_MIX, PDM_MIX):
+        assert sum(mix.weights.values()) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# chapter 6 outputs
+# ----------------------------------------------------------------------
+def test_fig_6_12_dna_cpu_shape(ch6):
+    curves = ch6.dna_cpu_curves()
+    peaks = {t: max(c) for t, c in curves.items()}
+    # Tapp ~73 % and the clear maximum; others around 30 %
+    assert 0.60 < peaks["app"] < 0.85
+    for tier in ("db", "idx", "fs"):
+        assert 0.18 < peaks[tier] < 0.45
+        assert peaks[tier] < peaks["app"]
+    # peak lands at the 14:00-16:00 GMT overlap
+    assert max(range(24), key=lambda h: curves["app"][h]) in (14, 15, 16)
+
+
+def test_fig_6_13_daus_fs_low(ch6):
+    assert max(ch6.daus_fs_curve()) < 0.12  # paper ~3.5 %
+
+
+def test_table_6_1_links_in_band(ch6):
+    table = ch6.link_utilization_table()
+    assert table["LEU->AFR"] == 0.0  # redundant links idle
+    assert table["LEU->AS1"] == 0.0
+    active = {k: v for k, v in table.items() if v > 0}
+    assert len(active) == 6
+    for name, util in active.items():
+        assert 0.30 < util < 0.75, name
+
+
+def test_fig_6_14_background_times(ch6):
+    day = ch6.background_day()
+    # R_SR^max ~ 31 min, R_IB^max ~ 63 min in the paper
+    assert 20.0 < day.max_staleness() / 60.0 < 45.0
+    assert 40.0 < day.max_unsearchable() / 60.0 < 100.0
+    # IB peak lags the SR peak (cumulative effect, section 6.5.3)
+    sr_peak = max(day.sr_runs, key=lambda r: r.duration).start
+    ib_peak = max(day.ib_runs, key=lambda r: r.duration).start
+    assert ib_peak > sr_peak
+
+
+def test_fig_6_11_pull_push_curves(ch6):
+    curves = ch6.pull_push_curves()
+    assert set(curves) == {f"{dc} ({p})" for dc in SLAVES
+                           for p in ("Pull", "Push")}
+    # pushes dominate pulls (every DC receives everyone else's data)
+    assert max(curves["DAUS (Push)"]) > max(curves["DAUS (Pull)"])
+
+
+def test_response_times_workload_agnostic(ch6):
+    """Figs 6-15..6-20: no degradation through the day below saturation."""
+    table = ch6.response_table("CAD", MASTER, hours=[4, 15])
+    for op, (quiet, peak) in table.items():
+        assert peak == pytest.approx(quiet, rel=0.25), op
+
+
+def test_table_6_2_latency_impact(ch6):
+    table = ch6.latency_impact_table("DAUS")
+    # chatty metadata ops suffer, bulky transfers do not
+    assert table["EXPLORE"]["delta_pct"] > 50.0
+    assert table["SPATIAL-SEARCH"]["delta_pct"] > 40.0
+    assert table["OPEN"]["delta_pct"] < 5.0
+    assert table["SAVE"]["delta_pct"] < 5.0
+    # delta tracks S x RTT (0.7 s per round trip)
+    explore = table["EXPLORE"]
+    assert explore["delta"] == pytest.approx(explore["S"] * 0.7, rel=0.2)
+
+
+# ----------------------------------------------------------------------
+# chapter 7 outputs
+# ----------------------------------------------------------------------
+def test_ch7_cpu_peaks(ch7):
+    peaks = ch7.cpu_peaks()
+    # DNA stays the hottest app tier despite halved capacity; DEU second
+    assert peaks["DNA"]["app"] > 0.5
+    assert peaks["DEU"]["app"] > 0.35
+    for dc in ("DSA", "DAUS", "DAFR"):
+        assert peaks[dc]["app"] < peaks["DEU"]["app"]
+
+
+def test_table_7_3_network_raised_vs_ch6(ch6, ch7):
+    """Section 7.4.2: in general the link occupancy rises."""
+    t6 = ch6.link_utilization_table()
+    t7 = ch7.link_utilization_table()
+    active = [k for k, v in t6.items() if v > 0]
+    higher = sum(t7[k] >= t6[k] - 0.02 for k in active)
+    assert higher >= len(active) - 1
+
+
+def test_fig_7_4_7_5_volume_reduction(ch6, ch7):
+    """DNA's peak SR cycle volume drops vs the consolidated design
+    (paper: -43 %); DEU carries a comparable share."""
+    curves6 = ch6.pull_push_curves()
+    n = len(next(iter(curves6.values())))
+    peak6 = max(sum(s[i] for s in curves6.values()) for i in range(n))
+    peak7_na = ch7.peak_cycle_volume("DNA")
+    peak7_eu = ch7.peak_cycle_volume("DEU")
+    assert peak7_na < 0.75 * peak6
+    assert 0.3 * peak6 < peak7_eu < peak6
+
+
+def test_fig_7_6_background_times_improve(ch6, ch7):
+    """Section 7.4.3: R_SR and R_IB shrink under multiple masters."""
+    day6 = ch6.background_day()
+    day7 = ch7.background_day("DNA")
+    assert day7.max_staleness() < day6.max_staleness()
+    assert day7.max_unsearchable() < day6.max_unsearchable()
+
+
+def test_ownership_rows_validated(ch7):
+    ch7.ownership.validate_rows()

@@ -1,0 +1,53 @@
+"""Direct tests for public API members otherwise only covered indirectly."""
+
+import pytest
+
+from repro.metrics.collector import Snapshot
+from repro.metrics.stats import SteadyStateStats
+from repro.queueing import analytic
+from repro.software.message import Endpoint
+from repro.software.operation import tier_round_trip
+from repro.software.resources import R
+from repro.validation.experiments import run_validation
+
+
+def test_mm1_and_mmc_utilization():
+    assert analytic.mm1_utilization(2.0, 4.0) == pytest.approx(0.5)
+    assert analytic.mmc_utilization(6.0, 2.0, 4) == pytest.approx(0.75)
+    with pytest.raises(ValueError):
+        analytic.mm1_utilization(1.0, 0.0)
+
+
+def test_mmc_mean_jobs_little_consistency():
+    lam, mu, c = 2.0, 1.0, 4
+    w = analytic.mmc_mean_response(lam, mu, c)
+    assert analytic.mmc_mean_jobs(lam, mu, c) == pytest.approx(lam * w)
+
+
+def test_endpoint_rendering():
+    assert str(Endpoint("app", "DNA")) == "app@DNA"
+    assert str(Endpoint("client")) == "client@?"
+
+
+def test_tier_round_trip_builder():
+    msgs = tier_round_trip("app", "db", R(cycles=1.0), R(cycles=2.0),
+                           label="x")
+    assert [(m.src, m.dst) for m in msgs] == [("app", "db"), ("db", "app")]
+    assert msgs[0].label == "x.query"
+    assert msgs[1].label == "x.result"
+
+
+def test_snapshot_and_stats_dataclasses():
+    snap = Snapshot(time=1.0, values={"x": 2.0})
+    assert snap.values["x"] == 2.0
+    stats = SteadyStateStats(mean=0.5, std=0.1, n_samples=10)
+    assert stats.n_samples == 10
+
+
+@pytest.mark.slow
+def test_run_validation_covers_all_experiments():
+    results = run_validation(horizon=360.0)
+    assert set(results) == {"Experiment-1", "Experiment-2", "Experiment-3"}
+    for pair in results.values():
+        assert set(pair) == {"physical", "simulated"}
+        assert pair["simulated"].records

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info_runs(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "GDISim" in out
+    assert "repro.core" in out
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert "repro" in capsys.readouterr().out
+
+
+def test_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_attack_command(capsys):
+    assert main(["attack", "--flood-rate", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "unmitigated" in out
+    assert "mitigated" in out
+
+
+def test_consolidation_command(capsys):
+    assert main(["consolidation"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 6.1" in out
+    assert "R_SR^max" in out
+
+
+def test_validate_command_short(capsys):
+    assert main(["validate", "--experiment", "1", "--horizon", "420"]) == 0
+    out = capsys.readouterr().out
+    assert "steady-state comparison" in out
+    assert "RMSE" in out
+
+
+def test_parser_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["validate"])
+    assert args.experiment == 2
+    assert args.horizon == 900.0

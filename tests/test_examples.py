@@ -1,0 +1,68 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are part of the public surface (deliverable b); these tests
+keep them working as the library evolves.  The slower studies are
+marked ``slow``.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "distributed_simulation.py",
+]
+SLOW = [
+    "capacity_planning.py",
+    "consolidation_study.py",
+    "background_job_tuning.py",
+    "attack_resilience.py",
+    "failure_drill.py",
+    "what_if_branching.py",
+]
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+def test_examples_exist():
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    assert shipped == set(FAST + SLOW)
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples_run(name):
+    out = run_example(name)
+    assert out.strip()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_examples_run(name):
+    out = run_example(name)
+    assert out.strip()
+
+
+@pytest.mark.slow
+def test_quickstart_reports_operations():
+    out = run_example("quickstart.py")
+    assert "operations completed" in out
+    assert "BROWSE" in out and "FETCH" in out
+
+
+@pytest.mark.slow
+def test_failure_drill_shows_redundancy_gain():
+    out = run_example("failure_drill.py")
+    assert "availability" in out
+    assert "n+1" in out

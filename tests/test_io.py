@@ -1,0 +1,128 @@
+"""Tests for scenario JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.io import (
+    datacenter_from_dict,
+    datacenter_to_dict,
+    load_scenario,
+    save_scenario,
+    topology_from_document,
+    topology_to_document,
+)
+from repro.software.workload import WorkloadCurve
+from repro.studies.consolidation import consolidated_topology
+from repro.topology.specs import LinkSpec
+
+from tests.conftest import small_dc_spec
+from repro.topology.network import GlobalTopology
+
+
+def test_datacenter_roundtrip():
+    spec = small_dc_spec("DNA")
+    doc = datacenter_to_dict(spec)
+    rebuilt = datacenter_from_dict(doc)
+    assert rebuilt == spec
+
+
+def test_topology_roundtrip_preserves_structure():
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    topo.add_datacenter(small_dc_spec("DEU"))
+    topo.connect("DNA", "DEU", LinkSpec(0.155, 50.0, allocated_fraction=0.2))
+    topo.connect("DNA", "DEU", LinkSpec(0.045, 90.0), secondary=True)
+
+    doc = topology_to_document(topo)
+    rebuilt, _ = topology_from_document(doc, seed=1)
+
+    assert set(rebuilt.datacenters) == {"DNA", "DEU"}
+    link = rebuilt.link_between("DNA", "DEU")
+    assert link.bandwidth_bps == pytest.approx(0.155e9)
+    assert link.latency_s == pytest.approx(0.05)
+    assert link.allocated_fraction == pytest.approx(0.2)
+    assert len(rebuilt._secondary) == 1
+    # both carry the same tier structure
+    for name in ("DNA", "DEU"):
+        assert set(rebuilt.datacenter(name).tiers) == set(
+            topo.datacenter(name).tiers)
+
+
+def test_consolidated_topology_roundtrips():
+    """The full chapter 6 infrastructure survives serialization."""
+    topo = consolidated_topology()
+    doc = topology_to_document(topo)
+    rebuilt, _ = topology_from_document(doc)
+    assert set(rebuilt.datacenters) == set(topo.datacenters)
+    # routing still works through the transit hub
+    assert len(rebuilt.route("DNA", "DAUS")) == 2
+
+
+def test_workloads_roundtrip(tmp_path):
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    curves = {"CAD": {"DNA": WorkloadCurve.business_hours(100.0, 9.0, 17.0)}}
+    path = tmp_path / "scenario.json"
+    save_scenario(path, topo, curves)
+    rebuilt, workloads = load_scenario(path)
+    assert workloads["CAD"]["DNA"].hourly == curves["CAD"]["DNA"].hourly
+
+
+def test_saved_file_is_plain_json(tmp_path):
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    path = tmp_path / "scenario.json"
+    save_scenario(path, topo)
+    doc = json.loads(path.read_text())
+    assert doc["datacenters"][0]["name"] == "DNA"
+
+
+def test_invalid_documents_rejected(tmp_path):
+    with pytest.raises(ConfigurationError):
+        topology_from_document({})
+    with pytest.raises(ConfigurationError):
+        datacenter_from_dict({"tiers": []})  # no name
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ConfigurationError):
+        load_scenario(bad)
+
+
+def test_bad_tier_spec_reported():
+    with pytest.raises(ConfigurationError):
+        datacenter_from_dict({
+            "name": "X",
+            "tiers": [{"kind": "app", "bogus_field": 1}],
+        })
+
+
+def test_loaded_topology_simulates(tmp_path):
+    """A scenario loaded from JSON drives a real simulation."""
+    from repro.core import Simulator
+    from repro.software.cascade import CascadeRunner
+    from repro.software.client import Client
+    from repro.software.message import CLIENT, MessageSpec
+    from repro.software.operation import Operation
+    from repro.software.placement import SingleMasterPlacement
+    from repro.software.resources import R
+
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    path = tmp_path / "s.json"
+    save_scenario(path, topo)
+    loaded, _ = load_scenario(path, seed=1)
+
+    sim = Simulator(dt=0.01)
+    sim.add_holon(loaded.datacenter("DNA"))
+    runner = CascadeRunner(loaded, SingleMasterPlacement("DNA", local_fs=False),
+                           seed=2)
+    client = Client("c", "DNA", seed=1)
+    sim.add_holon(client)
+    runner.launch(Operation("OP", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=3e9)),
+        MessageSpec("app", CLIENT),
+    ]), client, 0.0)
+    sim.run(10.0)
+    assert runner.records[0].response_time == pytest.approx(1.0, rel=0.15)

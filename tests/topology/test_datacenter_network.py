@@ -1,0 +1,99 @@
+"""Unit tests for data-center holons and the global topology."""
+
+import pytest
+
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import DataCenterSpec, LinkSpec, SANSpec, TierSpec
+
+from tests.conftest import small_dc_spec
+
+
+def test_datacenter_builds_tiers_links_sans(single_dc_topology):
+    dc = single_dc_topology.datacenter("DNA")
+    assert set(dc.tiers) == {"app", "db", "fs", "idx"}
+    assert set(dc.tier_links) == {"app", "db", "fs", "idx"}
+    assert len(dc.sans) == 2
+    assert dc.tier_san["db"] is dc.sans[0]
+    assert dc.tier_san["fs"] is dc.sans[1]
+
+
+def test_san_required_when_tier_uses_san():
+    spec = DataCenterSpec(
+        name="X",
+        tiers=(TierSpec("db", 1, 2, 4.0, uses_san=True),),
+        sans=(),
+    )
+    with pytest.raises(ValueError):
+        GlobalTopology().add_datacenter(spec)
+
+
+def test_intra_path_goes_through_switch(single_dc_topology):
+    dc = single_dc_topology.datacenter("DNA")
+    path = dc.intra_path(None, "app")
+    assert [a.agent_type for a in path] == ["link", "switch", "link"]
+    assert path[0] is dc.access_link
+
+
+def test_unknown_tier_raises(single_dc_topology):
+    dc = single_dc_topology.datacenter("DNA")
+    with pytest.raises(KeyError):
+        dc.tier("cache")
+
+
+def test_duplicate_datacenter_rejected(single_dc_topology):
+    with pytest.raises(ValueError):
+        single_dc_topology.add_datacenter(small_dc_spec("DNA"))
+
+
+def test_route_direct(two_dc_topology):
+    links = two_dc_topology.route("DNA", "DEU")
+    assert len(links) == 1
+    assert links[0].name == "LDNA-DEU"
+
+
+def test_route_self_is_empty(two_dc_topology):
+    assert two_dc_topology.route("DNA", "DNA") == []
+
+
+def test_route_multi_hop():
+    topo = GlobalTopology()
+    for name in ("A", "B", "C"):
+        topo.add_datacenter(small_dc_spec(name))
+    topo.connect("A", "B", LinkSpec(0.155, 10.0))
+    topo.connect("B", "C", LinkSpec(0.155, 10.0))
+    links = topo.route("A", "C")
+    assert [l.name for l in links] == ["LA-B", "LB-C"]
+
+
+def test_no_route_raises():
+    topo = GlobalTopology()
+    topo.add_datacenter(small_dc_spec("A"))
+    topo.add_datacenter(small_dc_spec("B"))
+    with pytest.raises(KeyError):
+        topo.route("A", "B")
+
+
+def test_failover_to_secondary_link():
+    topo = GlobalTopology()
+    for name in ("A", "B"):
+        topo.add_datacenter(small_dc_spec(name))
+    topo.connect("A", "B", LinkSpec(0.155, 10.0))
+    backup = topo.connect("A", "B", LinkSpec(0.045, 30.0), secondary=True)
+    primary = topo.link_between("A", "B")
+    assert topo.route("A", "B") == [primary]
+    topo.fail_link("A", "B")
+    assert topo.route("A", "B") == [backup]
+    topo.restore_link("A", "B")
+    assert topo.route("A", "B") == [primary]
+
+
+def test_connect_unknown_dc_rejected(two_dc_topology):
+    with pytest.raises(KeyError):
+        two_dc_topology.connect("DNA", "MARS", LinkSpec(0.1, 1.0))
+
+
+def test_all_agents_include_wan_links(two_dc_topology):
+    types = {a.agent_type for a in two_dc_topology.all_agents()}
+    assert "link" in types and "switch" in types and "cpu" in types
+    names = [a.name for a in two_dc_topology.all_agents()]
+    assert "LDNA-DEU" in names

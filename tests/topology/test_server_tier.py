@@ -1,0 +1,93 @@
+"""Unit tests for server and tier holons."""
+
+import pytest
+
+from repro.core import Simulator
+from repro.topology.server import Server
+from repro.topology.specs import RAIDSpec, ServerSpec, TierSpec
+from repro.topology.tier import LoadBalancer, Tier
+
+
+def make_server(name="s0", **kw):
+    spec = ServerSpec(cores=2, sockets=1, frequency_ghz=1.0, memory_gb=4.0,
+                      nic_gbps=1.0, **kw)
+    return Server(name, spec, seed=1)
+
+
+def test_server_exposes_hardware_agents():
+    s = make_server()
+    names = {a.agent_type for a in s.agents()}
+    assert names == {"nic", "cpu", "memory", "raid"}
+
+
+def test_server_without_raid():
+    s = make_server(raid=None)
+    assert s.raid is None
+    assert {a.agent_type for a in s.agents()} == {"nic", "cpu", "memory"}
+
+
+def test_process_leg_sequences_nic_cpu_disk():
+    sim = Simulator(dt=0.001)
+    s = make_server()
+    sim.add_holon(s)
+    done = []
+    # 1e8 bits at 1 Gbps = 0.1 s; 1e9 cycles at 1 GHz = 1.0 s; disk extra
+    s.process_leg(0.0, cycles=1e9, net_bits=1e8, mem_bytes=1024.0,
+                  disk_bytes=0.0, on_complete=lambda t: done.append(t))
+    sim.run(5.0)
+    assert done[0] == pytest.approx(1.1, abs=0.03)
+
+
+def test_process_leg_releases_memory():
+    sim = Simulator(dt=0.001)
+    s = make_server()
+    sim.add_holon(s)
+    s.process_leg(0.0, cycles=1e8, net_bits=0.0, mem_bytes=1e6,
+                  disk_bytes=0.0, on_complete=lambda t: None)
+    assert s.memory.allocated == 1e6
+    sim.run(1.0)
+    assert s.memory.allocated == 0.0
+
+
+def test_process_leg_zero_work_completes():
+    sim = Simulator(dt=0.001)
+    s = make_server()
+    sim.add_holon(s)
+    done = []
+    s.process_leg(0.0, cycles=0.0, net_bits=0.0, mem_bytes=0.0,
+                  disk_bytes=0.0, on_complete=lambda t: done.append(t))
+    assert done  # immediate completion
+
+
+def test_tier_builds_identical_servers():
+    tier = Tier("T", TierSpec("app", n_servers=3, cores_per_server=2,
+                              memory_gb=4.0, sockets=1), seed=1)
+    assert tier.n_servers == 3
+    assert tier.total_cores == 6
+    assert len({s.spec for s in tier.servers}) == 1
+
+
+def test_round_robin_balancer_cycles():
+    lb = LoadBalancer("round_robin")
+    tier = Tier("T", TierSpec("app", n_servers=2, cores_per_server=2,
+                              memory_gb=4.0, sockets=1), balancer=lb, seed=1)
+    picks = [tier.pick_server().name for _ in range(4)]
+    assert picks == ["T.s0", "T.s1", "T.s0", "T.s1"]
+
+
+def test_least_busy_balancer_prefers_idle_server():
+    tier = Tier("T", TierSpec("app", n_servers=2, cores_per_server=2,
+                              memory_gb=4.0, sockets=1), seed=1)
+    from repro.core.job import Job
+    tier.servers[0].cpu.submit(Job(1e9), 0.0)
+    assert tier.pick_server() is tier.servers[1]
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        LoadBalancer("random")
+
+
+def test_empty_tier_balancing_rejected():
+    with pytest.raises(ValueError):
+        LoadBalancer().choose([])

@@ -1,0 +1,84 @@
+"""Unit tests for the spec dataclasses and unit conversions."""
+
+import pytest
+
+from repro.topology.specs import (
+    GB,
+    MB,
+    LinkSpec,
+    RAIDSpec,
+    SANSpec,
+    ServerSpec,
+    TierSpec,
+    DataCenterSpec,
+    drive_speed_from_rpm,
+)
+
+
+def test_drive_speed_known_rpm():
+    assert drive_speed_from_rpm(15000) == pytest.approx(125.0 * MB)
+    assert drive_speed_from_rpm(7200) == pytest.approx(80.0 * MB)
+
+
+def test_drive_speed_interpolates():
+    mid = drive_speed_from_rpm(12500)
+    assert 100.0 * MB < mid < 125.0 * MB
+
+
+def test_drive_speed_clamps_extremes():
+    assert drive_speed_from_rpm(1000) == pytest.approx(60.0 * MB)
+    assert drive_speed_from_rpm(30000) == pytest.approx(125.0 * MB)
+
+
+def test_raid_spec_byte_rates():
+    raid = RAIDSpec(array_controller_gbps=4.0, controller_gbps=3.0)
+    assert raid.array_controller_bps() == pytest.approx(4e9 / 8)
+    assert raid.controller_bps() == pytest.approx(3e9 / 8)
+
+
+def test_link_spec_notation_and_units():
+    link = LinkSpec(bandwidth_gbps=1.0, latency_ms=0.45)
+    assert link.notation() == "L^(1.0,0.45)"
+    assert link.bandwidth_bps() == pytest.approx(1e9)
+    assert link.latency_s() == pytest.approx(0.00045)
+
+
+def test_tier_spec_notation():
+    tier = TierSpec("app", n_servers=2, cores_per_server=8, memory_gb=32.0)
+    assert tier.notation() == "Tapp^(2,8,32)"
+
+
+def test_tier_server_spec_roundtrip():
+    tier = TierSpec("db", n_servers=1, cores_per_server=4, memory_gb=64.0,
+                    sockets=2, memory_pool_gb=28.0)
+    server = tier.server_spec()
+    assert server.cores == 4
+    assert server.memory_gb == 64.0
+    assert server.memory_pool_gb == 28.0
+    assert server.cores_per_socket() == 2
+
+
+def test_odd_cores_fall_back_to_single_socket():
+    tier = TierSpec("app", n_servers=1, cores_per_server=3, memory_gb=8.0,
+                    sockets=2)
+    assert tier.server_spec().sockets == 1
+
+
+def test_san_spec_notation():
+    assert SANSpec(1, 20, 15000).notation() == "san^(1,20,15K)"
+
+
+def test_datacenter_spec_tier_lookup():
+    spec = DataCenterSpec(
+        name="DNA",
+        tiers=(TierSpec("app", 1, 2, 4.0), TierSpec("fs", 1, 2, 4.0)),
+    )
+    assert spec.tier("app").kind == "app"
+    assert spec.tier_kinds() == ["app", "fs"]
+    with pytest.raises(KeyError):
+        spec.tier("db")
+
+
+def test_server_spec_uneven_cores_rejected():
+    with pytest.raises(ValueError):
+        ServerSpec(cores=5, sockets=2).cores_per_socket()

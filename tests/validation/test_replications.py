@@ -1,0 +1,67 @@
+"""Tests for replication runs and confidence intervals (section 5.3.4)."""
+
+import pytest
+
+from repro.metrics.stats import ConfidenceInterval, confidence_interval
+from repro.validation import EXPERIMENTS
+from repro.validation.experiments import run_replications
+
+
+# ----------------------------------------------------------------------
+# confidence intervals
+# ----------------------------------------------------------------------
+def test_ci_known_values():
+    # mean 2, sample std 1, n=4: half = 3.182 * 1/2 = 1.591
+    ci = confidence_interval([1.0, 2.0, 2.0, 3.0])
+    assert ci.mean == pytest.approx(2.0)
+    assert ci.half_width == pytest.approx(3.182 * (2.0 / 3.0) ** 0.5 / 2.0,
+                                          rel=1e-3)
+    assert ci.contains(2.0)
+    assert not ci.contains(10.0)
+    assert ci.n == 4
+
+
+def test_ci_requires_two_samples():
+    with pytest.raises(ValueError):
+        confidence_interval([1.0])
+
+
+def test_ci_zero_variance():
+    ci = confidence_interval([5.0, 5.0, 5.0])
+    assert ci.half_width == 0.0
+    assert ci.low == ci.high == 5.0
+
+
+def test_only_95_tabulated():
+    with pytest.raises(ValueError):
+        confidence_interval([1.0, 2.0], confidence=0.9)
+
+
+def test_large_n_uses_normal_limit():
+    ci = confidence_interval([0.0, 1.0] * 40)
+    # with 79 dof the critical value approaches 1.96
+    assert ci.half_width == pytest.approx(
+        1.96 * (ci.mean * (1 - ci.mean) * 80 / 79 / 80) ** 0.5, rel=0.05)
+
+
+# ----------------------------------------------------------------------
+# replications
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_replications_produce_tight_intervals():
+    cis = run_replications(
+        EXPERIMENTS[0], n=3, horizon=420.0, launch_until=360.0,
+        steady_window=(240.0, 400.0),
+    )
+    assert set(cis) == {"cpu.app", "cpu.db", "cpu.fs", "cpu.idx", "clients"}
+    app = cis["cpu.app"]
+    assert isinstance(app, ConfidenceInterval)
+    assert 0.2 < app.mean < 0.9
+    # independent seeds agree within a few points: the simulator's
+    # estimates are stable (the premise of section 5.3.4)
+    assert app.half_width < 0.15
+
+
+def test_replications_validate_n():
+    with pytest.raises(ValueError):
+        run_replications(EXPERIMENTS[0], n=1)

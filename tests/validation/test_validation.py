@@ -1,0 +1,140 @@
+"""Tests for the chapter 5 validation machinery (shortened horizons)."""
+
+import pytest
+
+from repro.software.cad import SERIES_ORDER, TABLE_5_1
+from repro.validation import (
+    EXPERIMENTS,
+    PhysicalPerturbation,
+    build_downscaled_infrastructure,
+    build_series,
+    run_experiment,
+    series_durations,
+)
+from repro.validation.experiments import rmse_table
+from repro.validation.infrastructure import DC_NAME, downscaled_spec
+
+
+# ----------------------------------------------------------------------
+# infrastructure & series
+# ----------------------------------------------------------------------
+def test_downscaled_infrastructure_shape():
+    spec = downscaled_spec()
+    assert spec.tier_kinds() == ["app", "db", "fs", "idx"]
+    assert len(spec.sans) == 2
+    assert spec.sans[0].n_disks == 20
+    assert spec.sans[0].drive_rpm == 15000
+    topo = build_downscaled_infrastructure()
+    assert DC_NAME in topo.datacenters
+
+
+def test_memory_pools_match_section_5_3_3():
+    """Flat occupancies 32/28/12/12 GB (section 5.3.3)."""
+    topo = build_downscaled_infrastructure()
+    dc = topo.datacenter(DC_NAME)
+    gb = 1024.0**3
+    pools = {k: dc.tier(k).servers[0].memory.pool_bytes / gb
+             for k in ("app", "db", "fs", "idx")}
+    assert pools == {"app": 32.0, "db": 28.0, "fs": 12.0, "idx": 12.0}
+
+
+def test_series_regenerates_table_5_1():
+    topo = build_downscaled_infrastructure()
+    table = series_durations(topo)
+    for stype in ("light", "average", "heavy"):
+        for name in SERIES_ORDER:
+            assert table[stype][name] == pytest.approx(
+                TABLE_5_1[stype][name], rel=1e-6)
+        assert table[stype]["TOTAL"] == pytest.approx(
+            sum(TABLE_5_1[stype].values()), rel=1e-6)
+
+
+def test_series_order_preserved():
+    topo = build_downscaled_infrastructure()
+    series = build_series(topo)
+    assert [op.name for op in series["light"].operations] == SERIES_ORDER
+
+
+def test_experiment_specs_match_section_5_2_4():
+    labels = [spec.label for spec in EXPERIMENTS]
+    assert labels == [
+        "Experiment-1: 15-36-60s",
+        "Experiment-2: 12-29-48s",
+        "Experiment-3: 10-24-40s",
+    ]
+    rates = [spec.series_rate() for spec in EXPERIMENTS]
+    assert rates == sorted(rates)  # increasing pressure
+
+
+# ----------------------------------------------------------------------
+# experiment execution (short slices to stay fast)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def short_pair():
+    kw = dict(horizon=420.0, launch_until=360.0, steady_window=(240.0, 400.0))
+    return (
+        run_experiment(EXPERIMENTS[0], physical=True, **kw),
+        run_experiment(EXPERIMENTS[0], physical=False, **kw),
+    )
+
+
+def test_experiment_collects_all_series(short_pair):
+    phys, sim = short_pair
+    assert len(phys.clients) == len(sim.clients) > 0
+    for tier in ("app", "db", "fs", "idx"):
+        assert len(phys.cpu[tier]) == len(sim.cpu[tier])
+        assert all(0.0 <= v <= 1.0 for _, v in sim.cpu[tier])
+
+
+def test_concurrent_clients_build_up(short_pair):
+    _, sim = short_pair
+    assert sim.steady_client_stats().mean > 5.0
+
+
+def test_physical_and_simulated_track_each_other(short_pair):
+    phys, sim = short_pair
+    p = phys.steady_cpu_stats("app").mean
+    s = sim.steady_cpu_stats("app").mean
+    assert s == pytest.approx(p, abs=0.15)
+
+
+def test_rmse_table_in_published_regime(short_pair):
+    phys, sim = short_pair
+    table = rmse_table({"Experiment-1": {"physical": phys, "simulated": sim}})
+    row = table["Experiment-1"]
+    for key, value in row.items():
+        assert 0.0 < value < 25.0, (key, value)
+
+
+def test_memory_profiles_flat(short_pair):
+    """Both systems report the flat pool occupancy (section 5.3.3)."""
+    _, sim = short_pair
+    gb = 1024.0**3
+    series = sim.memory["app"]
+    values = {round(v / gb, 2) for _, v in series}
+    assert values == {32.0}
+
+
+def test_operations_complete_with_near_canonical_times(short_pair):
+    _, sim = short_pair
+    mean_login = sim.mean_response_time("LOGIN")
+    # contention stretches it somewhat above the 1.94-2.35 canonical band
+    assert 1.5 < mean_login < 8.0
+
+
+def test_perturbation_is_reproducible():
+    p1 = PhysicalPerturbation(seed=9)
+    p2 = PhysicalPerturbation(seed=9)
+    topo = build_downscaled_infrastructure()
+    series = build_series(topo)
+    s1 = p1.perturb_series(series)
+    s2 = p2.perturb_series(series)
+    for stype in s1:
+        for a, b in zip(s1[stype].operations, s2[stype].operations):
+            assert a.messages[0].r.cycles == b.messages[0].r.cycles
+
+
+def test_noisy_series_clipped():
+    p = PhysicalPerturbation(seed=1, sample_sigma=0.5)
+    noisy = p.noisy([(0.0, 0.99), (1.0, 0.01)] * 20)
+    assert all(0.0 <= v <= 1.0 for _, v in noisy)
