@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench bench-full examples lint clean
+.PHONY: install test test-fast bench bench-full examples trace-demo lint clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,12 @@ bench-full:  ## thesis-length chapter 5 experiments
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f >/dev/null || exit 1; done
 
+trace-demo:  ## fluid latency waterfalls + Chrome trace for the ch. 6 study
+	$(PYTHON) -m repro trace consolidation --hour 15 --out trace-demo.json
+	@test -s trace-demo.json || { echo "trace-demo.json is empty"; exit 1; }
+	@echo "trace-demo: wrote $$(wc -c < trace-demo.json) bytes to trace-demo.json"
+
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
 	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info
+	rm -f trace-demo.json

@@ -40,10 +40,10 @@ FULL = os.environ.get("REPRO_FULL") == "1"
 
 #: experiment horizon configuration (seconds)
 if FULL:
-    EXPERIMENT_KW = dict(horizon=2280.0, launch_until=2100.0,
+    EXPERIMENT_KW = dict(until=2280.0, launch_until=2100.0,
                          steady_window=(300.0, 2040.0))
 else:
-    EXPERIMENT_KW = dict(horizon=900.0, launch_until=840.0,
+    EXPERIMENT_KW = dict(until=900.0, launch_until=840.0,
                          steady_window=(300.0, 820.0))
 
 

@@ -5,7 +5,9 @@ One of the simulator's stated applications (thesis Fig 1-1, #7):
 denial-of-service attacks and facilitates the design of counter
 measures."  A flood of cheap requests is injected over a legitimate
 workload; an edge token-bucket admission controller is evaluated as the
-countermeasure.
+countermeasure.  :class:`FloodScenario` builds and runs its branches
+through the :mod:`repro.api` facade (a ``Scenario`` with a custom
+``setup`` hook injecting the flood).
 
 Run:  python examples/attack_resilience.py
 """

@@ -11,12 +11,12 @@ Run:  python examples/background_job_tuning.py
 
 from __future__ import annotations
 
+from repro import simulate
 from repro.background.indexbuild import IndexBuildConfig
 from repro.background.synchrep import SynchRepConfig
 from repro.fluid.background import BackgroundSolver
 from repro.metrics.report import format_table
 from repro.studies.consolidation import MASTER, ConsolidationStudy
-from repro.studies.multimaster import MultiMasterStudy
 
 
 def sweep_sr_interval(study: ConsolidationStudy) -> None:
@@ -41,8 +41,8 @@ def sweep_sr_interval(study: ConsolidationStudy) -> None:
 
 
 def compare_designs() -> None:
-    ch6 = ConsolidationStudy()
-    ch7 = MultiMasterStudy()
+    ch6 = simulate("consolidation", mode="fluid").study
+    ch7 = simulate("multimaster", mode="fluid").study
     day6 = ch6.background_day()
     day7 = ch7.background_day("DNA")
     rows = [
@@ -66,7 +66,7 @@ def compare_designs() -> None:
 
 
 def main() -> None:
-    study = ConsolidationStudy()
+    study = simulate("consolidation", mode="fluid").study
     sweep_sr_interval(study)
     compare_designs()
 

@@ -5,7 +5,7 @@ workload forecast and a response-time SLA, find the smallest app-tier
 server count that keeps the tier below a utilization ceiling and the
 95th-percentile response time under the SLA.  Uses the fluid solver for
 the sweep and confirms the chosen design point with a discrete-event
-run.
+run, both through the :func:`repro.simulate` facade.
 
 Run:  python examples/capacity_planning.py
 """
@@ -14,19 +14,17 @@ from __future__ import annotations
 
 from repro import (
     Application,
-    CascadeRunner,
     DataCenterSpec,
-    FluidSolver,
     GlobalTopology,
     MessageSpec,
     Operation,
     OperationMix,
-    OpenLoopWorkload,
     R,
+    Scenario,
     SingleMasterPlacement,
-    Simulator,
     TierSpec,
     WorkloadCurve,
+    simulate,
 )
 
 SLA_SECONDS = 4.0
@@ -44,33 +42,45 @@ def build_topology(app_servers: int) -> GlobalTopology:
     return topo
 
 
-def build_application() -> Application:
+def build_application(curve: WorkloadCurve | None = None) -> Application:
     op = Operation("QUERY", [
         MessageSpec("client", "app", r=R.of(cycles=7.5e9, net_kb=32)),
         MessageSpec("app", "client", r=R.of(net_kb=128)),
     ])
+    if curve is None:
+        curve = WorkloadCurve.business_hours(
+            peak=PEAK_CLIENTS, start_hour=13.0, end_hour=22.0)
     return Application(
         name="analytics",
         operations={"QUERY": op},
         mix=OperationMix({"QUERY": 1.0}),
-        workloads={"DNA": WorkloadCurve.business_hours(
-            peak=PEAK_CLIENTS, start_hour=13.0, end_hour=22.0)},
+        workloads={"DNA": curve},
         ops_per_client_hour=10.0,
+    )
+
+
+def design_point(app_servers: int,
+                 curve: WorkloadCurve | None = None) -> Scenario:
+    return Scenario(
+        name=f"analytics-{app_servers}",
+        topology=build_topology(app_servers),
+        applications=[build_application(curve)],
+        placement=SingleMasterPlacement("DNA", local_fs=False),
+        seed=5,
     )
 
 
 def sweep() -> int:
     """Fluid sweep over tier sizes; returns the smallest passing size."""
-    app = build_application()
     print(f"SLA: {SLA_SECONDS:.1f} s response, tier under "
           f"{100 * UTILIZATION_CEILING:.0f} % at the "
           f"{PEAK_CLIENTS:.0f}-client peak\n")
     print(f"{'servers':>8} {'peak util':>10} {'peak resp (s)':>14}  verdict")
     chosen = None
     for n in range(2, 13):
-        topo = build_topology(n)
-        solver = FluidSolver(topo, [app],
-                             SingleMasterPlacement("DNA", local_fs=False))
+        result = simulate(design_point(n), mode="fluid")
+        solver = result.fluid
+        app = result.scenario.applications[0]
         peak_util = max(solver.tier_cpu_utilization("DNA", "app", h * 3600.0)
                         for h in range(24))
         peak_resp = max(solver.response_time(app, "QUERY", "DNA", h * 3600.0)
@@ -87,21 +97,9 @@ def sweep() -> int:
 
 def confirm_with_des(app_servers: int) -> None:
     """Drive the chosen design point with the DES at the peak hour."""
-    app = build_application()
-    topo = build_topology(app_servers)
-    sim = Simulator(dt=0.01)
-    sim.add_holon(topo.datacenter("DNA"))
-    runner = CascadeRunner(topo, SingleMasterPlacement("DNA", local_fs=False),
-                           seed=5)
     peak_curve = WorkloadCurve([PEAK_CLIENTS] * 24)
-    workload = OpenLoopWorkload(
-        sim, runner, "DNA", peak_curve, app.mix, app.operations,
-        ops_per_client_hour=app.ops_per_client_hour, seed=17,
-    )
-    horizon = 600.0
-    workload.start(until=horizon)
-    sim.run(horizon)
-    times = sorted(r.response_time for r in runner.records)
+    result = simulate(design_point(app_servers, peak_curve), until=600.0)
+    times = sorted(r.response_time for r in result.records)
     p95 = times[int(0.95 * len(times))]
     print(f"\nDES confirmation with {app_servers} servers at sustained peak: "
           f"{len(times)} queries, mean "

@@ -11,14 +11,16 @@ Run:  python examples/consolidation_study.py
 
 from __future__ import annotations
 
+from repro import simulate
+from repro.api import fluid_waterfall
 from repro.metrics.report import format_table
-from repro.studies.consolidation import MASTER, ConsolidationStudy
 
 
 def main() -> None:
     print("building the consolidated infrastructure "
           "(6 DCs, master = DNA, transit hub AS1)...")
-    study = ConsolidationStudy()
+    result = simulate("consolidation", mode="fluid")
+    study = result.study
 
     # 1. computation (Fig 6-12 / 6-13)
     curves = study.dna_cpu_curves()
@@ -54,6 +56,9 @@ def main() -> None:
         ["CAD operation", "R @DNA (s)", "R @DAUS (s)", "round trips",
          "latency penalty"],
         rows, title="Client experience: latency impact in DAUS (Table 6.2)"))
+
+    # 5. where does the time go? (repro.observability waterfall)
+    print("\n" + fluid_waterfall(result, "CAD", "OPEN", "DAUS", hour=15.0))
 
     verdict = "PASS" if max(max(c) for c in curves.values()) < 0.9 else "AT RISK"
     print(f"\nConsolidation verdict: {verdict} — the six-DC design absorbs "

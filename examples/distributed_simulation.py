@@ -8,6 +8,11 @@ Swapping the in-process coordinator for the multiprocess transport (also
 demonstrated) distributes the partitions across OS processes — and,
 with sockets instead of queues, across machines.
 
+This demo drives bare engines below the scenario level (partitions wrap
+whole simulators), so it uses :class:`repro.Simulator` directly rather
+than the :func:`repro.simulate` facade; the per-agent telemetry protocol
+(``Agent.telemetry()``) works the same either way.
+
 Run:  python examples/distributed_simulation.py
 """
 
@@ -57,13 +62,15 @@ def main() -> None:
     coord.run(HORIZON)
     wall = time.perf_counter() - t0
 
-    rows = [
-        ["NA", f"{len(na_recv)}", f"{na_fs.busy_time:.1f} s"],
-        ["EU", f"{len(eu_recv)}", f"{eu_fs.busy_time:.1f} s"],
-    ]
+    rows = []
+    for name, recv, fs in (("NA", na_recv, na_fs), ("EU", eu_recv, eu_fs)):
+        tel = fs.telemetry()
+        rows.append([name, f"{len(recv)}", f"{tel.arrivals}",
+                     f"{tel.completions}", f"{tel.busy_time:.1f} s"])
     print(format_table(
-        ["partition", "sync batches received", "fs busy time"],
-        rows, title="in-process coordinator"))
+        ["partition", "batches received", "fs arrivals", "fs completions",
+         "fs busy time"],
+        rows, title="in-process coordinator (per-agent telemetry)"))
     print(f"windows: {coord.windows_run} "
           f"({HORIZON / coord.windows_run * 1000:.0f} ms each = the WAN "
           f"lookahead), wall {wall * 1000:.0f} ms\n")

@@ -11,14 +11,13 @@ Run:  python examples/failure_drill.py
 
 from __future__ import annotations
 
-from repro.core import Simulator
+from repro import Scenario
 from repro.metrics.report import format_table
 from repro.reliability import (
     AvailabilityMonitor,
     FailureInjector,
     FailurePolicy,
 )
-from repro.software.cascade import CascadeRunner
 from repro.software.client import Client
 from repro.software.message import CLIENT, MessageSpec
 from repro.software.operation import Operation
@@ -43,31 +42,41 @@ def drill(app_servers: int, keep_one: bool):
                      sockets=1),
         ),
     ))
-    sim = Simulator(dt=0.01)
-    sim.add_holon(topo.datacenter("DNA"))
-    runner = CascadeRunner(topo, SingleMasterPlacement("DNA", local_fs=False),
-                           seed=29)
-    monitor = AvailabilityMonitor(runner, sla={"ORDER": 4.0})
     order = Operation("ORDER", [
         MessageSpec(CLIENT, "app", r=R.of(cycles=1.2e9, net_kb=16)),
         MessageSpec("app", "db", r=R.of(cycles=8e8, net_kb=8)),
         MessageSpec("db", "app", r=R.of(net_kb=16)),
         MessageSpec("app", CLIENT, r=R.of(net_kb=32)),
     ])
-    client = Client("c", "DNA", seed=1)
-    sim.add_holon(client)
+    state = {}
 
-    def arrive(now):
-        runner.launch(order, client, now)
-        if now + 1.5 < HORIZON:
-            sim.schedule(now + 1.5, arrive)
+    def setup(session) -> None:
+        sim, runner = session.sim, session.runner
+        state["monitor"] = AvailabilityMonitor(runner, sla={"ORDER": 4.0})
+        client = Client("c", "DNA", seed=1)
+        sim.add_holon(client)
 
-    sim.schedule(0.0, arrive)
-    injector = FailureInjector(sim, topo, POLICY, until=HORIZON,
-                               keep_one_server=keep_one, seed=31)
-    injector.start()
-    sim.run(HORIZON + 60.0)
-    return monitor.report(), injector
+        def arrive(now):
+            runner.launch(order, client, now)
+            if now + 1.5 < HORIZON:
+                sim.schedule(now + 1.5, arrive)
+
+        sim.schedule(0.0, arrive)
+        state["injector"] = FailureInjector(
+            sim, topo, POLICY, until=HORIZON,
+            keep_one_server=keep_one, seed=31)
+        state["injector"].start()
+
+    scenario = Scenario(
+        name="failure-drill",
+        topology=topo,
+        placement=SingleMasterPlacement("DNA", local_fs=False),
+        seed=23,
+        runner_seed=29,
+        setup=setup,
+    )
+    scenario.prepare(dt=0.01).run(HORIZON + 60.0)
+    return state["monitor"].report(), state["injector"]
 
 
 def main() -> None:

@@ -1,9 +1,10 @@
 """Quickstart: simulate a small data center serving a custom application.
 
 Builds a two-tier data center, defines a toy "document portal"
-application as a message cascade, launches a population of clients
-against it and reports response times and tier utilization — the
-simulator's primary estimation loop (thesis section 3.2.1).
+application as a message cascade and runs it through the unified
+:func:`repro.simulate` facade — the simulator's primary estimation loop
+(thesis section 3.2.1) in three calls: build a topology, build an
+application, ``simulate()``.
 
 Run:  python examples/quickstart.py
 """
@@ -12,22 +13,19 @@ from __future__ import annotations
 
 from repro import (
     Application,
-    CascadeRunner,
-    Client,
+    Collect,
     DataCenterSpec,
     GlobalTopology,
     MessageSpec,
     Operation,
     OperationMix,
-    OpenLoopWorkload,
     R,
     SANSpec,
-    SingleMasterPlacement,
-    Simulator,
+    Scenario,
     TierSpec,
     WorkloadCurve,
+    simulate,
 )
-from repro.metrics import Collector
 
 
 def build_infrastructure() -> GlobalTopology:
@@ -69,40 +67,29 @@ def build_application() -> Application:
 
 
 def main() -> None:
-    topo = build_infrastructure()
-    app = build_application()
-
-    sim = Simulator(dt=0.01, mode="adaptive")
-    sim.add_holon(topo.datacenter("DNA"))
-
-    runner = CascadeRunner(topo, SingleMasterPlacement("DNA"), seed=11)
-    workload = OpenLoopWorkload(
-        sim, runner, "DNA",
-        curve=app.workloads["DNA"],
-        mix=app.mix,
-        operations=app.operations,
-        ops_per_client_hour=app.ops_per_client_hour,
-        seed=13,
+    scenario = Scenario(
+        name="portal",
+        topology=build_infrastructure(),
+        applications=[build_application()],
+        seed=11,
     )
 
-    collector = Collector(sim, sample_interval=10.0)
-    app_tier = topo.datacenter("DNA").tier("app")
-    collector.add_probe("cpu.app", lambda now: app_tier.cpu_utilization(now))
-
-    horizon = 600.0  # ten simulated minutes
-    print(f"simulating {horizon:.0f} s of portal traffic "
+    until = 600.0  # ten simulated minutes
+    app = scenario.applications[0]
+    print(f"simulating {until:.0f} s of portal traffic "
           f"({app.workloads['DNA'].hourly[0]:.0f} logged clients)...")
-    workload.start(until=horizon)
-    sim.run(horizon)
+    result = simulate(scenario, until=until,
+                      collect=Collect(sample_interval=10.0))
 
-    print(f"\noperations completed: {len(runner.records)}")
+    print(f"\noperations completed: {len(result.records)}")
+    stats = result.response_stats()
     for name in sorted(app.operations):
-        times = [r.response_time for r in runner.records if r.operation == name]
-        if times:
-            mean = sum(times) / len(times)
-            print(f"  {name:8s} n={len(times):4d}  "
-                  f"mean response {mean:6.2f} s  max {max(times):6.2f} s")
-    cpu = [v for _, v in collector.series("cpu.app")]
+        if name in stats:
+            row = stats[name]
+            print(f"  {name:8s} n={row['n']:4.0f}  "
+                  f"mean response {row['mean']:6.2f} s  "
+                  f"max {row['max']:6.2f} s")
+    cpu = [v for _, v in result.series("cpu.DNA.app")]
     print(f"\napp-tier CPU utilization: mean {100 * sum(cpu) / len(cpu):.1f} %  "
           f"peak {100 * max(cpu):.1f} %")
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.api import Scenario as ApiScenario
 from repro.core import Simulator
 from repro.core.scenario import ScenarioRunner, ScenarioSpec
 from repro.metrics.report import format_table
@@ -56,28 +57,36 @@ class World:
                             cores_per_server=self.spec.get("cores", 2),
                             memory_gb=16.0, sockets=1),),
         ))
-        self.sim = Simulator(dt=0.01)
-        self.sim.add_holon(self.topo.datacenter("DNA"))
-        self.runner = CascadeRunner(
-            self.topo, SingleMasterPlacement("DNA", local_fs=False),
-            seed=self.spec.seed + 1)
         op = Operation("WORK", [
             MessageSpec(CLIENT, "app", r=R.of(cycles=4.5e9, net_kb=32)),
             MessageSpec("app", CLIENT, r=R.of(net_kb=64)),
         ])
-        # ramping arrivals: quiet morning, heavy afternoon
-        curve = WorkloadCurve([40, 40, 80, 160, 320, 320] + [0] * 18)
-        self.workload = ClosedLoopWorkload(
-            self.sim, self.runner, "DNA", curve,
-            OperationMix({"WORK": 1.0}), {"WORK": op},
-            think_time_s=20.0, ops_per_session=6.0,
-            seed=self.spec.seed + 2,
-        )
-        self.workload.start(until=DAY_END)
-        tier = self.topo.datacenter("DNA").tier("app")
-        self.sim.add_monitor(
-            300.0, lambda now: self.util_samples.append(
-                tier.cpu_utilization(now)))
+
+        def setup(session) -> None:
+            # ramping arrivals: quiet morning, heavy afternoon
+            curve = WorkloadCurve([40, 40, 80, 160, 320, 320] + [0] * 18)
+            self.workload = ClosedLoopWorkload(
+                session.sim, session.runner, "DNA", curve,
+                OperationMix({"WORK": 1.0}), {"WORK": op},
+                think_time_s=20.0, ops_per_session=6.0,
+                seed=self.spec.seed + 2,
+            )
+            self.workload.start(until=DAY_END)
+            tier = self.topo.datacenter("DNA").tier("app")
+            session.sim.add_monitor(
+                300.0, lambda now: self.util_samples.append(
+                    tier.cpu_utilization(now)))
+
+        session = ApiScenario(
+            name="what-if",
+            topology=self.topo,
+            placement=SingleMasterPlacement("DNA", local_fs=False),
+            seed=self.spec.seed,
+            runner_seed=self.spec.seed + 1,
+            setup=setup,
+        ).prepare(dt=0.01)
+        self.sim = session.sim
+        self.runner = session.runner
 
 
 def measure(world: World) -> Dict[str, float]:

@@ -10,16 +10,17 @@ replication and indexing jobs run concurrently with client workloads.
 
 Quickstart::
 
-    from repro import Simulator, GlobalTopology, DataCenterSpec, TierSpec
+    from repro import Scenario, simulate
 
-    topo = GlobalTopology()
-    topo.add_datacenter(DataCenterSpec(
-        name="DNA",
-        tiers=(TierSpec("app", 2, 8, 32.0), TierSpec("fs", 1, 4, 16.0)),
-    ))
-    sim = Simulator(dt=0.01)
-    sim.add_holon(topo.datacenter("DNA"))
-    sim.run(60.0)
+    result = simulate(Scenario.from_spec("consolidation"), until=600.0,
+                      trace="full")
+    print(result.response_stats())
+    result.write_chrome_trace("trace.json")
+
+``simulate()`` wraps engine construction, topology registration,
+workload wiring, cascade tracing and measurement collection; see
+:mod:`repro.api` for the pieces and :mod:`repro.observability` for
+traces, per-agent telemetry and engine profiling.
 
 See ``examples/`` for full scenarios and ``benchmarks/`` for the
 regeneration of every table and figure of the thesis's evaluation.
@@ -55,8 +56,20 @@ from repro.software import (
 from repro.fluid import FluidSolver, BackgroundSolver
 from repro.reliability import AvailabilityMonitor, FailureInjector, FailurePolicy
 from repro.metrics import Collector, rmse, steady_state_stats
+from repro.api import (
+    Collect,
+    Scenario,
+    SimulationResult,
+    SimulationSession,
+    simulate,
+)
+from repro.observability import (
+    AgentTelemetry,
+    EngineProfiler,
+    TraceRecorder,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Simulator",
@@ -93,5 +106,13 @@ __all__ = [
     "Collector",
     "rmse",
     "steady_state_stats",
+    "Collect",
+    "Scenario",
+    "SimulationResult",
+    "SimulationSession",
+    "simulate",
+    "AgentTelemetry",
+    "EngineProfiler",
+    "TraceRecorder",
     "__version__",
 ]

@@ -1,0 +1,504 @@
+"""The unified simulation facade: ``simulate(scenario, ...)``.
+
+Every entry point — the validation experiments, the chapter 6/7 case
+studies, the attack evaluation and all examples — used to hand-wire
+``Simulator`` + ``CascadeRunner`` + ``Collector`` differently.  This
+module folds that wiring into three pieces:
+
+:class:`Scenario`
+    What to simulate: a topology, applications, a placement policy and
+    seeds.  Build one directly, from a case-study spec
+    (:meth:`Scenario.from_spec`) or from a JSON document
+    (:meth:`Scenario.from_json` / round-tripped by
+    :meth:`Scenario.to_json` via :mod:`repro.io`).
+
+:func:`simulate`
+    One call: ``simulate(scenario, until=600, trace="full",
+    collect=Collect(10.0))`` runs the DES and returns a
+    :class:`SimulationResult`; ``mode="fluid"`` solves the same scenario
+    analytically.
+
+:class:`SimulationSession`
+    The prepared-but-not-yet-run state (:meth:`Scenario.prepare`), for
+    callers that need custom wiring (failure drills, what-if branching,
+    incremental horizons) while keeping the standard registration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.engine import Simulator
+from repro.core.errors import ConfigurationError
+from repro.metrics.collector import Collector
+from repro.software.application import Application
+from repro.software.cascade import CascadeRunner, OperationRecord
+from repro.software.placement import Placement, SingleMasterPlacement
+from repro.software.workload import HOUR, OpenLoopWorkload, WorkloadCurve
+from repro.topology.network import GlobalTopology
+
+#: Engine modes accepted by :func:`simulate`; "fluid" bypasses the DES.
+MODES = ("adaptive", "fixed", "fluid")
+
+
+@dataclass
+class Collect:
+    """Measurement configuration for :func:`simulate`.
+
+    ``sample_interval`` is the canonical name for the collector cadence
+    (seconds of simulated time between samples).  With ``tier_cpu``
+    every data-center tier gets a ``cpu.<dc>.<tier>`` utilization probe
+    automatically.
+    """
+
+    sample_interval: float = 6.0
+    samples_per_snapshot: int = 1
+    tier_cpu: bool = True
+
+
+@dataclass
+class Scenario:
+    """A complete simulation input, independent of how it will be run.
+
+    ``setup`` is an optional hook called with the prepared
+    :class:`SimulationSession` before any workload starts — the place to
+    wire custom launchers, failure injection or extra probes.  ``study``
+    carries the chapter-study object for fluid-mode scenarios built via
+    :meth:`from_spec`.
+    """
+
+    name: str = "scenario"
+    topology: Optional[GlobalTopology] = None
+    applications: List[Application] = field(default_factory=list)
+    placement: Optional[Placement] = None
+    scale: float = 1.0
+    seed: int = 42
+    #: Explicit cascade-runner seed; default is ``seed + 7``.
+    runner_seed: Optional[int] = None
+    setup: Optional[Callable[["SimulationSession"], None]] = None
+    study: Any = None
+    #: Workload curves per application per data center; populated by
+    #: :meth:`from_document` when the document carries no operations.
+    workload_curves: Dict[str, Dict[str, WorkloadCurve]] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 42) -> "Scenario":
+        """Build a named case-study scenario.
+
+        ``"consolidation"`` is the chapter 6 consolidated platform,
+        ``"multimaster"`` the chapter 7 multiple-master variant.  The
+        returned scenario carries the study object (fluid solvers
+        included) so ``mode="fluid"`` reuses it.
+        """
+        if spec == "consolidation":
+            from repro.studies.consolidation import MASTER, ConsolidationStudy
+
+            study = ConsolidationStudy()
+            placement: Placement = SingleMasterPlacement(MASTER, local_fs=True)
+        elif spec == "multimaster":
+            from repro.software.placement import MultiMasterPlacement
+            from repro.studies.multimaster import TABLE_7_2, MultiMasterStudy
+
+            study = MultiMasterStudy()
+            placement = MultiMasterPlacement(TABLE_7_2)
+        else:
+            raise ConfigurationError(
+                f"unknown scenario spec {spec!r} "
+                "(expected 'consolidation' or 'multimaster')"
+            )
+        return cls(
+            name=spec,
+            topology=study.topology,
+            applications=list(study.applications),
+            placement=placement,
+            seed=seed,
+            study=study,
+        )
+
+    @classmethod
+    def from_document(
+        cls,
+        doc: Mapping[str, Any],
+        seed: Optional[int] = 42,
+        name: str = "scenario",
+    ) -> "Scenario":
+        """Rebuild a scenario from a :mod:`repro.io` JSON document."""
+        from repro.io import topology_from_document
+
+        topology, curves = topology_from_document(doc, seed=seed)
+        return cls(
+            name=name,
+            topology=topology,
+            seed=42 if seed is None else seed,
+            workload_curves=curves,
+        )
+
+    @classmethod
+    def from_json(
+        cls, path: Union[str, Path], seed: Optional[int] = 42
+    ) -> "Scenario":
+        """Load a scenario document written by :meth:`to_json`."""
+        try:
+            doc = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{path}: not valid JSON: {exc}") from exc
+        return cls.from_document(doc, seed=seed, name=Path(path).stem)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_document(self) -> Dict[str, Any]:
+        """Serialize topology + workload curves via :mod:`repro.io`."""
+        from repro.io import topology_to_document
+
+        if self.topology is None:
+            raise ConfigurationError("scenario has no topology to serialize")
+        workloads: Dict[str, Mapping[str, WorkloadCurve]] = {
+            app.name: app.workloads for app in self.applications
+        }
+        if not workloads:
+            workloads = dict(self.workload_curves)
+        return topology_to_document(self.topology, workloads or None)
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        """Write the scenario document as JSON (round-trips from_json)."""
+        Path(path).write_text(
+            json.dumps(self.to_document(), indent=2, sort_keys=True)
+        )
+
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        *,
+        dt: float = 0.01,
+        mode: str = "adaptive",
+        trace: Any = None,
+        profile: bool = False,
+        collect: Optional[Collect] = None,
+    ) -> "SimulationSession":
+        """Build the engine, register the topology and wire the runner."""
+        return SimulationSession(
+            self, dt=dt, mode=mode, trace=trace, profile=profile,
+            collect=collect,
+        )
+
+
+class SimulationSession:
+    """A prepared simulation: engine + runner + collector, not yet run.
+
+    Registration order is fixed and deterministic: every data center
+    holon (topology insertion order), then primary WAN links, then
+    secondary links.  The cascade runner is seeded ``scenario.seed + 7``
+    and open-loop workloads ``scenario.seed + 100 + i`` so repeated
+    runs of one scenario are reproducible.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        dt: float = 0.01,
+        mode: str = "adaptive",
+        trace: Any = None,
+        profile: bool = False,
+        collect: Optional[Collect] = None,
+    ) -> None:
+        if scenario.topology is None:
+            raise ConfigurationError("scenario has no topology")
+        if mode not in ("adaptive", "fixed"):
+            raise ConfigurationError(
+                f"engine mode must be 'adaptive' or 'fixed', got {mode!r}"
+            )
+        self.scenario = scenario
+        self.sim = Simulator(dt=dt, mode=mode, trace=trace, profile=profile)
+        topo = scenario.topology
+        for dc in topo.datacenters.values():
+            self.sim.add_holon(dc)
+        self.sim.add_agents(topo.links.values())
+        self.sim.add_agents(topo._secondary.values())
+        placement = scenario.placement
+        if placement is None:
+            placement = SingleMasterPlacement(next(iter(topo.datacenters)))
+        self.placement = placement
+        runner_seed = scenario.runner_seed
+        if runner_seed is None:
+            runner_seed = scenario.seed + 7
+        self.runner = CascadeRunner(
+            topo, placement, seed=runner_seed, tracer=self.sim.trace
+        )
+        self.collector: Optional[Collector] = None
+        self.workloads: List[OpenLoopWorkload] = []
+        self._workloads_started = False
+        self._collect_cfg = collect
+        if scenario.setup is not None:
+            scenario.setup(self)
+        if collect is not None and self.collector is None:
+            self.collect(
+                sample_interval=collect.sample_interval,
+                samples_per_snapshot=collect.samples_per_snapshot,
+                tier_cpu=collect.tier_cpu,
+            )
+
+    # ------------------------------------------------------------------
+    def collect(
+        self,
+        sample_interval: float = 6.0,
+        samples_per_snapshot: int = 1,
+        tier_cpu: bool = True,
+    ) -> Collector:
+        """Create (once) the measurement collector for this session."""
+        if self.collector is not None:
+            return self.collector
+        self.collector = Collector(
+            self.sim,
+            sample_interval=sample_interval,
+            samples_per_snapshot=samples_per_snapshot,
+        )
+        if tier_cpu:
+            for dc_name, dc in self.scenario.topology.datacenters.items():
+                for tier in dc.tiers.values():
+                    self.collector.add_probe(
+                        f"cpu.{dc_name}.{tier.kind}",
+                        (lambda t: lambda now: t.cpu_utilization(now))(tier),
+                    )
+        return self.collector
+
+    def _start_workloads(self, until: float) -> None:
+        """Wire one open-loop workload per (application, client DC)."""
+        i = 0
+        for app in self.scenario.applications:
+            for dc_name, curve in app.workloads.items():
+                if max(curve.hourly) <= 0:
+                    continue
+                wl = OpenLoopWorkload(
+                    self.sim,
+                    self.runner,
+                    dc_name,
+                    curve,
+                    app.mix,
+                    app.operations,
+                    ops_per_client_hour=app.ops_per_client_hour,
+                    application=app.name,
+                    scale=self.scenario.scale,
+                    seed=self.scenario.seed + 100 + i,
+                )
+                wl.start(until)
+                self.workloads.append(wl)
+                i += 1
+
+    def run(self, until: float, workloads: bool = True) -> "SimulationResult":
+        """Run to ``until``; standard workloads start on the first call."""
+        if workloads and not self._workloads_started:
+            self._workloads_started = True
+            self._start_workloads(until)
+        self.sim.run(until)
+        return self.result(until)
+
+    def result(self, until: Optional[float] = None) -> "SimulationResult":
+        return SimulationResult(
+            scenario=self.scenario,
+            mode=self.sim.mode,
+            until=until if until is not None else self.sim.now,
+            records=list(self.runner.records),
+            trace=self.sim.trace,
+            profile=self.sim.profiler,
+            collector=self.collector,
+            session=self,
+            study=self.scenario.study,
+        )
+
+
+@dataclass
+class SimulationResult:
+    """What a simulation produced: records, metrics, traces, reports."""
+
+    scenario: Scenario
+    mode: str
+    until: Optional[float]
+    records: List[OperationRecord] = field(default_factory=list)
+    trace: Any = None
+    profile: Any = None
+    collector: Optional[Collector] = None
+    session: Optional[SimulationSession] = None
+    study: Any = None
+    fluid: Any = None
+
+    # ------------------------------------------------------------------
+    # metrics accessors
+    # ------------------------------------------------------------------
+    def response_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-operation completed-count / mean / max response times."""
+        out: Dict[str, Dict[str, float]] = {}
+        for rec in self.records:
+            if rec.failed:
+                continue
+            row = out.setdefault(
+                rec.operation, {"n": 0.0, "mean": 0.0, "max": 0.0}
+            )
+            row["n"] += 1
+            row["mean"] += rec.response_time
+            row["max"] = max(row["max"], rec.response_time)
+        for row in out.values():
+            row["mean"] /= row["n"]
+        return out
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """A collector probe's (time, value) series."""
+        if self.collector is None:
+            raise ConfigurationError(
+                "no collector was configured (pass collect=Collect(...))"
+            )
+        return self.collector.series(name)
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Per-agent telemetry across the whole registered topology."""
+        topo = self.scenario.topology
+        out: Dict[str, Any] = {}
+        if topo is not None:
+            for agent in topo.all_agents():
+                out[agent.name] = agent.telemetry()
+        return out
+
+    # ------------------------------------------------------------------
+    # trace accessors
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Any]:
+        return [] if self.trace is None else self.trace.spans()
+
+    def cascades(self) -> List[Any]:
+        return [] if self.trace is None else self.trace.cascades()
+
+    def write_chrome_trace(self, path: Union[str, Path]) -> int:
+        """Export the trace for ``chrome://tracing``; returns #events."""
+        from repro.observability.exporters import write_chrome_trace
+
+        if self.trace is None:
+            raise ConfigurationError(
+                "tracing was disabled (pass trace='full' or 'sampling:p')"
+            )
+        return write_chrome_trace(str(path), self.spans(), self.cascades())
+
+    def waterfall(self, operation: Optional[str] = None) -> str:
+        """Mean per-agent latency waterfall from the recorded spans."""
+        from repro.observability.exporters import (
+            format_waterfall,
+            spans_waterfall_rows,
+        )
+
+        rows = spans_waterfall_rows(self.spans(), self.cascades(), operation)
+        title = operation or "all operations"
+        return format_waterfall(f"{self.scenario.name}: {title}", rows)
+
+
+def simulate(
+    scenario: Union[Scenario, str],
+    *,
+    until: Optional[float] = None,
+    dt: float = 0.01,
+    mode: str = "adaptive",
+    trace: Any = None,
+    profile: bool = False,
+    collect: Optional[Collect] = None,
+    workloads: bool = True,
+) -> SimulationResult:
+    """Run one scenario end to end and return its results.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`Scenario` or a spec name (``"consolidation"``,
+        ``"multimaster"``) resolved via :meth:`Scenario.from_spec`.
+    until:
+        Simulated horizon in seconds (required unless ``mode="fluid"``).
+    mode:
+        ``"adaptive"`` / ``"fixed"`` run the DES; ``"fluid"`` solves the
+        scenario analytically (no engine, ``until`` ignored).
+    trace:
+        Trace mode: ``None``/``"null"``, ``"full"``, ``"sampling:p"`` or
+        a :class:`~repro.observability.trace.TraceRecorder`.
+    collect:
+        A :class:`Collect` config; omitted means no collector.
+    workloads:
+        Start the standard open-loop workloads (disable when a
+        ``setup`` hook drives all traffic itself).
+    """
+    if isinstance(scenario, str):
+        scenario = Scenario.from_spec(scenario)
+    if mode == "fluid":
+        return _simulate_fluid(scenario)
+    if mode not in ("adaptive", "fixed"):
+        raise ConfigurationError(f"unknown simulate() mode {mode!r}")
+    if until is None:
+        raise ConfigurationError("simulate() needs until= for DES modes")
+    session = scenario.prepare(
+        dt=dt, mode=mode, trace=trace, profile=profile, collect=collect
+    )
+    return session.run(until, workloads=workloads)
+
+
+def _simulate_fluid(scenario: Scenario) -> SimulationResult:
+    """Solve the scenario analytically (chapter 6/7 pipeline)."""
+    from repro.fluid.solver import FluidSolver
+
+    study = scenario.study
+    if study is not None and getattr(study, "fluid", None) is not None:
+        solver = study.fluid
+    else:
+        if scenario.topology is None or not scenario.applications:
+            raise ConfigurationError(
+                "fluid mode needs a topology and applications"
+            )
+        placement = scenario.placement
+        if placement is None:
+            placement = SingleMasterPlacement(
+                next(iter(scenario.topology.datacenters))
+            )
+        solver = FluidSolver(
+            scenario.topology, scenario.applications, placement
+        )
+    return SimulationResult(
+        scenario=scenario,
+        mode="fluid",
+        until=None,
+        study=study,
+        fluid=solver,
+    )
+
+
+def fluid_waterfall(
+    result: SimulationResult,
+    app_name: str,
+    op_name: str,
+    client_dc: str,
+    hour: float = 15.0,
+) -> str:
+    """Latency waterfall of one operation from a fluid-mode result.
+
+    The rendered total equals ``FluidSolver.response_time`` for the same
+    (operation, client DC, instant) exactly — the waterfall *is* the
+    response-time pipeline, decomposed.
+    """
+    from repro.observability.exporters import format_waterfall, resource_label
+
+    if result.fluid is None:
+        raise ConfigurationError("result has no fluid solver")
+    app = next(
+        a for a in result.scenario.applications if a.name == app_name
+    )
+    decomp = result.fluid.response_decomposition(
+        app, op_name, client_dc, hour * HOUR
+    )
+    rows = [(resource_label(k), v) for k, v in decomp.rows()]
+    return format_waterfall(
+        f"{op_name} from {client_dc} @ {hour:04.1f}h",
+        rows,
+        latency=decomp.latency,
+    )

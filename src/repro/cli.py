@@ -6,6 +6,7 @@ Gives operators the thesis's headline evaluations without writing code:
 * ``consolidation`` — the chapter 6 consolidated-platform report
 * ``multimaster``   — the chapter 7 multiple-master comparison
 * ``attack``        — the DoS / admission-control evaluation (Fig 1-1 #7)
+* ``trace``         — latency waterfalls + Chrome trace export
 * ``export``        — write a case-study scenario as a JSON document
 * ``info``          — library and model inventory
 """
@@ -38,6 +39,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ["repro.validation", "chapter 5 experiments, RMSE pipeline"],
         ["repro.studies", "chapters 6/7 + attack protection"],
         ["repro.baselines", "MDCSim / Urgaonkar comparators"],
+        ["repro.observability", "cascade tracing, telemetry, profiling"],
+        ["repro.api", "simulate() facade over scenarios"],
     ]
     print(format_table(["package", "contents"], rows))
     return 0
@@ -48,11 +51,11 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.validation.experiments import rmse_table
 
     spec = EXPERIMENTS[args.experiment - 1]
-    print(f"running {spec.label} ({args.horizon:.0f}s horizon) on both "
+    print(f"running {spec.label} ({args.until:.0f}s horizon) on both "
           "systems...")
-    kw = dict(horizon=args.horizon, launch_until=args.horizon * 0.92,
-              steady_window=(min(300.0, args.horizon * 0.3),
-                             args.horizon * 0.9))
+    kw = dict(until=args.until, launch_until=args.until * 0.92,
+              steady_window=(min(300.0, args.until * 0.3),
+                             args.until * 0.9))
     phys = run_experiment(spec, physical=True, **kw)
     sim = run_experiment(spec, physical=False, **kw)
     rows = []
@@ -144,6 +147,77 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.api import fluid_waterfall, simulate
+    from repro.fluid.spans import synthesize_spans
+    from repro.observability.exporters import write_chrome_trace
+    from repro.software.workload import HOUR
+
+    if args.des:
+        return _cmd_trace_des(args)
+
+    res = simulate(args.study, mode="fluid")
+    apps = {a.name: a for a in res.scenario.applications}
+    if args.app not in apps:
+        print(f"repro trace: error: unknown application {args.app!r}; "
+              f"available: {', '.join(sorted(apps))}", file=sys.stderr)
+        return 2
+    app = apps[args.app]
+    if args.operation and args.operation not in app.operations:
+        print(f"repro trace: error: application {app.name!r} has no "
+              f"operation {args.operation!r}; available: "
+              f"{', '.join(sorted(app.operations))}", file=sys.stderr)
+        return 2
+    op_names = ([args.operation] if args.operation
+                else [n for n in app.operations
+                      if app.mix.fraction(n) > 0])
+    cascades, spans = [], []
+    origin = 0.0
+    for op_name in op_names:
+        print(fluid_waterfall(res, app.name, op_name, args.client_dc,
+                              hour=args.hour))
+        print()
+        cascade, chain = synthesize_spans(
+            res.fluid, app, op_name, args.client_dc, args.hour * HOUR,
+            origin=origin)
+        cascades.append(cascade)
+        spans.extend(chain)
+        origin = cascade.end + 1.0
+        rt = res.fluid.response_time(app, op_name, args.client_dc,
+                                     args.hour * HOUR)
+        total = sum(s.duration for s in chain)
+        if abs(total - rt) > 0.01 * rt:
+            print(f"WARNING: waterfall total {total:.4f}s deviates from "
+                  f"response-time pipeline {rt:.4f}s")
+            return 1
+    n = write_chrome_trace(args.out, spans, cascades)
+    print(f"wrote {n} Chrome trace events ({len(cascades)} operations) "
+          f"to {args.out} — open in chrome://tracing or ui.perfetto.dev")
+    return 0
+
+
+def _cmd_trace_des(args: argparse.Namespace) -> int:
+    """DES capture: run a scaled-down scenario with full tracing."""
+    from repro.api import Scenario, simulate
+    from repro.observability.exporters import telemetry_table
+
+    scenario = Scenario.from_spec(args.study)
+    scenario.scale = args.scale
+    res = simulate(scenario, until=args.des, trace="full")
+    print(f"{len(res.records)} operations, {len(res.spans())} spans, "
+          f"{len(res.cascades())} traced cascades at scale {args.scale}")
+    ops = sorted({c.operation for c in res.cascades()})
+    for op_name in ops if not args.operation else [args.operation]:
+        print()
+        print(res.waterfall(op_name))
+    n = res.write_chrome_trace(args.out)
+    print(f"\nwrote {n} Chrome trace events to {args.out}")
+    tel = {name: t for name, t in res.telemetry().items() if t.arrivals > 0}
+    print()
+    print(telemetry_table(tel, limit=12))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -158,7 +232,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("validate", help="run a chapter 5 experiment")
     p.add_argument("--experiment", type=int, choices=(1, 2, 3), default=2)
-    p.add_argument("--horizon", type=float, default=900.0,
+    p.add_argument("--until", "--horizon", dest="until", type=float,
+                   default=900.0,
                    help="simulated seconds (2280 = thesis length)")
     p.set_defaults(func=_cmd_validate)
 
@@ -173,6 +248,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flood-rate", type=float, default=60.0)
     p.set_defaults(func=_cmd_attack)
 
+    p = sub.add_parser("trace",
+                       help="latency waterfalls + Chrome trace export")
+    p.add_argument("study", choices=("consolidation", "multimaster"),
+                   help="case-study scenario to trace")
+    p.add_argument("--hour", type=float, default=15.0,
+                   help="instant of the day to decompose (fluid mode)")
+    p.add_argument("--app", default="CAD")
+    p.add_argument("--operation", default=None,
+                   help="one operation (default: every operation in the mix)")
+    p.add_argument("--client-dc", default="DEU")
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace_event JSON output path")
+    p.add_argument("--des", type=float, default=None, metavar="SECONDS",
+                   help="capture real spans from a scaled-down DES run "
+                        "instead of the fluid decomposition")
+    p.add_argument("--scale", type=float, default=0.02,
+                   help="client-population scale for --des")
+    p.set_defaults(func=_cmd_trace)
+
     p = sub.add_parser("export",
                        help="write a case-study scenario as JSON")
     p.add_argument("path", help="output file")
@@ -183,20 +277,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    from repro.io import save_scenario
-    from repro.studies.workloads import (
-        cad_workloads,
-        pdm_workloads,
-        vis_workloads,
-    )
+    from repro.api import Scenario
 
-    if args.study == "consolidation":
-        from repro.studies.consolidation import consolidated_topology as build
-    else:
-        from repro.studies.multimaster import multimaster_topology as build
-    workloads = {"CAD": cad_workloads(), "VIS": vis_workloads(),
-                 "PDM": pdm_workloads()}
-    save_scenario(args.path, build(), workloads)
+    Scenario.from_spec(args.study).to_json(args.path)
     print(f"wrote the {args.study} scenario to {args.path}")
     return 0
 

@@ -34,7 +34,14 @@ class Agent(ABC):
         # set by the engine at registration; lets submit() move the agent
         # onto the active list without the engine scanning every agent
         self._waker = None
+        # set by the engine at registration when tracing is enabled;
+        # internal sub-agents (never registered) stay untraced
+        self._tracer = None
         self._paused = False
+        # telemetry counters (see Agent.telemetry)
+        self.arrivals = 0
+        self.drops = 0
+        self.queue_hwm = 0
 
     # ------------------------------------------------------------------
     # control signals
@@ -69,6 +76,12 @@ class Agent(ABC):
         """
         job.enqueue_time = now
         self.enqueue(job, now)
+        self.arrivals += 1
+        depth = self.queue_length()
+        if depth > self.queue_hwm:
+            self.queue_hwm = depth
+        if self._tracer is not None:
+            self._tracer.on_submit(self, job, now)
         if self._waker is not None:
             self._waker(self)
 
@@ -107,6 +120,52 @@ class Agent(ABC):
         """Accumulate busy time for utilization accounting."""
         self.busy_time += busy_server_seconds
         self._window_busy += busy_server_seconds
+
+    def record_drop(self, n: int = 1) -> None:
+        """Count jobs rejected/aborted instead of served (admission
+        control, failure injection)."""
+        self.drops += n
+
+    # ------------------------------------------------------------------
+    # telemetry protocol
+    # ------------------------------------------------------------------
+    def telemetry(self):
+        """Lifetime counters of this agent as an ``AgentTelemetry``.
+
+        Uniform across all hardware and topology agents: arrivals,
+        completions, drops, busy server-seconds, current queue depth and
+        the queue-length high-water mark; device-specific gauges ride in
+        ``extras``.
+        """
+        # imported lazily: repro.observability must not be a hard import
+        # dependency of the core agent module
+        from repro.observability.telemetry import AgentTelemetry
+
+        return AgentTelemetry(
+            name=self.name,
+            agent_type=self.agent_type,
+            arrivals=self.arrivals,
+            completions=self._completions(),
+            drops=self.drops,
+            busy_time=self._busy_seconds(),
+            queue_length=self.queue_length(),
+            queue_hwm=self.queue_hwm,
+            extras=self._telemetry_extras(),
+        )
+
+    def _completions(self) -> int:
+        """Jobs fully served; queue subclasses report their counter and
+        composites aggregate their internal stages."""
+        return 0
+
+    def _busy_seconds(self) -> float:
+        """Cumulative busy server-seconds; composites sum their stages
+        (their own ``record_busy`` is never called)."""
+        return self.busy_time
+
+    def _telemetry_extras(self) -> Dict[str, float]:
+        """Agent-specific gauges merged into the telemetry record."""
+        return {}
 
     # ------------------------------------------------------------------
     # failure injection (section 1.1, "Continuous Failure")
@@ -200,6 +259,10 @@ class Holon:
     def sample(self, now: float) -> Dict[str, Dict[str, float]]:
         """Collect samples from every agent, keyed by agent name."""
         return {a.name: a.sample(now) for a in self.agents()}
+
+    def telemetry(self) -> Dict[str, "object"]:
+        """Telemetry records of every agent in the holarchy, by name."""
+        return {a.name: a.telemetry() for a in self.agents()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

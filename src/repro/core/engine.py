@@ -22,11 +22,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Dict, Iterable, List, Tuple
+import time as _time
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.agent import Agent, Holon
 from repro.core.clock import SimClock
 from repro.core.errors import SimulationError
+from repro.observability.profiler import EngineProfiler
+from repro.observability.trace import TraceRecorder, make_recorder
 
 EventFn = Callable[[float], None]
 
@@ -51,13 +54,30 @@ class Simulator:
         Base tick in simulated seconds.
     mode:
         ``"fixed"`` or ``"adaptive"`` stepping (see module docstring).
+    trace:
+        Trace mode: ``None``/``"null"`` (off, zero hot-path cost),
+        ``"full"``, ``"sampling:p"``, or a prebuilt
+        :class:`~repro.observability.trace.TraceRecorder`.
+    profile:
+        When true, account wall-clock time per engine phase in
+        :attr:`profiler` (the unprofiled loop is untouched otherwise).
     """
 
-    def __init__(self, dt: float = 0.01, mode: str = "adaptive") -> None:
+    def __init__(
+        self,
+        dt: float = 0.01,
+        mode: str = "adaptive",
+        trace: Union[None, str, TraceRecorder] = None,
+        profile: bool = False,
+    ) -> None:
         if mode not in ("fixed", "adaptive"):
             raise ValueError(f"unknown stepping mode {mode!r}")
         self.clock = SimClock(dt=dt)
         self.mode = mode
+        self.trace: Optional[TraceRecorder] = make_recorder(trace)
+        self.profiler: Optional[EngineProfiler] = (
+            EngineProfiler() if profile else None
+        )
         self.agents: List[Agent] = []
         # insertion-ordered so tick order (and thus sub-tick interleaving)
         # is deterministic run-to-run
@@ -74,6 +94,7 @@ class Simulator:
         """Register a leaf agent with the time loop."""
         self.agents.append(agent)
         agent._waker = self._wake
+        agent._tracer = self.trace
         if not agent.idle():
             self._active[agent] = None
         agent.local_time = max(agent.local_time, self.clock.now)
@@ -130,6 +151,9 @@ class Simulator:
         """Run the discrete time loop until simulation time ``until``."""
         if self._running:
             raise SimulationError("simulator is not re-entrant")
+        if self.profiler is not None:
+            self._run_profiled(until)
+            return
         self._running = True
         try:
             while self.clock.now < until - 1e-9:
@@ -155,6 +179,54 @@ class Simulator:
         # fire anything due exactly at the horizon
         self._fire_due_events()
         self._fire_due_monitors()
+
+    def _run_profiled(self, until: float) -> None:
+        """The run loop with per-phase wall-clock accounting.
+
+        Kept separate so the unprofiled loop pays nothing; the simulated
+        behaviour is identical — only ``perf_counter`` bracketing differs.
+        """
+        prof = self.profiler
+        clk = _time.perf_counter
+        self._running = True
+        prof.start_run()
+        try:
+            while self.clock.now < until - 1e-9:
+                t0 = clk()
+                self._fire_due_events()
+                t1 = clk()
+                self._fire_due_monitors()
+                t2 = clk()
+                prof.record("events", t1 - t0)
+                prof.record("monitors", t2 - t1)
+                if self.clock.now >= until - 1e-9:
+                    break
+                step = self._next_step(until)
+                t3 = clk()
+                prof.record("step_select", t3 - t2)
+                now = self.clock.now
+                gone = []
+                active = list(self._active)
+                for agent in active:
+                    agent.time_increment(now, step)
+                    if agent.idle():
+                        gone.append(agent)
+                for agent in gone:
+                    if agent.idle():  # may have been refilled mid-loop
+                        self._active.pop(agent, None)
+                prof.record("agent_step", clk() - t3, calls=len(active))
+                prof.ticks += 1
+                prof.agent_ticks += len(active)
+                self.clock.advance(step)
+        finally:
+            self._running = False
+            prof.end_run()
+        t0 = clk()
+        self._fire_due_events()
+        t1 = clk()
+        self._fire_due_monitors()
+        prof.record("events", t1 - t0)
+        prof.record("monitors", clk() - t1)
 
     # ------------------------------------------------------------------
     def _fire_due_events(self) -> None:

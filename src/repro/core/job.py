@@ -43,6 +43,7 @@ class Job:
         "enqueue_time",
         "start_time",
         "complete_time",
+        "cascade",
     )
 
     def __init__(
@@ -63,6 +64,8 @@ class Job:
         self.enqueue_time: float | None = None
         self.start_time: float | None = None
         self.complete_time: float | None = None
+        # cascade id set by the trace recorder when tracing is active
+        self.cascade: int | None = None
 
     @property
     def done(self) -> bool:

@@ -19,7 +19,15 @@ finding.  The DES and the fluid solver cross-check each other in the
 integration tests.
 """
 
-from repro.fluid.solver import FluidSolver, ClientLoad
+from repro.fluid.solver import FluidSolver, ClientLoad, ResponseDecomposition
 from repro.fluid.background import BackgroundSolver, BackgroundDay
+from repro.fluid.spans import synthesize_spans
 
-__all__ = ["FluidSolver", "ClientLoad", "BackgroundSolver", "BackgroundDay"]
+__all__ = [
+    "FluidSolver",
+    "ClientLoad",
+    "ResponseDecomposition",
+    "BackgroundSolver",
+    "BackgroundDay",
+    "synthesize_spans",
+]

@@ -18,6 +18,31 @@ MBIT = 1e6
 
 
 @dataclass(frozen=True)
+class ResponseDecomposition:
+    """One operation's mean response time, broken down per resource.
+
+    ``contributions`` maps canonical resource keys to *inflated* service
+    seconds (queueing included), in execution order; ``latency`` is the
+    constant propagation term.  The total equals
+    :meth:`FluidSolver.response_time` exactly.
+    """
+
+    operation: str
+    client_dc: str
+    t: float
+    latency: float
+    contributions: Dict[Tuple[str, str, str], float]
+
+    @property
+    def total(self) -> float:
+        return self.latency + sum(self.contributions.values())
+
+    def rows(self) -> List[Tuple[Tuple[str, str, str], float]]:
+        """(key, seconds) rows in execution order."""
+        return list(self.contributions.items())
+
+
+@dataclass(frozen=True)
 class ClientLoad:
     """One (application, operation, client DC, mapping) load stream."""
 
@@ -194,22 +219,43 @@ class FluidSolver:
         pw = erlang_c(rho * c, 1.0, c)  # lam=rho*c, mu=1
         return 1.0 + pw / (c * (1.0 - rho))
 
-    def response_time(self, app: Application, op_name: str, client_dc: str,
-                      t: float) -> float:
-        """Mean response time of one operation for one client DC at ``t``."""
-        total = 0.0
+    def response_decomposition(
+        self, app: Application, op_name: str, client_dc: str, t: float
+    ) -> "ResponseDecomposition":
+        """Per-resource latency breakdown of one operation at ``t``.
+
+        Inflated service seconds per resource key, weight-averaged over
+        placement owners, in footprint (= message execution) order.
+        :meth:`response_time` is exactly the total of this decomposition,
+        so exported waterfalls agree with the response-time pipeline by
+        construction.
+        """
+        contributions: Dict[Tuple[str, str, str], float] = {}
+        latency = 0.0
         total_w = 0.0
         client = Client(f"fluid.rt.{client_dc}", client_dc)
         for w, mapping in self.placement.weights(client_dc):
             fp = self.model.operation_footprint(
                 app.operation(op_name), mapping, client
             )
-            rt = fp.latency
+            latency += w * fp.latency
             for key, sec in fp.seconds.items():
-                rt += sec * self._inflation(key, t)
-            total += w * rt
+                contributions[key] = (
+                    contributions.get(key, 0.0) + w * sec * self._inflation(key, t)
+                )
             total_w += w
-        return total / total_w
+        return ResponseDecomposition(
+            operation=op_name,
+            client_dc=client_dc,
+            t=t,
+            latency=latency / total_w,
+            contributions={k: v / total_w for k, v in contributions.items()},
+        )
+
+    def response_time(self, app: Application, op_name: str, client_dc: str,
+                      t: float) -> float:
+        """Mean response time of one operation for one client DC at ``t``."""
+        return self.response_decomposition(app, op_name, client_dc, t).total
 
     def response_curve(self, app: Application, op_name: str, client_dc: str
                        ) -> List[float]:

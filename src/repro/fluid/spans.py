@@ -1,0 +1,82 @@
+"""Synthetic steady-state spans from the fluid solver.
+
+The DES emits real per-job spans; the fluid solver has no jobs, but its
+:meth:`~repro.fluid.solver.FluidSolver.response_decomposition` tells us
+how the *mean* operation spends its time.  This module lays those mean
+contributions out as a sequential span chain — one span per resource in
+message-execution order, plus a trailing propagation-latency span — so
+fluid results can flow through the same exporters (waterfalls, Chrome
+traces) and be compared hop-for-hop with DES traces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+from repro.fluid.solver import FluidSolver, ResponseDecomposition
+from repro.observability.exporters import resource_label
+from repro.observability.trace import CascadeInfo, Span
+from repro.software.application import Application
+
+_ids = itertools.count(1)
+
+
+def decomposition_spans(
+    decomp: ResponseDecomposition,
+    cascade_id: int | None = None,
+    origin: float = 0.0,
+) -> Tuple[CascadeInfo, List[Span]]:
+    """Lay one decomposition out as a cascade of sequential spans."""
+    cid = next(_ids) if cascade_id is None else cascade_id
+    spans: List[Span] = []
+    cursor = origin
+    rows = decomp.rows()
+    if decomp.latency > 0.0:
+        rows = rows + [(("propagation", "latency", "s"), decomp.latency)]
+    for key, sec in rows:
+        label = (
+            "propagation latency"
+            if key[0] == "propagation"
+            else resource_label(key)
+        )
+        spans.append(
+            Span(
+                cascade_id=cid,
+                span_id=next(_ids),
+                agent=label,
+                agent_type="fluid",
+                tag=decomp.operation,
+                demand=sec,
+                enqueue=cursor,
+                start=cursor,
+                end=cursor + sec,
+            )
+        )
+        cursor += sec
+    cascade = CascadeInfo(
+        cascade_id=cid,
+        operation=decomp.operation,
+        application="",
+        client_dc=decomp.client_dc,
+        start=origin,
+        end=cursor,
+    )
+    return cascade, spans
+
+
+def synthesize_spans(
+    solver: FluidSolver,
+    app: Application,
+    op_name: str,
+    client_dc: str,
+    t: float,
+    origin: float = 0.0,
+) -> Tuple[CascadeInfo, List[Span]]:
+    """Steady-state spans of one operation at instant ``t``.
+
+    The span chain's total duration equals
+    ``solver.response_time(app, op_name, client_dc, t)`` exactly.
+    """
+    decomp = solver.response_decomposition(app, op_name, client_dc, t)
+    return decomposition_spans(decomp, origin=origin)

@@ -100,6 +100,18 @@ class CPU(Agent):
         """Uncontended service time for a ``cycles`` demand on one core."""
         return cycles / self.frequency_hz
 
+    def _completions(self) -> int:
+        return sum(q.completed_count for q in self.socket_queues)
+
+    def _busy_seconds(self) -> float:
+        return sum(q.busy_time for q in self.socket_queues)
+
+    def _telemetry_extras(self) -> Dict[str, float]:
+        return {
+            f"socket{i}_busy_s": q.busy_time
+            for i, q in enumerate(self.socket_queues)
+        }
+
 
 class TimeSharedCPU(Agent):
     """Time-shared multithreading CPU (thesis section 9.1.1, future work).
@@ -163,6 +175,9 @@ class TimeSharedCPU(Agent):
 
     def capacity(self) -> float:
         return float(self.cores)
+
+    def _completions(self) -> int:
+        return self.completed_count
 
     def _admit(self, now: float) -> None:
         # time-sharing admits every eligible thread immediately

@@ -48,8 +48,13 @@ class Disk(Agent):
         self._rng = random.Random(seed)
         self.cache_hits = 0
         self.cache_misses = 0
+        self.completed_count = 0
 
     # ------------------------------------------------------------------
+    def _complete(self, job: Job, t: float) -> None:
+        self.completed_count += 1
+        job.finish(t)
+
     def enqueue(self, job: Job, now: float) -> None:
         hit = self._rng.random() < self.cache_hit_rate
         if hit:
@@ -59,10 +64,11 @@ class Disk(Agent):
 
         def dcc_done(_sub: Job, t: float) -> None:
             if hit:
-                job.finish(t)
+                self._complete(job, t)
             else:
                 self.hdd.submit(
-                    Job(job.demand, on_complete=lambda _s, t2: job.finish(t2),
+                    Job(job.demand,
+                        on_complete=lambda _s, t2: self._complete(job, t2),
                         not_before=t, tag=job.tag),
                     t,
                 )
@@ -78,6 +84,19 @@ class Disk(Agent):
 
     def capacity(self) -> float:
         return 1.0  # utilization is normalized to the bottleneck drive
+
+    def _completions(self) -> int:
+        return self.completed_count
+
+    def _busy_seconds(self) -> float:
+        return self.dcc.busy_time + self.hdd.busy_time
+
+    def _telemetry_extras(self) -> Dict[str, float]:
+        return {
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "hdd_busy_s": self.hdd.busy_time,
+        }
 
     def time_to_next_completion(self) -> float:
         return min(self.dcc.time_to_next_completion(), self.hdd.time_to_next_completion())

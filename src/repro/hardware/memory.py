@@ -109,6 +109,16 @@ class Memory(Agent):
     def queue_length(self) -> int:
         return 0
 
+    def _completions(self) -> int:
+        return self.arrivals  # allocations complete instantly
+
+    def _telemetry_extras(self) -> Dict[str, float]:
+        return {
+            "occupancy_bytes": self.occupancy_bytes,
+            "peak_allocated": self.peak_allocated,
+            "failed_allocations": float(self.failed_allocations),
+        }
+
     def sample(self, now: float) -> Dict[str, float]:
         self._window_start = now
         return {

@@ -67,12 +67,17 @@ class RAID(Agent):
         self._rng = random.Random(seed)
         self.cache_hits = 0
         self.cache_misses = 0
+        self.completed_count = 0
 
     @property
     def n_disks(self) -> int:
         return len(self.disks)
 
     # ------------------------------------------------------------------
+    def _complete(self, job: Job, t: float) -> None:
+        self.completed_count += 1
+        job.finish(t)
+
     def enqueue(self, job: Job, now: float) -> None:
         hit = self._rng.random() < self.array_cache_hit_rate
         if hit:
@@ -82,9 +87,10 @@ class RAID(Agent):
 
         def dacc_done(_sub: Job, t: float) -> None:
             if hit:
-                job.finish(t)
+                self._complete(job, t)
             else:
-                fanned = Job(job.demand, on_complete=lambda _s, t2: job.finish(t2),
+                fanned = Job(job.demand,
+                             on_complete=lambda _s, t2: self._complete(job, t2),
                              not_before=t, tag=job.tag)
                 self.forkjoin.submit(fanned, t)
 
@@ -99,6 +105,21 @@ class RAID(Agent):
 
     def capacity(self) -> float:
         return float(self.n_disks)
+
+    def _completions(self) -> int:
+        return self.completed_count
+
+    def _busy_seconds(self) -> float:
+        return self.dacc.busy_time + sum(
+            d._busy_seconds() for d in self.disks
+        )
+
+    def _telemetry_extras(self) -> Dict[str, float]:
+        return {
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "dacc_busy_s": self.dacc.busy_time,
+        }
 
     def time_to_next_completion(self) -> float:
         t = self.dacc.time_to_next_completion()

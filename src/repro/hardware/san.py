@@ -67,12 +67,17 @@ class SAN(Agent):
         self._rng = random.Random(seed)
         self.cache_hits = 0
         self.cache_misses = 0
+        self.completed_count = 0
 
     @property
     def n_disks(self) -> int:
         return len(self.disks)
 
     # ------------------------------------------------------------------
+    def _complete(self, job: Job, t: float) -> None:
+        self.completed_count += 1
+        job.finish(t)
+
     def enqueue(self, job: Job, now: float) -> None:
         hit = self._rng.random() < self.array_cache_hit_rate
         if hit:
@@ -81,13 +86,14 @@ class SAN(Agent):
             self.cache_misses += 1
 
         def fcal_done(_sub: Job, t: float) -> None:
-            fanned = Job(job.demand, on_complete=lambda _s, t2: job.finish(t2),
+            fanned = Job(job.demand,
+                         on_complete=lambda _s, t2: self._complete(job, t2),
                          not_before=t, tag=job.tag)
             self.forkjoin.submit(fanned, t)
 
         def dacc_done(_sub: Job, t: float) -> None:
             if hit:
-                job.finish(t)
+                self._complete(job, t)
             else:
                 self.fcal.submit(
                     Job(job.demand, on_complete=fcal_done, not_before=t, tag=job.tag),
@@ -117,6 +123,21 @@ class SAN(Agent):
 
     def capacity(self) -> float:
         return float(self.n_disks)
+
+    def _completions(self) -> int:
+        return self.completed_count
+
+    def _busy_seconds(self) -> float:
+        return sum(q.busy_time for q in self._stages()) + sum(
+            d._busy_seconds() for d in self.disks
+        )
+
+    def _telemetry_extras(self) -> Dict[str, float]:
+        return {
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "fcsw_busy_s": self.fcsw.busy_time,
+        }
 
     def time_to_next_completion(self) -> float:
         t = min(q.time_to_next_completion() for q in self._stages())

@@ -22,7 +22,7 @@ The document format::
 from __future__ import annotations
 
 import dataclasses
-import json
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
@@ -159,17 +159,31 @@ def save_scenario(
     topology: GlobalTopology,
     workloads: Optional[Mapping[str, Mapping[str, WorkloadCurve]]] = None,
 ) -> None:
-    """Write a scenario document as JSON."""
-    doc = topology_to_document(topology, workloads)
-    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True))
+    """Deprecated: use :meth:`repro.api.Scenario.to_json` instead."""
+    warnings.warn(
+        "save_scenario() is deprecated; build a repro.api.Scenario and "
+        "call its to_json() method",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import Scenario
+
+    Scenario(
+        topology=topology,
+        workload_curves={k: dict(v) for k, v in (workloads or {}).items()},
+    ).to_json(path)
 
 
 def load_scenario(
     path: Union[str, Path], seed: int | None = None
 ) -> Tuple[GlobalTopology, Dict[str, Dict[str, WorkloadCurve]]]:
-    """Load a scenario document from JSON."""
-    try:
-        doc = json.loads(Path(path).read_text())
-    except json.JSONDecodeError as exc:
-        raise ConfigurationError(f"{path}: not valid JSON: {exc}") from exc
-    return topology_from_document(doc, seed=seed)
+    """Deprecated: use :meth:`repro.api.Scenario.from_json` instead."""
+    warnings.warn(
+        "load_scenario() is deprecated; use repro.api.Scenario.from_json()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import Scenario
+
+    scenario = Scenario.from_json(path, seed=seed)
+    return scenario.topology, scenario.workload_curves

@@ -1,0 +1,52 @@
+"""Cross-cutting observability layer: tracing, telemetry, profiling.
+
+This package deliberately imports nothing from ``repro.core`` or
+``repro.fluid`` so the engine and agents can depend on it without
+cycles.  Four pieces:
+
+``trace``
+    Cascade-linked spans recorded by a ring-buffer
+    :class:`~repro.observability.trace.TraceRecorder` with ``null`` /
+    ``sampling(p)`` / ``full`` modes.
+
+``telemetry``
+    The :class:`~repro.observability.telemetry.AgentTelemetry` record
+    returned by every agent's ``telemetry()`` method.
+
+``profiler``
+    Wall-clock accounting per engine phase
+    (:class:`~repro.observability.profiler.EngineProfiler`).
+
+``exporters``
+    Chrome ``trace_event`` JSON, latency-decomposition waterfalls and
+    plain-text telemetry tables.
+"""
+
+from repro.observability.profiler import EngineProfiler
+from repro.observability.telemetry import AgentTelemetry, aggregate_telemetry
+from repro.observability.trace import (
+    CascadeInfo,
+    Span,
+    TraceRecorder,
+    make_recorder,
+)
+from repro.observability.exporters import (
+    chrome_trace_events,
+    format_waterfall,
+    telemetry_table,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "AgentTelemetry",
+    "CascadeInfo",
+    "EngineProfiler",
+    "Span",
+    "TraceRecorder",
+    "aggregate_telemetry",
+    "chrome_trace_events",
+    "format_waterfall",
+    "make_recorder",
+    "telemetry_table",
+    "write_chrome_trace",
+]

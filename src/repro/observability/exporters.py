@@ -1,0 +1,231 @@
+"""Trace and telemetry exporters.
+
+Three output formats:
+
+* Chrome ``trace_event`` JSON — load the file in ``chrome://tracing``
+  (or Perfetto) to inspect cascades on a per-agent timeline.
+* Latency-decomposition waterfalls — a per-operation breakdown across
+  tiers and links, directly comparable to the thesis's response-time
+  figures (Figs 6-15..6-20).
+* Plain-text telemetry tables for the CLI.
+
+Everything here is pure formatting over duck-typed span/telemetry
+records; the module imports nothing from ``repro.core`` or
+``repro.fluid``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+MICRO = 1e6  # trace_event timestamps are microseconds
+
+#: Waterfall rows: (label, inflated seconds) in execution order.
+WaterfallRow = Tuple[str, float]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+def chrome_trace_events(
+    spans: Iterable[Any],
+    cascades: Iterable[Any] = (),
+) -> List[Dict[str, Any]]:
+    """Convert spans (+ optional cascades) to ``trace_event`` dicts.
+
+    Each agent gets its own thread lane (named via ``M`` metadata
+    events); cascades land on a dedicated lane 0 so operations and
+    their hops line up vertically.  Spans become ``X`` complete events
+    whose ``args`` carry the cascade id, queueing delay and demand.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro simulation"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "cascades"},
+        },
+    ]
+    lanes: Dict[str, int] = {}
+
+    def lane(agent: str) -> int:
+        if agent not in lanes:
+            lanes[agent] = len(lanes) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": lanes[agent],
+                    "args": {"name": agent},
+                }
+            )
+        return lanes[agent]
+
+    for c in cascades:
+        end = c.end if c.end == c.end else c.start  # NaN-safe
+        events.append(
+            {
+                "name": c.operation or "cascade",
+                "cat": "cascade",
+                "ph": "X",
+                "ts": c.start * MICRO,
+                "dur": max(end - c.start, 0.0) * MICRO,
+                "pid": 1,
+                "tid": 0,
+                "args": {
+                    "cascade": c.cascade_id,
+                    "application": c.application,
+                    "client_dc": c.client_dc,
+                    "failed": bool(c.failed),
+                },
+            }
+        )
+
+    for s in spans:
+        events.append(
+            {
+                "name": str(s.tag) if s.tag is not None else s.agent,
+                "cat": s.agent_type,
+                "ph": "X",
+                "ts": s.start * MICRO,
+                "dur": max(s.end - s.start, 0.0) * MICRO,
+                "pid": 1,
+                "tid": lane(s.agent),
+                "args": {
+                    "cascade": s.cascade_id,
+                    "agent": s.agent,
+                    "wait_s": s.wait,
+                    "demand": s.demand,
+                },
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Iterable[Any],
+    cascades: Iterable[Any] = (),
+) -> int:
+    """Write a ``chrome://tracing``-loadable JSON file; returns #events."""
+    events = chrome_trace_events(spans, cascades)
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# latency waterfalls
+# ----------------------------------------------------------------------
+def resource_label(key: Sequence[str]) -> str:
+    """Render a canonical resource key ``(dc, role, kind)`` for reports."""
+    dc, role, kind = key
+    if dc == "link":
+        return f"wan:{role}"
+    return f"{dc}/{role}/{kind}"
+
+
+def format_waterfall(
+    title: str,
+    rows: Sequence[WaterfallRow],
+    latency: float = 0.0,
+    width: int = 28,
+) -> str:
+    """Render a latency waterfall: per-resource bars with running offsets.
+
+    ``rows`` are (label, seconds) contributions in execution order;
+    ``latency`` is the constant propagation term appended last.  The bar
+    of each row starts where the previous one ended, so the rendering
+    reads as a waterfall rather than a histogram.
+    """
+    all_rows: List[WaterfallRow] = list(rows)
+    if latency > 0.0:
+        all_rows.append(("propagation latency", latency))
+    total = sum(sec for _, sec in all_rows)
+    if total <= 0.0:
+        return f"{title}: no contributions"
+    label_w = max((len(label) for label, _ in all_rows), default=0)
+    label_w = max(label_w, len("total"))
+    lines = [f"{title}  (total {total:.4f} s)"]
+    offset = 0.0
+    for label, sec in all_rows:
+        lead = int(round(width * offset / total))
+        bar = int(round(width * sec / total))
+        if sec > 0.0 and bar == 0:
+            bar = 1
+        lead = min(lead, width - bar)
+        lines.append(
+            f"  {label:<{label_w}} {sec:>9.4f}s {sec / total:>6.1%} "
+            f"|{' ' * lead}{'#' * bar}{' ' * (width - lead - bar)}|"
+        )
+        offset += sec
+    lines.append(f"  {'total':<{label_w}} {total:>9.4f}s {1.0:>6.1%}")
+    return "\n".join(lines)
+
+
+def spans_waterfall_rows(
+    spans: Iterable[Any],
+    cascades: Iterable[Any],
+    operation: Optional[str] = None,
+) -> List[WaterfallRow]:
+    """Mean per-agent time contributions of traced cascades (DES side).
+
+    Averages each agent's total sojourn seconds over the completed
+    cascades of one operation (all operations when ``None``), ordered by
+    first appearance within a cascade — the empirical counterpart of the
+    fluid decomposition.
+    """
+    wanted = {
+        c.cascade_id
+        for c in cascades
+        if (operation is None or c.operation == operation) and not c.failed
+    }
+    if not wanted:
+        return []
+    per_agent: Dict[str, float] = {}
+    order: List[str] = []
+    for s in spans:
+        if s.cascade_id not in wanted:
+            continue
+        if s.agent not in per_agent:
+            per_agent[s.agent] = 0.0
+            order.append(s.agent)
+        per_agent[s.agent] += s.duration
+    n = len(wanted)
+    return [(agent, per_agent[agent] / n) for agent in order]
+
+
+# ----------------------------------------------------------------------
+# telemetry tables
+# ----------------------------------------------------------------------
+def telemetry_table(telemetries: Mapping[str, Any], limit: int = 0) -> str:
+    """Plain-text table of per-agent counters, busiest agents first."""
+    rows = sorted(
+        telemetries.values(), key=lambda t: t.busy_time, reverse=True
+    )
+    if limit > 0:
+        rows = rows[:limit]
+    name_w = max((len(t.name) for t in rows), default=4)
+    name_w = max(name_w, len("agent"))
+    lines = [
+        f"{'agent':<{name_w}} {'type':<8} {'arriv':>8} {'compl':>8} "
+        f"{'drops':>6} {'busy_s':>10} {'qlen':>5} {'q_hwm':>5}"
+    ]
+    for t in rows:
+        lines.append(
+            f"{t.name:<{name_w}} {t.agent_type:<8} {t.arrivals:>8d} "
+            f"{t.completions:>8d} {t.drops:>6d} {t.busy_time:>10.3f} "
+            f"{t.queue_length:>5d} {t.queue_hwm:>5d}"
+        )
+    return "\n".join(lines)

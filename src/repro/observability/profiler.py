@@ -1,0 +1,80 @@
+"""Wall-clock profiling of the engine's own phases.
+
+Answers "where does *simulator* time go" (as opposed to simulated
+time): event-calendar firing, monitor callbacks (the collector), step
+selection and per-agent stepping.  The engine only touches the profiler
+from a dedicated profiled run loop, so the unprofiled hot path stays
+unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+#: Engine phases, in loop order.
+PHASES: Tuple[str, ...] = ("events", "monitors", "step_select", "agent_step")
+
+
+class EngineProfiler:
+    """Accumulates wall-clock seconds and call counts per engine phase."""
+
+    def __init__(self) -> None:
+        self.phase_seconds: Dict[str, float] = {p: 0.0 for p in PHASES}
+        self.phase_calls: Dict[str, int] = {p: 0 for p in PHASES}
+        self.ticks = 0
+        self.agent_ticks = 0
+        self.wall_seconds = 0.0
+        self._run_started: float | None = None
+
+    # ------------------------------------------------------------------
+    def record(self, phase: str, seconds: float, calls: int = 1) -> None:
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        self.phase_calls[phase] = self.phase_calls.get(phase, 0) + calls
+
+    def start_run(self) -> None:
+        self._run_started = time.perf_counter()
+
+    def end_run(self) -> None:
+        if self._run_started is not None:
+            self.wall_seconds += time.perf_counter() - self._run_started
+            self._run_started = None
+
+    # ------------------------------------------------------------------
+    @property
+    def accounted_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase seconds, call counts and share of accounted time."""
+        total = max(self.accounted_seconds, 1e-12)
+        return {
+            phase: {
+                "seconds": self.phase_seconds.get(phase, 0.0),
+                "calls": float(self.phase_calls.get(phase, 0)),
+                "share": self.phase_seconds.get(phase, 0.0) / total,
+            }
+            for phase in PHASES
+        }
+
+    def table(self) -> str:
+        """Human-readable phase breakdown."""
+        lines: List[str] = [
+            f"{'phase':<12} {'seconds':>10} {'calls':>10} {'share':>7}"
+        ]
+        for phase, row in self.summary().items():
+            lines.append(
+                f"{phase:<12} {row['seconds']:>10.4f} "
+                f"{int(row['calls']):>10d} {row['share']:>6.1%}"
+            )
+        lines.append(
+            f"{'total':<12} {self.accounted_seconds:>10.4f} "
+            f"{self.ticks:>10d} ticks  (wall {self.wall_seconds:.4f}s)"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EngineProfiler(ticks={self.ticks}, "
+            f"wall={self.wall_seconds:.4f}s)"
+        )

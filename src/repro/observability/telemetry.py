@@ -1,0 +1,77 @@
+"""Uniform per-agent counters (the ``Agent.telemetry()`` protocol).
+
+Every agent reports the same record regardless of its internals:
+arrivals, completions, drops, cumulative busy time, current queue depth
+and the queue-length high-water mark.  Composite agents (CPU packages,
+RAID/SAN arrays) surface their internal stages' completion counters and
+device-specific gauges via ``extras``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+
+@dataclass(slots=True)
+class AgentTelemetry:
+    """Lifetime counters of one agent.
+
+    ``busy_time`` is cumulative busy server-seconds; ``queue_length`` is
+    the instantaneous depth at collection time and ``queue_hwm`` the
+    maximum depth ever observed at submit.  ``extras`` carries
+    agent-specific gauges (cache hit counts, memory occupancy...).
+    """
+
+    name: str
+    agent_type: str
+    arrivals: int = 0
+    completions: int = 0
+    drops: int = 0
+    busy_time: float = 0.0
+    queue_length: int = 0
+    queue_hwm: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs accepted but not yet completed or dropped."""
+        return self.arrivals - self.completions - self.drops
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat numeric view (for collectors and exporters)."""
+        out: Dict[str, float] = {
+            "arrivals": float(self.arrivals),
+            "completions": float(self.completions),
+            "drops": float(self.drops),
+            "busy_time": self.busy_time,
+            "queue_length": float(self.queue_length),
+            "queue_hwm": float(self.queue_hwm),
+        }
+        out.update(self.extras)
+        return out
+
+
+def aggregate_telemetry(
+    telemetries: Iterable[AgentTelemetry],
+    name: str = "total",
+) -> AgentTelemetry:
+    """Sum counters across agents (extras are summed key-wise)."""
+    total = AgentTelemetry(name=name, agent_type="aggregate")
+    for t in telemetries:
+        total.arrivals += t.arrivals
+        total.completions += t.completions
+        total.drops += t.drops
+        total.busy_time += t.busy_time
+        total.queue_length += t.queue_length
+        total.queue_hwm = max(total.queue_hwm, t.queue_hwm)
+        for key, val in t.extras.items():
+            total.extras[key] = total.extras.get(key, 0.0) + val
+    return total
+
+
+def telemetry_rows(
+    telemetries: Mapping[str, AgentTelemetry],
+) -> List[AgentTelemetry]:
+    """Stable row order for tabular exporters: by name."""
+    return [telemetries[k] for k in sorted(telemetries)]

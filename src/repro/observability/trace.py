@@ -1,0 +1,299 @@
+"""Cascade-linked trace spans and the ring-buffer recorder.
+
+Every job an agent serves while a cascade context is active becomes a
+:class:`Span`: which agent, when it entered the queue, when service
+started, when it completed, and how much demand (R) it consumed.  Spans
+are linked by a *cascade id* so one operation's hops can be reassembled
+into a waterfall, mirroring how the thesis decomposes response times
+across tiers and links (Figs 6-15..6-20).
+
+The :class:`TraceRecorder` is deliberately cheap: spans go into a
+bounded ``deque`` (oldest evicted first) and the sampling decision is
+made *once per cascade*, so a sampled-out operation costs a single RNG
+draw and nothing per hop.  With tracing off the engine never constructs
+a recorder at all and agents pay one ``is not None`` check per submit.
+
+Cascade context propagates through the continuation-passing cascade
+machinery without threading ids through every call: the engine is
+single-threaded, so the recorder keeps a *current cascade* attribute
+that :meth:`TraceRecorder.on_submit` captures at submit time and
+restores around each job's continuation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Union
+
+DEFAULT_CAPACITY = 65536
+
+
+@dataclass(slots=True)
+class Span:
+    """One job's lifetime on one agent, linked to its cascade.
+
+    ``enqueue`` <= ``start`` <= ``end`` in simulation seconds; ``demand``
+    is the R consumed in the agent's native unit (cycles, bits, bytes).
+    """
+
+    cascade_id: int
+    span_id: int
+    agent: str
+    agent_type: str
+    tag: Any
+    demand: float
+    enqueue: float
+    start: float
+    end: float
+
+    @property
+    def wait(self) -> float:
+        """Seconds spent queued before service began."""
+        return self.start - self.enqueue
+
+    @property
+    def service(self) -> float:
+        """Seconds spent in service."""
+        return self.end - self.start
+
+    @property
+    def duration(self) -> float:
+        """Total sojourn (queue enter to completion)."""
+        return self.end - self.enqueue
+
+
+@dataclass(slots=True)
+class CascadeInfo:
+    """One traced operation instance: the root all its spans link to.
+
+    A sampled-out cascade (``sampled=False``) still exists as a context
+    object — it must propagate through continuations so its messages are
+    not mistaken for untraced background traffic — but records no spans
+    and is never committed to the ring buffer.
+    """
+
+    cascade_id: int
+    operation: str
+    application: str
+    client_dc: str
+    start: float
+    end: float = float("nan")
+    failed: bool = False
+    sampled: bool = True
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Bounded-memory span recorder driven by the engine.
+
+    Parameters
+    ----------
+    mode:
+        ``"full"`` records every cascade; ``"sampling"`` records each
+        cascade independently with probability ``sample_rate``.
+    sample_rate:
+        Per-cascade sampling probability (only used in sampling mode).
+    capacity:
+        Ring-buffer size for spans and cascades; the oldest entries are
+        evicted first and counted in :attr:`evicted_spans`.
+    seed:
+        Seed of the sampling RNG (kept separate from workload RNGs so
+        enabling tracing never perturbs simulated behaviour).
+    """
+
+    def __init__(
+        self,
+        mode: str = "full",
+        sample_rate: float = 1.0,
+        capacity: int = DEFAULT_CAPACITY,
+        seed: int = 0,
+    ) -> None:
+        if mode not in ("full", "sampling"):
+            raise ValueError(f"unknown trace mode {mode!r}")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {sample_rate}")
+        self.mode = mode
+        self.sample_rate = sample_rate if mode == "sampling" else 1.0
+        self.capacity = int(capacity)
+        self._spans: Deque[Span] = deque(maxlen=self.capacity)
+        self._cascades: Deque[CascadeInfo] = deque(maxlen=self.capacity)
+        self._rng = random.Random(seed)
+        self._cascade_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        #: the cascade whose continuations are currently executing; the
+        #: engine is single-threaded so a plain attribute suffices.
+        self.current: Optional[CascadeInfo] = None
+        self.started_cascades = 0
+        self.sampled_out = 0
+        self.evicted_spans = 0
+
+    # ------------------------------------------------------------------
+    # cascade lifecycle (driven by CascadeRunner)
+    # ------------------------------------------------------------------
+    def start_cascade(
+        self,
+        operation: str,
+        application: str,
+        client_dc: str,
+        now: float,
+    ) -> CascadeInfo:
+        """Open a cascade context (possibly sampled out, see CascadeInfo)."""
+        self.started_cascades += 1
+        sampled = True
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            self.sampled_out += 1
+            sampled = False
+        return CascadeInfo(
+            cascade_id=next(self._cascade_ids),
+            operation=operation,
+            application=application,
+            client_dc=client_dc,
+            start=now,
+            sampled=sampled,
+        )
+
+    def end_cascade(self, ctx: CascadeInfo, now: float, failed: bool = False) -> None:
+        """Close a cascade; sampled ones are committed to the ring buffer."""
+        ctx.end = now
+        ctx.failed = failed
+        if ctx.sampled:
+            self._cascades.append(ctx)
+
+    # ------------------------------------------------------------------
+    # the per-job hook (called from Agent.submit when a tracer is set)
+    # ------------------------------------------------------------------
+    def on_submit(self, agent: Any, job: Any, now: float) -> None:
+        """Attach the current cascade to a freshly submitted job.
+
+        The job's continuation is wrapped so that (a) a span is emitted
+        when the job finishes and (b) the cascade context is restored
+        around the continuation — everything the continuation submits
+        downstream inherits the cascade.  Jobs submitted outside any
+        cascade context (orphans) stay untraced.
+        """
+        ctx = self.current
+        if ctx is None:
+            return
+        inner = job.on_complete
+        if not ctx.sampled:
+            # context must keep propagating (so downstream messages are
+            # not mistaken for background traffic) but no span is kept
+            if inner is None:
+                return
+
+            def passthrough(j: Any, t: float) -> None:
+                prev = self.current
+                self.current = ctx
+                try:
+                    inner(j, t)
+                finally:
+                    self.current = prev
+
+            job.on_complete = passthrough
+            return
+        job.cascade = ctx.cascade_id
+        agent_name = agent.name
+        agent_type = agent.agent_type
+
+        def traced(j: Any, t: float) -> None:
+            if len(self._spans) == self.capacity:
+                self.evicted_spans += 1
+            enqueue = j.enqueue_time if j.enqueue_time is not None else t
+            start = j.start_time if j.start_time is not None else enqueue
+            self._spans.append(
+                Span(
+                    cascade_id=ctx.cascade_id,
+                    span_id=next(self._span_ids),
+                    agent=agent_name,
+                    agent_type=agent_type,
+                    tag=j.tag,
+                    demand=j.demand,
+                    enqueue=enqueue,
+                    start=start,
+                    end=t,
+                )
+            )
+            if inner is not None:
+                prev = self.current
+                self.current = ctx
+                try:
+                    inner(j, t)
+                finally:
+                    self.current = prev
+
+        job.on_complete = traced
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """All recorded spans, oldest first."""
+        return list(self._spans)
+
+    def cascades(self) -> List[CascadeInfo]:
+        """All completed cascades, oldest first."""
+        return list(self._cascades)
+
+    def spans_by_cascade(self) -> Dict[int, List[Span]]:
+        """Spans grouped by cascade id (each group in completion order)."""
+        out: Dict[int, List[Span]] = {}
+        for span in self._spans:
+            out.setdefault(span.cascade_id, []).append(span)
+        return out
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self._cascades.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceRecorder(mode={self.mode!r}, spans={len(self._spans)}, "
+            f"cascades={len(self._cascades)})"
+        )
+
+
+def make_recorder(
+    trace: Union[None, str, TraceRecorder],
+) -> Optional[TraceRecorder]:
+    """Build a recorder from a trace-mode spec.
+
+    Accepts ``None`` / ``"null"`` / ``"none"`` / ``"off"`` (no tracing),
+    ``"full"``, ``"sampling:p"`` or ``"sampling(p)"`` with a probability
+    ``p``, or an existing :class:`TraceRecorder` (returned as-is).
+    """
+    if trace is None:
+        return None
+    if isinstance(trace, TraceRecorder):
+        return trace
+    if not isinstance(trace, str):
+        raise ValueError(f"unknown trace spec {trace!r}")
+    spec = trace.strip().lower()
+    if spec in ("null", "none", "off", ""):
+        return None
+    if spec == "full":
+        return TraceRecorder(mode="full")
+    if spec.startswith("sampling"):
+        rest = spec[len("sampling"):].strip()
+        if rest.startswith(":"):
+            rest = rest[1:]
+        elif rest.startswith("(") and rest.endswith(")"):
+            rest = rest[1:-1]
+        elif rest == "":
+            raise ValueError(
+                "sampling mode needs a probability: 'sampling:0.1'"
+            )
+        try:
+            p = float(rest)
+        except ValueError:
+            raise ValueError(f"bad sampling probability in {trace!r}") from None
+        return TraceRecorder(mode="sampling", sample_rate=p)
+    raise ValueError(f"unknown trace spec {trace!r}")

@@ -52,6 +52,9 @@ class FCFSQueue(Agent):
     def capacity(self) -> float:
         return float(self.servers)
 
+    def _completions(self) -> int:
+        return self.completed_count
+
     def time_to_next_completion(self) -> float:
         if not self.in_service:
             if not self.waiting:

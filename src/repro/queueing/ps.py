@@ -67,6 +67,9 @@ class PSQueue(Agent):
     def capacity(self) -> float:
         return 1.0  # utilization is the busy fraction of the shared rate
 
+    def _completions(self) -> int:
+        return self.completed_count
+
     def time_to_next_completion(self) -> float:
         if self.active:
             share = self.rate / len(self.active)

@@ -72,9 +72,11 @@ class CascadeRunner:
         topology: GlobalTopology,
         placement: Placement,
         seed: int | None = None,
+        tracer=None,
     ) -> None:
         self.topology = topology
         self.placement = placement
+        self.tracer = tracer
         self.rng = random.Random(seed)
         self.records: List[OperationRecord] = []
         self.active_operations = 0
@@ -105,6 +107,12 @@ class CascadeRunner:
         mapping = self.placement.resolve(client.dc_name, self.rng)
         session: Dict[tuple, Server] = {}
         self.active_operations += 1
+        tracer = self.tracer
+        ctx = None
+        if tracer is not None:
+            ctx = tracer.start_cascade(
+                operation.name, application, client.dc_name, now
+            )
         record = OperationRecord(
             operation=operation.name,
             application=application,
@@ -133,6 +141,8 @@ class CascadeRunner:
             record.failed = failed
             self.active_operations -= 1
             self.records.append(record)
+            if ctx is not None:
+                tracer.end_cascade(ctx, t, failed)
             for obs in self._observers:
                 obs(record)
             if on_complete is not None:
@@ -160,7 +170,18 @@ class CascadeRunner:
                 tag=f"{operation.name}[{index}]",
             )
 
-        run_message(0, now)
+        if tracer is not None:
+            # activate the cascade context for the synchronous prefix of
+            # the cascade; jobs submitted inside inherit it and their
+            # wrapped continuations restore it for later messages
+            prev = tracer.current
+            tracer.current = ctx
+            try:
+                run_message(0, now)
+            finally:
+                tracer.current = prev
+        else:
+            run_message(0, now)
 
     # ------------------------------------------------------------------
     # message delivery primitives (shared with background jobs)
@@ -175,7 +196,40 @@ class CascadeRunner:
         on_complete: Callable[[float], None],
         tag: str = "",
     ) -> None:
-        """Run one message: origin leg -> network path -> destination leg."""
+        """Run one message: origin leg -> network path -> destination leg.
+
+        Called outside any operation (background replication, daemon
+        chatter) with tracing enabled, the message gets its own
+        anonymous cascade so background traffic shows up in traces too.
+        """
+        tracer = self.tracer
+        if tracer is not None and tracer.current is None:
+            ctx = tracer.start_cascade(tag or "background", "", src.dc, now)
+            inner = on_complete
+
+            def traced_done(t: float) -> None:
+                tracer.end_cascade(ctx, t)
+                inner(t)
+
+            prev = tracer.current
+            tracer.current = ctx
+            try:
+                self._deliver(src, dst, r, r_src, now, traced_done, tag)
+            finally:
+                tracer.current = prev
+            return
+        self._deliver(src, dst, r, r_src, now, on_complete, tag)
+
+    def _deliver(
+        self,
+        src: _Resolved,
+        dst: _Resolved,
+        r: R,
+        r_src: R,
+        now: float,
+        on_complete: Callable[[float], None],
+        tag: str = "",
+    ) -> None:
         if src.holon is dst.holon:
             # local call: only the destination-side work applies
             dst.holon.process_leg(

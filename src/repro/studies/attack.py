@@ -19,8 +19,6 @@ import random
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.core.engine import Simulator
-from repro.software.cascade import CascadeRunner
 from repro.software.client import Client
 from repro.software.message import CLIENT, MessageSpec
 from repro.software.operation import Operation
@@ -103,7 +101,7 @@ class FloodScenario:
     seed: int = 99
 
     # ------------------------------------------------------------------
-    def _build(self) -> tuple:
+    def _topology(self) -> GlobalTopology:
         topo = GlobalTopology(seed=self.seed)
         topo.add_datacenter(DataCenterSpec(
             name="DNA",
@@ -115,11 +113,7 @@ class FloodScenario:
             ),
             sans=(SANSpec(1, 4, 15000),),
         ))
-        sim = Simulator(dt=0.01)
-        sim.add_holon(topo.datacenter("DNA"))
-        runner = CascadeRunner(topo, SingleMasterPlacement("DNA"),
-                               seed=self.seed + 1)
-        return topo, sim, runner
+        return topo
 
     @staticmethod
     def _legit_operation() -> Operation:
@@ -139,52 +133,68 @@ class FloodScenario:
         ])
 
     # ------------------------------------------------------------------
-    def run(self, mitigated: bool) -> FloodOutcome:
+    def run(self, mitigated: bool, trace: object = None) -> FloodOutcome:
         """Execute the scenario with or without admission control."""
-        topo, sim, runner = self._build()
+        from repro.api import Scenario
+
+        topo = self._topology()
         rng = random.Random(self.seed + 2)
-        legit_client = Client("legit", "DNA", seed=1)
-        attacker = Client("attacker", "DNA", seed=2)
-        sim.add_holon(legit_client)
-        sim.add_holon(attacker)
         legit_op = self._legit_operation()
         flood_op = self._flood_operation()
         bucket = TokenBucket(self.admission_rate, self.admission_burst)
         flood_stats = {"requests": 0, "dropped": 0}
-
-        def legit_arrivals(now: float) -> None:
-            runner.launch(legit_op, legit_client, now, application="legit")
-            nxt = now + rng.expovariate(self.legit_rate)
-            if nxt < self.horizon:
-                sim.schedule(nxt, legit_arrivals)
-
-        def flood_arrivals(now: float) -> None:
-            flood_stats["requests"] += 1
-            admit = True
-            if mitigated:
-                # edge filter applies to the anomalous class only: the
-                # legitimate stream is far below the bucket rate
-                admit = bucket.admit(now)
-            if admit:
-                runner.launch(flood_op, attacker, now, application="flood")
-            else:
-                flood_stats["dropped"] += 1
-            nxt = now + rng.expovariate(self.flood_rate)
-            if nxt < self.flood_window[1]:
-                sim.schedule(nxt, flood_arrivals)
-
-        sim.schedule(0.0, legit_arrivals)
-        sim.schedule(self.flood_window[0], flood_arrivals)
-
         peak_util = {"v": 0.0}
-        tier = topo.datacenter("DNA").tier("app")
-        sim.add_monitor(5.0, lambda now: peak_util.__setitem__(
-            "v", max(peak_util["v"], tier.cpu_utilization(now))))
 
-        sim.run(self.horizon)
+        def setup(session) -> None:
+            sim, runner = session.sim, session.runner
+            legit_client = Client("legit", "DNA", seed=1)
+            attacker = Client("attacker", "DNA", seed=2)
+            sim.add_holon(legit_client)
+            sim.add_holon(attacker)
+
+            def legit_arrivals(now: float) -> None:
+                runner.launch(legit_op, legit_client, now,
+                              application="legit")
+                nxt = now + rng.expovariate(self.legit_rate)
+                if nxt < self.horizon:
+                    sim.schedule(nxt, legit_arrivals)
+
+            def flood_arrivals(now: float) -> None:
+                flood_stats["requests"] += 1
+                admit = True
+                if mitigated:
+                    # edge filter applies to the anomalous class only: the
+                    # legitimate stream is far below the bucket rate
+                    admit = bucket.admit(now)
+                if admit:
+                    runner.launch(flood_op, attacker, now,
+                                  application="flood")
+                else:
+                    flood_stats["dropped"] += 1
+                nxt = now + rng.expovariate(self.flood_rate)
+                if nxt < self.flood_window[1]:
+                    sim.schedule(nxt, flood_arrivals)
+
+            sim.schedule(0.0, legit_arrivals)
+            sim.schedule(self.flood_window[0], flood_arrivals)
+
+            tier = topo.datacenter("DNA").tier("app")
+            sim.add_monitor(5.0, lambda now: peak_util.__setitem__(
+                "v", max(peak_util["v"], tier.cpu_utilization(now))))
+
+        scenario = Scenario(
+            name="flood",
+            topology=topo,
+            placement=SingleMasterPlacement("DNA"),
+            seed=self.seed,
+            runner_seed=self.seed + 1,
+            setup=setup,
+        )
+        session = scenario.prepare(dt=0.01, trace=trace)
+        result = session.run(self.horizon)
 
         def legit_mean(t0: float, t1: float) -> float:
-            vals = [r.response_time for r in runner.records
+            vals = [r.response_time for r in result.records
                     if r.application == "legit" and t0 <= r.start < t1]
             if not vals:
                 raise ValueError(f"no legit operations in [{t0}, {t1})")

@@ -12,13 +12,13 @@ physical and the simulated infrastructure.
 from __future__ import annotations
 
 import time as _wallclock
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.engine import Simulator
 from repro.metrics.collector import Collector
 from repro.metrics.stats import SteadyStateStats, rmse, smooth, steady_state_stats
-from repro.software.cascade import CascadeRunner, OperationRecord
+from repro.software.cascade import OperationRecord
 from repro.software.placement import SingleMasterPlacement
 from repro.software.workload import SeriesLauncher
 from repro.validation.infrastructure import (
@@ -102,16 +102,33 @@ class ExperimentResult:
         return vals[min(int(q * len(vals)), len(vals) - 1)]
 
 
+def _canonical_until(until: Optional[float], horizon: Optional[float],
+                     default: float) -> float:
+    """Resolve the canonical ``until`` kwarg, warning on ``horizon``."""
+    if horizon is not None:
+        warnings.warn(
+            "the horizon= keyword is deprecated; use until=",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if until is None:
+            until = horizon
+    return default if until is None else until
+
+
 def run_experiment(
     spec: ExperimentSpec,
     physical: bool = False,
-    horizon: float = 2280.0,
+    until: Optional[float] = None,
     launch_until: Optional[float] = None,
     steady_window: Optional[Tuple[float, float]] = None,
     sample_interval: float = 6.0,
     dt: float = 0.01,
     seed: int = 42,
     perturbation: Optional[PhysicalPerturbation] = None,
+    trace: object = None,
+    profile: bool = False,
+    horizon: Optional[float] = None,
 ) -> ExperimentResult:
     """Run one validation experiment and collect its measurement series.
 
@@ -119,11 +136,18 @@ def run_experiment(
     dynamics, see :class:`PhysicalPerturbation`); ``physical=False`` runs
     the idealized GDISim model.  Both use identical workloads and
     sampling so their series pair sample-for-sample (eq. 5.5).
+
+    ``until`` is the simulated horizon in seconds (the old ``horizon=``
+    keyword still works but warns).  ``trace`` / ``profile`` flow into
+    the engine (see :mod:`repro.observability`).
     """
+    from repro.api import Scenario
+
+    until = _canonical_until(until, horizon, 2280.0)
     if launch_until is None:
-        launch_until = horizon * 0.92
+        launch_until = until * 0.92
     if steady_window is None:
-        steady_window = (min(300.0, horizon * 0.2), launch_until * 0.97)
+        steady_window = (min(300.0, until * 0.2), launch_until * 0.97)
 
     topo = build_downscaled_infrastructure(seed=seed)
     dc = topo.datacenter(DC_NAME)
@@ -134,44 +158,62 @@ def run_experiment(
         series = pert.perturb_series(series)
         pert.perturb_rates(topo)
 
-    sim = Simulator(dt=dt, mode="adaptive")
-    sim.add_holon(dc)
-    runner = CascadeRunner(
-        topo, SingleMasterPlacement(DC_NAME, local_fs=False), seed=seed + 7
+    # The launcher and collector are wired in the session's setup hook so
+    # that event/monitor registration order (and thus determinism) stays
+    # exactly as it was before the facade existed.
+    launchers: List[SeriesLauncher] = []
+
+    def setup(session) -> None:
+        launcher = SeriesLauncher(session.sim, session.runner, DC_NAME,
+                                  seed=seed + 11)
+        launchers.append(launcher)
+        launcher.schedule_series(series["light"], spec.light_interval,
+                                 launch_until)
+        launcher.schedule_series(series["average"], spec.average_interval,
+                                 launch_until)
+        launcher.schedule_series(series["heavy"], spec.heavy_interval,
+                                 launch_until)
+
+        if physical:
+            pert.install_os_background_load(session.sim, topo, until=until)
+
+        collector = Collector(session.sim, sample_interval=sample_interval)
+        collector.add_probe("clients",
+                            lambda now: float(launcher.active_series))
+        for tier_kind in TIERS:
+            tier = dc.tier(tier_kind)
+            collector.add_probe(
+                f"cpu.{tier_kind}",
+                (lambda t: lambda now: t.cpu_utilization(now))(tier),
+            )
+            collector.add_probe(
+                f"mem.{tier_kind}",
+                (lambda t: lambda now: sum(
+                    s.memory.occupancy_bytes for s in t.servers
+                ) / len(t.servers))(tier),
+            )
+        session.collector = collector
+
+    scenario = Scenario(
+        name=spec.name,
+        topology=topo,
+        placement=SingleMasterPlacement(DC_NAME, local_fs=False),
+        seed=seed,
+        setup=setup,
     )
-    launcher = SeriesLauncher(sim, runner, DC_NAME, seed=seed + 11)
-    launcher.schedule_series(series["light"], spec.light_interval, launch_until)
-    launcher.schedule_series(series["average"], spec.average_interval, launch_until)
-    launcher.schedule_series(series["heavy"], spec.heavy_interval, launch_until)
-
-    if physical:
-        pert.install_os_background_load(sim, topo, until=horizon)
-
-    collector = Collector(sim, sample_interval=sample_interval)
-    collector.add_probe("clients", lambda now: float(launcher.active_series))
-    for tier_kind in TIERS:
-        tier = dc.tier(tier_kind)
-        collector.add_probe(
-            f"cpu.{tier_kind}",
-            (lambda t: lambda now: t.cpu_utilization(now))(tier),
-        )
-        collector.add_probe(
-            f"mem.{tier_kind}",
-            (lambda t: lambda now: sum(
-                s.memory.occupancy_bytes for s in t.servers
-            ) / len(t.servers))(tier),
-        )
+    session = scenario.prepare(dt=dt, trace=trace, profile=profile)
+    collector = session.collector
 
     t0 = _wallclock.perf_counter()
-    sim.run(horizon)
+    session.run(until)
     wall = _wallclock.perf_counter() - t0
 
     result = ExperimentResult(
         spec=spec,
         physical=physical,
-        horizon=horizon,
+        horizon=until,
         steady_window=steady_window,
-        records=list(runner.records),
+        records=list(session.runner.records),
         wall_seconds=wall,
     )
     result.clients = collector.series("clients")
@@ -185,20 +227,22 @@ def run_experiment(
 
 
 def run_validation(
-    horizon: float = 2280.0,
+    until: Optional[float] = None,
     dt: float = 0.01,
     seed: int = 42,
+    horizon: Optional[float] = None,
 ) -> Dict[str, Dict[str, ExperimentResult]]:
     """Run all experiments on both systems.
 
     Returns ``results[experiment_name]["physical"|"simulated"]``.
     """
+    until = _canonical_until(until, horizon, 2280.0)
     out: Dict[str, Dict[str, ExperimentResult]] = {}
     for spec in EXPERIMENTS:
         out[spec.name] = {
-            "physical": run_experiment(spec, physical=True, horizon=horizon,
+            "physical": run_experiment(spec, physical=True, until=until,
                                        dt=dt, seed=seed),
-            "simulated": run_experiment(spec, physical=False, horizon=horizon,
+            "simulated": run_experiment(spec, physical=False, until=until,
                                         dt=dt, seed=seed),
         }
     return out

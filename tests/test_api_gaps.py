@@ -46,8 +46,114 @@ def test_snapshot_and_stats_dataclasses():
 
 @pytest.mark.slow
 def test_run_validation_covers_all_experiments():
-    results = run_validation(horizon=360.0)
+    results = run_validation(until=360.0)
     assert set(results) == {"Experiment-1", "Experiment-2", "Experiment-3"}
     for pair in results.values():
         assert set(pair) == {"physical", "simulated"}
         assert pair["simulated"].records
+
+
+# ----------------------------------------------------------------------
+# the simulate() facade
+# ----------------------------------------------------------------------
+def test_scenario_from_spec_consolidation():
+    from repro.api import Scenario
+
+    sc = Scenario.from_spec("consolidation")
+    assert sc.name == "consolidation"
+    assert "DNA" in sc.topology.datacenters
+    assert {a.name for a in sc.applications} == {"CAD", "VIS", "PDM"}
+    assert sc.study is not None
+
+
+def test_scenario_from_spec_unknown():
+    from repro.api import Scenario
+    from repro.core.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        Scenario.from_spec("mainframe")
+
+
+def test_simulate_requires_until_for_des():
+    from repro.api import simulate
+    from repro.core.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        simulate("consolidation")
+    with pytest.raises(ConfigurationError):
+        simulate("consolidation", until=10.0, mode="warp")
+
+
+def test_simulate_fluid_mode_returns_study_solver():
+    from repro.api import simulate
+
+    result = simulate("consolidation", mode="fluid")
+    assert result.mode == "fluid"
+    assert result.fluid is not None
+    assert result.study is not None
+    app = next(a for a in result.scenario.applications if a.name == "CAD")
+    assert result.fluid.response_time(app, "OPEN", "DEU", 54000.0) > 0
+
+
+def test_scenario_json_round_trip(tmp_path):
+    from repro.api import Scenario
+
+    sc = Scenario.from_spec("consolidation")
+    path = tmp_path / "scenario.json"
+    sc.to_json(path)
+    sc2 = Scenario.from_json(path)
+    assert sorted(sc2.topology.datacenters) == sorted(sc.topology.datacenters)
+    assert set(sc2.workload_curves) == {"CAD", "VIS", "PDM"}
+    assert sc2.to_document() == sc.to_document()
+
+
+def test_simulation_session_reuse():
+    from repro.api import Collect, Scenario
+
+    sc = Scenario.from_spec("consolidation")
+    sc.scale = 0.01
+    session = sc.prepare(collect=Collect(sample_interval=30.0))
+    first = session.run(60.0)
+    second = session.run(120.0)
+    assert second.until == 120.0
+    assert len(second.records) >= len(first.records)
+    assert session.collector.series("cpu.DNA.db")
+
+
+# ----------------------------------------------------------------------
+# deprecated entry points keep working, but warn
+# ----------------------------------------------------------------------
+def test_io_save_load_shims_warn(tmp_path):
+    from repro.api import Scenario
+    from repro.io import load_scenario, save_scenario
+
+    sc = Scenario.from_spec("consolidation")
+    path = tmp_path / "scenario.json"
+    with pytest.warns(DeprecationWarning):
+        save_scenario(path, sc.topology,
+                      {a.name: a.workloads for a in sc.applications})
+    with pytest.warns(DeprecationWarning):
+        topo, curves = load_scenario(path)
+    assert sorted(topo.datacenters) == sorted(sc.topology.datacenters)
+    assert set(curves) == {"CAD", "VIS", "PDM"}
+
+
+def test_run_experiment_horizon_kwarg_warns():
+    from repro.validation.experiments import EXPERIMENTS, run_experiment
+
+    with pytest.warns(DeprecationWarning, match="horizon"):
+        result = run_experiment(EXPERIMENTS[0], horizon=60.0,
+                                launch_until=50.0,
+                                steady_window=(10.0, 50.0))
+    assert result.horizon == 60.0
+
+
+def test_run_experiment_until_and_horizon_agree():
+    """until= wins when both are passed; horizon= still warns."""
+    from repro.validation.experiments import EXPERIMENTS, run_experiment
+
+    with pytest.warns(DeprecationWarning):
+        result = run_experiment(EXPERIMENTS[0], until=60.0, horizon=999.0,
+                                launch_until=50.0,
+                                steady_window=(10.0, 50.0))
+    assert result.horizon == 60.0

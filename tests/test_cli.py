@@ -49,4 +49,47 @@ def test_parser_defaults():
     parser = build_parser()
     args = parser.parse_args(["validate"])
     assert args.experiment == 2
-    assert args.horizon == 900.0
+    assert args.until == 900.0
+
+
+def test_parser_accepts_legacy_horizon_flag():
+    parser = build_parser()
+    args = parser.parse_args(["validate", "--horizon", "420"])
+    assert args.until == 420.0
+
+
+def test_trace_parser_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["trace", "consolidation"])
+    assert args.hour == 15.0
+    assert args.app == "CAD"
+    assert args.out == "trace.json"
+    assert args.des is None
+
+
+def test_trace_command_fluid(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "consolidation", "--hour", "15",
+                 "--operation", "OPEN", "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "OPEN from DEU" in text
+    assert "total" in text
+    import json
+
+    doc = json.loads(out.read_text())
+    events = doc["traceEvents"]
+    assert events, "trace export must not be empty"
+    assert all(e["ph"] in ("X", "M") for e in events)
+
+
+def test_trace_command_des(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "consolidation", "--des", "40",
+                 "--scale", "0.005", "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "traced cascades" in text
+    assert "agent" in text, "telemetry table must render"
+    import json
+
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]

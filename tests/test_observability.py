@@ -1,0 +1,310 @@
+"""Tests for repro.observability: tracing, telemetry, profiling, export."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import Collect, Scenario, simulate
+from repro.core.engine import Simulator
+from repro.core.job import Job
+from repro.observability import (
+    AgentTelemetry,
+    TraceRecorder,
+    aggregate_telemetry,
+    chrome_trace_events,
+    format_waterfall,
+    make_recorder,
+)
+from repro.queueing import FCFSQueue
+from repro.software.application import Application
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.resources import R
+from repro.software.workload import OperationMix, WorkloadCurve
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import DataCenterSpec, SANSpec, TierSpec
+
+
+# ----------------------------------------------------------------------
+# shared scenario: a small two-tier portal
+# ----------------------------------------------------------------------
+def portal_scenario(seed: int = 11, clients: float = 120.0) -> Scenario:
+    topo = GlobalTopology(seed=7)
+    topo.add_datacenter(DataCenterSpec(
+        name="DNA",
+        tiers=(
+            TierSpec("app", n_servers=2, cores_per_server=2, memory_gb=8.0,
+                     sockets=1),
+            TierSpec("fs", n_servers=1, cores_per_server=2, memory_gb=8.0,
+                     sockets=1, uses_san=True),
+        ),
+        sans=(SANSpec(servers=1, n_disks=4, drive_rpm=15000),),
+    ))
+    browse = Operation("BROWSE", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=2e9, net_kb=16)),
+        MessageSpec("app", CLIENT, r=R.of(net_kb=64)),
+    ])
+    fetch = Operation("FETCH", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=1e9, net_kb=8)),
+        MessageSpec("app", "fs", r=R.of(cycles=2e8, net_kb=8)),
+        MessageSpec("fs", "app", r=R.of(net_kb=256, disk_kb=256)),
+        MessageSpec("app", CLIENT, r=R.of(net_kb=256)),
+    ])
+    app = Application(
+        name="portal",
+        operations={"BROWSE": browse, "FETCH": fetch},
+        mix=OperationMix({"BROWSE": 0.6, "FETCH": 0.4}),
+        workloads={"DNA": WorkloadCurve([clients] * 24)},
+        ops_per_client_hour=20.0,
+    )
+    return Scenario(name="portal", topology=topo, applications=[app],
+                    seed=seed)
+
+
+# ----------------------------------------------------------------------
+# recorder construction
+# ----------------------------------------------------------------------
+def test_make_recorder_modes():
+    assert make_recorder(None) is None
+    assert make_recorder("null") is None
+    assert make_recorder("none") is None
+    assert make_recorder("off") is None
+    assert make_recorder("") is None
+    full = make_recorder("full")
+    assert isinstance(full, TraceRecorder) and full.sample_rate == 1.0
+    sampled = make_recorder("sampling:0.25")
+    assert sampled.sample_rate == pytest.approx(0.25)
+    assert make_recorder("sampling(0.5)").sample_rate == pytest.approx(0.5)
+    rec = TraceRecorder()
+    assert make_recorder(rec) is rec
+    with pytest.raises(ValueError):
+        make_recorder("verbose")
+    with pytest.raises(ValueError):
+        make_recorder("sampling:2.0")
+
+
+def test_null_trace_is_structurally_free():
+    """trace="null" must not install a recorder at all.
+
+    The overhead guard: with no recorder, Agent.submit pays exactly one
+    ``is not None`` check, identical to a build without observability —
+    so "within noise of no-trace" holds by construction, not by timing.
+    """
+    assert Simulator(trace="null").trace is None
+    assert Simulator(trace=None).trace is None
+    sim = Simulator(trace="null")
+    q = sim.add_agent(FCFSQueue("q", rate=1.0))
+    assert q._tracer is None
+
+
+def test_tracing_does_not_perturb_results():
+    """Identical seeds with and without tracing → identical records."""
+    base = simulate(portal_scenario(), until=120.0)
+    traced = simulate(portal_scenario(), until=120.0, trace="full")
+    assert len(base.records) == len(traced.records)
+    for a, b in zip(base.records, traced.records):
+        assert a.operation == b.operation
+        assert a.start == pytest.approx(b.start)
+        assert a.response_time == pytest.approx(b.response_time)
+
+
+# ----------------------------------------------------------------------
+# span-tree well-formedness
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [3, 11, 29])
+def test_span_tree_well_formed(seed):
+    result = simulate(portal_scenario(seed=seed), until=150.0, trace="full")
+    spans = result.spans()
+    cascades = {c.cascade_id: c for c in result.cascades()}
+    assert spans and cascades
+    for span in spans:
+        assert span.cascade_id in cascades or span.cascade_id is not None
+        assert span.end >= span.start >= span.enqueue
+        assert span.wait >= 0.0
+        assert span.service >= 0.0
+        assert span.duration == pytest.approx(span.wait + span.service)
+        assert span.agent
+        assert span.demand >= 0.0
+        casc = cascades.get(span.cascade_id)
+        if casc is not None and not math.isnan(casc.end):
+            assert casc.start - 1e-9 <= span.enqueue
+            assert span.end <= casc.end + 1e-9
+    for casc in cascades.values():
+        if not math.isnan(casc.end):
+            assert casc.end >= casc.start
+        assert casc.operation
+        assert casc.sampled
+
+
+def test_operation_cascades_match_records():
+    result = simulate(portal_scenario(), until=150.0, trace="full")
+    op_cascades = [c for c in result.cascades()
+                   if c.operation in ("BROWSE", "FETCH")
+                   and not math.isnan(c.end)]
+    completed = [r for r in result.records if not r.failed]
+    assert len(op_cascades) == len(completed)
+    grouped = result.trace.spans_by_cascade()
+    for casc in op_cascades:
+        assert grouped[casc.cascade_id], "every cascade has spans"
+
+
+def test_sampling_records_subset_without_perturbing():
+    full = simulate(portal_scenario(), until=150.0, trace="full")
+    sampled = simulate(portal_scenario(), until=150.0, trace="sampling:0.3")
+    none_sampled = simulate(portal_scenario(), until=150.0,
+                            trace="sampling:0.0")
+    assert len(sampled.cascades()) < len(full.cascades())
+    assert sampled.trace.sampled_out > 0
+    assert len(none_sampled.cascades()) == 0
+    assert len(none_sampled.spans()) == 0
+    # the simulated records themselves stay identical in all three modes
+    assert len(full.records) == len(sampled.records) == \
+        len(none_sampled.records)
+
+
+def test_ring_buffer_eviction():
+    rec = TraceRecorder(mode="full", capacity=64)
+    result = simulate(portal_scenario(), until=150.0, trace=rec)
+    assert len(result.spans()) <= 64
+    assert rec.evicted_spans > 0
+    assert rec.started_cascades > 0
+
+
+# ----------------------------------------------------------------------
+# telemetry
+# ----------------------------------------------------------------------
+def test_agent_telemetry_consistency():
+    result = simulate(portal_scenario(), until=150.0)
+    tel = result.telemetry()
+    assert tel, "topology agents must report telemetry"
+    seen_busy = False
+    for t in tel.values():
+        assert isinstance(t, AgentTelemetry)
+        assert t.arrivals >= t.completions >= 0
+        assert t.in_flight == t.arrivals - t.completions - t.drops
+        assert t.busy_time >= 0.0
+        assert t.queue_hwm >= 0
+        seen_busy = seen_busy or t.busy_time > 0
+    assert seen_busy, "some agent must have done work"
+
+
+def test_aggregate_telemetry():
+    a = AgentTelemetry(name="a", agent_type="q", arrivals=3, completions=2,
+                       drops=1, busy_time=1.5, queue_length=0, queue_hwm=2)
+    b = AgentTelemetry(name="b", agent_type="q", arrivals=5, completions=5,
+                       drops=0, busy_time=2.5, queue_length=1, queue_hwm=4)
+    total = aggregate_telemetry([a, b])
+    assert total.arrivals == 8
+    assert total.completions == 7
+    assert total.drops == 1
+    assert total.busy_time == pytest.approx(4.0)
+    assert total.queue_hwm == 4
+    assert a.as_dict()["arrivals"] == 3
+
+
+def test_queue_drop_counter():
+    q = FCFSQueue("q", rate=1.0)
+    q.record_drop()
+    q.record_drop(2)
+    assert q.telemetry().drops == 3
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+def test_chrome_trace_export(tmp_path):
+    result = simulate(portal_scenario(), until=120.0, trace="full")
+    path = tmp_path / "trace.json"
+    n = result.write_chrome_trace(path)
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    assert len(events) == n > 0
+    phases = {e["ph"] for e in events}
+    assert phases <= {"X", "M"}
+    for e in events:
+        if e["ph"] == "X":
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+            assert e["pid"] == 1
+    names = [e for e in events if e["ph"] == "M"]
+    assert names, "thread-name metadata must label the agent lanes"
+
+
+def test_chrome_trace_requires_recorder():
+    result = simulate(portal_scenario(), until=30.0)
+    with pytest.raises(Exception):
+        result.write_chrome_trace("/tmp/never-written.json")
+
+
+def test_des_waterfall_renders():
+    result = simulate(portal_scenario(), until=120.0, trace="full")
+    text = result.waterfall("BROWSE")
+    assert "BROWSE" in text
+    assert "total" in text
+
+
+def test_format_waterfall_totals():
+    text = format_waterfall("X", [("a", 1.0), ("b", 3.0)], latency=1.0)
+    assert "total" in text
+    assert "5.0000s" in text
+
+
+# ----------------------------------------------------------------------
+# fluid waterfall vs the response-time pipeline
+# ----------------------------------------------------------------------
+def test_fluid_waterfall_matches_response_pipeline():
+    from repro.fluid.spans import synthesize_spans
+
+    result = simulate("consolidation", mode="fluid")
+    solver = result.fluid
+    app = next(a for a in result.scenario.applications if a.name == "CAD")
+    for op_name in ("OPEN", "SAVE", "LOGIN"):
+        rt = solver.response_time(app, op_name, "DEU", 15.0 * 3600.0)
+        cascade, spans = synthesize_spans(solver, app, op_name, "DEU",
+                                          15.0 * 3600.0)
+        total = sum(s.duration for s in spans)
+        assert total == pytest.approx(rt, rel=0.01)
+        assert cascade.end - cascade.start == pytest.approx(rt, rel=0.01)
+
+
+# ----------------------------------------------------------------------
+# profiler
+# ----------------------------------------------------------------------
+def test_engine_profiler_phases():
+    result = simulate(portal_scenario(), until=60.0, profile=True)
+    prof = result.profile
+    assert prof is not None
+    assert prof.ticks > 0
+    assert prof.wall_seconds > 0.0
+    assert set(prof.phase_seconds) == {"events", "monitors", "step_select",
+                                       "agent_step"}
+    assert 0.0 < prof.accounted_seconds <= prof.wall_seconds * 1.5
+    table = prof.table()
+    assert "agent_step" in table
+    summary = prof.summary()
+    assert sum(row["share"] for row in summary.values()) == pytest.approx(1.0)
+
+
+def test_profiler_absent_by_default():
+    result = simulate(portal_scenario(), until=30.0)
+    assert result.profile is None
+
+
+def test_direct_submit_with_recorder_context():
+    """Spans emitted via the raw Agent.submit path carry the context."""
+    rec = TraceRecorder()
+    sim = Simulator(trace=rec)
+    q = sim.add_agent(FCFSQueue("q", rate=2.0))
+    ctx = rec.start_cascade("OP", "app", "DC", 0.0)
+    rec.current = ctx
+    done = []
+    q.submit(Job(1.0, on_complete=lambda j, t: done.append(t)), 0.0)
+    rec.current = None
+    sim.run(5.0)
+    rec.end_cascade(ctx, done[0])
+    assert len(rec.spans()) == 1
+    span = rec.spans()[0]
+    assert span.agent == "q"
+    assert span.cascade_id == ctx.cascade_id
+    assert span.service == pytest.approx(0.5, abs=0.05)

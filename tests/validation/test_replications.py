@@ -50,7 +50,7 @@ def test_large_n_uses_normal_limit():
 @pytest.mark.slow
 def test_replications_produce_tight_intervals():
     cis = run_replications(
-        EXPERIMENTS[0], n=3, horizon=420.0, launch_until=360.0,
+        EXPERIMENTS[0], n=3, until=420.0, launch_until=360.0,
         steady_window=(240.0, 400.0),
     )
     assert set(cis) == {"cpu.app", "cpu.db", "cpu.fs", "cpu.idx", "clients"}

@@ -71,7 +71,7 @@ def test_experiment_specs_match_section_5_2_4():
 # ----------------------------------------------------------------------
 @pytest.fixture(scope="module")
 def short_pair():
-    kw = dict(horizon=420.0, launch_until=360.0, steady_window=(240.0, 400.0))
+    kw = dict(until=420.0, launch_until=360.0, steady_window=(240.0, 400.0))
     return (
         run_experiment(EXPERIMENTS[0], physical=True, **kw),
         run_experiment(EXPERIMENTS[0], physical=False, **kw),
