@@ -2,7 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench bench-full examples trace-demo lint clean
+.PHONY: install test test-fast bench bench-full examples trace-demo \
+        resilience-demo checkpoint-roundtrip lint clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -26,6 +27,13 @@ trace-demo:  ## fluid latency waterfalls + Chrome trace for the ch. 6 study
 	$(PYTHON) -m repro trace consolidation --hour 15 --out trace-demo.json
 	@test -s trace-demo.json || { echo "trace-demo.json is empty"; exit 1; }
 	@echo "trace-demo: wrote $$(wc -c < trace-demo.json) bytes to trace-demo.json"
+
+resilience-demo:  ## degraded-mode drill: policies off vs resilient under crash load
+	$(PYTHON) -m repro resilience-drill --until 120 --mtbf 60
+	$(PYTHON) examples/failure_drill.py
+
+checkpoint-roundtrip:  ## kill a run mid-flight, resume, assert bit-exact equality
+	$(PYTHON) scripts/checkpoint_roundtrip.py
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

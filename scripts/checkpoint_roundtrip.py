@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Crash/resume smoke test for the checkpoint subsystem.
+
+The parent process
+
+1. spawns a child (``--child``) that runs the reference scenario with
+   periodic checkpointing and SIGKILLs *itself* mid-run — no cleanup,
+   no atexit, exactly what a host crash looks like;
+2. verifies the child died and left a valid checkpoint behind;
+3. computes the uninterrupted reference run in-process;
+4. resumes from the orphaned checkpoint and asserts the resumed run
+   equals the uninterrupted one bit-for-bit (operation records and
+   collector series).
+
+Run:  python scripts/checkpoint_roundtrip.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.api import Collect, Scenario, simulate  # noqa: E402
+from repro.core.checkpoint import read_checkpoint  # noqa: E402
+from repro.software.application import Application  # noqa: E402
+from repro.software.message import CLIENT, MessageSpec  # noqa: E402
+from repro.software.operation import Operation  # noqa: E402
+from repro.software.resources import R  # noqa: E402
+from repro.software.workload import OperationMix, WorkloadCurve  # noqa: E402
+from repro.topology.network import GlobalTopology  # noqa: E402
+from repro.topology.specs import DataCenterSpec, TierSpec  # noqa: E402
+
+UNTIL = 90.0  # full horizon
+CK_EVERY = 30.0  # checkpoint cadence
+KILL_T = 45.0  # child dies here: past the t=30 checkpoint, short of t=60
+
+
+def scenario() -> Scenario:
+    topo = GlobalTopology(seed=3)
+    topo.add_datacenter(DataCenterSpec(
+        name="DNA",
+        tiers=(
+            TierSpec("app", n_servers=2, cores_per_server=2, memory_gb=8.0,
+                     sockets=1),
+            TierSpec("db", n_servers=1, cores_per_server=2, memory_gb=8.0,
+                     sockets=1),
+        ),
+    ))
+    op = Operation("OP", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=1e9, net_kb=16)),
+        MessageSpec("app", "db", r=R.of(cycles=4e8, net_kb=8)),
+        MessageSpec("db", "app", r=R.of(net_kb=16)),
+        MessageSpec("app", CLIENT, r=R.of(net_kb=32)),
+    ])
+    app = Application(
+        name="portal",
+        operations={"OP": op},
+        mix=OperationMix({"OP": 1.0}),
+        workloads={"DNA": WorkloadCurve([60.0] * 24)},
+        ops_per_client_hour=30.0,
+    )
+    return Scenario(name="roundtrip", topology=topo, applications=[app],
+                    seed=5)
+
+
+def result_key(result):
+    return (
+        [(r.operation, r.start, r.end, r.failed) for r in result.records],
+        result.series("cpu.DNA.app"),
+        result.series("cpu.DNA.db"),
+    )
+
+
+def child(ck_path: str) -> None:
+    """Run toward UNTIL with checkpoints armed, then die hard at KILL_T."""
+    session = scenario().prepare(collect=Collect(sample_interval=5.0))
+    session._until = UNTIL
+    session.arm_checkpoints(CK_EVERY, ck_path)
+    session._workloads_started = True
+    session._start_workloads(UNTIL)
+    session.sim.run(KILL_T)
+    os.kill(os.getpid(), signal.SIGKILL)  # simulated host crash
+    raise AssertionError("unreachable: SIGKILL did not take")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        ck = os.path.join(tmp, "crash.ckpt")
+        ref_ck = os.path.join(tmp, "ref.ckpt")
+
+        print(f"[1/4] spawning child, will SIGKILL itself at t={KILL_T:.0f}s")
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--child", ck],
+            env=env,
+        )
+        assert proc.returncode != 0, "child survived its own SIGKILL?"
+        print(f"      child exited with {proc.returncode} (expected: killed)")
+
+        doc = read_checkpoint(ck)
+        print(f"[2/4] orphaned checkpoint OK: t={doc['time']:.1f}s "
+              f"of {doc['until']:.0f}s")
+        assert abs(doc["time"] - CK_EVERY) < 1e-6, doc["time"]
+
+        print(f"[3/4] computing the uninterrupted reference "
+              f"(until={UNTIL:.0f}s)")
+        full = simulate(scenario(), until=UNTIL,
+                        collect=Collect(sample_interval=5.0),
+                        checkpoint_every=CK_EVERY, checkpoint_path=ref_ck)
+
+        print("[4/4] resuming from the orphaned checkpoint")
+        resumed = simulate(scenario(), resume_from=ck,
+                           collect=Collect(sample_interval=5.0))
+
+        assert resumed.until == UNTIL
+        assert result_key(resumed) == result_key(full), (
+            "resumed run diverged from the uninterrupted reference"
+        )
+        n = len(full.records)
+        print(f"\nPASS: resumed == uninterrupted ({n} operation records "
+              f"and 2 collector series bit-identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--child":
+        child(sys.argv[2])
+    else:
+        sys.exit(main())

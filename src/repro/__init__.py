@@ -55,6 +55,7 @@ from repro.software import (
 )
 from repro.fluid import FluidSolver, BackgroundSolver
 from repro.reliability import AvailabilityMonitor, FailureInjector, FailurePolicy
+from repro.resilience import ResilienceConfig, ResiliencePolicy
 from repro.metrics import Collector, rmse, steady_state_stats
 from repro.api import (
     Collect,
@@ -103,6 +104,8 @@ __all__ = [
     "AvailabilityMonitor",
     "FailureInjector",
     "FailurePolicy",
+    "ResiliencePolicy",
+    "ResilienceConfig",
     "Collector",
     "rmse",
     "steady_state_stats",

@@ -32,7 +32,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.engine import Simulator
-from repro.core.errors import ConfigurationError
+from repro.core.errors import CheckpointError, ConfigurationError
+from repro.core.rng import RandomStreams
 from repro.metrics.collector import Collector
 from repro.software.application import Application
 from repro.software.cascade import CascadeRunner, OperationRecord
@@ -85,6 +86,11 @@ class Scenario:
     workload_curves: Dict[str, Dict[str, WorkloadCurve]] = field(
         default_factory=dict
     )
+    #: Resilience configuration: anything
+    #: :meth:`repro.resilience.ResilienceConfig.coerce` accepts (a
+    #: config, a single policy used as the default, a mapping as read
+    #: from the JSON ``resilience`` block, or ``None`` for off).
+    resilience: Any = None
 
     # ------------------------------------------------------------------
     # construction
@@ -134,11 +140,17 @@ class Scenario:
         from repro.io import topology_from_document
 
         topology, curves = topology_from_document(doc, seed=seed)
+        resilience = None
+        if doc.get("resilience") is not None:
+            from repro.resilience import ResilienceConfig
+
+            resilience = ResilienceConfig.from_dict(doc["resilience"])
         return cls(
             name=name,
             topology=topology,
             seed=42 if seed is None else seed,
             workload_curves=curves,
+            resilience=resilience,
         )
 
     @classmethod
@@ -166,7 +178,14 @@ class Scenario:
         }
         if not workloads:
             workloads = dict(self.workload_curves)
-        return topology_to_document(self.topology, workloads or None)
+        doc = topology_to_document(self.topology, workloads or None)
+        if self.resilience is not None:
+            from repro.resilience import ResilienceConfig
+
+            config = ResilienceConfig.coerce(self.resilience)
+            if config is not None:
+                doc["resilience"] = config.to_dict()
+        return doc
 
     def to_json(self, path: Union[str, Path]) -> None:
         """Write the scenario document as JSON (round-trips from_json)."""
@@ -183,11 +202,12 @@ class Scenario:
         trace: Any = None,
         profile: bool = False,
         collect: Optional[Collect] = None,
+        resilience: Any = None,
     ) -> "SimulationSession":
         """Build the engine, register the topology and wire the runner."""
         return SimulationSession(
             self, dt=dt, mode=mode, trace=trace, profile=profile,
-            collect=collect,
+            collect=collect, resilience=resilience,
         )
 
 
@@ -210,6 +230,7 @@ class SimulationSession:
         trace: Any = None,
         profile: bool = False,
         collect: Optional[Collect] = None,
+        resilience: Any = None,
     ) -> None:
         if scenario.topology is None:
             raise ConfigurationError("scenario has no topology")
@@ -219,6 +240,7 @@ class SimulationSession:
             )
         self.scenario = scenario
         self.sim = Simulator(dt=dt, mode=mode, trace=trace, profile=profile)
+        self.streams = RandomStreams(scenario.seed)
         topo = scenario.topology
         for dc in topo.datacenters.values():
             self.sim.add_holon(dc)
@@ -238,6 +260,36 @@ class SimulationSession:
         self.workloads: List[OpenLoopWorkload] = []
         self._workloads_started = False
         self._collect_cfg = collect
+        self._dt = dt
+        self._mode = mode
+        self._until: Optional[float] = None
+        self._checkpoint_every: Optional[float] = None
+        self._checkpoint_path: Optional[str] = None
+        # resilience: arm the runner + health monitor before the setup
+        # hook so custom launchers see the final wiring
+        self.resilience = None
+        self.resilience_state = None
+        self.health_monitor = None
+        config = resilience if resilience is not None else scenario.resilience
+        if config is not None:
+            from repro.resilience import HealthMonitor, ResilienceConfig
+
+            config = ResilienceConfig.coerce(config)
+            if config is not None and config.enabled:
+                self.resilience = config
+                self.resilience_state = self.runner.arm_resilience(
+                    config,
+                    self.sim.schedule,
+                    rng=self.streams.stream("resilience.jitter"),
+                )
+                self.health_monitor = HealthMonitor(
+                    self.sim,
+                    topo,
+                    self.resilience_state,
+                    interval_s=config.health_check_interval_s,
+                    policy=config.default,
+                )
+                self.health_monitor.start()
         if scenario.setup is not None:
             scenario.setup(self)
         if collect is not None and self.collector is None:
@@ -294,8 +346,80 @@ class SimulationSession:
                 self.workloads.append(wl)
                 i += 1
 
+    def inject_failures(self, policy=None, **kwargs):
+        """Create a :class:`FailureInjector` seeded from this run's seed.
+
+        The injector draws from the named ``"failures"`` substream, so
+        failure times are reproducible per scenario seed and cannot
+        perturb workload or jitter draws.  Call ``.start()`` on the
+        returned injector to arm it (typically from a ``setup`` hook).
+        """
+        from repro.reliability.failures import FailureInjector, FailurePolicy
+
+        if policy is None:
+            policy = FailurePolicy()
+        kwargs.pop("rng", None)
+        kwargs.pop("seed", None)
+        return FailureInjector(
+            self.sim,
+            self.scenario.topology,
+            policy,
+            rng=self.streams.stream("failures"),
+            **kwargs,
+        )
+
+    def resilience_stats(self) -> Dict[str, int]:
+        """Aggregate resilience counters (empty when not armed)."""
+        return self.runner.resilience_stats()
+
+    # ------------------------------------------------------------------
+    # crash safety
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: Union[str, Path]) -> None:
+        """Write a crash-recovery checkpoint of the current state.
+
+        The file stores the rebuild parameters plus a state fingerprint
+        (see :mod:`repro.core.checkpoint`); :func:`simulate` with
+        ``resume_from=`` replays the same scenario to this time, checks
+        the fingerprint and continues.
+        """
+        from repro.core.checkpoint import write_checkpoint
+
+        write_checkpoint(path, self, {
+            "scenario": {
+                "name": self.scenario.name,
+                "seed": self.scenario.seed,
+                "runner_seed": self.scenario.runner_seed,
+            },
+            "dt": self._dt,
+            "mode": self._mode,
+            "until": self._until,
+            "checkpoint_every": self._checkpoint_every,
+        })
+
+    def arm_checkpoints(
+        self, every: float, path: Union[str, Path]
+    ) -> None:
+        """Periodically overwrite ``path`` with a fresh checkpoint.
+
+        The checkpoint monitor participates in adaptive step selection,
+        so a resumed run re-arms the same cadence to replay the exact
+        step sequence (handled automatically by ``resume_from=``).
+        """
+        if every <= 0:
+            raise ConfigurationError("checkpoint_every must be positive")
+        self._checkpoint_every = every
+        self._checkpoint_path = str(path)
+        self.sim.add_monitor(
+            every,
+            lambda now: self.checkpoint(self._checkpoint_path),
+            first_due=self.sim.now + every,
+        )
+
     def run(self, until: float, workloads: bool = True) -> "SimulationResult":
         """Run to ``until``; standard workloads start on the first call."""
+        if self._until is None:
+            self._until = until
         if workloads and not self._workloads_started:
             self._workloads_started = True
             self._start_workloads(until)
@@ -367,6 +491,12 @@ class SimulationResult:
                 out[agent.name] = agent.telemetry()
         return out
 
+    def resilience_stats(self) -> Dict[str, int]:
+        """Aggregate resilience counters (retries, timeouts, shed...)."""
+        if self.session is None:
+            return {}
+        return self.session.resilience_stats()
+
     # ------------------------------------------------------------------
     # trace accessors
     # ------------------------------------------------------------------
@@ -408,6 +538,11 @@ def simulate(
     profile: bool = False,
     collect: Optional[Collect] = None,
     workloads: bool = True,
+    seed: Optional[int] = None,
+    resilience: Any = None,
+    checkpoint_every: Optional[float] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    resume_from: Optional[Union[str, Path]] = None,
 ) -> SimulationResult:
     """Run one scenario end to end and return its results.
 
@@ -429,19 +564,125 @@ def simulate(
     workloads:
         Start the standard open-loop workloads (disable when a
         ``setup`` hook drives all traffic itself).
+    seed:
+        Overrides the scenario's seed; every random substream of the
+        run (workloads, runner, failures, jitter) fans out from it via
+        :class:`~repro.core.rng.RandomStreams` — same seed, same
+        collector series.
+    resilience:
+        Timeout/retry/breaker/shedding policy: a
+        :class:`~repro.resilience.ResilienceConfig`, a single
+        :class:`~repro.resilience.ResiliencePolicy` used as the default
+        for every hop, or a mapping (the scenario-JSON block form).
+        ``None`` falls back to the scenario's ``resilience`` field.
+    checkpoint_every:
+        Write a crash-recovery checkpoint every this many simulated
+        seconds (requires ``checkpoint_path``).
+    checkpoint_path:
+        Where the periodic checkpoint is (atomically) overwritten.
+    resume_from:
+        Path of a checkpoint written by an earlier, interrupted run of
+        the *same* scenario: the run is rebuilt, deterministically
+        replayed to the checkpoint time, fingerprint-verified (raising
+        :class:`~repro.core.errors.CheckpointError` on drift) and then
+        continued to ``until``.
     """
     if isinstance(scenario, str):
         scenario = Scenario.from_spec(scenario)
+    if seed is not None:
+        import dataclasses
+
+        scenario = dataclasses.replace(scenario, seed=seed)
     if mode == "fluid":
         return _simulate_fluid(scenario)
     if mode not in ("adaptive", "fixed"):
         raise ConfigurationError(f"unknown simulate() mode {mode!r}")
+    if checkpoint_every is not None and checkpoint_path is None:
+        raise ConfigurationError("checkpoint_every needs checkpoint_path")
+    if resume_from is not None:
+        return _resume(
+            scenario, resume_from, until=until, trace=trace,
+            profile=profile, collect=collect, workloads=workloads,
+            resilience=resilience, checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
     if until is None:
         raise ConfigurationError("simulate() needs until= for DES modes")
     session = scenario.prepare(
-        dt=dt, mode=mode, trace=trace, profile=profile, collect=collect
+        dt=dt, mode=mode, trace=trace, profile=profile, collect=collect,
+        resilience=resilience,
     )
+    if checkpoint_every is not None:
+        session._until = until
+        session.arm_checkpoints(checkpoint_every, checkpoint_path)
     return session.run(until, workloads=workloads)
+
+
+def _resume(
+    scenario: Scenario,
+    resume_from: Union[str, Path],
+    *,
+    until: Optional[float],
+    trace: Any,
+    profile: bool,
+    collect: Optional[Collect],
+    workloads: bool,
+    resilience: Any,
+    checkpoint_every: Optional[float],
+    checkpoint_path: Optional[Union[str, Path]],
+) -> SimulationResult:
+    """Rebuild, replay to the checkpoint time, verify, continue."""
+    from repro.core.checkpoint import read_checkpoint, state_fingerprint
+
+    doc = read_checkpoint(resume_from)
+    meta = doc.get("scenario", {})
+    if meta.get("name") != scenario.name or meta.get("seed") != scenario.seed:
+        raise CheckpointError(
+            f"checkpoint is for scenario {meta.get('name')!r} "
+            f"(seed {meta.get('seed')!r}), not {scenario.name!r} "
+            f"(seed {scenario.seed!r})"
+        )
+    t_checkpoint = doc["time"]
+    if until is None:
+        until = doc.get("until")
+    if until is None:
+        raise CheckpointError(
+            "checkpoint records no horizon; pass until= explicitly"
+        )
+    if until < t_checkpoint:
+        raise CheckpointError(
+            f"cannot resume to t={until} before the checkpoint "
+            f"time t={t_checkpoint}"
+        )
+    session = scenario.prepare(
+        dt=doc["dt"], mode=doc["mode"], trace=trace, profile=profile,
+        collect=collect, resilience=resilience,
+    )
+    session._until = until
+    every = doc.get("checkpoint_every")
+    if checkpoint_every is not None:
+        every = checkpoint_every
+    if every is not None:
+        # re-arm the original cadence: the checkpoint monitor takes part
+        # in adaptive step selection, so replay needs it to reproduce
+        # the interrupted run's exact step sequence
+        session.arm_checkpoints(
+            every, checkpoint_path if checkpoint_path is not None
+            else resume_from,
+        )
+    if workloads:
+        session._workloads_started = True
+        session._start_workloads(until)
+    session.sim.run(t_checkpoint)
+    fingerprint = state_fingerprint(session)
+    if fingerprint["hash"] != doc["fingerprint"]["hash"]:
+        raise CheckpointError(
+            "replayed state does not match the checkpoint fingerprint "
+            "(scenario, configuration or code drifted since it was "
+            "written); refusing to continue from a diverged state"
+        )
+    session.sim.run(until)
+    return session.result(until)
 
 
 def _simulate_fluid(scenario: Scenario) -> SimulationResult:

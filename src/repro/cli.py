@@ -6,6 +6,7 @@ Gives operators the thesis's headline evaluations without writing code:
 * ``consolidation`` — the chapter 6 consolidated-platform report
 * ``multimaster``   — the chapter 7 multiple-master comparison
 * ``attack``        — the DoS / admission-control evaluation (Fig 1-1 #7)
+* ``resilience-drill`` — MTBF sweep: policies off vs timeouts/retries/failover
 * ``trace``         — latency waterfalls + Chrome trace export
 * ``export``        — write a case-study scenario as a JSON document
 * ``info``          — library and model inventory
@@ -36,6 +37,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ["repro.parallel", "ports, scatter-gather, H-Dispatch, partitions"],
         ["repro.fluid", "analytic 24h solver for the case studies"],
         ["repro.reliability", "failure injection, availability metrics"],
+        ["repro.resilience", "timeouts/retries, breakers, health failover"],
         ["repro.validation", "chapter 5 experiments, RMSE pipeline"],
         ["repro.studies", "chapters 6/7 + attack protection"],
         ["repro.baselines", "MDCSim / Urgaonkar comparators"],
@@ -147,6 +149,35 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience_drill(args: argparse.Namespace) -> int:
+    from repro.studies.degraded import DegradedStudy
+
+    mtbf_values = tuple(args.mtbf) if args.mtbf else None
+    study = DegradedStudy(horizon=args.until)
+    outcomes = study.sweep(mtbf_values)
+    rows = []
+    for o in outcomes:
+        res = o.resilience
+        extra = (f"{res.get('retries', 0)}/{res.get('timeouts', 0)}"
+                 f"/{res.get('shed', 0)}" if res else "-")
+        rows.append([
+            f"{o.mtbf_s:.0f}s", o.policy, str(o.operations),
+            f"{100 * o.availability:.1f}%", f"{o.goodput_per_s:.2f}/s",
+            f"{o.p99_s:.2f}s", str(o.stuck), str(o.server_failures), extra,
+        ])
+    print(format_table(
+        ["MTBF", "policy", "ops", "avail", "goodput", "P99", "stuck",
+         "crashes", "retr/tmo/shed"],
+        rows,
+        title=f"degraded-mode sweep ({args.until:.0f}s horizon, "
+              f"MTTR {study.mttr_s:.0f}s)"))
+    resilient = [o for o in outcomes if o.policy == "resilient"]
+    if any(o.stuck for o in resilient):
+        print("\nFAIL: resilient cells left cascades in flight")
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.api import fluid_waterfall, simulate
     from repro.fluid.spans import synthesize_spans
@@ -247,6 +278,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("attack", help="DoS / admission-control evaluation")
     p.add_argument("--flood-rate", type=float, default=60.0)
     p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser(
+        "resilience-drill",
+        help="MTBF sweep: policies off vs timeouts/retries/failover")
+    p.add_argument("--until", type=float, default=300.0,
+                   help="simulated seconds per sweep cell")
+    p.add_argument("--mtbf", type=float, action="append", default=None,
+                   metavar="SECONDS",
+                   help="server MTBF point (repeatable; default sweep "
+                        "150/450/1350)")
+    p.set_defaults(func=_cmd_resilience_drill)
 
     p = sub.add_parser("trace",
                        help="latency waterfalls + Chrome trace export")

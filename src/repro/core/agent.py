@@ -42,6 +42,13 @@ class Agent(ABC):
         self.arrivals = 0
         self.drops = 0
         self.queue_hwm = 0
+        # resilience counters (see repro.resilience): attributed to the
+        # agent the event happened *at* — timeouts/shed on the entry
+        # agent of the server that timed out or shed, retries on the
+        # entry agent of the server the retry was sent to
+        self.retries = 0
+        self.timeouts = 0
+        self.shed = 0
 
     # ------------------------------------------------------------------
     # control signals
@@ -126,6 +133,18 @@ class Agent(ABC):
         control, failure injection)."""
         self.drops += n
 
+    def record_retry(self, n: int = 1) -> None:
+        """Count resilience-layer retries routed at this agent."""
+        self.retries += n
+
+    def record_timeout(self, n: int = 1) -> None:
+        """Count request timeouts observed against this agent."""
+        self.timeouts += n
+
+    def record_shed(self, n: int = 1) -> None:
+        """Count requests shed by queue-depth load shedding here."""
+        self.shed += n
+
     # ------------------------------------------------------------------
     # telemetry protocol
     # ------------------------------------------------------------------
@@ -150,6 +169,9 @@ class Agent(ABC):
             busy_time=self._busy_seconds(),
             queue_length=self.queue_length(),
             queue_hwm=self.queue_hwm,
+            retries=self.retries,
+            timeouts=self.timeouts,
+            shed=self.shed,
             extras=self._telemetry_extras(),
         )
 

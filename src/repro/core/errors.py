@@ -20,3 +20,19 @@ class ConfigurationError(SimulationError):
 
 class SaturationError(SimulationError):
     """An analytic solver was asked about an unstable queue (rho >= 1)."""
+
+
+class ResilienceError(SimulationError, ValueError):
+    """Invalid reliability/resilience input or an impossible fault request.
+
+    Raised by :mod:`repro.reliability` and :mod:`repro.resilience` for
+    malformed policies, empty scoring windows and unknown components.
+    Subclasses ``ValueError`` so callers that predate the typed hierarchy
+    keep working.
+    """
+
+
+class CheckpointError(SimulationError):
+    """A checkpoint file is unreadable, incompatible with the scenario it
+    is being resumed into, or fails the state-hash invariant after the
+    deterministic replay (the resumed run would not be bit-identical)."""

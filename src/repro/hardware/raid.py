@@ -136,8 +136,9 @@ class RAID(Agent):
         self.dacc.on_time_increment(now, dt)
         self.dacc.local_time = now + dt
         for d in self.disks:
-            d.on_time_increment(now, dt)
-            d.local_time = now + dt
+            # go through the paused gate: a failed member disk holds its
+            # stripe (degraded array) until it is repaired
+            d.time_increment(now, dt)
 
     def sample(self, now: float) -> Dict[str, float]:
         window = max(now - self._window_start, 1e-12)

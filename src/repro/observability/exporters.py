@@ -220,12 +220,14 @@ def telemetry_table(telemetries: Mapping[str, Any], limit: int = 0) -> str:
     name_w = max(name_w, len("agent"))
     lines = [
         f"{'agent':<{name_w}} {'type':<8} {'arriv':>8} {'compl':>8} "
-        f"{'drops':>6} {'busy_s':>10} {'qlen':>5} {'q_hwm':>5}"
+        f"{'drops':>6} {'busy_s':>10} {'qlen':>5} {'q_hwm':>5} "
+        f"{'retr':>5} {'tmo':>5} {'shed':>5}"
     ]
     for t in rows:
         lines.append(
             f"{t.name:<{name_w}} {t.agent_type:<8} {t.arrivals:>8d} "
             f"{t.completions:>8d} {t.drops:>6d} {t.busy_time:>10.3f} "
-            f"{t.queue_length:>5d} {t.queue_hwm:>5d}"
+            f"{t.queue_length:>5d} {t.queue_hwm:>5d} "
+            f"{t.retries:>5d} {t.timeouts:>5d} {t.shed:>5d}"
         )
     return "\n".join(lines)

@@ -19,8 +19,11 @@ class AgentTelemetry:
 
     ``busy_time`` is cumulative busy server-seconds; ``queue_length`` is
     the instantaneous depth at collection time and ``queue_hwm`` the
-    maximum depth ever observed at submit.  ``extras`` carries
-    agent-specific gauges (cache hit counts, memory occupancy...).
+    maximum depth ever observed at submit.  ``retries``, ``timeouts``
+    and ``shed`` are the resilience-layer counters (see
+    :mod:`repro.resilience`); they stay zero when no policy is armed.
+    ``extras`` carries agent-specific gauges (cache hit counts, memory
+    occupancy...).
     """
 
     name: str
@@ -31,6 +34,9 @@ class AgentTelemetry:
     busy_time: float = 0.0
     queue_length: int = 0
     queue_hwm: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    shed: int = 0
     extras: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -47,6 +53,9 @@ class AgentTelemetry:
             "busy_time": self.busy_time,
             "queue_length": float(self.queue_length),
             "queue_hwm": float(self.queue_hwm),
+            "retries": float(self.retries),
+            "timeouts": float(self.timeouts),
+            "shed": float(self.shed),
         }
         out.update(self.extras)
         return out
@@ -65,6 +74,9 @@ def aggregate_telemetry(
         total.busy_time += t.busy_time
         total.queue_length += t.queue_length
         total.queue_hwm = max(total.queue_hwm, t.queue_hwm)
+        total.retries += t.retries
+        total.timeouts += t.timeouts
+        total.shed += t.shed
         for key, val in t.extras.items():
             total.extras[key] = total.extras.get(key, 0.0) + val
     return total

@@ -165,6 +165,40 @@ class TraceRecorder:
         if ctx.sampled:
             self._cascades.append(ctx)
 
+    def record_marker(
+        self,
+        ctx: Optional[CascadeInfo],
+        agent: str,
+        kind: str,
+        start: float,
+        end: float,
+        tag: Any = None,
+    ) -> None:
+        """Record a non-service event (retry wait, timeout, shed) as a span.
+
+        Resilience events have no Job of their own; this emits a synthetic
+        span with ``agent_type="resilience"`` linked to the cascade so
+        waterfalls and Chrome traces show where an operation spent time
+        waiting on backoff or burned a timeout budget.
+        """
+        if ctx is None or not ctx.sampled:
+            return
+        if len(self._spans) == self.capacity:
+            self.evicted_spans += 1
+        self._spans.append(
+            Span(
+                cascade_id=ctx.cascade_id,
+                span_id=next(self._span_ids),
+                agent=agent,
+                agent_type="resilience",
+                tag=tag if tag is not None else kind,
+                demand=0.0,
+                enqueue=start,
+                start=start,
+                end=end,
+            )
+        )
+
     # ------------------------------------------------------------------
     # the per-job hook (called from Agent.submit when a tracer is set)
     # ------------------------------------------------------------------

@@ -24,7 +24,12 @@ from repro.reliability.failures import (
     FailurePolicy,
     FailureEvent,
 )
-from repro.reliability.availability import AvailabilityMonitor, AvailabilityReport
+from repro.reliability.availability import (
+    AvailabilityMonitor,
+    AvailabilityReport,
+    parallel_availability,
+    steady_availability,
+)
 
 __all__ = [
     "FailureInjector",
@@ -32,4 +37,6 @@ __all__ = [
     "FailureEvent",
     "AvailabilityMonitor",
     "AvailabilityReport",
+    "steady_availability",
+    "parallel_availability",
 ]

@@ -11,7 +11,36 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
+from repro.core.errors import ResilienceError
 from repro.software.cascade import CascadeRunner, OperationRecord
+
+
+def steady_availability(mtbf_s: float, mttr_s: float) -> float:
+    """Steady-state availability of one alternating-renewal component.
+
+    The classic closed form ``MTBF / (MTBF + MTTR)``: the long-run
+    fraction of time a component cycling through exponential up-times
+    (mean MTBF) and repair times (mean MTTR) is in service.  Simulated
+    per-component uptime fractions converge to this value, which is what
+    the failure-drill example asserts against.
+    """
+    if mtbf_s <= 0 or mttr_s < 0:
+        raise ResilienceError("MTBF must be positive and MTTR non-negative")
+    return mtbf_s / (mtbf_s + mttr_s)
+
+
+def parallel_availability(availability: float, n: int) -> float:
+    """Availability of ``n`` redundant components in parallel.
+
+    ``1 - (1 - a)^n``: the system is up while at least one member is —
+    the redundancy argument of section 6.4.1's secondary links and of
+    multi-server tiers under health-aware failover.
+    """
+    if not 0.0 <= availability <= 1.0:
+        raise ResilienceError("availability must be in [0, 1]")
+    if n < 1:
+        raise ResilienceError("need at least one component")
+    return 1.0 - (1.0 - availability) ** n
 
 
 @dataclass
@@ -59,7 +88,7 @@ class AvailabilityMonitor:
         """Score the operations that *started* within a window."""
         window = [r for r in self.records if t_start <= r.start < t_end]
         if not window:
-            raise ValueError("no operations in the scoring window")
+            raise ResilienceError("no operations in the scoring window")
         failed = sum(r.failed for r in window)
         violations = 0
         per_op: Dict[str, Dict[str, float]] = {}
@@ -89,5 +118,5 @@ class AvailabilityMonitor:
         """Section 1.1's framing: downtime dollars (Kembel's figures run
         $200k-$6M per hour depending on the business)."""
         if downtime_s < 0 or cost_per_hour < 0:
-            raise ValueError("downtime and cost must be non-negative")
+            raise ResilienceError("downtime and cost must be non-negative")
         return downtime_s / 3600.0 * cost_per_hour

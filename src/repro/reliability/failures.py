@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.engine import Simulator
+from repro.core.errors import ResilienceError
 from repro.hardware.raid import RAID
 from repro.topology.network import GlobalTopology
 from repro.topology.server import Server
@@ -41,9 +42,9 @@ class FailurePolicy:
             mtbf = getattr(self, f"{name}_mtbf_s")
             mttr = getattr(self, f"{name}_mttr_s")
             if mtbf is not None and mtbf <= 0:
-                raise ValueError(f"{name} MTBF must be positive")
+                raise ResilienceError(f"{name} MTBF must be positive")
             if mttr <= 0:
-                raise ValueError(f"{name} MTTR must be positive")
+                raise ResilienceError(f"{name} MTTR must be positive")
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,12 @@ class FailureInjector:
         by chance.
     keep_one_disk:
         Likewise for the last disk of an array (RAID redundancy).
+    rng:
+        Failure-clock random stream.  Prefer passing the run's named
+        ``"failures"`` substream (``session.streams.stream("failures")``
+        or :meth:`SimulationSession.inject_failures`) so failure draws
+        are tied to the run seed instead of an independent one; ``seed``
+        remains for standalone use and is ignored when ``rng`` is given.
     """
 
     def __init__(
@@ -78,14 +85,17 @@ class FailureInjector:
         keep_one_server: bool = True,
         keep_one_disk: bool = True,
         seed: int | None = None,
+        rng: random.Random | None = None,
     ) -> None:
+        if until <= 0:
+            raise ResilienceError("failure-injection horizon must be positive")
         self.sim = sim
         self.topology = topology
         self.policy = policy
         self.until = until
         self.keep_one_server = keep_one_server
         self.keep_one_disk = keep_one_disk
-        self.rng = random.Random(seed)
+        self.rng = rng if rng is not None else random.Random(seed)
         self.events: List[FailureEvent] = []
         self.downtime: Dict[str, float] = {}
         self._down_since: Dict[str, float] = {}
@@ -131,7 +141,7 @@ class FailureInjector:
             server.fail(crash=True)
             self._record(server.name, "server", "fail", now)
             self._schedule(lambda t: repair(t), self.policy.server_mttr_s,
-                           fixed=True)
+                           fixed=True, always=True)
 
         def repair(now: float) -> None:
             server.repair(now)
@@ -151,7 +161,7 @@ class FailureInjector:
             disk.fail(crash=True)
             self._record(disk.name, "disk", "fail", now)
             self._schedule(lambda t: repair(t), self.policy.disk_mttr_s,
-                           fixed=True)
+                           fixed=True, always=True)
 
         def repair(now: float) -> None:
             disk.repair(now)
@@ -169,19 +179,29 @@ class FailureInjector:
             self.topology.fail_link(a, b)
             self._record(name, "link", "fail", now)
             self._schedule(lambda t: repair(t), self.policy.link_mttr_s,
-                           fixed=True)
+                           fixed=True, always=True)
 
         def repair(now: float) -> None:
-            self.topology.restore_link(a, b)
+            self.topology.restore_link(a, b, now=now)
             self._record(name, "link", "repair", now)
             self._schedule(fail, self.policy.link_mtbf_s)
 
         self._schedule(fail, self.policy.link_mtbf_s)
 
-    def _schedule(self, fn, mean_s: float, fixed: bool = False) -> None:
+    def _schedule(
+        self, fn, mean_s: float, fixed: bool = False, always: bool = False
+    ) -> None:
+        """Arm the next failure/repair event.
+
+        ``always`` schedules past the injection horizon: *failures* stop
+        at ``until`` but a pending *repair* must still fire, otherwise a
+        component crashing near the horizon stays down forever and its
+        queued requests — which the docstring promises are re-queued
+        after repair — would never be served.
+        """
         delay = mean_s if fixed else self.rng.expovariate(1.0 / mean_s)
         when = self.sim.now + delay
-        if when < self.until:
+        if always or when < self.until:
             self.sim.schedule(when, fn)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,49 @@
+"""Fault handling as a modeled part of the simulated software stack.
+
+The thesis motivates GDISim with infrastructures where failure is the
+common case (section 1.1: ~1,000 machine crashes/year on a 2,000-node
+cluster) and relies on redundant capacity activating under failure
+(section 6.4.1).  This package supplies the middleware reactions real
+systems pair with that failure process:
+
+* :class:`~repro.resilience.policy.ResiliencePolicy` — request
+  timeouts, bounded retries with exponential backoff + jitter,
+  per-destination circuit breaking, queue-depth load shedding.
+* :class:`~repro.resilience.policy.ResilienceConfig` — default policy
+  plus per-tier / per-application overrides and the health-check
+  cadence; serializes into the scenario JSON ``resilience`` block.
+* :class:`~repro.resilience.breaker.CircuitBreaker` /
+  :class:`~repro.resilience.breaker.ResilienceState` — the
+  closed/open/half-open machine over a sliding failure-rate window and
+  the run-scoped registry of breakers + aggregate counters.
+* :class:`~repro.resilience.health.HealthMonitor` — periodic tier
+  health probes: down servers are ejected from load balancing within
+  one interval, repaired servers re-admitted through half-open probes.
+
+Armed through ``simulate(..., resilience=...)`` (or a ``Scenario``'s
+``resilience`` field), a :class:`~repro.reliability.FailureInjector`
+run produces retried / re-routed / shed / abandoned requests instead of
+cascades blocked on dead servers; with everything off the hop path is
+the unmodified legacy one (zero cost when off).
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    ResilienceState,
+)
+from repro.resilience.health import HealthMonitor
+from repro.resilience.policy import ResilienceConfig, ResiliencePolicy
+
+__all__ = [
+    "ResiliencePolicy",
+    "ResilienceConfig",
+    "CircuitBreaker",
+    "ResilienceState",
+    "HealthMonitor",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+]

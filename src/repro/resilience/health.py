@@ -1,0 +1,80 @@
+"""Periodic tier health checks feeding the breaker registry.
+
+Real load balancers learn about a crashed backend from failed health
+probes, not telepathy.  The :class:`HealthMonitor` polls every tier
+server at a fixed cadence: a server observed down has its breaker
+force-opened (ejecting it from load balancing everywhere, including
+cached session affinity re-checks) and a server observed repaired is
+moved to half-open so it re-enters service through probe traffic.  The
+acceptance bound follows directly: failover routes around a downed
+server within one health-check interval.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.engine import Simulator
+from repro.resilience.breaker import ResilienceState
+from repro.resilience.policy import ResiliencePolicy
+from repro.topology.network import GlobalTopology
+
+
+class HealthMonitor:
+    """Polls server availability and couples it to circuit breakers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: GlobalTopology,
+        state: ResilienceState,
+        interval_s: float = 1.0,
+        policy: ResiliencePolicy | None = None,
+    ) -> None:
+        if interval_s <= 0:
+            from repro.core.errors import ResilienceError
+
+            raise ResilienceError("health-check interval must be positive")
+        self.sim = sim
+        self.topology = topology
+        self.state = state
+        self.interval_s = interval_s
+        self.policy = policy
+        #: (time, server, "down"|"up") observations, for tests/reports
+        self.transitions: List[Tuple[float, str, str]] = []
+        self._known: Dict[str, bool] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Register the periodic probe with the engine (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.add_monitor(self.interval_s, self.check,
+                             first_due=self.sim.now + self.interval_s)
+
+    def check(self, now: float) -> None:
+        """One probe sweep over every tier server."""
+        state = self.state
+        for dc in self.topology.datacenters.values():
+            for tier in dc.tiers.values():
+                for server in tier.servers:
+                    up = server.available
+                    prev = self._known.get(server.name)
+                    if prev is None:
+                        self._known[server.name] = up
+                        if not up:
+                            state.breaker(server.name, self.policy).mark_down(now)
+                            self.transitions.append((now, server.name, "down"))
+                        continue
+                    if up == prev:
+                        continue
+                    self._known[server.name] = up
+                    br = state.breaker(server.name, self.policy)
+                    if up:
+                        br.mark_up(now)
+                        self.transitions.append((now, server.name, "up"))
+                    else:
+                        br.mark_down(now)
+                        self.transitions.append((now, server.name, "down"))

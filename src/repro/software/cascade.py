@@ -31,7 +31,10 @@ class OperationRecord:
     """Completion record of one operation instance.
 
     ``failed`` marks operations aborted because a required tier had no
-    available server (failure injection, section 1.1).
+    available server (failure injection, section 1.1) or because the
+    resilience policy gave up (timeout/shed budget exhausted —
+    ``abandoned``).  ``retries`` counts extra delivery attempts the
+    operation needed across all of its messages.
     """
 
     operation: str
@@ -40,6 +43,8 @@ class OperationRecord:
     start: float
     end: float
     failed: bool = False
+    retries: int = 0
+    abandoned: bool = False
 
     @property
     def response_time(self) -> float:
@@ -82,6 +87,11 @@ class CascadeRunner:
         self.active_operations = 0
         self._observers: List[Callable[[OperationRecord], None]] = []
         self._daemon_hosts: Dict[str, Server] = {}
+        # resilience layer: None until armed; the legacy hop path below
+        # is untouched when no policy is enabled (zero cost when off)
+        self._resilience = None
+        self._res_state = None
+        self._res_schedule: Optional[Callable[[float, Callable], None]] = None
 
     # ------------------------------------------------------------------
     def on_operation_complete(self, fn: Callable[[OperationRecord], None]) -> None:
@@ -91,6 +101,46 @@ class CascadeRunner:
     def set_daemon_host(self, dc_name: str, host: Server) -> None:
         """Attach the daemon process host for a data center (ch. 6/7)."""
         self._daemon_hosts[dc_name] = host
+
+    # ------------------------------------------------------------------
+    # resilience layer
+    # ------------------------------------------------------------------
+    def arm_resilience(self, config, scheduler, rng=None):
+        """Arm the policy layer for this runner.
+
+        Parameters
+        ----------
+        config:
+            Anything :meth:`ResilienceConfig.coerce` accepts (a config,
+            a single policy applied as default, a mapping, or ``None``).
+        scheduler:
+            ``(when, fn) -> None`` callback used to schedule timeout
+            firings and backoff retries — normally ``sim.schedule``.
+        rng:
+            Jitter RNG; a dedicated substream so backoff draws never
+            perturb workload or failure streams.
+
+        Returns the run-scoped :class:`ResilienceState` (breakers +
+        counters), or ``None`` when the config is entirely off — in
+        which case cascades take the unmodified legacy path.
+        """
+        from repro.resilience.breaker import ResilienceState
+        from repro.resilience.policy import ResilienceConfig
+
+        config = ResilienceConfig.coerce(config)
+        if config is None or not config.enabled:
+            self._resilience = None
+            self._res_state = None
+            self._res_schedule = None
+            return None
+        self._resilience = config
+        self._res_state = ResilienceState(rng)
+        self._res_schedule = scheduler
+        return self._res_state
+
+    def resilience_stats(self) -> Dict[str, int]:
+        """Aggregate resilience counters (empty when not armed)."""
+        return {} if self._res_state is None else self._res_state.stats()
 
     # ------------------------------------------------------------------
     # operation launch
@@ -148,11 +198,19 @@ class CascadeRunner:
             if on_complete is not None:
                 on_complete(record)
 
+        res = self._resilience
+        state = self._res_state
+
         def run_message(index: int, t: float) -> None:
             if index >= len(messages):
                 finish(t)
                 return
             spec = messages[index]
+            if res is not None:
+                policy = res.for_message(application, spec.dst)
+                if policy.enabled:
+                    attempt(spec, policy, index, 0, t)
+                    return
             try:
                 src = resolve(spec.src)
                 dst = resolve(spec.dst)
@@ -168,6 +226,143 @@ class CascadeRunner:
                 t,
                 lambda t2: run_message(index + 1, t2),
                 tag=f"{operation.name}[{index}]",
+            )
+
+        # -- resilient delivery path (only reached when a policy is on) --
+        def in_ctx(fn: Callable[[float], None]) -> Callable[[float], None]:
+            # scheduled callbacks (timeout firings, backoff retries) run
+            # outside the cascade context; restore it so downstream jobs
+            # stay attributed to this cascade
+            if tracer is None:
+                return fn
+
+            def wrapped(t: float) -> None:
+                prev = tracer.current
+                tracer.current = ctx
+                try:
+                    fn(t)
+                finally:
+                    tracer.current = prev
+
+            return wrapped
+
+        def evict(role: str) -> None:
+            # drop session affinity so the next resolution re-picks;
+            # this is what turns a timeout into a failover
+            if role not in (CLIENT, DAEMON):
+                dc_name = mapping.get(role)
+                if dc_name is not None and (
+                    session.pop((dc_name, role), None) is not None
+                ):
+                    state.count("failovers")
+
+        def resolve_resilient(role: str, t: float) -> _Resolved:
+            if role in (CLIENT, DAEMON):
+                return resolve(role)
+            dc_name = mapping[role]
+            key = (dc_name, role)
+            srv = session.get(key)
+            if srv is not None and (
+                not srv.available or not state.allows(srv.name, t)
+            ):
+                # cached server died or tripped its breaker: fail over
+                session.pop(key)
+                state.count("failovers")
+                srv = None
+            if srv is None:
+                tier = self.topology.datacenter(dc_name).tier(role)
+                srv = tier.pick_server(
+                    health=lambda s: state.allows(s.name, t)
+                )
+                state.on_selected(srv.name, t)
+                session[key] = srv
+            return _Resolved(srv, dc_name, role)
+
+        def attempt(spec, policy, index: int, n: int, t: float) -> None:
+            tag = f"{operation.name}[{index}]"
+            try:
+                src = resolve_resilient(spec.src, t)
+                dst = resolve_resilient(spec.dst, t)
+            except TierUnavailableError:
+                # every server failed or breaker-ejected right now;
+                # back off and retry rather than erroring instantly
+                state.count("breaker_rejections")
+                retry_or_abandon(spec, policy, index, n, t, "unavailable")
+                return
+            dst_key = dst.holon.name if spec.dst not in (CLIENT, DAEMON) else None
+            if n > 0:
+                dst.holon.nic.record_retry()
+            if (
+                policy.shed_queue_depth is not None
+                and dst_key is not None
+                and dst.holon.load() >= policy.shed_queue_depth
+            ):
+                # queue-depth load shedding: fail fast instead of
+                # stacking more work on an overloaded destination
+                state.count("shed")
+                dst.holon.nic.record_shed()
+                state.record(dst_key, False, t, policy)
+                if tracer is not None:
+                    tracer.record_marker(
+                        ctx, dst.holon.name, "shed", t, t, tag=f"{tag} shed"
+                    )
+                retry_or_abandon(spec, policy, index, n, t, "shed")
+                return
+            settled = [False]
+
+            def done(t2: float) -> None:
+                if settled[0]:
+                    # a timed-out attempt's in-flight work finishing
+                    # late: its capacity was genuinely consumed but the
+                    # cascade has moved on
+                    state.count("orphan_completions")
+                    return
+                settled[0] = True
+                if dst_key is not None:
+                    state.record(dst_key, True, t2, policy)
+                run_message(index + 1, t2)
+
+            self.deliver(src, dst, spec.r, spec.r_src, t, done, tag=tag)
+            if policy.timeout_s is not None and not settled[0]:
+
+                def on_timeout(t2: float) -> None:
+                    if settled[0]:
+                        return
+                    settled[0] = True
+                    state.count("timeouts")
+                    dst.holon.nic.record_timeout()
+                    if dst_key is not None:
+                        state.record(dst_key, False, t2, policy)
+                    evict(spec.src)
+                    evict(spec.dst)
+                    if tracer is not None:
+                        tracer.record_marker(
+                            ctx, dst.holon.name, "timeout", t, t2,
+                            tag=f"{tag} timeout",
+                        )
+                    retry_or_abandon(spec, policy, index, n, t2, "timeout")
+
+                self._res_schedule(t + policy.timeout_s, in_ctx(on_timeout))
+
+        def retry_or_abandon(
+            spec, policy, index: int, n: int, t: float, reason: str
+        ) -> None:
+            if n + 1 >= policy.max_attempts:
+                state.count("abandoned")
+                record.abandoned = True
+                finish(t, failed=True)
+                return
+            state.count("retries")
+            record.retries += 1
+            delay = policy.backoff_delay(n, state.rng)
+            if tracer is not None:
+                tracer.record_marker(
+                    ctx, spec.dst, "retry", t, t + delay,
+                    tag=f"{operation.name}[{index}] retry#{n + 1} ({reason})",
+                )
+            self._res_schedule(
+                t + delay,
+                in_ctx(lambda t2: attempt(spec, policy, index, n + 1, t2)),
             )
 
         if tracer is not None:

@@ -12,6 +12,7 @@ from repro.studies.workloads import (
 from repro.studies.consolidation import ConsolidationStudy, consolidated_topology
 from repro.studies.multimaster import MultiMasterStudy, multimaster_topology
 from repro.studies.attack import FloodScenario, FloodOutcome, TokenBucket
+from repro.studies.degraded import DegradedStudy, DegradedOutcome
 from repro.studies.requirements import (
     PlatformRequirements,
     RequirementReport,
@@ -32,6 +33,8 @@ __all__ = [
     "FloodScenario",
     "FloodOutcome",
     "TokenBucket",
+    "DegradedStudy",
+    "DegradedOutcome",
     "PlatformRequirements",
     "RequirementReport",
     "verify_consolidation",

@@ -1,0 +1,170 @@
+"""Degraded-mode study: MTBF sweep against resilience policy settings.
+
+The motivation chapter (section 1.1, "Continuous Failure") argues that
+large infrastructures operate in permanent partial failure; the ROADMAP
+asks for degraded-mode scenarios on top of the failure injector.  This
+study quantifies what the resilience layer buys: for each server MTBF
+it runs the same workload twice — policies off (cascades block on a
+crashed server until its repair) and policies on (timeouts, retries and
+health-aware failover route around it) — and reports availability,
+goodput and tail latency side by side.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.reliability.failures import FailurePolicy
+from repro.resilience import ResiliencePolicy
+from repro.software.client import Client
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.placement import SingleMasterPlacement
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import DataCenterSpec, SANSpec, TierSpec
+from repro.software.resources import R
+
+
+@dataclass
+class DegradedOutcome:
+    """Measured effect of one (MTBF, policy) cell."""
+
+    mtbf_s: float
+    policy: str  # "off" | "resilient"
+    operations: int
+    failed: int
+    availability: float
+    goodput_per_s: float  # successful operations per simulated second
+    p99_s: float  # 99th-percentile successful response time
+    stuck: int  # cascades still in flight at the horizon
+    server_failures: int
+    resilience: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class DegradedStudy:
+    """Sweep server MTBF against resilience policy settings.
+
+    Parameters
+    ----------
+    mtbf_values:
+        Server MTBF points of the sweep (seconds).
+    mttr_s:
+        Server repair time (fixed, seconds).
+    rate:
+        Operation arrivals per second.
+    """
+
+    mtbf_values: Tuple[float, ...] = (150.0, 450.0, 1350.0)
+    mttr_s: float = 60.0
+    horizon: float = 600.0
+    #: Extra simulated seconds past the arrival horizon so in-flight
+    #: cascades can finish (covers one repair plus the retry budget);
+    #: ``stuck`` then counts *permanently* stuck cascades, not ones
+    #: merely launched near the end.
+    drain_s: float = 90.0
+    rate: float = 2.0
+    seed: int = 7
+    policy: ResiliencePolicy = field(default_factory=lambda: ResiliencePolicy(
+        timeout_s=3.0,
+        max_attempts=3,
+        backoff_base_s=0.2,
+        breaker_window_s=30.0,
+        breaker_min_calls=8,
+        breaker_open_s=10.0,
+    ))
+
+    # ------------------------------------------------------------------
+    def _topology(self) -> GlobalTopology:
+        topo = GlobalTopology(seed=self.seed)
+        topo.add_datacenter(DataCenterSpec(
+            name="DNA",
+            tiers=(
+                TierSpec("app", n_servers=3, cores_per_server=2,
+                         memory_gb=8.0, sockets=1),
+                TierSpec("db", n_servers=2, cores_per_server=2,
+                         memory_gb=8.0, sockets=1, uses_san=True),
+            ),
+            sans=(SANSpec(1, 4, 15000),),
+        ))
+        return topo
+
+    @staticmethod
+    def _operation() -> Operation:
+        return Operation("QUERY", [
+            MessageSpec(CLIENT, "app", r=R.of(cycles=1.2e9, net_kb=16)),
+            MessageSpec("app", "db", r=R.of(cycles=6e8, net_kb=8)),
+            MessageSpec("db", "app", r=R.of(net_kb=16)),
+            MessageSpec("app", CLIENT, r=R.of(net_kb=32)),
+        ])
+
+    # ------------------------------------------------------------------
+    def run_cell(self, mtbf_s: float, resilient: bool) -> DegradedOutcome:
+        """One sweep cell: fixed MTBF, policies on or off."""
+        from repro.api import Scenario
+
+        topo = self._topology()
+        op = self._operation()
+        rng = random.Random(self.seed + 11)
+        injector_box: List[object] = []
+
+        def setup(session) -> None:
+            sim, runner = session.sim, session.runner
+            client = Client("client", "DNA", seed=1)
+            sim.add_holon(client)
+
+            def arrivals(now: float) -> None:
+                runner.launch(op, client, now, application="degraded")
+                nxt = now + rng.expovariate(self.rate)
+                if nxt < self.horizon:
+                    sim.schedule(nxt, arrivals)
+
+            sim.schedule(0.0, arrivals)
+            injector = session.inject_failures(FailurePolicy(
+                server_mtbf_s=mtbf_s,
+                server_mttr_s=self.mttr_s,
+                disk_mtbf_s=None,
+                link_mtbf_s=None,
+            ), until=self.horizon)
+            injector.start()
+            injector_box.append(injector)
+
+        scenario = Scenario(
+            name="degraded",
+            topology=topo,
+            placement=SingleMasterPlacement("DNA"),
+            seed=self.seed,
+            setup=setup,
+            resilience=self.policy if resilient else None,
+        )
+        session = scenario.prepare(dt=0.01)
+        result = session.run(self.horizon + self.drain_s, workloads=False)
+
+        ok = sorted(r.response_time for r in result.records if not r.failed)
+        n = len(result.records)
+        failed = sum(r.failed for r in result.records)
+        injector = injector_box[0]
+        return DegradedOutcome(
+            mtbf_s=mtbf_s,
+            policy="resilient" if resilient else "off",
+            operations=n,
+            failed=failed,
+            availability=(n - failed) / n if n else 0.0,
+            goodput_per_s=len(ok) / self.horizon,
+            p99_s=ok[min(len(ok) - 1, int(0.99 * len(ok)))] if ok else float("nan"),
+            stuck=session.runner.active_operations,
+            server_failures=injector.failures_by_kind().get("server", 0),
+            resilience=session.resilience_stats(),
+        )
+
+    def sweep(
+        self, mtbf_values: Optional[Tuple[float, ...]] = None
+    ) -> List[DegradedOutcome]:
+        """Run the full grid: every MTBF x {off, resilient}."""
+        out: List[DegradedOutcome] = []
+        for mtbf in (mtbf_values or self.mtbf_values):
+            out.append(self.run_cell(mtbf, resilient=False))
+            out.append(self.run_cell(mtbf, resilient=True))
+        return out

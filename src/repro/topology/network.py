@@ -72,17 +72,29 @@ class GlobalTopology:
     # ------------------------------------------------------------------
     # failure injection
     # ------------------------------------------------------------------
-    def fail_link(self, a: str, b: str) -> None:
-        """Mark the primary link a--b as failed (traffic uses secondaries)."""
+    def fail_link(self, a: str, b: str, pause_agent: bool = False) -> None:
+        """Mark the primary link a--b as failed (traffic uses secondaries).
+
+        With ``pause_agent`` the link's agent is also paused, so bits
+        already in flight on it stall until repair — the hang the
+        resilience layer's timeouts are designed to rescue.  Default off
+        to preserve the historical "re-route only" semantics.
+        """
         key = self._key(a, b)
         if key not in self.links:
             raise KeyError(f"no primary link between {a!r} and {b!r}")
         self._failed.add(key)
+        if pause_agent:
+            self.links[key].fail(crash=False)
         self._route_cache.clear()
 
-    def restore_link(self, a: str, b: str) -> None:
+    def restore_link(self, a: str, b: str, now: float = 0.0) -> None:
         """Bring a failed primary link back into service."""
-        self._failed.discard(self._key(a, b))
+        key = self._key(a, b)
+        self._failed.discard(key)
+        link = self.links.get(key)
+        if link is not None and link.paused:
+            link.repair(now)
         self._route_cache.clear()
 
     # ------------------------------------------------------------------

@@ -12,6 +12,10 @@ from __future__ import annotations
 import itertools
 from typing import Callable, List, Optional
 
+#: Health predicate consulted per candidate server (True = admissible);
+#: supplied by the resilience layer (circuit breakers + health checks).
+HealthFn = Callable[["Server"], bool]
+
 from repro.core.agent import Holon
 from repro.core.errors import SimulationError
 from repro.core.job import Job
@@ -38,10 +42,22 @@ class LoadBalancer:
         self.policy = policy
         self._rr = itertools.count()
 
-    def choose(self, servers: List[Server]) -> Server:
+    def choose(
+        self, servers: List[Server], health: Optional[HealthFn] = None
+    ) -> Server:
+        """Pick a server, skipping failed (and health-ejected) members.
+
+        ``health`` is the resilience layer's admissibility predicate
+        (circuit breakers, health-check ejection); servers it rejects
+        are treated exactly like failed ones.  With every server
+        rejected a :class:`TierUnavailableError` is raised — the
+        caller's retry/backoff policy decides what happens next.
+        """
         if not servers:
             raise ValueError("cannot balance across an empty tier")
         healthy = [s for s in servers if s.available]
+        if healthy and health is not None:
+            healthy = [s for s in healthy if health(s)]
         if not healthy:
             raise TierUnavailableError(
                 f"no available servers among {len(servers)}"
@@ -97,9 +113,15 @@ class Tier(Holon):
     def total_cores(self) -> int:
         return sum(s.cpu.total_cores for s in self.servers)
 
-    def pick_server(self) -> Server:
-        """Select a member server according to the balancing policy."""
-        return self.balancer.choose(self.servers)
+    def pick_server(self, health: Optional[HealthFn] = None) -> Server:
+        """Select a member server according to the balancing policy.
+
+        ``health`` narrows the candidate set further than plain
+        availability — the resilience layer passes its breaker/health
+        predicate here so circuit-open servers are ejected and
+        half-open ones re-admitted as probes.
+        """
+        return self.balancer.choose(self.servers, health=health)
 
     def cpu_utilization(self, now: float) -> float:
         """Average CPU utilization across the tier's servers.

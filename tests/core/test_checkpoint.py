@@ -1,0 +1,196 @@
+"""Tests for crash-safe checkpoint/resume (repro.core.checkpoint)."""
+
+import json
+
+import pytest
+
+from repro.api import Collect, Scenario, simulate
+from repro.core.checkpoint import (
+    CHECKPOINT_VERSION,
+    read_checkpoint,
+    state_fingerprint,
+    write_checkpoint,
+)
+from repro.core.errors import CheckpointError, ConfigurationError
+from repro.software.application import Application
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.resources import R
+from repro.software.workload import OperationMix, WorkloadCurve
+from repro.topology.network import GlobalTopology
+
+from tests.conftest import small_dc_spec
+
+
+def portal_scenario(seed: int = 5) -> Scenario:
+    topo = GlobalTopology(seed=3)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    op = Operation("OP", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=1e9, net_kb=16)),
+        MessageSpec("app", "db", r=R.of(cycles=4e8, net_kb=8)),
+        MessageSpec("db", "app", r=R.of(net_kb=16)),
+        MessageSpec("app", CLIENT, r=R.of(net_kb=32)),
+    ])
+    app = Application(
+        name="portal",
+        operations={"OP": op},
+        mix=OperationMix({"OP": 1.0}),
+        workloads={"DNA": WorkloadCurve([60.0] * 24)},
+        ops_per_client_hour=30.0,
+    )
+    return Scenario(name="portal", topology=topo, applications=[app],
+                    seed=seed)
+
+
+def result_key(result):
+    return (
+        [(r.operation, r.start, r.end, r.failed) for r in result.records],
+        result.series("cpu.DNA.app"),
+        result.series("cpu.DNA.db"),
+    )
+
+
+# ----------------------------------------------------------------------
+# document round-trip and validation
+# ----------------------------------------------------------------------
+def test_checkpoint_document_roundtrip(tmp_path):
+    scn = portal_scenario()
+    session = scn.prepare(collect=Collect(5.0))
+    session._until = 30.0
+    session.run(10.0)
+    path = tmp_path / "ck.json"
+    session.checkpoint(path)
+    doc = read_checkpoint(path)
+    assert doc["version"] == CHECKPOINT_VERSION
+    assert doc["time"] == session.sim.now
+    assert doc["scenario"]["name"] == "portal"
+    assert doc["scenario"]["seed"] == 5
+    assert doc["until"] == 30.0
+    assert doc["fingerprint"]["hash"] == state_fingerprint(session)["hash"]
+
+
+def test_read_checkpoint_missing_file(tmp_path):
+    with pytest.raises(CheckpointError, match="no checkpoint"):
+        read_checkpoint(tmp_path / "absent.json")
+
+
+def test_read_checkpoint_rejects_non_json(tmp_path):
+    p = tmp_path / "junk.json"
+    p.write_text("not json {")
+    with pytest.raises(CheckpointError, match="not a checkpoint"):
+        read_checkpoint(p)
+
+
+def test_read_checkpoint_rejects_foreign_document(tmp_path):
+    p = tmp_path / "other.json"
+    p.write_text(json.dumps({"hello": 1}))
+    with pytest.raises(CheckpointError, match="not a checkpoint document"):
+        read_checkpoint(p)
+
+
+def test_read_checkpoint_rejects_version_mismatch(tmp_path):
+    scn = portal_scenario()
+    session = scn.prepare()
+    p = tmp_path / "ck.json"
+    write_checkpoint(p, session, {})
+    doc = json.loads(p.read_text())
+    doc["version"] = CHECKPOINT_VERSION + 1
+    p.write_text(json.dumps(doc))
+    with pytest.raises(CheckpointError, match="version"):
+        read_checkpoint(p)
+
+
+def test_write_checkpoint_leaves_no_tmp_file(tmp_path):
+    scn = portal_scenario()
+    session = scn.prepare()
+    p = tmp_path / "ck.json"
+    write_checkpoint(p, session, {})
+    assert p.exists()
+    assert not (tmp_path / "ck.json.tmp").exists()
+
+
+def test_checkpoint_every_requires_path():
+    with pytest.raises(ConfigurationError, match="checkpoint_path"):
+        simulate(portal_scenario(), until=10.0, checkpoint_every=5.0)
+
+
+def test_arm_checkpoints_validates_cadence(tmp_path):
+    session = portal_scenario().prepare()
+    with pytest.raises(ConfigurationError):
+        session.arm_checkpoints(0.0, tmp_path / "ck.json")
+
+
+# ----------------------------------------------------------------------
+# fingerprint sensitivity
+# ----------------------------------------------------------------------
+def test_fingerprint_is_deterministic_across_sessions():
+    a = portal_scenario().prepare(collect=Collect(5.0))
+    b = portal_scenario().prepare(collect=Collect(5.0))
+    a.run(20.0)
+    b.run(20.0)
+    assert state_fingerprint(a)["hash"] == state_fingerprint(b)["hash"]
+
+
+def test_fingerprint_changes_with_seed():
+    a = portal_scenario(seed=5).prepare()
+    b = portal_scenario(seed=6).prepare()
+    a.run(20.0)
+    b.run(20.0)
+    assert state_fingerprint(a)["hash"] != state_fingerprint(b)["hash"]
+
+
+# ----------------------------------------------------------------------
+# resume
+# ----------------------------------------------------------------------
+def test_interrupted_then_resumed_equals_uninterrupted(tmp_path):
+    """The acceptance criterion: kill at T, resume, get the same run."""
+    ck = tmp_path / "ck.json"
+    ref_ck = tmp_path / "ref.json"
+
+    # the uninterrupted reference (same checkpoint cadence: the monitor
+    # takes part in adaptive step selection)
+    full = simulate(portal_scenario(), until=90.0,
+                    collect=Collect(sample_interval=5.0),
+                    checkpoint_every=30.0, checkpoint_path=ref_ck)
+
+    # an "interrupted" run: dies at t=45 with its last checkpoint at 30
+    scn = portal_scenario()
+    session = scn.prepare(collect=Collect(sample_interval=5.0))
+    session._until = 90.0
+    session.arm_checkpoints(30.0, ck)
+    session._workloads_started = True
+    session._start_workloads(90.0)
+    session.sim.run(45.0)
+    assert read_checkpoint(ck)["time"] == pytest.approx(30.0)
+
+    resumed = simulate(portal_scenario(), resume_from=ck,
+                       collect=Collect(sample_interval=5.0))
+    assert resumed.until == 90.0  # horizon recovered from the checkpoint
+    assert result_key(resumed) == result_key(full)  # bit-exact
+
+
+def test_resume_rejects_wrong_scenario(tmp_path):
+    ck = tmp_path / "ck.json"
+    simulate(portal_scenario(), until=30.0, checkpoint_every=10.0,
+             checkpoint_path=ck)
+    with pytest.raises(CheckpointError, match="checkpoint is for scenario"):
+        simulate(portal_scenario(seed=99), resume_from=ck)
+
+
+def test_resume_rejects_horizon_before_checkpoint(tmp_path):
+    ck = tmp_path / "ck.json"
+    simulate(portal_scenario(), until=30.0, checkpoint_every=10.0,
+             checkpoint_path=ck)
+    with pytest.raises(CheckpointError, match="before the checkpoint"):
+        simulate(portal_scenario(), resume_from=ck, until=5.0)
+
+
+def test_resume_detects_state_drift(tmp_path):
+    ck = tmp_path / "ck.json"
+    simulate(portal_scenario(), until=30.0, checkpoint_every=10.0,
+             checkpoint_path=ck)
+    doc = json.loads(ck.read_text())
+    doc["fingerprint"]["hash"] = "0" * 64  # simulate code/config drift
+    ck.write_text(json.dumps(doc))
+    with pytest.raises(CheckpointError, match="does not match"):
+        simulate(portal_scenario(), resume_from=ck, until=60.0)

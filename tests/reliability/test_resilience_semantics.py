@@ -1,0 +1,226 @@
+"""Reliability-package semantics added with the resilience layer.
+
+Covers the documented-but-previously-untested contracts: queued
+requests on a crashed server are re-queued and served after its repair
+(including repairs falling past the injection horizon), failure/repair
+cycles follow the alternating-renewal timing, RAID service times
+inflate while a stripe is degraded, links fail over onto secondary
+routes, and the closed-form availability helpers.
+"""
+
+import pytest
+
+from repro.core import Job, Simulator
+from repro.core.errors import ResilienceError, SimulationError
+from repro.hardware import RAID
+from repro.reliability import (
+    FailureInjector,
+    FailurePolicy,
+    parallel_availability,
+    steady_availability,
+)
+from repro.software.cascade import CascadeRunner
+from repro.software.client import Client
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.placement import SingleMasterPlacement
+from repro.software.resources import R
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import LinkSpec
+
+from tests.conftest import small_dc_spec
+
+
+# ----------------------------------------------------------------------
+# in-flight semantics: crash re-queues, repair serves
+# ----------------------------------------------------------------------
+def test_crashed_server_requeues_and_serves_after_repair():
+    """The module docstring's promise: queued requests retry after
+    repair rather than being dropped."""
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim = Simulator(dt=0.01)
+    sim.add_holon(topo.datacenter("DNA"))
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA", local_fs=False),
+                           seed=2)
+    client = Client("c", "DNA", seed=1)
+    sim.add_holon(client)
+    op = Operation("OP", [MessageSpec(CLIENT, "db", r=R.of(cycles=5e8)),
+                          MessageSpec("db", CLIENT)])
+    db = topo.datacenter("DNA").tier("db").servers[0]
+
+    runner.launch(op, client, 0.0)
+    t = 0.0
+    while db.load() == 0 and t < 1.0:
+        t += 0.02
+        sim.run(t)
+    assert db.load() > 0
+
+    db.fail(crash=True)  # loses progress, keeps the queued request
+    sim.run(3.0)
+    assert not runner.records  # stalled while down, not dropped
+    db.repair(sim.now)
+    sim.run(10.0)
+    [rec] = runner.records
+    assert not rec.failed
+    assert rec.response_time > 3.0  # paid the outage, then completed
+
+
+def test_injector_repair_fires_past_the_horizon():
+    """A crash just before ``until`` must still be repaired after it."""
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim = Simulator(dt=0.1)
+    sim.add_holon(topo.datacenter("DNA"))
+    inj = FailureInjector(
+        sim, topo,
+        FailurePolicy(server_mtbf_s=10.0, server_mttr_s=50.0,
+                      disk_mtbf_s=None, link_mtbf_s=None),
+        until=30.0, seed=3,
+    )
+    inj.start()
+    sim.run(200.0)
+    fails = [e for e in inj.events if e.event == "fail"]
+    repairs = [e for e in inj.events if e.event == "repair"]
+    assert fails, "expected at least one failure before the horizon"
+    # every failure has its matching repair, even when mttr pushes the
+    # repair past until=30
+    assert len(repairs) == len(fails)
+    assert any(e.time > 30.0 for e in repairs)
+    for tier in topo.datacenter("DNA").tiers.values():
+        assert all(s.available for s in tier.servers)
+
+
+def test_alternating_renewal_repair_timing():
+    """Down intervals equal the (fixed) MTTR of the renewal process."""
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim = Simulator(dt=0.1)
+    sim.add_holon(topo.datacenter("DNA"))
+    mttr = 7.0
+    inj = FailureInjector(
+        sim, topo,
+        FailurePolicy(server_mtbf_s=20.0, server_mttr_s=mttr,
+                      disk_mtbf_s=None, link_mtbf_s=None),
+        until=300.0, seed=11,
+    )
+    inj.start()
+    sim.run(400.0)
+    down_since = {}
+    gaps = []
+    for ev in inj.events:
+        if ev.event == "fail":
+            down_since[ev.component] = ev.time
+        else:
+            gaps.append(ev.time - down_since.pop(ev.component))
+    assert gaps, "expected completed fail/repair cycles"
+    for gap in gaps:
+        assert gap == pytest.approx(mttr, abs=0.2)
+    # downtime bookkeeping equals the sum of the observed gaps
+    assert sum(inj.downtime.values()) == pytest.approx(sum(gaps), rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# RAID degraded stripes
+# ----------------------------------------------------------------------
+def test_raid_degraded_stripe_inflates_service_time():
+    def timed_completion(with_failed_disk: bool) -> float:
+        sim = Simulator(dt=0.01)
+        raid = RAID("r", n_disks=4, array_controller_bps=1e9,
+                    controller_bps=1e9, drive_bps=1e8, seed=1)
+        sim.add_agent(raid)
+        repair_at = 2.0
+        if with_failed_disk:
+            raid.disks[0].fail()
+            sim.schedule(repair_at, lambda t: raid.disks[0].repair(t))
+        done = []
+        raid.submit(Job(4e8, on_complete=lambda j, t: done.append(t)), 0.0)
+        sim.run(20.0)
+        assert done
+        return done[0]
+
+    healthy = timed_completion(False)
+    degraded = timed_completion(True)
+    # the degraded array holds the failed branch's stripe until repair:
+    # service time inflates by (at least) the outage
+    assert degraded > healthy
+    assert degraded >= 2.0
+
+
+# ----------------------------------------------------------------------
+# link failover
+# ----------------------------------------------------------------------
+def test_route_fails_over_to_secondary_and_back():
+    topo = GlobalTopology(seed=1)
+    for n in ("DNA", "DEU"):
+        topo.add_datacenter(small_dc_spec(n))
+    primary = topo.connect("DNA", "DEU", LinkSpec(0.155, 10.0))
+    backup = topo.connect("DNA", "DEU", LinkSpec(0.045, 30.0), secondary=True)
+    assert topo.route("DNA", "DEU")[0].name == primary.name
+    topo.fail_link("DNA", "DEU")
+    assert topo.route("DNA", "DEU")[0].name == backup.name
+    topo.restore_link("DNA", "DEU", now=5.0)
+    assert topo.route("DNA", "DEU")[0].name == primary.name
+
+
+def test_cascade_completes_over_secondary_route():
+    topo = GlobalTopology(seed=1)
+    for n in ("DNA", "DEU"):
+        topo.add_datacenter(small_dc_spec(n))
+    topo.connect("DNA", "DEU", LinkSpec(0.155, 10.0))
+    topo.connect("DNA", "DEU", LinkSpec(0.045, 30.0), secondary=True)
+    sim = Simulator(dt=0.01)
+    for dc in topo.datacenters.values():
+        sim.add_holon(dc)
+    sim.add_agents(topo.links.values())
+    sim.add_agents(topo._secondary.values())
+    runner = CascadeRunner(topo, SingleMasterPlacement("DEU", local_fs=False),
+                           seed=2)
+    client = Client("c", "DNA", seed=1)
+    sim.add_holon(client)
+    topo.fail_link("DNA", "DEU")
+    op = Operation("OP", [MessageSpec(CLIENT, "app", r=R.of(cycles=1e8,
+                                                            net_kb=8)),
+                          MessageSpec("app", CLIENT, r=R.of(net_kb=8))])
+    runner.launch(op, client, 0.0)
+    sim.run(20.0)
+    [rec] = runner.records
+    assert not rec.failed  # traffic crossed on the backup link
+
+
+# ----------------------------------------------------------------------
+# closed-form availability helpers
+# ----------------------------------------------------------------------
+def test_steady_availability_closed_form():
+    assert steady_availability(9.0, 1.0) == pytest.approx(0.9)
+    assert steady_availability(3600.0, 0.0) == 1.0
+
+
+def test_parallel_availability_closed_form():
+    assert parallel_availability(0.9, 1) == pytest.approx(0.9)
+    assert parallel_availability(0.9, 2) == pytest.approx(0.99)
+    assert parallel_availability(0.5, 3) == pytest.approx(0.875)
+
+
+@pytest.mark.parametrize("call", [
+    lambda: steady_availability(0.0, 1.0),
+    lambda: steady_availability(10.0, -1.0),
+    lambda: parallel_availability(1.5, 2),
+    lambda: parallel_availability(0.9, 0),
+])
+def test_availability_validation(call):
+    with pytest.raises(ResilienceError):
+        call()
+
+
+# ----------------------------------------------------------------------
+# typed errors
+# ----------------------------------------------------------------------
+def test_reliability_errors_are_typed_and_backwards_compatible():
+    with pytest.raises(ResilienceError):
+        FailurePolicy(server_mtbf_s=-1.0)
+    with pytest.raises(ValueError):  # legacy except clauses still work
+        FailurePolicy(server_mttr_s=0.0)
+    with pytest.raises(SimulationError):
+        FailureInjector(Simulator(dt=0.1), GlobalTopology(seed=1),
+                        until=0.0)

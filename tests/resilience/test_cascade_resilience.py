@@ -1,0 +1,264 @@
+"""End-to-end tests: the resilience layer driving real cascades.
+
+These exercise the acceptance criteria of the resilience PR: a crashed
+server's in-flight request times out and fails over to a healthy peer,
+shedding rejects work on overloaded destinations, exhausted budgets
+abandon the operation instead of hanging it, the health monitor ejects
+a downed server within one check interval, and an entirely-off policy
+reproduces the legacy path exactly.
+"""
+
+import pytest
+
+from repro.api import Scenario
+from repro.core import Simulator
+from repro.resilience import ResilienceConfig, ResiliencePolicy
+from repro.resilience.health import HealthMonitor
+from repro.software.cascade import CascadeRunner
+from repro.software.client import Client
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.placement import SingleMasterPlacement
+from repro.software.resources import R
+from repro.topology.network import GlobalTopology
+
+from tests.conftest import small_dc_spec
+
+
+def make_world(sim: Simulator, config=None):
+    """Single small DC + armed runner; returns (topo, runner, client)."""
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    sim.add_holon(topo.datacenter("DNA"))
+    runner = CascadeRunner(topo, SingleMasterPlacement("DNA", local_fs=False),
+                           seed=2)
+    if config is not None:
+        runner.arm_resilience(config, sim.schedule)
+    client = Client("c", "DNA", seed=1)
+    sim.add_holon(client)
+    return topo, runner, client
+
+
+APP_OP = Operation("OP", [
+    MessageSpec(CLIENT, "app", r=R.of(cycles=1e8, net_kb=8)),
+    MessageSpec("app", CLIENT, r=R.of(net_kb=8)),
+])
+
+
+def step_until_busy(sim, tier, deadline: float = 1.0):
+    """Advance until some tier server holds in-flight work."""
+    t = 0.0
+    while t < deadline:
+        t += 0.02
+        sim.run(t)
+        busy = [s for s in tier.servers if s.load() > 0]
+        if busy:
+            return busy
+    raise AssertionError("no message landed on the tier in time")
+
+
+# ----------------------------------------------------------------------
+# timeout -> retry -> failover
+# ----------------------------------------------------------------------
+def test_timeout_fails_over_to_healthy_server():
+    sim = Simulator(dt=0.01)
+    policy = ResiliencePolicy(timeout_s=0.5, max_attempts=3,
+                              backoff_base_s=0.05, backoff_jitter=0.0,
+                              breaker_window_s=None)
+    topo, runner, client = make_world(sim, ResilienceConfig(default=policy))
+    tier = topo.datacenter("DNA").tier("app")
+
+    runner.launch(APP_OP, client, 0.0)
+    # step until the message lands on a server, then pause (not crash)
+    # it: its job now stalls forever, which without the policy layer
+    # would hang the run
+    busy = step_until_busy(sim, tier)
+    busy[0].fail(crash=False)
+    sim.run(10.0)
+
+    assert runner.active_operations == 0, "no permanently-stuck cascades"
+    [rec] = runner.records
+    assert not rec.failed
+    assert rec.retries >= 1
+    stats = runner.resilience_stats()
+    assert stats["timeouts"] >= 1
+    assert stats["failovers"] >= 1
+    assert stats["abandoned"] == 0
+    # telemetry attribution: the timeout is charged to the stalled
+    # server's NIC, the retry to the server it was re-routed onto
+    assert busy[0].nic.telemetry().timeouts >= 1
+    others = [s for s in tier.servers if s is not busy[0]]
+    assert sum(s.nic.telemetry().retries for s in others) >= 1
+
+
+def test_orphaned_work_is_counted_not_double_completed():
+    """A timed-out attempt finishing late must not advance the cascade."""
+    sim = Simulator(dt=0.01)
+    policy = ResiliencePolicy(timeout_s=0.5, max_attempts=3,
+                              backoff_base_s=0.05, backoff_jitter=0.0,
+                              breaker_window_s=None)
+    topo, runner, client = make_world(sim, ResilienceConfig(default=policy))
+    tier = topo.datacenter("DNA").tier("app")
+
+    runner.launch(APP_OP, client, 0.0)
+    busy = step_until_busy(sim, tier)[0]
+    busy.fail(crash=False)
+    sim.run(2.0)
+    busy.repair(sim.now)  # the stalled job now completes, orphaned
+    sim.run(10.0)
+
+    assert len(runner.records) == 1  # exactly one completion
+    assert runner.resilience_stats()["orphan_completions"] >= 1
+
+
+# ----------------------------------------------------------------------
+# abandonment
+# ----------------------------------------------------------------------
+def test_whole_tier_down_abandons_after_budget():
+    sim = Simulator(dt=0.01)
+    policy = ResiliencePolicy(timeout_s=0.5, max_attempts=3,
+                              backoff_base_s=0.05, backoff_jitter=0.0,
+                              breaker_window_s=None)
+    topo, runner, client = make_world(sim, ResilienceConfig(default=policy))
+    for s in topo.datacenter("DNA").tier("app").servers:
+        s.fail()
+
+    runner.launch(APP_OP, client, 0.0)
+    sim.run(10.0)
+
+    assert runner.active_operations == 0
+    [rec] = runner.records
+    assert rec.failed and rec.abandoned
+    assert rec.retries == policy.max_attempts - 1
+    stats = runner.resilience_stats()
+    assert stats["abandoned"] == 1
+    assert stats["breaker_rejections"] == policy.max_attempts
+    assert stats["retries"] == policy.max_attempts - 1
+
+
+# ----------------------------------------------------------------------
+# load shedding
+# ----------------------------------------------------------------------
+def test_queue_depth_shedding_rejects_fast():
+    sim = Simulator(dt=0.01)
+    policy = ResiliencePolicy(timeout_s=None, max_attempts=1,
+                              breaker_window_s=None, shed_queue_depth=1)
+    topo, runner, client = make_world(sim, ResilienceConfig(default=policy))
+    db = topo.datacenter("DNA").tier("db").servers[0]
+    # pre-load the lone db server past the shedding threshold
+    db.process_leg(0.0, cycles=1e12, net_bits=0.0, mem_bytes=0.0,
+                   disk_bytes=0.0, on_complete=lambda t: None)
+    assert db.load() >= 1
+
+    op = Operation("Q", [MessageSpec(CLIENT, "db", r=R.of(cycles=1e8)),
+                         MessageSpec("db", CLIENT)])
+    runner.launch(op, client, 0.0)
+    sim.run(1.0)
+
+    assert runner.active_operations == 0
+    [rec] = runner.records
+    assert rec.failed and rec.abandoned  # max_attempts=1: shed -> give up
+    stats = runner.resilience_stats()
+    assert stats["shed"] == 1
+    assert db.nic.telemetry().shed == 1
+
+
+# ----------------------------------------------------------------------
+# health monitor failover bound
+# ----------------------------------------------------------------------
+def test_health_monitor_ejects_within_one_interval():
+    sim = Simulator(dt=0.01)
+    policy = ResiliencePolicy()
+    topo, runner, client = make_world(sim, ResilienceConfig(default=policy))
+    state = runner._res_state
+    monitor = HealthMonitor(sim, topo, state, interval_s=0.5, policy=policy)
+    monitor.start()
+    tier = topo.datacenter("DNA").tier("app")
+    victim = tier.servers[0]
+
+    sim.run(1.0)
+    victim.fail()
+    t_fail = sim.now
+    sim.run(t_fail + 0.6)  # one interval later the probe must have seen it
+
+    downs = [tr for tr in monitor.transitions if tr[1] == victim.name
+             and tr[2] == "down"]
+    assert downs and downs[0][0] <= t_fail + 0.5 + 1e-9
+    assert not state.allows(victim.name, sim.now)
+
+    victim.repair(sim.now)
+    t_repair = sim.now
+    sim.run(t_repair + 0.6)
+    ups = [tr for tr in monitor.transitions if tr[1] == victim.name
+           and tr[2] == "up"]
+    assert ups and ups[0][0] <= t_repair + 0.5 + 1e-9
+    # re-admitted through half-open probes, not thrown straight back in
+    assert state.breakers[victim.name].state == "half_open"
+
+
+# ----------------------------------------------------------------------
+# zero cost when off
+# ----------------------------------------------------------------------
+def run_once(config):
+    sim = Simulator(dt=0.01)
+    topo, runner, client = make_world(sim, config)
+    for i in range(5):
+        runner.launch(APP_OP, client, 0.2 * i)
+    sim.run(20.0)
+    return [(r.operation, r.start, r.end, r.failed) for r in runner.records]
+
+
+def test_policy_off_reproduces_legacy_numbers_exactly():
+    baseline = run_once(None)
+    off = run_once(ResilienceConfig(default=ResiliencePolicy.off()))
+    assert off == baseline  # bit-exact, not approx
+
+
+def test_arm_resilience_returns_none_when_off():
+    sim = Simulator(dt=0.01)
+    topo, runner, client = make_world(sim)
+    assert runner.arm_resilience(ResiliencePolicy.off(), sim.schedule) is None
+    assert runner.resilience_stats() == {}
+
+
+# ----------------------------------------------------------------------
+# session wiring
+# ----------------------------------------------------------------------
+def test_session_arms_resilience_and_health_monitor():
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    scn = Scenario(name="s", topology=topo,
+                   placement=SingleMasterPlacement("DNA"),
+                   resilience=ResiliencePolicy(timeout_s=1.0))
+    session = scn.prepare(dt=0.01)
+    assert session.resilience is not None
+    assert session.resilience_state is not None
+    assert session.health_monitor is not None
+    assert session.resilience_stats() == {
+        **{k: 0 for k in session.resilience_state.COUNTERS},
+        "breaker_opens": 0, "breakers_open_now": 0,
+    }
+
+
+def test_session_off_policy_leaves_runner_untouched():
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    scn = Scenario(name="s", topology=topo,
+                   placement=SingleMasterPlacement("DNA"),
+                   resilience=ResiliencePolicy.off())
+    session = scn.prepare(dt=0.01)
+    assert session.resilience is None
+    assert session.health_monitor is None
+    assert session.runner._resilience is None
+
+
+def test_scenario_json_roundtrips_resilience_block(tmp_path):
+    topo = GlobalTopology(seed=1)
+    topo.add_datacenter(small_dc_spec("DNA"))
+    cfg = ResilienceConfig(default=ResiliencePolicy(timeout_s=2.0),
+                           tiers={"db": ResiliencePolicy(max_attempts=5)})
+    scn = Scenario(name="rt", topology=topo, resilience=cfg)
+    path = tmp_path / "scn.json"
+    scn.to_json(path)
+    back = Scenario.from_json(path)
+    assert ResilienceConfig.coerce(back.resilience) == cfg

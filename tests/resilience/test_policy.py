@@ -1,0 +1,169 @@
+"""Tests for ResiliencePolicy / ResilienceConfig value objects."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ResilienceError, SimulationError
+from repro.resilience import ResilienceConfig, ResiliencePolicy
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def test_policy_defaults_are_enabled():
+    p = ResiliencePolicy()
+    assert p.enabled
+    assert p.breaker_enabled
+
+
+def test_off_disables_everything():
+    p = ResiliencePolicy.off()
+    assert not p.enabled
+    assert not p.breaker_enabled
+    assert p.timeout_s is None
+    assert p.max_attempts == 1
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"timeout_s": 0.0},
+    {"timeout_s": -1.0},
+    {"max_attempts": 0},
+    {"backoff_base_s": -0.1},
+    {"backoff_multiplier": 0.5},
+    {"backoff_jitter": 1.0},
+    {"backoff_jitter": -0.1},
+    {"breaker_window_s": 0.0},
+    {"breaker_min_calls": 0},
+    {"breaker_failure_rate": 0.0},
+    {"breaker_failure_rate": 1.5},
+    {"breaker_open_s": 0.0},
+    {"breaker_half_open_probes": 0},
+    {"shed_queue_depth": 0},
+])
+def test_policy_validation(kwargs):
+    with pytest.raises(ResilienceError):
+        ResiliencePolicy(**kwargs)
+
+
+def test_resilience_error_is_both_simulation_and_value_error():
+    """Typed errors must stay catchable as the legacy ValueError."""
+    with pytest.raises(ValueError):
+        ResiliencePolicy(max_attempts=0)
+    with pytest.raises(SimulationError):
+        ResiliencePolicy(max_attempts=0)
+
+
+def test_breaker_knobs_unvalidated_when_breaker_off():
+    # breaker_window_s=None turns the breaker off; its other knobs are
+    # then inert and must not reject (off() relies on this)
+    p = ResiliencePolicy(breaker_window_s=None)
+    assert not p.breaker_enabled
+    assert p.enabled  # timeouts/retries still on
+
+
+# ----------------------------------------------------------------------
+# backoff
+# ----------------------------------------------------------------------
+def test_backoff_is_exponential_without_jitter():
+    p = ResiliencePolicy(backoff_base_s=0.5, backoff_multiplier=3.0,
+                         backoff_jitter=0.0)
+    rng = random.Random(1)
+    assert p.backoff_delay(0, rng) == pytest.approx(0.5)
+    assert p.backoff_delay(1, rng) == pytest.approx(1.5)
+    assert p.backoff_delay(2, rng) == pytest.approx(4.5)
+
+
+def test_backoff_jitter_stays_in_band():
+    p = ResiliencePolicy(backoff_base_s=1.0, backoff_multiplier=2.0,
+                         backoff_jitter=0.25)
+    rng = random.Random(9)
+    for n in range(4):
+        nominal = 2.0 ** n
+        for _ in range(50):
+            d = p.backoff_delay(n, rng)
+            assert nominal * 0.75 <= d <= nominal * 1.25
+
+
+# ----------------------------------------------------------------------
+# dict round-trips
+# ----------------------------------------------------------------------
+def test_policy_dict_roundtrip():
+    p = ResiliencePolicy(timeout_s=2.5, max_attempts=4,
+                         shed_queue_depth=12, breaker_open_s=7.0)
+    assert ResiliencePolicy.from_dict(p.to_dict()) == p
+
+
+def test_policy_from_dict_rejects_unknown_keys():
+    with pytest.raises(ResilienceError, match="unknown"):
+        ResiliencePolicy.from_dict({"timeout": 5.0})
+
+
+def test_config_dict_roundtrip():
+    cfg = ResilienceConfig(
+        default=ResiliencePolicy(timeout_s=2.0),
+        tiers={"db": ResiliencePolicy(max_attempts=5)},
+        applications={"portal": ResiliencePolicy.off()},
+        health_check_interval_s=0.5,
+    )
+    back = ResilienceConfig.from_dict(cfg.to_dict())
+    assert back == cfg
+
+
+def test_config_from_dict_rejects_unknown_keys():
+    with pytest.raises(ResilienceError, match="unknown"):
+        ResilienceConfig.from_dict({"defaults": {}})
+
+
+def test_with_returns_modified_copy():
+    p = ResiliencePolicy()
+    q = p.with_(timeout_s=9.0)
+    assert q.timeout_s == 9.0
+    assert p.timeout_s == 5.0  # original untouched
+
+
+# ----------------------------------------------------------------------
+# config resolution
+# ----------------------------------------------------------------------
+def test_for_message_precedence_tier_then_app_then_default():
+    tier_p = ResiliencePolicy(max_attempts=7)
+    app_p = ResiliencePolicy(max_attempts=5)
+    cfg = ResilienceConfig(
+        default=ResiliencePolicy(max_attempts=2),
+        tiers={"db": tier_p},
+        applications={"portal": app_p},
+    )
+    assert cfg.for_message("portal", "db") is tier_p
+    assert cfg.for_message("portal", "app") is app_p
+    assert cfg.for_message("other", "app").max_attempts == 2
+
+
+def test_config_enabled_reflects_any_policy():
+    assert not ResilienceConfig(default=ResiliencePolicy.off()).enabled
+    assert ResilienceConfig(
+        default=ResiliencePolicy.off(),
+        tiers={"db": ResiliencePolicy()},
+    ).enabled
+
+
+def test_health_interval_validation():
+    with pytest.raises(ResilienceError):
+        ResilienceConfig(health_check_interval_s=0.0)
+    # None disables the monitor, no error
+    ResilienceConfig(health_check_interval_s=None)
+
+
+# ----------------------------------------------------------------------
+# coercion
+# ----------------------------------------------------------------------
+def test_coerce_accepts_all_forms():
+    assert ResilienceConfig.coerce(None) is None
+    cfg = ResilienceConfig()
+    assert ResilienceConfig.coerce(cfg) is cfg
+    p = ResiliencePolicy(max_attempts=9)
+    coerced = ResilienceConfig.coerce(p)
+    assert coerced.default is p
+    from_map = ResilienceConfig.coerce({"default": {"max_attempts": 3}})
+    assert from_map.default.max_attempts == 3
+    with pytest.raises(ResilienceError):
+        ResilienceConfig.coerce(42)
