@@ -2,8 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench bench-full examples trace-demo \
-        resilience-demo checkpoint-roundtrip lint clean
+.PHONY: install test test-fast bench bench-full bench-engine examples \
+        trace-demo resilience-demo checkpoint-roundtrip lint clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,12 @@ bench:
 
 bench-full:  ## thesis-length chapter 5 experiments
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-engine:  ## stepping-mode comparison, writes BENCH_engine.json
+	$(PYTHON) scripts/bench_engine.py
+
+lint:  ## style check of the engine core
+	$(PYTHON) -m ruff check src/repro/core
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f >/dev/null || exit 1; done

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Engine stepping-mode benchmark: the BENCH trajectory's first entry.
+
+Runs three reference scenarios under each stepping mode and writes
+``BENCH_engine.json`` at the repo root so the perf trajectory is tracked
+from the event-kernel PR on:
+
+``validation-ch5``
+    A slice of the chapter 5 validation workload (Experiment-1) on the
+    downscaled infrastructure — cascade-heavy, small active set.
+
+``consolidation-fleet``
+    The chapter 6 consolidated platform scaled out to a global fleet of
+    regional file-serving sites under a steady background-replication
+    load (long NIC-dominated pulls with a small CPU/SAN tail).  This is
+    the *many mostly-idle agents* regime the ROADMAP targets: hundreds
+    of agents hold in-flight work, each with rare events, which is where
+    polling modes pay O(active) per boundary while the event kernel pays
+    O(log n).
+
+``resilience-drill``
+    One cell of the degraded-mode study: open-loop queries against a
+    two-tier datacenter with server crash/repair injection and the
+    resilience policies on.
+
+Usage::
+
+    python scripts/bench_engine.py            # full sizings
+    python scripts/bench_engine.py --quick    # CI smoke sizings
+    python scripts/bench_engine.py --modes event,adaptive
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import Scenario  # noqa: E402
+from repro.software.placement import SingleMasterPlacement  # noqa: E402
+from repro.studies.consolidation import MASTER  # noqa: E402
+from repro.studies.degraded import DegradedStudy  # noqa: E402
+from repro.topology.network import GlobalTopology  # noqa: E402
+from repro.topology.specs import (  # noqa: E402
+    DataCenterSpec,
+    LinkSpec,
+    SANSpec,
+    TierSpec,
+)
+from repro.validation.experiments import EXPERIMENTS, run_experiment  # noqa: E402
+
+MODES = ("event", "adaptive", "fixed")
+
+
+# ----------------------------------------------------------------------
+# scenario: chapter 5 validation slice
+# ----------------------------------------------------------------------
+def bench_validation(mode: str, quick: bool) -> dict:
+    until = 120.0 if quick else 300.0
+    res = run_experiment(
+        EXPERIMENTS[0],
+        until=until,
+        launch_until=until - 20.0,
+        steady_window=(60.0, until - 20.0),
+        profile=True,
+        mode=mode,
+    )
+    prof = res.profile
+    return {
+        "wall_s": res.wall_seconds,
+        "ticks": prof.ticks,
+        "agent_ticks": prof.agent_ticks,
+        "records": len(res.records),
+    }
+
+
+# ----------------------------------------------------------------------
+# scenario: consolidated platform at fleet scale
+# ----------------------------------------------------------------------
+def fleet_topology(n_regions: int, seed: int = 42) -> GlobalTopology:
+    """The chapter 6 master DC plus ``n_regions`` regional serving sites."""
+    topo = GlobalTopology(seed=seed)
+    topo.add_datacenter(DataCenterSpec(
+        name=MASTER,
+        tiers=(
+            TierSpec("app", n_servers=8, cores_per_server=8,
+                     memory_gb=32.0, sockets=2),
+            TierSpec("db", n_servers=2, cores_per_server=64,
+                     memory_gb=64.0, sockets=4, uses_san=True),
+            TierSpec("idx", n_servers=3, cores_per_server=16,
+                     memory_gb=64.0, sockets=2),
+            TierSpec("fs", n_servers=2, cores_per_server=8, memory_gb=32.0,
+                     sockets=2, uses_san=True, nic_gbps=10.0),
+        ),
+        sans=(SANSpec(1, 20, 15000), SANSpec(1, 20, 15000)),
+        switch_gbps=10.0,
+        tier_link=LinkSpec(10.0, 0.2),
+    ))
+    for i in range(n_regions):
+        name = f"R{i:02d}"
+        topo.add_datacenter(DataCenterSpec(
+            name=name,
+            tiers=(TierSpec("fs", n_servers=4, cores_per_server=8,
+                            memory_gb=32.0, sockets=2, uses_san=True,
+                            nic_gbps=10.0),),
+            sans=(SANSpec(1, 20, 15000),),
+            switch_gbps=10.0,
+            tier_link=LinkSpec(10.0, 0.2),
+        ))
+        topo.connect(MASTER, name,
+                     LinkSpec(0.155, 80.0, allocated_fraction=0.2))
+    return topo
+
+
+def fleet_setup(session) -> None:
+    """Steady replication pulls on every server of the fleet.
+
+    Each server runs a self-sustaining chain of legs sized like the
+    chapter 6 SR/IB background: a long NIC serialization, a light CPU
+    touch and a small SAN write, then a short think gap.  Demands come
+    from per-server ``random.Random`` streams so the workload is
+    identical across stepping modes.
+    """
+    sim = session.sim
+    topo = session.scenario.topology
+    servers = []
+    for dc in topo.datacenters.values():
+        for tier in dc.tiers.values():
+            servers.extend(tier.servers)
+
+    def chain(server, r: random.Random) -> None:
+        def leg(now: float) -> None:
+            server.process_leg(
+                now,
+                cycles=0.02 * server.cpu.frequency_hz,
+                net_bits=r.uniform(20.0, 60.0) * 1e9,
+                mem_bytes=64e6,
+                disk_bytes=r.uniform(10.0, 50.0) * 1e6,
+                on_complete=lambda t: sim.schedule(
+                    t + r.uniform(0.1, 0.4), leg),
+            )
+
+        sim.schedule(r.uniform(0.0, 2.0), leg)
+
+    for i, server in enumerate(servers):
+        chain(server, random.Random(1000 + i))
+
+
+def bench_fleet(mode: str, quick: bool) -> dict:
+    n_regions = 16 if quick else 128
+    until = 20.0 if quick else 60.0
+    scenario = Scenario(
+        name="consolidation-fleet",
+        topology=fleet_topology(n_regions),
+        placement=SingleMasterPlacement(MASTER, local_fs=True),
+        seed=42,
+        setup=fleet_setup,
+    )
+    session = scenario.prepare(dt=0.01, mode=mode, profile=True)
+    t0 = time.perf_counter()
+    session.run(until, workloads=False)
+    wall = time.perf_counter() - t0
+    prof = session.sim.profiler
+    return {
+        "wall_s": wall,
+        "ticks": prof.ticks,
+        "agent_ticks": prof.agent_ticks,
+        "regions": n_regions,
+    }
+
+
+# ----------------------------------------------------------------------
+# scenario: resilience drill
+# ----------------------------------------------------------------------
+def bench_drill(mode: str, quick: bool) -> dict:
+    study = DegradedStudy(horizon=45.0 if quick else 120.0, drain_s=30.0)
+    t0 = time.perf_counter()
+    outcome = study.run_cell(60.0, resilient=True, mode=mode, profile=True)
+    wall = time.perf_counter() - t0
+    prof = outcome.profile
+    return {
+        "wall_s": wall,
+        "ticks": prof.ticks,
+        "agent_ticks": prof.agent_ticks,
+        "operations": outcome.operations,
+    }
+
+
+SCENARIOS = {
+    "validation-ch5": bench_validation,
+    "consolidation-fleet": bench_fleet,
+    "resilience-drill": bench_drill,
+}
+
+
+#: Scenarios cheap enough to repeat; the fleet run is long and its
+#: mode gap is far larger than run-to-run noise.
+_REPEATED = ("validation-ch5", "resilience-drill")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke sizings (seconds, not minutes)")
+    ap.add_argument("--modes", default=",".join(MODES),
+                    help="comma-separated stepping modes to run")
+    ap.add_argument("--reps", type=int, default=5,
+                    help="repetitions for the short scenarios (min wall "
+                         "is reported)")
+    ap.add_argument("--out", default=str(ROOT / "BENCH_engine.json"),
+                    help="output JSON path")
+    args = ap.parse_args(argv)
+
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    for m in modes:
+        if m not in MODES:
+            ap.error(f"unknown mode {m!r} (choose from {MODES})")
+
+    doc = {
+        "bench": "engine-stepping-modes",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": {},
+    }
+    for name, fn in SCENARIOS.items():
+        doc["scenarios"][name] = {}
+        reps = max(args.reps, 1) if name in _REPEATED else 1
+        for mode in modes:
+            print(f"[bench] {name} mode={mode} ...", flush=True)
+            cell = fn(mode, args.quick)
+            for _ in range(reps - 1):
+                again = fn(mode, args.quick)
+                if again["wall_s"] < cell["wall_s"]:
+                    cell = again
+            cell["reps"] = reps
+            doc["scenarios"][name][mode] = cell
+            print(f"        wall={cell['wall_s']:.2f}s ticks={cell['ticks']} "
+                  f"agent_ticks={cell['agent_ticks']}")
+        cells = doc["scenarios"][name]
+        if "event" in cells and "adaptive" in cells:
+            speedup = cells["adaptive"]["wall_s"] / cells["event"]["wall_s"]
+            cells["speedup_event_vs_adaptive"] = round(speedup, 3)
+            print(f"        event vs adaptive: {speedup:.2f}x")
+
+    out = Path(args.out)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"[bench] wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

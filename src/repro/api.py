@@ -42,7 +42,7 @@ from repro.software.workload import HOUR, OpenLoopWorkload, WorkloadCurve
 from repro.topology.network import GlobalTopology
 
 #: Engine modes accepted by :func:`simulate`; "fluid" bypasses the DES.
-MODES = ("adaptive", "fixed", "fluid")
+MODES = ("event", "adaptive", "fixed", "fluid")
 
 
 @dataclass
@@ -198,7 +198,7 @@ class Scenario:
         self,
         *,
         dt: float = 0.01,
-        mode: str = "adaptive",
+        mode: str = "event",
         trace: Any = None,
         profile: bool = False,
         collect: Optional[Collect] = None,
@@ -226,7 +226,7 @@ class SimulationSession:
         scenario: Scenario,
         *,
         dt: float = 0.01,
-        mode: str = "adaptive",
+        mode: str = "event",
         trace: Any = None,
         profile: bool = False,
         collect: Optional[Collect] = None,
@@ -234,9 +234,10 @@ class SimulationSession:
     ) -> None:
         if scenario.topology is None:
             raise ConfigurationError("scenario has no topology")
-        if mode not in ("adaptive", "fixed"):
+        if mode not in ("event", "adaptive", "fixed"):
             raise ConfigurationError(
-                f"engine mode must be 'adaptive' or 'fixed', got {mode!r}"
+                f"engine mode must be 'event', 'adaptive' or 'fixed', "
+                f"got {mode!r}"
             )
         self.scenario = scenario
         self.sim = Simulator(dt=dt, mode=mode, trace=trace, profile=profile)
@@ -533,7 +534,7 @@ def simulate(
     *,
     until: Optional[float] = None,
     dt: float = 0.01,
-    mode: str = "adaptive",
+    mode: str = "event",
     trace: Any = None,
     profile: bool = False,
     collect: Optional[Collect] = None,
@@ -554,8 +555,10 @@ def simulate(
     until:
         Simulated horizon in seconds (required unless ``mode="fluid"``).
     mode:
-        ``"adaptive"`` / ``"fixed"`` run the DES; ``"fluid"`` solves the
-        scenario analytically (no engine, ``until`` ignored).
+        ``"event"`` (default) / ``"adaptive"`` / ``"fixed"`` run the
+        DES; ``"fluid"`` solves the scenario analytically (no engine,
+        ``until`` ignored).  ``"event"`` and ``"adaptive"`` produce
+        bit-identical results; see ``docs/engine.md``.
     trace:
         Trace mode: ``None``/``"null"``, ``"full"``, ``"sampling:p"`` or
         a :class:`~repro.observability.trace.TraceRecorder`.
@@ -595,7 +598,7 @@ def simulate(
         scenario = dataclasses.replace(scenario, seed=seed)
     if mode == "fluid":
         return _simulate_fluid(scenario)
-    if mode not in ("adaptive", "fixed"):
+    if mode not in ("event", "adaptive", "fixed"):
         raise ConfigurationError(f"unknown simulate() mode {mode!r}")
     if checkpoint_every is not None and checkpoint_path is None:
         raise ConfigurationError("checkpoint_every needs checkpoint_path")

@@ -25,6 +25,14 @@ class Agent(ABC):
 
     agent_type: str = "agent"
 
+    # True when the subclass implements the exact-event contract:
+    # ``next_event_time()`` returns the *exact* absolute time of the next
+    # internal state change and ``advance_to(t)`` processes every internal
+    # event at its own timestamp.  Legacy agents (False) are driven through
+    # the ``on_time_increment`` shim and floored at one base tick by the
+    # engine, reproducing the discrete-time loop for them.
+    _exact_events: bool = False
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.local_time = 0.0
@@ -34,6 +42,14 @@ class Agent(ABC):
         # set by the engine at registration; lets submit() move the agent
         # onto the active list without the engine scanning every agent
         self._waker = None
+        # reschedule hook: set by the engine at registration (or by a
+        # composite parent for its internal sub-agents).  Called whenever
+        # the agent's earliest pending event may have changed; the event
+        # kernel uses it to maintain its wake heap incrementally.
+        self._sched = None
+        # engine wake-heap bookkeeping (lazy deletion): the wake entry for
+        # this agent is valid iff its timestamp equals ``_wake_at``
+        self._wake_at = float("inf")
         # set by the engine at registration when tracing is enabled;
         # internal sub-agents (never registered) stay untraced
         self._tracer = None
@@ -53,20 +69,63 @@ class Agent(ABC):
     # ------------------------------------------------------------------
     # control signals
     # ------------------------------------------------------------------
-    def time_increment(self, now: float, dt: float) -> None:
-        """Handle a time-increment control signal.
+    def next_event_time(self) -> float:
+        """Absolute time of this agent's earliest internal state change.
 
-        Advances the agent's local clock after delegating work consumption
-        to :meth:`on_time_increment`.  A paused (failed) agent consumes
-        no work: queued jobs wait for the repair.
+        ``inf`` means no pending event (idle or paused).  Exact-event
+        agents return the precise completion/admission time; the legacy
+        default reports "immediately" whenever the agent holds work and
+        the engine floors that to one base tick.
         """
-        if not self._paused:
-            self.on_time_increment(now, dt)
-        self.local_time = now + dt
+        if self._paused or self.idle():
+            return float("inf")
+        return self.local_time
+
+    def advance_to(self, t: float) -> None:
+        """Process internal events (admissions, completions) up to ``t``.
+
+        Exact-event agents override this to replay each internal event at
+        its own timestamp; this legacy shim delegates the whole span to
+        :meth:`on_time_increment`.  Does not synchronize ``local_time``
+        for exact agents — see :meth:`sync_to`.
+        """
+        if self._paused or t <= self.local_time:
+            return
+        self.on_time_increment(self.local_time, t - self.local_time)
+        self.local_time = t
+
+    def sync_to(self, t: float) -> None:
+        """Advance through internal events up to ``t`` and pin the local
+        clock (and any lazily-accrued accounting) to ``t``.
+
+        The engine calls this at measurement boundaries (monitor firings,
+        end of run) so samples see up-to-date busy time and local clocks;
+        between boundaries exact agents are only touched at their own
+        events.
+        """
+        self.advance_to(t)
+        if t > self.local_time:
+            self.local_time = t
+
+    def time_increment(self, now: float, dt: float) -> None:
+        """Handle a time-increment control signal (compat wrapper).
+
+        The discrete-time parallel engines still drive agents with
+        explicit ticks; this forwards to the exact-event interface.  A
+        paused (failed) agent consumes no work: queued jobs wait for the
+        repair.
+        """
+        self.sync_to(now + dt)
 
     @abstractmethod
     def on_time_increment(self, now: float, dt: float) -> None:
         """Consume up to ``dt`` seconds of service from enqueued jobs."""
+
+    def _reschedule(self) -> None:
+        """Notify the engine (or composite parent) that this agent's
+        earliest pending event may have changed."""
+        if self._sched is not None:
+            self._sched(self)
 
     def submit(self, job: Job, now: float) -> None:
         """Submit a job under the timestamp-consistency rule (section 4.3.3).
@@ -197,22 +256,34 @@ class Agent(ABC):
         """Whether the agent is failed/paused (serves no work)."""
         return self._paused
 
-    def fail(self, crash: bool = True) -> None:
+    def fail(self, crash: bool = True, now: float | None = None) -> None:
         """Stop serving work; with ``crash`` in-service progress is lost.
 
         Queued jobs remain queued and resume after :meth:`repair` — the
-        crash-restart-retry pattern of commodity clusters.
+        crash-restart-retry pattern of commodity clusters.  ``now`` is the
+        failure instant; when omitted, exact-event agents freeze progress
+        at their last processed event.
         """
         self._paused = True
+        self.on_pause(now)
         if crash:
             self.on_crash()
+        self._reschedule()
 
     def repair(self, now: float) -> None:
         """Return the agent to service at simulation time ``now``."""
         self._paused = False
         self.local_time = max(self.local_time, now)
+        self.on_repair(now)
         if self._waker is not None and not self.idle():
             self._waker(self)
+        self._reschedule()
+
+    def on_pause(self, now: float | None) -> None:
+        """Freeze in-service progress at the failure instant; default no-op."""
+
+    def on_repair(self, now: float) -> None:
+        """Resume interrupted service from ``now``; default no-op."""
 
     def on_crash(self) -> None:
         """Discard in-service progress (crash semantics); default no-op."""

@@ -40,7 +40,7 @@ from typing import Any, Dict, Union
 from repro.core.errors import CheckpointError
 
 #: Bumped whenever the fingerprint recipe or document layout changes.
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
 def state_fingerprint(session) -> Dict[str, Any]:
@@ -60,6 +60,11 @@ def state_fingerprint(session) -> Dict[str, Any]:
 
     sim = session.sim
     feed("clock", sim.now.hex())
+    # monitor deadlines are engine state that replay must reproduce; the
+    # wake heap is deliberately excluded (event-mode only, derived from
+    # agent state) so fingerprints stay comparable across engine modes
+    for interval, next_due in sim._monitor_deadlines():
+        feed("monitor", interval.hex(), next_due.hex())
     for agent in session.scenario.topology.all_agents():
         feed(
             agent.name,

@@ -41,5 +41,21 @@ class SimClock:
         self.tick_index += 1
         return self.now
 
+    def advance_to(self, t: float) -> float:
+        """Advance the clock to the absolute time ``t``; return new time.
+
+        Used by the event-driven kernel: boundaries are assigned exactly
+        (no accumulated ``+= step`` error), which is what makes completion
+        timestamps bit-identical across stepping modes.
+        """
+        t = float(t)
+        if t < self.now - 1e-9:
+            raise ValueError(
+                f"cannot move clock backwards: now={self.now}, target={t}"
+            )
+        self.now = t
+        self.tick_index += 1
+        return self.now
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock(now={self.now:.6f}, dt={self.dt})"

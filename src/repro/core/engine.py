@@ -1,21 +1,32 @@
-"""The simulation engine: timer, event calendar and discrete time loop.
+"""The simulation engine: timer, event calendar and stepping kernel.
 
 The engine reproduces the thesis's platform loop (section 4.3.1): a
-centralized timer signals every agent at each time step and only proceeds
-when all agents acknowledged (trivially true in the sequential engine);
-the collector component is interleaved every ``sample_interval`` of
-simulated time.
+centralized timer signals agents and only proceeds when all agents
+acknowledged (trivially true in the sequential engine); the collector
+component is interleaved every ``sample_interval`` of simulated time.
 
-Two stepping modes are provided:
+Three stepping modes are provided:
 
 ``fixed``
     Advance by exactly ``dt`` per tick — the thesis's literal loop.
+    Agent-internal events are still processed at their exact timestamps
+    (the queues are exact-event machines), but calendar events and
+    monitors fire on the tick grid.
 
 ``adaptive``
-    Advance by the largest step that cannot skip an event: the earliest
-    scheduled calendar event, monitor deadline, or in-service job
-    completion.  For piecewise-constant queueing dynamics this is exact
-    and dramatically faster in pure Python.
+    Advance straight to the earliest pending boundary — calendar event,
+    monitor deadline or agent event — found by *polling* every active
+    agent's ``next_event_time()``.  Exact for piecewise-constant
+    queueing dynamics.
+
+``event``
+    Same boundaries as ``adaptive``, but discovered incrementally: agents
+    *push* their next-event time into a lazy-deletion min-heap through
+    the ``Agent._reschedule`` hook whenever their earliest pending
+    completion changes, so boundary selection is an O(log n) heap peek
+    instead of an O(active) scan.  Bit-identical to ``adaptive`` by
+    construction (both process the same events at the same timestamps)
+    and the default mode.
 """
 
 from __future__ import annotations
@@ -33,6 +44,10 @@ from repro.observability.trace import TraceRecorder, make_recorder
 
 EventFn = Callable[[float], None]
 
+_INF = float("inf")
+
+MODES = ("fixed", "adaptive", "event")
+
 
 class _Monitor:
     """Periodic callback with its own cadence (collector, reporters...)."""
@@ -46,31 +61,33 @@ class _Monitor:
 
 
 class Simulator:
-    """Discrete-time simulator over a set of agents.
+    """Discrete-event simulator over a set of agents.
 
     Parameters
     ----------
     dt:
-        Base tick in simulated seconds.
+        Base tick in simulated seconds (the grid in ``fixed`` mode; the
+        floor for legacy non-exact agents otherwise).
     mode:
-        ``"fixed"`` or ``"adaptive"`` stepping (see module docstring).
+        ``"event"`` (default), ``"adaptive"`` or ``"fixed"`` stepping
+        (see module docstring).
     trace:
         Trace mode: ``None``/``"null"`` (off, zero hot-path cost),
         ``"full"``, ``"sampling:p"``, or a prebuilt
         :class:`~repro.observability.trace.TraceRecorder`.
     profile:
         When true, account wall-clock time per engine phase in
-        :attr:`profiler` (the unprofiled loop is untouched otherwise).
+        :attr:`profiler`.
     """
 
     def __init__(
         self,
         dt: float = 0.01,
-        mode: str = "adaptive",
+        mode: str = "event",
         trace: Union[None, str, TraceRecorder] = None,
         profile: bool = False,
     ) -> None:
-        if mode not in ("fixed", "adaptive"):
+        if mode not in MODES:
             raise ValueError(f"unknown stepping mode {mode!r}")
         self.clock = SimClock(dt=dt)
         self.mode = mode
@@ -79,36 +96,82 @@ class Simulator:
             EngineProfiler() if profile else None
         )
         self.agents: List[Agent] = []
-        # insertion-ordered so tick order (and thus sub-tick interleaving)
-        # is deterministic run-to-run
-        self._active: Dict[Agent, None] = {}
+        # insertion-ordered (agent -> registration sequence) so wake order
+        # (and thus sub-boundary interleaving) is deterministic run-to-run
+        # and identical between the polled and heap-driven modes
+        self._active: Dict[Agent, int] = {}
+        self._active_counter = itertools.count()
+        # active agents that do NOT implement the exact-event contract;
+        # they are advanced at every boundary and floored at one base tick
+        self._legacy: Dict[Agent, None] = {}
         self._calendar: List[Tuple[float, int, EventFn]] = []
         self._calendar_counter = itertools.count()
+        # monitor registry (registration order) + deadline heap
         self._monitors: List[_Monitor] = []
+        self._monitor_heap: List[Tuple[float, int, _Monitor]] = []
+        # lazy-deletion wake heap: an entry (when, seq, agent) is valid
+        # iff ``when == agent._wake_at``
+        self._wakes: List[Tuple[float, int, Agent]] = []
+        self._wake_counter = itertools.count()
+        # agents whose next-event time may have changed since the last
+        # re-key; flushed in batch so one boundary computes each agent's
+        # next event once, not once per reschedule (insertion-ordered
+        # dict for run-to-run determinism)
+        self._dirty: Dict[Agent, None] = {}
         self._running = False
 
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
     def add_agent(self, agent: Agent) -> Agent:
-        """Register a leaf agent with the time loop."""
+        """Register a leaf agent with the kernel."""
         self.agents.append(agent)
         agent._waker = self._wake
+        # reschedule hook: in event mode a re-key marker is a bare dict
+        # insert (C-level, no Python frame); the other modes never read
+        # next-event hints between boundaries, so the hook stays unset
+        # and ``_reschedule`` short-circuits
+        if self.mode == "event" and agent._exact_events:
+            agent._sched = self._dirty.setdefault
+        else:
+            agent._sched = None
         agent._tracer = self.trace
         if not agent.idle():
-            self._active[agent] = None
+            self._activate(agent)
         agent.local_time = max(agent.local_time, self.clock.now)
+        agent._reschedule()
         return agent
+
+    def _activate(self, agent: Agent) -> None:
+        if agent not in self._active:
+            self._active[agent] = next(self._active_counter)
+            if not agent._exact_events:
+                self._legacy[agent] = None
 
     def _wake(self, agent: Agent) -> None:
         """Move an agent onto the active set (called from Agent.submit)."""
         if agent not in self._active:
-            self._active[agent] = None
-            # the agent slept through prior ticks; bring its clock current
+            self._activate(agent)
+            # the agent slept through prior boundaries; bring it current
             agent.local_time = max(agent.local_time, self.clock.now)
 
+    def _flush_dirty(self) -> None:
+        """Re-key every marked agent's wake-heap entry (lazy deletion)."""
+        dirty = self._dirty
+        if not dirty:
+            return
+        wakes = self._wakes
+        counter = self._wake_counter
+        for agent in dirty:
+            t = agent.next_event_time()
+            if t != agent._wake_at:
+                agent._wake_at = t
+                if t != _INF:
+                    heapq.heappush(wakes, (t, next(counter), agent))
+        dirty.clear()
+
     def add_holon(self, holon: Holon) -> Holon:
-        """Register every agent of a holarchy with the time loop."""
+        """Register every agent of a holarchy with the kernel."""
         for agent in holon.agents():
             self.add_agent(agent)
         return holon
@@ -137,134 +200,220 @@ class Simulator:
         """Schedule ``fn`` to fire ``delay`` seconds from now."""
         self.schedule(self.clock.now + delay, fn)
 
-    def add_monitor(self, interval: float, fn: EventFn, first_due: float | None = None) -> None:
+    def add_monitor(
+        self, interval: float, fn: EventFn, first_due: float | None = None
+    ) -> None:
         """Register a periodic callback (e.g. the measurement collector)."""
         if interval <= 0:
             raise ValueError("monitor interval must be positive")
         due = self.clock.now + interval if first_due is None else first_due
-        self._monitors.append(_Monitor(interval, fn, due))
+        mon = _Monitor(interval, fn, due)
+        self._monitors.append(mon)
+        heapq.heappush(self._monitor_heap, (due, len(self._monitors) - 1, mon))
+
+    def _monitor_deadlines(self) -> List[Tuple[float, float]]:
+        """(interval, next_due) per monitor in registration order — part
+        of the checkpoint fingerprint (kernel heap state)."""
+        return [(m.interval, m.next_due) for m in self._monitors]
 
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
     def run(self, until: float) -> None:
-        """Run the discrete time loop until simulation time ``until``."""
+        """Run the simulation until simulated time ``until``.
+
+        One parameterized loop serves all three modes and both the plain
+        and profiled paths: select the next boundary, advance the clock,
+        process due agent events, calendar events and monitors, repeat.
+        Events scheduled *by* horizon-time events drain deterministically
+        before the run returns.
+        """
         if self._running:
             raise SimulationError("simulator is not re-entrant")
-        if self.profiler is not None:
-            self._run_profiled(until)
-            return
-        self._running = True
-        try:
-            while self.clock.now < until - 1e-9:
-                self._fire_due_events()
-                self._fire_due_monitors()
-                if self.clock.now >= until - 1e-9:
-                    break
-                step = self._next_step(until)
-                now = self.clock.now
-                # tick only active agents; continuations firing mid-tick may
-                # wake others, which join from the next tick on
-                gone = []
-                for agent in list(self._active):
-                    agent.time_increment(now, step)
-                    if agent.idle():
-                        gone.append(agent)
-                for agent in gone:
-                    if agent.idle():  # may have been refilled mid-loop
-                        self._active.pop(agent, None)
-                self.clock.advance(step)
-        finally:
-            self._running = False
-        # fire anything due exactly at the horizon
-        self._fire_due_events()
-        self._fire_due_monitors()
-
-    def _run_profiled(self, until: float) -> None:
-        """The run loop with per-phase wall-clock accounting.
-
-        Kept separate so the unprofiled loop pays nothing; the simulated
-        behaviour is identical — only ``perf_counter`` bracketing differs.
-        """
         prof = self.profiler
         clk = _time.perf_counter
         self._running = True
-        prof.start_run()
+        if prof is not None:
+            prof.start_run()
         try:
-            while self.clock.now < until - 1e-9:
-                t0 = clk()
-                self._fire_due_events()
-                t1 = clk()
-                self._fire_due_monitors()
-                t2 = clk()
-                prof.record("events", t1 - t0)
-                prof.record("monitors", t2 - t1)
-                if self.clock.now >= until - 1e-9:
+            while True:
+                t0 = clk() if prof is not None else 0.0
+                t = self._next_boundary(until)
+                if prof is not None:
+                    prof.record("step_select", clk() - t0)
+                if t is None:
                     break
-                step = self._next_step(until)
-                t3 = clk()
-                prof.record("step_select", t3 - t2)
-                now = self.clock.now
-                gone = []
-                active = list(self._active)
-                for agent in active:
-                    agent.time_increment(now, step)
-                    if agent.idle():
-                        gone.append(agent)
-                for agent in gone:
-                    if agent.idle():  # may have been refilled mid-loop
-                        self._active.pop(agent, None)
-                prof.record("agent_step", clk() - t3, calls=len(active))
-                prof.ticks += 1
-                prof.agent_ticks += len(active)
-                self.clock.advance(step)
+                self._process_boundary(t, prof, clk)
+            # horizon: land exactly on `until`, drain anything due there
+            # (including events scheduled by horizon-time events), then
+            # bring every active agent current for measurement
+            if self.clock.now < until:
+                self.clock.advance_to(until)
+            self._process_boundary(self.clock.now, prof, clk)
+            for agent in list(self._active):
+                agent.sync_to(self.clock.now)
+                if agent.idle():
+                    self._active.pop(agent, None)
+                    self._legacy.pop(agent, None)
         finally:
             self._running = False
-            prof.end_run()
-        t0 = clk()
-        self._fire_due_events()
-        t1 = clk()
-        self._fire_due_monitors()
-        prof.record("events", t1 - t0)
-        prof.record("monitors", clk() - t1)
+            if prof is not None:
+                prof.end_run()
 
     # ------------------------------------------------------------------
-    def _fire_due_events(self) -> None:
+    # boundary selection
+    # ------------------------------------------------------------------
+    def _next_boundary(self, until: float) -> float | None:
+        """Earliest pending boundary, or None when nothing is due by
+        ``until`` (modulo the fixed-mode grid)."""
         now = self.clock.now
-        while self._calendar and self._calendar[0][0] <= now + 1e-9:
-            _, _, fn = heapq.heappop(self._calendar)
-            fn(now)
-
-    def _fire_due_monitors(self) -> None:
-        now = self.clock.now
-        for mon in self._monitors:
-            # catch up on every missed deadline so averaging windows stay fixed
-            while mon.next_due <= now + 1e-9:
-                mon.fn(mon.next_due)
-                mon.next_due += mon.interval
-
-    def _next_step(self, until: float) -> float:
-        """Choose the next time step without skipping any event."""
-        base = self.clock.dt
-        remaining = until - self.clock.now
         if self.mode == "fixed":
-            return min(base, remaining)
-
-        horizon = remaining
+            if now >= until - 1e-9:
+                return None
+            return now + min(self.clock.dt, until - now)
+        cand = _INF
         if self._calendar:
-            horizon = min(horizon, self._calendar[0][0] - self.clock.now)
-        for mon in self._monitors:
-            horizon = min(horizon, mon.next_due - self.clock.now)
-        busy_horizon = float("inf")
-        for agent in self._active:
-            if not agent.paused:
-                busy_horizon = min(busy_horizon, agent.time_to_next_completion())
-        if busy_horizon < float("inf"):
-            # a completion is pending: never jump past it, but also never
-            # step finer than the base tick (completion resolution == dt,
-            # matching the thesis's fixed loop).
-            horizon = min(horizon, max(busy_horizon, base))
-        return max(min(horizon, remaining), 1e-9)
+            cand = self._calendar[0][0]
+        if self._monitor_heap and self._monitor_heap[0][0] < cand:
+            cand = self._monitor_heap[0][0]
+        if self.mode == "event":
+            if self._dirty:
+                self._flush_dirty()
+            # inline peek of the wake heap (lazy deletion on the fly);
+            # this runs once per boundary, so the call overhead of
+            # ``_peek_wakes`` is worth skipping
+            wakes = self._wakes
+            while wakes:
+                when, _, agent = wakes[0]
+                if when == agent._wake_at:
+                    if when < cand:
+                        cand = when
+                    break
+                heapq.heappop(wakes)
+        else:  # adaptive: poll every active exact agent
+            for agent in self._active:
+                if agent._exact_events:
+                    ne = agent.next_event_time()
+                    if ne < cand:
+                        cand = ne
+        if self._legacy:
+            # legacy agents consume work continuously: floor at one tick
+            floor = now + self.clock.dt
+            if floor < cand:
+                cand = floor
+        if cand > until + 1e-9:
+            return None
+        return cand if cand > now else now
+
+    def _due_agents(self, t: float) -> List[Agent]:
+        """Agents with internal events due at ``t``, in activation order."""
+        limit = t + 1e-9
+        if self.mode == "event":
+            due: List[Agent] = []
+            wakes = self._wakes
+            while wakes and wakes[0][0] <= limit:
+                when, _, agent = heapq.heappop(wakes)
+                if when == agent._wake_at:
+                    # mark consumed so the agent's post-advance reschedule
+                    # re-pushes even if the new time happens to match
+                    agent._wake_at = -_INF
+                    due.append(agent)
+            for agent in self._legacy:
+                if not agent.paused:
+                    due.append(agent)
+            if len(due) > 1:
+                seq = self._active
+                due.sort(key=lambda a: seq.get(a, 0))
+            return due
+        return [
+            a for a in self._active
+            if (a.next_event_time() <= limit if a._exact_events
+                else not a.paused)
+        ]
+
+    # ------------------------------------------------------------------
+    # boundary processing
+    # ------------------------------------------------------------------
+    def _process_boundary(self, t: float, prof, clk) -> None:
+        clock = self.clock
+        event_mode = self.mode == "event"
+        if event_mode:
+            # direct callers (the horizon drain in ``run``) may arrive
+            # with pending re-keys from setup or a previous boundary
+            self._flush_dirty()
+        if t > clock.now:
+            clock.advance_to(t)
+        now = clock.now
+        # --- wake phase: advance agents whose events are due
+        t0 = clk() if prof is not None else 0.0
+        due = self._due_agents(now)
+        for agent in due:
+            agent.advance_to(now)
+        if event_mode:
+            # re-key every due agent inline: the pop marked ``_wake_at``
+            # consumed (-inf), and composite bubble suppression may have
+            # swallowed the agent's own post-advance reschedule, so the
+            # push is unconditional.  Other agents dirtied during the
+            # advances flush lazily at the next boundary selection.
+            dirty = self._dirty
+            wakes = self._wakes
+            counter = self._wake_counter
+            for agent in due:
+                if not agent._exact_events:
+                    continue
+                dirty.pop(agent, None)
+                t = agent.next_event_time()
+                agent._wake_at = t
+                if t != _INF:
+                    heapq.heappush(wakes, (t, next(counter), agent))
+        for agent in due:
+            # a finite wake time proves pending work, so the (recursive,
+            # possibly expensive) idle() scan is only needed without one
+            if event_mode and agent._wake_at != _INF:
+                continue
+            if agent.idle():  # may have been refilled mid-loop
+                self._active.pop(agent, None)
+                self._legacy.pop(agent, None)
+                agent._wake_at = _INF
+        if prof is not None:
+            prof.record("wake", clk() - t0, calls=len(due))
+            prof.ticks += 1
+            prof.agent_ticks += len(due)
+        # --- calendar events (chained same-time events drain here)
+        t1 = clk() if prof is not None else 0.0
+        fixed = self.mode == "fixed"
+        cal = self._calendar
+        limit = now + 1e-9
+        while cal and cal[0][0] <= limit:
+            when, _, fn = heapq.heappop(cal)
+            fn(now if fixed else when)
+        if prof is not None:
+            prof.record("events", clk() - t1)
+        # --- monitors
+        t2 = clk() if prof is not None else 0.0
+        self._fire_monitors(now)
+        if prof is not None:
+            prof.record("monitors", clk() - t2)
+
+    def _fire_monitors(self, now: float) -> None:
+        mh = self._monitor_heap
+        limit = now + 1e-9
+        if not mh or mh[0][0] > limit:
+            return
+        # measurement boundary: bring every active agent current first so
+        # samples see exact busy time and local clocks
+        for agent in list(self._active):
+            agent.sync_to(now)
+        # catch up on every missed deadline so averaging windows stay
+        # fixed; ties fire in registration order
+        while mh and mh[0][0] <= limit:
+            due, seq, mon = heapq.heappop(mh)
+            # advance the deadline before the callback: a checkpoint taken
+            # inside ``fn`` must fingerprint the same deadlines a replay
+            # (which returns after the full monitor phase) would see
+            mon.next_due = due + mon.interval
+            heapq.heappush(mh, (mon.next_due, seq, mon))
+            mon.fn(due)
 
     # ------------------------------------------------------------------
     @property

@@ -42,6 +42,7 @@ class Job:
         "tag",
         "enqueue_time",
         "start_time",
+        "finish_at",
         "complete_time",
         "cascade",
     )
@@ -63,6 +64,9 @@ class Job:
         self.tag = tag
         self.enqueue_time: float | None = None
         self.start_time: float | None = None
+        # absolute completion time while in service (event kernel); None
+        # while waiting or when service has been interrupted by a pause
+        self.finish_at: float | None = None
         self.complete_time: float | None = None
         # cascade id set by the trace recorder when tracing is active
         self.cascade: int | None = None

@@ -9,14 +9,18 @@ an empirically measured speedup factor, as the thesis prescribes.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, List
 
 from repro.core.agent import Agent
 from repro.core.job import Job
+from repro.hardware.composite import CompositeAgent
 from repro.queueing.fcfs import FCFSQueue
 
+_INF = float("inf")
 
-class CPU(Agent):
+
+class CPU(CompositeAgent):
     """Processor agent with ``sockets`` x ``cores`` cycle servers.
 
     Parameters
@@ -53,6 +57,10 @@ class CPU(Agent):
             FCFSQueue(f"{name}.socket{i}", rate=frequency_hz, servers=effective_cores)
             for i in range(sockets)
         ]
+        self._adopt_children()
+
+    def _child_agents(self):
+        return self.socket_queues
 
     @property
     def total_cores(self) -> int:
@@ -133,6 +141,7 @@ class TimeSharedCPU(Agent):
     """
 
     agent_type = "cpu-ts"
+    _exact_events = True
 
     def __init__(
         self,
@@ -153,11 +162,15 @@ class TimeSharedCPU(Agent):
         self.cores = int(cores)
         self.context_switch_cycles = float(context_switch_cycles)
         self.quantum_s = float(quantum_s)
-        from collections import deque
-
         self.runnable: List[Job] = []
         self._waiting = deque()  # jobs under the timestamp guard
         self.completed_count = 0
+        self._now = 0.0
+        # remaining-work decrements are anchored here and only move at
+        # share-change events, never at measurement boundaries
+        self._share_anchor = 0.0
+        self._busy_anchor = 0.0
+        self._advancing = False
 
     # ------------------------------------------------------------------
     def switch_overhead_fraction(self) -> float:
@@ -166,43 +179,6 @@ class TimeSharedCPU(Agent):
             self.context_switch_cycles / (self.quantum_s * self.frequency_hz),
             0.95,
         )
-
-    def enqueue(self, job: Job, now: float) -> None:
-        self._waiting.append(job)
-
-    def queue_length(self) -> int:
-        return len(self.runnable) + len(self._waiting)
-
-    def capacity(self) -> float:
-        return float(self.cores)
-
-    def _completions(self) -> int:
-        return self.completed_count
-
-    def _admit(self, now: float) -> None:
-        # time-sharing admits every eligible thread immediately
-        still_guarded = []
-        while self._waiting:
-            job = self._waiting.popleft()
-            if job.not_before > now + 1e-9:
-                still_guarded.append(job)
-            else:
-                if job.start_time is None:
-                    job.start_time = now
-                self.runnable.append(job)
-        self._waiting.extend(still_guarded)
-
-    def time_to_next_completion(self) -> float:
-        if not self.runnable:
-            if self._waiting:
-                return max(
-                    min(j.not_before for j in self._waiting) - self.local_time,
-                    0.0,
-                )
-            return float("inf")
-        n = len(self.runnable)
-        rate = self._per_job_rate(n)
-        return min(j.remaining for j in self.runnable) / rate
 
     def _per_job_rate(self, n: int) -> float:
         """Cycles/s each of ``n`` runnable threads receives."""
@@ -213,42 +189,180 @@ class TimeSharedCPU(Agent):
         )
         return total / n
 
+    # ------------------------------------------------------------------
+    # queue interface
+    # ------------------------------------------------------------------
+    def enqueue(self, job: Job, now: float) -> None:
+        self._advance_to(now)
+        if now > self._now:
+            self._now = now
+        self._waiting.append(job)
+        self._advance_to(now)
+        self._reschedule()
+
+    def queue_length(self) -> int:
+        return len(self.runnable) + len(self._waiting)
+
+    def capacity(self) -> float:
+        return float(self.cores)
+
+    def _completions(self) -> int:
+        return self.completed_count
+
+    def time_to_next_completion(self) -> float:
+        nxt = self._next_internal()
+        if nxt == _INF:
+            return _INF
+        return max(nxt - max(self.local_time, self._now), 0.0)
+
+    # ------------------------------------------------------------------
+    # exact-event contract
+    # ------------------------------------------------------------------
+    def next_event_time(self) -> float:
+        if self._paused:
+            return _INF
+        return self._next_internal()
+
+    def advance_to(self, t: float) -> None:
+        self._advance_to(t)
+
+    def sync_to(self, t: float) -> None:
+        self._advance_to(t)
+        self._accrue_to(t)
+        if t > self.local_time:
+            self.local_time = t
+
+    def on_time_increment(self, now: float, dt: float) -> None:
+        """Compat entry point for the discrete-time parallel engines."""
+        self._advance_to(now + dt)
+        self._accrue_to(now + dt)
+
+    # ------------------------------------------------------------------
+    # internal event machinery
+    # ------------------------------------------------------------------
+    def _next_internal(self) -> float:
+        nxt = _INF
+        if self.runnable:
+            rate = self._per_job_rate(len(self.runnable))
+            min_r = min(j.remaining for j in self.runnable)
+            nxt = self._share_anchor + min_r / rate
+        if self._waiting:
+            # time-sharing admits every eligible thread, not just the head
+            due = min(j.not_before for j in self._waiting)
+            if due < self._now:
+                due = self._now
+            if due < nxt:
+                nxt = due
+        return nxt
+
+    def _advance_to(self, t: float) -> None:
+        if self._advancing or self._paused:
+            return
+        self._advancing = True
+        processed = False
+        try:
+            while True:
+                e = self._next_internal()
+                if e > t + 1e-9:
+                    break
+                self._process_at(e)
+                processed = True
+        finally:
+            self._advancing = False
+        if processed:
+            self._reschedule()
+
+    def _process_at(self, t: float) -> None:
+        self._accrue_to(t)
+        finished: List[Job] = []
+        if self.runnable:
+            rate = self._per_job_rate(len(self.runnable))
+            min_r = min(j.remaining for j in self.runnable)
+            due = self._share_anchor + min_r / rate
+            if due <= t + 1e-12:
+                completers = {id(j) for j in self.runnable
+                              if j.remaining == min_r}
+            else:
+                completers = set()
+            self._settle_to(t)
+            if completers:
+                keep: List[Job] = []
+                for job in self.runnable:
+                    if id(job) in completers or job.remaining <= 1e-12:
+                        finished.append(job)
+                    else:
+                        keep.append(job)
+                self.runnable = keep
+        for job in finished:
+            self.completed_count += 1
+            job.finish(t)
+        self._admit_at(t)
+        if t > self._share_anchor:
+            self._share_anchor = t
+        if t > self._now:
+            self._now = t
+
+    def _admit_at(self, t: float) -> None:
+        # time-sharing admits every eligible thread immediately
+        still_guarded = []
+        while self._waiting:
+            job = self._waiting.popleft()
+            if job.not_before > t + 1e-9:
+                still_guarded.append(job)
+            else:
+                if job.start_time is None:
+                    job.start_time = t
+                self.runnable.append(job)
+        self._waiting.extend(still_guarded)
+
+    def _admit(self, now: float) -> None:
+        """Compat alias: process due events up to ``now``."""
+        self._advance_to(now)
+
+    def _settle_to(self, t: float) -> None:
+        if self.runnable and t > self._share_anchor:
+            dec = (t - self._share_anchor) * self._per_job_rate(
+                len(self.runnable))
+            for job in self.runnable:
+                job.remaining -= dec
+        if t > self._share_anchor:
+            self._share_anchor = t
+
+    def _accrue_to(self, t: float) -> None:
+        if t <= self._busy_anchor:
+            return
+        if self.runnable and not self._paused:
+            busy = min(len(self.runnable), self.cores)
+            self.record_busy((t - self._busy_anchor) * busy)
+        self._busy_anchor = t
+
+    # ------------------------------------------------------------------
+    # failure semantics
+    # ------------------------------------------------------------------
+    def on_pause(self, now: float | None) -> None:
+        p = self._now if now is None else max(now, self._now)
+        if p < self._busy_anchor:
+            p = self._busy_anchor
+        if p > self._busy_anchor and self.runnable:
+            busy = min(len(self.runnable), self.cores)
+            self.record_busy((p - self._busy_anchor) * busy)
+        self._busy_anchor = p
+        self._settle_to(p)
+        if p > self._now:
+            self._now = p
+
+    def on_repair(self, now: float) -> None:
+        r = max(now, self._now)
+        self._now = r
+        if self._share_anchor < r:
+            self._share_anchor = r
+        if self._busy_anchor < r:
+            self._busy_anchor = r
+        self._advance_to(r)
+
     def on_crash(self) -> None:
         for job in reversed(self.runnable):
             job.remaining = job.demand
             job.start_time = None
             self._waiting.appendleft(job)
         self.runnable = []
-
-    def on_time_increment(self, now: float, dt: float) -> None:
-        t = 0.0
-        self._admit(now)
-        while t < dt - 1e-12:
-            if not self.runnable:
-                if not self._waiting:
-                    break
-                wake = max(
-                    min(j.not_before for j in self._waiting) - (now + t), 0.0
-                )
-                if wake >= dt - t:
-                    break
-                t += wake
-                self._admit(now + t)
-                if not self.runnable:
-                    break
-            n = len(self.runnable)
-            rate = self._per_job_rate(n)
-            span = min(j.remaining for j in self.runnable) / rate
-            step = min(span, dt - t)
-            busy = min(n, self.cores)
-            for job in self.runnable:
-                job.remaining -= step * rate
-            self.record_busy(step * busy)
-            t += step
-            finished = [j for j in self.runnable if j.done]
-            if finished:
-                self.runnable = [j for j in self.runnable if not j.done]
-                for job in finished:
-                    self.completed_count += 1
-                    job.finish(now + t)
-            self._admit(now + t)

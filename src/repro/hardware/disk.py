@@ -11,12 +11,12 @@ from __future__ import annotations
 import random
 from typing import Dict
 
-from repro.core.agent import Agent
 from repro.core.job import Job
+from repro.hardware.composite import CompositeAgent
 from repro.queueing.fcfs import FCFSQueue
 
 
-class Disk(Agent):
+class Disk(CompositeAgent):
     """Two-stage disk: controller cache then drive, with hit bypass.
 
     Parameters
@@ -49,6 +49,10 @@ class Disk(Agent):
         self.cache_hits = 0
         self.cache_misses = 0
         self.completed_count = 0
+        self._adopt_children()
+
+    def _child_agents(self):
+        return (self.dcc, self.hdd)
 
     # ------------------------------------------------------------------
     def _complete(self, job: Job, t: float) -> None:

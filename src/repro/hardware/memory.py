@@ -42,6 +42,9 @@ class Memory(Agent):
     """
 
     agent_type = "memory"
+    # passive: allocations complete instantly, so the agent never holds
+    # work and never has a pending event — trivially exact
+    _exact_events = True
 
     def __init__(
         self,

@@ -11,14 +11,14 @@ from __future__ import annotations
 import random
 from typing import Dict, List
 
-from repro.core.agent import Agent
 from repro.core.job import Job
 from repro.queueing.fcfs import FCFSQueue
 from repro.queueing.forkjoin import ForkJoin
+from repro.hardware.composite import CompositeAgent
 from repro.hardware.disk import Disk
 
 
-class RAID(Agent):
+class RAID(CompositeAgent):
     """Redundant array of ``n`` identical disks.
 
     Parameters
@@ -68,6 +68,10 @@ class RAID(Agent):
         self.cache_hits = 0
         self.cache_misses = 0
         self.completed_count = 0
+        self._adopt_children()
+
+    def _child_agents(self):
+        return [self.dacc, *self.disks]
 
     @property
     def n_disks(self) -> int:

@@ -1,10 +1,9 @@
 """Wall-clock profiling of the engine's own phases.
 
 Answers "where does *simulator* time go" (as opposed to simulated
-time): event-calendar firing, monitor callbacks (the collector), step
-selection and per-agent stepping.  The engine only touches the profiler
-from a dedicated profiled run loop, so the unprofiled hot path stays
-unchanged.
+time): boundary selection, waking due agents, event-calendar firing and
+monitor callbacks (the collector).  Profiling hooks are gated on a flag
+inside the unified run loop, so the unprofiled hot path stays cheap.
 """
 
 from __future__ import annotations
@@ -13,7 +12,7 @@ import time
 from typing import Dict, List, Tuple
 
 #: Engine phases, in loop order.
-PHASES: Tuple[str, ...] = ("events", "monitors", "step_select", "agent_step")
+PHASES: Tuple[str, ...] = ("step_select", "wake", "events", "monitors")
 
 
 class EngineProfiler:

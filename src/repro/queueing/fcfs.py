@@ -4,6 +4,15 @@ The workhorse of the hardware layer: CPUs (one queue per socket, ``q``
 cores each), NICs, network switches and disk controllers are all FCFS
 queue-servers whose service rate is the device speed in its native unit
 (cycles/s, bits/s, bytes/s).
+
+Since the event-kernel refactor the queue is an *exact-event* state
+machine: every admission and completion is processed at its precise
+absolute timestamp (``job.finish_at`` is fixed once at admission), and
+the queue pushes its earliest pending event to the engine through
+``Agent._reschedule`` instead of being polled every tick.  Because all
+float mutations are anchored at exact event times, the resulting state
+is independent of how the engine partitions time — which is what makes
+``mode="event"`` bit-identical to ``mode="adaptive"``.
 """
 
 from __future__ import annotations
@@ -13,6 +22,8 @@ from typing import Deque, List
 
 from repro.core.agent import Agent
 from repro.core.job import Job
+
+_INF = float("inf")
 
 
 class FCFSQueue(Agent):
@@ -29,6 +40,7 @@ class FCFSQueue(Agent):
     """
 
     agent_type = "fcfs"
+    _exact_events = True
 
     def __init__(self, name: str, rate: float, servers: int = 1) -> None:
         super().__init__(name)
@@ -41,10 +53,30 @@ class FCFSQueue(Agent):
         self.waiting: Deque[Job] = deque()
         self.in_service: List[Job] = []
         self.completed_count = 0
+        # internal event clock: the time of the last processed internal
+        # event (admission, completion, arrival, repair).  Only moves at
+        # such events, so it is identical across stepping modes.
+        self._now = 0.0
+        # lazy busy accounting: busy server-seconds are accrued between
+        # anchor points (internal events and measurement syncs)
+        self._busy_anchor = 0.0
+        self._advancing = False
 
     # ------------------------------------------------------------------
+    # queue interface
+    # ------------------------------------------------------------------
     def enqueue(self, job: Job, now: float) -> None:
+        # settle events that predate the arrival at their own timestamps,
+        # then record that the queue state changed at ``now`` so the
+        # admission below happens at exactly the arrival time
+        self._advance_to(now)
+        if now > self._now:
+            self._now = now
         self.waiting.append(job)
+        self._advance_to(now)
+        # the arrival itself changes the next-event time even when no
+        # event fired (e.g. a guarded job waiting on a free server)
+        self._reschedule()
 
     def queue_length(self) -> int:
         return len(self.waiting) + len(self.in_service)
@@ -56,67 +88,142 @@ class FCFSQueue(Agent):
         return self.completed_count
 
     def time_to_next_completion(self) -> float:
-        if not self.in_service:
-            if not self.waiting:
-                return float("inf")
-            # waiting jobs will be admitted on the next tick
-            return 0.0
-        return min(j.remaining for j in self.in_service) / self.rate
+        nxt = self._next_internal()
+        if nxt == _INF:
+            return _INF
+        return max(nxt - max(self.local_time, self._now), 0.0)
+
+    # ------------------------------------------------------------------
+    # exact-event contract
+    # ------------------------------------------------------------------
+    def next_event_time(self) -> float:
+        if self._paused:
+            return _INF
+        return self._next_internal()
+
+    def advance_to(self, t: float) -> None:
+        self._advance_to(t)
+
+    def sync_to(self, t: float) -> None:
+        self._advance_to(t)
+        self._accrue_to(t)
+        if t > self.local_time:
+            self.local_time = t
+
+    def on_time_increment(self, now: float, dt: float) -> None:
+        """Compat entry point for the discrete-time parallel engines."""
+        self._advance_to(now + dt)
+        self._accrue_to(now + dt)
+
+    # ------------------------------------------------------------------
+    # internal event machinery
+    # ------------------------------------------------------------------
+    def _next_internal(self) -> float:
+        """Earliest pending internal event (absolute time), ``inf`` if none."""
+        nxt = _INF
+        for job in self.in_service:
+            fa = job.finish_at
+            if fa is not None and fa < nxt:
+                nxt = fa
+        if self.waiting and len(self.in_service) < self.servers:
+            due = self.waiting[0].not_before
+            if due < self._now:
+                due = self._now
+            if due < nxt:
+                nxt = due
+        return nxt
+
+    def _advance_to(self, t: float) -> None:
+        """Process every internal event up to ``t`` at its own timestamp."""
+        if self._advancing or self._paused:
+            return
+        self._advancing = True
+        processed = False
+        try:
+            while True:
+                e = self._next_internal()
+                if e > t + 1e-9:
+                    break
+                self._process_at(e)
+                processed = True
+        finally:
+            self._advancing = False
+        if processed:
+            # only a processed event can change the next-event time, so
+            # no-op advances (monitor syncs) skip the wake-heap re-key
+            self._reschedule()
+
+    def _process_at(self, t: float) -> None:
+        self._accrue_to(t)
+        done = [j for j in self.in_service
+                if j.finish_at is not None and j.finish_at <= t + 1e-12]
+        if done:
+            self.in_service = [j for j in self.in_service if j not in done]
+            for job in done:
+                self.completed_count += 1
+                job.finish_at = None
+                job.finish(t)
+        self._admit_at(t)
+        if t > self._now:
+            self._now = t
+
+    def _admit_at(self, t: float) -> None:
+        while self.waiting and len(self.in_service) < self.servers:
+            head = self.waiting[0]
+            if head.not_before > t + 1e-9:
+                break  # timestamp guard: head may not start yet
+            self.waiting.popleft()
+            if head.start_time is None:
+                head.start_time = t
+            head.finish_at = t + head.remaining / self.rate
+            self.in_service.append(head)
+
+    def _admit(self, now: float) -> None:
+        """Compat alias: process due admissions/completions up to ``now``."""
+        self._advance_to(now)
+
+    def _accrue_to(self, t: float) -> None:
+        if t <= self._busy_anchor:
+            return
+        if self.in_service and not self._paused:
+            self.record_busy((t - self._busy_anchor) * len(self.in_service))
+        self._busy_anchor = t
+
+    # ------------------------------------------------------------------
+    # failure semantics
+    # ------------------------------------------------------------------
+    def on_pause(self, now: float | None) -> None:
+        """Freeze service: accrue busy time to the failure instant and
+        materialize each in-service job's remaining work."""
+        p = self._now if now is None else max(now, self._now)
+        if p < self._busy_anchor:
+            p = self._busy_anchor
+        if p > self._busy_anchor and self.in_service:
+            # bypass the paused gate: this span was genuinely served
+            self.record_busy((p - self._busy_anchor) * len(self.in_service))
+        self._busy_anchor = p
+        for job in self.in_service:
+            if job.finish_at is not None:
+                job.remaining = max((job.finish_at - p) * self.rate, 0.0)
+                job.finish_at = None
+        if p > self._now:
+            self._now = p
+
+    def on_repair(self, now: float) -> None:
+        """Resume interrupted service from ``now``."""
+        r = max(now, self._now)
+        self._now = r
+        if self._busy_anchor < r:
+            self._busy_anchor = r
+        for job in self.in_service:
+            job.finish_at = r + job.remaining / self.rate
+        self._advance_to(r)
 
     def on_crash(self) -> None:
         """Crash semantics: in-service progress is lost; jobs restart."""
         for job in reversed(self.in_service):
             job.remaining = job.demand
             job.start_time = None
+            job.finish_at = None
             self.waiting.appendleft(job)
         self.in_service = []
-
-    # ------------------------------------------------------------------
-    def _admit(self, now: float) -> None:
-        """Move eligible waiting jobs into free servers (FCFS order)."""
-        while self.waiting and len(self.in_service) < self.servers:
-            head = self.waiting[0]
-            if head.not_before > now + 1e-9:
-                break  # timestamp guard: head may not start yet
-            self.waiting.popleft()
-            head.start_time = now if head.start_time is None else head.start_time
-            self.in_service.append(head)
-
-    def on_time_increment(self, now: float, dt: float) -> None:
-        """Consume up to ``dt`` seconds of service on every busy server.
-
-        Work is consumed in sub-intervals delimited by job completions so
-        that a server freed mid-tick immediately picks up the next waiting
-        job (head-of-line), exactly as a continuous-time FCFS station
-        would.
-        """
-        t = 0.0
-        self._admit(now)
-        while t < dt - 1e-12:
-            if not self.in_service:
-                # idle until a guarded job becomes eligible
-                if not self.waiting:
-                    break
-                wake = max(self.waiting[0].not_before - (now + t), 0.0)
-                if wake >= dt - t:
-                    break
-                t += wake
-                self._admit(now + t)
-                if not self.in_service:
-                    break
-            # time until the earliest in-service completion
-            span = min(j.remaining for j in self.in_service) / self.rate
-            step = min(span, dt - t)
-            for job in self.in_service:
-                job.remaining -= step * self.rate
-            self.record_busy(step * len(self.in_service))
-            t += step
-            finished = [j for j in self.in_service if j.done]
-            if finished:
-                self.in_service = [j for j in self.in_service if not j.done]
-                for job in finished:
-                    self.completed_count += 1
-                    job.finish(now + t)
-                self._admit(now + t)
-            elif step >= dt - t:
-                break

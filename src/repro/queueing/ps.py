@@ -5,6 +5,12 @@ up to ``k`` tasks share the service rate equally; tasks beyond ``k`` wait
 FCFS for a connection slot.  A constant propagation ``latency`` is added
 to every task before it becomes eligible for bandwidth, matching the
 thesis's "latency ... added to the processing time of each task".
+
+Exact-event semantics: remaining work is decremented only at share-change
+points (admissions and completions), each anchored at its precise
+absolute timestamp, so the queue state is independent of how the engine
+partitions time and ``mode="event"`` matches ``mode="adaptive"``
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ from typing import Deque, List
 
 from repro.core.agent import Agent
 from repro.core.job import Job
+
+_INF = float("inf")
 
 
 class PSQueue(Agent):
@@ -33,6 +41,7 @@ class PSQueue(Agent):
     """
 
     agent_type = "ps"
+    _exact_events = True
 
     def __init__(
         self,
@@ -54,12 +63,27 @@ class PSQueue(Agent):
         self.waiting: Deque[Job] = deque()
         self.active: List[Job] = []
         self.completed_count = 0
+        self._now = 0.0  # last internal event time (mode-invariant)
+        # remaining-work decrements are anchored here and only move at
+        # share-change events, never at measurement boundaries
+        self._share_anchor = 0.0
+        self._busy_anchor = 0.0
+        self._advancing = False
 
+    # ------------------------------------------------------------------
+    # queue interface
     # ------------------------------------------------------------------
     def enqueue(self, job: Job, now: float) -> None:
         # propagation delay: the job may not start service before this time
         job.not_before = max(job.not_before, now + self.latency)
+        self._advance_to(now)
+        if now > self._now:
+            self._now = now
         self.waiting.append(job)
+        self._advance_to(now)
+        # the arrival itself changes the next-event time even when no
+        # event fired (e.g. a guarded job waiting on a free slot)
+        self._reschedule()
 
     def queue_length(self) -> int:
         return len(self.waiting) + len(self.active)
@@ -71,12 +95,156 @@ class PSQueue(Agent):
         return self.completed_count
 
     def time_to_next_completion(self) -> float:
+        nxt = self._next_internal()
+        if nxt == _INF:
+            return _INF
+        return max(nxt - max(self.local_time, self._now), 0.0)
+
+    # ------------------------------------------------------------------
+    # exact-event contract
+    # ------------------------------------------------------------------
+    def next_event_time(self) -> float:
+        if self._paused:
+            return _INF
+        return self._next_internal()
+
+    def advance_to(self, t: float) -> None:
+        self._advance_to(t)
+
+    def sync_to(self, t: float) -> None:
+        self._advance_to(t)
+        self._accrue_to(t)
+        if t > self.local_time:
+            self.local_time = t
+
+    def on_time_increment(self, now: float, dt: float) -> None:
+        """Compat entry point for the discrete-time parallel engines."""
+        self._advance_to(now + dt)
+        self._accrue_to(now + dt)
+
+    # ------------------------------------------------------------------
+    # internal event machinery
+    # ------------------------------------------------------------------
+    def _next_internal(self) -> float:
+        nxt = _INF
         if self.active:
             share = self.rate / len(self.active)
-            return min(j.remaining for j in self.active) / share
-        if self.waiting:
-            return max(min(j.not_before for j in self.waiting) - self.local_time, 0.0)
-        return float("inf")
+            min_r = min(j.remaining for j in self.active)
+            nxt = self._share_anchor + min_r / share
+        if self.waiting and (self.k is None or len(self.active) < self.k):
+            due = self.waiting[0].not_before
+            if due < self._now:
+                due = self._now
+            if due < nxt:
+                nxt = due
+        return nxt
+
+    def _advance_to(self, t: float) -> None:
+        if self._advancing or self._paused:
+            return
+        self._advancing = True
+        processed = False
+        try:
+            while True:
+                e = self._next_internal()
+                if e > t + 1e-9:
+                    break
+                self._process_at(e)
+                processed = True
+        finally:
+            self._advancing = False
+        if processed:
+            # only a processed event can change the next-event time, so
+            # no-op advances (monitor syncs) skip the wake-heap re-key
+            self._reschedule()
+
+    def _process_at(self, t: float) -> None:
+        self._accrue_to(t)
+        finished: List[Job] = []
+        if self.active:
+            share = self.rate / len(self.active)
+            min_r = min(j.remaining for j in self.active)
+            due = self._share_anchor + min_r / share
+            if due <= t + 1e-12:
+                # pre-identify completers by the exact minimum so the
+                # shared decrement's float dust cannot mask them
+                completers = {id(j) for j in self.active
+                              if j.remaining == min_r}
+            else:
+                completers = set()
+            self._settle_to(t)
+            if completers:
+                keep: List[Job] = []
+                for job in self.active:
+                    if id(job) in completers or job.remaining <= 1e-12:
+                        finished.append(job)
+                    else:
+                        keep.append(job)
+                self.active = keep
+        for job in finished:
+            self.completed_count += 1
+            job.finish(t)
+        self._admit_at(t)
+        if t > self._share_anchor:
+            self._share_anchor = t
+        if t > self._now:
+            self._now = t
+
+    def _admit_at(self, t: float) -> None:
+        limit = self.k if self.k is not None else _INF
+        # admit in arrival order; skip-over is not allowed (FCFS slots)
+        while self.waiting and len(self.active) < limit:
+            head = self.waiting[0]
+            if head.not_before > t + 1e-9:
+                break
+            self.waiting.popleft()
+            if head.start_time is None:
+                head.start_time = t
+            self.active.append(head)
+
+    def _admit(self, now: float) -> None:
+        """Compat alias: process due admissions/completions up to ``now``."""
+        self._advance_to(now)
+
+    def _settle_to(self, t: float) -> None:
+        """Decrement remaining work to ``t`` (share-change points only)."""
+        if self.active and t > self._share_anchor:
+            dec = (t - self._share_anchor) * (self.rate / len(self.active))
+            for job in self.active:
+                job.remaining -= dec
+        if t > self._share_anchor:
+            self._share_anchor = t
+
+    def _accrue_to(self, t: float) -> None:
+        if t <= self._busy_anchor:
+            return
+        if self.active and not self._paused:
+            self.record_busy(t - self._busy_anchor)
+        self._busy_anchor = t
+
+    # ------------------------------------------------------------------
+    # failure semantics
+    # ------------------------------------------------------------------
+    def on_pause(self, now: float | None) -> None:
+        p = self._now if now is None else max(now, self._now)
+        if p < self._busy_anchor:
+            p = self._busy_anchor
+        if p > self._busy_anchor and self.active:
+            # bypass the paused gate: this span was genuinely served
+            self.record_busy(p - self._busy_anchor)
+        self._busy_anchor = p
+        self._settle_to(p)
+        if p > self._now:
+            self._now = p
+
+    def on_repair(self, now: float) -> None:
+        r = max(now, self._now)
+        self._now = r
+        if self._share_anchor < r:
+            self._share_anchor = r
+        if self._busy_anchor < r:
+            self._busy_anchor = r
+        self._advance_to(r)
 
     def on_crash(self) -> None:
         """Crash semantics: active transfers restart from scratch."""
@@ -85,53 +253,3 @@ class PSQueue(Agent):
             job.start_time = None
             self.waiting.appendleft(job)
         self.active = []
-
-    # ------------------------------------------------------------------
-    def _admit(self, now: float) -> None:
-        limit = self.k if self.k is not None else float("inf")
-        # admit in arrival order; skip-over is not allowed (FCFS slots)
-        while self.waiting and len(self.active) < limit:
-            head = self.waiting[0]
-            if head.not_before > now + 1e-9:
-                break
-            self.waiting.popleft()
-            head.start_time = now if head.start_time is None else head.start_time
-            self.active.append(head)
-
-    def on_time_increment(self, now: float, dt: float) -> None:
-        """Drain the shared rate across active jobs, sub-stepped at completions."""
-        t = 0.0
-        self._admit(now)
-        while t < dt - 1e-12:
-            if not self.active:
-                if not self.waiting:
-                    break
-                wake = max(min(j.not_before for j in self.waiting) - (now + t), 0.0)
-                if wake >= dt - t:
-                    break
-                t += wake
-                self._admit(now + t)
-                if not self.active:
-                    break
-            share = self.rate / len(self.active)
-            span = min(j.remaining for j in self.active) / share
-            # an admission can change shares mid-tick: cap the span at the
-            # earliest waiting job's eligibility as well
-            if self.waiting:
-                eligible_in = self.waiting[0].not_before - (now + t)
-                if 0.0 < eligible_in < span and (
-                    self.k is None or len(self.active) < self.k
-                ):
-                    span = eligible_in
-            step = min(span, dt - t)
-            for job in self.active:
-                job.remaining -= step * share
-            self.record_busy(step)
-            t += step
-            finished = [j for j in self.active if j.done]
-            if finished:
-                self.active = [j for j in self.active if not j.done]
-                for job in finished:
-                    self.completed_count += 1
-                    job.finish(now + t)
-            self._admit(now + t)

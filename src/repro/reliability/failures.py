@@ -138,7 +138,7 @@ class FailureInjector:
                 # postpone: re-arm instead of taking the tier down
                 self._schedule(fail, self.policy.server_mtbf_s)
                 return
-            server.fail(crash=True)
+            server.fail(crash=True, now=now)
             self._record(server.name, "server", "fail", now)
             self._schedule(lambda t: repair(t), self.policy.server_mttr_s,
                            fixed=True, always=True)
@@ -158,7 +158,7 @@ class FailureInjector:
             if self.keep_one_disk and len(healthy) <= 1 and not disk.paused:
                 self._schedule(fail, self.policy.disk_mtbf_s)
                 return
-            disk.fail(crash=True)
+            disk.fail(crash=True, now=now)
             self._record(disk.name, "disk", "fail", now)
             self._schedule(lambda t: repair(t), self.policy.disk_mttr_s,
                            fixed=True, always=True)
@@ -176,7 +176,7 @@ class FailureInjector:
         def fail(now: float) -> None:
             if now >= self.until:
                 return
-            self.topology.fail_link(a, b)
+            self.topology.fail_link(a, b, now=now)
             self._record(name, "link", "fail", now)
             self._schedule(lambda t: repair(t), self.policy.link_mttr_s,
                            fixed=True, always=True)

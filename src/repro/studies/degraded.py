@@ -41,6 +41,7 @@ class DegradedOutcome:
     stuck: int  # cascades still in flight at the horizon
     server_failures: int
     resilience: Dict[str, int] = field(default_factory=dict)
+    profile: object = None  # EngineProfiler when run with profile=True
 
 
 @dataclass
@@ -101,7 +102,9 @@ class DegradedStudy:
         ])
 
     # ------------------------------------------------------------------
-    def run_cell(self, mtbf_s: float, resilient: bool) -> DegradedOutcome:
+    def run_cell(self, mtbf_s: float, resilient: bool,
+                 mode: str = "event",
+                 profile: bool = False) -> DegradedOutcome:
         """One sweep cell: fixed MTBF, policies on or off."""
         from repro.api import Scenario
 
@@ -139,7 +142,7 @@ class DegradedStudy:
             setup=setup,
             resilience=self.policy if resilient else None,
         )
-        session = scenario.prepare(dt=0.01)
+        session = scenario.prepare(dt=0.01, mode=mode, profile=profile)
         result = session.run(self.horizon + self.drain_s, workloads=False)
 
         ok = sorted(r.response_time for r in result.records if not r.failed)
@@ -157,6 +160,7 @@ class DegradedStudy:
             stuck=session.runner.active_operations,
             server_failures=injector.failures_by_kind().get("server", 0),
             resilience=session.resilience_stats(),
+            profile=session.sim.profiler,
         )
 
     def sweep(

@@ -72,7 +72,10 @@ class GlobalTopology:
     # ------------------------------------------------------------------
     # failure injection
     # ------------------------------------------------------------------
-    def fail_link(self, a: str, b: str, pause_agent: bool = False) -> None:
+    def fail_link(
+        self, a: str, b: str, pause_agent: bool = False,
+        now: float | None = None,
+    ) -> None:
         """Mark the primary link a--b as failed (traffic uses secondaries).
 
         With ``pause_agent`` the link's agent is also paused, so bits
@@ -85,7 +88,7 @@ class GlobalTopology:
             raise KeyError(f"no primary link between {a!r} and {b!r}")
         self._failed.add(key)
         if pause_agent:
-            self.links[key].fail(crash=False)
+            self.links[key].fail(crash=False, now=now)
         self._route_cache.clear()
 
     def restore_link(self, a: str, b: str, now: float = 0.0) -> None:

@@ -155,10 +155,10 @@ class Server(Holon):
         """Whether the server is in service (load balancing skips it)."""
         return not self.cpu.paused
 
-    def fail(self, crash: bool = True) -> None:
+    def fail(self, crash: bool = True, now: float | None = None) -> None:
         """Crash the server: all hardware stops; in-flight work is lost."""
         for agent in self.agents():
-            agent.fail(crash=crash)
+            agent.fail(crash=crash, now=now)
 
     def repair(self, now: float) -> None:
         """Return the server to service; queued work resumes (retry)."""

@@ -77,6 +77,7 @@ class ExperimentResult:
     memory: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
     records: List[OperationRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
+    profile: object = None  # EngineProfiler when run with profile=True
 
     def steady_cpu_stats(self, tier: str) -> SteadyStateStats:
         """Table 5.2 entry: steady-state CPU moments for one tier."""
@@ -129,6 +130,7 @@ def run_experiment(
     trace: object = None,
     profile: bool = False,
     horizon: Optional[float] = None,
+    mode: str = "event",
 ) -> ExperimentResult:
     """Run one validation experiment and collect its measurement series.
 
@@ -201,7 +203,7 @@ def run_experiment(
         seed=seed,
         setup=setup,
     )
-    session = scenario.prepare(dt=dt, trace=trace, profile=profile)
+    session = scenario.prepare(dt=dt, mode=mode, trace=trace, profile=profile)
     collector = session.collector
 
     t0 = _wallclock.perf_counter()
@@ -215,6 +217,7 @@ def run_experiment(
         steady_window=steady_window,
         records=list(session.runner.records),
         wall_seconds=wall,
+        profile=session.sim.profiler,
     )
     result.clients = collector.series("clients")
     for tier_kind in TIERS:

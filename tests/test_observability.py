@@ -278,10 +278,10 @@ def test_engine_profiler_phases():
     assert prof.ticks > 0
     assert prof.wall_seconds > 0.0
     assert set(prof.phase_seconds) == {"events", "monitors", "step_select",
-                                       "agent_step"}
+                                       "wake"}
     assert 0.0 < prof.accounted_seconds <= prof.wall_seconds * 1.5
     table = prof.table()
-    assert "agent_step" in table
+    assert "wake" in table
     summary = prof.summary()
     assert sum(row["share"] for row in summary.values()) == pytest.approx(1.0)
 
