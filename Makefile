@@ -3,7 +3,8 @@
 PYTHON ?= python3
 
 .PHONY: install test test-fast bench bench-full bench-engine examples \
-        trace-demo resilience-demo checkpoint-roundtrip lint clean
+        trace-demo resilience-demo checkpoint-roundtrip metrics-compare \
+        lint clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,8 +24,16 @@ bench-full:  ## thesis-length chapter 5 experiments
 bench-engine:  ## stepping-mode comparison, writes BENCH_engine.json
 	$(PYTHON) scripts/bench_engine.py
 
-lint:  ## style check of the engine core
-	$(PYTHON) -m ruff check src/repro/core
+metrics-compare:  ## metered quick run diffed against the committed baseline
+	$(PYTHON) scripts/bench_engine.py --quick --reps 1 \
+	    --scenarios validation-ch5 --out /tmp/bench_quick.json \
+	    --metrics-out /tmp/metrics_quick.json
+	PYTHONPATH=src $(PYTHON) -m repro compare BENCH_metrics.json \
+	    /tmp/metrics_quick.json --metric-tolerance wall=0.5
+
+lint:  ## style check of the engine core + observability/metrics layers
+	$(PYTHON) -m ruff check src/repro/core src/repro/observability \
+	    src/repro/metrics
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f >/dev/null || exit 1; done

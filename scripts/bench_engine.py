@@ -23,11 +23,18 @@ from the event-kernel PR on:
     two-tier datacenter with server crash/repair injection and the
     resilience policies on.
 
+Every cell records the stepping ``mode`` and the ``seed`` that drove
+it (the workload RNG seed for the validation/fleet scenarios, the study
+seed for the drill), so a baseline is reproducible from the JSON alone.
+``--seed`` overrides all three; by default each scenario keeps its
+historical seed so existing baselines stay comparable.
+
 Usage::
 
     python scripts/bench_engine.py            # full sizings
     python scripts/bench_engine.py --quick    # CI smoke sizings
     python scripts/bench_engine.py --modes event,adaptive
+    python scripts/bench_engine.py --quick --metrics-out metrics.json
 """
 
 from __future__ import annotations
@@ -62,7 +69,7 @@ MODES = ("event", "adaptive", "fixed")
 # ----------------------------------------------------------------------
 # scenario: chapter 5 validation slice
 # ----------------------------------------------------------------------
-def bench_validation(mode: str, quick: bool) -> dict:
+def bench_validation(mode: str, quick: bool, seed: int = 42) -> dict:
     until = 120.0 if quick else 300.0
     res = run_experiment(
         EXPERIMENTS[0],
@@ -71,6 +78,7 @@ def bench_validation(mode: str, quick: bool) -> dict:
         steady_window=(60.0, until - 20.0),
         profile=True,
         mode=mode,
+        seed=seed,
     )
     prof = res.profile
     return {
@@ -78,6 +86,7 @@ def bench_validation(mode: str, quick: bool) -> dict:
         "ticks": prof.ticks,
         "agent_ticks": prof.agent_ticks,
         "records": len(res.records),
+        "seed": seed,
     }
 
 
@@ -153,14 +162,14 @@ def fleet_setup(session) -> None:
         chain(server, random.Random(1000 + i))
 
 
-def bench_fleet(mode: str, quick: bool) -> dict:
+def bench_fleet(mode: str, quick: bool, seed: int = 42) -> dict:
     n_regions = 16 if quick else 128
     until = 20.0 if quick else 60.0
     scenario = Scenario(
         name="consolidation-fleet",
-        topology=fleet_topology(n_regions),
+        topology=fleet_topology(n_regions, seed=seed),
         placement=SingleMasterPlacement(MASTER, local_fs=True),
-        seed=42,
+        seed=seed,
         setup=fleet_setup,
     )
     session = scenario.prepare(dt=0.01, mode=mode, profile=True)
@@ -173,14 +182,16 @@ def bench_fleet(mode: str, quick: bool) -> dict:
         "ticks": prof.ticks,
         "agent_ticks": prof.agent_ticks,
         "regions": n_regions,
+        "seed": seed,
     }
 
 
 # ----------------------------------------------------------------------
 # scenario: resilience drill
 # ----------------------------------------------------------------------
-def bench_drill(mode: str, quick: bool) -> dict:
-    study = DegradedStudy(horizon=45.0 if quick else 120.0, drain_s=30.0)
+def bench_drill(mode: str, quick: bool, seed: int = 7) -> dict:
+    study = DegradedStudy(horizon=45.0 if quick else 120.0, drain_s=30.0,
+                          seed=seed)
     t0 = time.perf_counter()
     outcome = study.run_cell(60.0, resilient=True, mode=mode, profile=True)
     wall = time.perf_counter() - t0
@@ -190,6 +201,7 @@ def bench_drill(mode: str, quick: bool) -> dict:
         "ticks": prof.ticks,
         "agent_ticks": prof.agent_ticks,
         "operations": outcome.operations,
+        "seed": seed,
     }
 
 
@@ -214,14 +226,27 @@ def main(argv=None) -> int:
     ap.add_argument("--reps", type=int, default=5,
                     help="repetitions for the short scenarios (min wall "
                          "is reported)")
+    ap.add_argument("--seed", type=int, default=None,
+                    help="override every scenario's workload seed "
+                         "(default: per-scenario historical seeds)")
+    ap.add_argument("--scenarios", default=",".join(SCENARIOS),
+                    help="comma-separated subset of scenarios to run")
     ap.add_argument("--out", default=str(ROOT / "BENCH_engine.json"),
                     help="output JSON path")
+    ap.add_argument("--metrics-out", default=None,
+                    help="also run a metered validation slice and write "
+                         "its metrics snapshot here (for repro compare)")
     args = ap.parse_args(argv)
 
     modes = [m.strip() for m in args.modes.split(",") if m.strip()]
     for m in modes:
         if m not in MODES:
             ap.error(f"unknown mode {m!r} (choose from {MODES})")
+    selected = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    for s in selected:
+        if s not in SCENARIOS:
+            ap.error(f"unknown scenario {s!r} (choose from "
+                     f"{tuple(SCENARIOS)})")
 
     doc = {
         "bench": "engine-stepping-modes",
@@ -230,17 +255,22 @@ def main(argv=None) -> int:
         "platform": platform.platform(),
         "scenarios": {},
     }
-    for name, fn in SCENARIOS.items():
+    if args.seed is not None:
+        doc["seed"] = args.seed
+    for name in selected:
+        fn = SCENARIOS[name]
         doc["scenarios"][name] = {}
         reps = max(args.reps, 1) if name in _REPEATED else 1
         for mode in modes:
             print(f"[bench] {name} mode={mode} ...", flush=True)
-            cell = fn(mode, args.quick)
+            kwargs = {} if args.seed is None else {"seed": args.seed}
+            cell = fn(mode, args.quick, **kwargs)
             for _ in range(reps - 1):
-                again = fn(mode, args.quick)
+                again = fn(mode, args.quick, **kwargs)
                 if again["wall_s"] < cell["wall_s"]:
                     cell = again
             cell["reps"] = reps
+            cell["mode"] = mode
             doc["scenarios"][name][mode] = cell
             print(f"        wall={cell['wall_s']:.2f}s ticks={cell['ticks']} "
                   f"agent_ticks={cell['agent_ticks']}")
@@ -253,6 +283,29 @@ def main(argv=None) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"[bench] wrote {out}")
+
+    if args.metrics_out:
+        seed = 42 if args.seed is None else args.seed
+        until = 120.0 if args.quick else 300.0
+        print(f"[bench] metered validation slice (seed={seed}) ...",
+              flush=True)
+        res = run_experiment(
+            EXPERIMENTS[0],
+            until=until,
+            launch_until=until - 20.0,
+            steady_window=(60.0, until - 20.0),
+            mode=modes[0],
+            seed=seed,
+            metrics="on",
+        )
+        res.metrics.write_snapshot(args.metrics_out, meta={
+            "scenario": EXPERIMENTS[0].name,
+            "mode": modes[0],
+            "seed": seed,
+            "until": until,
+            "quick": args.quick,
+        })
+        print(f"[bench] wrote {args.metrics_out}")
     return 0
 
 

@@ -67,7 +67,11 @@ from repro.api import (
 from repro.observability import (
     AgentTelemetry,
     EngineProfiler,
+    EventLog,
+    MetricsRegistry,
+    SLORule,
     TraceRecorder,
+    make_registry,
 )
 
 __version__ = "1.1.0"
@@ -116,6 +120,10 @@ __all__ = [
     "simulate",
     "AgentTelemetry",
     "EngineProfiler",
+    "EventLog",
+    "MetricsRegistry",
+    "SLORule",
     "TraceRecorder",
+    "make_registry",
     "__version__",
 ]

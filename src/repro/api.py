@@ -35,6 +35,8 @@ from repro.core.engine import Simulator
 from repro.core.errors import CheckpointError, ConfigurationError
 from repro.core.rng import RandomStreams
 from repro.metrics.collector import Collector
+from repro.observability.events import EventLog
+from repro.observability.metrics import MetricsRegistry, make_registry
 from repro.software.application import Application
 from repro.software.cascade import CascadeRunner, OperationRecord
 from repro.software.placement import Placement, SingleMasterPlacement
@@ -91,6 +93,15 @@ class Scenario:
     #: config, a single policy used as the default, a mapping as read
     #: from the JSON ``resilience`` block, or ``None`` for off).
     resilience: Any = None
+    #: Metrics mode: ``None``/``"null"`` (off, zero hot-path cost),
+    #: ``"on"``/``"full"``, or a prebuilt
+    #: :class:`~repro.observability.metrics.MetricsRegistry`.
+    metrics: Any = None
+    #: SLO rules: a list of rule dicts /
+    #: :class:`~repro.observability.slo.SLORule` objects, or a mapping
+    #: ``{"interval": seconds, "rules": [...]}`` (the JSON ``slo``
+    #: block form).  A non-empty block implies ``metrics="on"``.
+    slo: Any = None
 
     # ------------------------------------------------------------------
     # construction
@@ -151,6 +162,8 @@ class Scenario:
             seed=42 if seed is None else seed,
             workload_curves=curves,
             resilience=resilience,
+            metrics=doc.get("metrics"),
+            slo=doc.get("slo"),
         )
 
     @classmethod
@@ -185,6 +198,11 @@ class Scenario:
             config = ResilienceConfig.coerce(self.resilience)
             if config is not None:
                 doc["resilience"] = config.to_dict()
+        if self.metrics:
+            doc["metrics"] = (self.metrics if isinstance(self.metrics, str)
+                              else "on")
+        if self.slo is not None:
+            doc["slo"] = _slo_to_document(self.slo)
         return doc
 
     def to_json(self, path: Union[str, Path]) -> None:
@@ -203,12 +221,39 @@ class Scenario:
         profile: bool = False,
         collect: Optional[Collect] = None,
         resilience: Any = None,
+        metrics: Any = None,
+        slo: Any = None,
     ) -> "SimulationSession":
         """Build the engine, register the topology and wire the runner."""
         return SimulationSession(
             self, dt=dt, mode=mode, trace=trace, profile=profile,
-            collect=collect, resilience=resilience,
+            collect=collect, resilience=resilience, metrics=metrics,
+            slo=slo,
         )
+
+
+def _slo_to_document(slo: Any) -> Any:
+    """Serialize an slo block back to its JSON form."""
+    def rule_doc(rule: Any) -> Any:
+        return rule.to_dict() if hasattr(rule, "to_dict") else dict(rule)
+
+    if isinstance(slo, Mapping) and "rules" in slo:
+        out = dict(slo)
+        out["rules"] = [rule_doc(r) for r in slo["rules"]]
+        return out
+    return [rule_doc(r) for r in slo]
+
+
+def _parse_slo_spec(slo: Any) -> Tuple[List[Any], float]:
+    """Normalize an slo block into (rules, check interval seconds)."""
+    from repro.observability.slo import parse_slo_block
+
+    if slo is None:
+        return [], 6.0
+    if isinstance(slo, Mapping) and "rules" in slo:
+        return (parse_slo_block(slo["rules"]),
+                float(slo.get("interval", 6.0)))
+    return parse_slo_block(slo), 6.0
 
 
 class SimulationSession:
@@ -231,6 +276,8 @@ class SimulationSession:
         profile: bool = False,
         collect: Optional[Collect] = None,
         resilience: Any = None,
+        metrics: Any = None,
+        slo: Any = None,
     ) -> None:
         if scenario.topology is None:
             raise ConfigurationError("scenario has no topology")
@@ -240,7 +287,21 @@ class SimulationSession:
                 f"got {mode!r}"
             )
         self.scenario = scenario
-        self.sim = Simulator(dt=dt, mode=mode, trace=trace, profile=profile)
+        # metrics + SLO: explicit arguments override the scenario block;
+        # a non-empty SLO block needs a registry to evaluate against,
+        # so it auto-enables metrics
+        metrics_spec = metrics if metrics is not None else scenario.metrics
+        slo_spec = slo if slo is not None else scenario.slo
+        self.slo_rules, self.slo_interval = _parse_slo_spec(slo_spec)
+        registry = make_registry(metrics_spec)
+        if self.slo_rules and registry is None:
+            registry = MetricsRegistry()
+        self.metrics: Optional[MetricsRegistry] = registry
+        self.events: Optional[EventLog] = (
+            EventLog() if registry is not None else None
+        )
+        self.sim = Simulator(dt=dt, mode=mode, trace=trace, profile=profile,
+                             metrics=registry)
         self.streams = RandomStreams(scenario.seed)
         topo = scenario.topology
         for dc in topo.datacenters.values():
@@ -255,8 +316,28 @@ class SimulationSession:
         if runner_seed is None:
             runner_seed = scenario.seed + 7
         self.runner = CascadeRunner(
-            topo, placement, seed=runner_seed, tracer=self.sim.trace
+            topo, placement, seed=runner_seed, tracer=self.sim.trace,
+            metrics=registry,
         )
+        if registry is not None:
+            # hardware gauges, refreshed on demand before every export /
+            # SLO evaluation.  Reads only pure state (queue_length,
+            # lifetime busy_time) — never ``Agent.sample``, whose window
+            # reset would perturb the collector's series
+            sim_ref = self.sim
+
+            def _hardware_gauges(reg: MetricsRegistry) -> None:
+                now = sim_ref.now
+                for agent in topo.all_agents():
+                    reg.gauge("agent_queue_depth", agent=agent.name).set(
+                        float(agent.queue_length()))
+                    cap = agent.capacity()
+                    if now > 0.0 and cap > 0.0:
+                        reg.gauge("agent_utilization",
+                                  agent=agent.name).set(
+                            min(agent._busy_seconds() / (now * cap), 1.0))
+
+            registry.add_collect_hook(_hardware_gauges)
         self.collector: Optional[Collector] = None
         self.workloads: List[OpenLoopWorkload] = []
         self._workloads_started = False
@@ -291,6 +372,8 @@ class SimulationSession:
                     policy=config.default,
                 )
                 self.health_monitor.start()
+        if self.resilience_state is not None and registry is not None:
+            self.resilience_state.attach_metrics(registry, self.events)
         if scenario.setup is not None:
             scenario.setup(self)
         if collect is not None and self.collector is None:
@@ -299,6 +382,15 @@ class SimulationSession:
                 samples_per_snapshot=collect.samples_per_snapshot,
                 tier_cpu=collect.tier_cpu,
             )
+        # SLO checker rides an engine monitor; monitors observe but never
+        # perturb, so rules cannot change simulation results
+        self.slo_checker = None
+        if self.slo_rules:
+            from repro.observability.slo import SLOChecker
+
+            self.slo_checker = SLOChecker(
+                self.slo_rules, registry, self.events)
+            self.sim.add_monitor(self.slo_interval, self.slo_checker.check)
 
     # ------------------------------------------------------------------
     def collect(
@@ -396,7 +488,10 @@ class SimulationSession:
             "mode": self._mode,
             "until": self._until,
             "checkpoint_every": self._checkpoint_every,
+            "metrics": "on" if self.metrics is not None else None,
         })
+        if self.events is not None:
+            self.events.emit("checkpoint", self.sim.now, path=str(path))
 
     def arm_checkpoints(
         self, every: float, path: Union[str, Path]
@@ -424,7 +519,13 @@ class SimulationSession:
         if workloads and not self._workloads_started:
             self._workloads_started = True
             self._start_workloads(until)
+        if self.events is not None:
+            self.events.emit("run_start", self.sim.now, until=until,
+                             mode=self._mode, scenario=self.scenario.name)
         self.sim.run(until)
+        if self.events is not None:
+            self.events.emit("run_end", self.sim.now,
+                             records=len(self.runner.records))
         return self.result(until)
 
     def result(self, until: Optional[float] = None) -> "SimulationResult":
@@ -438,6 +539,9 @@ class SimulationSession:
             collector=self.collector,
             session=self,
             study=self.scenario.study,
+            metrics=self.metrics,
+            events=self.events,
+            slo=self.slo_checker,
         )
 
 
@@ -455,6 +559,9 @@ class SimulationResult:
     session: Optional[SimulationSession] = None
     study: Any = None
     fluid: Any = None
+    metrics: Optional[MetricsRegistry] = None
+    events: Optional[EventLog] = None
+    slo: Any = None
 
     # ------------------------------------------------------------------
     # metrics accessors
@@ -499,6 +606,60 @@ class SimulationResult:
         return self.session.resilience_stats()
 
     # ------------------------------------------------------------------
+    # metrics-registry accessors
+    # ------------------------------------------------------------------
+    def _require_metrics(self) -> MetricsRegistry:
+        if self.metrics is None:
+            raise ConfigurationError(
+                "metrics were disabled (pass metrics='on' or add an slo "
+                "block to the scenario)"
+            )
+        return self.metrics
+
+    def _metrics_meta(self, meta: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        base: Dict[str, Any] = {
+            "scenario": self.scenario.name,
+            "mode": self.mode,
+            "seed": self.scenario.seed,
+            "until": self.until,
+        }
+        base.update(meta or {})
+        return base
+
+    def metrics_snapshot(
+        self, meta: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """JSON-ready snapshot of every counter/gauge/histogram."""
+        return self._require_metrics().snapshot(self._metrics_meta(meta))
+
+    def write_metrics_snapshot(
+        self, path: Union[str, Path], meta: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Write the snapshot JSON consumed by ``python -m repro compare``."""
+        self._require_metrics().write_snapshot(
+            str(path), self._metrics_meta(meta))
+
+    def write_metrics_jsonl(
+        self, path: Union[str, Path], meta: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Write one JSON object per metric (streaming-pipeline form)."""
+        self._require_metrics().write_jsonl(
+            str(path), self._metrics_meta(meta))
+
+    def write_openmetrics(self, path: Union[str, Path]) -> None:
+        """Write the OpenMetrics/Prometheus text exposition."""
+        self._require_metrics().write_openmetrics(str(path))
+
+    def write_event_log(self, path: Union[str, Path]) -> None:
+        """Write the structured event log (JSONL, sim+wall stamps)."""
+        self._require_metrics()
+        self.events.write_jsonl(str(path))
+
+    def slo_report(self) -> Any:
+        """End-of-run SLO pass/fail report, ``None`` without rules."""
+        return None if self.slo is None else self.slo.report()
+
+    # ------------------------------------------------------------------
     # trace accessors
     # ------------------------------------------------------------------
     def spans(self) -> List[Any]:
@@ -508,13 +669,14 @@ class SimulationResult:
         return [] if self.trace is None else self.trace.cascades()
 
     def write_chrome_trace(self, path: Union[str, Path]) -> int:
-        """Export the trace for ``chrome://tracing``; returns #events."""
+        """Export the trace for ``chrome://tracing``; returns #events.
+
+        With tracing disabled (or nothing recorded) this writes a valid,
+        empty Chrome-trace document rather than failing, so export
+        pipelines are safe to run unconditionally.
+        """
         from repro.observability.exporters import write_chrome_trace
 
-        if self.trace is None:
-            raise ConfigurationError(
-                "tracing was disabled (pass trace='full' or 'sampling:p')"
-            )
         return write_chrome_trace(str(path), self.spans(), self.cascades())
 
     def waterfall(self, operation: Optional[str] = None) -> str:
@@ -541,6 +703,8 @@ def simulate(
     workloads: bool = True,
     seed: Optional[int] = None,
     resilience: Any = None,
+    metrics: Any = None,
+    slo: Any = None,
     checkpoint_every: Optional[float] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
     resume_from: Optional[Union[str, Path]] = None,
@@ -578,6 +742,20 @@ def simulate(
         :class:`~repro.resilience.ResiliencePolicy` used as the default
         for every hop, or a mapping (the scenario-JSON block form).
         ``None`` falls back to the scenario's ``resilience`` field.
+    metrics:
+        Metrics mode: ``None``/``"null"`` (off — the default; zero
+        hot-path cost), ``"on"``/``"full"``, or a prebuilt
+        :class:`~repro.observability.metrics.MetricsRegistry`.  ``None``
+        falls back to the scenario's ``metrics`` field.  When on, the
+        result exposes ``metrics_snapshot()`` / ``write_openmetrics()``
+        / ``write_metrics_jsonl()`` and the structured event log.
+    slo:
+        SLO rules evaluated in-sim on a monitor cadence: a list of rule
+        dicts / :class:`~repro.observability.slo.SLORule` objects or the
+        JSON block form ``{"interval": s, "rules": [...]}``.  ``None``
+        falls back to the scenario's ``slo`` field; a non-empty block
+        auto-enables metrics.  Violations emit ``alert`` events and the
+        verdict is available as ``result.slo_report()``.
     checkpoint_every:
         Write a crash-recovery checkpoint every this many simulated
         seconds (requires ``checkpoint_path``).
@@ -606,14 +784,15 @@ def simulate(
         return _resume(
             scenario, resume_from, until=until, trace=trace,
             profile=profile, collect=collect, workloads=workloads,
-            resilience=resilience, checkpoint_every=checkpoint_every,
+            resilience=resilience, metrics=metrics, slo=slo,
+            checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
         )
     if until is None:
         raise ConfigurationError("simulate() needs until= for DES modes")
     session = scenario.prepare(
         dt=dt, mode=mode, trace=trace, profile=profile, collect=collect,
-        resilience=resilience,
+        resilience=resilience, metrics=metrics, slo=slo,
     )
     if checkpoint_every is not None:
         session._until = until
@@ -631,6 +810,8 @@ def _resume(
     collect: Optional[Collect],
     workloads: bool,
     resilience: Any,
+    metrics: Any,
+    slo: Any,
     checkpoint_every: Optional[float],
     checkpoint_path: Optional[Union[str, Path]],
 ) -> SimulationResult:
@@ -657,9 +838,13 @@ def _resume(
             f"cannot resume to t={until} before the checkpoint "
             f"time t={t_checkpoint}"
         )
+    if metrics is None:
+        # a metered run fingerprints its registry; the replay must meter
+        # too or verification would (correctly) refuse to continue
+        metrics = doc.get("metrics")
     session = scenario.prepare(
         dt=doc["dt"], mode=doc["mode"], trace=trace, profile=profile,
-        collect=collect, resilience=resilience,
+        collect=collect, resilience=resilience, metrics=metrics, slo=slo,
     )
     session._until = until
     every = doc.get("checkpoint_every")
@@ -684,6 +869,10 @@ def _resume(
             "(scenario, configuration or code drifted since it was "
             "written); refusing to continue from a diverged state"
         )
+    if session.events is not None:
+        session.events.emit("resume", session.sim.now,
+                            checkpoint=str(resume_from),
+                            fingerprint=fingerprint["hash"])
     session.sim.run(until)
     return session.result(until)
 

@@ -8,6 +8,7 @@ Gives operators the thesis's headline evaluations without writing code:
 * ``attack``        — the DoS / admission-control evaluation (Fig 1-1 #7)
 * ``resilience-drill`` — MTBF sweep: policies off vs timeouts/retries/failover
 * ``trace``         — latency waterfalls + Chrome trace export
+* ``compare``       — diff two metric snapshots, nonzero exit on regression
 * ``export``        — write a case-study scenario as a JSON document
 * ``info``          — library and model inventory
 """
@@ -249,6 +250,41 @@ def _cmd_trace_des(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.observability.compare import compare_paths
+
+    overrides = {}
+    for spec in args.metric_tolerance or ():
+        fragment, _, value = spec.partition("=")
+        if not value:
+            print(f"repro compare: error: --metric-tolerance expects "
+                  f"FRAGMENT=FLOAT, got {spec!r}", file=sys.stderr)
+            return 2
+        try:
+            overrides[fragment] = float(value)
+        except ValueError:
+            print(f"repro compare: error: bad tolerance in {spec!r}",
+                  file=sys.stderr)
+            return 2
+    try:
+        report, code = compare_paths(
+            args.baseline, args.candidate,
+            tolerance=args.tolerance, overrides=overrides,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"repro compare: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.table(include_ok=args.verbose))
+    if code == 2:
+        print("repro compare: error: no comparable metrics between the "
+              "two documents (different kinds?)", file=sys.stderr)
+    if code != 0 and args.no_gate:
+        print("repro compare: --no-gate set; exiting 0 despite "
+              f"{'regressions' if code == 1 else 'incomparability'}")
+        return 0
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -315,6 +351,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--study", choices=("consolidation", "multimaster"),
                    default="consolidation")
     p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser(
+        "compare",
+        help="diff two metric snapshots; nonzero exit on regression",
+        description="Compare metric documents (snapshot JSON, JSONL "
+                    "event/metric logs, or BENCH_engine.json) and fail "
+                    "when a worse-direction metric moves past tolerance.")
+    p.add_argument("baseline", help="baseline snapshot / bench JSON")
+    p.add_argument("candidate", help="candidate snapshot / bench JSON")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="relative tolerance before a change gates "
+                        "(default 0.10)")
+    p.add_argument("--metric-tolerance", action="append", metavar="FRAG=TOL",
+                   help="per-metric override: any metric whose name "
+                        "contains FRAG uses tolerance TOL (repeatable)")
+    p.add_argument("--verbose", action="store_true",
+                   help="also list within-tolerance rows")
+    p.add_argument("--no-gate", action="store_true",
+                   help="report regressions but exit 0 (CI smoke mode)")
+    p.set_defaults(func=_cmd_compare)
     return parser
 
 

@@ -53,6 +53,10 @@ class Agent(ABC):
         # set by the engine at registration when tracing is enabled;
         # internal sub-agents (never registered) stay untraced
         self._tracer = None
+        # per-agent metrics handle (AgentMetrics), set by the engine at
+        # registration when metrics are enabled; same zero-cost-off
+        # pattern as the tracer
+        self._metrics = None
         self._paused = False
         # telemetry counters (see Agent.telemetry)
         self.arrivals = 0
@@ -148,6 +152,8 @@ class Agent(ABC):
             self.queue_hwm = depth
         if self._tracer is not None:
             self._tracer.on_submit(self, job, now)
+        # no metrics bump here: agent_arrivals_total is derived from the
+        # ``arrivals`` telemetry counter at collect time (engine hook)
         if self._waker is not None:
             self._waker(self)
 

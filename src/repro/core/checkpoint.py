@@ -93,6 +93,12 @@ def state_fingerprint(session) -> Dict[str, Any]:
     if state is not None:
         for key in sorted(state.counters):
             feed("res", key, state.counters[key])
+    metrics = getattr(session, "metrics", None)
+    if metrics is not None:
+        # counters + histograms only; gauges (wall-clock derived) and
+        # engine loop mechanics are excluded — see fingerprint_lines
+        for line in metrics.fingerprint_lines():
+            feed("met", line)
     n_samples = 0
     if session.collector is not None:
         samples = session.collector.samples

@@ -34,11 +34,17 @@ from __future__ import annotations
 import heapq
 import itertools
 import time as _time
+from collections import defaultdict
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.agent import Agent, Holon
 from repro.core.clock import SimClock
 from repro.core.errors import SimulationError
+from repro.observability.metrics import (
+    MetricsRegistry,
+    _bucket_index,
+    make_registry,
+)
 from repro.observability.profiler import EngineProfiler
 from repro.observability.trace import TraceRecorder, make_recorder
 
@@ -78,6 +84,11 @@ class Simulator:
     profile:
         When true, account wall-clock time per engine phase in
         :attr:`profiler`.
+    metrics:
+        Metrics mode: ``None``/``"null"`` (off, zero hot-path cost),
+        ``"on"``/``"full"``, or a prebuilt
+        :class:`~repro.observability.metrics.MetricsRegistry` (shared
+        across engine, queues, resilience and cascades).
     """
 
     def __init__(
@@ -86,6 +97,7 @@ class Simulator:
         mode: str = "event",
         trace: Union[None, str, TraceRecorder] = None,
         profile: bool = False,
+        metrics: Union[None, bool, str, MetricsRegistry] = None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"unknown stepping mode {mode!r}")
@@ -95,6 +107,21 @@ class Simulator:
         self.profiler: Optional[EngineProfiler] = (
             EngineProfiler() if profile else None
         )
+        self.metrics: Optional[MetricsRegistry] = make_registry(metrics)
+        if self.metrics is not None:
+            # The boundary path accumulates into a plain {n: boundaries}
+            # dict — ONE dict op per boundary — and a collect hook
+            # derives everything else from it at export time: boundary
+            # and wake totals, the wakes-per-boundary histogram, and the
+            # live heap-size gauge.  Only the calendar-event counter is
+            # bumped live (its site fires far less often and is guarded
+            # by a non-zero batch).
+            m = self.metrics
+            m.counter("engine_boundaries_total")
+            m.counter("engine_agent_wakes_total")
+            self._m_events = m.counter("engine_calendar_events_total")
+            self._m_wake_counts: Dict[int, int] = defaultdict(int)
+            m.add_collect_hook(self._collect_engine_metrics)
         self.agents: List[Agent] = []
         # insertion-ordered (agent -> registration sequence) so wake order
         # (and thus sub-boundary interleaving) is deterministic run-to-run
@@ -136,6 +163,8 @@ class Simulator:
         else:
             agent._sched = None
         agent._tracer = self.trace
+        if self.metrics is not None:
+            agent._metrics = self.metrics.agent(agent.name)
         if not agent.idle():
             self._activate(agent)
         agent.local_time = max(agent.local_time, self.clock.now)
@@ -233,6 +262,9 @@ class Simulator:
         prof = self.profiler
         clk = _time.perf_counter
         self._running = True
+        met = self.metrics
+        wall0 = clk() if met is not None else 0.0
+        sim0 = self.clock.now
         if prof is not None:
             prof.start_run()
         try:
@@ -259,6 +291,51 @@ class Simulator:
             self._running = False
             if prof is not None:
                 prof.end_run()
+            if met is not None:
+                wall = clk() - wall0
+                met.counter("engine_runs_total").value += 1
+                met.gauge("engine_run_wall_seconds").value = wall
+                met.gauge("engine_run_sim_seconds").value = (
+                    self.clock.now - sim0)
+                if wall > 0.0:
+                    met.gauge("engine_sim_wall_ratio").value = (
+                        (self.clock.now - sim0) / wall)
+
+    def _collect_engine_metrics(self, registry: MetricsRegistry) -> None:
+        """Collect hook: derive boundary/wake totals and the
+        wakes-per-boundary histogram from the wake-count dict, and read
+        the live heap size."""
+        hist = registry.histogram("engine_wakes_per_boundary")
+        hist.count = 0
+        hist.sum = 0.0
+        hist.zero = 0
+        hist.buckets = {}
+        hist.min = _INF
+        hist.max = -_INF
+        wakes = 0
+        for n, c in self._m_wake_counts.items():
+            hist.count += c
+            wakes += n * c
+            if n < hist.min:
+                hist.min = n
+            if n > hist.max:
+                hist.max = n
+            if n <= 0:
+                hist.zero += c
+            else:
+                idx = _bucket_index(n)
+                hist.buckets[idx] = hist.buckets.get(idx, 0) + c
+        hist.sum = float(wakes)
+        registry.counter("engine_boundaries_total").value = hist.count
+        registry.counter("engine_agent_wakes_total").value = wakes
+        registry.gauge("engine_wake_heap_size").value = len(self._wakes)
+        # arrivals mirror the always-on telemetry counter, so the submit
+        # path pays nothing for metrics (resume replay recomputes
+        # telemetry deterministically, keeping the fingerprint stable)
+        for agent in self.agents:
+            am = agent._metrics
+            if am is not None:
+                am.arrivals.value = agent.arrivals
 
     # ------------------------------------------------------------------
     # boundary selection
@@ -379,14 +456,21 @@ class Simulator:
             prof.record("wake", clk() - t0, calls=len(due))
             prof.ticks += 1
             prof.agent_ticks += len(due)
+        met = self.metrics
+        if met is not None:
+            self._m_wake_counts[len(due)] += 1
         # --- calendar events (chained same-time events drain here)
         t1 = clk() if prof is not None else 0.0
         fixed = self.mode == "fixed"
         cal = self._calendar
         limit = now + 1e-9
+        fired = 0
         while cal and cal[0][0] <= limit:
             when, _, fn = heapq.heappop(cal)
+            fired += 1
             fn(now if fixed else when)
+        if met is not None and fired:
+            self._m_events.value += fired
         if prof is not None:
             prof.record("events", clk() - t1)
         # --- monitors

@@ -20,6 +20,24 @@ cycles.  Four pieces:
 ``exporters``
     Chrome ``trace_event`` JSON, latency-decomposition waterfalls and
     plain-text telemetry tables.
+
+``metrics``
+    Streaming counters/gauges/mergeable log-bucketed histograms behind
+    :class:`~repro.observability.metrics.MetricsRegistry`, with
+    OpenMetrics + JSONL export (``make_registry`` follows the same
+    null-when-off pattern as ``make_recorder``).
+
+``events``
+    The unified structured :class:`~repro.observability.events.EventLog`
+    (engine, resilience, checkpoint and alert events; JSONL).
+
+``slo``
+    Declarative :class:`~repro.observability.slo.SLORule` objects
+    checked in-sim by :class:`~repro.observability.slo.SLOChecker`.
+
+``compare``
+    Run-to-run metric snapshot diffing with tolerance-gated regression
+    detection (``python -m repro compare``).
 """
 
 from repro.observability.profiler import EngineProfiler
@@ -36,17 +54,41 @@ from repro.observability.exporters import (
     telemetry_table,
     write_chrome_trace,
 )
+from repro.observability.events import EventLog
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    make_registry,
+)
+from repro.observability.slo import (
+    SLOChecker,
+    SLOReport,
+    SLORule,
+    parse_slo_block,
+)
 
 __all__ = [
     "AgentTelemetry",
     "CascadeInfo",
+    "Counter",
     "EngineProfiler",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SLOChecker",
+    "SLOReport",
+    "SLORule",
     "Span",
     "TraceRecorder",
     "aggregate_telemetry",
     "chrome_trace_events",
     "format_waterfall",
     "make_recorder",
+    "make_registry",
+    "parse_slo_block",
     "telemetry_table",
     "write_chrome_trace",
 ]

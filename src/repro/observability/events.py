@@ -1,0 +1,66 @@
+"""Unified structured event log.
+
+One append-only stream that merges engine lifecycle, resilience,
+checkpoint and SLO-alert events, each stamped with both *sim time*
+(deterministic, replay-stable) and *wall time* (operational).  Events
+are plain dicts so the log serializes straight to JSONL — the same
+shape a log shipper would ingest.
+
+The log is bounded (ring semantics) so long runs cannot grow it without
+limit; `dropped` counts evictions so consumers can reason about
+coverage, mirroring `TraceRecorder.evicted_spans`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+
+class EventLog:
+    """Bounded, JSONL-serializable stream of structured events."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self.emitted = 0
+        self.dropped = 0
+
+    def emit(self, kind: str, sim_time: float, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the event dict (already stored)."""
+        event: Dict[str, Any] = {
+            "kind": kind,
+            "sim_time": float(sim_time),
+            "wall_time": time.time(),
+        }
+        event.update(fields)
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+        self.emitted += 1
+        return event
+
+    def events(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Events in emission order, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e["kind"] == kind]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def jsonl_lines(self) -> Iterator[str]:
+        for event in self._events:
+            yield json.dumps(event, sort_keys=True)
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in self.jsonl_lines():
+                fh.write(line + "\n")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventLog(events={len(self._events)}, dropped={self.dropped})"

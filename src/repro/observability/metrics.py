@@ -1,0 +1,584 @@
+"""Streaming metrics: counters, gauges and mergeable log-bucketed
+histograms behind a low-overhead registry.
+
+The collector (:mod:`repro.metrics.collector`) answers "what did the
+infrastructure look like over time" with end-of-run series; this module
+answers the operational questions — streaming percentiles, rates and
+run-to-run comparability — the same way a production service would:
+
+* :class:`Counter` / :class:`Gauge` — monotonic tallies and last-value
+  instruments, plain attribute bumps on the hot path.
+* :class:`Histogram` — log-bucketed (8 buckets per octave, ≤ ~4.5 %
+  relative quantile error), *mergeable*: two histograms of the same
+  metric add bucket-wise, so sharded or repeated runs aggregate exactly.
+* :class:`MetricsRegistry` — names + labels to instruments, snapshot /
+  OpenMetrics / JSONL export, and a deterministic fingerprint feed so
+  metrics participate in checkpoint verification.
+
+Disabled is the default and follows the ``NullTraceRecorder`` pattern:
+``make_registry(None)`` returns ``None`` and every instrumentation site
+pays exactly one ``is not None`` check — an un-metered run is
+structurally identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+#: Buckets per octave: bucket ``i`` covers ``(2**((i-1)/8), 2**(i/8)]``.
+BUCKETS_PER_OCTAVE = 8
+
+_LOG2_SCALE = float(BUCKETS_PER_OCTAVE)
+
+
+def _bucket_index(value: float) -> int:
+    """Log-bucket index of a positive value."""
+    return math.ceil(math.log2(value) * _LOG2_SCALE)
+
+
+def _bucket_upper(index: int) -> float:
+    """Upper bound of bucket ``index`` in native units."""
+    return 2.0 ** (index / _LOG2_SCALE)
+
+
+class Counter:
+    """Monotonically increasing tally (``*_total`` by convention)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-observed value (heap sizes, utilizations, ratios)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+
+class Histogram:
+    """Sparse log-bucketed distribution with streaming quantiles.
+
+    Observations ``<= 0`` land in a dedicated zero bucket; positive ones
+    in bucket ``ceil(log2(v) * 8)``.  Quantiles report the bucket upper
+    bound clamped to the true observed maximum, so the estimate is
+    conservative and within one bucket width (≤ ~4.5 % relative).
+    Histograms of the same metric merge exactly (bucket-wise addition),
+    which is what makes per-shard or per-run aggregation lossless.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "zero", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.zero = 0
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float,
+                _ceil=math.ceil, _log2=math.log2) -> None:
+        # _ceil/_log2 are bound at def time: this runs once per queue
+        # completion on metered runs, so globals lookups matter
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zero += 1
+            return
+        idx = _ceil(_log2(value) * _LOG2_SCALE)
+        b = self.buckets
+        b[idx] = b.get(idx, 0) + 1
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 for an empty histogram)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cum = self.zero
+        if cum >= rank:
+            return min(0.0, self.max) if self.max < 0.0 else 0.0
+        for idx in sorted(self.buckets):
+            cum += self.buckets[idx]
+            if cum >= rank:
+                return min(_bucket_upper(idx), self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Add another histogram of the same metric into this one."""
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.zero += other.zero
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        return self
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "count": self.count,
+            "sum": self.sum,
+            "zero": self.zero,
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+        }
+        if self.count:
+            d["min"] = self.min
+            d["max"] = self.max
+            for q, key in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+                d[key] = self.quantile(q)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Histogram":
+        h = cls()
+        h.count = int(d.get("count", 0))
+        h.sum = float(d.get("sum", 0.0))
+        h.zero = int(d.get("zero", 0))
+        h.min = float(d.get("min", math.inf))
+        h.max = float(d.get("max", -math.inf))
+        h.buckets = {int(i): int(n) for i, n in d.get("buckets", {}).items()}
+        return h
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, p99={self.quantile(0.99):.4g})"
+
+
+class AgentMetrics:
+    """Per-registered-agent instrument bundle (the hot-path handle).
+
+    The engine attaches one of these to every registered agent when
+    metrics are on; the exact queue machines feed ``completions`` + the
+    wait/service/sojourn histograms at each completion, at its exact
+    event time, while ``arrivals`` mirrors the agent's always-on
+    telemetry counter at collect time (the submit path pays nothing).
+
+    Completions are the hottest metered path (once per finished job),
+    so :meth:`observe_completion` only appends the raw triple to a
+    bounded per-agent buffer; :meth:`flush` folds buffered samples into
+    the instruments in one tight batch loop.  Every registry read path
+    (collect/snapshot/value_of/merge/fingerprint) flushes first, so the
+    deferral is invisible to consumers — it just moves the bucket math
+    off the simulation's critical path and amortizes it per batch.
+    """
+
+    __slots__ = ("arrivals", "completions", "wait", "service", "sojourn",
+                 "_pending")
+
+    #: flush threshold — bounds buffered memory per agent while keeping
+    #: in-run flushes rare (most agents complete fewer jobs than this)
+    BATCH = 32768
+
+    def __init__(self, arrivals: Counter, completions: Counter,
+                 wait: Histogram, service: Histogram,
+                 sojourn: Histogram) -> None:
+        self.arrivals = arrivals
+        self.completions = completions
+        self.wait = wait
+        self.service = service
+        self.sojourn = sojourn
+        self._pending: List[Tuple[float, float, float]] = []
+
+    def observe_completion(self, wait: float, service: float,
+                           sojourn: float) -> None:
+        p = self._pending
+        p.append((wait, service, sojourn))
+        if len(p) >= self.BATCH:
+            self.flush()
+
+    def flush(self, _ceil=math.ceil, _log2=math.log2) -> None:
+        """Fold buffered completion samples into the instruments."""
+        p = self._pending
+        if not p:
+            return
+        self.completions.value += len(p)
+        scale = _LOG2_SCALE
+        for col, h in enumerate((self.wait, self.service, self.sojourn)):
+            # hoist the histogram fields into locals for the batch loop
+            cnt = h.count
+            s = h.sum
+            mn = h.min
+            mx = h.max
+            z = h.zero
+            b = h.buckets
+            for triple in p:
+                v = triple[col]
+                cnt += 1
+                s += v
+                if v < mn:
+                    mn = v
+                if v > mx:
+                    mx = v
+                if v <= 0.0:
+                    z += 1
+                else:
+                    idx = _ceil(_log2(v) * scale)
+                    b[idx] = b.get(idx, 0) + 1
+            h.count = cnt
+            h.sum = s
+            h.min = mn
+            h.max = mx
+            h.zero = z
+        p.clear()
+
+
+# ----------------------------------------------------------------------
+# label handling
+# ----------------------------------------------------------------------
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _key(name: str, labels: Optional[Dict[str, Any]]) -> str:
+    if not labels:
+        return name
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{body}}}"
+
+
+def split_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of the key rendering: ``name{a="b"}`` -> (name, labels)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in rest.rstrip("}").split('",'):
+        if not part:
+            continue
+        k, _, v = part.partition('="')
+        labels[k.strip()] = v.rstrip('"')
+    return name, labels
+
+
+class MetricsRegistry:
+    """Names + labels to instruments, with snapshot/export/merge.
+
+    Instruments are memoized by rendered key (``name{a="b"}``) so
+    repeated lookups on warm paths hit one dict; genuinely hot sites
+    (engine boundaries, agent submits/completions) cache the instrument
+    object itself and bump ``.value`` directly.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._agents: Dict[str, AgentMetrics] = {}
+        #: callbacks run before every snapshot/exposition to refresh
+        #: gauges from live state (tier utilization, queue depths...)
+        self._collect_hooks: List[Callable[["MetricsRegistry"], None]] = []
+
+    # ------------------------------------------------------------------
+    # instrument accessors
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _key(name, labels)
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter()
+        return c
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _key(name, labels)
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge()
+        return g
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = _key(name, labels)
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram()
+        return h
+
+    def agent(self, name: str) -> AgentMetrics:
+        """The per-agent handle the engine hands out at registration."""
+        am = self._agents.get(name)
+        if am is None:
+            am = AgentMetrics(
+                self.counter("agent_arrivals_total", agent=name),
+                self.counter("agent_completions_total", agent=name),
+                self.histogram("queue_wait_seconds", agent=name),
+                self.histogram("queue_service_seconds", agent=name),
+                self.histogram("queue_sojourn_seconds", agent=name),
+            )
+            self._agents[name] = am
+        return am
+
+    def add_collect_hook(
+        self, fn: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Register a gauge-refresh callback run before each export."""
+        self._collect_hooks.append(fn)
+
+    def collect(self) -> None:
+        """Flush deferred samples and run the gauge-refresh hooks
+        (idempotent between events)."""
+        for am in self._agents.values():
+            am.flush()
+        for fn in self._collect_hooks:
+            fn(self)
+
+    # ------------------------------------------------------------------
+    # queries (used by the SLO engine and `repro compare`)
+    # ------------------------------------------------------------------
+    def value_of(
+        self,
+        metric: str,
+        labels: Optional[Dict[str, Any]] = None,
+        quantile: Optional[float] = None,
+    ) -> Optional[float]:
+        """Aggregate value of every series of ``metric`` whose labels
+        contain ``labels``; ``None`` when no series matched.
+
+        Counters and gauges sum across matching series; histograms merge
+        and report ``quantile`` (default p50 when unset).
+        """
+        self.collect()
+        want = {k: str(v) for k, v in (labels or {}).items()}
+
+        def matches(key: str) -> bool:
+            name, got = split_key(key)
+            if name != metric:
+                return False
+            return all(got.get(k) == v for k, v in want.items())
+
+        total: Optional[float] = None
+        for store in (self._counters, self._gauges):
+            for key, inst in store.items():
+                if matches(key):
+                    total = (total or 0.0) + inst.value
+        if total is not None:
+            return total
+        merged: Optional[Histogram] = None
+        for key, hist in self._histograms.items():
+            if matches(key):
+                if merged is None:
+                    merged = Histogram()
+                merged.merge(hist)
+        if merged is None:
+            return None
+        return merged.quantile(0.5 if quantile is None else quantile)
+
+    # ------------------------------------------------------------------
+    # snapshot / export
+    # ------------------------------------------------------------------
+    def snapshot(self, meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One JSON-ready document of every instrument's current state."""
+        self.collect()
+        return {
+            "snapshot": "repro-metrics",
+            "version": 1,
+            "meta": dict(meta or {}),
+            "counters": {k: self._counters[k].value
+                         for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value
+                       for k in sorted(self._gauges)},
+            "histograms": {k: self._histograms[k].to_dict()
+                           for k in sorted(self._histograms)},
+        }
+
+    def write_snapshot(self, path, meta: Optional[Dict[str, Any]] = None) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(meta), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def jsonl_lines(self, meta: Optional[Dict[str, Any]] = None) -> Iterator[str]:
+        """One JSON object per metric (streaming-pipeline friendly)."""
+        snap = self.snapshot(meta)
+        yield json.dumps({"type": "meta", **snap["meta"]}, sort_keys=True)
+        for kind in ("counters", "gauges"):
+            for key, value in snap[kind].items():
+                name, labels = split_key(key)
+                yield json.dumps(
+                    {"type": kind[:-1], "name": name, "labels": labels,
+                     "value": value}, sort_keys=True)
+        for key, hist in snap["histograms"].items():
+            name, labels = split_key(key)
+            yield json.dumps(
+                {"type": "histogram", "name": name, "labels": labels,
+                 **hist}, sort_keys=True)
+
+    def write_jsonl(self, path, meta: Optional[Dict[str, Any]] = None) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in self.jsonl_lines(meta):
+                fh.write(line + "\n")
+
+    def openmetrics(self) -> str:
+        """OpenMetrics / Prometheus text exposition of the registry."""
+        self.collect()
+        lines: List[str] = []
+        seen_families = set()
+
+        def family(name: str, kind: str) -> None:
+            base = name[:-6] if kind == "counter" and name.endswith("_total") \
+                else name
+            if base not in seen_families:
+                seen_families.add(base)
+                lines.append(f"# TYPE {base} {kind}")
+
+        for key in sorted(self._counters):
+            name, _ = split_key(key)
+            family(name, "counter")
+            lines.append(f"{key} {_fmt(self._counters[key].value)}")
+        for key in sorted(self._gauges):
+            name, _ = split_key(key)
+            family(name, "gauge")
+            lines.append(f"{key} {_fmt(self._gauges[key].value)}")
+        for key in sorted(self._histograms):
+            name, labels = split_key(key)
+            family(name, "histogram")
+            hist = self._histograms[key]
+            cum = hist.zero
+            if hist.zero:
+                lines.append(_hist_sample(name, labels, "0", cum))
+            for idx in sorted(hist.buckets):
+                cum += hist.buckets[idx]
+                lines.append(
+                    _hist_sample(name, labels, _fmt(_bucket_upper(idx)), cum))
+            lines.append(_hist_sample(name, labels, "+Inf", hist.count))
+            suffix = _key("", labels)[0:] if labels else ""
+            lines.append(f"{name}_count{suffix} {hist.count}")
+            lines.append(f"{name}_sum{suffix} {_fmt(hist.sum)}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+    def write_openmetrics(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.openmetrics())
+
+    # ------------------------------------------------------------------
+    # merge / serialization / fingerprint
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in (counters add, gauges last-wins,
+        histograms merge bucket-wise)."""
+        self.collect()
+        other.collect()
+        for key, c in other._counters.items():
+            self._counters.setdefault(key, Counter()).value += c.value
+        for key, g in other._gauges.items():
+            self._gauges.setdefault(key, Gauge()).value = g.value
+        for key, h in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self._histograms[key] = Histogram()
+            mine.merge(h)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full state for serialization (restored by :meth:`from_dict`)."""
+        self.collect()
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {k: h.to_dict()
+                           for k, h in sorted(self._histograms.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "MetricsRegistry":
+        reg = cls()
+        for key, value in d.get("counters", {}).items():
+            reg._counters[key] = Counter(value)
+        for key, value in d.get("gauges", {}).items():
+            reg._gauges[key] = Gauge(value)
+        for key, hist in d.get("histograms", {}).items():
+            reg._histograms[key] = Histogram.from_dict(hist)
+        return reg
+
+    def fingerprint_lines(
+        self, exclude_prefixes: Tuple[str, ...] = ("engine_",)
+    ) -> Iterator[str]:
+        """Deterministic digest feed (counters + histograms only).
+
+        Gauges are excluded because several are wall-clock derived
+        (sim/wall ratio).  ``engine_*`` series are excluded by default:
+        they count loop mechanics (boundary processings), and a resumed
+        run's replay legitimately performs extra horizon drains — the
+        same reason the checkpoint fingerprint skips the wake heap.
+        """
+        self.collect()
+        for key in sorted(self._counters):
+            if key.startswith(exclude_prefixes):
+                continue
+            yield f"c|{key}|{float(self._counters[key].value).hex()}"
+        for key in sorted(self._histograms):
+            if key.startswith(exclude_prefixes):
+                continue
+            h = self._histograms[key]
+            buckets = ",".join(f"{i}:{n}" for i, n in sorted(h.buckets.items()))
+            yield (f"h|{key}|{h.count}|{float(h.sum).hex()}|{h.zero}|"
+                   f"{buckets}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)})")
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _hist_sample(name: str, labels: Dict[str, str], le: str, n: int) -> str:
+    merged = dict(labels)
+    merged["le"] = le
+    return f"{_key(name + '_bucket', merged)} {n}"
+
+
+def make_registry(
+    metrics: Union[None, bool, str, MetricsRegistry],
+) -> Optional[MetricsRegistry]:
+    """Build a registry from a metrics-mode spec.
+
+    Accepts ``None`` / ``False`` / ``"null"`` / ``"none"`` / ``"off"`` /
+    ``""`` (disabled — returns ``None``, the zero-cost path), ``True`` /
+    ``"on"`` / ``"full"`` (a fresh registry), or an existing
+    :class:`MetricsRegistry` (returned as-is).
+    """
+    if metrics is None or metrics is False:
+        return None
+    if isinstance(metrics, MetricsRegistry):
+        return metrics
+    if metrics is True:
+        return MetricsRegistry()
+    if isinstance(metrics, str):
+        spec = metrics.strip().lower()
+        if spec in ("null", "none", "off", ""):
+            return None
+        if spec in ("on", "full"):
+            return MetricsRegistry()
+    raise ValueError(f"unknown metrics spec {metrics!r}")

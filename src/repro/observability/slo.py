@@ -1,0 +1,204 @@
+"""In-sim SLO rules engine.
+
+Scenario JSON can carry an ``slo:`` block — a list of rules evaluated
+against the live :class:`~repro.observability.metrics.MetricsRegistry`
+on an engine monitor cadence.  A rule that starts (or stops) violating
+emits a structured ``alert`` event into the run's
+:class:`~repro.observability.events.EventLog`; the end-of-run
+:class:`SLOReport` gives the pass/fail verdict per rule.
+
+Rule schema (all JSON-native)::
+
+    {"name": "cad-open-p99",
+     "metric": "operation_latency_seconds",
+     "labels": {"operation": "OPEN", "application": "CAD"},
+     "quantile": 0.99,
+     "max": 2.0}
+
+    {"name": "breaker-reject-rate",
+     "metric": "resilience_breaker_rejections_total",
+     "per": "agent_arrivals_total",          # ratio denominator
+     "max_ratio": 0.01}
+
+``max`` / ``min`` bound the metric value itself (histograms evaluate at
+``quantile``, default p50; counters/gauges sum across matching series).
+``max_ratio`` bounds ``metric / per``.  A rule with no data yet does
+not violate — it reports ``value=None`` and passes vacuously.
+
+Determinism: the checker runs inside engine monitors, which observe but
+never perturb the simulation, and its evaluation cadence is part of the
+monitor deadline set already covered by the checkpoint fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .events import EventLog
+from .metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One declarative objective over a registry metric."""
+
+    name: str
+    metric: str
+    labels: Dict[str, str] = field(default_factory=dict)
+    quantile: Optional[float] = None
+    max: Optional[float] = None
+    min: Optional[float] = None
+    per: Optional[str] = None
+    per_labels: Dict[str, str] = field(default_factory=dict)
+    max_ratio: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max is None and self.min is None and self.max_ratio is None:
+            raise ValueError(
+                f"SLO rule {self.name!r} needs at least one bound "
+                "(max, min or max_ratio)")
+        if self.max_ratio is not None and self.per is None:
+            raise ValueError(
+                f"SLO rule {self.name!r}: max_ratio requires 'per'")
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "SLORule":
+        known = {"name", "metric", "labels", "quantile", "max", "min",
+                 "per", "per_labels", "max_ratio"}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SLO rule fields: {sorted(unknown)}")
+        return cls(
+            name=d["name"],
+            metric=d["metric"],
+            labels=dict(d.get("labels", {})),
+            quantile=d.get("quantile"),
+            max=d.get("max"),
+            min=d.get("min"),
+            per=d.get("per"),
+            per_labels=dict(d.get("per_labels", {})),
+            max_ratio=d.get("max_ratio"),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"name": self.name, "metric": self.metric}
+        if self.labels:
+            d["labels"] = dict(self.labels)
+        for key in ("quantile", "max", "min", "per", "max_ratio"):
+            value = getattr(self, key)
+            if value is not None:
+                d[key] = value
+        if self.per_labels:
+            d["per_labels"] = dict(self.per_labels)
+        return d
+
+    # ------------------------------------------------------------------
+    def evaluate(self, registry: MetricsRegistry) -> Dict[str, Any]:
+        """One evaluation: ``{'rule', 'value', 'violated', 'bound'}``."""
+        value = registry.value_of(self.metric, self.labels, self.quantile)
+        row: Dict[str, Any] = {"rule": self.name, "value": value,
+                               "violated": False, "bound": None}
+        if self.max_ratio is not None:
+            den = registry.value_of(self.per, self.per_labels)
+            if value is None or den is None or den == 0:
+                row["value"] = None
+                return row
+            ratio = value / den
+            row["value"] = ratio
+            row["bound"] = f"ratio <= {self.max_ratio}"
+            row["violated"] = ratio > self.max_ratio
+            return row
+        if value is None:
+            return row
+        if self.max is not None and value > self.max:
+            row["violated"] = True
+            row["bound"] = f"<= {self.max}"
+        elif self.min is not None and value < self.min:
+            row["violated"] = True
+            row["bound"] = f">= {self.min}"
+        else:
+            row["bound"] = (f"<= {self.max}" if self.max is not None
+                            else f">= {self.min}")
+        return row
+
+
+def parse_slo_block(block: Any) -> List[SLORule]:
+    """Parse a scenario-JSON ``slo`` block (list of rule dicts)."""
+    if block is None:
+        return []
+    if not isinstance(block, (list, tuple)):
+        raise ValueError("slo block must be a list of rule objects")
+    return [rule if isinstance(rule, SLORule) else SLORule.from_dict(rule)
+            for rule in block]
+
+
+@dataclass
+class SLOReport:
+    """End-of-run pass/fail verdict across every rule."""
+
+    rows: List[Dict[str, Any]]
+    alerts: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not any(row["violated"] for row in self.rows)
+
+    def table(self) -> str:
+        lines = [f"{'rule':<28} {'value':>12} {'bound':>16} verdict"]
+        for row in self.rows:
+            value = ("-" if row["value"] is None
+                     else f"{row['value']:.6g}")
+            bound = row["bound"] or "-"
+            verdict = "FAIL" if row["violated"] else "ok"
+            lines.append(f"{row['rule']:<28} {value:>12} {bound:>16} "
+                         f"{verdict}")
+        lines.append(f"slo: {'FAIL' if not self.passed else 'PASS'} "
+                     f"({sum(r['violated'] for r in self.rows)} violated, "
+                     f"{self.alerts} alerts)")
+        return "\n".join(lines)
+
+
+class SLOChecker:
+    """Evaluates the rules on a monitor cadence and emits alert events.
+
+    Alert events are edge-triggered: one ``alert`` event when a rule
+    starts violating, one ``alert_cleared`` when it recovers — not one
+    per evaluation — so the event log stays proportional to state
+    changes, not run length.
+    """
+
+    def __init__(self, rules: List[SLORule], registry: MetricsRegistry,
+                 events: Optional[EventLog] = None) -> None:
+        self.rules = list(rules)
+        self.registry = registry
+        self.events = events
+        self.alerts = 0
+        self._violating: Dict[str, bool] = {r.name: False for r in self.rules}
+
+    def check(self, now: float) -> None:
+        """Monitor callback: evaluate every rule at sim-time ``now``."""
+        self.registry.collect()
+        for rule in self.rules:
+            row = rule.evaluate(self.registry)
+            was = self._violating[rule.name]
+            is_violating = bool(row["violated"])
+            if is_violating and not was:
+                self.alerts += 1
+                if self.events is not None:
+                    self.events.emit(
+                        "alert", now, rule=rule.name, metric=rule.metric,
+                        value=row["value"], bound=row["bound"])
+            elif was and not is_violating:
+                if self.events is not None:
+                    self.events.emit(
+                        "alert_cleared", now, rule=rule.name,
+                        metric=rule.metric, value=row["value"])
+            self._violating[rule.name] = is_violating
+
+    def report(self) -> SLOReport:
+        """Final evaluation of every rule against the current registry."""
+        self.registry.collect()
+        rows = [rule.evaluate(self.registry) for rule in self.rules]
+        return SLOReport(rows=rows, alerts=self.alerts)

@@ -159,9 +159,15 @@ class FCFSQueue(Agent):
                 if j.finish_at is not None and j.finish_at <= t + 1e-12]
         if done:
             self.in_service = [j for j in self.in_service if j not in done]
+            met = self._metrics
             for job in done:
                 self.completed_count += 1
                 job.finish_at = None
+                if met is not None:
+                    start = job.start_time if job.start_time is not None else t
+                    enq = job.enqueue_time if job.enqueue_time is not None \
+                        else start
+                    met.observe_completion(start - enq, t - start, t - enq)
                 job.finish(t)
         self._admit_at(t)
         if t > self._now:

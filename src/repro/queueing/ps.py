@@ -181,8 +181,14 @@ class PSQueue(Agent):
                     else:
                         keep.append(job)
                 self.active = keep
+        met = self._metrics
         for job in finished:
             self.completed_count += 1
+            if met is not None:
+                start = job.start_time if job.start_time is not None else t
+                enq = job.enqueue_time if job.enqueue_time is not None \
+                    else start
+                met.observe_completion(start - enq, t - start, t - enq)
             job.finish(t)
         self._admit_at(t)
         if t > self._share_anchor:

@@ -38,7 +38,7 @@ class CircuitBreaker:
     __slots__ = (
         "window_s", "min_calls", "failure_rate", "open_s",
         "half_open_probes", "state", "opened_at", "down", "opens",
-        "_events", "_probes_in_flight",
+        "_events", "_probes_in_flight", "_listener",
     )
 
     def __init__(
@@ -60,6 +60,9 @@ class CircuitBreaker:
         self.opens = 0
         self._events: Deque[Tuple[float, bool]] = deque()
         self._probes_in_flight = 0
+        # observability hook: called as ``listener(new_state, now)`` on
+        # every state transition; observes only, never steers the breaker
+        self._listener: Optional[Callable[[str, float], None]] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -89,6 +92,7 @@ class CircuitBreaker:
                 return False
             self.state = HALF_OPEN
             self._probes_in_flight = 0
+            self._notify(now)
         return self._probes_in_flight < self.half_open_probes
 
     def on_selected(self, now: float) -> None:
@@ -102,7 +106,7 @@ class CircuitBreaker:
         if self.state == HALF_OPEN:
             self._probes_in_flight = max(0, self._probes_in_flight - 1)
             if ok:
-                self._close()
+                self._close(now)
             else:
                 self._open(now)
             return
@@ -133,6 +137,7 @@ class CircuitBreaker:
             self.down = False
             self.state = HALF_OPEN
             self._probes_in_flight = 0
+            self._notify(now)
 
     # ------------------------------------------------------------------
     def _open(self, now: float) -> None:
@@ -140,11 +145,17 @@ class CircuitBreaker:
         self.opened_at = now
         self.opens += 1
         self._events.clear()
+        self._notify(now)
 
-    def _close(self) -> None:
+    def _close(self, now: float) -> None:
         self.state = CLOSED
         self._events.clear()
         self._probes_in_flight = 0
+        self._notify(now)
+
+    def _notify(self, now: float) -> None:
+        if self._listener is not None:
+            self._listener(self.state, now)
 
     def _trim(self, now: float) -> None:
         horizon = now - self.window_s
@@ -175,10 +186,47 @@ class ResilienceState:
         #: breaker factory per destination; set when a policy with
         #: breaking enabled first touches the destination
         self._factory: Callable[[], CircuitBreaker] = CircuitBreaker
+        # observability (attach_metrics): registry mirror of the
+        # counters, structured event stream for breaker transitions
+        self.metrics = None
+        self.events = None
+        self._mcounters: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def attach_metrics(self, registry, events=None) -> None:
+        """Mirror counters into a MetricsRegistry and stream breaker
+        transitions into an EventLog; observe-only, never perturbs."""
+        self.metrics = registry
+        self.events = events
+        if registry is not None:
+            self._mcounters = {
+                c: registry.counter(f"resilience_{c}_total")
+                for c in self.COUNTERS
+            }
+        for dest, br in self.breakers.items():
+            br._listener = self._transition_listener(dest)
+
+    def _transition_listener(self, dest: str):
+        def on_transition(state: str, now: float) -> None:
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "resilience_breaker_transitions_total",
+                    state=state).value += 1
+            if self.events is not None:
+                self.events.emit("breaker_transition", now,
+                                 dest=dest, state=state)
+        return on_transition
 
     # ------------------------------------------------------------------
     def count(self, name: str, n: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
+        mc = self._mcounters.get(name)
+        if mc is None:
+            if self.metrics is None:
+                return
+            mc = self._mcounters[name] = self.metrics.counter(
+                f"resilience_{name}_total")
+        mc.value += n
 
     def breaker(self, dest: str,
                 policy: Optional[ResiliencePolicy] = None) -> CircuitBreaker:
@@ -186,6 +234,8 @@ class ResilienceState:
         if br is None:
             br = (CircuitBreaker.from_policy(policy)
                   if policy is not None else self._factory())
+            if self.metrics is not None or self.events is not None:
+                br._listener = self._transition_listener(dest)
             self.breakers[dest] = br
         return br
 

@@ -78,10 +78,12 @@ class CascadeRunner:
         placement: Placement,
         seed: int | None = None,
         tracer=None,
+        metrics=None,
     ) -> None:
         self.topology = topology
         self.placement = placement
         self.tracer = tracer
+        self.metrics = metrics
         self.rng = random.Random(seed)
         self.records: List[OperationRecord] = []
         self.active_operations = 0
@@ -193,6 +195,20 @@ class CascadeRunner:
             self.records.append(record)
             if ctx is not None:
                 tracer.end_cascade(ctx, t, failed)
+            met = self.metrics
+            if met is not None:
+                met.counter("operations_total",
+                            operation=record.operation,
+                            application=record.application).value += 1
+                if failed:
+                    met.counter("operations_failed_total",
+                                operation=record.operation,
+                                application=record.application).value += 1
+                else:
+                    met.histogram("operation_latency_seconds",
+                                  operation=record.operation,
+                                  application=record.application,
+                                  ).observe(t - record.start)
             for obs in self._observers:
                 obs(record)
             if on_complete is not None:

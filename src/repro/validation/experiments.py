@@ -78,6 +78,7 @@ class ExperimentResult:
     records: List[OperationRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
     profile: object = None  # EngineProfiler when run with profile=True
+    metrics: object = None  # MetricsRegistry when run with metrics="on"
 
     def steady_cpu_stats(self, tier: str) -> SteadyStateStats:
         """Table 5.2 entry: steady-state CPU moments for one tier."""
@@ -131,6 +132,7 @@ def run_experiment(
     profile: bool = False,
     horizon: Optional[float] = None,
     mode: str = "event",
+    metrics: object = None,
 ) -> ExperimentResult:
     """Run one validation experiment and collect its measurement series.
 
@@ -203,7 +205,8 @@ def run_experiment(
         seed=seed,
         setup=setup,
     )
-    session = scenario.prepare(dt=dt, mode=mode, trace=trace, profile=profile)
+    session = scenario.prepare(dt=dt, mode=mode, trace=trace, profile=profile,
+                               metrics=metrics)
     collector = session.collector
 
     t0 = _wallclock.perf_counter()
@@ -218,6 +221,7 @@ def run_experiment(
         records=list(session.runner.records),
         wall_seconds=wall,
         profile=session.sim.profiler,
+        metrics=session.metrics,
     )
     result.clients = collector.series("clients")
     for tier_kind in TIERS:
