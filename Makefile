@@ -2,9 +2,9 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench bench-full bench-engine examples \
-        trace-demo resilience-demo checkpoint-roundtrip metrics-compare \
-        lint clean
+.PHONY: install test test-fast test-cov test-deep verify-oracles bench \
+        bench-full bench-engine examples trace-demo resilience-demo \
+        checkpoint-roundtrip metrics-compare lint clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -14,6 +14,17 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+test-cov:  ## coverage-gated suite (needs pytest-cov; CI ratchet lives here)
+	$(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing \
+	    --cov-fail-under=75
+
+test-deep:  ## wide hypothesis sweep (nightly CI profile)
+	HYPOTHESIS_PROFILE=deep $(PYTHON) -m pytest tests/
+
+verify-oracles:  ## differential sweep: simulated stations vs. closed forms
+	PYTHONPATH=src $(PYTHON) -m repro verify --report verify_report.json
+	@echo "verify-oracles: wrote verify_report.json"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -223,12 +223,13 @@ class Scenario:
         resilience: Any = None,
         metrics: Any = None,
         slo: Any = None,
+        invariants: Any = None,
     ) -> "SimulationSession":
         """Build the engine, register the topology and wire the runner."""
         return SimulationSession(
             self, dt=dt, mode=mode, trace=trace, profile=profile,
             collect=collect, resilience=resilience, metrics=metrics,
-            slo=slo,
+            slo=slo, invariants=invariants,
         )
 
 
@@ -278,6 +279,7 @@ class SimulationSession:
         resilience: Any = None,
         metrics: Any = None,
         slo: Any = None,
+        invariants: Any = None,
     ) -> None:
         if scenario.topology is None:
             raise ConfigurationError("scenario has no topology")
@@ -301,7 +303,14 @@ class SimulationSession:
             EventLog() if registry is not None else None
         )
         self.sim = Simulator(dt=dt, mode=mode, trace=trace, profile=profile,
-                             metrics=registry)
+                             metrics=registry, invariants=invariants)
+        self.invariants = self.sim.invariants
+        if self.invariants is not None:
+            # violations surface through the structured event log (when
+            # metered) and the checker can recompute session fingerprints
+            if self.events is not None:
+                self.invariants.attach_events(self.events)
+            self.invariants.attach_session(self)
         self.streams = RandomStreams(scenario.seed)
         topo = scenario.topology
         for dc in topo.datacenters.values():
@@ -542,6 +551,7 @@ class SimulationSession:
             metrics=self.metrics,
             events=self.events,
             slo=self.slo_checker,
+            invariants=self.invariants,
         )
 
 
@@ -562,6 +572,14 @@ class SimulationResult:
     metrics: Optional[MetricsRegistry] = None
     events: Optional[EventLog] = None
     slo: Any = None
+    invariants: Any = None
+
+    # ------------------------------------------------------------------
+    # verification accessors
+    # ------------------------------------------------------------------
+    def invariant_report(self) -> Optional[Dict[str, Any]]:
+        """Summary of the runtime invariant checks (``None`` when off)."""
+        return None if self.invariants is None else self.invariants.report()
 
     # ------------------------------------------------------------------
     # metrics accessors
@@ -705,6 +723,7 @@ def simulate(
     resilience: Any = None,
     metrics: Any = None,
     slo: Any = None,
+    invariants: Any = None,
     checkpoint_every: Optional[float] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
     resume_from: Optional[Union[str, Path]] = None,
@@ -756,6 +775,17 @@ def simulate(
         falls back to the scenario's ``slo`` field; a non-empty block
         auto-enables metrics.  Violations emit ``alert`` events and the
         verdict is available as ``result.slo_report()``.
+    invariants:
+        Runtime invariant checking: ``None``/``"null"`` (off — the
+        default; zero hot-path cost), ``"strict"`` (raise
+        :class:`~repro.core.errors.InvariantViolation` on the first
+        failed conservation law), ``"warn"`` (collect violations, emit
+        ``invariant_violation`` events, finish the run), ``"full"``
+        (strict plus Little's-law reconciliation and fingerprint
+        stability), or a prebuilt
+        :class:`~repro.verification.invariants.InvariantChecker`.
+        Checks run at every monitor boundary and observe without
+        perturbing; the verdict is ``result.invariant_report()``.
     checkpoint_every:
         Write a crash-recovery checkpoint every this many simulated
         seconds (requires ``checkpoint_path``).
@@ -793,6 +823,7 @@ def simulate(
     session = scenario.prepare(
         dt=dt, mode=mode, trace=trace, profile=profile, collect=collect,
         resilience=resilience, metrics=metrics, slo=slo,
+        invariants=invariants,
     )
     if checkpoint_every is not None:
         session._until = until

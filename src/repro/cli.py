@@ -250,22 +250,31 @@ def _cmd_trace_des(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.observability.compare import compare_paths
-
+def _parse_metric_tolerances(specs, prog: str):
+    """Parse repeated ``FRAGMENT=FLOAT`` overrides; None on bad input."""
     overrides = {}
-    for spec in args.metric_tolerance or ():
+    for spec in specs or ():
         fragment, _, value = spec.partition("=")
-        if not value:
-            print(f"repro compare: error: --metric-tolerance expects "
+        if not fragment or not value:
+            print(f"{prog}: error: --metric-tolerance expects "
                   f"FRAGMENT=FLOAT, got {spec!r}", file=sys.stderr)
-            return 2
+            return None
         try:
             overrides[fragment] = float(value)
         except ValueError:
-            print(f"repro compare: error: bad tolerance in {spec!r}",
+            print(f"{prog}: error: bad tolerance in {spec!r}",
                   file=sys.stderr)
-            return 2
+            return None
+    return overrides
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.observability.compare import compare_paths
+
+    overrides = _parse_metric_tolerances(args.metric_tolerance,
+                                         "repro compare")
+    if overrides is None:
+        return 2
     try:
         report, code = compare_paths(
             args.baseline, args.candidate,
@@ -282,6 +291,69 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print("repro compare: --no-gate set; exiting 0 despite "
               f"{'regressions' if code == 1 else 'incomparability'}")
         return 0
+    return code
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.verification import run_sweeps
+
+    overrides = _parse_metric_tolerances(args.metric_tolerance,
+                                         "repro verify")
+    if overrides is None:
+        return 2
+    replications = args.replications
+    horizon = args.horizon
+    if args.quick:
+        replications = min(replications, 3)
+        horizon = min(horizon, 300.0)
+    report = run_sweeps(
+        replications=replications, horizon=horizon,
+        base_seed=args.seed, rate_fault=args.rate_fault,
+        tolerance_overrides=overrides,
+    )
+    print(report.table())
+    if args.verbose:
+        print()
+        print(report.comparison.table(include_ok=True))
+    code = report.exit_code
+    document = report.to_document()
+    if args.parity:
+        from repro.verification import check_windows
+
+        results = check_windows()
+        document["parity"] = [r.to_row() for r in results]
+        for r in results:
+            verdict = "ok" if r.identical else "FAIL"
+            print(f"parity {r.scenario:<24} until={r.until:g} "
+                  f"records={r.records} event==adaptive: {verdict}")
+            if not r.identical:
+                print(f"  mismatched: {', '.join(r.mismatches)}")
+                code = 1
+    if args.invariants:
+        from repro.api import Collect, simulate
+        from repro.core.errors import InvariantViolation
+
+        try:
+            result = simulate(
+                "consolidation", until=args.invariant_until,
+                invariants="strict",
+                collect=Collect(sample_interval=6.0),
+            )
+            inv = result.invariant_report()
+            document["invariants"] = inv
+            print(f"invariants consolidation until="
+                  f"{args.invariant_until:g}: "
+                  f"{inv['boundaries']} boundaries checked, ok")
+        except InvariantViolation as exc:
+            document["invariants"] = {"ok": False, "error": str(exc)}
+            print(f"invariants: VIOLATION: {exc}", file=sys.stderr)
+            code = 1
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+        print(f"wrote verification report to {args.report}")
     return code
 
 
@@ -371,6 +443,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-gate", action="store_true",
                    help="report regressions but exit 0 (CI smoke mode)")
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential verification against closed-form oracles",
+        description="Sweep the exact queueing stations (FCFS, PSk, "
+                    "fork-join, CPU/NIC/link/RAID) against the App. A "
+                    "closed forms with replication confidence intervals; "
+                    "nonzero exit when any oracle disagrees.")
+    p.add_argument("--replications", type=int, default=4,
+                   help="independent replications per sweep point")
+    p.add_argument("--horizon", type=float, default=600.0,
+                   help="simulated seconds per replication (scaled up "
+                        "for slow-converging cases)")
+    p.add_argument("--seed", type=int, default=20260806,
+                   help="base seed for the replication streams")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-PR sizing: at most 3 replications x 300 s")
+    p.add_argument("--rate-fault", type=float, default=1.0,
+                   help="deliberately scale every service rate (1.0 = "
+                        "nominal; e.g. 0.7 demonstrates the gate "
+                        "catching a 30%% service slowdown)")
+    p.add_argument("--metric-tolerance", action="append", metavar="FRAG=TOL",
+                   help="per-case override for the compare-style gate "
+                        "(repeatable)")
+    p.add_argument("--parity", action="store_true",
+                   help="also check event==adaptive parity on sampled "
+                        "scenario windows")
+    p.add_argument("--invariants", action="store_true",
+                   help="also run the consolidation slice with the "
+                        "strict runtime invariant checker armed")
+    p.add_argument("--invariant-until", type=float, default=120.0,
+                   help="horizon of the --invariants slice")
+    p.add_argument("--report", metavar="PATH",
+                   help="write the JSON verification report here")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print the compare-style table")
+    p.set_defaults(func=_cmd_verify)
     return parser
 
 

@@ -35,7 +35,7 @@ import heapq
 import itertools
 import time as _time
 from collections import defaultdict
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.agent import Agent, Holon
 from repro.core.clock import SimClock
@@ -89,6 +89,13 @@ class Simulator:
         ``"on"``/``"full"``, or a prebuilt
         :class:`~repro.observability.metrics.MetricsRegistry` (shared
         across engine, queues, resilience and cascades).
+    invariants:
+        Invariant-checker mode: ``None``/``"null"`` (off, zero hot-path
+        cost), ``"strict"``/``"warn"``/``"full"``, or a prebuilt
+        :class:`~repro.verification.invariants.InvariantChecker`.  When
+        armed, conservation laws are asserted after every monitor phase
+        and at the end of each run; the checks are pure reads, so an
+        armed run produces bit-identical results.
     """
 
     def __init__(
@@ -98,9 +105,18 @@ class Simulator:
         trace: Union[None, str, TraceRecorder] = None,
         profile: bool = False,
         metrics: Union[None, bool, str, MetricsRegistry] = None,
+        invariants: Any = None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"unknown stepping mode {mode!r}")
+        if invariants is not None:
+            # lazy import: the null path must not pay for (or depend on)
+            # the verification package
+            from repro.verification.invariants import make_checker
+
+            self.invariants = make_checker(invariants)
+        else:
+            self.invariants = None
         self.clock = SimClock(dt=dt)
         self.mode = mode
         self.trace: Optional[TraceRecorder] = make_recorder(trace)
@@ -287,6 +303,8 @@ class Simulator:
                 if agent.idle():
                     self._active.pop(agent, None)
                     self._legacy.pop(agent, None)
+            if self.invariants is not None:
+                self.invariants.on_run_end(self.clock.now, self)
         finally:
             self._running = False
             if prof is not None:
@@ -498,6 +516,10 @@ class Simulator:
             mon.next_due = due + mon.interval
             heapq.heappush(mh, (mon.next_due, seq, mon))
             mon.fn(due)
+        # invariant sweep after the monitor phase: agents are synced to
+        # ``now`` and the checks are pure reads (observe, never perturb)
+        if self.invariants is not None:
+            self.invariants.on_boundary(now, self)
 
     # ------------------------------------------------------------------
     @property

@@ -32,6 +32,18 @@ class ResilienceError(SimulationError, ValueError):
     """
 
 
+class InvariantViolation(SimulationError):
+    """A runtime conservation/consistency invariant failed mid-run.
+
+    Raised by :class:`repro.verification.InvariantChecker` in ``strict``
+    mode when a check fails at a monitor boundary — e.g. a negative
+    queue length, a non-monotone agent clock, more busy server-seconds
+    accrued than the wall window allows, or a flow-conservation deficit
+    (``arrivals != completions + in_flight + drops``).  The message
+    carries the simulation time, the failing check and the agent.
+    """
+
+
 class CheckpointError(SimulationError):
     """A checkpoint file is unreadable, incompatible with the scenario it
     is being resumed into, or fails the state-hash invariant after the

@@ -133,6 +133,7 @@ def run_experiment(
     horizon: Optional[float] = None,
     mode: str = "event",
     metrics: object = None,
+    invariants: object = None,
 ) -> ExperimentResult:
     """Run one validation experiment and collect its measurement series.
 
@@ -206,7 +207,7 @@ def run_experiment(
         setup=setup,
     )
     session = scenario.prepare(dt=dt, mode=mode, trace=trace, profile=profile,
-                               metrics=metrics)
+                               metrics=metrics, invariants=invariants)
     collector = session.collector
 
     t0 = _wallclock.perf_counter()

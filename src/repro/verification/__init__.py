@@ -1,0 +1,51 @@
+"""Differential verification subsystem (thesis App. A + ch. 5 practice).
+
+Three pillars keep the simulator honest as it grows:
+
+- :mod:`repro.verification.oracles` — parameter sweeps of the exact
+  stations against the closed-form queueing results, gated through the
+  :mod:`repro.observability.compare` machinery
+  (``python -m repro verify`` / ``make verify-oracles``);
+- :mod:`repro.verification.invariants` — a pluggable engine hook that
+  asserts conservation laws at every monitor boundary
+  (``simulate(invariants="strict")``), zero-cost when off;
+- :mod:`repro.verification.properties` — hypothesis strategies driving
+  the invariant checker as the property (see ``tests/verification``).
+
+:mod:`repro.verification.parity` adds the event ≡ adaptive sampled-
+window check that the stepping-kernel contract promises.
+"""
+
+from repro.verification.invariants import (
+    ALL_CHECKS,
+    DEFAULT_CHECKS,
+    InvariantChecker,
+    Violation,
+    make_checker,
+)
+from repro.verification.oracles import (
+    OracleCase,
+    OracleReport,
+    OracleResult,
+    run_case,
+    run_sweeps,
+    standard_sweeps,
+)
+from repro.verification.parity import ParityResult, check_window, check_windows
+
+__all__ = [
+    "ALL_CHECKS",
+    "DEFAULT_CHECKS",
+    "InvariantChecker",
+    "Violation",
+    "make_checker",
+    "OracleCase",
+    "OracleReport",
+    "OracleResult",
+    "run_case",
+    "run_sweeps",
+    "standard_sweeps",
+    "ParityResult",
+    "check_window",
+    "check_windows",
+]

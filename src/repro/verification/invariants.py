@@ -1,0 +1,366 @@
+"""Runtime invariant checker: conservation laws at monitor boundaries.
+
+The checker is a pluggable engine hook following the same null-object
+pattern as :class:`~repro.observability.trace.TraceRecorder` and
+:class:`~repro.observability.metrics.MetricsRegistry`: ``make_checker``
+returns ``None`` for the off modes, so an unchecked run pays exactly one
+``is not None`` test per boundary and is bit-identical to a build that
+predates the checker.
+
+When armed, the engine calls :meth:`InvariantChecker.on_boundary` after
+every monitor phase (all active agents are already synced to ``now``)
+and :meth:`InvariantChecker.on_run_end` when ``run()`` returns.  Checks
+are pure reads — the checker observes but never perturbs, so an armed
+run produces the same records, series and checkpoint fingerprints as an
+unchecked one.
+
+Checks
+------
+``monotone``
+    The engine clock and every agent's local clock never move backwards,
+    and no agent's clock runs ahead of the engine.
+``non_negative``
+    Queue lengths and telemetry counters are non-negative; cumulative
+    busy time never decreases.
+``capacity``
+    Between two boundaries no station accrues more busy server-seconds
+    than ``window * capacity`` (work conservation's upper bound).
+    Applied to leaf queue stations, where busy accounting is crisp.
+``conservation``
+    Flow conservation per agent: ``arrivals == completions + in_flight
+    + drops`` with ``in_flight >= 0``.  Strict equality between
+    ``in_flight`` and the live queue length is asserted for leaf queue
+    stations fed through ``submit()``; composites (RAID stripes fan one
+    parent job into n sub-jobs) get the weaker drained-implies-settled
+    form.  Shed jobs never enter ``arrivals`` (admission refuses them),
+    so shedding needs no term here.
+``littles_law``
+    Optional (armed by the ``"full"`` spec): a boundary-sampled
+    time-average queue length per leaf station is reconciled against
+    ``completions * mean_sojourn / elapsed`` from the per-agent metrics
+    histograms.  Both are estimators, so the tolerance is loose and the
+    check only arms after ``min_completions``.
+``fingerprint``
+    Optional (armed by ``"full"`` when a session is attached): the
+    checkpoint state fingerprint is computed twice every
+    ``fingerprint_every`` boundaries and must be identical — hashing
+    must be a pure function of state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.errors import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.agent import Agent
+    from repro.core.engine import Simulator
+
+_EPS = 1e-6
+_INF = float("inf")
+
+#: checks that run by default when the checker is armed
+DEFAULT_CHECKS = ("monotone", "non_negative", "capacity", "conservation")
+#: everything, including the statistical / expensive checks
+ALL_CHECKS = DEFAULT_CHECKS + ("littles_law", "fingerprint")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant check."""
+
+    time: float
+    check: str
+    agent: Optional[str]
+    detail: str
+
+    def __str__(self) -> str:
+        where = f" agent={self.agent}" if self.agent else ""
+        return f"[t={self.time:.6f}] {self.check}{where}: {self.detail}"
+
+
+def _leaf_stations(agents: Iterable["Agent"]) -> List["Agent"]:
+    """Registered leaf queue stations with crisp 1:1 job accounting."""
+    from repro.hardware.cpu import CPU, TimeSharedCPU
+    from repro.queueing.fcfs import FCFSQueue
+    from repro.queueing.ps import PSQueue
+
+    leaf = (FCFSQueue, PSQueue, TimeSharedCPU, CPU)
+    return [a for a in agents if isinstance(a, leaf)]
+
+
+class InvariantChecker:
+    """Asserts conservation laws at every monitor boundary.
+
+    Parameters
+    ----------
+    mode:
+        ``"strict"`` raises :class:`InvariantViolation` at the first
+        failure; ``"warn"`` records every violation (``.violations``)
+        and emits ``invariant_violation`` events when an event log is
+        attached, letting the run finish.
+    checks:
+        Iterable of check names (see module docstring); defaults to
+        :data:`DEFAULT_CHECKS`.
+    littles_tolerance:
+        Relative residual allowed between the two independent L
+        estimates (both are sampled estimators).
+    min_completions:
+        Little's-law reconciliation only arms for stations with at
+        least this many completions.
+    fingerprint_every:
+        Recompute the checkpoint fingerprint twice every N boundaries
+        (0 disables; needs :meth:`attach_session`).
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "strict",
+        checks: Optional[Iterable[str]] = None,
+        littles_tolerance: float = 0.35,
+        min_completions: int = 200,
+        fingerprint_every: int = 0,
+    ) -> None:
+        if mode not in ("strict", "warn"):
+            raise ValueError(f"invariant mode must be strict|warn, got {mode!r}")
+        chosen = tuple(checks) if checks is not None else DEFAULT_CHECKS
+        unknown = set(chosen) - set(ALL_CHECKS)
+        if unknown:
+            raise ValueError(f"unknown invariant checks: {sorted(unknown)}")
+        self.mode = mode
+        self.checks = frozenset(chosen)
+        self.littles_tolerance = float(littles_tolerance)
+        self.min_completions = int(min_completions)
+        self.fingerprint_every = int(fingerprint_every)
+        self.violations: List[Violation] = []
+        self.boundaries = 0
+        self._events = None
+        self._session = None
+        self._last_now = -_INF
+        # agent -> (last_local_time, last_busy_seconds)
+        self._state: Dict["Agent", Tuple[float, float]] = {}
+        # Little's law accumulators: agent -> [queue_len_integral, last_t]
+        self._l_int: Dict["Agent", List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_events(self, events: Any) -> None:
+        """Emit ``invariant_violation`` events into a structured log."""
+        self._events = events
+
+    def attach_session(self, session: Any) -> None:
+        """Enable the fingerprint-stability check against a session."""
+        self._session = session
+
+    # ------------------------------------------------------------------
+    # engine hooks
+    # ------------------------------------------------------------------
+    def on_boundary(self, now: float, sim: "Simulator") -> None:
+        """Run every armed check; called after the monitor phase."""
+        self.boundaries += 1
+        checks = self.checks
+        if "monotone" in checks and now < self._last_now - _EPS:
+            self._flag(now, "monotone", None,
+                       f"engine clock moved backwards: {self._last_now:.9f}"
+                       f" -> {now:.9f}")
+        window = now - self._last_now if self._last_now != -_INF else now
+        state = self._state
+        leaf = set(_leaf_stations(sim.agents))
+        for agent in sim.agents:
+            prev = state.get(agent)
+            last_local, last_busy = prev if prev is not None else (0.0, 0.0)
+            if "monotone" in checks:
+                lt = agent.local_time
+                if lt < last_local - _EPS:
+                    self._flag(now, "monotone", agent.name,
+                               f"local clock moved backwards: "
+                               f"{last_local:.9f} -> {lt:.9f}")
+                if lt > now + _EPS:
+                    self._flag(now, "monotone", agent.name,
+                               f"local clock t={lt:.9f} is ahead of the "
+                               f"engine t={now:.9f}")
+            busy = agent._busy_seconds()
+            qlen = agent.queue_length()
+            if "non_negative" in checks:
+                if qlen < 0:
+                    self._flag(now, "non_negative", agent.name,
+                               f"queue length {qlen} < 0")
+                if busy < last_busy - _EPS:
+                    self._flag(now, "non_negative", agent.name,
+                               f"busy time decreased: {last_busy:.9f} -> "
+                               f"{busy:.9f}")
+                if (agent.arrivals < 0 or agent.drops < 0
+                        or agent.shed < 0 or agent.retries < 0):
+                    self._flag(now, "non_negative", agent.name,
+                               "negative telemetry counter")
+            if ("capacity" in checks and prev is not None
+                    and window > _EPS and agent in leaf):
+                cap = agent.capacity()
+                if busy - last_busy > window * cap + _EPS * max(1.0, cap):
+                    self._flag(now, "capacity", agent.name,
+                               f"accrued {busy - last_busy:.9f} busy "
+                               f"server-seconds in a {window:.9f} s window "
+                               f"with capacity {cap:g}")
+            state[agent] = (agent.local_time, busy)
+        if "conservation" in checks:
+            self._check_conservation(now, sim)
+        if "littles_law" in checks:
+            self._accumulate_little(now, sim)
+        if ("fingerprint" in checks and self._session is not None
+                and self.fingerprint_every > 0
+                and self.boundaries % self.fingerprint_every == 0):
+            self._check_fingerprint(now)
+        self._last_now = now
+
+    def on_run_end(self, now: float, sim: "Simulator") -> None:
+        """Final boundary sweep plus the end-of-run reconciliations."""
+        self.on_boundary(now, sim)
+        if "littles_law" in self.checks:
+            self._check_little(now, sim)
+
+    # ------------------------------------------------------------------
+    # individual checks
+    # ------------------------------------------------------------------
+    def _check_conservation(self, now: float, sim: "Simulator") -> None:
+        leaf = set(_leaf_stations(sim.agents))
+        for agent in sim.agents:
+            completions = agent._completions()
+            if agent.arrivals == 0 and completions > 0:
+                # fed through enqueue() (internal sub-stage used
+                # standalone): the submit-side ledger never opened
+                continue
+            in_flight = agent.arrivals - completions - agent.drops
+            if in_flight < 0:
+                self._flag(now, "conservation", agent.name,
+                           f"negative in-flight: arrivals={agent.arrivals} "
+                           f"completions={completions} drops={agent.drops}")
+                continue
+            qlen = agent.queue_length()
+            if agent in leaf:
+                if in_flight != qlen:
+                    self._flag(
+                        now, "conservation", agent.name,
+                        f"arrivals != completions + queued + in-service + "
+                        f"drops: arrivals={agent.arrivals} "
+                        f"completions={completions} drops={agent.drops} "
+                        f"live={qlen}")
+            elif qlen == 0 and in_flight != 0:
+                # composites over-count live jobs mid-stripe, but a
+                # drained composite must have settled its ledger
+                self._flag(now, "conservation", agent.name,
+                           f"drained (queue empty) but in-flight="
+                           f"{in_flight}")
+
+    def _accumulate_little(self, now: float, sim: "Simulator") -> None:
+        for agent in _leaf_stations(sim.agents):
+            acc = self._l_int.get(agent)
+            if acc is None:
+                self._l_int[agent] = [0.0, now]
+                continue
+            integral, last_t = acc
+            if now > last_t:
+                # left-rectangle on the boundary-sampled queue length
+                acc[0] = integral + agent.queue_length() * (now - last_t)
+                acc[1] = now
+
+    def _check_little(self, now: float, sim: "Simulator") -> None:
+        for agent, (integral, _last) in self._l_int.items():
+            met = agent._metrics
+            if met is None or now <= _EPS:
+                continue
+            met.flush()
+            n = met.sojourn.count
+            if n < self.min_completions:
+                continue
+            l_sampled = integral / now
+            l_little = met.sojourn.sum / now  # = lambda_hat * W_bar
+            scale = max(l_sampled, l_little, 0.5)
+            residual = abs(l_sampled - l_little) / scale
+            if residual > self.littles_tolerance:
+                self._flag(now, "littles_law", agent.name,
+                           f"time-average L={l_sampled:.4f} vs "
+                           f"lambda*W={l_little:.4f} "
+                           f"(residual {residual:.2%} > "
+                           f"{self.littles_tolerance:.2%}, n={n})")
+
+    def _check_fingerprint(self, now: float) -> None:
+        from repro.core.checkpoint import state_fingerprint
+
+        a = state_fingerprint(self._session)["hash"]
+        b = state_fingerprint(self._session)["hash"]
+        if a != b:
+            self._flag(now, "fingerprint", None,
+                       f"state fingerprint is not a pure function of "
+                       f"state: {a[:12]} != {b[:12]}")
+
+    # ------------------------------------------------------------------
+    def _flag(self, now: float, check: str, agent: Optional[str],
+              detail: str) -> None:
+        v = Violation(now, check, agent, detail)
+        self.violations.append(v)
+        if self._events is not None:
+            self._events.emit("invariant_violation", now, check=check,
+                              agent=agent, detail=detail)
+        if self.mode == "strict":
+            raise InvariantViolation(str(v))
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-ready summary of what was checked and what failed."""
+        return {
+            "mode": self.mode,
+            "checks": sorted(self.checks),
+            "boundaries": self.boundaries,
+            "violations": [
+                {"time": v.time, "check": v.check, "agent": v.agent,
+                 "detail": v.detail}
+                for v in self.violations
+            ],
+            "ok": not self.violations,
+        }
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def make_checker(spec: Any) -> Optional[InvariantChecker]:
+    """Normalize an invariants spec into a checker (or ``None`` = off).
+
+    Accepted forms mirror the trace/metrics factories:
+
+    - ``None`` / ``False`` / ``"null"`` / ``"off"`` -> ``None`` (an
+      unchecked run stays bit-identical to one without the feature);
+    - ``True`` / ``"on"`` / ``"strict"`` -> strict checker with the
+      default checks;
+    - ``"warn"`` -> record-only checker (run finishes, violations
+      collected and emitted as events);
+    - ``"full"`` -> strict checker with every check armed, including
+      Little's-law reconciliation and fingerprint stability;
+    - a mapping -> keyword arguments for :class:`InvariantChecker`;
+    - a prebuilt :class:`InvariantChecker` -> used as-is.
+    """
+    if spec is None or spec is False:
+        return None
+    if isinstance(spec, InvariantChecker):
+        return spec
+    if isinstance(spec, str):
+        key = spec.lower()
+        if key in ("null", "off", "none", ""):
+            return None
+        if key in ("on", "strict", "true"):
+            return InvariantChecker(mode="strict")
+        if key == "warn":
+            return InvariantChecker(mode="warn")
+        if key == "full":
+            return InvariantChecker(mode="strict", checks=ALL_CHECKS,
+                                    fingerprint_every=8)
+        raise ValueError(f"unknown invariants mode {spec!r}")
+    if spec is True:
+        return InvariantChecker(mode="strict")
+    if isinstance(spec, dict):
+        return InvariantChecker(**spec)
+    raise TypeError(f"cannot build an invariant checker from {spec!r}")

@@ -1,0 +1,483 @@
+"""Differential oracle harness: simulated stations vs closed forms.
+
+Parameter sweeps drive the exact-event stations (FCFS, PSk, fork-join
+and the CPU/NIC/link/RAID hardware wrappers) with Poisson arrivals and
+compare steady-state estimates against the corresponding
+:mod:`repro.queueing.analytic` closed forms (thesis App. A).  Every
+case runs several independent replications; the verdict combines a
+direction-aware relative tolerance with a Student-t confidence interval
+over the replication means, so a short sweep stays deterministic (fixed
+seeds) without hard-coding a single noisy point estimate.
+
+The report also renders through :mod:`repro.observability.compare` —
+analytic values as the baseline document, simulated values as the
+candidate — so ``python -m repro verify`` gates exactly the way
+``python -m repro compare`` does, including ``--metric-tolerance``
+style overrides and the familiar table output.
+
+``rate_fault`` deliberately scales every station's service rate and is
+how the test-suite proves the gate catches a real bug: a 30 % service
+slowdown must trip both the tolerance and the CI check.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.engine import Simulator
+from repro.core.job import Job
+from repro.metrics.stats import ConfidenceInterval, confidence_interval
+from repro.observability.compare import ComparisonReport, compare
+from repro.queueing import analytic
+from repro.queueing.fcfs import FCFSQueue
+from repro.queueing.ps import PSQueue
+
+#: continuation signature used by the drivers: ``done(job, t)``
+Done = Callable[[Any, float], None]
+
+
+@dataclass
+class Station:
+    """What a sweep case exposes to the generic Poisson driver."""
+
+    agents: List[Any]
+    #: inject one arrival at ``now``; must invoke ``done(job, t)`` once
+    #: the whole request (all branches) completed
+    arrive: Callable[[float, Done], None]
+    busy: Callable[[], float]
+    queue_length: Callable[[], int]
+
+
+#: a builder returns a fresh station; ``fault`` scales the service rate
+#: (1.0 = nominal) and ``rng`` is the replication's service-draw stream
+Builder = Callable[[float, random.Random], Station]
+
+
+@dataclass(frozen=True)
+class OracleCase:
+    """One sweep point: a station generator plus its closed form."""
+
+    name: str
+    kendall: str
+    build: Builder
+    lam: float
+    analytic_value: float
+    metric: str = "sojourn"  # or "utilization"
+    tol_up: float = 0.12
+    tol_down: float = 0.12
+    horizon_scale: float = 1.0
+    note: str = ""
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one case: estimate, CI, verdict."""
+
+    case: OracleCase
+    mean: float
+    ci: Optional[ConfidenceInterval]
+    rel_error: float
+    passed: bool
+    reason: str
+    replication_means: List[float] = field(default_factory=list)
+
+    def to_row(self) -> Dict[str, Any]:
+        c = self.case
+        return {
+            "name": c.name,
+            "metric_key": _metric_key(c),
+            "kendall": c.kendall,
+            "metric": c.metric,
+            "analytic": c.analytic_value,
+            "simulated": self.mean,
+            "rel_error": self.rel_error,
+            "ci_half_width": None if self.ci is None else self.ci.half_width,
+            "replications": len(self.replication_means),
+            "passed": self.passed,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class OracleReport:
+    """All sweep results plus the compare-style gate."""
+
+    results: List[OracleResult]
+    comparison: ComparisonReport
+    rate_fault: float = 1.0
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.passed else 1
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "report": "repro-verify",
+            "rate_fault": self.rate_fault,
+            "passed": self.passed,
+            "cases": [r.to_row() for r in self.results],
+            "comparison": {
+                "tolerance": self.comparison.tolerance,
+                "regressions": len(self.comparison.regressions),
+                "rows": [
+                    {"metric": row.metric, "baseline": row.baseline,
+                     "candidate": row.candidate, "delta": row.delta,
+                     "direction": row.direction, "status": row.status}
+                    for row in self.comparison.rows
+                ],
+            },
+        }
+
+    def table(self) -> str:
+        lines = [f"{'case':<22} {'kendall':<18} {'analytic':>10} "
+                 f"{'simulated':>10} {'rel.err':>8} {'ci.hw':>8} verdict"]
+        for r in self.results:
+            hw = "-" if r.ci is None else f"{r.ci.half_width:.4f}"
+            lines.append(
+                f"{r.case.name:<22} {r.case.kendall:<18} "
+                f"{r.case.analytic_value:>10.4f} {r.mean:>10.4f} "
+                f"{r.rel_error:>+8.1%} {hw:>8} "
+                f"{'ok' if r.passed else 'FAIL'}"
+            )
+        verdict = "PASS" if self.passed else "FAIL"
+        n_fail = sum(not r.passed for r in self.results)
+        lines.append(f"verify: {verdict} ({len(self.results)} cases, "
+                     f"{n_fail} failures)")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# station builders
+# ----------------------------------------------------------------------
+def _queue_station(queue: Any, mu: float, scale: float = 1.0,
+                   demand: Optional[Callable[[random.Random], float]] = None,
+                   ) -> Callable[[random.Random], Station]:
+    """Wrap a single submit-fed station with exponential (or custom)
+    demand; ``scale`` converts seconds of nominal service into the
+    station's native work unit (cycles, bits, bytes)."""
+    def finish(rng: random.Random) -> Station:
+        draw = demand if demand is not None else (
+            lambda r: r.expovariate(mu))
+
+        def arrive(now: float, done: Done) -> None:
+            queue.submit(Job(draw(rng) * scale, on_complete=done), now)
+
+        return Station([queue], arrive, queue._busy_seconds,
+                       queue.queue_length)
+    return finish
+
+
+def mm1_builder(mu: float) -> Builder:
+    def build(fault: float, rng: random.Random) -> Station:
+        q = FCFSQueue("oracle.mm1", rate=fault)
+        return _queue_station(q, mu)(rng)
+    return build
+
+
+def mmc_builder(mu: float, c: int) -> Builder:
+    def build(fault: float, rng: random.Random) -> Station:
+        q = FCFSQueue("oracle.mmc", rate=fault, servers=c)
+        return _queue_station(q, mu)(rng)
+    return build
+
+
+def ps_builder(mu: float, deterministic: bool = False) -> Builder:
+    def build(fault: float, rng: random.Random) -> Station:
+        q = PSQueue("oracle.ps", rate=fault)
+        draw = ((lambda r: 1.0 / mu) if deterministic else None)
+        return _queue_station(q, mu, demand=draw)(rng)
+    return build
+
+
+def forkjoin_builder(mu: float, n: int) -> Builder:
+    """Homogeneous fork-join: every request forks one *independently*
+    drawn exponential task per branch and joins on the last (the
+    Nelson-Tantawi setting the closed-form approximation assumes)."""
+    def build(fault: float, rng: random.Random) -> Station:
+        branches = [FCFSQueue(f"oracle.fj{i}", rate=fault)
+                    for i in range(n)]
+
+        def arrive(now: float, done: Done) -> None:
+            remaining = [n]
+
+            def branch_done(job: Any, t: float) -> None:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done(job, t)
+
+            for b in branches:
+                b.submit(Job(rng.expovariate(mu),
+                             on_complete=branch_done), now)
+
+        return Station(
+            list(branches), arrive,
+            lambda: sum(b._busy_seconds() for b in branches),
+            lambda: sum(b.queue_length() for b in branches),
+        )
+    return build
+
+
+def nic_builder(mu: float, speed_bps: float = 1e6) -> Builder:
+    def build(fault: float, rng: random.Random) -> Station:
+        from repro.hardware.nic import NIC
+
+        nic = NIC("oracle.nic", speed_bps=speed_bps * fault)
+        return _queue_station(nic, mu, scale=speed_bps)(rng)
+    return build
+
+
+def cpu_builder(mu: float, cores: int, frequency_hz: float = 2.2e9
+                ) -> Builder:
+    def build(fault: float, rng: random.Random) -> Station:
+        from repro.hardware.cpu import CPU
+
+        cpu = CPU("oracle.cpu", frequency_hz=frequency_hz * fault,
+                  sockets=1, cores=cores)
+        return _queue_station(cpu, mu, scale=frequency_hz)(rng)
+    return build
+
+
+def link_builder(mu: float, bandwidth_bps: float = 1e6,
+                 latency_s: float = 0.005) -> Builder:
+    def build(fault: float, rng: random.Random) -> Station:
+        from repro.hardware.link import NetworkLink
+
+        link = NetworkLink("oracle.link", bandwidth_bps=bandwidth_bps * fault,
+                           latency_s=latency_s)
+        return _queue_station(link, mu, scale=bandwidth_bps)(rng)
+    return build
+
+
+def raid_builder(mu: float, n_disks: int = 2, dacc_bps: float = 400e6,
+                 dcc_bps: float = 300e6, hdd_bps: float = 150e6) -> Builder:
+    """RAID exercised through the utilization law: expected busy
+    server-seconds per request are exact regardless of queueing, so the
+    measured aggregate busy rate must match ``lam * E[work]``."""
+    mean_bytes = 1e6 / mu
+
+    def build(fault: float, rng: random.Random) -> Station:
+        from repro.hardware.raid import RAID
+
+        raid = RAID("oracle.raid", n_disks=n_disks,
+                    array_controller_bps=dacc_bps * fault,
+                    controller_bps=dcc_bps * fault,
+                    drive_bps=hdd_bps * fault,
+                    array_cache_hit_rate=0.0, disk_cache_hit_rate=0.0)
+
+        def arrive(now: float, done: Done) -> None:
+            raid.submit(Job(rng.expovariate(mu) * 1e6, on_complete=done),
+                        now)
+
+        return Station([raid], arrive, raid._busy_seconds,
+                       raid.queue_length)
+
+    build.mean_bytes = mean_bytes  # type: ignore[attr-defined]
+    return build
+
+
+def raid_busy_rate(lam: float, mu: float, dacc_bps: float = 400e6,
+                   dcc_bps: float = 300e6, hdd_bps: float = 150e6) -> float:
+    """Utilization law for the no-cache striped RAID: busy server-seconds
+    accrued per second across dacc + every (dcc, hdd) pair."""
+    mean_bytes = 1e6 / mu
+    per_job = mean_bytes * (1.0 / dacc_bps + 1.0 / dcc_bps + 1.0 / hdd_bps)
+    return lam * per_job
+
+
+# ----------------------------------------------------------------------
+# sweep definition
+# ----------------------------------------------------------------------
+def standard_sweeps() -> List[OracleCase]:
+    """The App. A validation matrix: M/M/1, M/M/c, M/G/1-PS, fork-join
+    and the hardware wrappers, each at moderate loads where a fixed-seed
+    short sweep is statistically stable."""
+    mu = 1.0
+    cases: List[OracleCase] = []
+    for rho in (0.3, 0.6, 0.8):
+        cases.append(OracleCase(
+            name=f"mm1.rho{int(rho * 100)}", kendall="M/M/1 - FCFS",
+            build=mm1_builder(mu), lam=rho,
+            analytic_value=analytic.mm1_mean_response(rho, mu),
+            horizon_scale=2.0 if rho >= 0.8 else 1.0,
+            tol_up=0.15 if rho >= 0.8 else 0.12,
+            tol_down=0.15 if rho >= 0.8 else 0.12,
+        ))
+    for c, rho in ((2, 0.6), (4, 0.7)):
+        lam = rho * c * mu
+        cases.append(OracleCase(
+            name=f"mmc{c}.rho{int(rho * 100)}", kendall=f"M/M/{c} - FCFS",
+            build=mmc_builder(mu, c), lam=lam,
+            analytic_value=analytic.mmc_mean_response(lam, mu, c),
+        ))
+    cases.append(OracleCase(
+        name="mg1ps.exp.rho50", kendall="M/M/1 - PS",
+        build=ps_builder(mu), lam=0.5,
+        analytic_value=analytic.mg1ps_mean_response(0.5, mu),
+    ))
+    cases.append(OracleCase(
+        name="mg1ps.det.rho70", kendall="M/D/1 - PS",
+        build=ps_builder(mu, deterministic=True), lam=0.7,
+        analytic_value=analytic.mg1ps_mean_response(0.7, mu),
+        note="insensitivity: deterministic service, same mean as M/M/1-PS",
+    ))
+    for n in (2, 4):
+        cases.append(OracleCase(
+            name=f"forkjoin{n}.rho50", kendall=f"FJ-{n} (M/M/1 branches)",
+            build=forkjoin_builder(mu, n), lam=0.5,
+            analytic_value=analytic.forkjoin_mean_response_approx(0.5, mu, n),
+            tol_up=0.15, tol_down=0.15,
+            # the join maximum converges slowly: short windows bias the
+            # sojourn low, so fork-join sweeps run longer horizons
+            horizon_scale=4.0,
+            note="Nelson-Tantawi approximation (exact for n=2)",
+        ))
+    cases.append(OracleCase(
+        name="hw.nic.rho60", kendall="M/M/1 - FCFS",
+        build=nic_builder(mu), lam=0.6,
+        analytic_value=analytic.mm1_mean_response(0.6, mu),
+        note="NIC wrapper, demand in bits",
+    ))
+    lam_cpu = 1.2
+    cases.append(OracleCase(
+        name="hw.cpu.rho60", kendall="M/M/2 - FCFS",
+        build=cpu_builder(mu, cores=2), lam=lam_cpu,
+        analytic_value=analytic.mmc_mean_response(lam_cpu, mu, 2),
+        note="CPU wrapper, one socket, demand in cycles",
+    ))
+    cases.append(OracleCase(
+        name="hw.link.rho50", kendall="M/M/1 - PS + latency",
+        build=link_builder(mu), lam=0.5,
+        analytic_value=0.005 + analytic.mg1ps_mean_response(0.5, mu),
+        note="propagation latency adds a constant to every sojourn",
+    ))
+    cases.append(OracleCase(
+        name="hw.raid.util.rho40", kendall="FCFS + FJ(Disk x2)",
+        build=raid_builder(mu), lam=0.4,
+        analytic_value=raid_busy_rate(0.4, mu),
+        metric="utilization", tol_up=0.08, tol_down=0.08,
+        note="utilization law on the striped array (busy rate)",
+    ))
+    return cases
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def run_case(
+    case: OracleCase,
+    *,
+    replications: int = 4,
+    horizon: float = 600.0,
+    warmup_fraction: float = 0.25,
+    base_seed: int = 20260806,
+    rate_fault: float = 1.0,
+    mode: str = "event",
+    dt: float = 0.01,
+) -> OracleResult:
+    """Run one sweep point across replications and gate the estimate."""
+    horizon = horizon * case.horizon_scale
+    warm = warmup_fraction * horizon
+    means: List[float] = []
+    case_key = zlib.crc32(case.name.encode()) % 100003
+    for rep in range(replications):
+        seed = base_seed + 1009 * rep + case_key
+        arr_rng = random.Random(seed)
+        svc_rng = random.Random(seed + 500009)
+        station = case.build(rate_fault, svc_rng)
+        sim = Simulator(dt=dt, mode=mode)
+        for agent in station.agents:
+            sim.add_agent(agent)
+        sojourns: List[float] = []
+
+        def arrive(now: float) -> None:
+            start = now
+            in_window = now >= warm
+
+            def done(_job: Any, t: float) -> None:
+                if in_window:
+                    sojourns.append(t - start)
+
+            station.arrive(now, done)
+            nxt = now + arr_rng.expovariate(case.lam)
+            if nxt < horizon:
+                sim.schedule(nxt, arrive)
+
+        sim.schedule(arr_rng.expovariate(case.lam), arrive)
+        if case.metric == "utilization":
+            sim.run(horizon)
+            means.append(station.busy() / horizon)
+            continue
+        # drain: jobs admitted before the horizon finish after it
+        end = horizon
+        sim.run(end)
+        while station.queue_length() > 0 and end < 3.0 * horizon:
+            end += 0.1 * horizon
+            sim.run(end)
+        if not sojourns:
+            return OracleResult(case, float("nan"), None, float("inf"),
+                                False, "no completions in window", [])
+        means.append(sum(sojourns) / len(sojourns))
+    mean = sum(means) / len(means)
+    ci = confidence_interval(means) if len(means) >= 2 else None
+    target = case.analytic_value
+    rel = (mean - target) / target
+    tol = case.tol_up if rel >= 0 else case.tol_down
+    within_tol = abs(rel) <= tol
+    ci_ok = ci is not None and ci.contains(target)
+    passed = within_tol or ci_ok
+    if within_tol:
+        reason = f"relative error {rel:+.1%} within {tol:.0%}"
+    elif ci_ok:
+        reason = (f"95% CI [{ci.mean - ci.half_width:.4f}, "
+                  f"{ci.mean + ci.half_width:.4f}] contains analytic")
+    else:
+        reason = (f"relative error {rel:+.1%} exceeds {tol:.0%} and CI "
+                  f"excludes analytic value {target:.4f}")
+    return OracleResult(case, mean, ci, rel, passed, reason, means)
+
+
+def _metric_key(case: OracleCase) -> str:
+    """Compare-document key; 'sojourn'/'wall' fragments make
+    ``direction_of`` treat increases as regressions."""
+    suffix = "sojourn_s" if case.metric == "sojourn" else "busy_wall_s"
+    return f"oracle_{case.name}_{suffix}"
+
+
+def run_sweeps(
+    cases: Optional[List[OracleCase]] = None,
+    *,
+    replications: int = 4,
+    horizon: float = 600.0,
+    base_seed: int = 20260806,
+    rate_fault: float = 1.0,
+    mode: str = "event",
+    tolerance_overrides: Optional[Dict[str, float]] = None,
+) -> OracleReport:
+    """Run the sweep matrix and produce the gated report.
+
+    The per-case verdicts (tolerance OR confidence interval) decide
+    ``report.passed``; the :func:`repro.observability.compare` rendering
+    of analytic-vs-simulated is attached for the familiar table and for
+    ``--metric-tolerance``-style overrides in the CLI.
+    """
+    if cases is None:
+        cases = standard_sweeps()
+    results = [
+        run_case(case, replications=replications, horizon=horizon,
+                 base_seed=base_seed, rate_fault=rate_fault, mode=mode)
+        for case in cases
+    ]
+    baseline = {_metric_key(r.case): r.case.analytic_value for r in results}
+    candidate = {_metric_key(r.case): r.mean for r in results}
+    overrides = {_metric_key(r.case): r.case.tol_up for r in results}
+    overrides.update(tolerance_overrides or {})
+    comparison = compare(baseline, candidate, overrides=overrides)
+    return OracleReport(results=results, comparison=comparison,
+                        rate_fault=rate_fault)

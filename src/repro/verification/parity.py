@@ -1,0 +1,138 @@
+"""Event ≡ adaptive stepping parity on sampled scenario windows.
+
+The event kernel's contract (PR 3) is bit-identical boundary discovery
+versus the adaptive poll.  This module samples short end-to-end windows
+of a scenario in both modes and diffs everything observable — operation
+records, per-agent telemetry and (when a collector is attached) the
+sampled series — turning the contract into a standing verification
+check that ``python -m repro verify --parity`` can gate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.api import Collect, Scenario, simulate
+from repro.software.application import Application
+from repro.software.message import CLIENT, MessageSpec
+from repro.software.operation import Operation
+from repro.software.resources import R
+from repro.software.workload import OperationMix, WorkloadCurve
+from repro.topology.network import GlobalTopology
+from repro.topology.specs import (
+    DataCenterSpec,
+    LinkSpec,
+    SANSpec,
+    TierSpec,
+)
+
+
+@dataclass
+class ParityResult:
+    """Outcome of one sampled window."""
+
+    scenario: str
+    until: float
+    records: int
+    identical: bool
+    mismatches: List[str] = field(default_factory=list)
+
+    def to_row(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "until": self.until,
+            "records": self.records,
+            "identical": self.identical,
+            "mismatches": self.mismatches,
+        }
+
+
+def _parity_scenario(seed: int) -> Scenario:
+    """A compact two-tier scenario exercising CPU, NIC, SAN and links."""
+    dc = DataCenterSpec(
+        name="DNA",
+        tiers=(
+            TierSpec("app", n_servers=2, cores_per_server=2,
+                     memory_gb=8.0, sockets=1),
+            TierSpec("db", n_servers=1, cores_per_server=4,
+                     memory_gb=16.0, sockets=1, uses_san=True),
+        ),
+        sans=(SANSpec(1, 4, 15000),),
+        switch_gbps=10.0,
+        tier_link=LinkSpec(10.0, 0.2),
+    )
+    topo = GlobalTopology(seed=seed)
+    topo.add_datacenter(dc)
+    op = Operation("RT", [
+        MessageSpec(CLIENT, "app", r=R.of(cycles=8e8, net_kb=24.0)),
+        MessageSpec("app", "db", r=R.of(cycles=4e8, net_kb=8.0,
+                                        disk_kb=32.0)),
+        MessageSpec("db", "app", r=R.of(net_kb=8.0)),
+        MessageSpec("app", CLIENT, r=R.of(net_kb=24.0)),
+    ])
+    app = Application(
+        name="parity", operations={"RT": op}, mix=OperationMix({"RT": 1.0}),
+        workloads={"DNA": WorkloadCurve([60.0] * 24)},
+        ops_per_client_hour=40.0,
+    )
+    return Scenario(name=f"verify-parity-{seed}", topology=topo,
+                    applications=[app], seed=seed)
+
+
+def check_window(
+    scenario_factory: Optional[Any] = None,
+    *,
+    until: float = 60.0,
+    seed: int = 11,
+    sample_interval: float = 5.0,
+) -> ParityResult:
+    """Run one window in both modes and diff every observable output.
+
+    ``scenario_factory`` is a zero-argument callable returning a *fresh*
+    :class:`Scenario`: topologies hold stateful agents, so each mode
+    must run against its own build (reusing one would leak the first
+    run's state into the second and report a false mismatch).
+    """
+    if scenario_factory is None:
+        scenario_factory = lambda: _parity_scenario(seed)  # noqa: E731
+    outputs = {}
+    name = ""
+    for mode in ("event", "adaptive"):
+        scenario = scenario_factory()
+        name = scenario.name
+        result = simulate(
+            scenario, until=until, mode=mode,
+            collect=Collect(sample_interval=sample_interval),
+        )
+        series = {
+            name: result.collector.series(name)
+            for name in sorted(result.collector._probes)
+        }
+        outputs[mode] = (
+            [(r.operation, r.start, r.end, r.failed)
+             for r in result.records],
+            series,
+            result.telemetry(),
+        )
+    ev, ad = outputs["event"], outputs["adaptive"]
+    mismatches: List[str] = []
+    for label, a, b in (("records", ev[0], ad[0]),
+                        ("series", ev[1], ad[1]),
+                        ("telemetry", ev[2], ad[2])):
+        if a != b:
+            mismatches.append(label)
+    return ParityResult(
+        scenario=name,
+        until=until,
+        records=len(ev[0]),
+        identical=not mismatches,
+        mismatches=mismatches,
+    )
+
+
+def check_windows(
+    *, seeds: tuple = (11, 23), until: float = 60.0
+) -> List[ParityResult]:
+    """The default sampled-window sweep for ``verify --parity``."""
+    return [check_window(seed=s, until=until) for s in seeds]

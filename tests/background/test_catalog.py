@@ -74,11 +74,9 @@ def test_ownership_distribution_sums_to_one():
     assert dist["DAS"] == 0.0
 
 
-def test_access_pattern_matrix_rows_sum_to_100():
+def test_access_pattern_matrix_rows_sum_to_100(rng):
     cat = FileCatalog(DCS, seed=5)
     files = cat.create_files("DNA", 5) + cat.create_files("DEU", 5)
-    import random
-    rng = random.Random(6)
     for _ in range(500):
         cat.access(rng.choice(files).file_id, rng.choice(DCS))
     apm = cat.access_pattern_matrix()

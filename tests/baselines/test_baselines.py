@@ -124,11 +124,9 @@ def test_urgaonkar_validation():
 # ----------------------------------------------------------------------
 # cross-validation against the DES
 # ----------------------------------------------------------------------
-def test_mdcsim_matches_des_on_its_home_turf():
+def test_mdcsim_matches_des_on_its_home_turf(rng):
     """On a single-DC tandem below saturation, GDISim's DES and the
     MDCSim analytic baseline should produce comparable mean latency."""
-    import random
-
     from repro.core import Simulator, Job
     from repro.queueing import FCFSQueue
 
@@ -140,7 +138,6 @@ def test_mdcsim_matches_des_on_its_home_turf():
     sim = Simulator(dt=0.005)
     qa = sim.add_agent(FCFSQueue("a", rate=1.0))
     qb = sim.add_agent(FCFSQueue("b", rate=1.0))
-    rng = random.Random(4)
     responses = []
 
     def arrive(now):

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import random
+import zlib
+
 import pytest
 
 from repro.core import Simulator
@@ -9,6 +13,29 @@ from repro.software.canonical import CanonicalCostModel
 from repro.software.client import Client
 from repro.topology.network import GlobalTopology
 from repro.topology.specs import DataCenterSpec, LinkSpec, SANSpec, TierSpec
+
+try:  # hypothesis ships with the dev toolchain but stays optional
+    from hypothesis import settings as _hyp_settings
+except ImportError:  # pragma: no cover - dev installs always have it
+    _hyp_settings = None
+else:
+    # "fast" keeps PR feedback quick; the nightly CI job exports
+    # HYPOTHESIS_PROFILE=deep for the wide sweep.  Per-test @settings
+    # decorators still override the profile where a test needs more.
+    _hyp_settings.register_profile("fast", max_examples=25, deadline=None)
+    _hyp_settings.register_profile("deep", max_examples=300, deadline=None)
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))
+
+
+@pytest.fixture
+def rng(request) -> random.Random:
+    """Deterministic per-test RNG stream.
+
+    Seeded from the test's node id, so every test gets its own stable
+    stream regardless of execution order or ``-k`` selection — without
+    each test hand-picking a magic seed constant.
+    """
+    return random.Random(zlib.crc32(request.node.nodeid.encode()))
 
 
 @pytest.fixture

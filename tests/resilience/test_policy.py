@@ -1,6 +1,5 @@
 """Tests for ResiliencePolicy / ResilienceConfig value objects."""
 
-import random
 
 import pytest
 
@@ -65,19 +64,17 @@ def test_breaker_knobs_unvalidated_when_breaker_off():
 # ----------------------------------------------------------------------
 # backoff
 # ----------------------------------------------------------------------
-def test_backoff_is_exponential_without_jitter():
+def test_backoff_is_exponential_without_jitter(rng):
     p = ResiliencePolicy(backoff_base_s=0.5, backoff_multiplier=3.0,
                          backoff_jitter=0.0)
-    rng = random.Random(1)
     assert p.backoff_delay(0, rng) == pytest.approx(0.5)
     assert p.backoff_delay(1, rng) == pytest.approx(1.5)
     assert p.backoff_delay(2, rng) == pytest.approx(4.5)
 
 
-def test_backoff_jitter_stays_in_band():
+def test_backoff_jitter_stays_in_band(rng):
     p = ResiliencePolicy(backoff_base_s=1.0, backoff_multiplier=2.0,
                          backoff_jitter=0.25)
-    rng = random.Random(9)
     for n in range(4):
         nominal = 2.0 ** n
         for _ in range(50):

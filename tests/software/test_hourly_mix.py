@@ -27,9 +27,8 @@ def test_wraps_before_first_anchor():
     assert mix.fraction("SAVE", 3 * HOUR) == pytest.approx(0.7)
 
 
-def test_draws_follow_the_active_mix():
+def test_draws_follow_the_active_mix(rng):
     mix = morning_evening()
-    rng = random.Random(5)
     morning_draws = {mix.draw(rng, 10 * HOUR) for _ in range(200)}
     assert morning_draws == {"LOGIN", "SEARCH"}
     evening_draws = {mix.draw(rng, 20 * HOUR) for _ in range(200)}

@@ -1,6 +1,5 @@
 """Unit and property tests for workload curves, mixes and launchers."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -85,9 +84,8 @@ def test_mix_normalizes():
     assert mix.fraction("C") == 0.0
 
 
-def test_mix_draw_distribution():
+def test_mix_draw_distribution(rng):
     mix = OperationMix({"A": 0.8, "B": 0.2})
-    rng = random.Random(5)
     draws = sum(mix.draw(rng) == "A" for _ in range(10000))
     assert draws / 10000 == pytest.approx(0.8, abs=0.02)
 

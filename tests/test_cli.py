@@ -93,3 +93,64 @@ def test_trace_command_des(tmp_path, capsys):
 
     doc = json.loads(out.read_text())
     assert doc["traceEvents"]
+
+
+# ----------------------------------------------------------------------
+# compare: exit codes and tolerance parsing (regression coverage)
+# ----------------------------------------------------------------------
+def _write_snapshot(path, counters):
+    import json
+
+    path.write_text(json.dumps({"snapshot": "repro-metrics",
+                                "counters": counters}))
+    return str(path)
+
+
+def test_compare_exit_2_on_disjoint_documents(tmp_path, capsys):
+    a = _write_snapshot(tmp_path / "a.json", {"alpha_total": 1.0})
+    b = _write_snapshot(tmp_path / "b.json", {"omega_total": 2.0})
+    assert main(["compare", a, b]) == 2
+    assert "no comparable metrics" in capsys.readouterr().err
+
+
+def test_compare_no_gate_downgrades_incomparability(tmp_path, capsys):
+    a = _write_snapshot(tmp_path / "a.json", {"alpha_total": 1.0})
+    b = _write_snapshot(tmp_path / "b.json", {"omega_total": 2.0})
+    assert main(["compare", a, b, "--no-gate"]) == 0
+    assert "--no-gate" in capsys.readouterr().out
+
+
+def test_compare_exit_2_on_missing_file(tmp_path, capsys):
+    a = _write_snapshot(tmp_path / "a.json", {"alpha_total": 1.0})
+    assert main(["compare", a, str(tmp_path / "nope.json")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_compare_exit_2_on_unrecognized_document(tmp_path, capsys):
+    a = _write_snapshot(tmp_path / "a.json", {"alpha_total": 1.0})
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"what": "ever"}')
+    assert main(["compare", a, str(bad)]) == 2
+    assert "unrecognized" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("spec", [
+    "frag",        # missing '='
+    "frag=",       # empty value
+    "=0.5",        # empty fragment would match every metric
+    "frag=abc",    # non-float value
+])
+def test_compare_rejects_malformed_tolerance(tmp_path, capsys, spec):
+    a = _write_snapshot(tmp_path / "a.json", {"alpha_total": 1.0})
+    b = _write_snapshot(tmp_path / "b.json", {"alpha_total": 1.0})
+    assert main(["compare", a, b, "--metric-tolerance", spec]) == 2
+    assert "tolerance" in capsys.readouterr().err
+
+
+def test_compare_tolerance_override_applies(tmp_path, capsys):
+    a = _write_snapshot(tmp_path / "a.json", {"wall_s": 1.0})
+    b = _write_snapshot(tmp_path / "b.json", {"wall_s": 1.4})
+    # default tolerance gates the 40% regression...
+    assert main(["compare", a, b]) == 1
+    # ...while an explicit override admits it
+    assert main(["compare", a, b, "--metric-tolerance", "wall=0.5"]) == 0

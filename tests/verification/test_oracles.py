@@ -1,0 +1,117 @@
+"""Differential oracle harness: stations vs. closed forms.
+
+The sweep itself is the test: every standard case must pass at the
+quick sizing, and a deliberately mis-calibrated build (``rate_fault``)
+must be *caught* by the same gate — an oracle that cannot fail is not
+an oracle.
+"""
+
+import pytest
+
+from repro.verification.oracles import (
+    forkjoin_builder,
+    mm1_builder,
+    raid_busy_rate,
+    run_case,
+    run_sweeps,
+    standard_sweeps,
+    OracleCase,
+)
+
+QUICK = dict(replications=3, horizon=300.0)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """One healthy-build sweep shared by the assertions below."""
+    return run_sweeps(**QUICK)
+
+
+def test_standard_sweeps_cover_every_station_family():
+    names = {c.name for c in standard_sweeps()}
+    for fragment in ("mm1", "mmc", "mg1ps", "forkjoin", "hw.nic", "hw.cpu",
+                     "hw.link", "hw.raid"):
+        assert any(fragment in n for n in names), fragment
+
+
+def test_healthy_build_passes_every_oracle(quick_report):
+    failing = [r.case.name for r in quick_report.results if not r.passed]
+    assert not failing, f"oracle failures on a healthy build: {failing}"
+    assert quick_report.passed
+    assert quick_report.exit_code == 0
+
+
+def test_verdict_accepts_via_confidence_interval(quick_report):
+    # each case carries a replication CI; gate = tolerance OR CI overlap
+    for r in quick_report.results:
+        assert len(r.replication_means) == QUICK["replications"]
+        assert r.ci is not None and r.ci.low <= r.mean <= r.ci.high
+
+
+def test_report_document_shape(quick_report):
+    doc = quick_report.to_document()
+    assert doc["report"] == "repro-verify"
+    assert doc["rate_fault"] == 1.0
+    assert len(doc["cases"]) == len(standard_sweeps())
+    assert "comparison" in doc
+    # every row must flow through the compare machinery's metric keys
+    for row in doc["cases"]:
+        assert row["metric_key"].endswith(("sojourn_s", "busy_wall_s"))
+    assert "mm1.rho30" in quick_report.table()
+
+
+def test_injected_service_rate_bug_is_caught():
+    """Acceptance gate: a 30% slowdown must fail the sweep."""
+    report = run_sweeps(rate_fault=0.7, **QUICK)
+    failing = {r.case.name for r in report.results if not r.passed}
+    assert not report.passed
+    assert report.exit_code == 1
+    # the single-station closed forms are the most sensitive detectors
+    assert {"mm1.rho30", "mmc2.rho60", "hw.nic.rho60"} <= failing
+    # and the slowdown shows up as a gated regression in the comparison
+    assert report.comparison is not None
+    assert any("sojourn" in reg.metric or "busy" in reg.metric
+               for reg in report.comparison.regressions)
+
+
+def test_tolerance_override_loosens_the_gate():
+    # n=4 replications keep the Student-t CI tight enough that a halved
+    # service rate cannot sneak through the interval arm of the verdict
+    strict = run_case(standard_sweeps()[0], replications=4, horizon=300.0,
+                      rate_fault=0.5)
+    assert not strict.passed
+    loose = OracleCase(
+        name=strict.case.name, kendall=strict.case.kendall,
+        build=strict.case.build, lam=strict.case.lam,
+        analytic_value=strict.case.analytic_value,
+        metric=strict.case.metric, tol_up=10.0, tol_down=10.0,
+    )
+    assert run_case(loose, replications=4, horizon=300.0,
+                    rate_fault=0.5).passed
+
+
+def test_run_case_is_deterministic():
+    case = next(c for c in standard_sweeps() if c.name == "mm1.rho60")
+    a = run_case(case, replications=2, horizon=150.0)
+    b = run_case(case, replications=2, horizon=150.0)
+    assert a.replication_means == b.replication_means
+    assert a.mean == b.mean
+
+
+def test_forkjoin_builder_mean_exceeds_single_branch():
+    # join-on-max must be slower than one branch's M/M/1 at equal load
+    fj = run_case(OracleCase(
+        name="fj.probe", kendall="fork-join(2) M/M/1", lam=0.5,
+        build=forkjoin_builder(1.0, 2), analytic_value=1.5, tol_up=10.0,
+        tol_down=10.0, horizon_scale=1.0), replications=2, horizon=300.0)
+    single = run_case(OracleCase(
+        name="mm1.probe", kendall="M/M/1", lam=0.5,
+        build=mm1_builder(1.0), analytic_value=2.0, tol_up=10.0,
+        tol_down=10.0), replications=2, horizon=300.0)
+    assert fj.mean > single.mean
+
+
+def test_raid_busy_rate_is_utilization_law():
+    # busy server-seconds per second = lam * E[demand] * sum(1/speed)
+    rate = raid_busy_rate(2.0, 1.0, dacc_bps=4.0, dcc_bps=3.0, hdd_bps=2.0)
+    assert rate == pytest.approx(2.0 * 1e6 * (1 / 4.0 + 1 / 3.0 + 1 / 2.0))
