@@ -3,8 +3,8 @@
 PYTHON ?= python3
 
 .PHONY: install test test-fast test-cov test-deep verify-oracles bench \
-        bench-full bench-engine examples trace-demo resilience-demo \
-        checkpoint-roundtrip metrics-compare lint clean
+        bench-full bench-engine bench-parallel examples trace-demo \
+        resilience-demo checkpoint-roundtrip metrics-compare lint clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -34,6 +34,9 @@ bench-full:  ## thesis-length chapter 5 experiments
 
 bench-engine:  ## stepping-mode comparison, writes BENCH_engine.json
 	$(PYTHON) scripts/bench_engine.py
+
+bench-parallel:  ## sharded-backend worker sweep, merges into BENCH_engine.json
+	$(PYTHON) scripts/bench_parallel.py
 
 metrics-compare:  ## metered quick run diffed against the committed baseline
 	$(PYTHON) scripts/bench_engine.py --quick --reps 1 \

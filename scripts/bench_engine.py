@@ -42,7 +42,6 @@ from __future__ import annotations
 import argparse
 import json
 import platform
-import random
 import sys
 import time
 from pathlib import Path
@@ -50,17 +49,8 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
-from repro.api import Scenario  # noqa: E402
-from repro.software.placement import SingleMasterPlacement  # noqa: E402
-from repro.studies.consolidation import MASTER  # noqa: E402
 from repro.studies.degraded import DegradedStudy  # noqa: E402
-from repro.topology.network import GlobalTopology  # noqa: E402
-from repro.topology.specs import (  # noqa: E402
-    DataCenterSpec,
-    LinkSpec,
-    SANSpec,
-    TierSpec,
-)
+from repro.studies.fleet import fleet_scenario  # noqa: E402
 from repro.validation.experiments import EXPERIMENTS, run_experiment  # noqa: E402
 
 MODES = ("event", "adaptive", "fixed")
@@ -92,86 +82,13 @@ def bench_validation(mode: str, quick: bool, seed: int = 42) -> dict:
 
 # ----------------------------------------------------------------------
 # scenario: consolidated platform at fleet scale
+# (definition lives in repro.studies.fleet, shared with the sharded
+# parity tests and scripts/bench_parallel.py)
 # ----------------------------------------------------------------------
-def fleet_topology(n_regions: int, seed: int = 42) -> GlobalTopology:
-    """The chapter 6 master DC plus ``n_regions`` regional serving sites."""
-    topo = GlobalTopology(seed=seed)
-    topo.add_datacenter(DataCenterSpec(
-        name=MASTER,
-        tiers=(
-            TierSpec("app", n_servers=8, cores_per_server=8,
-                     memory_gb=32.0, sockets=2),
-            TierSpec("db", n_servers=2, cores_per_server=64,
-                     memory_gb=64.0, sockets=4, uses_san=True),
-            TierSpec("idx", n_servers=3, cores_per_server=16,
-                     memory_gb=64.0, sockets=2),
-            TierSpec("fs", n_servers=2, cores_per_server=8, memory_gb=32.0,
-                     sockets=2, uses_san=True, nic_gbps=10.0),
-        ),
-        sans=(SANSpec(1, 20, 15000), SANSpec(1, 20, 15000)),
-        switch_gbps=10.0,
-        tier_link=LinkSpec(10.0, 0.2),
-    ))
-    for i in range(n_regions):
-        name = f"R{i:02d}"
-        topo.add_datacenter(DataCenterSpec(
-            name=name,
-            tiers=(TierSpec("fs", n_servers=4, cores_per_server=8,
-                            memory_gb=32.0, sockets=2, uses_san=True,
-                            nic_gbps=10.0),),
-            sans=(SANSpec(1, 20, 15000),),
-            switch_gbps=10.0,
-            tier_link=LinkSpec(10.0, 0.2),
-        ))
-        topo.connect(MASTER, name,
-                     LinkSpec(0.155, 80.0, allocated_fraction=0.2))
-    return topo
-
-
-def fleet_setup(session) -> None:
-    """Steady replication pulls on every server of the fleet.
-
-    Each server runs a self-sustaining chain of legs sized like the
-    chapter 6 SR/IB background: a long NIC serialization, a light CPU
-    touch and a small SAN write, then a short think gap.  Demands come
-    from per-server ``random.Random`` streams so the workload is
-    identical across stepping modes.
-    """
-    sim = session.sim
-    topo = session.scenario.topology
-    servers = []
-    for dc in topo.datacenters.values():
-        for tier in dc.tiers.values():
-            servers.extend(tier.servers)
-
-    def chain(server, r: random.Random) -> None:
-        def leg(now: float) -> None:
-            server.process_leg(
-                now,
-                cycles=0.02 * server.cpu.frequency_hz,
-                net_bits=r.uniform(20.0, 60.0) * 1e9,
-                mem_bytes=64e6,
-                disk_bytes=r.uniform(10.0, 50.0) * 1e6,
-                on_complete=lambda t: sim.schedule(
-                    t + r.uniform(0.1, 0.4), leg),
-            )
-
-        sim.schedule(r.uniform(0.0, 2.0), leg)
-
-    for i, server in enumerate(servers):
-        chain(server, random.Random(1000 + i))
-
-
 def bench_fleet(mode: str, quick: bool, seed: int = 42) -> dict:
     n_regions = 16 if quick else 128
     until = 20.0 if quick else 60.0
-    scenario = Scenario(
-        name="consolidation-fleet",
-        topology=fleet_topology(n_regions, seed=seed),
-        placement=SingleMasterPlacement(MASTER, local_fs=True),
-        seed=seed,
-        setup=fleet_setup,
-    )
+    scenario = fleet_scenario(n_regions, seed=seed)
     session = scenario.prepare(dt=0.01, mode=mode, profile=True)
     t0 = time.perf_counter()
     session.run(until, workloads=False)

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Sharded-backend worker-count sweep on the consolidation fleet.
+
+Runs the ROADMAP's 128-region consolidation-fleet scenario through
+``simulate(parallel=ParallelOptions(workers=N))`` for each worker count
+and merges a ``parallel`` block into ``BENCH_engine.json`` next to the
+stepping-mode cells, so the perf trajectory tracks both kernels.
+
+Two speedup columns are reported per worker count, and the distinction
+matters on this container:
+
+``speedup_measured``
+    Single-process wall / sharded coordinator wall, as timed on this
+    host.  With ``cores: 1`` (this CI container) the shards time-slice
+    one core, so this hovers near or below 1.0 — the number is recorded
+    for honesty, not for headlines.
+
+``speedup_projected``
+    Single-process wall / max per-shard *CPU seconds*
+    (``time.process_time``: queue waits and time-sliced-out periods
+    excluded).  This is what the conservative-window protocol delivers
+    once each worker owns a core: the critical path is the slowest
+    shard's compute plus the (measured, amortized) envelope exchange.
+    The same calibrated-substitution discipline as
+    ``repro.parallel.speedup`` (DESIGN.md, substitution 2).
+
+Usage::
+
+    python scripts/bench_parallel.py             # 128 regions, 1,2,4 workers
+    python scripts/bench_parallel.py --quick     # 16 regions, CI sizing
+    python scripts/bench_parallel.py --workers 1,2,4,8
+    python scripts/bench_parallel.py --quick --metrics-out merged.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import Collect, ParallelOptions, simulate  # noqa: E402
+from repro.studies.fleet import fleet_scenario  # noqa: E402
+
+
+def run_cell(n_regions: int, until: float, workers: int, cut: str,
+             seed: int) -> dict:
+    scenario = fleet_scenario(n_regions, seed=seed)
+    t0 = time.perf_counter()
+    result = simulate(
+        scenario, until=until, metrics="on",
+        collect=Collect(sample_interval=until / 4.0),
+        parallel=ParallelOptions(workers=workers, cut=cut),
+    )
+    wall = time.perf_counter() - t0
+    report = result.parallel
+    cell = report.to_dict()
+    cell["wall_total_s"] = wall  # includes scenario build + merge
+    # the merged registry's fingerprint is partition-independent, so it
+    # is the cross-worker-count equivalence signal (the per-shard state
+    # fingerprint necessarily depends on the cut)
+    lines = sorted(result.metrics.fingerprint_lines())
+    cell["metrics_fingerprint"] = hashlib.sha256(
+        "\n".join(lines).encode()).hexdigest()
+    return cell
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke sizing (16 regions, 20 s)")
+    ap.add_argument("--workers", default="1,2,4",
+                    help="comma-separated worker counts (1 = the "
+                         "single-process baseline)")
+    ap.add_argument("--cut", default="region", choices=("region", "holon"),
+                    help="partition cut for the sweep")
+    ap.add_argument("--seed", type=int, default=42)
+    ap.add_argument("--out", default=str(ROOT / "BENCH_engine.json"),
+                    help="bench JSON to merge the parallel block into")
+    ap.add_argument("--metrics-out", default=None,
+                    help="write the merged metrics snapshot of the "
+                         "widest run here (for repro compare)")
+    args = ap.parse_args(argv)
+
+    counts = []
+    for tok in args.workers.split(","):
+        tok = tok.strip()
+        if tok:
+            counts.append(int(tok))
+    if not counts:
+        ap.error("no worker counts given")
+
+    n_regions = 16 if args.quick else 128
+    until = 20.0 if args.quick else 60.0
+    block = {
+        "bench": "sharded-backend-worker-sweep",
+        "scenario": "consolidation-fleet",
+        "regions": n_regions,
+        "until": until,
+        "cut": args.cut,
+        "seed": args.seed,
+        "quick": args.quick,
+        "cores": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "cells": {},
+    }
+
+    baseline_wall = None
+    baseline_fingerprint = None
+    for workers in counts:
+        print(f"[bench-parallel] fleet regions={n_regions} "
+              f"workers={workers} cut={args.cut} ...", flush=True)
+        cell = run_cell(n_regions, until, workers, args.cut, args.seed)
+        if workers == 1:
+            baseline_wall = cell["wall_s"]
+            baseline_fingerprint = cell["metrics_fingerprint"]
+        if baseline_wall is not None and workers > 1:
+            cell["speedup_measured"] = round(
+                baseline_wall / cell["wall_s"], 3)
+            slowest = max(cell["shard_cpus"])
+            cell["speedup_projected"] = (
+                round(baseline_wall / slowest, 3) if slowest > 0 else None)
+        block["cells"][str(workers)] = cell
+        cpus = ", ".join(f"{c:.2f}" for c in cell["shard_cpus"])
+        print(f"        wall={cell['wall_s']:.2f}s windows="
+              f"{cell['windows_run']} envelopes={cell['envelopes']} "
+              f"shard_cpus=[{cpus}]")
+        if "speedup_measured" in cell:
+            print(f"        speedup: measured {cell['speedup_measured']}x, "
+                  f"projected {cell['speedup_projected']}x "
+                  f"(cores={block['cores']})")
+
+    # every sharded run must reproduce the single-process merged metrics
+    block["fingerprints_agree"] = all(
+        c["metrics_fingerprint"] == baseline_fingerprint
+        for c in block["cells"].values()
+    ) if baseline_fingerprint else None
+
+    out = Path(args.out)
+    doc = json.loads(out.read_text()) if out.exists() else {
+        "bench": "engine-stepping-modes", "scenarios": {}}
+    doc["parallel"] = block
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"[bench-parallel] merged parallel block into {out}")
+
+    if args.metrics_out:
+        workers, path = max(counts), args.metrics_out
+        scenario = fleet_scenario(n_regions, seed=args.seed)
+        result = simulate(
+            scenario, until=until, metrics="on",
+            parallel=ParallelOptions(workers=workers, cut=args.cut),
+        )
+        result.metrics.write_snapshot(path, meta={
+            "scenario": "consolidation-fleet",
+            "workers": workers,
+            "cut": args.cut,
+            "regions": n_regions,
+            "until": until,
+            "seed": args.seed,
+            "quick": args.quick,
+        })
+        print(f"[bench-parallel] wrote merged metrics snapshot {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

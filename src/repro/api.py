@@ -62,6 +62,158 @@ class Collect:
     tier_cpu: bool = True
 
 
+# ----------------------------------------------------------------------
+# option groups (the canonical way to configure simulate())
+# ----------------------------------------------------------------------
+@dataclass
+class ObservabilityOptions:
+    """Everything :func:`simulate` can observe, grouped.
+
+    The grouped form is canonical: ``simulate(sc, until=600,
+    observability=ObservabilityOptions(collect=Collect(10.0),
+    metrics="on"))``.  The historical flat kwargs (``trace=``,
+    ``profile=``, ``collect=``, ``metrics=``, ``slo=``,
+    ``invariants=``) keep working and delegate here; passing a field
+    both ways is a configuration error.
+    """
+
+    trace: Any = None
+    profile: bool = False
+    collect: Optional[Collect] = None
+    metrics: Any = None
+    slo: Any = None
+    invariants: Any = None
+
+
+@dataclass
+class CheckpointOptions:
+    """Crash-safety configuration for :func:`simulate`, grouped.
+
+    ``every``/``path`` arm periodic checkpoints; ``resume_from``
+    rebuilds and fingerprint-verifies an interrupted run.  Flat
+    spellings: ``checkpoint_every=``, ``checkpoint_path=``,
+    ``resume_from=``.
+    """
+
+    every: Optional[float] = None
+    path: Optional[Union[str, Path]] = None
+    resume_from: Optional[Union[str, Path]] = None
+
+
+@dataclass
+class ParallelOptions:
+    """Sharded multi-process execution configuration.
+
+    ``workers`` shards (one OS process each) advance in conservative
+    windows bounded by the smallest cross-shard WAN latency (the
+    lookahead); ``cut`` selects the partitioning axis of
+    :func:`repro.parallel.partition.partition_topology`; ``window``
+    optionally narrows the synchronization window below the lookahead
+    (it can never exceed it).  ``workers <= 1`` falls back to the
+    single-process engine.
+    """
+
+    workers: int = 2
+    cut: str = "region"
+    window: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("parallel workers must be >= 1")
+        if self.cut not in ("region", "holon"):
+            raise ConfigurationError(
+                f"unknown parallel cut {self.cut!r} "
+                "(choose 'region' or 'holon')")
+        if self.window is not None and self.window <= 0:
+            raise ConfigurationError("parallel window must be positive")
+
+    @classmethod
+    def coerce(cls, value: Any) -> "ParallelOptions":
+        """Accept an options object, a worker count or a JSON block."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, bool):
+            raise ConfigurationError(
+                "parallel= takes ParallelOptions, a worker count or a "
+                "mapping, not a bool")
+        if isinstance(value, int):
+            return cls(workers=value)
+        if isinstance(value, Mapping):
+            known = {"workers", "cut", "window"}
+            unknown = set(value) - known
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown parallel option(s) {sorted(unknown)} "
+                    f"(expected {sorted(known)})")
+            return cls(
+                workers=int(value.get("workers", 2)),
+                cut=str(value.get("cut", "region")),
+                window=(None if value.get("window") is None
+                        else float(value["window"])),
+            )
+        raise ConfigurationError(
+            f"cannot interpret parallel options from {type(value).__name__}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The scenario-JSON ``parallel:`` block (round-trips coerce)."""
+        return {"workers": self.workers, "cut": self.cut,
+                "window": self.window}
+
+
+class RemotePort:
+    """Cross data-center messaging surface for setup hooks.
+
+    A hook that needs traffic between data centers sends it through
+    ``session.remote`` instead of calling into the destination's agents
+    directly, so the *same* hook works single-process and sharded:
+
+    * ``on_message(dc_name, handler)`` registers the destination-side
+      delivery (``handler(payload, now)``) — guard it with
+      ``session.owns(dc_name)`` so only the owning shard handles it;
+    * ``send(src_dc, dst_dc, payload, latency_s)`` delivers ``payload``
+      (picklable data only) after ``latency_s`` of simulated time.
+
+    In-process, delivery is a plain calendar entry at ``now +
+    latency_s``.  Sharded, the send becomes an
+    :class:`~repro.parallel.partition.Envelope` relayed at the next
+    window boundary — because every cross-shard latency is at least the
+    lookahead (which bounds the window), the arrival time is identical.
+    """
+
+    def __init__(self) -> None:
+        self._session: Optional["SimulationSession"] = None
+        self._handlers: Dict[str, Callable[[Any, float], None]] = {}
+        self.sent = 0
+
+    def bind(self, session: "SimulationSession") -> None:
+        self._session = session
+
+    def on_message(self, dc_name: str,
+                   handler: Callable[[Any, float], None]) -> None:
+        self._handlers[dc_name] = handler
+
+    def _deliver(self, dst_dc: str, payload: Any, now: float) -> None:
+        handler = self._handlers.get(dst_dc)
+        if handler is None:
+            raise ConfigurationError(
+                f"no remote handler registered for data center "
+                f"{dst_dc!r} (call session.remote.on_message first)")
+        handler(payload, now)
+
+    def send(self, src_dc: str, dst_dc: str, payload: Any,
+             latency_s: float, now: Optional[float] = None) -> None:
+        if latency_s <= 0:
+            raise ConfigurationError(
+                "remote sends need strictly positive latency")
+        assert self._session is not None, "port used before bind()"
+        t = self._session.sim.now if now is None else now
+        self.sent += 1
+        self._session.sim.schedule(
+            t + latency_s,
+            lambda arrival, p=payload, d=dst_dc: self._deliver(d, p, arrival),
+        )
+
+
 @dataclass
 class Scenario:
     """A complete simulation input, independent of how it will be run.
@@ -102,6 +254,11 @@ class Scenario:
     #: ``{"interval": seconds, "rules": [...]}`` (the JSON ``slo``
     #: block form).  A non-empty block implies ``metrics="on"``.
     slo: Any = None
+    #: Default execution backend: anything
+    #: :meth:`ParallelOptions.coerce` accepts (an options object, a
+    #: worker count, the JSON ``parallel:`` block) or ``None`` for the
+    #: single-process engine.  ``simulate(parallel=...)`` overrides it.
+    parallel: Any = None
 
     # ------------------------------------------------------------------
     # construction
@@ -164,6 +321,7 @@ class Scenario:
             resilience=resilience,
             metrics=doc.get("metrics"),
             slo=doc.get("slo"),
+            parallel=doc.get("parallel"),
         )
 
     @classmethod
@@ -203,6 +361,8 @@ class Scenario:
                               else "on")
         if self.slo is not None:
             doc["slo"] = _slo_to_document(self.slo)
+        if self.parallel is not None:
+            doc["parallel"] = ParallelOptions.coerce(self.parallel).to_dict()
         return doc
 
     def to_json(self, path: Union[str, Path]) -> None:
@@ -224,12 +384,14 @@ class Scenario:
         metrics: Any = None,
         slo: Any = None,
         invariants: Any = None,
+        shard: Optional[Tuple[str, ...]] = None,
+        remote: Optional[RemotePort] = None,
     ) -> "SimulationSession":
         """Build the engine, register the topology and wire the runner."""
         return SimulationSession(
             self, dt=dt, mode=mode, trace=trace, profile=profile,
             collect=collect, resilience=resilience, metrics=metrics,
-            slo=slo, invariants=invariants,
+            slo=slo, invariants=invariants, shard=shard, remote=remote,
         )
 
 
@@ -280,6 +442,8 @@ class SimulationSession:
         metrics: Any = None,
         slo: Any = None,
         invariants: Any = None,
+        shard: Optional[Tuple[str, ...]] = None,
+        remote: Optional[RemotePort] = None,
     ) -> None:
         if scenario.topology is None:
             raise ConfigurationError("scenario has no topology")
@@ -289,6 +453,17 @@ class SimulationSession:
                 f"got {mode!r}"
             )
         self.scenario = scenario
+        # sharded execution: the session registers (and therefore
+        # simulates) only its own data centers; every other agent of the
+        # full topology stays pristine.  Setup hooks must gate their
+        # work with ``self.owns(dc_name)``.
+        self._owned: Optional[frozenset] = (
+            None if shard is None else frozenset(shard))
+        if self._owned is not None:
+            unknown = self._owned - set(scenario.topology.datacenters)
+            if unknown:
+                raise ConfigurationError(
+                    f"shard names unknown data centers: {sorted(unknown)}")
         # metrics + SLO: explicit arguments override the scenario block;
         # a non-empty SLO block needs a registry to evaluate against,
         # so it auto-enables metrics
@@ -313,10 +488,24 @@ class SimulationSession:
             self.invariants.attach_session(self)
         self.streams = RandomStreams(scenario.seed)
         topo = scenario.topology
-        for dc in topo.datacenters.values():
-            self.sim.add_holon(dc)
-        self.sim.add_agents(topo.links.values())
-        self.sim.add_agents(topo._secondary.values())
+        owned_agents: List[Any] = []
+        for name, dc in topo.datacenters.items():
+            if self.owns(name):
+                self.sim.add_holon(dc)
+                owned_agents.extend(dc.agents())
+        # a cross-shard WAN link is simulated by the shard owning its
+        # first (sorted) endpoint — exactly one shard, deterministically
+        for links in (topo.links, topo._secondary):
+            for key, link in links.items():
+                if self.owns(key[0]):
+                    self.sim.add_agent(link)
+                    owned_agents.append(link)
+        #: The topology agents this session registered (== the full
+        #: ``topology.all_agents()`` when unsharded) — the exact set the
+        #: telemetry merge covers, each agent owned by one shard.
+        self.topology_agents: List[Any] = owned_agents
+        self.remote = remote if remote is not None else RemotePort()
+        self.remote.bind(self)
         placement = scenario.placement
         if placement is None:
             placement = SingleMasterPlacement(next(iter(topo.datacenters)))
@@ -337,7 +526,7 @@ class SimulationSession:
 
             def _hardware_gauges(reg: MetricsRegistry) -> None:
                 now = sim_ref.now
-                for agent in topo.all_agents():
+                for agent in owned_agents:
                     reg.gauge("agent_queue_depth", agent=agent.name).set(
                         float(agent.queue_length()))
                     cap = agent.capacity()
@@ -402,6 +591,20 @@ class SimulationSession:
             self.sim.add_monitor(self.slo_interval, self.slo_checker.check)
 
     # ------------------------------------------------------------------
+    def owns(self, dc_name: str) -> bool:
+        """Does this session simulate ``dc_name``?
+
+        Always true single-process; in a sharded worker only the shard's
+        own data centers are registered.  Setup hooks use this to drive
+        (and probe) only local agents.
+        """
+        return self._owned is None or dc_name in self._owned
+
+    @property
+    def shard(self) -> Optional[Tuple[str, ...]]:
+        """The owned data-center names, or ``None`` when unsharded."""
+        return None if self._owned is None else tuple(sorted(self._owned))
+
     def collect(
         self,
         sample_interval: float = 6.0,
@@ -418,6 +621,8 @@ class SimulationSession:
         )
         if tier_cpu:
             for dc_name, dc in self.scenario.topology.datacenters.items():
+                if not self.owns(dc_name):
+                    continue
                 for tier in dc.tiers.values():
                     self.collector.add_probe(
                         f"cpu.{dc_name}.{tier.kind}",
@@ -425,13 +630,45 @@ class SimulationSession:
                     )
         return self.collector
 
+    def _shard_locality_check(self, client_dc: str) -> None:
+        """Refuse workloads whose cascades would leave this shard.
+
+        Cascade continuations are closures and cannot cross process
+        boundaries, so a sharded run requires every (client DC →
+        placement target) edge to stay inside one shard.  The placement
+        decomposition is static, so this is checked up front rather
+        than failing mid-run on an unregistered agent.
+        """
+        targets = set()
+        for _, assignment in self.placement.weights(client_dc):
+            targets.update(assignment.values())
+        foreign = {t for t in targets if not self.owns(t)}
+        if foreign:
+            raise ConfigurationError(
+                f"workload at {client_dc!r} cascades into "
+                f"{sorted(foreign)} outside its shard "
+                f"{sorted(self._owned or ())}: choose a cut that "
+                "co-locates clients with their placement targets, or "
+                "route cross-shard traffic through session.remote")
+
     def _start_workloads(self, until: float) -> None:
-        """Wire one open-loop workload per (application, client DC)."""
+        """Wire one open-loop workload per (application, client DC).
+
+        The per-workload seed is derived from the workload's *global*
+        index, so a sharded session (which skips foreign client DCs)
+        drives its own workloads with exactly the seeds the
+        single-process run would use.
+        """
         i = 0
         for app in self.scenario.applications:
             for dc_name, curve in app.workloads.items():
                 if max(curve.hourly) <= 0:
                     continue
+                if not self.owns(dc_name):
+                    i += 1
+                    continue
+                if self._owned is not None:
+                    self._shard_locality_check(dc_name)
                 wl = OpenLoopWorkload(
                     self.sim,
                     self.runner,
@@ -573,6 +810,12 @@ class SimulationResult:
     events: Optional[EventLog] = None
     slo: Any = None
     invariants: Any = None
+    #: Sharded-run report (:class:`repro.parallel.sharded.ParallelReport`)
+    #: — ``None`` for single-process runs.
+    parallel: Any = None
+    #: Per-agent telemetry merged across shards; single-process results
+    #: leave this unset and read live agents instead.
+    merged_telemetry: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # verification accessors
@@ -610,6 +853,8 @@ class SimulationResult:
 
     def telemetry(self) -> Dict[str, Any]:
         """Per-agent telemetry across the whole registered topology."""
+        if self.merged_telemetry is not None:
+            return dict(self.merged_telemetry)
         topo = self.scenario.topology
         out: Dict[str, Any] = {}
         if topo is not None:
@@ -709,6 +954,27 @@ class SimulationResult:
         return format_waterfall(f"{self.scenario.name}: {title}", rows)
 
 
+def _merge_group(group: Optional[Any], cls: type, flat: Dict[str, Any],
+                 defaults: Dict[str, Any], spellings: Dict[str, str]) -> Any:
+    """Resolve a typed option group against its flat kwarg spellings.
+
+    Flat kwargs remain fully supported: with no group they are packed
+    into one.  Passing a group *and* a non-default flat spelling of the
+    same field is ambiguous and raises instead of silently picking one.
+    """
+    if group is None:
+        return cls(**flat)
+    if not isinstance(group, cls):
+        raise ConfigurationError(
+            f"expected {cls.__name__}, got {type(group).__name__}")
+    clashes = [spellings[k] for k, v in flat.items() if v != defaults[k]]
+    if clashes:
+        raise ConfigurationError(
+            f"{', '.join(sorted(clashes))} passed both flat and via "
+            f"{cls.__name__}; use one spelling")
+    return group
+
+
 def simulate(
     scenario: Union[Scenario, str],
     *,
@@ -727,8 +993,24 @@ def simulate(
     checkpoint_every: Optional[float] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
     resume_from: Optional[Union[str, Path]] = None,
+    observability: Optional[ObservabilityOptions] = None,
+    checkpoint: Optional[CheckpointOptions] = None,
+    parallel: Any = None,
 ) -> SimulationResult:
     """Run one scenario end to end and return its results.
+
+    The canonical configuration style groups related knobs into typed
+    option objects::
+
+        simulate(sc, until=600,
+                 observability=ObservabilityOptions(collect=Collect(10.0),
+                                                    metrics="on"),
+                 checkpoint=CheckpointOptions(every=60.0, path="ck.json"),
+                 parallel=ParallelOptions(workers=4, cut="region"))
+
+    The historical flat kwargs (``trace=``, ``metrics=``,
+    ``checkpoint_every=``, ...) keep working unchanged and delegate to
+    the groups; passing the same field both ways raises.
 
     Parameters
     ----------
@@ -797,7 +1079,46 @@ def simulate(
         replayed to the checkpoint time, fingerprint-verified (raising
         :class:`~repro.core.errors.CheckpointError` on drift) and then
         continued to ``until``.
+    observability:
+        An :class:`ObservabilityOptions` group covering ``trace``,
+        ``profile``, ``collect``, ``metrics``, ``slo`` and
+        ``invariants`` in one object.
+    checkpoint:
+        A :class:`CheckpointOptions` group covering
+        ``checkpoint_every``/``checkpoint_path``/``resume_from``.
+    parallel:
+        Sharded multi-process execution: a :class:`ParallelOptions`, a
+        worker count, or the scenario-JSON ``parallel:`` block form.
+        ``None`` falls back to the scenario's ``parallel`` field; a
+        resolved ``workers > 1`` partitions the topology
+        (:func:`repro.parallel.partition.partition_topology`), runs one
+        engine per shard in its own OS process synchronized in
+        conservative lookahead windows, and returns a merged result
+        (records, series, telemetry, metrics) equivalent to the
+        single-process run — see ``docs/parallel.md``.  Incompatible
+        with tracing, profiling and checkpointing.
     """
+    obs = _merge_group(
+        observability, ObservabilityOptions,
+        {"trace": trace, "profile": profile, "collect": collect,
+         "metrics": metrics, "slo": slo, "invariants": invariants},
+        {"trace": None, "profile": False, "collect": None,
+         "metrics": None, "slo": None, "invariants": None},
+        {"trace": "trace", "profile": "profile", "collect": "collect",
+         "metrics": "metrics", "slo": "slo", "invariants": "invariants"},
+    )
+    trace, profile, collect = obs.trace, obs.profile, obs.collect
+    metrics, slo, invariants = obs.metrics, obs.slo, obs.invariants
+    ckpt = _merge_group(
+        checkpoint, CheckpointOptions,
+        {"every": checkpoint_every, "path": checkpoint_path,
+         "resume_from": resume_from},
+        {"every": None, "path": None, "resume_from": None},
+        {"every": "checkpoint_every", "path": "checkpoint_path",
+         "resume_from": "resume_from"},
+    )
+    checkpoint_every, checkpoint_path = ckpt.every, ckpt.path
+    resume_from = ckpt.resume_from
     if isinstance(scenario, str):
         scenario = Scenario.from_spec(scenario)
     if seed is not None:
@@ -810,6 +1131,36 @@ def simulate(
         raise ConfigurationError(f"unknown simulate() mode {mode!r}")
     if checkpoint_every is not None and checkpoint_path is None:
         raise ConfigurationError("checkpoint_every needs checkpoint_path")
+    par_spec = parallel if parallel is not None else scenario.parallel
+    if par_spec is not None:
+        popts = ParallelOptions.coerce(par_spec)
+        # the guards apply at workers=1 too: asking for the parallel
+        # backend is a backend choice, and its single-shard fallback
+        # (the baseline cell of every scaling sweep) must behave
+        # exactly like the sharded runs it is compared against
+        if trace is not None or profile:
+            raise ConfigurationError(
+                "parallel execution cannot trace or profile (both "
+                "are per-engine); run single-process for those")
+        if (checkpoint_every is not None or resume_from is not None):
+            raise ConfigurationError(
+                "parallel execution does not checkpoint or resume "
+                "yet; run single-process for crash safety")
+        if invariants is not None:
+            raise ConfigurationError(
+                "parallel execution cannot attach the invariant "
+                "checker (it recomputes whole-session fingerprints);"
+                " run single-process to verify invariants")
+        if until is None:
+            raise ConfigurationError(
+                "simulate() needs until= for DES modes")
+        from repro.parallel.sharded import run_sharded
+
+        return run_sharded(
+            scenario, until=until, options=popts, dt=dt, mode=mode,
+            collect=collect, workloads=workloads,
+            resilience=resilience, metrics=metrics, slo=slo,
+        )
     if resume_from is not None:
         return _resume(
             scenario, resume_from, until=until, trace=trace,

@@ -319,8 +319,25 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(report.comparison.table(include_ok=True))
     code = report.exit_code
     document = report.to_document()
+    if not args.no_parallel:
+        from repro.verification.oracles import run_case_parallel
+
+        outcome = run_case_parallel(
+            args.parallel_case, workers=args.parallel_workers,
+            replications=replications, horizon=horizon,
+            base_seed=args.seed, rate_fault=args.rate_fault,
+        )
+        document["parallel_oracle"] = outcome.to_row()
+        verdict = "ok" if outcome.passed else "FAIL"
+        merged = outcome.metrics.counter(
+            "oracle_replications_total", case=args.parallel_case).value
+        print(f"parallel-oracle {args.parallel_case:<16} "
+              f"workers={outcome.workers} merged_reps={merged:g} "
+              f"sharded==serial gate: {verdict}")
+        if not outcome.passed:
+            code = 1
     if args.parity:
-        from repro.verification import check_windows
+        from repro.verification import check_sharded, check_windows
 
         results = check_windows()
         document["parity"] = [r.to_row() for r in results]
@@ -331,6 +348,17 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             if not r.identical:
                 print(f"  mismatched: {', '.join(r.mismatches)}")
                 code = 1
+        sharded = check_sharded(
+            n_regions=2 if args.quick else 4,
+            until=6.0 if args.quick else 10.0,
+        )
+        document["parity_sharded"] = sharded.to_row()
+        verdict = "ok" if sharded.identical else "FAIL"
+        print(f"parity {sharded.scenario:<24} until={sharded.until:g} "
+              f"sharded==single-process: {verdict}")
+        if not sharded.identical:
+            print(f"  mismatched: {', '.join(sharded.mismatches)}")
+            code = 1
     if args.invariants:
         from repro.api import Collect, simulate
         from repro.core.errors import InvariantViolation
@@ -467,9 +495,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metric-tolerance", action="append", metavar="FRAG=TOL",
                    help="per-case override for the compare-style gate "
                         "(repeatable)")
+    p.add_argument("--no-parallel", action="store_true",
+                   help="skip the sharded-backend oracle gate (one case "
+                        "re-run with multiprocess workers and merged "
+                        "metrics; runs by default, including --quick)")
+    p.add_argument("--parallel-case", default="mm1.rho60",
+                   help="oracle case the sharded-backend gate re-runs")
+    p.add_argument("--parallel-workers", type=int, default=2,
+                   help="worker processes for the sharded-backend gate")
     p.add_argument("--parity", action="store_true",
                    help="also check event==adaptive parity on sampled "
-                        "scenario windows")
+                        "scenario windows, plus sharded==single-process "
+                        "parity on a consolidation-fleet window")
     p.add_argument("--invariants", action="store_true",
                    help="also run the consolidation slice with the "
                         "strict runtime invariant checker armed")

@@ -319,6 +319,34 @@ class Simulator:
                     met.gauge("engine_sim_wall_ratio").value = (
                         (self.clock.now - sim0) / wall)
 
+    def run_windowed(
+        self,
+        until: float,
+        window: float,
+        at_window_end: Callable[[float, float], None] | None = None,
+    ) -> int:
+        """Run to ``until`` in fixed windows, pausing between them.
+
+        Repeated ``run`` calls are bit-exact against one uninterrupted
+        run (the checkpoint-replay property), so this changes nothing
+        about the results — it only creates synchronization points:
+        ``at_window_end(window_start, window_end)`` fires after each
+        window, which is where a sharded coordinator exchanges
+        cross-shard envelopes.  Returns the number of windows run.
+        """
+        if window <= 0:
+            raise SimulationError("window must be positive")
+        windows = 0
+        t = self.clock.now
+        while t < until - 1e-9:
+            end = min(t + window, until)
+            self.run(end)
+            if at_window_end is not None:
+                at_window_end(t, end)
+            windows += 1
+            t = end
+        return windows
+
     def _collect_engine_metrics(self, registry: MetricsRegistry) -> None:
         """Collect hook: derive boundary/wake totals and the
         wakes-per-boundary histogram from the wake-count dict, and read

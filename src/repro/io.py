@@ -22,9 +22,7 @@ The document format::
 from __future__ import annotations
 
 import dataclasses
-import warnings
-from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.software.workload import WorkloadCurve
@@ -152,38 +150,3 @@ def topology_from_document(
     for app, per_dc in doc.get("workloads", {}).items():
         workloads[app] = {dc: WorkloadCurve(h) for dc, h in per_dc.items()}
     return topo, workloads
-
-
-def save_scenario(
-    path: Union[str, Path],
-    topology: GlobalTopology,
-    workloads: Optional[Mapping[str, Mapping[str, WorkloadCurve]]] = None,
-) -> None:
-    """Deprecated: use :meth:`repro.api.Scenario.to_json` instead."""
-    warnings.warn(
-        "save_scenario() is deprecated; build a repro.api.Scenario and "
-        "call its to_json() method",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.api import Scenario
-
-    Scenario(
-        topology=topology,
-        workload_curves={k: dict(v) for k, v in (workloads or {}).items()},
-    ).to_json(path)
-
-
-def load_scenario(
-    path: Union[str, Path], seed: int | None = None
-) -> Tuple[GlobalTopology, Dict[str, Dict[str, WorkloadCurve]]]:
-    """Deprecated: use :meth:`repro.api.Scenario.from_json` instead."""
-    warnings.warn(
-        "load_scenario() is deprecated; use repro.api.Scenario.from_json()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.api import Scenario
-
-    scenario = Scenario.from_json(path, seed=seed)
-    return scenario.topology, scenario.workload_curves

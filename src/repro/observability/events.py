@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 import time
 from collections import deque
-from typing import Any, Deque, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional
 
 
 class EventLog:
@@ -43,6 +43,15 @@ class EventLog:
         self._events.append(event)
         self.emitted += 1
         return event
+
+    def extend(self, events: Iterable[Dict[str, Any]]) -> None:
+        """Append already-stamped event dicts (the shard-merge path:
+        events keep their original sim/wall stamps)."""
+        for event in events:
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(dict(event))
+            self.emitted += 1
 
     def events(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:
         """Events in emission order, optionally filtered by kind."""

@@ -25,7 +25,17 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 #: Buckets per octave: bucket ``i`` covers ``(2**((i-1)/8), 2**(i/8)]``.
 BUCKETS_PER_OCTAVE = 8
@@ -512,6 +522,19 @@ class MetricsRegistry:
         for key, hist in d.get("histograms", {}).items():
             reg._histograms[key] = Histogram.from_dict(hist)
         return reg
+
+    @classmethod
+    def merge_dicts(cls, dicts: Iterable[Dict[str, Any]]) -> "MetricsRegistry":
+        """Fold serialized registries into one (the sharded-merge path).
+
+        Each dict is a :meth:`to_dict` document, typically shipped back
+        from a worker process; counters add, gauges last-wins in input
+        order, histograms merge bucket-wise.
+        """
+        merged = cls()
+        for d in dicts:
+            merged.merge(cls.from_dict(d))
+        return merged
 
     def fingerprint_lines(
         self, exclude_prefixes: Tuple[str, ...] = ("engine_",)

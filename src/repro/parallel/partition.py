@@ -13,28 +13,37 @@ sent from partition A at time ``t`` cannot affect partition B before
 :class:`PartitionedSimulation` implements that synchronous-window
 protocol over any transport:
 
-* ``run(until)`` — sequential windows (deterministic; used for the
-  equivalence tests),
-* ``run(until, executor="thread")`` — windows advanced by a thread pool
-  (GIL-bound on CPython, included for structure),
-* :func:`run_multiprocess` — each partition lives in its own *process*
-  built by a picklable factory; envelopes cross via queues.  This is
-  the actual machine-distribution shape: replace the queues with
-  sockets and the partitions land on different hosts.
+* ``run(until)`` — sequential windows in one process (deterministic;
+  used for the equivalence tests),
+* ``run(until, executor="process")`` — each partition lives in its own
+  *process* built by a picklable factory (see
+  :meth:`PartitionedSimulation.from_factories` and
+  :func:`run_multiprocess`); envelopes cross via queues.  This is the
+  actual machine-distribution shape: replace the queues with sockets
+  and the partitions land on different hosts.
 
 Cross-partition traffic uses :class:`Envelope` — plain, picklable data.
 Each partition registers a handler that converts arriving envelopes
 into local work (e.g. enqueue a transfer on the local file tier).
+
+:func:`partition_topology` computes the *cut*: which data centers land
+in which shard.  The only supported cut axes are the natural ones —
+``"region"`` (balance whole DCs across ``workers`` shards by agent
+weight) and ``"holon"`` (one DC per shard) — because DC boundaries are
+exactly where all interactions cross high-latency WAN links.  The
+resulting :class:`PartitionPlan` carries the cross-cut links and the
+lookahead ``min(L)`` they imply; the sharded execution backend
+(:mod:`repro.parallel.sharded`) turns the plan into worker processes.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.engine import Simulator
-from repro.core.errors import SimulationError
+from repro.core.errors import ConfigurationError, SimulationError
 
 
 @dataclass(frozen=True)
@@ -55,6 +64,106 @@ class Envelope:
 #: Handler invoked inside the destination partition when an envelope
 #: arrives: ``handler(envelope, now)``.
 EnvelopeHandler = Callable[[Envelope, float], None]
+
+
+# ----------------------------------------------------------------------
+# topology cuts
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A cut of the topology's data centers into shards.
+
+    ``shards`` holds the DC names per shard (insertion-ordered);
+    ``cross_links`` the (a, b, latency_s) edges whose endpoints landed
+    in different shards.  The smallest cross-cut latency is the
+    conservative *lookahead*: the largest synchronization window that
+    still guarantees no envelope can arrive inside the window it was
+    sent in.
+    """
+
+    cut: str
+    shards: Tuple[Tuple[str, ...], ...]
+    cross_links: Tuple[Tuple[str, str, float], ...] = ()
+
+    @property
+    def workers(self) -> int:
+        return len(self.shards)
+
+    @property
+    def lookahead(self) -> float:
+        """min(L) over cross-cut links; ``inf`` when the cut severs
+        nothing (shards never need to synchronize before the horizon)."""
+        if not self.cross_links:
+            return float("inf")
+        return min(latency for _, _, latency in self.cross_links)
+
+    def shard_of(self, dc_name: str) -> int:
+        for idx, shard in enumerate(self.shards):
+            if dc_name in shard:
+                return idx
+        raise KeyError(f"data center {dc_name!r} not in any shard")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cut": self.cut,
+            "shards": [list(s) for s in self.shards],
+            "cross_links": [list(e) for e in self.cross_links],
+            "lookahead_s": (None if not self.cross_links
+                            else self.lookahead),
+        }
+
+
+def _dc_weight(dc) -> int:
+    """Balance weight of one DC holon: its agent count (servers, SANs,
+    switches...), which tracks per-window event volume for the fleet
+    workloads far better than DC count alone."""
+    return sum(1 for _ in dc.agents())
+
+
+def partition_topology(topology, workers: int = 2,
+                       cut: str = "region") -> PartitionPlan:
+    """Cut a :class:`~repro.topology.network.GlobalTopology` into shards.
+
+    ``cut="region"`` distributes whole data centers across ``workers``
+    shards with a deterministic greedy longest-processing-time pass
+    (heaviest DC first, into the currently lightest shard), so shards
+    are balanced by agent count.  ``cut="holon"`` pins one DC per shard
+    — the finest cut the model allows, since intra-DC interactions are
+    zero-latency and must never cross a shard boundary.
+
+    Cross-shard edges are read off the topology's primary and secondary
+    WAN links; their smallest propagation latency becomes the plan's
+    lookahead.
+    """
+    names = list(topology.datacenters)
+    if not names:
+        raise ConfigurationError("cannot partition an empty topology")
+    if cut == "holon":
+        shards = tuple((n,) for n in names)
+    elif cut == "region":
+        if workers < 1:
+            raise ConfigurationError("need at least one worker")
+        workers = min(workers, len(names))
+        weights = {n: _dc_weight(topology.datacenter(n)) for n in names}
+        loads = [0] * workers
+        assignment: List[List[str]] = [[] for _ in range(workers)]
+        for name in sorted(names, key=lambda n: (-weights[n], n)):
+            target = min(range(workers), key=lambda i: (loads[i], i))
+            assignment[target].append(name)
+            loads[target] += weights[name]
+        shards = tuple(tuple(s) for s in assignment)
+    else:
+        raise ConfigurationError(
+            f"unknown cut {cut!r} (choose 'region' or 'holon')")
+
+    shard_of = {n: i for i, shard in enumerate(shards) for n in shard}
+    cross = []
+    for links in (topology.links, topology._secondary):
+        for (a, b), link in links.items():
+            if shard_of[a] != shard_of[b]:
+                cross.append((a, b, link.latency_s))
+    return PartitionPlan(cut=cut, shards=shards,
+                         cross_links=tuple(sorted(cross)))
 
 
 class Partition:
@@ -109,6 +218,33 @@ class PartitionedSimulation:
         self.partitions: Dict[str, Partition] = {p.name: p for p in partitions}
         self.lookahead = float(min_latency_s)
         self.windows_run = 0
+        self._factories: Optional[Mapping[str, "PartitionFactory"]] = None
+        #: Final per-partition simulation times of the last
+        #: ``executor="process"`` run.
+        self.finals: Dict[str, float] = {}
+
+    @classmethod
+    def from_factories(cls, factories: Mapping[str, "PartitionFactory"],
+                       min_latency_s: float) -> "PartitionedSimulation":
+        """A coordinator whose partitions are *built inside workers*.
+
+        The factories must be picklable (module-level callables); the
+        returned coordinator only supports ``run(executor="process")``,
+        since no partition exists in this process to step sequentially.
+        """
+        if not factories:
+            raise ValueError("need at least one partition factory")
+        coord = cls.__new__(cls)
+        if min_latency_s <= 0:
+            raise ValueError(
+                "conservative windows need strictly positive lookahead"
+            )
+        coord.partitions = {}
+        coord.lookahead = float(min_latency_s)
+        coord.windows_run = 0
+        coord._factories = dict(factories)
+        coord.finals = {}
+        return coord
 
     # ------------------------------------------------------------------
     def _exchange(self, window_end: float) -> int:
@@ -129,37 +265,63 @@ class PartitionedSimulation:
             part.outbox = []
         return moved
 
-    def run(self, until: float, executor: str = "sequential",
+    def run(self, until: float, executor: Optional[str] = None,
             max_workers: Optional[int] = None) -> None:
         """Advance every partition to ``until`` in lookahead windows.
 
         Within a window partitions are causally independent: any message
         sent during the window arrives in a *later* window.
+
+        ``executor=None`` steps the partitions in-process (sequential,
+        deterministic).  ``executor="process"`` runs each partition in
+        its own OS process and requires the coordinator to have been
+        built with :meth:`from_factories`.  The historical ``"thread"``
+        executor is deprecated: a CPython thread pool is GIL-bound, so
+        it bought structure but no speed — it now warns and falls back
+        to the sequential stepper (same results, same window count).
         """
-        if executor not in ("sequential", "thread"):
-            raise ValueError(f"unknown executor {executor!r}")
-        t = min(p.sim.now for p in self.partitions.values())
-        pool = (concurrent.futures.ThreadPoolExecutor(max_workers=max_workers)
-                if executor == "thread" else None)
-        try:
+        if executor == "thread":
+            warnings.warn(
+                "executor='thread' is deprecated (GIL-bound; it never "
+                "ran faster than sequential): use executor=None for "
+                "in-process windows or executor='process' for the "
+                "multiprocess backend",
+                DeprecationWarning, stacklevel=2)
+            executor = None
+        if max_workers is not None:
+            warnings.warn(
+                "max_workers is deprecated and ignored: the process "
+                "executor runs one worker per partition",
+                DeprecationWarning, stacklevel=2)
+        if executor == "process":
+            if self._factories is None:
+                raise ConfigurationError(
+                    "executor='process' needs picklable partition "
+                    "factories: build the coordinator with "
+                    "PartitionedSimulation.from_factories(...) (or call "
+                    "run_multiprocess directly)")
+            self.finals = run_multiprocess(
+                self._factories, min_latency_s=self.lookahead, until=until)
+            t = 0.0
             while t < until - 1e-9:
-                window_end = min(t + self.lookahead, until)
-                if pool is not None:
-                    futures = [
-                        pool.submit(p.sim.run, window_end)
-                        for p in self.partitions.values()
-                    ]
-                    for f in futures:
-                        f.result()
-                else:
-                    for p in self.partitions.values():
-                        p.sim.run(window_end)
-                self._exchange(window_end)
+                t = min(t + self.lookahead, until)
                 self.windows_run += 1
-                t = window_end
-        finally:
-            if pool is not None:
-                pool.shutdown()
+            return
+        if executor not in (None, "sequential"):
+            raise ValueError(f"unknown executor {executor!r}")
+        if not self.partitions:
+            raise ConfigurationError(
+                "this coordinator was built from factories; its "
+                "partitions only exist inside workers — run with "
+                "executor='process'")
+        t = min(p.sim.now for p in self.partitions.values())
+        while t < until - 1e-9:
+            window_end = min(t + self.lookahead, until)
+            for p in self.partitions.values():
+                p.sim.run(window_end)
+            self._exchange(window_end)
+            self.windows_run += 1
+            t = window_end
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,473 @@
+"""Sharded multi-process execution backend for :func:`repro.api.simulate`.
+
+This is :class:`~repro.parallel.partition.PartitionedSimulation` grown
+into a real backend: :func:`repro.parallel.partition.partition_topology`
+cuts the scenario's data centers into shards, each shard builds a full
+:class:`~repro.api.SimulationSession` *in its own OS process* (the
+session registers only the shard's agents — see
+``SimulationSession.owns``), and all shards advance in conservative
+windows bounded by the smallest cross-shard WAN latency (the §4.3.3
+interaction-timestamp guard).  Cross-shard traffic sent through
+``session.remote`` crosses as
+:class:`~repro.parallel.partition.Envelope` tuples over multiprocessing
+queues at window boundaries.
+
+Equivalence with the single-process engine rests on three facts:
+
+* repeated ``sim.run(t)`` calls are bit-exact against one uninterrupted
+  run (the checkpoint-replay property), so windowing changes nothing;
+* every seed is derived from *global* indices (workload index, server
+  index), so a shard draws exactly the random numbers the full run
+  would draw for its agents;
+* every cross-shard latency is at least the window, so an envelope's
+  arrival time is identical whether it was a calendar entry (local) or
+  a relayed envelope (sharded).
+
+The merge path reuses the mergeable observability plane: records
+concatenate (sorted deterministically), collector samples join by
+sample time, telemetry dicts union (each agent is owned by exactly one
+shard), metrics registries fold via
+:meth:`~repro.observability.metrics.MetricsRegistry.merge_dicts`, and
+per-shard checkpoint fingerprints hash into one combined fingerprint.
+See ``docs/parallel.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import os
+import queue as _queue
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api import (
+    Collect,
+    ParallelOptions,
+    RemotePort,
+    Scenario,
+    SimulationResult,
+)
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.metrics.collector import Snapshot
+from repro.observability.events import EventLog
+from repro.observability.metrics import MetricsRegistry
+from repro.parallel.partition import PartitionPlan, partition_topology
+
+#: Seconds the coordinator waits on a worker queue before declaring the
+#: fleet wedged (workers are daemonic, so nothing leaks on failure).
+_RECV_TIMEOUT_S = 600.0
+
+
+@dataclass(frozen=True)
+class ParallelReport:
+    """What the sharded backend did, attached as ``result.parallel``."""
+
+    workers: int
+    cut: str
+    window: float
+    lookahead: float
+    shards: Tuple[Tuple[str, ...], ...]
+    windows_run: int
+    fingerprint: str
+    #: Per-shard compute wall seconds (queue waits excluded).
+    shard_walls: Tuple[float, ...]
+    #: Coordinator wall seconds end to end.
+    wall_s: float
+    #: CPU cores visible to this host — context for the measured wall
+    #: numbers (on a single core, shards time-slice; see docs).
+    cores: int
+    start_method: str
+    envelopes: int = 0
+    #: Per-shard CPU seconds (``time.process_time``): contention-free
+    #: compute cost even when shards time-slice one core.
+    shard_cpus: Tuple[float, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "cut": self.cut,
+            "window": self.window,
+            "lookahead": (None if self.lookahead == float("inf")
+                          else self.lookahead),
+            "shards": [list(s) for s in self.shards],
+            "windows_run": self.windows_run,
+            "fingerprint": self.fingerprint,
+            "shard_walls": list(self.shard_walls),
+            "shard_cpus": list(self.shard_cpus),
+            "wall_s": self.wall_s,
+            "cores": self.cores,
+            "start_method": self.start_method,
+            "envelopes": self.envelopes,
+        }
+
+
+class _ShardPort(RemotePort):
+    """The worker-side :class:`~repro.api.RemotePort`.
+
+    Sends into the shard's own data centers stay plain calendar
+    entries; sends to foreign data centers become envelope tuples
+    flushed to the coordinator at the next window boundary.  The
+    latency floor is the synchronization window, enforced at send time
+    so violations fail where they originate.
+    """
+
+    def __init__(self, window: float) -> None:
+        super().__init__()
+        self._window = window
+        self.outbox: List[Tuple[str, str, float, float, Any, int]] = []
+        self._seq = 0
+
+    def send(self, src_dc: str, dst_dc: str, payload: Any,
+             latency_s: float, now: Optional[float] = None) -> None:
+        assert self._session is not None, "port used before bind()"
+        if self._session.owns(dst_dc):
+            super().send(src_dc, dst_dc, payload, latency_s, now=now)
+            return
+        if latency_s < self._window - 1e-9:
+            raise SimulationError(
+                f"remote send {src_dc}->{dst_dc} declares "
+                f"{latency_s:.4f}s latency, below the "
+                f"{self._window:.4f}s synchronization window")
+        t = self._session.sim.now if now is None else now
+        self.sent += 1
+        self.outbox.append(
+            (src_dc, dst_dc, t, t + latency_s, payload, self._seq))
+        self._seq += 1
+
+
+def _resolve_window(plan: PartitionPlan, options: ParallelOptions,
+                    until: float) -> float:
+    """The synchronization window: min(L) capped by the user's ask."""
+    lookahead = plan.lookahead
+    if options.window is not None:
+        if options.window > lookahead + 1e-12:
+            raise ConfigurationError(
+                f"parallel window {options.window}s exceeds the "
+                f"{lookahead}s lookahead (smallest cross-shard latency);"
+                " conservative windows cannot outrun causality")
+        return options.window
+    return lookahead if lookahead != float("inf") else until
+
+
+def _shard_worker(idx: int, scenario: Scenario, plan: PartitionPlan,
+                  until: float, window: float, cfg: Dict[str, Any],
+                  inbox, outbox, results) -> None:
+    """One shard: build a session over owned DCs, window to the horizon.
+
+    Runs in a child process.  ``cfg`` carries the picklable session
+    kwargs (dt, mode, collect, resilience, metrics, slo, workloads).
+    """
+    try:
+        port = _ShardPort(window)
+        session = scenario.prepare(
+            dt=cfg["dt"], mode=cfg["mode"], collect=cfg["collect"],
+            resilience=cfg["resilience"], metrics=cfg["metrics"],
+            slo=cfg["slo"], shard=plan.shards[idx], remote=port,
+        )
+        if cfg["workloads"]:
+            session._workloads_started = True
+            session._start_workloads(until)
+        if session.events is not None:
+            session.events.emit("run_start", session.sim.now, until=until,
+                                mode=cfg["mode"], scenario=scenario.name,
+                                shard=idx)
+        waits = {"s": 0.0}
+
+        def exchange(_t0: float, _t1: float) -> None:
+            w0 = time.perf_counter()
+            outbox.put(list(port.outbox))
+            port.outbox.clear()
+            incoming = inbox.get()
+            waits["s"] += time.perf_counter() - w0
+            # deterministic delivery: envelopes from all shards are
+            # replayed in (arrival, send, src, seq) order
+            for (src, dst, sent_at, arrival, payload, _seq) in sorted(
+                    incoming, key=lambda e: (e[3], e[2], e[0], e[5])):
+                session.sim.schedule(
+                    arrival,
+                    lambda now, p=payload, d=dst: port._deliver(d, p, now),
+                )
+
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        windows = session.sim.run_windowed(until, window,
+                                           at_window_end=exchange)
+        wall = time.perf_counter() - wall0 - waits["s"]
+        # CPU seconds exclude both queue waits and time-sliced-out
+        # periods, so they stay meaningful when shards contend for one
+        # core (the scaling projection divides by the slowest shard's
+        # CPU, not its contention-inflated wall)
+        cpu = time.process_time() - cpu0
+        if session.events is not None:
+            session.events.emit("run_end", session.sim.now,
+                                records=len(session.runner.records),
+                                shard=idx)
+        from repro.core.checkpoint import state_fingerprint
+
+        collector = session.collector
+        results.put(("result", {
+            "idx": idx,
+            "shard": list(plan.shards[idx]),
+            "now": session.sim.now,
+            "windows": windows,
+            "records": list(session.runner.records),
+            "probes": (sorted(collector._probes) if collector is not None
+                       else None),
+            "samples": ([(s.time, dict(s.values)) for s in collector.samples]
+                        if collector is not None else None),
+            "snapshots": ([(s.time, dict(s.values))
+                           for s in collector.snapshots]
+                          if collector is not None else None),
+            "telemetry": {a.name: a.telemetry()
+                          for a in session.topology_agents},
+            "metrics": (session.metrics.to_dict()
+                        if session.metrics is not None else None),
+            "events": (session.events.events()
+                       if session.events is not None else None),
+            "fingerprint": state_fingerprint(session)["hash"],
+            "wall_s": wall,
+            "cpu_s": cpu,
+            "sent": port.sent,
+        }))
+    except BaseException as exc:  # ship the failure, don't hang the fleet
+        import traceback
+
+        results.put(("error", idx, f"{exc!r}\n{traceback.format_exc()}"))
+        raise
+
+
+def _check_failures(results, procs, stash: List[Any]) -> None:
+    """Surface worker errors/deaths while the coordinator waits.
+
+    Result payloads that arrive while polling are parked in ``stash``
+    (a worker can finish and report before the coordinator gets there).
+    """
+    try:
+        while True:
+            msg = results.get_nowait()
+            if msg[0] == "error":
+                raise SimulationError(
+                    f"shard worker {msg[1]} failed:\n{msg[2]}")
+            stash.append(msg)
+    except _queue.Empty:
+        pass
+    for i, p in enumerate(procs):
+        if p.exitcode not in (None, 0):
+            raise SimulationError(
+                f"shard worker {i} died with exit code {p.exitcode}")
+
+
+def _recv(q, results, procs, stash: List[Any], what: str):
+    """Blocking queue read that still notices a dead/failed worker."""
+    deadline = time.monotonic() + _RECV_TIMEOUT_S
+    while True:
+        try:
+            return q.get(timeout=0.25)
+        except _queue.Empty:
+            _check_failures(results, procs, stash)
+            if time.monotonic() > deadline:
+                raise SimulationError(f"timed out waiting for {what}")
+
+
+def _merge_timed(rows_per_shard: List[List[Tuple[float, Dict[str, float]]]],
+                 ) -> List[Snapshot]:
+    """Join per-shard (time, values) rows into one snapshot stream.
+
+    Every shard samples on the same monitor cadence, so times align
+    exactly; probe names are disjoint (per-DC), so values dicts union.
+    """
+    merged: Dict[float, Dict[str, float]] = {}
+    for rows in rows_per_shard:
+        for t, values in rows:
+            merged.setdefault(t, {}).update(values)
+    return [Snapshot(time=t, values=merged[t]) for t in sorted(merged)]
+
+
+class MergedCollector:
+    """Read-only stand-in for :class:`~repro.metrics.collector.Collector`
+    over samples merged from every shard — same ``series`` / ``samples``
+    / ``snapshots`` / ``_probes`` surface, no live simulator."""
+
+    def __init__(self, probes: List[str], samples: List[Snapshot],
+                 snapshots: List[Snapshot]) -> None:
+        self._probes = {name: None for name in probes}
+        self.samples = samples
+        self.snapshots = snapshots
+
+    def series(self, name: str, from_snapshots: bool = False) -> List[tuple]:
+        src = self.snapshots if from_snapshots else self.samples
+        return [(s.time, s.values[name]) for s in src if name in s.values]
+
+
+def run_sharded(
+    scenario: Scenario,
+    *,
+    until: float,
+    options: ParallelOptions,
+    dt: float = 0.01,
+    mode: str = "event",
+    collect: Optional[Collect] = None,
+    workloads: bool = True,
+    resilience: Any = None,
+    metrics: Any = None,
+    slo: Any = None,
+) -> SimulationResult:
+    """Execute one scenario sharded across worker processes.
+
+    Called by ``simulate(parallel=...)``; see that docstring for the
+    contract.  Falls back to the single-process engine when the cut
+    yields one shard.
+    """
+    if scenario.topology is None:
+        raise ConfigurationError("scenario has no topology")
+    plan = partition_topology(scenario.topology, options.workers,
+                              options.cut)
+    wall0 = time.perf_counter()
+    if plan.workers <= 1:
+        session = scenario.prepare(
+            dt=dt, mode=mode, collect=collect, resilience=resilience,
+            metrics=metrics, slo=slo,
+        )
+        result = session.run(until, workloads=workloads)
+        result.parallel = ParallelReport(
+            workers=1, cut=options.cut, window=until,
+            lookahead=plan.lookahead, shards=plan.shards, windows_run=1,
+            fingerprint="", shard_walls=(),
+            wall_s=time.perf_counter() - wall0,
+            cores=os.cpu_count() or 1, start_method="none",
+        )
+        return result
+
+    window = _resolve_window(plan, options, until)
+    start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                    else "spawn")
+    ctx = mp.get_context(start_method)
+    inboxes = [ctx.Queue() for _ in plan.shards]
+    outboxes = [ctx.Queue() for _ in plan.shards]
+    results = ctx.Queue()
+    cfg = {"dt": dt, "mode": mode, "collect": collect,
+           "resilience": resilience, "metrics": metrics, "slo": slo,
+           "workloads": workloads}
+    procs = [
+        ctx.Process(
+            target=_shard_worker,
+            args=(i, scenario, plan, until, window, cfg,
+                  inboxes[i], outboxes[i], results),
+            daemon=True,
+        )
+        for i in range(plan.workers)
+    ]
+    stash: List[Any] = []
+    shard_of = {dc: i for i, shard in enumerate(plan.shards) for dc in shard}
+    envelopes = 0
+    try:
+        for p in procs:
+            try:
+                p.start()
+            except Exception as exc:
+                raise ConfigurationError(
+                    f"could not ship the scenario to a worker process "
+                    f"under the {start_method!r} start method (is every "
+                    f"setup hook/placement picklable?): {exc}") from exc
+        # the coordinator mirrors the workers' window arithmetic exactly
+        t, windows_run = 0.0, 0
+        while t < until - 1e-9:
+            window_end = min(t + window, until)
+            pending: List[List[tuple]] = [[] for _ in plan.shards]
+            for i in range(plan.workers):
+                for env in _recv(outboxes[i], results, procs, stash,
+                                 f"shard {i} window {windows_run}"):
+                    (src, dst, sent_at, arrival, _payload, _seq) = env
+                    if arrival - sent_at < window - 1e-9:
+                        raise SimulationError(
+                            f"envelope {src}->{dst} declares "
+                            f"{arrival - sent_at:.4f}s latency, below "
+                            f"the {window:.4f}s window")
+                    if dst not in shard_of:
+                        raise KeyError(f"unknown data center {dst!r}")
+                    pending[shard_of[dst]].append(env)
+                    envelopes += 1
+            for i in range(plan.workers):
+                inboxes[i].put(pending[i])
+            windows_run += 1
+            t = window_end
+        payloads: Dict[int, Dict[str, Any]] = {}
+        while len(payloads) < plan.workers:
+            while stash:
+                msg = stash.pop()
+                payloads[msg[1]["idx"]] = msg[1]
+            if len(payloads) >= plan.workers:
+                break
+            msg = _recv(results, results, procs, stash, "shard results")
+            if msg[0] == "error":
+                raise SimulationError(
+                    f"shard worker {msg[1]} failed:\n{msg[2]}")
+            payloads[msg[1]["idx"]] = msg[1]
+        for p in procs:
+            p.join(timeout=10.0)
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+    wall = time.perf_counter() - wall0
+
+    shards = [payloads[i] for i in range(plan.workers)]
+    records = sorted(
+        (r for s in shards for r in s["records"]),
+        key=lambda r: (r.start, r.end, r.operation, r.client_dc),
+    )
+    collector = None
+    if any(s["probes"] is not None for s in shards):
+        collector = MergedCollector(
+            probes=sorted({p for s in shards for p in s["probes"] or []}),
+            samples=_merge_timed([s["samples"] or [] for s in shards]),
+            snapshots=_merge_timed([s["snapshots"] or [] for s in shards]),
+        )
+    merged_metrics = None
+    if any(s["metrics"] is not None for s in shards):
+        merged_metrics = MetricsRegistry.merge_dicts(
+            s["metrics"] for s in shards if s["metrics"] is not None)
+    merged_events = None
+    if any(s["events"] is not None for s in shards):
+        merged_events = EventLog()
+        merged_events.extend(sorted(
+            (e for s in shards for e in s["events"] or []),
+            key=lambda e: e["sim_time"],
+        ))
+    telemetry: Dict[str, Any] = {}
+    union = {name: tel for s in shards for name, tel in s["telemetry"].items()}
+    for agent in scenario.topology.all_agents():
+        if agent.name in union:
+            telemetry[agent.name] = union[agent.name]
+    combined = hashlib.sha256("\n".join(
+        f"{s['idx']}:{s['fingerprint']}" for s in shards
+    ).encode()).hexdigest()
+    report = ParallelReport(
+        workers=plan.workers,
+        cut=plan.cut,
+        window=window,
+        lookahead=plan.lookahead,
+        shards=plan.shards,
+        windows_run=windows_run,
+        fingerprint=combined,
+        shard_walls=tuple(s["wall_s"] for s in shards),
+        shard_cpus=tuple(s["cpu_s"] for s in shards),
+        wall_s=wall,
+        cores=os.cpu_count() or 1,
+        start_method=start_method,
+        envelopes=envelopes,
+    )
+    return SimulationResult(
+        scenario=scenario,
+        mode=mode,
+        until=until,
+        records=records,
+        collector=collector,
+        study=scenario.study,
+        metrics=merged_metrics,
+        events=merged_events,
+        parallel=report,
+        merged_telemetry=telemetry,
+    )

@@ -12,7 +12,6 @@ physical and the simulated infrastructure.
 from __future__ import annotations
 
 import time as _wallclock
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -104,20 +103,6 @@ class ExperimentResult:
         return vals[min(int(q * len(vals)), len(vals) - 1)]
 
 
-def _canonical_until(until: Optional[float], horizon: Optional[float],
-                     default: float) -> float:
-    """Resolve the canonical ``until`` kwarg, warning on ``horizon``."""
-    if horizon is not None:
-        warnings.warn(
-            "the horizon= keyword is deprecated; use until=",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        if until is None:
-            until = horizon
-    return default if until is None else until
-
-
 def run_experiment(
     spec: ExperimentSpec,
     physical: bool = False,
@@ -130,7 +115,6 @@ def run_experiment(
     perturbation: Optional[PhysicalPerturbation] = None,
     trace: object = None,
     profile: bool = False,
-    horizon: Optional[float] = None,
     mode: str = "event",
     metrics: object = None,
     invariants: object = None,
@@ -142,13 +126,12 @@ def run_experiment(
     the idealized GDISim model.  Both use identical workloads and
     sampling so their series pair sample-for-sample (eq. 5.5).
 
-    ``until`` is the simulated horizon in seconds (the old ``horizon=``
-    keyword still works but warns).  ``trace`` / ``profile`` flow into
-    the engine (see :mod:`repro.observability`).
+    ``until`` is the simulated horizon in seconds.  ``trace`` /
+    ``profile`` flow into the engine (see :mod:`repro.observability`).
     """
     from repro.api import Scenario
 
-    until = _canonical_until(until, horizon, 2280.0)
+    until = 2280.0 if until is None else until
     if launch_until is None:
         launch_until = until * 0.92
     if steady_window is None:
@@ -238,13 +221,12 @@ def run_validation(
     until: Optional[float] = None,
     dt: float = 0.01,
     seed: int = 42,
-    horizon: Optional[float] = None,
 ) -> Dict[str, Dict[str, ExperimentResult]]:
     """Run all experiments on both systems.
 
     Returns ``results[experiment_name]["physical"|"simulated"]``.
     """
-    until = _canonical_until(until, horizon, 2280.0)
+    until = 2280.0 if until is None else until
     out: Dict[str, Dict[str, ExperimentResult]] = {}
     for spec in EXPERIMENTS:
         out[spec.name] = {

@@ -13,7 +13,9 @@ Three pillars keep the simulator honest as it grows:
   the invariant checker as the property (see ``tests/verification``).
 
 :mod:`repro.verification.parity` adds the event ≡ adaptive sampled-
-window check that the stepping-kernel contract promises.
+window check that the stepping-kernel contract promises, and the
+sharded ≡ single-process check (:func:`check_sharded`) that gates the
+multiprocess backend on a consolidation-fleet window.
 """
 
 from repro.verification.invariants import (
@@ -27,11 +29,18 @@ from repro.verification.oracles import (
     OracleCase,
     OracleReport,
     OracleResult,
+    ParallelOracleOutcome,
     run_case,
+    run_case_parallel,
     run_sweeps,
     standard_sweeps,
 )
-from repro.verification.parity import ParityResult, check_window, check_windows
+from repro.verification.parity import (
+    ParityResult,
+    check_sharded,
+    check_window,
+    check_windows,
+)
 
 __all__ = [
     "ALL_CHECKS",
@@ -42,10 +51,13 @@ __all__ = [
     "OracleCase",
     "OracleReport",
     "OracleResult",
+    "ParallelOracleOutcome",
     "run_case",
+    "run_case_parallel",
     "run_sweeps",
     "standard_sweeps",
     "ParityResult",
+    "check_sharded",
     "check_window",
     "check_windows",
 ]

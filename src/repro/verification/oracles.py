@@ -370,6 +370,64 @@ def standard_sweeps() -> List[OracleCase]:
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
+def _replication_mean(
+    case: OracleCase,
+    rep: int,
+    *,
+    horizon: float,
+    warmup_fraction: float,
+    base_seed: int,
+    rate_fault: float,
+    mode: str,
+    dt: float,
+) -> Optional[float]:
+    """One replication's steady-state estimate (``None``: no completions).
+
+    The replication's seed depends only on (``base_seed``, ``rep``,
+    case name) — never on which process runs it — so a set of
+    replications fanned out across workers reproduces the serial sweep
+    estimate exactly.
+    """
+    horizon = horizon * case.horizon_scale
+    warm = warmup_fraction * horizon
+    case_key = zlib.crc32(case.name.encode()) % 100003
+    seed = base_seed + 1009 * rep + case_key
+    arr_rng = random.Random(seed)
+    svc_rng = random.Random(seed + 500009)
+    station = case.build(rate_fault, svc_rng)
+    sim = Simulator(dt=dt, mode=mode)
+    for agent in station.agents:
+        sim.add_agent(agent)
+    sojourns: List[float] = []
+
+    def arrive(now: float) -> None:
+        start = now
+        in_window = now >= warm
+
+        def done(_job: Any, t: float) -> None:
+            if in_window:
+                sojourns.append(t - start)
+
+        station.arrive(now, done)
+        nxt = now + arr_rng.expovariate(case.lam)
+        if nxt < horizon:
+            sim.schedule(nxt, arrive)
+
+    sim.schedule(arr_rng.expovariate(case.lam), arrive)
+    if case.metric == "utilization":
+        sim.run(horizon)
+        return station.busy() / horizon
+    # drain: jobs admitted before the horizon finish after it
+    end = horizon
+    sim.run(end)
+    while station.queue_length() > 0 and end < 3.0 * horizon:
+        end += 0.1 * horizon
+        sim.run(end)
+    if not sojourns:
+        return None
+    return sum(sojourns) / len(sojourns)
+
+
 def run_case(
     case: OracleCase,
     *,
@@ -382,48 +440,21 @@ def run_case(
     dt: float = 0.01,
 ) -> OracleResult:
     """Run one sweep point across replications and gate the estimate."""
-    horizon = horizon * case.horizon_scale
-    warm = warmup_fraction * horizon
     means: List[float] = []
-    case_key = zlib.crc32(case.name.encode()) % 100003
     for rep in range(replications):
-        seed = base_seed + 1009 * rep + case_key
-        arr_rng = random.Random(seed)
-        svc_rng = random.Random(seed + 500009)
-        station = case.build(rate_fault, svc_rng)
-        sim = Simulator(dt=dt, mode=mode)
-        for agent in station.agents:
-            sim.add_agent(agent)
-        sojourns: List[float] = []
-
-        def arrive(now: float) -> None:
-            start = now
-            in_window = now >= warm
-
-            def done(_job: Any, t: float) -> None:
-                if in_window:
-                    sojourns.append(t - start)
-
-            station.arrive(now, done)
-            nxt = now + arr_rng.expovariate(case.lam)
-            if nxt < horizon:
-                sim.schedule(nxt, arrive)
-
-        sim.schedule(arr_rng.expovariate(case.lam), arrive)
-        if case.metric == "utilization":
-            sim.run(horizon)
-            means.append(station.busy() / horizon)
-            continue
-        # drain: jobs admitted before the horizon finish after it
-        end = horizon
-        sim.run(end)
-        while station.queue_length() > 0 and end < 3.0 * horizon:
-            end += 0.1 * horizon
-            sim.run(end)
-        if not sojourns:
+        mean = _replication_mean(
+            case, rep, horizon=horizon, warmup_fraction=warmup_fraction,
+            base_seed=base_seed, rate_fault=rate_fault, mode=mode, dt=dt,
+        )
+        if mean is None:
             return OracleResult(case, float("nan"), None, float("inf"),
                                 False, "no completions in window", [])
-        means.append(sum(sojourns) / len(sojourns))
+        means.append(mean)
+    return _gate(case, means)
+
+
+def _gate(case: OracleCase, means: List[float]) -> OracleResult:
+    """Verdict over replication means: tolerance OR confidence interval."""
     mean = sum(means) / len(means)
     ci = confidence_interval(means) if len(means) >= 2 else None
     target = case.analytic_value
@@ -448,6 +479,132 @@ def _metric_key(case: OracleCase) -> str:
     ``direction_of`` treat increases as regressions."""
     suffix = "sojourn_s" if case.metric == "sojourn" else "busy_wall_s"
     return f"oracle_{case.name}_{suffix}"
+
+
+# ----------------------------------------------------------------------
+# parallel replication fan-out (the merged-metrics verify path)
+# ----------------------------------------------------------------------
+def _oracle_worker(case_name: str, reps: List[int], kwargs: Dict[str, Any],
+                   out_q: Any) -> None:
+    """Run a subset of one case's replications in a worker process.
+
+    Builders are closures, so the case is rebuilt *by name* from
+    :func:`standard_sweeps` inside the worker; per-replication seeds
+    are index-derived, so the split across workers cannot change any
+    estimate.  Each worker meters its replications into a local
+    :class:`~repro.observability.metrics.MetricsRegistry` shipped back
+    as a dict — the same merge path the sharded backend uses.
+    """
+    try:
+        from repro.observability.metrics import MetricsRegistry
+
+        case = next(c for c in standard_sweeps() if c.name == case_name)
+        registry = MetricsRegistry()
+        means: List[Any] = []
+        for rep in reps:
+            mean = _replication_mean(case, rep, **kwargs)
+            means.append((rep, mean))
+            if mean is not None:
+                registry.histogram("oracle_rep_estimate",
+                                   case=case_name).observe(mean)
+            registry.counter("oracle_replications_total",
+                             case=case_name).value += 1
+        out_q.put(("result", means, registry.to_dict()))
+    except BaseException as exc:
+        import traceback
+
+        out_q.put(("error", f"{exc!r}\n{traceback.format_exc()}"))
+        raise
+
+
+def run_case_parallel(
+    case_name: str,
+    *,
+    workers: int = 2,
+    replications: int = 4,
+    horizon: float = 600.0,
+    warmup_fraction: float = 0.25,
+    base_seed: int = 20260806,
+    rate_fault: float = 1.0,
+    mode: str = "event",
+    dt: float = 0.01,
+) -> "ParallelOracleOutcome":
+    """One sweep point with replications fanned across worker processes.
+
+    Returns the same verdict :func:`run_case` would (identical
+    replication means, identical gate) plus the merged per-worker
+    metrics registry, proving the multiprocess execution + registry
+    merge path end to end on an analytically known answer.
+    """
+    import multiprocessing as mp
+
+    from repro.observability.metrics import MetricsRegistry
+
+    case = next((c for c in standard_sweeps() if c.name == case_name), None)
+    if case is None:
+        raise ValueError(f"unknown oracle case {case_name!r}")
+    workers = max(1, min(workers, replications))
+    kwargs = {"horizon": horizon, "warmup_fraction": warmup_fraction,
+              "base_seed": base_seed, "rate_fault": rate_fault,
+              "mode": mode, "dt": dt}
+    # round-robin so every worker gets early and late replications
+    shares: List[List[int]] = [[] for _ in range(workers)]
+    for rep in range(replications):
+        shares[rep % workers].append(rep)
+    ctx = mp.get_context(
+        "fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    out_q: Any = ctx.Queue()
+    procs = [
+        ctx.Process(target=_oracle_worker,
+                    args=(case_name, share, kwargs, out_q), daemon=True)
+        for share in shares if share
+    ]
+    for p in procs:
+        p.start()
+    try:
+        collected: List[Any] = []
+        dicts: List[Dict[str, Any]] = []
+        for _ in procs:
+            msg = out_q.get(timeout=600.0)
+            if msg[0] == "error":
+                raise RuntimeError(f"oracle worker failed:\n{msg[1]}")
+            collected.extend(msg[1])
+            dicts.append(msg[2])
+        for p in procs:
+            p.join(timeout=10.0)
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+    merged = MetricsRegistry.merge_dicts(dicts)
+    by_rep = dict(collected)
+    if any(by_rep.get(rep) is None for rep in range(replications)):
+        result = OracleResult(case, float("nan"), None, float("inf"),
+                              False, "no completions in window", [])
+    else:
+        result = _gate(case, [by_rep[rep] for rep in range(replications)])
+    return ParallelOracleOutcome(result=result, metrics=merged,
+                                 workers=len(procs))
+
+
+@dataclass
+class ParallelOracleOutcome:
+    """A :func:`run_case_parallel` verdict plus its merged registry."""
+
+    result: OracleResult
+    metrics: Any
+    workers: int
+
+    @property
+    def passed(self) -> bool:
+        return self.result.passed
+
+    def to_row(self) -> Dict[str, Any]:
+        row = self.result.to_row()
+        row["workers"] = self.workers
+        row["merged_replications"] = self.metrics.counter(
+            "oracle_replications_total", case=self.result.case.name).value
+        return row
 
 
 def run_sweeps(

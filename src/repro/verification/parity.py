@@ -1,4 +1,4 @@
-"""Event ≡ adaptive stepping parity on sampled scenario windows.
+"""Execution-backend parity on sampled scenario windows.
 
 The event kernel's contract (PR 3) is bit-identical boundary discovery
 versus the adaptive poll.  This module samples short end-to-end windows
@@ -6,14 +6,26 @@ of a scenario in both modes and diffs everything observable — operation
 records, per-agent telemetry and (when a collector is attached) the
 sampled series — turning the contract into a standing verification
 check that ``python -m repro verify --parity`` can gate on.
+
+:func:`check_sharded` extends the same discipline to the sharded
+multiprocess backend (PR 6): one consolidation-fleet window with
+cross-shard ``RemotePort`` traffic runs single-process and with
+``parallel=ParallelOptions(...)``, and every merged output must agree.
+Discrete state (records, sampled series, metric fingerprints) must be
+*exactly* equal; time-integrated telemetry floats (``busy_time`` and
+friends) accumulate per window, so their addition order differs and the
+comparison allows a last-ULP relative tolerance (documented in
+``docs/parallel.md``).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.api import Collect, Scenario, simulate
+from repro.api import Collect, ParallelOptions, Scenario, simulate
 from repro.software.application import Application
 from repro.software.message import CLIENT, MessageSpec
 from repro.software.operation import Operation
@@ -136,3 +148,164 @@ def check_windows(
 ) -> List[ParityResult]:
     """The default sampled-window sweep for ``verify --parity``."""
     return [check_window(seed=s, until=until) for s in seeds]
+
+
+# --------------------------------------------------------------------------
+# Sharded-backend parity (PR 6)
+# --------------------------------------------------------------------------
+
+def _sharded_fleet_setup(session) -> None:
+    """Fleet background load plus deterministic cross-DC remote traffic.
+
+    On top of :func:`repro.studies.fleet.fleet_setup`, the master
+    periodically pushes replication-control legs to every region through
+    ``session.remote`` at exactly the WAN propagation latency — the
+    smallest latency the sharded backend's window admits — so the
+    envelope relay path is exercised, not just the shard-local fast
+    path.  Payloads are drawn at setup time from one fixed stream on
+    every shard (the draws happen before the ownership guard), so the
+    traffic is identical however the topology is cut.
+    """
+    from repro.studies.consolidation import MASTER
+    from repro.studies.fleet import REGION_LATENCY_S, fleet_setup
+
+    fleet_setup(session)
+    topo = session.scenario.topology
+    regions = sorted(n for n in topo.datacenters if n != MASTER)
+    for name in regions:
+        if not session.owns(name):
+            continue
+        dc = topo.datacenters[name]
+        server = next(iter(dc.tiers.values())).servers[0]
+
+        def handler(payload, now, server=server):
+            server.process_leg(
+                now,
+                cycles=payload["cycles"],
+                net_bits=payload["net_bits"],
+                mem_bytes=32e6,
+                disk_bytes=payload["disk_bytes"],
+                on_complete=lambda t: None,
+            )
+
+        session.remote.on_message(name, handler)
+
+    r = random.Random(777)
+    sends = []
+    for k, name in enumerate(regions):
+        for j in range(4):
+            t = 0.5 + 1.7 * j + 0.13 * k
+            sends.append((t, name, {
+                "cycles": r.uniform(0.5, 1.5) * 1e8,
+                "net_bits": r.uniform(1.0, 3.0) * 1e9,
+                "disk_bytes": r.uniform(5.0, 20.0) * 1e6,
+            }))
+    if session.owns(MASTER):
+        for t, name, payload in sends:
+            session.sim.schedule(
+                t,
+                lambda now, n=name, p=payload: session.remote.send(
+                    MASTER, n, p, latency_s=REGION_LATENCY_S),
+            )
+
+
+def sharded_fleet_scenario(n_regions: int = 4, seed: int = 42) -> Scenario:
+    """The consolidation fleet with remote traffic, ready to shard."""
+    from repro.software.placement import SingleMasterPlacement
+    from repro.studies.consolidation import MASTER
+    from repro.studies.fleet import fleet_topology
+
+    return Scenario(
+        name="consolidation-fleet-remote",
+        topology=fleet_topology(n_regions, seed=seed),
+        placement=SingleMasterPlacement(MASTER, local_fs=True),
+        seed=seed,
+        setup=_sharded_fleet_setup,
+    )
+
+
+def _almost(a: Any, b: Any, rel: float) -> bool:
+    """Structural equality with relative tolerance on floats only."""
+    if isinstance(a, float) and isinstance(b, (int, float)):
+        if a == b:
+            return True
+        return abs(a - b) <= rel * max(abs(a), abs(b))
+    if type(a) is not type(b):
+        return False
+    if dataclasses.is_dataclass(a) and not isinstance(a, type):
+        return _almost(dataclasses.asdict(a), dataclasses.asdict(b), rel)
+    if isinstance(a, dict):
+        return (a.keys() == b.keys()
+                and all(_almost(a[k], b[k], rel) for k in a))
+    if isinstance(a, (list, tuple)):
+        return (len(a) == len(b)
+                and all(_almost(x, y, rel) for x, y in zip(a, b)))
+    return a == b
+
+
+def check_sharded(
+    *,
+    n_regions: int = 4,
+    until: float = 10.0,
+    workers: int = 2,
+    cut: str = "region",
+    seed: int = 42,
+    sample_interval: float = 2.0,
+    float_rel_tol: float = 1e-9,
+) -> ParityResult:
+    """Diff the sharded backend against a single-process run.
+
+    Records, sampled series and metric fingerprint lines must be exactly
+    equal; telemetry floats are compared within ``float_rel_tol``
+    (windowed ``busy_time`` accumulation reorders float additions — the
+    drift is inherent to windowing, not to the shard transport, and is
+    reproduced by a single-process windowed run).  The check also
+    requires that cross-shard envelopes actually flowed, so a cut that
+    silently localized the traffic cannot pass vacuously.
+    """
+    outputs = {}
+    reports = {}
+    for label in ("single", "sharded"):
+        scenario = sharded_fleet_scenario(n_regions, seed=seed)
+        result = simulate(
+            scenario, until=until,
+            collect=Collect(sample_interval=sample_interval),
+            metrics="on",
+            parallel=(ParallelOptions(workers=workers, cut=cut)
+                      if label == "sharded" else None),
+        )
+        series = {
+            name: result.collector.series(name)
+            for name in sorted(result.collector._probes)
+        }
+        fingerprint = (sorted(result.metrics.fingerprint_lines())
+                       if result.metrics is not None else None)
+        outputs[label] = (
+            sorted((r.operation, r.start, r.end, r.failed)
+                   for r in result.records),
+            series,
+            fingerprint,
+            result.telemetry(),
+        )
+        reports[label] = result.parallel
+    single, sharded = outputs["single"], outputs["sharded"]
+    mismatches: List[str] = []
+    for name, a, b in (("records", single[0], sharded[0]),
+                       ("series", single[1], sharded[1]),
+                       ("metrics", single[2], sharded[2])):
+        if a != b:
+            mismatches.append(name)
+    if not _almost(single[3], sharded[3], float_rel_tol):
+        mismatches.append("telemetry")
+    report = reports["sharded"]
+    if report is None or report.workers != workers:
+        mismatches.append("backend-not-sharded")
+    elif workers > 1 and report.envelopes == 0:
+        mismatches.append("no-cross-shard-envelopes")
+    return ParityResult(
+        scenario=f"consolidation-fleet-remote[w={workers},cut={cut}]",
+        until=until,
+        records=len(single[0]),
+        identical=not mismatches,
+        mismatches=mismatches,
+    )

@@ -108,14 +108,28 @@ def _ping_pong(executor: str):
     return sorted(a_done), sorted(b_done), coord.windows_run
 
 
-def test_sequential_and_threaded_executors_agree():
+def test_thread_executor_deprecated_but_agrees():
+    """executor="thread" warns and falls back to the sequential loop."""
     seq = _ping_pong("sequential")
-    thr = _ping_pong("thread")
+    with pytest.warns(DeprecationWarning, match="thread"):
+        thr = _ping_pong("thread")
     assert seq[0] == thr[0]
     assert seq[1] == thr[1]
     assert seq[2] == pytest.approx(thr[2])
     assert len(seq[1]) == 10  # every ping processed at B
     assert len(seq[0]) == 10  # every bounce processed at A
+
+
+def test_process_executor_needs_factories():
+    """run(executor="process") is only valid on a factory-built
+    coordinator (live Partition objects cannot cross processes)."""
+    from repro.core.errors import ConfigurationError
+
+    a, _, _ = make_partition("A")
+    b, _, _ = make_partition("B")
+    coord = PartitionedSimulation([a, b], min_latency_s=LOOKAHEAD)
+    with pytest.raises(ConfigurationError):
+        coord.run(0.2, executor="process")
 
 
 def test_windows_cover_horizon():
@@ -195,3 +209,25 @@ def test_multiprocess_partitions_complete():
 def test_multiprocess_validates_lookahead():
     with pytest.raises(ValueError):
         run_multiprocess({"a": _factory_sink}, min_latency_s=0.0, until=1.0)
+
+
+@pytest.mark.slow
+def test_from_factories_runs_process_executor():
+    """The factory-built coordinator is the canonical process path."""
+    coord = PartitionedSimulation.from_factories(
+        {"source": _factory_source, "sink": _factory_sink},
+        min_latency_s=0.05,
+    )
+    coord.run(0.5, executor="process")
+    assert set(coord.finals) == {"source", "sink"}
+    for now in coord.finals.values():
+        assert now == pytest.approx(0.5, abs=0.02)
+    assert coord.windows_run == 10
+
+
+def test_max_workers_kwarg_deprecated():
+    a, _, _ = make_partition("A")
+    b, _, _ = make_partition("B")
+    coord = PartitionedSimulation([a, b], min_latency_s=LOOKAHEAD)
+    with pytest.warns(DeprecationWarning, match="max_workers"):
+        coord.run(0.2, max_workers=2)

@@ -1,0 +1,201 @@
+"""Tests for the sharded multiprocess backend and its partition cuts."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    Collect,
+    CheckpointOptions,
+    ObservabilityOptions,
+    ParallelOptions,
+    Scenario,
+    simulate,
+)
+from repro.core.errors import ConfigurationError
+from repro.parallel.partition import partition_topology
+from repro.studies.fleet import REGION_LATENCY_S, fleet_scenario, fleet_topology
+
+
+# ----------------------------------------------------------------------
+# cut quality
+# ----------------------------------------------------------------------
+def test_region_cut_is_balanced_and_complete():
+    topo = fleet_topology(8)
+    plan = partition_topology(topo, workers=4, cut="region")
+    assert plan.workers == 4
+    placed = [dc for shard in plan.shards for dc in shard]
+    assert sorted(placed) == sorted(topo.datacenters)  # exactly once each
+
+    weights = {
+        name: sum(1 for _ in dc.agents())
+        for name, dc in topo.datacenters.items()
+    }
+    loads = [sum(weights[dc] for dc in shard) for shard in plan.shards]
+    # greedy LPT keeps every shard within one region of the heaviest
+    # non-master shard; nothing degenerates to empty
+    assert all(load > 0 for load in loads)
+    region_load = max(weights[f"R{i:02d}"] for i in range(8))
+    assert max(loads) - min(loads) <= max(region_load, weights["DNA"])
+
+
+def test_holon_cut_is_one_dc_per_shard():
+    topo = fleet_topology(4)
+    plan = partition_topology(topo, workers=2, cut="holon")
+    assert plan.workers == len(topo.datacenters)
+    assert all(len(shard) == 1 for shard in plan.shards)
+
+
+def test_cross_cut_edges_cover_the_window():
+    """Every cross-shard edge's latency must be >= the sync window."""
+    topo = fleet_topology(6)
+    for cut in ("region", "holon"):
+        plan = partition_topology(topo, workers=3, cut=cut)
+        assert plan.cross_links, "fleet cuts must cross WAN links"
+        for a, b, latency in plan.cross_links:
+            assert plan.shard_of(a) != plan.shard_of(b) or cut == "holon"
+            assert latency >= plan.lookahead - 1e-12
+        assert plan.lookahead == pytest.approx(REGION_LATENCY_S)
+        # the configured window may narrow but never exceed lookahead
+        assert min(lat for _, _, lat in plan.cross_links) == pytest.approx(
+            plan.lookahead)
+
+
+def test_cut_validation():
+    topo = fleet_topology(2)
+    with pytest.raises(ConfigurationError):
+        partition_topology(topo, workers=0, cut="region")
+    with pytest.raises(ConfigurationError):
+        partition_topology(topo, workers=2, cut="diagonal")
+
+
+# ----------------------------------------------------------------------
+# option groups and the scenario-JSON parallel block
+# ----------------------------------------------------------------------
+def test_parallel_options_coerce():
+    assert ParallelOptions.coerce(3).workers == 3
+    opts = ParallelOptions.coerce({"workers": 4, "cut": "holon"})
+    assert (opts.workers, opts.cut, opts.window) == (4, "holon", None)
+    same = ParallelOptions(workers=2)
+    assert ParallelOptions.coerce(same) is same
+    with pytest.raises(ConfigurationError):
+        ParallelOptions.coerce(True)
+    with pytest.raises(ConfigurationError):
+        ParallelOptions.coerce({"wrkrs": 2})
+    with pytest.raises(ConfigurationError):
+        ParallelOptions(workers=0)
+    with pytest.raises(ConfigurationError):
+        ParallelOptions(cut="diagonal")
+
+
+def test_parallel_block_roundtrips_scenario_json(tmp_path):
+    sc = fleet_scenario(2)
+    sc.parallel = ParallelOptions(workers=2, cut="holon", window=0.05)
+    path = tmp_path / "fleet.json"
+    sc.to_json(path)
+    doc = json.loads(path.read_text())
+    assert doc["parallel"] == {"workers": 2, "cut": "holon", "window": 0.05}
+    rebuilt = Scenario.from_json(path)
+    opts = ParallelOptions.coerce(rebuilt.parallel)
+    assert (opts.workers, opts.cut, opts.window) == (2, "holon", 0.05)
+
+
+def test_grouped_and_flat_observability_clash():
+    sc = fleet_scenario(2)
+    with pytest.raises(ConfigurationError, match="collect"):
+        simulate(sc, until=1.0, collect=Collect(sample_interval=1.0),
+                 observability=ObservabilityOptions(
+                     collect=Collect(sample_interval=2.0)))
+
+
+def test_grouped_options_delegate_like_flat():
+    sc = fleet_scenario(1)
+    grouped = simulate(
+        sc, until=2.0,
+        observability=ObservabilityOptions(
+            collect=Collect(sample_interval=1.0), metrics="on"),
+    )
+    flat = simulate(
+        fleet_scenario(1), until=2.0,
+        collect=Collect(sample_interval=1.0), metrics="on",
+    )
+    assert (sorted(grouped.metrics.fingerprint_lines())
+            == sorted(flat.metrics.fingerprint_lines()))
+    assert len(grouped.collector.samples) == len(flat.collector.samples)
+
+
+def test_checkpoint_group_validates_like_flat(tmp_path):
+    sc = fleet_scenario(1)
+    with pytest.raises(ConfigurationError):
+        simulate(sc, until=1.0, checkpoint=CheckpointOptions(every=0.5))
+
+
+# ----------------------------------------------------------------------
+# sharded execution
+# ----------------------------------------------------------------------
+def test_parallel_rejects_per_engine_features():
+    sc = fleet_scenario(2)
+    with pytest.raises(ConfigurationError, match="trace or profile"):
+        simulate(sc, until=1.0, profile=True,
+                 parallel=ParallelOptions(workers=2))
+    with pytest.raises(ConfigurationError, match="checkpoint"):
+        simulate(sc, until=1.0, checkpoint_every=0.5, checkpoint_path="x",
+                 parallel=ParallelOptions(workers=2))
+    with pytest.raises(ConfigurationError, match="invariant"):
+        simulate(sc, until=1.0, invariants="strict",
+                 parallel=ParallelOptions(workers=2))
+
+
+def test_window_cannot_exceed_lookahead():
+    sc = fleet_scenario(2)
+    with pytest.raises(ConfigurationError, match="lookahead"):
+        simulate(sc, until=1.0,
+                 parallel=ParallelOptions(workers=2,
+                                          window=REGION_LATENCY_S * 4))
+
+
+def test_workers_one_is_single_process_with_report():
+    result = simulate(fleet_scenario(1), until=2.0, metrics="on",
+                      parallel=ParallelOptions(workers=1))
+    report = result.parallel
+    assert report.workers == 1
+    assert report.start_method == "none"
+    assert result.metrics is not None
+
+
+@pytest.mark.slow
+def test_sharded_run_matches_single_process():
+    from repro.verification.parity import check_sharded
+
+    result = check_sharded(n_regions=2, until=5.0, workers=2)
+    assert result.identical, result.mismatches
+
+
+@pytest.mark.slow
+def test_sharded_merges_metrics_and_telemetry():
+    result = simulate(
+        fleet_scenario(2), until=4.0, metrics="on",
+        collect=Collect(sample_interval=1.0),
+        parallel=ParallelOptions(workers=2),
+    )
+    single = simulate(
+        fleet_scenario(2), until=4.0, metrics="on",
+        collect=Collect(sample_interval=1.0),
+    )
+    assert (sorted(result.metrics.fingerprint_lines())
+            == sorted(single.metrics.fingerprint_lines()))
+    # merged telemetry covers every agent of the whole topology
+    assert set(result.telemetry()) == set(single.telemetry())
+    report = result.parallel
+    assert report.workers == 2
+    assert report.windows_run == 50  # 4.0s / 0.08s lookahead
+    assert len(report.shard_walls) == 2
+    assert report.fingerprint
+
+
+def test_scenario_parallel_block_drives_simulate():
+    """A parallel: block in the scenario JSON selects the backend."""
+    sc = fleet_scenario(1)
+    sc.parallel = {"workers": 1}
+    result = simulate(sc, until=1.0)
+    assert result.parallel is not None and result.parallel.workers == 1

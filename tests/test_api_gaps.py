@@ -121,39 +121,30 @@ def test_simulation_session_reuse():
 
 
 # ----------------------------------------------------------------------
-# deprecated entry points keep working, but warn
+# the PR 1 deprecation cycle is closed: the shims are gone for good
 # ----------------------------------------------------------------------
-def test_io_save_load_shims_warn(tmp_path):
-    from repro.api import Scenario
-    from repro.io import load_scenario, save_scenario
+def test_io_shims_removed():
+    import repro.io
 
-    sc = Scenario.from_spec("consolidation")
-    path = tmp_path / "scenario.json"
-    with pytest.warns(DeprecationWarning):
-        save_scenario(path, sc.topology,
-                      {a.name: a.workloads for a in sc.applications})
-    with pytest.warns(DeprecationWarning):
-        topo, curves = load_scenario(path)
-    assert sorted(topo.datacenters) == sorted(sc.topology.datacenters)
-    assert set(curves) == {"CAD", "VIS", "PDM"}
+    assert not hasattr(repro.io, "save_scenario")
+    assert not hasattr(repro.io, "load_scenario")
+    with pytest.raises(ImportError):
+        from repro.io import save_scenario  # noqa: F401
 
 
-def test_run_experiment_horizon_kwarg_warns():
+def test_run_experiment_horizon_kwarg_removed():
     from repro.validation.experiments import EXPERIMENTS, run_experiment
 
-    with pytest.warns(DeprecationWarning, match="horizon"):
-        result = run_experiment(EXPERIMENTS[0], horizon=60.0,
-                                launch_until=50.0,
-                                steady_window=(10.0, 50.0))
-    assert result.horizon == 60.0
+    with pytest.raises(TypeError, match="horizon"):
+        run_experiment(EXPERIMENTS[0], horizon=60.0,
+                       launch_until=50.0,
+                       steady_window=(10.0, 50.0))
 
 
-def test_run_experiment_until_and_horizon_agree():
-    """until= wins when both are passed; horizon= still warns."""
+def test_run_experiment_until_is_canonical():
     from repro.validation.experiments import EXPERIMENTS, run_experiment
 
-    with pytest.warns(DeprecationWarning):
-        result = run_experiment(EXPERIMENTS[0], until=60.0, horizon=999.0,
-                                launch_until=50.0,
-                                steady_window=(10.0, 50.0))
+    result = run_experiment(EXPERIMENTS[0], until=60.0,
+                            launch_until=50.0,
+                            steady_window=(10.0, 50.0))
     assert result.horizon == 60.0

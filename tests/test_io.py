@@ -8,8 +8,6 @@ from repro.core.errors import ConfigurationError
 from repro.io import (
     datacenter_from_dict,
     datacenter_to_dict,
-    load_scenario,
-    save_scenario,
     topology_from_document,
     topology_to_document,
 )
@@ -61,25 +59,32 @@ def test_consolidated_topology_roundtrips():
 
 
 def test_workloads_roundtrip(tmp_path):
+    from repro.api import Scenario
+
     topo = GlobalTopology(seed=1)
     topo.add_datacenter(small_dc_spec("DNA"))
     curves = {"CAD": {"DNA": WorkloadCurve.business_hours(100.0, 9.0, 17.0)}}
     path = tmp_path / "scenario.json"
-    save_scenario(path, topo, curves)
-    rebuilt, workloads = load_scenario(path)
-    assert workloads["CAD"]["DNA"].hourly == curves["CAD"]["DNA"].hourly
+    Scenario(topology=topo, workload_curves=curves).to_json(path)
+    rebuilt = Scenario.from_json(path)
+    assert (rebuilt.workload_curves["CAD"]["DNA"].hourly
+            == curves["CAD"]["DNA"].hourly)
 
 
 def test_saved_file_is_plain_json(tmp_path):
+    from repro.api import Scenario
+
     topo = GlobalTopology(seed=1)
     topo.add_datacenter(small_dc_spec("DNA"))
     path = tmp_path / "scenario.json"
-    save_scenario(path, topo)
+    Scenario(topology=topo).to_json(path)
     doc = json.loads(path.read_text())
     assert doc["datacenters"][0]["name"] == "DNA"
 
 
 def test_invalid_documents_rejected(tmp_path):
+    from repro.api import Scenario
+
     with pytest.raises(ConfigurationError):
         topology_from_document({})
     with pytest.raises(ConfigurationError):
@@ -87,7 +92,15 @@ def test_invalid_documents_rejected(tmp_path):
     bad = tmp_path / "bad.json"
     bad.write_text("{not json")
     with pytest.raises(ConfigurationError):
-        load_scenario(bad)
+        Scenario.from_json(bad)
+
+
+def test_legacy_io_shims_removed():
+    """The PR 1 deprecation cycle is complete: the shims are gone."""
+    import repro.io
+
+    assert not hasattr(repro.io, "save_scenario")
+    assert not hasattr(repro.io, "load_scenario")
 
 
 def test_bad_tier_spec_reported():
@@ -108,11 +121,13 @@ def test_loaded_topology_simulates(tmp_path):
     from repro.software.placement import SingleMasterPlacement
     from repro.software.resources import R
 
+    from repro.api import Scenario
+
     topo = GlobalTopology(seed=1)
     topo.add_datacenter(small_dc_spec("DNA"))
     path = tmp_path / "s.json"
-    save_scenario(path, topo)
-    loaded, _ = load_scenario(path, seed=1)
+    Scenario(topology=topo).to_json(path)
+    loaded = Scenario.from_json(path, seed=1).topology
 
     sim = Simulator(dt=0.01)
     sim.add_holon(loaded.datacenter("DNA"))
