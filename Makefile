@@ -4,7 +4,8 @@ PYTHON ?= python3
 
 .PHONY: install test test-fast test-cov test-deep verify-oracles bench \
         bench-full bench-engine bench-parallel examples trace-demo \
-        resilience-demo checkpoint-roundtrip metrics-compare lint clean
+        trace-parallel-demo resilience-demo checkpoint-roundtrip \
+        metrics-compare lint clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -57,6 +58,11 @@ trace-demo:  ## fluid latency waterfalls + Chrome trace for the ch. 6 study
 	@test -s trace-demo.json || { echo "trace-demo.json is empty"; exit 1; }
 	@echo "trace-demo: wrote $$(wc -c < trace-demo.json) bytes to trace-demo.json"
 
+trace-parallel-demo:  ## traced+profiled 2-worker run, validates the merged trace
+	$(PYTHON) scripts/trace_parallel_demo.py \
+	    --out trace-parallel.json --profile-out profile-parallel.json
+	@echo "trace-parallel-demo: wrote trace-parallel.json profile-parallel.json"
+
 resilience-demo:  ## degraded-mode drill: policies off vs resilient under crash load
 	$(PYTHON) -m repro resilience-drill --until 120 --mtbf 60
 	$(PYTHON) examples/failure_drill.py
@@ -67,4 +73,4 @@ checkpoint-roundtrip:  ## kill a run mid-flight, resume, assert bit-exact equali
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
 	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info
-	rm -f trace-demo.json
+	rm -f trace-demo.json trace-parallel.json profile-parallel.json

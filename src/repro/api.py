@@ -111,11 +111,26 @@ class ParallelOptions:
     optionally narrows the synchronization window below the lookahead
     (it can never exceed it).  ``workers <= 1`` falls back to the
     single-process engine.
+
+    The supervisor knobs configure the live run supervisor
+    (:mod:`repro.parallel.supervisor`): workers heartbeat every
+    ``heartbeat_every`` wall seconds (0 disables the sideband); a shard
+    whose sim-time watermark stops advancing for ``stall_timeout`` wall
+    seconds is flagged with a ``worker_stalled`` event
+    (``on_stall="event"``) or aborts the run with
+    :class:`~repro.core.errors.WorkerStalled` (``on_stall="abort"``);
+    ``status_path`` names a JSON status file rewritten atomically during
+    the run — point ``python -m repro top <path>`` at it for a live
+    per-shard progress view.
     """
 
     workers: int = 2
     cut: str = "region"
     window: Optional[float] = None
+    heartbeat_every: float = 0.5
+    stall_timeout: Optional[float] = 300.0
+    on_stall: str = "event"
+    status_path: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -126,6 +141,16 @@ class ParallelOptions:
                 "(choose 'region' or 'holon')")
         if self.window is not None and self.window <= 0:
             raise ConfigurationError("parallel window must be positive")
+        if self.heartbeat_every < 0:
+            raise ConfigurationError(
+                "parallel heartbeat_every must be >= 0 (0 disables)")
+        if self.stall_timeout is not None and self.stall_timeout <= 0:
+            raise ConfigurationError(
+                "parallel stall_timeout must be positive (or None)")
+        if self.on_stall not in ("event", "abort"):
+            raise ConfigurationError(
+                f"unknown parallel on_stall {self.on_stall!r} "
+                "(choose 'event' or 'abort')")
 
     @classmethod
     def coerce(cls, value: Any) -> "ParallelOptions":
@@ -139,7 +164,8 @@ class ParallelOptions:
         if isinstance(value, int):
             return cls(workers=value)
         if isinstance(value, Mapping):
-            known = {"workers", "cut", "window"}
+            known = {"workers", "cut", "window", "heartbeat_every",
+                     "stall_timeout", "on_stall", "status_path"}
             unknown = set(value) - known
             if unknown:
                 raise ConfigurationError(
@@ -150,6 +176,11 @@ class ParallelOptions:
                 cut=str(value.get("cut", "region")),
                 window=(None if value.get("window") is None
                         else float(value["window"])),
+                heartbeat_every=float(value.get("heartbeat_every", 0.5)),
+                stall_timeout=(None if value.get("stall_timeout") is None
+                               else float(value["stall_timeout"])),
+                on_stall=str(value.get("on_stall", "event")),
+                status_path=value.get("status_path"),
             )
         raise ConfigurationError(
             f"cannot interpret parallel options from {type(value).__name__}")
@@ -157,7 +188,12 @@ class ParallelOptions:
     def to_dict(self) -> Dict[str, Any]:
         """The scenario-JSON ``parallel:`` block (round-trips coerce)."""
         return {"workers": self.workers, "cut": self.cut,
-                "window": self.window}
+                "window": self.window,
+                "heartbeat_every": self.heartbeat_every,
+                "stall_timeout": self.stall_timeout,
+                "on_stall": self.on_stall,
+                "status_path": (None if self.status_path is None
+                                else str(self.status_path))}
 
 
 class RemotePort:
@@ -208,10 +244,26 @@ class RemotePort:
         assert self._session is not None, "port used before bind()"
         t = self._session.sim.now if now is None else now
         self.sent += 1
-        self._session.sim.schedule(
-            t + latency_s,
-            lambda arrival, p=payload, d=dst_dc: self._deliver(d, p, arrival),
-        )
+        # deliver inside the sender's cascade context (if any), so spans
+        # recorded by the handler link to the originating cascade — the
+        # single-process mirror of the envelope trace context that rides
+        # cross-shard sends (see repro.parallel.sharded._ShardPort)
+        tracer = self._session.sim.trace
+        tctx = tracer.export_context() if tracer is not None else None
+
+        def deliver(arrival: float, p=payload, d=dst_dc) -> None:
+            if tctx is None:
+                self._deliver(d, p, arrival)
+                return
+            ctx = tracer.adopt_context(tctx)
+            prev, prev_parent = tracer.current, tracer.current_parent
+            tracer.current, tracer.current_parent = ctx, tctx[5]
+            try:
+                self._deliver(d, p, arrival)
+            finally:
+                tracer.current, tracer.current_parent = prev, prev_parent
+
+        self._session.sim.schedule(t + latency_s, deliver)
 
 
 @dataclass
@@ -605,6 +657,24 @@ class SimulationSession:
         """The owned data-center names, or ``None`` when unsharded."""
         return None if self._owned is None else tuple(sorted(self._owned))
 
+    def progress(self) -> Dict[str, Any]:
+        """A live progress snapshot of this session's engine.
+
+        The single-process counterpart of the sharded run supervisor's
+        status document (:meth:`repro.parallel.supervisor.RunSupervisor.
+        progress`): current sim time, completed records, calendar
+        backlog and RSS.  Cheap enough to call from a monitor.
+        """
+        from repro.parallel.supervisor import rss_kb
+
+        return {
+            "scenario": self.scenario.name,
+            "watermark": self.sim.now,
+            "records": len(self.runner.records),
+            "pending": self.sim.pending_events(),
+            "rss_kb": rss_kb(),
+        }
+
     def collect(
         self,
         sample_interval: float = 6.0,
@@ -936,11 +1006,16 @@ class SimulationResult:
 
         With tracing disabled (or nothing recorded) this writes a valid,
         empty Chrome-trace document rather than failing, so export
-        pipelines are safe to run unconditionally.
+        pipelines are safe to run unconditionally.  A merged sharded
+        trace exports with one ``pid`` lane per shard and flow events
+        on cross-shard hops.
         """
         from repro.observability.exporters import write_chrome_trace
 
-        return write_chrome_trace(str(path), self.spans(), self.cascades())
+        return write_chrome_trace(
+            str(path), self.spans(), self.cascades(),
+            shard_labels=getattr(self.trace, "shard_labels", None),
+            flows=getattr(self.trace, "flows", None) or ())
 
     def waterfall(self, operation: Optional[str] = None) -> str:
         """Mean per-agent latency waterfall from the recorded spans."""
@@ -1094,9 +1169,15 @@ def simulate(
         (:func:`repro.parallel.partition.partition_topology`), runs one
         engine per shard in its own OS process synchronized in
         conservative lookahead windows, and returns a merged result
-        (records, series, telemetry, metrics) equivalent to the
-        single-process run — see ``docs/parallel.md``.  Incompatible
-        with tracing, profiling and checkpointing.
+        (records, series, telemetry, metrics, trace, profile)
+        equivalent to the single-process run — see ``docs/parallel.md``.
+        Tracing and profiling work sharded: each worker records its own
+        spans/phase timings and the result carries the merged trace
+        (one ``pid`` lane per shard in the Chrome export, flow events
+        on cross-shard hops) and merged profile (engine phases plus the
+        backend's ``window_advance`` / ``envelope_exchange`` /
+        ``barrier_wait``).  Checkpoint/resume and the invariant checker
+        remain single-process-only for now.
     """
     obs = _merge_group(
         observability, ObservabilityOptions,
@@ -1138,19 +1219,30 @@ def simulate(
         # backend is a backend choice, and its single-shard fallback
         # (the baseline cell of every scaling sweep) must behave
         # exactly like the sharded runs it is compared against
-        if trace is not None or profile:
+        if checkpoint_every is not None or checkpoint_path is not None:
             raise ConfigurationError(
-                "parallel execution cannot trace or profile (both "
-                "are per-engine); run single-process for those")
-        if (checkpoint_every is not None or resume_from is not None):
+                "parallel execution does not write checkpoints yet "
+                "(per-shard snapshots need a coordinated barrier "
+                "cut; tracked in ROADMAP.md under 'Checkpoint/"
+                "resume under parallel='). Run single-process with "
+                "checkpoint_every=/checkpoint_path= for crash "
+                "safety, or drop the checkpoint options")
+        if resume_from is not None:
             raise ConfigurationError(
-                "parallel execution does not checkpoint or resume "
-                "yet; run single-process for crash safety")
+                "parallel execution cannot resume from a checkpoint "
+                "yet (tracked in ROADMAP.md under 'Checkpoint/resume "
+                "under parallel='). Resume single-process with "
+                "resume_from=, or re-run sharded from t=0")
         if invariants is not None:
             raise ConfigurationError(
                 "parallel execution cannot attach the invariant "
-                "checker (it recomputes whole-session fingerprints);"
-                " run single-process to verify invariants")
+                "checker yet: it recomputes whole-session "
+                "fingerprints, which would need cross-shard "
+                "aggregation at every monitor boundary (tracked in "
+                "ROADMAP.md under 'Invariant checking under "
+                "parallel='). Run single-process with invariants= "
+                "to verify, or use `repro verify --parity` which "
+                "cross-checks sharded against single-process output")
         if until is None:
             raise ConfigurationError(
                 "simulate() needs until= for DES modes")
@@ -1158,6 +1250,7 @@ def simulate(
 
         return run_sharded(
             scenario, until=until, options=popts, dt=dt, mode=mode,
+            trace=trace, profile=profile,
             collect=collect, workloads=workloads,
             resilience=resilience, metrics=metrics, slo=slo,
         )

@@ -385,6 +385,64 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return code
 
 
+def _format_top(doc: dict) -> str:
+    """Render one frame of the live sharded-run view."""
+    until = float(doc.get("until", 0.0)) or 1.0
+    watermark = float(doc.get("watermark", 0.0))
+    pct = min(watermark / until, 1.0)
+    header = (f"{doc.get('scenario', '?')}  [{doc.get('state', '?')}]  "
+              f"t={watermark:.2f}/{until:g}s ({pct:.0%})  "
+              f"windows={doc.get('windows_run', 0)}  "
+              f"workers={doc.get('workers', 0)}")
+    lines = [header,
+             f"{'shard':>5} {'state':<9} {'watermark':>10} {'records':>8} "
+             f"{'sent':>6} {'pending':>8} {'rss_mb':>7} {'age_s':>6}  dcs"]
+    for row in doc.get("shards", []):
+        age = row.get("age_s")
+        lines.append(
+            f"{row.get('shard', '?'):>5} {row.get('state', '?'):<9} "
+            f"{row.get('watermark', 0.0):>10.2f} "
+            f"{row.get('records', 0):>8d} {row.get('sent', 0):>6d} "
+            f"{row.get('pending', 0):>8d} "
+            f"{row.get('rss_kb', 0) / 1024.0:>7.1f} "
+            f"{(f'{age:.0f}' if age is not None else '-'):>6}  "
+            f"{','.join(row.get('dcs', []))}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live per-shard progress view over a supervisor status file.
+
+    The file is the atomically-rewritten JSON that
+    ``ParallelOptions(status_path=...)`` maintains during a sharded
+    run; polling it never perturbs the simulation.
+    """
+    import json
+    import time
+
+    deadline = time.monotonic() + args.wait
+    while True:
+        try:
+            with open(args.status, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            # not written yet (or mid-replace on a non-atomic FS)
+            if args.once or time.monotonic() > deadline:
+                print(f"repro top: no readable status at {args.status}",
+                      file=sys.stderr)
+                return 2
+            time.sleep(min(args.refresh, 0.2))
+            continue
+        print(_format_top(doc))
+        state = doc.get("state")
+        if state == "error":
+            return 1
+        if state == "finished" or args.once:
+            return 0
+        time.sleep(args.refresh)
+        print()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -517,6 +575,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="also print the compare-style table")
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "top",
+        help="live per-shard progress of a sharded run",
+        description="Watch the JSON status file a sharded run maintains "
+                    "when ParallelOptions(status_path=...) is set: "
+                    "fleet watermark plus per-shard state, records, "
+                    "calendar backlog and RSS.  Exits 0 when the run "
+                    "finishes, 1 on a worker error.")
+    p.add_argument("status", help="status-file path (status_path=)")
+    p.add_argument("--refresh", type=float, default=1.0,
+                   help="seconds between frames (default 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit")
+    p.add_argument("--wait", type=float, default=10.0,
+                   help="seconds to wait for the file to appear")
+    p.set_defaults(func=_cmd_top)
     return parser
 
 

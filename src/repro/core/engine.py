@@ -261,6 +261,11 @@ class Simulator:
         of the checkpoint fingerprint (kernel heap state)."""
         return [(m.interval, m.next_due) for m in self._monitors]
 
+    def pending_events(self) -> int:
+        """Calendar entries not yet fired — a cheap backlog gauge used
+        by sharded-run heartbeats (``repro top``'s *pending* column)."""
+        return len(self._calendar)
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------

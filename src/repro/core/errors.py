@@ -48,3 +48,31 @@ class CheckpointError(SimulationError):
     """A checkpoint file is unreadable, incompatible with the scenario it
     is being resumed into, or fails the state-hash invariant after the
     deterministic replay (the resumed run would not be bit-identical)."""
+
+
+class WorkerError(SimulationError):
+    """A sharded-run worker process failed.
+
+    Carries which shard failed (``shard``, its data-center names
+    ``dcs``) and the worker-side traceback (``details``) so the failure
+    is attributable without digging through interleaved process output.
+    The coordinator raises this promptly — surviving workers are
+    terminated, not left idling on the window barrier — and a
+    structured ``worker_error`` event lands in the run's event log.
+    """
+
+    def __init__(self, message: str, *, shard: int = -1,
+                 dcs: tuple = (), details: str = "") -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.dcs = tuple(dcs)
+        self.details = details
+
+
+class WorkerStalled(WorkerError):
+    """A sharded-run worker stopped advancing its sim-time watermark.
+
+    Raised by the run supervisor when ``ParallelOptions(on_stall=
+    "abort")`` is set and a worker's watermark has not moved for
+    ``stall_timeout`` wall seconds; with the default ``on_stall=
+    "event"`` the stall only emits a ``worker_stalled`` event."""

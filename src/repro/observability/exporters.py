@@ -31,48 +31,81 @@ WaterfallRow = Tuple[str, float]
 def chrome_trace_events(
     spans: Iterable[Any],
     cascades: Iterable[Any] = (),
+    shard_labels: Optional[Sequence[str]] = None,
+    flows: Iterable[Mapping[str, Any]] = (),
 ) -> List[Dict[str, Any]]:
     """Convert spans (+ optional cascades) to ``trace_event`` dicts.
 
-    Each agent gets its own thread lane (named via ``M`` metadata
-    events); cascades land on a dedicated lane 0 so operations and
-    their hops line up vertically.  Spans become ``X`` complete events
-    whose ``args`` carry the cascade id, queueing delay and demand.
+    Each shard becomes a process lane (``pid`` = shard + 1, named from
+    ``shard_labels``; single-process traces collapse to one ``pid 1``
+    lane) and each agent its own thread lane within it (named via ``M``
+    metadata events); cascades land on a dedicated lane 0 so operations
+    and their hops line up vertically.  Spans become ``X`` complete
+    events whose ``args`` carry the cascade id, queueing delay and
+    demand.  ``flows`` are cross-shard hops (dicts with
+    ``cascade``/``src``/``dst``/``send``/``arrival``/``src_shard``/
+    ``dst_shard``) rendered as flow-event pairs — ``ph:"s"`` on the
+    sending shard at send time, ``ph:"f"`` on the receiving shard at
+    arrival — so a cascade crossing a cut draws one connected arrow.
     """
-    events: List[Dict[str, Any]] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 1,
-            "tid": 0,
-            "args": {"name": "repro simulation"},
-        },
-        {
-            "name": "thread_name",
-            "ph": "M",
-            "pid": 1,
-            "tid": 0,
-            "args": {"name": "cascades"},
-        },
-    ]
-    lanes: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    lanes: Dict[Tuple[int, str], int] = {}
+    pid_next_tid: Dict[int, int] = {}
 
-    def lane(agent: str) -> int:
-        if agent not in lanes:
-            lanes[agent] = len(lanes) + 1
+    def ensure_pid(pid: int) -> None:
+        if pid in pid_next_tid:
+            return
+        pid_next_tid[pid] = 1
+        if shard_labels is not None and 0 <= pid - 1 < len(shard_labels):
+            label = f"shard {pid - 1}: {shard_labels[pid - 1]}"
+        else:
+            label = "repro simulation"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "cascades"},
+            }
+        )
+
+    def lane(pid: int, agent: str) -> int:
+        key = (pid, agent)
+        if key not in lanes:
+            ensure_pid(pid)
+            lanes[key] = pid_next_tid[pid]
+            pid_next_tid[pid] += 1
             events.append(
                 {
                     "name": "thread_name",
                     "ph": "M",
-                    "pid": 1,
-                    "tid": lanes[agent],
+                    "pid": pid,
+                    "tid": lanes[key],
                     "args": {"name": agent},
                 }
             )
-        return lanes[agent]
+        return lanes[key]
+
+    if shard_labels is not None:
+        for i in range(len(shard_labels)):  # every shard gets its lane,
+            ensure_pid(i + 1)               # even if its spans were sparse
+    else:
+        ensure_pid(1)
 
     for c in cascades:
         end = c.end if c.end == c.end else c.start  # NaN-safe
+        pid = getattr(c, "shard", 0) + 1
+        ensure_pid(pid)
         events.append(
             {
                 "name": c.operation or "cascade",
@@ -80,7 +113,7 @@ def chrome_trace_events(
                 "ph": "X",
                 "ts": c.start * MICRO,
                 "dur": max(end - c.start, 0.0) * MICRO,
-                "pid": 1,
+                "pid": pid,
                 "tid": 0,
                 "args": {
                     "cascade": c.cascade_id,
@@ -92,6 +125,7 @@ def chrome_trace_events(
         )
 
     for s in spans:
+        pid = getattr(s, "shard", 0) + 1
         events.append(
             {
                 "name": str(s.tag) if s.tag is not None else s.agent,
@@ -99,14 +133,48 @@ def chrome_trace_events(
                 "ph": "X",
                 "ts": s.start * MICRO,
                 "dur": max(s.end - s.start, 0.0) * MICRO,
-                "pid": 1,
-                "tid": lane(s.agent),
+                "pid": pid,
+                "tid": lane(pid, s.agent),
                 "args": {
                     "cascade": s.cascade_id,
                     "agent": s.agent,
                     "wait_s": s.wait,
                     "demand": s.demand,
                 },
+            }
+        )
+
+    for i, hop in enumerate(flows):
+        src_pid = int(hop.get("src_shard", 0)) + 1
+        dst_pid = int(hop.get("dst_shard", 0)) + 1
+        ensure_pid(src_pid)
+        ensure_pid(dst_pid)
+        name = f"remote {hop['src']}->{hop['dst']}"
+        args = {"cascade": hop["cascade"], "src": hop["src"],
+                "dst": hop["dst"]}
+        events.append(
+            {
+                "name": name,
+                "cat": "remote",
+                "ph": "s",
+                "id": i + 1,
+                "ts": hop["send"] * MICRO,
+                "pid": src_pid,
+                "tid": 0,
+                "args": args,
+            }
+        )
+        events.append(
+            {
+                "name": name,
+                "cat": "remote",
+                "ph": "f",
+                "bp": "e",
+                "id": i + 1,
+                "ts": hop["arrival"] * MICRO,
+                "pid": dst_pid,
+                "tid": 0,
+                "args": args,
             }
         )
     return events
@@ -116,9 +184,12 @@ def write_chrome_trace(
     path: str,
     spans: Iterable[Any],
     cascades: Iterable[Any] = (),
+    shard_labels: Optional[Sequence[str]] = None,
+    flows: Iterable[Mapping[str, Any]] = (),
 ) -> int:
     """Write a ``chrome://tracing``-loadable JSON file; returns #events."""
-    events = chrome_trace_events(spans, cascades)
+    events = chrome_trace_events(spans, cascades, shard_labels=shard_labels,
+                                 flows=flows)
     doc = {"traceEvents": events, "displayTimeUnit": "ms"}
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh)

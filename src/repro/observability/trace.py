@@ -9,26 +9,62 @@ across tiers and links (Figs 6-15..6-20).
 
 The :class:`TraceRecorder` is deliberately cheap: spans go into a
 bounded ``deque`` (oldest evicted first) and the sampling decision is
-made *once per cascade*, so a sampled-out operation costs a single RNG
-draw and nothing per hop.  With tracing off the engine never constructs
-a recorder at all and agents pay one ``is not None`` check per submit.
+made *once per cascade*, so a sampled-out operation costs a single hash
+and nothing per hop.  With tracing off the engine never constructs a
+recorder at all and agents pay one ``is not None`` check per submit.
 
 Cascade context propagates through the continuation-passing cascade
 machinery without threading ids through every call: the engine is
 single-threaded, so the recorder keeps a *current cascade* attribute
-that :meth:`TraceRecorder.on_submit` captures at submit time and
-restores around each job's continuation.
+(plus the *current parent span id* for parent/child links) that
+:meth:`TraceRecorder.on_submit` captures at submit time and restores
+around each job's continuation.
+
+Distributed runs (PR 7): identifiers are *partition-independent* so the
+sharded backend can merge per-worker recorders into one coherent trace.
+Cascade ids derive from the client DC name (crc32 base) plus a per-DC
+sequence — the same cascade gets the same id however the topology is
+cut — and the sampling decision is a hash of that id, not a sequential
+RNG draw, so sharded and single-process runs sample identical cascade
+sets.  Span ids carry a per-shard base (:meth:`TraceRecorder.set_shard`)
+so merged id spaces never collide; :func:`canonical_spans` renumbers a
+span set into content order for cross-backend comparison, and
+:class:`MergedTrace` is the merged, re-parented result-side view.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
-import random
+import zlib
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, List, Optional, Union
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 DEFAULT_CAPACITY = 65536
+
+#: Default per-cascade probability for a bare ``trace="sampling"`` spec.
+DEFAULT_SAMPLE_RATE = 0.1
+
+_M64 = (1 << 64) - 1
+
+#: Bit offset of the per-shard span-id base: shard ``i`` allocates span
+#: ids in ``[(i + 1) << 40, (i + 2) << 40)``, so merged traces never
+#: collide (an unsharded recorder allocates from 1).
+_SHARD_ID_BITS = 40
+
+#: The picklable cascade-context tuple that rides a cross-shard
+#: envelope: (cascade_id, operation, application, client_dc, sampled,
+#: parent_span_id).  See :meth:`TraceRecorder.export_context`.
+TraceContext = Tuple[int, str, str, str, bool, Optional[int]]
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: a cheap, well-dispersed 64-bit hash."""
+    x = (x + 0x9E3779B97F4A7C15) & _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return (x ^ (x >> 31)) & _M64
 
 
 @dataclass(slots=True)
@@ -37,6 +73,9 @@ class Span:
 
     ``enqueue`` <= ``start`` <= ``end`` in simulation seconds; ``demand``
     is the R consumed in the agent's native unit (cycles, bits, bytes).
+    ``parent_id`` links to the span whose continuation submitted this
+    job (``None`` for a cascade's root span); ``shard`` is the worker
+    index that recorded the span (0 single-process).
     """
 
     cascade_id: int
@@ -48,6 +87,8 @@ class Span:
     enqueue: float
     start: float
     end: float
+    parent_id: Optional[int] = None
+    shard: int = 0
 
     @property
     def wait(self) -> float:
@@ -83,6 +124,7 @@ class CascadeInfo:
     end: float = float("nan")
     failed: bool = False
     sampled: bool = True
+    shard: int = 0
 
     @property
     def duration(self) -> float:
@@ -103,8 +145,10 @@ class TraceRecorder:
         Ring-buffer size for spans and cascades; the oldest entries are
         evicted first and counted in :attr:`evicted_spans`.
     seed:
-        Seed of the sampling RNG (kept separate from workload RNGs so
-        enabling tracing never perturbs simulated behaviour).
+        Mixed into the per-cascade sampling hash (kept separate from
+        workload RNGs so enabling tracing never perturbs simulated
+        behaviour — and, being a hash rather than a sequential draw,
+        the decision is identical however the run is sharded).
     """
 
     def __init__(
@@ -123,15 +167,77 @@ class TraceRecorder:
         self.capacity = int(capacity)
         self._spans: Deque[Span] = deque(maxlen=self.capacity)
         self._cascades: Deque[CascadeInfo] = deque(maxlen=self.capacity)
-        self._rng = random.Random(seed)
-        self._cascade_ids = itertools.count(1)
+        self._seed_mix = _mix64(seed)
+        # cascade ids are partition-independent: crc32(client_dc) << 32
+        # gives each client DC its own id block and a per-DC sequence
+        # numbers the cascades launched from it — the shard owning the
+        # DC launches exactly the cascades the full run would
+        self._dc_seq: Dict[str, List[int]] = {}
         self._span_ids = itertools.count(1)
+        self._span_base = 0
+        #: worker index stamped on spans/cascades (0 single-process)
+        self.shard = 0
         #: the cascade whose continuations are currently executing; the
         #: engine is single-threaded so a plain attribute suffices.
         self.current: Optional[CascadeInfo] = None
+        #: span id of the job whose continuation is executing — the
+        #: parent of anything submitted from inside it.
+        self.current_parent: Optional[int] = None
+        #: contexts adopted from other shards (by cascade id); they are
+        #: never committed here — the origin shard owns the cascade row.
+        self._adopted: Dict[int, CascadeInfo] = {}
         self.started_cascades = 0
         self.sampled_out = 0
         self.evicted_spans = 0
+
+    # ------------------------------------------------------------------
+    # distributed identity
+    # ------------------------------------------------------------------
+    def set_shard(self, shard: int) -> None:
+        """Place this recorder's span ids in worker ``shard``'s id block.
+
+        Called once per worker before any traffic runs; merged traces
+        concatenate shard recorders without id collisions.
+        """
+        self.shard = int(shard)
+        self._span_base = (self.shard + 1) << _SHARD_ID_BITS
+
+    def _cascade_id(self, client_dc: str) -> int:
+        cell = self._dc_seq.get(client_dc)
+        if cell is None:
+            cell = [zlib.crc32(client_dc.encode()) << 32, 0]
+            self._dc_seq[client_dc] = cell
+        cell[1] += 1
+        return cell[0] | cell[1]
+
+    def export_context(self) -> Optional[TraceContext]:
+        """The picklable tuple for the active context (``None`` outside).
+
+        This is what rides a cross-shard envelope; the receiving worker
+        rebuilds an equivalent context with :meth:`adopt_context`.
+        """
+        ctx = self.current
+        if ctx is None:
+            return None
+        return (ctx.cascade_id, ctx.operation, ctx.application,
+                ctx.client_dc, ctx.sampled, self.current_parent)
+
+    def adopt_context(self, tctx: TraceContext) -> CascadeInfo:
+        """Rebuild (and cache) a context that arrived from another shard.
+
+        The adopted :class:`CascadeInfo` is a delivery-side stand-in:
+        spans recorded under it carry the origin's cascade id, but the
+        cascade row itself is only ever committed by the origin shard
+        (which observes the operation's start/end)."""
+        ctx = self._adopted.get(tctx[0])
+        if ctx is None:
+            ctx = CascadeInfo(
+                cascade_id=tctx[0], operation=tctx[1], application=tctx[2],
+                client_dc=tctx[3], start=float("nan"), sampled=bool(tctx[4]),
+                shard=self.shard,
+            )
+            self._adopted[tctx[0]] = ctx
+        return ctx
 
     # ------------------------------------------------------------------
     # cascade lifecycle (driven by CascadeRunner)
@@ -145,17 +251,24 @@ class TraceRecorder:
     ) -> CascadeInfo:
         """Open a cascade context (possibly sampled out, see CascadeInfo)."""
         self.started_cascades += 1
+        cascade_id = self._cascade_id(client_dc)
         sampled = True
-        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
-            self.sampled_out += 1
-            sampled = False
+        if self.sample_rate < 1.0:
+            # hash-based Bernoulli: the decision depends only on the
+            # (partition-independent) cascade id and the seed, never on
+            # how many cascades this particular recorder saw before
+            u = _mix64(cascade_id ^ self._seed_mix) / 2.0 ** 64
+            if u >= self.sample_rate:
+                self.sampled_out += 1
+                sampled = False
         return CascadeInfo(
-            cascade_id=next(self._cascade_ids),
+            cascade_id=cascade_id,
             operation=operation,
             application=application,
             client_dc=client_dc,
             start=now,
             sampled=sampled,
+            shard=self.shard,
         )
 
     def end_cascade(self, ctx: CascadeInfo, now: float, failed: bool = False) -> None:
@@ -188,7 +301,7 @@ class TraceRecorder:
         self._spans.append(
             Span(
                 cascade_id=ctx.cascade_id,
-                span_id=next(self._span_ids),
+                span_id=self._span_base + next(self._span_ids),
                 agent=agent,
                 agent_type="resilience",
                 tag=tag if tag is not None else kind,
@@ -196,6 +309,9 @@ class TraceRecorder:
                 enqueue=start,
                 start=start,
                 end=end,
+                parent_id=(self.current_parent
+                           if self.current is ctx else None),
+                shard=self.shard,
             )
         )
 
@@ -206,10 +322,11 @@ class TraceRecorder:
         """Attach the current cascade to a freshly submitted job.
 
         The job's continuation is wrapped so that (a) a span is emitted
-        when the job finishes and (b) the cascade context is restored
-        around the continuation — everything the continuation submits
-        downstream inherits the cascade.  Jobs submitted outside any
-        cascade context (orphans) stay untraced.
+        when the job finishes and (b) the cascade context — including
+        the parent span id, which is this job's span — is restored
+        around the continuation: everything the continuation submits
+        downstream inherits the cascade and links to this span.  Jobs
+        submitted outside any cascade context (orphans) stay untraced.
         """
         ctx = self.current
         if ctx is None:
@@ -222,18 +339,23 @@ class TraceRecorder:
                 return
 
             def passthrough(j: Any, t: float) -> None:
-                prev = self.current
-                self.current = ctx
+                prev, prev_parent = self.current, self.current_parent
+                self.current, self.current_parent = ctx, None
                 try:
                     inner(j, t)
                 finally:
-                    self.current = prev
+                    self.current, self.current_parent = prev, prev_parent
 
             job.on_complete = passthrough
             return
         job.cascade = ctx.cascade_id
         agent_name = agent.name
         agent_type = agent.agent_type
+        # the span id is allocated at *submit* time so downstream jobs
+        # (and cross-shard envelopes) can reference their parent before
+        # this job completes
+        span_id = self._span_base + next(self._span_ids)
+        parent_id = self.current_parent
 
         def traced(j: Any, t: float) -> None:
             if len(self._spans) == self.capacity:
@@ -243,7 +365,7 @@ class TraceRecorder:
             self._spans.append(
                 Span(
                     cascade_id=ctx.cascade_id,
-                    span_id=next(self._span_ids),
+                    span_id=span_id,
                     agent=agent_name,
                     agent_type=agent_type,
                     tag=j.tag,
@@ -251,15 +373,17 @@ class TraceRecorder:
                     enqueue=enqueue,
                     start=start,
                     end=t,
+                    parent_id=parent_id,
+                    shard=self.shard,
                 )
             )
             if inner is not None:
-                prev = self.current
-                self.current = ctx
+                prev, prev_parent = self.current, self.current_parent
+                self.current, self.current_parent = ctx, span_id
                 try:
                     inner(j, t)
                 finally:
-                    self.current = prev
+                    self.current, self.current_parent = prev, prev_parent
 
         job.on_complete = traced
 
@@ -295,14 +419,113 @@ class TraceRecorder:
         )
 
 
+# ----------------------------------------------------------------------
+# cross-backend span identity
+# ----------------------------------------------------------------------
+def _span_order_key(s: Span) -> tuple:
+    """A content-only sort key: identical span *sets* sort identically
+    whatever backend produced them (ids and shards excluded)."""
+    return (s.cascade_id, s.end, s.enqueue, s.start, s.agent, str(s.tag),
+            s.agent_type, s.demand)
+
+
+def _renumber(spans: Sequence[Span], keep_shard: bool) -> List[Span]:
+    ordered = sorted(spans, key=_span_order_key)
+    mapping = {s.span_id: i + 1 for i, s in enumerate(ordered)}
+    return [
+        dataclasses.replace(
+            s,
+            span_id=mapping[s.span_id],
+            parent_id=mapping.get(s.parent_id),
+            shard=s.shard if keep_shard else 0,
+        )
+        for s in ordered
+    ]
+
+
+def canonical_spans(spans: Iterable[Span]) -> List[Span]:
+    """Renumber a span set into its canonical, backend-independent form.
+
+    Spans are sorted by content (cascade id, times, agent, tag) and
+    span/parent ids renumbered 1..n in that order with ``shard`` zeroed,
+    so two runs of the same scenario — single-process and sharded, say —
+    that recorded the same work compare *equal* even though their raw id
+    spaces differ.  A parent recorded on another shard (or dropped by
+    ring-buffer eviction) maps to ``None`` consistently on both sides
+    only when the parent span itself is present; parity scenarios stay
+    under the ring capacity.
+    """
+    return _renumber(list(spans), keep_shard=False)
+
+
+class MergedTrace:
+    """Per-shard trace recorders folded into one result-side view.
+
+    Quacks like :class:`TraceRecorder` for the read surface
+    (:meth:`spans`, :meth:`cascades`, :meth:`spans_by_cascade`,
+    ``len()``) so ``SimulationResult`` and the exporters work unchanged.
+    Per-shard span-id bases guarantee the concatenated id spaces are
+    disjoint; the merge renumbers them into content order (stable
+    across runs) while preserving each span's ``shard`` so the Chrome
+    exporter can lay one ``pid`` lane per worker and draw flow events
+    (``ph:"s"/"f"``) on the recorded cross-shard hops.
+    """
+
+    def __init__(
+        self,
+        shard_spans: Sequence[Sequence[Span]],
+        shard_cascades: Sequence[Sequence[CascadeInfo]],
+        *,
+        shard_labels: Optional[Sequence[str]] = None,
+        hops: Sequence[Dict[str, Any]] = (),
+        mode: str = "full",
+    ) -> None:
+        self.mode = mode
+        self.shard_labels: List[str] = list(
+            shard_labels
+            if shard_labels is not None
+            else (f"shard {i}" for i in range(len(shard_spans))))
+        self._spans = _renumber(
+            [s for spans in shard_spans for s in spans], keep_shard=True)
+        self._cascades = sorted(
+            (c for cascades in shard_cascades for c in cascades),
+            key=lambda c: (c.start, c.cascade_id))
+        #: cross-shard hops: dicts with cascade/src/dst/send/arrival/
+        #: src_shard/dst_shard — the exporter's flow events.
+        self.flows: List[Dict[str, Any]] = sorted(
+            hops, key=lambda h: (h["send"], h["cascade"], h["src"], h["dst"]))
+
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def cascades(self) -> List[CascadeInfo]:
+        return list(self._cascades)
+
+    def spans_by_cascade(self) -> Dict[int, List[Span]]:
+        out: Dict[int, List[Span]] = {}
+        for span in self._spans:
+            out.setdefault(span.cascade_id, []).append(span)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MergedTrace(shards={len(self.shard_labels)}, "
+            f"spans={len(self._spans)}, flows={len(self.flows)})"
+        )
+
+
 def make_recorder(
     trace: Union[None, str, TraceRecorder],
 ) -> Optional[TraceRecorder]:
     """Build a recorder from a trace-mode spec.
 
     Accepts ``None`` / ``"null"`` / ``"none"`` / ``"off"`` (no tracing),
-    ``"full"``, ``"sampling:p"`` or ``"sampling(p)"`` with a probability
-    ``p``, or an existing :class:`TraceRecorder` (returned as-is).
+    ``"full"``, ``"sampling"`` (rate ``0.1``), ``"sampling:p"`` or
+    ``"sampling(p)"`` with a probability ``p``, or an existing
+    :class:`TraceRecorder` (returned as-is).
     """
     if trace is None:
         return None
@@ -322,9 +545,8 @@ def make_recorder(
         elif rest.startswith("(") and rest.endswith(")"):
             rest = rest[1:-1]
         elif rest == "":
-            raise ValueError(
-                "sampling mode needs a probability: 'sampling:0.1'"
-            )
+            return TraceRecorder(mode="sampling",
+                                 sample_rate=DEFAULT_SAMPLE_RATE)
         try:
             p = float(rest)
         except ValueError:

@@ -29,7 +29,17 @@ sample time, telemetry dicts union (each agent is owned by exactly one
 shard), metrics registries fold via
 :meth:`~repro.observability.metrics.MetricsRegistry.merge_dicts`, and
 per-shard checkpoint fingerprints hash into one combined fingerprint.
-See ``docs/parallel.md``.
+
+Distributed observability (PR 7): each worker runs its own
+:class:`~repro.observability.trace.TraceRecorder` (partition-independent
+cascade ids, per-shard span-id bases) with the cascade context riding
+envelopes as a picklable tuple, so a cascade crossing a cut stays one
+trace; per-shard engine profiles plus backend phases
+(``window_advance`` / ``envelope_exchange`` / ``barrier_wait``) merge
+into a :class:`~repro.observability.profiler.MergedProfile`; and a
+:class:`~repro.parallel.supervisor.RunSupervisor` folds worker
+heartbeats into live progress, stall detection and shard lifecycle
+events.  See ``docs/parallel.md``.
 """
 
 from __future__ import annotations
@@ -39,7 +49,7 @@ import multiprocessing as mp
 import os
 import queue as _queue
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api import (
@@ -49,11 +59,18 @@ from repro.api import (
     Scenario,
     SimulationResult,
 )
-from repro.core.errors import ConfigurationError, SimulationError
+from repro.core.errors import ConfigurationError, SimulationError, WorkerError
 from repro.metrics.collector import Snapshot
 from repro.observability.events import EventLog
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.profiler import EngineProfiler, MergedProfile
+from repro.observability.trace import (
+    MergedTrace,
+    TraceRecorder,
+    make_recorder,
+)
 from repro.parallel.partition import PartitionPlan, partition_topology
+from repro.parallel.supervisor import RunSupervisor, rss_kb
 
 #: Seconds the coordinator waits on a worker queue before declaring the
 #: fleet wedged (workers are daemonic, so nothing leaks on failure).
@@ -71,7 +88,7 @@ class ParallelReport:
     shards: Tuple[Tuple[str, ...], ...]
     windows_run: int
     fingerprint: str
-    #: Per-shard compute wall seconds (queue waits excluded).
+    #: Per-shard compute wall seconds (barrier waits excluded).
     shard_walls: Tuple[float, ...]
     #: Coordinator wall seconds end to end.
     wall_s: float
@@ -83,6 +100,10 @@ class ParallelReport:
     #: Per-shard CPU seconds (``time.process_time``): contention-free
     #: compute cost even when shards time-slice one core.
     shard_cpus: Tuple[float, ...] = ()
+    #: Per-shard backend-phase seconds (window_advance /
+    #: envelope_exchange / barrier_wait) — always measured, the
+    #: scaling-loss decomposition of the sweep in BENCH_engine.json.
+    shard_phases: Tuple[Dict[str, float], ...] = field(default=())
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -96,6 +117,7 @@ class ParallelReport:
             "fingerprint": self.fingerprint,
             "shard_walls": list(self.shard_walls),
             "shard_cpus": list(self.shard_cpus),
+            "shard_phases": [dict(p) for p in self.shard_phases],
             "wall_s": self.wall_s,
             "cores": self.cores,
             "start_method": self.start_method,
@@ -111,12 +133,21 @@ class _ShardPort(RemotePort):
     flushed to the coordinator at the next window boundary.  The
     latency floor is the synchronization window, enforced at send time
     so violations fail where they originate.
+
+    With tracing armed, the active cascade context
+    (:meth:`~repro.observability.trace.TraceRecorder.export_context`)
+    rides each envelope as its 7th element, and sampled hops are
+    recorded in :attr:`trace_hops` for the Chrome exporter's flow
+    events.
     """
 
-    def __init__(self, window: float) -> None:
+    def __init__(self, window: float,
+                 shard_of: Optional[Dict[str, int]] = None) -> None:
         super().__init__()
         self._window = window
-        self.outbox: List[Tuple[str, str, float, float, Any, int]] = []
+        self._shard_of = shard_of or {}
+        self.outbox: List[Tuple] = []
+        self.trace_hops: List[Dict[str, Any]] = []
         self._seq = 0
 
     def send(self, src_dc: str, dst_dc: str, payload: Any,
@@ -132,8 +163,17 @@ class _ShardPort(RemotePort):
                 f"{self._window:.4f}s synchronization window")
         t = self._session.sim.now if now is None else now
         self.sent += 1
+        tracer = self._session.sim.trace
+        tctx = tracer.export_context() if tracer is not None else None
+        if tctx is not None and tctx[4]:  # sampled: record the hop
+            self.trace_hops.append({
+                "cascade": tctx[0], "src": src_dc, "dst": dst_dc,
+                "send": t, "arrival": t + latency_s,
+                "src_shard": tracer.shard,
+                "dst_shard": self._shard_of.get(dst_dc, -1),
+            })
         self.outbox.append(
-            (src_dc, dst_dc, t, t + latency_s, payload, self._seq))
+            (src_dc, dst_dc, t, t + latency_s, payload, self._seq, tctx))
         self._seq += 1
 
 
@@ -151,18 +191,50 @@ def _resolve_window(plan: PartitionPlan, options: ParallelOptions,
     return lookahead if lookahead != float("inf") else until
 
 
+def _delivery(port: _ShardPort, recorder: Optional[TraceRecorder],
+              dst: str, payload: Any, tctx: Optional[tuple]):
+    """The calendar entry for one incoming envelope.
+
+    With a trace context aboard, the delivery runs inside the adopted
+    cascade context — exactly like the single-process
+    :meth:`~repro.api.RemotePort.send`, which captures and restores the
+    context around its calendar entry — so spans recorded by the
+    handler link to the originating cascade and parent span.
+    """
+    if tctx is None or recorder is None:
+        return lambda now, p=payload, d=dst: port._deliver(d, p, now)
+
+    def deliver(now: float, p=payload, d=dst) -> None:
+        ctx = recorder.adopt_context(tctx)
+        prev, prev_parent = recorder.current, recorder.current_parent
+        recorder.current, recorder.current_parent = ctx, tctx[5]
+        try:
+            port._deliver(d, p, now)
+        finally:
+            recorder.current, recorder.current_parent = prev, prev_parent
+
+    return deliver
+
+
 def _shard_worker(idx: int, scenario: Scenario, plan: PartitionPlan,
                   until: float, window: float, cfg: Dict[str, Any],
-                  inbox, outbox, results) -> None:
+                  inbox, outbox, results, heartbeats=None) -> None:
     """One shard: build a session over owned DCs, window to the horizon.
 
     Runs in a child process.  ``cfg`` carries the picklable session
-    kwargs (dt, mode, collect, resilience, metrics, slo, workloads).
+    kwargs (dt, mode, collect, resilience, metrics, slo, workloads,
+    trace, profile, heartbeat_every).
     """
     try:
-        port = _ShardPort(window)
+        shard_of = {dc: i for i, shard in enumerate(plan.shards)
+                    for dc in shard}
+        port = _ShardPort(window, shard_of=shard_of)
+        recorder = make_recorder(cfg.get("trace"))
+        if recorder is not None:
+            recorder.set_shard(idx)
         session = scenario.prepare(
             dt=cfg["dt"], mode=cfg["mode"], collect=cfg["collect"],
+            trace=recorder, profile=cfg.get("profile", False),
             resilience=cfg["resilience"], metrics=cfg["metrics"],
             slo=cfg["slo"], shard=plan.shards[idx], remote=port,
         )
@@ -173,33 +245,68 @@ def _shard_worker(idx: int, scenario: Scenario, plan: PartitionPlan,
             session.events.emit("run_start", session.sim.now, until=until,
                                 mode=cfg["mode"], scenario=scenario.name,
                                 shard=idx)
-        waits = {"s": 0.0}
+        # backend phases are always measured (three perf_counter reads
+        # per window): window_advance = compute inside windows,
+        # envelope_exchange = outbox flush + incoming scheduling,
+        # barrier_wait = blocked on the coordinator's window barrier
+        phases = {"window_advance": 0.0, "envelope_exchange": 0.0,
+                  "barrier_wait": 0.0}
+        hb_every = cfg.get("heartbeat_every", 0.0)
+        hb_last = [time.perf_counter()]
+        mark = [0.0]
 
-        def exchange(_t0: float, _t1: float) -> None:
-            w0 = time.perf_counter()
+        def exchange(_t0: float, t1: float) -> None:
+            enter = time.perf_counter()
+            phases["window_advance"] += enter - mark[0]
             outbox.put(list(port.outbox))
             port.outbox.clear()
+            sent_at = time.perf_counter()
             incoming = inbox.get()
-            waits["s"] += time.perf_counter() - w0
+            got_at = time.perf_counter()
+            phases["barrier_wait"] += got_at - sent_at
             # deterministic delivery: envelopes from all shards are
             # replayed in (arrival, send, src, seq) order
-            for (src, dst, sent_at, arrival, payload, _seq) in sorted(
-                    incoming, key=lambda e: (e[3], e[2], e[0], e[5])):
+            for env in sorted(incoming,
+                              key=lambda e: (e[3], e[2], e[0], e[5])):
                 session.sim.schedule(
-                    arrival,
-                    lambda now, p=payload, d=dst: port._deliver(d, p, now),
+                    env[3],
+                    _delivery(port, recorder, env[1], env[4],
+                              env[6] if len(env) > 6 else None),
                 )
+            done = time.perf_counter()
+            phases["envelope_exchange"] += (sent_at - enter) + (done - got_at)
+            if heartbeats is not None and hb_every > 0 \
+                    and done - hb_last[0] >= hb_every:
+                hb_last[0] = done
+                try:
+                    heartbeats.put_nowait({
+                        "shard": idx,
+                        "watermark": t1,
+                        "records": len(session.runner.records),
+                        "sent": port.sent,
+                        "pending": session.sim.pending_events(),
+                        "rss_kb": rss_kb(),
+                    })
+                except Exception:
+                    # a full/broken sideband never fails the simulation
+                    pass
+            mark[0] = time.perf_counter()
 
         wall0 = time.perf_counter()
         cpu0 = time.process_time()
+        mark[0] = wall0
         windows = session.sim.run_windowed(until, window,
                                            at_window_end=exchange)
-        wall = time.perf_counter() - wall0 - waits["s"]
+        wall = time.perf_counter() - wall0 - phases["barrier_wait"]
         # CPU seconds exclude both queue waits and time-sliced-out
         # periods, so they stay meaningful when shards contend for one
         # core (the scaling projection divides by the slowest shard's
         # CPU, not its contention-inflated wall)
         cpu = time.process_time() - cpu0
+        profiler = session.sim.profiler
+        if profiler is not None:
+            for phase, sec in phases.items():
+                profiler.record(phase, sec, calls=windows)
         if session.events is not None:
             session.events.emit("run_end", session.sim.now,
                                 records=len(session.runner.records),
@@ -226,6 +333,20 @@ def _shard_worker(idx: int, scenario: Scenario, plan: PartitionPlan,
                         if session.metrics is not None else None),
             "events": (session.events.events()
                        if session.events is not None else None),
+            "spans": (recorder.spans() if recorder is not None else None),
+            "cascades": (recorder.cascades()
+                         if recorder is not None else None),
+            "trace_hops": (list(port.trace_hops)
+                           if recorder is not None else None),
+            "trace_mode": (recorder.mode if recorder is not None else None),
+            "trace_stats": ({
+                "started_cascades": recorder.started_cascades,
+                "sampled_out": recorder.sampled_out,
+                "evicted_spans": recorder.evicted_spans,
+            } if recorder is not None else None),
+            "profile": (profiler.to_dict() if profiler is not None
+                        else None),
+            "backend_phases": dict(phases),
             "fingerprint": state_fingerprint(session)["hash"],
             "wall_s": wall,
             "cpu_s": cpu,
@@ -234,39 +355,67 @@ def _shard_worker(idx: int, scenario: Scenario, plan: PartitionPlan,
     except BaseException as exc:  # ship the failure, don't hang the fleet
         import traceback
 
-        results.put(("error", idx, f"{exc!r}\n{traceback.format_exc()}"))
+        results.put(("error", idx, {
+            "shard": idx,
+            "dcs": list(plan.shards[idx]),
+            "error": repr(exc),
+            "traceback": traceback.format_exc(),
+        }))
         raise
 
 
-def _check_failures(results, procs, stash: List[Any]) -> None:
+def _worker_error(idx: int, info: Any,
+                  supervisor: Optional[RunSupervisor]) -> WorkerError:
+    """Build the typed error for a failed worker (+ log the event)."""
+    if isinstance(info, dict):
+        dcs = tuple(info.get("dcs", ()))
+        details = info.get("traceback", "")
+        message = (f"shard worker {idx} ({', '.join(dcs)}) failed: "
+                   f"{info.get('error', 'unknown error')}\n{details}")
+    else:  # pre-structured string (defensive)
+        dcs, details = (), str(info)
+        message = f"shard worker {idx} failed:\n{details}"
+    if supervisor is not None:
+        supervisor.note_error(idx, details or message)
+    return WorkerError(message, shard=idx, dcs=dcs, details=details)
+
+
+def _check_failures(results, procs, stash: List[Any],
+                    supervisor: Optional[RunSupervisor] = None) -> None:
     """Surface worker errors/deaths while the coordinator waits.
 
     Result payloads that arrive while polling are parked in ``stash``
     (a worker can finish and report before the coordinator gets there).
+    Heartbeats drain and stall detection runs on the same cadence.
     """
     try:
         while True:
             msg = results.get_nowait()
             if msg[0] == "error":
-                raise SimulationError(
-                    f"shard worker {msg[1]} failed:\n{msg[2]}")
+                raise _worker_error(msg[1], msg[2], supervisor)
             stash.append(msg)
     except _queue.Empty:
         pass
     for i, p in enumerate(procs):
         if p.exitcode not in (None, 0):
-            raise SimulationError(
-                f"shard worker {i} died with exit code {p.exitcode}")
+            raise _worker_error(
+                i, {"dcs": (supervisor.shards[i].dcs
+                            if supervisor is not None else ()),
+                    "error": f"process died with exit code {p.exitcode}"},
+                supervisor)
+    if supervisor is not None:
+        supervisor.poll()
 
 
-def _recv(q, results, procs, stash: List[Any], what: str):
+def _recv(q, results, procs, stash: List[Any], what: str,
+          supervisor: Optional[RunSupervisor] = None):
     """Blocking queue read that still notices a dead/failed worker."""
     deadline = time.monotonic() + _RECV_TIMEOUT_S
     while True:
         try:
             return q.get(timeout=0.25)
         except _queue.Empty:
-            _check_failures(results, procs, stash)
+            _check_failures(results, procs, stash, supervisor)
             if time.monotonic() > deadline:
                 raise SimulationError(f"timed out waiting for {what}")
 
@@ -308,6 +457,8 @@ def run_sharded(
     options: ParallelOptions,
     dt: float = 0.01,
     mode: str = "event",
+    trace: Any = None,
+    profile: bool = False,
     collect: Optional[Collect] = None,
     workloads: bool = True,
     resilience: Any = None,
@@ -322,13 +473,18 @@ def run_sharded(
     """
     if scenario.topology is None:
         raise ConfigurationError("scenario has no topology")
+    if isinstance(trace, TraceRecorder):
+        raise ConfigurationError(
+            "parallel execution builds one TraceRecorder per worker "
+            "process and cannot adopt a prebuilt instance; pass a spec "
+            "string ('full', 'sampling', 'sampling:p') instead")
     plan = partition_topology(scenario.topology, options.workers,
                               options.cut)
     wall0 = time.perf_counter()
     if plan.workers <= 1:
         session = scenario.prepare(
-            dt=dt, mode=mode, collect=collect, resilience=resilience,
-            metrics=metrics, slo=slo,
+            dt=dt, mode=mode, trace=trace, profile=profile, collect=collect,
+            resilience=resilience, metrics=metrics, slo=slo,
         )
         result = session.run(until, workloads=workloads)
         result.parallel = ParallelReport(
@@ -347,14 +503,28 @@ def run_sharded(
     inboxes = [ctx.Queue() for _ in plan.shards]
     outboxes = [ctx.Queue() for _ in plan.shards]
     results = ctx.Queue()
+    heartbeats = ctx.Queue() if options.heartbeat_every > 0 else None
+    supervisor = RunSupervisor(
+        [tuple(s) for s in plan.shards],
+        until=until,
+        scenario=scenario.name,
+        window=window,
+        heartbeats=heartbeats,
+        stall_timeout=options.stall_timeout,
+        on_stall=options.on_stall,
+        status_path=(None if options.status_path is None
+                     else str(options.status_path)),
+    )
     cfg = {"dt": dt, "mode": mode, "collect": collect,
+           "trace": trace, "profile": profile,
            "resilience": resilience, "metrics": metrics, "slo": slo,
-           "workloads": workloads}
+           "workloads": workloads,
+           "heartbeat_every": options.heartbeat_every}
     procs = [
         ctx.Process(
             target=_shard_worker,
             args=(i, scenario, plan, until, window, cfg,
-                  inboxes[i], outboxes[i], results),
+                  inboxes[i], outboxes[i], results, heartbeats),
             daemon=True,
         )
         for i in range(plan.workers)
@@ -363,7 +533,7 @@ def run_sharded(
     shard_of = {dc: i for i, shard in enumerate(plan.shards) for dc in shard}
     envelopes = 0
     try:
-        for p in procs:
+        for i, p in enumerate(procs):
             try:
                 p.start()
             except Exception as exc:
@@ -371,6 +541,7 @@ def run_sharded(
                     f"could not ship the scenario to a worker process "
                     f"under the {start_method!r} start method (is every "
                     f"setup hook/placement picklable?): {exc}") from exc
+            supervisor.note_started(i)
         # the coordinator mirrors the workers' window arithmetic exactly
         t, windows_run = 0.0, 0
         while t < until - 1e-9:
@@ -378,8 +549,9 @@ def run_sharded(
             pending: List[List[tuple]] = [[] for _ in plan.shards]
             for i in range(plan.workers):
                 for env in _recv(outboxes[i], results, procs, stash,
-                                 f"shard {i} window {windows_run}"):
-                    (src, dst, sent_at, arrival, _payload, _seq) = env
+                                 f"shard {i} window {windows_run}",
+                                 supervisor):
+                    src, dst, sent_at, arrival = env[0], env[1], env[2], env[3]
                     if arrival - sent_at < window - 1e-9:
                         raise SimulationError(
                             f"envelope {src}->{dst} declares "
@@ -393,6 +565,8 @@ def run_sharded(
                 inboxes[i].put(pending[i])
             windows_run += 1
             t = window_end
+            supervisor.note_window(window_end)
+            supervisor.poll()
         payloads: Dict[int, Dict[str, Any]] = {}
         while len(payloads) < plan.workers:
             while stash:
@@ -400,20 +574,28 @@ def run_sharded(
                 payloads[msg[1]["idx"]] = msg[1]
             if len(payloads) >= plan.workers:
                 break
-            msg = _recv(results, results, procs, stash, "shard results")
+            msg = _recv(results, results, procs, stash, "shard results",
+                        supervisor)
             if msg[0] == "error":
-                raise SimulationError(
-                    f"shard worker {msg[1]} failed:\n{msg[2]}")
+                raise _worker_error(msg[1], msg[2], supervisor)
             payloads[msg[1]["idx"]] = msg[1]
+        for idx in range(plan.workers):
+            supervisor.note_finished(
+                idx, now=payloads[idx]["now"],
+                records=len(payloads[idx]["records"]))
+        supervisor.finish()
         for p in procs:
             p.join(timeout=10.0)
     finally:
+        # terminate survivors promptly — a failed shard must not leave
+        # the rest idling on the window barrier until a queue timeout
         for p in procs:
             if p.is_alive():
                 p.terminate()
     wall = time.perf_counter() - wall0
 
     shards = [payloads[i] for i in range(plan.workers)]
+    shard_labels = [",".join(s["shard"]) for s in shards]
     records = sorted(
         (r for s in shards for r in s["records"]),
         key=lambda r: (r.start, r.end, r.operation, r.client_dc),
@@ -429,13 +611,32 @@ def run_sharded(
     if any(s["metrics"] is not None for s in shards):
         merged_metrics = MetricsRegistry.merge_dicts(
             s["metrics"] for s in shards if s["metrics"] is not None)
-    merged_events = None
-    if any(s["events"] is not None for s in shards):
-        merged_events = EventLog()
-        merged_events.extend(sorted(
-            (e for s in shards for e in s["events"] or []),
-            key=lambda e: e["sim_time"],
-        ))
+    # shard event logs merge with the supervisor's lifecycle events
+    # (shard_started / window_committed / shard_finished), all ordered
+    # by sim time; a run without metrics still gets the lifecycle log
+    merged_events = EventLog()
+    merged_events.extend(sorted(
+        [e for s in shards for e in s["events"] or []]
+        + supervisor.events.events(),
+        key=lambda e: e["sim_time"],
+    ))
+    merged_trace = None
+    if any(s["spans"] is not None for s in shards):
+        merged_trace = MergedTrace(
+            [s["spans"] or [] for s in shards],
+            [s["cascades"] or [] for s in shards],
+            shard_labels=shard_labels,
+            hops=[h for s in shards for h in s["trace_hops"] or []],
+            mode=next(s["trace_mode"] for s in shards
+                      if s["trace_mode"] is not None),
+        )
+    merged_profile = None
+    if any(s["profile"] is not None for s in shards):
+        merged_profile = MergedProfile(
+            [EngineProfiler.from_dict(s["profile"]) for s in shards
+             if s["profile"] is not None],
+            shard_labels=shard_labels,
+        )
     telemetry: Dict[str, Any] = {}
     union = {name: tel for s in shards for name, tel in s["telemetry"].items()}
     for agent in scenario.topology.all_agents():
@@ -454,6 +655,7 @@ def run_sharded(
         fingerprint=combined,
         shard_walls=tuple(s["wall_s"] for s in shards),
         shard_cpus=tuple(s["cpu_s"] for s in shards),
+        shard_phases=tuple(dict(s["backend_phases"]) for s in shards),
         wall_s=wall,
         cores=os.cpu_count() or 1,
         start_method=start_method,
@@ -464,6 +666,8 @@ def run_sharded(
         mode=mode,
         until=until,
         records=records,
+        trace=merged_trace,
+        profile=merged_profile,
         collector=collector,
         study=scenario.study,
         metrics=merged_metrics,

@@ -247,18 +247,23 @@ class CascadeRunner:
         # -- resilient delivery path (only reached when a policy is on) --
         def in_ctx(fn: Callable[[float], None]) -> Callable[[float], None]:
             # scheduled callbacks (timeout firings, backoff retries) run
-            # outside the cascade context; restore it so downstream jobs
-            # stay attributed to this cascade
+            # outside the cascade context; restore it (and the parent
+            # span captured at scheduling time) so downstream jobs stay
+            # attributed — and parent-linked — to this cascade
             if tracer is None:
                 return fn
+            parent = tracer.current_parent
 
             def wrapped(t: float) -> None:
                 prev = tracer.current
+                prev_parent = tracer.current_parent
                 tracer.current = ctx
+                tracer.current_parent = parent
                 try:
                     fn(t)
                 finally:
                     tracer.current = prev
+                    tracer.current_parent = prev_parent
 
             return wrapped
 
@@ -384,13 +389,17 @@ class CascadeRunner:
         if tracer is not None:
             # activate the cascade context for the synchronous prefix of
             # the cascade; jobs submitted inside inherit it and their
-            # wrapped continuations restore it for later messages
+            # wrapped continuations restore it for later messages (the
+            # root has no parent span)
             prev = tracer.current
+            prev_parent = tracer.current_parent
             tracer.current = ctx
+            tracer.current_parent = None
             try:
                 run_message(0, now)
             finally:
                 tracer.current = prev
+                tracer.current_parent = prev_parent
         else:
             run_message(0, now)
 
@@ -423,11 +432,14 @@ class CascadeRunner:
                 inner(t)
 
             prev = tracer.current
+            prev_parent = tracer.current_parent
             tracer.current = ctx
+            tracer.current_parent = None
             try:
                 self._deliver(src, dst, r, r_src, now, traced_done, tag)
             finally:
                 tracer.current = prev
+                tracer.current_parent = prev_parent
             return
         self._deliver(src, dst, r, r_src, now, on_complete, tag)
 

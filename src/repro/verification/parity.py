@@ -208,6 +208,41 @@ def _sharded_fleet_setup(session) -> None:
                     MASTER, n, p, latency_s=REGION_LATENCY_S),
             )
 
+    # traced control cascades (trace parity): a master-side fs->fs
+    # replication-control leg whose completion pushes a payload to one
+    # region through session.remote *from inside the cascade context* —
+    # so with tracing armed the remote handler's work records spans
+    # under the originating cascade id on the region's shard, and a
+    # sharded run must reassemble the exact span set a single-process
+    # run records.  Draws again precede the ownership guard.
+    from repro.software.resources import R
+
+    r_ctl = random.Random(911)
+    ctl = []
+    for k, name in enumerate(regions):
+        ctl.append((1.1 + 2.3 * k, name, {
+            "cycles": r_ctl.uniform(0.5, 1.0) * 1e8,
+            "net_bits": r_ctl.uniform(1.0, 2.0) * 1e9,
+            "disk_bytes": r_ctl.uniform(4.0, 8.0) * 1e6,
+        }))
+    if session.owns(MASTER):
+        runner = session.runner
+        fs = topo.datacenters[MASTER].tiers["fs"].servers
+        src = runner.resolved(fs[0], MASTER, "fs")
+        dst = runner.resolved(fs[1 % len(fs)], MASTER, "fs")
+        for t, name, payload in ctl:
+            def fire(now, n=name, p=payload):
+                runner.deliver(
+                    src, dst,
+                    R.of(cycles=2e8, net_kb=64.0),
+                    R.of(net_kb=16.0),
+                    now,
+                    on_complete=lambda done, n=n, p=p: session.remote.send(
+                        MASTER, n, p, latency_s=REGION_LATENCY_S, now=done),
+                    tag="ctl",
+                )
+            session.sim.schedule(t, fire)
+
 
 def sharded_fleet_scenario(n_regions: int = 4, seed: int = 42) -> Scenario:
     """The consolidation fleet with remote traffic, ready to shard."""
@@ -262,15 +297,26 @@ def check_sharded(
     reproduced by a single-process windowed run).  The check also
     requires that cross-shard envelopes actually flowed, so a cut that
     silently localized the traffic cannot pass vacuously.
+
+    Both runs are armed with full tracing and profiling: the merged
+    sharded trace must reproduce the single-process span and cascade
+    sets byte-identically after :func:`~repro.observability.trace.
+    canonical_spans` renumbering (cross-shard cascades keep one id and
+    their parent/child links), at least one cross-shard trace flow must
+    have been recorded, and the sharded result must carry a merged
+    profile.
     """
+    from repro.observability.trace import canonical_spans
+
     outputs = {}
     reports = {}
+    traces = {}
     for label in ("single", "sharded"):
         scenario = sharded_fleet_scenario(n_regions, seed=seed)
         result = simulate(
             scenario, until=until,
             collect=Collect(sample_interval=sample_interval),
-            metrics="on",
+            metrics="on", trace="full", profile=True,
             parallel=(ParallelOptions(workers=workers, cut=cut)
                       if label == "sharded" else None),
         )
@@ -286,22 +332,36 @@ def check_sharded(
             series,
             fingerprint,
             result.telemetry(),
+            canonical_spans(result.spans()),
+            sorted((c.cascade_id, c.operation, c.application, c.client_dc,
+                    c.start, c.end, c.failed) for c in result.cascades()),
         )
         reports[label] = result.parallel
+        traces[label] = result
     single, sharded = outputs["single"], outputs["sharded"]
     mismatches: List[str] = []
     for name, a, b in (("records", single[0], sharded[0]),
                        ("series", single[1], sharded[1]),
-                       ("metrics", single[2], sharded[2])):
+                       ("metrics", single[2], sharded[2]),
+                       ("spans", single[4], sharded[4]),
+                       ("cascades", single[5], sharded[5])):
         if a != b:
             mismatches.append(name)
     if not _almost(single[3], sharded[3], float_rel_tol):
         mismatches.append("telemetry")
+    if not single[4]:
+        mismatches.append("no-spans-recorded")
     report = reports["sharded"]
     if report is None or report.workers != workers:
         mismatches.append("backend-not-sharded")
-    elif workers > 1 and report.envelopes == 0:
-        mismatches.append("no-cross-shard-envelopes")
+    elif workers > 1:
+        if report.envelopes == 0:
+            mismatches.append("no-cross-shard-envelopes")
+        if not getattr(traces["sharded"].trace, "flows", None):
+            mismatches.append("no-cross-shard-trace-flows")
+        if traces["sharded"].profile is None or not getattr(
+                traces["sharded"].profile, "per_shard", None):
+            mismatches.append("no-merged-profile")
     return ParityResult(
         scenario=f"consolidation-fleet-remote[w={workers},cut={cut}]",
         until=until,

@@ -94,10 +94,28 @@ def test_parallel_block_roundtrips_scenario_json(tmp_path):
     path = tmp_path / "fleet.json"
     sc.to_json(path)
     doc = json.loads(path.read_text())
-    assert doc["parallel"] == {"workers": 2, "cut": "holon", "window": 0.05}
+    assert doc["parallel"] == {
+        "workers": 2, "cut": "holon", "window": 0.05,
+        "heartbeat_every": 0.5, "stall_timeout": 300.0,
+        "on_stall": "event", "status_path": None,
+    }
     rebuilt = Scenario.from_json(path)
     opts = ParallelOptions.coerce(rebuilt.parallel)
     assert (opts.workers, opts.cut, opts.window) == (2, "holon", 0.05)
+
+
+def test_supervisor_options_validate():
+    with pytest.raises(ConfigurationError, match="heartbeat_every"):
+        ParallelOptions(heartbeat_every=-1.0)
+    with pytest.raises(ConfigurationError, match="stall_timeout"):
+        ParallelOptions(stall_timeout=0.0)
+    with pytest.raises(ConfigurationError, match="on_stall"):
+        ParallelOptions(on_stall="panic")
+    opts = ParallelOptions.coerce(
+        {"workers": 3, "heartbeat_every": 0, "stall_timeout": None,
+         "on_stall": "abort", "status_path": "run.status"})
+    assert (opts.heartbeat_every, opts.stall_timeout, opts.on_stall,
+            opts.status_path) == (0.0, None, "abort", "run.status")
 
 
 def test_grouped_and_flat_observability_clash():
@@ -133,16 +151,45 @@ def test_checkpoint_group_validates_like_flat(tmp_path):
 # ----------------------------------------------------------------------
 # sharded execution
 # ----------------------------------------------------------------------
-def test_parallel_rejects_per_engine_features():
+def test_parallel_accepts_trace_and_profile():
+    """Tracing + profiling run sharded and come back merged (PR 7)."""
+    result = simulate(
+        fleet_scenario(2), until=1.0,
+        observability=ObservabilityOptions(trace="sampling", profile=True),
+        parallel=ParallelOptions(workers=2),
+    )
+    assert result.profile is not None
+    assert len(result.profile.per_shard) == 2
+    assert result.trace is not None  # merged (possibly empty) trace
+
+
+def test_parallel_rejects_checkpointing_per_feature():
     sc = fleet_scenario(2)
-    with pytest.raises(ConfigurationError, match="trace or profile"):
-        simulate(sc, until=1.0, profile=True,
-                 parallel=ParallelOptions(workers=2))
-    with pytest.raises(ConfigurationError, match="checkpoint"):
+    with pytest.raises(ConfigurationError, match="ROADMAP.*checkpoint"):
         simulate(sc, until=1.0, checkpoint_every=0.5, checkpoint_path="x",
                  parallel=ParallelOptions(workers=2))
+
+
+def test_parallel_rejects_resume_per_feature(tmp_path):
+    sc = fleet_scenario(2)
+    with pytest.raises(ConfigurationError, match="resume"):
+        simulate(sc, until=1.0, resume_from=tmp_path / "ck.json",
+                 parallel=ParallelOptions(workers=2))
+
+
+def test_parallel_rejects_invariants_per_feature():
+    sc = fleet_scenario(2)
     with pytest.raises(ConfigurationError, match="invariant"):
         simulate(sc, until=1.0, invariants="strict",
+                 parallel=ParallelOptions(workers=2))
+
+
+def test_parallel_rejects_prebuilt_recorder():
+    from repro.observability.trace import TraceRecorder
+
+    sc = fleet_scenario(2)
+    with pytest.raises(ConfigurationError, match="spec string"):
+        simulate(sc, until=1.0, trace=TraceRecorder(),
                  parallel=ParallelOptions(workers=2))
 
 
@@ -199,3 +246,132 @@ def test_scenario_parallel_block_drives_simulate():
     sc.parallel = {"workers": 1}
     result = simulate(sc, until=1.0)
     assert result.parallel is not None and result.parallel.workers == 1
+
+
+# ----------------------------------------------------------------------
+# distributed observability (PR 7)
+# ----------------------------------------------------------------------
+def _traced_sharded_result(until=10.0, n_regions=2, workers=2, **popts):
+    from repro.verification.parity import sharded_fleet_scenario
+
+    return simulate(
+        sharded_fleet_scenario(n_regions), until=until,
+        observability=ObservabilityOptions(trace="full", profile=True),
+        parallel=ParallelOptions(workers=workers, **popts),
+    )
+
+
+def test_cross_shard_cascade_is_one_trace():
+    """A cascade crossing the cut keeps one id, with correct links."""
+    result = _traced_sharded_result()
+    spans = result.spans()
+    assert spans, "traced sharded run recorded no spans"
+    # the ctl cascades span the master and a region shard
+    by_cascade = {}
+    for s in spans:
+        by_cascade.setdefault(s.cascade_id, set()).add(s.shard)
+    crossing = [cid for cid, shards in by_cascade.items() if len(shards) > 1]
+    assert crossing, "no cascade recorded spans on more than one shard"
+    # parent/child links resolve within the merged trace: every non-root
+    # span's parent exists (renumbering keeps referential integrity)
+    ids = {s.span_id for s in spans}
+    assert all(s.parent_id in ids for s in spans if s.parent_id is not None)
+    # flow events were recorded for the sampled cross-shard hops
+    assert result.trace.flows
+    hop = result.trace.flows[0]
+    assert hop["src_shard"] != hop["dst_shard"]
+    assert hop["arrival"] >= hop["send"] + REGION_LATENCY_S - 1e-9
+
+
+@pytest.mark.slow
+def test_cross_shard_trace_matches_single_process():
+    from repro.observability.trace import canonical_spans
+    from repro.verification.parity import sharded_fleet_scenario
+
+    sharded = _traced_sharded_result(until=4.0)
+    single = simulate(
+        sharded_fleet_scenario(2), until=4.0,
+        observability=ObservabilityOptions(trace="full", profile=True),
+    )
+    assert canonical_spans(sharded.spans()) == canonical_spans(single.spans())
+    assert (sorted(c.cascade_id for c in sharded.cascades())
+            == sorted(c.cascade_id for c in single.cascades()))
+
+
+def test_merged_chrome_trace_has_shard_lanes_and_flows(tmp_path):
+    result = _traced_sharded_result()
+    path = tmp_path / "merged.json"
+    assert result.write_chrome_trace(path) > 0
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    lanes = {e["args"]["name"]: e["pid"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert len(lanes) == 2 and all(n.startswith("shard ") for n in lanes)
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert starts and len(starts) == len(finishes)
+    by_id = {e["id"]: e for e in starts}
+    assert all(f["pid"] != by_id[f["id"]]["pid"] for f in finishes)
+
+
+def test_report_carries_backend_phases():
+    result = _traced_sharded_result()
+    report = result.parallel
+    assert len(report.shard_phases) == 2
+    for phases in report.shard_phases:
+        assert set(phases) == {"window_advance", "envelope_exchange",
+                               "barrier_wait"}
+        assert all(v >= 0.0 for v in phases.values())
+    doc = report.to_dict()
+    assert doc["shard_phases"] == [dict(p) for p in report.shard_phases]
+    # the merged profile carries the same phases plus barrier skew
+    merged = result.profile
+    assert merged.barrier_skew() >= 0.0
+    assert merged.phase_seconds["barrier_wait"] == pytest.approx(
+        sum(p["barrier_wait"] for p in report.shard_phases))
+
+
+def test_supervisor_lifecycle_events_in_result():
+    result = _traced_sharded_result(until=1.0)
+    kinds = [e["kind"] for e in result.events.events()]
+    assert kinds.count("shard_started") == 2
+    assert kinds.count("shard_finished") == 2
+    assert "window_committed" in kinds
+
+
+def test_status_file_and_top(tmp_path, capsys):
+    from repro.cli import main
+
+    status = tmp_path / "run.status"
+    result = _traced_sharded_result(until=1.0, status_path=status)
+    assert result.parallel.workers == 2
+    doc = json.loads(status.read_text())
+    assert doc["state"] == "finished"
+    assert doc["watermark"] == pytest.approx(1.0)
+    assert len(doc["shards"]) == 2
+    assert all(s["state"] == "finished" for s in doc["shards"])
+    assert main(["top", str(status), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "[finished]" in out and "DNA" in out
+
+
+def _exploding_setup(session):
+    from repro.verification.parity import _sharded_fleet_setup
+
+    _sharded_fleet_setup(session)
+    if not session.owns("DNA"):  # blow up a region shard mid-run
+        session.sim.schedule(
+            0.5, lambda now: (_ for _ in ()).throw(RuntimeError("boom")))
+
+
+def test_worker_failure_is_structured():
+    from repro.core.errors import WorkerError
+    from repro.verification.parity import sharded_fleet_scenario
+
+    sc = sharded_fleet_scenario(2)
+    sc = type(sc)(**{**sc.__dict__, "setup": _exploding_setup})
+    with pytest.raises(WorkerError) as err:
+        simulate(sc, until=3.0, parallel=ParallelOptions(workers=2))
+    assert err.value.shard >= 0
+    assert err.value.dcs and "DNA" not in err.value.dcs
+    assert "boom" in err.value.details  # full worker traceback aboard

@@ -84,6 +84,14 @@ def test_make_recorder_modes():
         make_recorder("sampling:2.0")
 
 
+def test_bare_sampling_spec_defaults():
+    from repro.observability.trace import DEFAULT_SAMPLE_RATE
+
+    rec = make_recorder("sampling")
+    assert rec.mode == "sampling"
+    assert rec.sample_rate == pytest.approx(DEFAULT_SAMPLE_RATE)
+
+
 def test_null_trace_is_structurally_free():
     """trace="null" must not install a recorder at all.
 
@@ -302,6 +310,169 @@ def test_engine_profiler_phases():
 def test_profiler_absent_by_default():
     result = simulate(portal_scenario(), until=30.0)
     assert result.profile is None
+
+
+def test_profiler_groups_backend_phases_separately():
+    """Backend phases form their own share group (no double counting)."""
+    from repro.observability.profiler import BACKEND_PHASES, EngineProfiler
+
+    prof = EngineProfiler()
+    for p, sec in zip(("step_select", "wake", "events", "monitors"),
+                      (1.0, 2.0, 3.0, 4.0)):
+        prof.record(p, sec)
+    for p, sec in zip(BACKEND_PHASES, (10.0, 1.0, 4.0)):
+        prof.record(p, sec)
+    summary = prof.summary()
+    engine_share = sum(summary[p]["share"]
+                      for p in ("step_select", "wake", "events", "monitors"))
+    backend_share = sum(summary[p]["share"] for p in BACKEND_PHASES)
+    assert engine_share == pytest.approx(1.0)
+    assert backend_share == pytest.approx(1.0)
+    assert summary["window_advance"]["share"] == pytest.approx(10.0 / 15.0)
+    table = prof.table()
+    assert "barrier_wait" in table
+
+
+def test_profiler_dict_roundtrip():
+    from repro.observability.profiler import EngineProfiler
+
+    prof = EngineProfiler()
+    prof.record("events", 1.5, calls=7)
+    prof.record("barrier_wait", 0.25, calls=3)
+    prof.ticks, prof.agent_ticks, prof.wall_seconds = 11, 42, 2.5
+    clone = EngineProfiler.from_dict(prof.to_dict())
+    assert clone.to_dict() == prof.to_dict()
+
+
+def test_merged_profile_aggregates():
+    from repro.observability.profiler import EngineProfiler, MergedProfile
+
+    shards = []
+    for barrier in (0.2, 0.7):
+        p = EngineProfiler()
+        p.record("events", 1.0, calls=5)
+        p.record("barrier_wait", barrier, calls=2)
+        p.ticks, p.wall_seconds = 10, 3.0 + barrier
+        shards.append(p)
+    merged = MergedProfile(shards, shard_labels=["DNA", "R00"])
+    assert merged.phase_seconds["events"] == pytest.approx(2.0)
+    assert merged.phase_calls["events"] == 10
+    assert merged.ticks == 20
+    assert merged.wall_seconds == pytest.approx(3.7)  # max, not sum
+    assert merged.barrier_skew() == pytest.approx(0.5)
+    doc = merged.to_dict()
+    assert len(doc["per_shard"]) == 2
+    assert doc["shard_labels"] == ["DNA", "R00"]
+    assert doc["barrier_skew_s"] == pytest.approx(0.5)
+    assert "DNA: " in merged.table()
+
+
+# ----------------------------------------------------------------------
+# distributed trace identity (PR 7)
+# ----------------------------------------------------------------------
+def test_parent_links_chain_through_cascade_legs():
+    """Within one cascade, each leg's span links to the span that
+    submitted it — the FETCH pipeline forms one root-anchored tree."""
+    result = simulate(portal_scenario(), until=150.0, trace="full")
+    for cid, spans in result.trace.spans_by_cascade().items():
+        ids = {s.span_id for s in spans}
+        roots = [s for s in spans if s.parent_id is None]
+        assert roots, f"cascade {cid} has no root span"
+        for s in spans:
+            assert s.parent_id is None or s.parent_id in ids
+            assert s.parent_id != s.span_id
+
+
+def test_cascade_ids_are_partition_independent():
+    """The same client DC launch sequence yields the same cascade ids
+    whatever recorder instance (or shard) produced them."""
+    a, b = TraceRecorder(), TraceRecorder()
+    b.set_shard(3)
+    ids_a = [a.start_cascade("OP", "app", "DEU", 0.0).cascade_id
+             for _ in range(4)]
+    ids_b = [b.start_cascade("OP", "app", "DEU", 0.0).cascade_id
+             for _ in range(4)]
+    assert ids_a == ids_b
+    # ...but span ids live in disjoint per-shard blocks
+    sa = a._span_base + 1
+    sb = b._span_base + 1
+    assert sa != sb and sb == (4 << 40) + 1
+
+
+def test_hash_sampling_is_order_independent():
+    """Sampling decisions ride the cascade id, not the draw sequence."""
+    a = TraceRecorder(mode="sampling", sample_rate=0.5)
+    b = TraceRecorder(mode="sampling", sample_rate=0.5)
+    decisions_a = [a.start_cascade("OP", "", "DEU", 0.0).sampled
+                   for _ in range(64)]
+    # b sees interleaved launches from another DC; DEU decisions match
+    decisions_b = []
+    for _ in range(64):
+        b.start_cascade("OP", "", "FRA", 0.0)
+        decisions_b.append(b.start_cascade("OP", "", "DEU", 0.0).sampled)
+    assert decisions_a == decisions_b
+    assert any(decisions_a) and not all(decisions_a)
+
+
+def test_canonical_spans_erase_id_spaces():
+    from repro.observability.trace import Span, canonical_spans
+
+    def spans(base, shard):
+        root = Span(cascade_id=9, span_id=base + 1, agent="a",
+                    agent_type="q", tag="t", demand=1.0, enqueue=0.0,
+                    start=0.0, end=1.0, parent_id=None, shard=shard)
+        child = Span(cascade_id=9, span_id=base + 2, agent="b",
+                     agent_type="q", tag="t", demand=1.0, enqueue=1.0,
+                     start=1.0, end=2.0, parent_id=base + 1, shard=shard)
+        return [root, child]
+
+    assert canonical_spans(spans(0, 0)) == canonical_spans(spans(1 << 41, 2))
+
+
+def test_export_and_adopt_context_roundtrip():
+    origin = TraceRecorder()
+    origin.set_shard(0)
+    ctx = origin.start_cascade("ctl", "app", "DNA", 1.0)
+    origin.current, origin.current_parent = ctx, origin._span_base + 7
+    tctx = origin.export_context()
+    assert tctx == (ctx.cascade_id, "ctl", "app", "DNA", True,
+                    origin._span_base + 7)
+    remote = TraceRecorder()
+    remote.set_shard(1)
+    adopted = remote.adopt_context(tctx)
+    assert adopted.cascade_id == ctx.cascade_id
+    assert adopted.sampled and math.isnan(adopted.start)
+    assert remote.adopt_context(tctx) is adopted  # cached by cascade id
+    origin.current = None
+    assert origin.export_context() is None
+
+
+def test_merged_trace_renumbers_and_sorts_flows():
+    from repro.observability.trace import MergedTrace, Span
+
+    s0 = Span(cascade_id=5, span_id=(1 << 40) + 1, agent="a", agent_type="q",
+              tag=None, demand=0.0, enqueue=0.0, start=0.0, end=1.0,
+              parent_id=None, shard=0)
+    s1 = Span(cascade_id=5, span_id=(2 << 40) + 1, agent="b", agent_type="q",
+              tag=None, demand=0.0, enqueue=2.0, start=2.0, end=3.0,
+              parent_id=(1 << 40) + 1, shard=1)
+    hop = {"cascade": 5, "src": "DNA", "dst": "R00", "send": 1.0,
+           "arrival": 1.08, "src_shard": 0, "dst_shard": 1}
+    merged = MergedTrace([[s0], [s1]], [[], []],
+                         shard_labels=["DNA", "R00"], hops=[hop])
+    spans = merged.spans()
+    assert [s.span_id for s in spans] == [1, 2]
+    assert spans[1].parent_id == 1  # cross-shard parent link preserved
+    assert [s.shard for s in spans] == [0, 1]
+    assert merged.flows == [hop]
+    assert len(merged) == 2
+
+    events = chrome_trace_events(spans, [], shard_labels=merged.shard_labels,
+                                 flows=merged.flows)
+    pids = {e["pid"] for e in events if e["ph"] == "X"}
+    assert pids == {1, 2}
+    flow_phs = [e["ph"] for e in events if e.get("cat") == "remote"]
+    assert flow_phs == ["s", "f"]
 
 
 def test_direct_submit_with_recorder_context():
