@@ -18,7 +18,7 @@ test-fast:
 
 test-cov:  ## coverage-gated suite (needs pytest-cov; CI ratchet lives here)
 	$(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing \
-	    --cov-fail-under=75
+	    --cov-fail-under=82
 
 test-deep:  ## wide hypothesis sweep (nightly CI profile)
 	HYPOTHESIS_PROFILE=deep $(PYTHON) -m pytest tests/

@@ -29,12 +29,21 @@ seed for the drill), so a baseline is reproducible from the JSON alone.
 ``--seed`` overrides all three; by default each scenario keeps its
 historical seed so existing baselines stay comparable.
 
+``--fleet-sizes`` switches to the kernel-scaling curve instead: the
+consolidation fleet at each region count under both queueing substrates
+(``scalar`` per-station agents vs the ``vector`` struct-of-arrays
+batch), merged into the existing ``BENCH_engine.json`` under
+``fleet_scaling`` without touching the stepping-mode cells.  Each cell
+records the measured single-process wall *and* CPU seconds (the PR 6
+convention for honest single-core numbers).
+
 Usage::
 
     python scripts/bench_engine.py            # full sizings
     python scripts/bench_engine.py --quick    # CI smoke sizings
     python scripts/bench_engine.py --modes event,adaptive
     python scripts/bench_engine.py --quick --metrics-out metrics.json
+    python scripts/bench_engine.py --fleet-sizes 32,64,128,256
 """
 
 from __future__ import annotations
@@ -122,6 +131,71 @@ def bench_drill(mode: str, quick: bool, seed: int = 7) -> dict:
     }
 
 
+KERNELS = ("scalar", "vector")
+
+
+def bench_fleet_size(n_regions: int, mode: str, kernel: str,
+                     seed: int = 42, until: float = 60.0) -> dict:
+    """One fleet-scaling cell: a fresh scenario build per run (the live
+    topology agents are stateful, so reuse would skew later cells)."""
+    scenario = fleet_scenario(n_regions, seed=seed)
+    t0 = time.perf_counter()
+    c0 = time.process_time()
+    session = scenario.prepare(dt=0.01, mode=mode, kernel=kernel,
+                               profile=True)
+    session.run(until, workloads=False)
+    wall = time.perf_counter() - t0
+    cpu = time.process_time() - c0
+    prof = session.sim.profiler
+    return {
+        "regions": n_regions,
+        "mode": mode,
+        "kernel": kernel,
+        "wall_s": round(wall, 4),
+        "cpu_s": round(cpu, 4),
+        "ticks": prof.ticks,
+        "agent_ticks": prof.agent_ticks,
+        "seed": seed,
+        "until": until,
+    }
+
+
+def run_fleet_scaling(sizes, kernels, modes, quick: bool,
+                      seed: int = 42) -> dict:
+    """The two-kernel fleet-size scaling curve with per-size speedups."""
+    until = 20.0 if quick else 60.0
+    fmodes = [m for m in modes if m != "fixed"]  # vector rejects fixed
+    rows = []
+    for n in sizes:
+        for mode in fmodes:
+            for kernel in kernels:
+                print(f"[bench] fleet n={n} mode={mode} kernel={kernel} "
+                      "...", flush=True)
+                cell = bench_fleet_size(n, mode, kernel, seed=seed,
+                                        until=until)
+                rows.append(cell)
+                print(f"        wall={cell['wall_s']:.2f}s "
+                      f"cpu={cell['cpu_s']:.2f}s ticks={cell['ticks']}")
+    speedups = {}
+    by_key = {(r["regions"], r["mode"], r["kernel"]): r for r in rows}
+    for n in sizes:
+        for mode in fmodes:
+            s = by_key.get((n, mode, "scalar"))
+            v = by_key.get((n, mode, "vector"))
+            if s and v and v["wall_s"] > 0:
+                key = f"{mode}@{n}"
+                speedups[key] = round(s["wall_s"] / v["wall_s"], 3)
+                print(f"[bench] {key}: scalar/vector = {speedups[key]}x")
+    return {
+        "note": ("measured single-process walls; cpu_s is process CPU "
+                 "seconds (PR 6 single-core convention)"),
+        "until": until,
+        "seed": seed,
+        "rows": rows,
+        "speedup_scalar_vs_vector": speedups,
+    }
+
+
 SCENARIOS = {
     "validation-ch5": bench_validation,
     "consolidation-fleet": bench_fleet,
@@ -153,12 +227,43 @@ def main(argv=None) -> int:
     ap.add_argument("--metrics-out", default=None,
                     help="also run a metered validation slice and write "
                          "its metrics snapshot here (for repro compare)")
+    ap.add_argument("--fleet-sizes", default=None, metavar="N,N,...",
+                    help="run the kernel-scaling curve at these region "
+                         "counts (e.g. 32,64,128,256) instead of the "
+                         "stepping-mode scenarios; merges into --out "
+                         "under 'fleet_scaling'")
+    ap.add_argument("--kernels", default=",".join(KERNELS),
+                    help="comma-separated kernels for --fleet-sizes")
     args = ap.parse_args(argv)
 
     modes = [m.strip() for m in args.modes.split(",") if m.strip()]
     for m in modes:
         if m not in MODES:
             ap.error(f"unknown mode {m!r} (choose from {MODES})")
+
+    if args.fleet_sizes:
+        try:
+            sizes = [int(x) for x in args.fleet_sizes.split(",") if x.strip()]
+        except ValueError:
+            ap.error(f"bad --fleet-sizes {args.fleet_sizes!r}")
+        kernels = [k.strip() for k in args.kernels.split(",") if k.strip()]
+        for k in kernels:
+            if k not in KERNELS:
+                ap.error(f"unknown kernel {k!r} (choose from {KERNELS})")
+        seed = 42 if args.seed is None else args.seed
+        curve = run_fleet_scaling(sizes, kernels, modes, args.quick,
+                                  seed=seed)
+        out = Path(args.out)
+        if out.exists():
+            doc = json.loads(out.read_text())
+        else:
+            doc = {"bench": "engine-stepping-modes", "quick": args.quick,
+                   "python": platform.python_version(),
+                   "platform": platform.platform(), "scenarios": {}}
+        doc["fleet_scaling"] = curve
+        out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"[bench] wrote {out}")
+        return 0
     selected = [s.strip() for s in args.scenarios.split(",") if s.strip()]
     for s in selected:
         if s not in SCENARIOS:

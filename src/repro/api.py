@@ -196,6 +196,39 @@ class ParallelOptions:
                                 else str(self.status_path))}
 
 
+#: Queueing kernels accepted by :class:`EngineOptions`.
+KERNELS = ("scalar", "vector")
+
+
+@dataclass
+class EngineOptions:
+    """Engine/stepping configuration for :func:`simulate`, grouped.
+
+    ``kernel`` selects the queueing substrate: ``"scalar"`` drives every
+    station as its own exact-event agent (the differential oracle);
+    ``"vector"`` batches homogeneous stations behind struct-of-arrays
+    drivers (:mod:`repro.queueing.soa`) — same exact-event semantics,
+    far fewer engine boundaries on large fleets.  Bit-parity across
+    kernels is not guaranteed; each kernel passes the oracle sweep and
+    event≡adaptive parity on its own (``repro verify --kernel vector``).
+    Flat spellings: ``kernel=``, ``mode=``, ``dt=``.
+    """
+
+    kernel: str = "scalar"
+    mode: str = "event"
+    dt: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.kernel not in KERNELS:
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r} (choose one of {KERNELS})")
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"unknown mode {self.mode!r} (choose one of {MODES})")
+        if self.dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {self.dt}")
+
+
 class RemotePort:
     """Cross data-center messaging surface for setup hooks.
 
@@ -429,6 +462,7 @@ class Scenario:
         *,
         dt: float = 0.01,
         mode: str = "event",
+        kernel: str = "scalar",
         trace: Any = None,
         profile: bool = False,
         collect: Optional[Collect] = None,
@@ -441,9 +475,10 @@ class Scenario:
     ) -> "SimulationSession":
         """Build the engine, register the topology and wire the runner."""
         return SimulationSession(
-            self, dt=dt, mode=mode, trace=trace, profile=profile,
-            collect=collect, resilience=resilience, metrics=metrics,
-            slo=slo, invariants=invariants, shard=shard, remote=remote,
+            self, dt=dt, mode=mode, kernel=kernel, trace=trace,
+            profile=profile, collect=collect, resilience=resilience,
+            metrics=metrics, slo=slo, invariants=invariants, shard=shard,
+            remote=remote,
         )
 
 
@@ -487,6 +522,7 @@ class SimulationSession:
         *,
         dt: float = 0.01,
         mode: str = "event",
+        kernel: str = "scalar",
         trace: Any = None,
         profile: bool = False,
         collect: Optional[Collect] = None,
@@ -504,6 +540,13 @@ class SimulationSession:
                 f"engine mode must be 'event', 'adaptive' or 'fixed', "
                 f"got {mode!r}"
             )
+        if kernel not in KERNELS:
+            raise ConfigurationError(
+                f"unknown kernel {kernel!r} (choose one of {KERNELS})")
+        if kernel == "vector" and mode == "fixed":
+            raise ConfigurationError(
+                "kernel='vector' requires exact-event stepping; use "
+                "mode='event' or 'adaptive' (or kernel='scalar')")
         self.scenario = scenario
         # sharded execution: the session registers (and therefore
         # simulates) only its own data centers; every other agent of the
@@ -541,17 +584,35 @@ class SimulationSession:
         self.streams = RandomStreams(scenario.seed)
         topo = scenario.topology
         owned_agents: List[Any] = []
+        if kernel == "vector":
+            from repro.queueing.soa import vectorize_agents
         for name, dc in topo.datacenters.items():
             if self.owns(name):
-                self.sim.add_holon(dc)
+                if kernel == "vector":
+                    # one bank per DC infrastructure group and per tier
+                    # (= child holon): homogeneous stations advance as
+                    # one numpy batch
+                    vectorize_agents(
+                        self.sim, dc.local_agents, name=f"{name}.infra")
+                    for child in dc.children:
+                        vectorize_agents(
+                            self.sim, list(child.agents()), name=child.name)
+                else:
+                    self.sim.add_holon(dc)
                 owned_agents.extend(dc.agents())
         # a cross-shard WAN link is simulated by the shard owning its
         # first (sorted) endpoint — exactly one shard, deterministically
+        wan_links: List[Any] = []
         for links in (topo.links, topo._secondary):
             for key, link in links.items():
                 if self.owns(key[0]):
-                    self.sim.add_agent(link)
+                    wan_links.append(link)
                     owned_agents.append(link)
+        if kernel == "vector":
+            vectorize_agents(self.sim, wan_links, name="wan")
+        else:
+            for link in wan_links:
+                self.sim.add_agent(link)
         #: The topology agents this session registered (== the full
         #: ``topology.all_agents()`` when unsharded) — the exact set the
         #: telemetry merge covers, each agent owned by one shard.
@@ -594,6 +655,7 @@ class SimulationSession:
         self._collect_cfg = collect
         self._dt = dt
         self._mode = mode
+        self._kernel = kernel
         self._until: Optional[float] = None
         self._checkpoint_every: Optional[float] = None
         self._checkpoint_path: Optional[str] = None
@@ -1056,6 +1118,7 @@ def simulate(
     until: Optional[float] = None,
     dt: float = 0.01,
     mode: str = "event",
+    kernel: str = "scalar",
     trace: Any = None,
     profile: bool = False,
     collect: Optional[Collect] = None,
@@ -1070,6 +1133,7 @@ def simulate(
     resume_from: Optional[Union[str, Path]] = None,
     observability: Optional[ObservabilityOptions] = None,
     checkpoint: Optional[CheckpointOptions] = None,
+    engine: Optional[EngineOptions] = None,
     parallel: Any = None,
 ) -> SimulationResult:
     """Run one scenario end to end and return its results.
@@ -1099,6 +1163,11 @@ def simulate(
         DES; ``"fluid"`` solves the scenario analytically (no engine,
         ``until`` ignored).  ``"event"`` and ``"adaptive"`` produce
         bit-identical results; see ``docs/engine.md``.
+    kernel:
+        Queueing substrate: ``"scalar"`` (default; per-station exact-
+        event agents, the differential oracle) or ``"vector"``
+        (struct-of-arrays batching, :mod:`repro.queueing.soa`).  The
+        grouped spelling is ``engine=EngineOptions(kernel=...)``.
     trace:
         Trace mode: ``None``/``"null"``, ``"full"``, ``"sampling:p"`` or
         a :class:`~repro.observability.trace.TraceRecorder`.
@@ -1178,7 +1247,17 @@ def simulate(
         backend's ``window_advance`` / ``envelope_exchange`` /
         ``barrier_wait``).  Checkpoint/resume and the invariant checker
         remain single-process-only for now.
+    engine:
+        An :class:`EngineOptions` group covering ``kernel``, ``mode``
+        and ``dt`` in one object.
     """
+    eng = _merge_group(
+        engine, EngineOptions,
+        {"kernel": kernel, "mode": mode, "dt": dt},
+        {"kernel": "scalar", "mode": "event", "dt": 0.01},
+        {"kernel": "kernel", "mode": "mode", "dt": "dt"},
+    )
+    kernel, mode, dt = eng.kernel, eng.mode, eng.dt
     obs = _merge_group(
         observability, ObservabilityOptions,
         {"trace": trace, "profile": profile, "collect": collect,
@@ -1212,6 +1291,21 @@ def simulate(
         raise ConfigurationError(f"unknown simulate() mode {mode!r}")
     if checkpoint_every is not None and checkpoint_path is None:
         raise ConfigurationError("checkpoint_every needs checkpoint_path")
+    if kernel == "vector":
+        if checkpoint_every is not None or checkpoint_path is not None:
+            raise ConfigurationError(
+                "kernel='vector' does not write checkpoints yet: the "
+                "batched substrate keeps struct-of-arrays state outside "
+                "the per-agent snapshots (tracked in ROADMAP.md under "
+                "'Checkpoint/resume under kernel=\"vector\"'). Run "
+                "kernel='scalar' with checkpoint_every=/checkpoint_path= "
+                "for crash safety, or drop the checkpoint options")
+        if resume_from is not None:
+            raise ConfigurationError(
+                "kernel='vector' cannot resume from a checkpoint yet "
+                "(tracked in ROADMAP.md under 'Checkpoint/resume under "
+                "kernel=\"vector\"'). Resume with kernel='scalar', or "
+                "re-run the vector kernel from t=0")
     par_spec = parallel if parallel is not None else scenario.parallel
     if par_spec is not None:
         popts = ParallelOptions.coerce(par_spec)
@@ -1250,7 +1344,7 @@ def simulate(
 
         return run_sharded(
             scenario, until=until, options=popts, dt=dt, mode=mode,
-            trace=trace, profile=profile,
+            kernel=kernel, trace=trace, profile=profile,
             collect=collect, workloads=workloads,
             resilience=resilience, metrics=metrics, slo=slo,
         )
@@ -1265,8 +1359,8 @@ def simulate(
     if until is None:
         raise ConfigurationError("simulate() needs until= for DES modes")
     session = scenario.prepare(
-        dt=dt, mode=mode, trace=trace, profile=profile, collect=collect,
-        resilience=resilience, metrics=metrics, slo=slo,
+        dt=dt, mode=mode, kernel=kernel, trace=trace, profile=profile,
+        collect=collect, resilience=resilience, metrics=metrics, slo=slo,
         invariants=invariants,
     )
     if checkpoint_every is not None:

@@ -311,7 +311,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     report = run_sweeps(
         replications=replications, horizon=horizon,
         base_seed=args.seed, rate_fault=args.rate_fault,
-        tolerance_overrides=overrides,
+        kernel=args.kernel, tolerance_overrides=overrides,
     )
     print(report.table())
     if args.verbose:
@@ -326,6 +326,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             args.parallel_case, workers=args.parallel_workers,
             replications=replications, horizon=horizon,
             base_seed=args.seed, rate_fault=args.rate_fault,
+            kernel=args.kernel,
         )
         document["parallel_oracle"] = outcome.to_row()
         verdict = "ok" if outcome.passed else "FAIL"
@@ -339,7 +340,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if args.parity:
         from repro.verification import check_sharded, check_windows
 
-        results = check_windows()
+        results = check_windows(kernel=args.kernel)
         document["parity"] = [r.to_row() for r in results]
         for r in results:
             verdict = "ok" if r.identical else "FAIL"
@@ -351,6 +352,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         sharded = check_sharded(
             n_regions=2 if args.quick else 4,
             until=6.0 if args.quick else 10.0,
+            kernel=args.kernel,
         )
         document["parity_sharded"] = sharded.to_row()
         verdict = "ok" if sharded.identical else "FAIL"
@@ -366,7 +368,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         try:
             result = simulate(
                 "consolidation", until=args.invariant_until,
-                invariants="strict",
+                invariants="strict", kernel=args.kernel,
                 collect=Collect(sample_interval=6.0),
             )
             inv = result.invariant_report()
@@ -546,6 +548,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="base seed for the replication streams")
     p.add_argument("--quick", action="store_true",
                    help="CI-PR sizing: at most 3 replications x 300 s")
+    p.add_argument("--kernel", choices=("scalar", "vector"),
+                   default="scalar",
+                   help="queueing substrate under test: the scalar "
+                        "per-station path or the struct-of-arrays "
+                        "batched path (each must pass on its own)")
     p.add_argument("--rate-fault", type=float, default=1.0,
                    help="deliberately scale every service rate (1.0 = "
                         "nominal; e.g. 0.7 demonstrates the gate "

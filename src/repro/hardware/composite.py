@@ -28,6 +28,11 @@ class CompositeAgent(Agent):
 
     _exact_events = True
 
+    # set by the vector kernel (repro.queueing.soa.vectorize_agents) on
+    # SAN/RAID composites: the VectorArray owns event scheduling and the
+    # composite's failure hooks forward to it
+    _varray = None
+
     def _child_agents(self) -> Iterable[Agent]:
         raise NotImplementedError
 
@@ -111,6 +116,8 @@ class CompositeAgent(Agent):
         self._paused_children = running
         for child in running:
             child.fail(crash=False, now=now)
+        if self._varray is not None and not self._varray.paused:
+            self._varray.fail(crash=False, now=now)
 
     def on_repair(self, now: float) -> None:
         children = getattr(self, "_paused_children", None)
@@ -119,3 +126,5 @@ class CompositeAgent(Agent):
         for child in children:
             child.repair(now)
         self._paused_children = []
+        if self._varray is not None and self._varray.paused:
+            self._varray.repair(now)

@@ -83,6 +83,10 @@ class RAID(CompositeAgent):
         job.finish(t)
 
     def enqueue(self, job: Job, now: float) -> None:
+        if self._varray is not None:
+            # vector kernel: closed-form stage schedule, join-only event
+            self._varray.request(job, now)
+            return
         hit = self._rng.random() < self.array_cache_hit_rate
         if hit:
             self.cache_hits += 1
@@ -105,6 +109,8 @@ class RAID(CompositeAgent):
         )
 
     def queue_length(self) -> int:
+        if self._varray is not None:
+            return self._varray.queue_length()
         return self.dacc.queue_length() + sum(d.queue_length() for d in self.disks)
 
     def capacity(self) -> float:
@@ -135,6 +141,8 @@ class RAID(CompositeAgent):
         self.dacc.on_crash()
         for d in self.disks:
             d.on_crash()
+        if self._varray is not None:
+            self._varray.on_crash()
 
     def on_time_increment(self, now: float, dt: float) -> None:
         self.dacc.on_time_increment(now, dt)

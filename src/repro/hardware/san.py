@@ -83,6 +83,12 @@ class SAN(CompositeAgent):
         job.finish(t)
 
     def enqueue(self, job: Job, now: float) -> None:
+        if self._varray is not None:
+            # vector kernel: the whole stage schedule is computed in
+            # closed form (same RNG stream order) and only the join is
+            # an engine event
+            self._varray.request(job, now)
+            return
         hit = self._rng.random() < self.array_cache_hit_rate
         if hit:
             self.cache_hits += 1
@@ -121,6 +127,8 @@ class SAN(CompositeAgent):
         return [self.fcsw, self.dacc, self.fcal]
 
     def queue_length(self) -> int:
+        if self._varray is not None:
+            return self._varray.queue_length()
         return sum(q.queue_length() for q in self._stages()) + sum(
             d.queue_length() for d in self.disks
         )
@@ -154,6 +162,8 @@ class SAN(CompositeAgent):
             q.on_crash()
         for d in self.disks:
             d.on_crash()
+        if self._varray is not None:
+            self._varray.on_crash()
 
     def on_time_increment(self, now: float, dt: float) -> None:
         for q in self._stages():

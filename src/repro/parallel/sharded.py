@@ -234,6 +234,7 @@ def _shard_worker(idx: int, scenario: Scenario, plan: PartitionPlan,
             recorder.set_shard(idx)
         session = scenario.prepare(
             dt=cfg["dt"], mode=cfg["mode"], collect=cfg["collect"],
+            kernel=cfg.get("kernel", "scalar"),
             trace=recorder, profile=cfg.get("profile", False),
             resilience=cfg["resilience"], metrics=cfg["metrics"],
             slo=cfg["slo"], shard=plan.shards[idx], remote=port,
@@ -457,6 +458,7 @@ def run_sharded(
     options: ParallelOptions,
     dt: float = 0.01,
     mode: str = "event",
+    kernel: str = "scalar",
     trace: Any = None,
     profile: bool = False,
     collect: Optional[Collect] = None,
@@ -483,8 +485,8 @@ def run_sharded(
     wall0 = time.perf_counter()
     if plan.workers <= 1:
         session = scenario.prepare(
-            dt=dt, mode=mode, trace=trace, profile=profile, collect=collect,
-            resilience=resilience, metrics=metrics, slo=slo,
+            dt=dt, mode=mode, kernel=kernel, trace=trace, profile=profile,
+            collect=collect, resilience=resilience, metrics=metrics, slo=slo,
         )
         result = session.run(until, workloads=workloads)
         result.parallel = ParallelReport(
@@ -515,7 +517,7 @@ def run_sharded(
         status_path=(None if options.status_path is None
                      else str(options.status_path)),
     )
-    cfg = {"dt": dt, "mode": mode, "collect": collect,
+    cfg = {"dt": dt, "mode": mode, "kernel": kernel, "collect": collect,
            "trace": trace, "profile": profile,
            "resilience": resilience, "metrics": metrics, "slo": slo,
            "workloads": workloads,

@@ -7,6 +7,11 @@ structures for disk arrays.  The :mod:`repro.queueing.analytic` module
 provides the classical closed-form results used to cross-validate the
 simulated queues, and :mod:`repro.queueing.kendall` parses the Kendall
 notation of Appendix A.
+
+:mod:`repro.queueing.soa` holds the struct-of-arrays batched substrate
+behind ``simulate(engine=EngineOptions(kernel="vector"))``; it is
+imported lazily (it is the only queueing module that requires numpy)
+so the scalar kernel works without it.
 """
 
 from repro.queueing.fcfs import FCFSQueue

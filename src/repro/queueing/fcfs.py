@@ -42,6 +42,12 @@ class FCFSQueue(Agent):
     agent_type = "fcfs"
     _exact_events = True
 
+    # set by BatchedTier.adopt_fcfs under the vector kernel: scheduling,
+    # completions and failure bookkeeping delegate to the bank while this
+    # object stays the observational face (telemetry, invariants, traces)
+    _bank = None
+    _bank_inflight = 0
+
     def __init__(self, name: str, rate: float, servers: int = 1) -> None:
         super().__init__(name)
         if rate <= 0:
@@ -66,6 +72,9 @@ class FCFSQueue(Agent):
     # queue interface
     # ------------------------------------------------------------------
     def enqueue(self, job: Job, now: float) -> None:
+        if self._bank is not None:
+            self._bank.fcfs_enqueue(self, job, now)
+            return
         # settle events that predate the arrival at their own timestamps,
         # then record that the queue state changed at ``now`` so the
         # admission below happens at exactly the arrival time
@@ -79,6 +88,8 @@ class FCFSQueue(Agent):
         self._reschedule()
 
     def queue_length(self) -> int:
+        if self._bank is not None:
+            return self._bank_inflight
         return len(self.waiting) + len(self.in_service)
 
     def capacity(self) -> float:
@@ -97,14 +108,22 @@ class FCFSQueue(Agent):
     # exact-event contract
     # ------------------------------------------------------------------
     def next_event_time(self) -> float:
+        if self._bank is not None:
+            return _INF  # the bank schedules; stale hooks stay inert
         if self._paused:
             return _INF
         return self._next_internal()
 
     def advance_to(self, t: float) -> None:
+        if self._bank is not None:
+            return
         self._advance_to(t)
 
     def sync_to(self, t: float) -> None:
+        if self._bank is not None:
+            if t > self.local_time:
+                self.local_time = t
+            return
         self._advance_to(t)
         self._accrue_to(t)
         if t > self.local_time:
@@ -201,6 +220,9 @@ class FCFSQueue(Agent):
     def on_pause(self, now: float | None) -> None:
         """Freeze service: accrue busy time to the failure instant and
         materialize each in-service job's remaining work."""
+        if self._bank is not None:
+            self._bank.fcfs_pause(self, now)
+            return
         p = self._now if now is None else max(now, self._now)
         if p < self._busy_anchor:
             p = self._busy_anchor
@@ -217,6 +239,9 @@ class FCFSQueue(Agent):
 
     def on_repair(self, now: float) -> None:
         """Resume interrupted service from ``now``."""
+        if self._bank is not None:
+            self._bank.fcfs_repair(self, now)
+            return
         r = max(now, self._now)
         self._now = r
         if self._busy_anchor < r:
@@ -227,6 +252,9 @@ class FCFSQueue(Agent):
 
     def on_crash(self) -> None:
         """Crash semantics: in-service progress is lost; jobs restart."""
+        if self._bank is not None:
+            self._bank.fcfs_crash(self)
+            return
         for job in reversed(self.in_service):
             job.remaining = job.demand
             job.start_time = None

@@ -380,6 +380,7 @@ def _replication_mean(
     rate_fault: float,
     mode: str,
     dt: float,
+    kernel: str = "scalar",
 ) -> Optional[float]:
     """One replication's steady-state estimate (``None``: no completions).
 
@@ -396,8 +397,13 @@ def _replication_mean(
     svc_rng = random.Random(seed + 500009)
     station = case.build(rate_fault, svc_rng)
     sim = Simulator(dt=dt, mode=mode)
-    for agent in station.agents:
-        sim.add_agent(agent)
+    if kernel == "vector":
+        from repro.queueing.soa import vectorize_agents
+
+        vectorize_agents(sim, station.agents, name="oracle")
+    else:
+        for agent in station.agents:
+            sim.add_agent(agent)
     sojourns: List[float] = []
 
     def arrive(now: float) -> None:
@@ -438,6 +444,7 @@ def run_case(
     rate_fault: float = 1.0,
     mode: str = "event",
     dt: float = 0.01,
+    kernel: str = "scalar",
 ) -> OracleResult:
     """Run one sweep point across replications and gate the estimate."""
     means: List[float] = []
@@ -445,6 +452,7 @@ def run_case(
         mean = _replication_mean(
             case, rep, horizon=horizon, warmup_fraction=warmup_fraction,
             base_seed=base_seed, rate_fault=rate_fault, mode=mode, dt=dt,
+            kernel=kernel,
         )
         if mean is None:
             return OracleResult(case, float("nan"), None, float("inf"),
@@ -528,6 +536,7 @@ def run_case_parallel(
     rate_fault: float = 1.0,
     mode: str = "event",
     dt: float = 0.01,
+    kernel: str = "scalar",
 ) -> "ParallelOracleOutcome":
     """One sweep point with replications fanned across worker processes.
 
@@ -546,7 +555,7 @@ def run_case_parallel(
     workers = max(1, min(workers, replications))
     kwargs = {"horizon": horizon, "warmup_fraction": warmup_fraction,
               "base_seed": base_seed, "rate_fault": rate_fault,
-              "mode": mode, "dt": dt}
+              "mode": mode, "dt": dt, "kernel": kernel}
     # round-robin so every worker gets early and late replications
     shares: List[List[int]] = [[] for _ in range(workers)]
     for rep in range(replications):
@@ -615,6 +624,7 @@ def run_sweeps(
     base_seed: int = 20260806,
     rate_fault: float = 1.0,
     mode: str = "event",
+    kernel: str = "scalar",
     tolerance_overrides: Optional[Dict[str, float]] = None,
 ) -> OracleReport:
     """Run the sweep matrix and produce the gated report.
@@ -628,7 +638,8 @@ def run_sweeps(
         cases = standard_sweeps()
     results = [
         run_case(case, replications=replications, horizon=horizon,
-                 base_seed=base_seed, rate_fault=rate_fault, mode=mode)
+                 base_seed=base_seed, rate_fault=rate_fault, mode=mode,
+                 kernel=kernel)
         for case in cases
     ]
     baseline = {_metric_key(r.case): r.case.analytic_value for r in results}

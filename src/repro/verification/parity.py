@@ -98,6 +98,7 @@ def check_window(
     until: float = 60.0,
     seed: int = 11,
     sample_interval: float = 5.0,
+    kernel: str = "scalar",
 ) -> ParityResult:
     """Run one window in both modes and diff every observable output.
 
@@ -105,6 +106,10 @@ def check_window(
     :class:`Scenario`: topologies hold stateful agents, so each mode
     must run against its own build (reusing one would leak the first
     run's state into the second and report a false mismatch).
+
+    ``kernel`` selects the queueing substrate for *both* modes: the
+    event≡adaptive contract must hold per kernel, so ``verify --parity
+    --kernel vector`` replays the same windows on the batched substrate.
     """
     if scenario_factory is None:
         scenario_factory = lambda: _parity_scenario(seed)  # noqa: E731
@@ -114,7 +119,7 @@ def check_window(
         scenario = scenario_factory()
         name = scenario.name
         result = simulate(
-            scenario, until=until, mode=mode,
+            scenario, until=until, mode=mode, kernel=kernel,
             collect=Collect(sample_interval=sample_interval),
         )
         series = {
@@ -144,10 +149,12 @@ def check_window(
 
 
 def check_windows(
-    *, seeds: tuple = (11, 23), until: float = 60.0
+    *, seeds: tuple = (11, 23), until: float = 60.0,
+    kernel: str = "scalar",
 ) -> List[ParityResult]:
     """The default sampled-window sweep for ``verify --parity``."""
-    return [check_window(seed=s, until=until) for s in seeds]
+    return [check_window(seed=s, until=until, kernel=kernel)
+            for s in seeds]
 
 
 # --------------------------------------------------------------------------
@@ -287,6 +294,7 @@ def check_sharded(
     seed: int = 42,
     sample_interval: float = 2.0,
     float_rel_tol: float = 1e-9,
+    kernel: str = "scalar",
 ) -> ParityResult:
     """Diff the sharded backend against a single-process run.
 
@@ -314,7 +322,7 @@ def check_sharded(
     for label in ("single", "sharded"):
         scenario = sharded_fleet_scenario(n_regions, seed=seed)
         result = simulate(
-            scenario, until=until,
+            scenario, until=until, kernel=kernel,
             collect=Collect(sample_interval=sample_interval),
             metrics="on", trace="full", profile=True,
             parallel=(ParallelOptions(workers=workers, cut=cut)
@@ -363,7 +371,9 @@ def check_sharded(
                 traces["sharded"].profile, "per_shard", None):
             mismatches.append("no-merged-profile")
     return ParityResult(
-        scenario=f"consolidation-fleet-remote[w={workers},cut={cut}]",
+        scenario=(f"consolidation-fleet-remote[w={workers},cut={cut}"
+                  + (f",kernel={kernel}" if kernel != "scalar" else "")
+                  + "]"),
         until=until,
         records=len(single[0]),
         identical=not mismatches,

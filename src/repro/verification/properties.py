@@ -164,6 +164,70 @@ def scenario_shapes() -> Any:
     )
 
 
+# ----------------------------------------------------------------------
+# scalar vs batched kernel lockstep
+# ----------------------------------------------------------------------
+def drive_station(
+    factory: Any,
+    bursts: List[Tuple[float, float]],
+    *,
+    kernel: str = "scalar",
+    mode: str = "event",
+) -> Tuple[List[Tuple[int, float]], float]:
+    """Drive a fresh station through one arrival/demand sequence.
+
+    Builds the station from ``factory``, registers it either as its own
+    scalar engine agent or behind the batched struct-of-arrays substrate
+    (``kernel="vector"``), submits one job per ``(arrival, demand)``
+    burst and runs to drain.  Returns ``(completions, busy_time)``
+    where ``completions`` lists ``(arrival_index, completion_time)`` in
+    completion order — the observable the scalar≡vector lockstep
+    property compares (identical ordering, busy time within 1e-9).
+
+    This is the runner half of the property harness: it has no
+    hypothesis dependency, so targeted regressions can replay a failing
+    sequence directly.
+    """
+    from repro.core.engine import Simulator
+    from repro.core.job import Job
+
+    station = factory()
+    sim = Simulator(dt=0.01, mode=mode)
+    if kernel == "vector":
+        from repro.queueing.soa import vectorize_agents
+
+        vectorize_agents(sim, [station], name="prop")
+    else:
+        sim.add_agent(station)
+    completions: List[Tuple[int, float]] = []
+    for i, (t, d) in enumerate(bursts):
+        def fire(now: float, i: int = i, d: float = d) -> None:
+            station.submit(
+                Job(d, on_complete=lambda _j, tc, i=i:
+                    completions.append((i, tc))),
+                now,
+            )
+        sim.schedule(t, fire)
+    last = max(t for t, _ in bursts)
+    total = sum(d for _, d in bursts)
+    sim.run(last + total / station.rate + 10.0)
+    return completions, station.busy_time
+
+
+def kernel_lockstep(
+    factory: Any,
+    bursts: List[Tuple[float, float]],
+    *,
+    mode: str = "event",
+) -> Tuple[Tuple[List[Tuple[int, float]], float],
+           Tuple[List[Tuple[int, float]], float]]:
+    """Run the same sequence under both kernels (fresh station each)."""
+    return (
+        drive_station(factory, bursts, kernel="scalar", mode=mode),
+        drive_station(factory, bursts, kernel="vector", mode=mode),
+    )
+
+
 __all__ = [
     "kendall_specs",
     "kendall_strings",
@@ -173,4 +237,6 @@ __all__ = [
     "workload_bursts",
     "station_factories",
     "scenario_shapes",
+    "drive_station",
+    "kernel_lockstep",
 ]
